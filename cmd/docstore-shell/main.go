@@ -1,0 +1,130 @@
+// Command docstore-shell is a tiny interactive shell (and one-shot client)
+// for a running docstored server, the counterpart of the mongo shell the
+// thesis uses to run its JavaScript queries:
+//
+//	docstore-shell -addr 127.0.0.1:27017 -db Dataset_1GB \
+//	    -eval '{"op":"find","coll":"store_sales","filter":{"ss_quantity":{"$gte":90}},"limit":2}'
+//
+// Without -eval it reads one JSON request per line from standard input. The
+// "db" field may be omitted from requests when -db is given.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:27017", "docstored address")
+	db := flag.String("db", "test", "default database for requests that omit one")
+	eval := flag.String("eval", "", "run a single JSON request and exit")
+	flag.Parse()
+
+	client, err := wire.Dial(*addr, 5*time.Second)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docstore-shell: %v\n", err)
+		os.Exit(1)
+	}
+	defer client.Close()
+
+	runLine := func(line string) error {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			return nil
+		}
+		doc, err := bson.FromJSONString(line)
+		if err != nil {
+			return fmt.Errorf("parse: %w", err)
+		}
+		if !doc.Has("db") {
+			doc.Set("db", *db)
+		}
+		resp, err := execute(client, doc)
+		if err != nil {
+			return err
+		}
+		for _, d := range resp.Docs {
+			fmt.Println(d.ToJSON())
+		}
+		fmt.Printf("ok (n=%d)\n", resp.N)
+		return nil
+	}
+
+	if *eval != "" {
+		if err := runLine(*eval); err != nil {
+			fmt.Fprintf(os.Stderr, "docstore-shell: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("connected to %s (db %s); one JSON request per line, Ctrl-D to exit\n", *addr, *db)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	for scanner.Scan() {
+		if err := runLine(scanner.Text()); err != nil {
+			fmt.Fprintf(os.Stderr, "error: %v\n", err)
+		}
+	}
+}
+
+// execute converts the free-form request document into a typed request by
+// routing it through the wire codec (the document already uses the protocol's
+// field names).
+func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
+	req := &wire.Request{}
+	if v, ok := doc.Get("op"); ok {
+		req.Op, _ = v.(string)
+	}
+	if v, ok := doc.Get("db"); ok {
+		req.DB, _ = v.(string)
+	}
+	if v, ok := doc.Get("coll"); ok {
+		req.Collection, _ = v.(string)
+	}
+	if v, ok := doc.Get("doc"); ok {
+		req.Doc, _ = v.(*bson.Doc)
+	}
+	if v, ok := doc.Get("filter"); ok {
+		req.Filter, _ = v.(*bson.Doc)
+	}
+	if v, ok := doc.Get("update"); ok {
+		req.Update, _ = v.(*bson.Doc)
+	}
+	if v, ok := doc.Get("sort"); ok {
+		req.Sort, _ = v.(*bson.Doc)
+	}
+	if v, ok := doc.Get("keys"); ok {
+		req.Keys, _ = v.(*bson.Doc)
+	}
+	if v, ok := doc.Get("docs"); ok {
+		if arr, isArr := v.([]any); isArr {
+			for _, e := range arr {
+				if d, isDoc := e.(*bson.Doc); isDoc {
+					req.Docs = append(req.Docs, d)
+				}
+			}
+		}
+	}
+	if v, ok := doc.Get("limit"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			req.Limit = int(n)
+		}
+	}
+	if v, ok := doc.Get("skip"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			req.Skip = int(n)
+		}
+	}
+	req.Multi = bson.Truthy(doc.GetOr("multi", false))
+	req.Upsert = bson.Truthy(doc.GetOr("upsert", false))
+	req.Unique = bson.Truthy(doc.GetOr("unique", false))
+	return client.Do(req)
+}

@@ -1,0 +1,44 @@
+// Command docstored runs the document store as a stand-alone server process
+// speaking the line-delimited JSON wire protocol, the analogue of the mongod
+// daemon in the thesis' deployments:
+//
+//	docstored -addr 127.0.0.1:27017 -name Shard1
+//
+// Clients connect with the wire.Client API or cmd/docstore-shell.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"docstore/internal/mongod"
+	"docstore/internal/wire"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:27017", "listen address")
+	name := flag.String("name", "docstored", "server name reported in stats")
+	ramGB := flag.Int64("ram-gb", 0, "advertised RAM in GiB (informational, drives working-set reporting)")
+	flag.Parse()
+
+	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30})
+	srv := wire.NewServer(backend)
+	bound, err := srv.Listen(*addr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("docstored %q listening on %s\n", *name, bound)
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	<-stop
+	fmt.Println("docstored: shutting down")
+	if err := srv.Close(); err != nil {
+		fmt.Fprintf(os.Stderr, "docstored: close: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,84 @@
+// Command dsgen generates the TPC-DS dataset as pipe-delimited .dat files,
+// mirroring the dsdgen tool the thesis drives in Appendix A:
+//
+//	dsgen -scale 1 -dir data -divisor 200 -seed 1
+//
+// -scale selects the paper dataset the cardinality model follows (1 or 5,
+// for the 1 GB and 5 GB datasets of Table 3.6) and -divisor scales the row
+// counts down for laptop-sized runs (divisor 1 reproduces the paper's counts).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"docstore/internal/tpcds"
+)
+
+func main() {
+	scaleFlag := flag.Int("scale", 1, "paper scale factor to mirror: 1 (1GB) or 5 (5GB)")
+	dir := flag.String("dir", "data", "output directory for the .dat files")
+	divisor := flag.Int("divisor", tpcds.DefaultDivisor, "row-count reduction divisor (1 = paper scale)")
+	seed := flag.Int64("seed", 1, "generator seed")
+	table := flag.String("table", "", "generate only the named table (default: all 24)")
+	flag.Parse()
+
+	var scale tpcds.Scale
+	switch *scaleFlag {
+	case 1:
+		scale = tpcds.ScaleSmall.WithDivisor(*divisor)
+	case 5:
+		scale = tpcds.ScaleLarge.WithDivisor(*divisor)
+	default:
+		fmt.Fprintf(os.Stderr, "dsgen: unsupported -scale %d (use 1 or 5)\n", *scaleFlag)
+		os.Exit(2)
+	}
+	g := tpcds.NewGenerator(scale, *seed)
+
+	if *table != "" {
+		if g.Schema().Table(*table) == nil {
+			fmt.Fprintf(os.Stderr, "dsgen: unknown table %q\n", *table)
+			os.Exit(2)
+		}
+		if err := os.MkdirAll(*dir, 0o755); err != nil {
+			fatal(err)
+		}
+		path := *dir + "/" + tpcds.DatFileName(*table)
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := g.WriteDat(*table, f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s: %d rows\n", path, g.RowCount(*table))
+		return
+	}
+
+	files, err := g.GenerateDir(*dir)
+	if err != nil {
+		fatal(err)
+	}
+	names := make([]string, 0, len(files))
+	for name := range files {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, name := range names {
+		rows := g.RowCount(name)
+		total += rows
+		fmt.Printf("%-24s %10d rows  %s\n", name, rows, files[name])
+	}
+	fmt.Printf("generated %d tables, %d rows total (scale %s)\n", len(files), total, scale)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "dsgen: %v\n", err)
+	os.Exit(1)
+}

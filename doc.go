@@ -1,0 +1,12 @@
+// Package docstore is a from-scratch Go reproduction of "Performance
+// Evaluation of Analytical Queries on a Stand-alone and Sharded Document
+// Store" (Raghavendra, 2015 / EDBT 2017): a MongoDB-like document store with
+// secondary indexes, an aggregation pipeline and hash/range sharding; a
+// TPC-DS data generator; the thesis' data migration, denormalization and
+// query translation algorithms; and a benchmark harness that regenerates
+// every table and figure of the evaluation.
+//
+// The implementation lives under internal/ (see DESIGN.md for the system
+// inventory); cmd/ holds the executables and examples/ holds runnable
+// walkthroughs of the public API surface.
+package docstore

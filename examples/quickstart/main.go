@@ -1,0 +1,90 @@
+// Quickstart: create a stand-alone document store, insert documents, query
+// them with filters and indexes, and run an aggregation pipeline — the
+// document-model tour of Chapter 2 of the thesis (publishers and books).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+func main() {
+	server := mongod.NewServer(mongod.Options{Name: "quickstart"})
+	db := server.Database("library")
+
+	// Embedded data model (Figure 2.3): a publisher document containing its
+	// books as an array of sub-documents.
+	publisher := bson.D(
+		"publisher", "O'Reilly Media",
+		"founded", 1978,
+		"location", "California",
+		"books", bson.A(
+			bson.D("title", "MongoDB", "author", "Dirolf Chodorow", "pages", 216),
+			bson.D("title", "Java in a Nutshell", "author", bson.A("Benjamin J Evans", "David Flanagan"), "pages", 418),
+		),
+	)
+	if _, err := db.Insert("publishers", publisher); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := db.Insert("publishers", bson.D(
+		"publisher", "Pragmatic Bookshelf", "founded", 1999, "location", "North Carolina",
+		"books", bson.A(bson.D("title", "Programming Go", "pages", 312)),
+	)); err != nil {
+		log.Fatal(err)
+	}
+
+	// Queries: dotted paths traverse embedded documents and arrays.
+	thick, err := db.Find("publishers", bson.D("books.pages", bson.D("$gt", 400)), storage.FindOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("publishers with a book over 400 pages: %d\n", len(thick))
+
+	// Indexes: create a single-field index and watch the planner use it.
+	if _, err := db.EnsureIndex("publishers", bson.D("founded", 1), false); err != nil {
+		log.Fatal(err)
+	}
+	_, plan, err := db.FindWithPlan("publishers", bson.D("founded", bson.D("$gte", 1990)), storage.FindOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("query plan: %s\n", plan)
+
+	// Updates: add a book to the embedded array.
+	res, err := db.Update("publishers", query.UpdateSpec{
+		Query:  bson.D("publisher", "O'Reilly Media"),
+		Update: bson.D("$push", bson.D("books", bson.D("title", "Designing Data-Intensive Applications", "pages", 616))),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("updated %d publisher document(s)\n", res.Modified)
+
+	// Aggregation: unwind the embedded books and compute pages per publisher.
+	out, err := db.Aggregate("publishers", []*bson.Doc{
+		bson.D("$unwind", "$books"),
+		bson.D("$group", bson.D(
+			bson.IDKey, "$publisher",
+			"titles", bson.D("$sum", 1),
+			"totalPages", bson.D("$sum", "$books.pages"),
+			"avgPages", bson.D("$avg", "$books.pages"),
+		)),
+		bson.D("$sort", bson.D("totalPages", -1)),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("pages per publisher:")
+	for _, d := range out {
+		fmt.Printf("  %s\n", d)
+	}
+
+	status := server.Status()
+	fmt.Printf("server holds %d documents across %d collections (%d bytes of data)\n",
+		status.Documents, status.Collections, status.DataSizeBytes)
+}

@@ -1,0 +1,402 @@
+// Package aggregate implements the aggregation-pipeline framework of the
+// document store: the staged document-processing pipeline of §4.1.3.1 with
+// the stages and operators the thesis' queries use ($match, $group, $project,
+// $sort, $limit, $skip, $unwind, $count, $out, $lookup and the accumulator
+// and arithmetic/conditional expression operators of Table 4.2).
+package aggregate
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"docstore/internal/bson"
+)
+
+// Evaluate computes an aggregation expression against a document.
+//
+// Expression forms:
+//   - "$a.b"            field path reference
+//   - scalar literals   returned as-is
+//   - {"$op": args}     operator expression
+//   - {k: expr, ...}    document literal whose values are evaluated
+//   - [expr, ...]       array literal whose elements are evaluated
+func Evaluate(expr any, doc *bson.Doc) (any, error) {
+	switch t := expr.(type) {
+	case string:
+		if strings.HasPrefix(t, "$") {
+			path := strings.TrimPrefix(t, "$")
+			v, ok := doc.GetPath(path)
+			if !ok {
+				return nil, nil
+			}
+			return v, nil
+		}
+		return t, nil
+	case *bson.Doc:
+		if op, arg, ok := singleOperator(t); ok {
+			return evalOperator(op, arg, doc)
+		}
+		out := bson.NewDoc(t.Len())
+		for _, f := range t.Fields() {
+			v, err := Evaluate(f.Value, doc)
+			if err != nil {
+				return nil, err
+			}
+			out.Set(f.Key, v)
+		}
+		return out, nil
+	case []any:
+		out := make([]any, len(t))
+		for i, e := range t {
+			v, err := Evaluate(e, doc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	default:
+		return bson.Normalize(expr), nil
+	}
+}
+
+// MustEvaluate is Evaluate but panics on error; for statically known
+// expressions.
+func MustEvaluate(expr any, doc *bson.Doc) any {
+	v, err := Evaluate(expr, doc)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}
+
+// singleOperator reports whether the document is an operator expression
+// ({"$cond": ...}) and returns its operator and argument.
+func singleOperator(d *bson.Doc) (string, any, bool) {
+	if d.Len() != 1 {
+		return "", nil, false
+	}
+	f := d.Fields()[0]
+	if !strings.HasPrefix(f.Key, "$") {
+		return "", nil, false
+	}
+	return f.Key, f.Value, true
+}
+
+func evalOperator(op string, arg any, doc *bson.Doc) (any, error) {
+	switch op {
+	case "$literal":
+		return bson.Normalize(arg), nil
+	case "$add", "$multiply":
+		return evalArithmeticN(op, arg, doc)
+	case "$subtract", "$divide", "$mod", "$pow":
+		return evalArithmetic2(op, arg, doc)
+	case "$abs", "$floor", "$ceil", "$trunc", "$sqrt":
+		return evalArithmetic1(op, arg, doc)
+	case "$eq", "$ne", "$gt", "$gte", "$lt", "$lte", "$cmp":
+		return evalComparison(op, arg, doc)
+	case "$and", "$or":
+		return evalLogicalN(op, arg, doc)
+	case "$not":
+		args, err := evalArgs(arg, doc)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 1 {
+			return nil, fmt.Errorf("aggregate: $not takes exactly one argument")
+		}
+		return !bson.Truthy(args[0]), nil
+	case "$cond":
+		return evalCond(arg, doc)
+	case "$ifNull":
+		args, err := evalArgs(arg, doc)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("aggregate: $ifNull takes exactly two arguments")
+		}
+		if args[0] == nil {
+			return args[1], nil
+		}
+		return args[0], nil
+	case "$concat":
+		args, err := evalArgs(arg, doc)
+		if err != nil {
+			return nil, err
+		}
+		var b strings.Builder
+		for _, a := range args {
+			if a == nil {
+				return nil, nil
+			}
+			s, ok := a.(string)
+			if !ok {
+				return nil, fmt.Errorf("aggregate: $concat argument %v is not a string", a)
+			}
+			b.WriteString(s)
+		}
+		return b.String(), nil
+	case "$toLower", "$toUpper":
+		v, err := Evaluate(arg, doc)
+		if err != nil {
+			return nil, err
+		}
+		s, _ := v.(string)
+		if op == "$toLower" {
+			return strings.ToLower(s), nil
+		}
+		return strings.ToUpper(s), nil
+	case "$size":
+		v, err := Evaluate(arg, doc)
+		if err != nil {
+			return nil, err
+		}
+		arr, ok := v.([]any)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: $size requires an array, got %T", v)
+		}
+		return int64(len(arr)), nil
+	case "$in":
+		args, err := evalArgs(arg, doc)
+		if err != nil {
+			return nil, err
+		}
+		if len(args) != 2 {
+			return nil, fmt.Errorf("aggregate: $in takes exactly two arguments")
+		}
+		arr, ok := args[1].([]any)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: $in second argument must be an array")
+		}
+		for _, e := range arr {
+			if bson.Compare(e, args[0]) == 0 {
+				return true, nil
+			}
+		}
+		return false, nil
+	default:
+		return nil, fmt.Errorf("aggregate: unknown expression operator %s", op)
+	}
+}
+
+// evalArgs evaluates an operator argument that is either a single expression
+// or an array of expressions.
+func evalArgs(arg any, doc *bson.Doc) ([]any, error) {
+	if arr, ok := arg.([]any); ok {
+		out := make([]any, len(arr))
+		for i, e := range arr {
+			v, err := Evaluate(e, doc)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+	v, err := Evaluate(arg, doc)
+	if err != nil {
+		return nil, err
+	}
+	return []any{v}, nil
+}
+
+func evalArithmeticN(op string, arg any, doc *bson.Doc) (any, error) {
+	args, err := evalArgs(arg, doc)
+	if err != nil {
+		return nil, err
+	}
+	allInt := true
+	var acc float64
+	if op == "$multiply" {
+		acc = 1
+	}
+	for _, a := range args {
+		if a == nil {
+			return nil, nil
+		}
+		f, ok := bson.AsFloat(a)
+		if !ok {
+			return nil, fmt.Errorf("aggregate: %s argument %v is not numeric", op, a)
+		}
+		if _, isInt := a.(int64); !isInt {
+			allInt = false
+		}
+		if op == "$add" {
+			acc += f
+		} else {
+			acc *= f
+		}
+	}
+	if allInt {
+		return int64(acc), nil
+	}
+	return acc, nil
+}
+
+func evalArithmetic2(op string, arg any, doc *bson.Doc) (any, error) {
+	args, err := evalArgs(arg, doc)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 2 {
+		return nil, fmt.Errorf("aggregate: %s takes exactly two arguments", op)
+	}
+	if args[0] == nil || args[1] == nil {
+		return nil, nil
+	}
+	a, aok := bson.AsFloat(args[0])
+	b, bok := bson.AsFloat(args[1])
+	if !aok || !bok {
+		return nil, fmt.Errorf("aggregate: %s arguments must be numeric, got %v and %v", op, args[0], args[1])
+	}
+	_, aInt := args[0].(int64)
+	_, bInt := args[1].(int64)
+	bothInt := aInt && bInt
+	switch op {
+	case "$subtract":
+		if bothInt {
+			return int64(a) - int64(b), nil
+		}
+		return a - b, nil
+	case "$divide":
+		if b == 0 {
+			return nil, fmt.Errorf("aggregate: $divide by zero")
+		}
+		return a / b, nil
+	case "$mod":
+		if b == 0 {
+			return nil, fmt.Errorf("aggregate: $mod by zero")
+		}
+		if bothInt {
+			return int64(a) % int64(b), nil
+		}
+		return math.Mod(a, b), nil
+	case "$pow":
+		return math.Pow(a, b), nil
+	}
+	return nil, fmt.Errorf("aggregate: unreachable operator %s", op)
+}
+
+func evalArithmetic1(op string, arg any, doc *bson.Doc) (any, error) {
+	args, err := evalArgs(arg, doc)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("aggregate: %s takes exactly one argument", op)
+	}
+	if args[0] == nil {
+		return nil, nil
+	}
+	f, ok := bson.AsFloat(args[0])
+	if !ok {
+		return nil, fmt.Errorf("aggregate: %s argument %v is not numeric", op, args[0])
+	}
+	_, isInt := args[0].(int64)
+	switch op {
+	case "$abs":
+		if isInt {
+			return int64(math.Abs(f)), nil
+		}
+		return math.Abs(f), nil
+	case "$floor":
+		return int64(math.Floor(f)), nil
+	case "$ceil":
+		return int64(math.Ceil(f)), nil
+	case "$trunc":
+		return int64(math.Trunc(f)), nil
+	case "$sqrt":
+		if f < 0 {
+			return nil, fmt.Errorf("aggregate: $sqrt of negative value")
+		}
+		return math.Sqrt(f), nil
+	}
+	return nil, fmt.Errorf("aggregate: unreachable operator %s", op)
+}
+
+func evalComparison(op string, arg any, doc *bson.Doc) (any, error) {
+	args, err := evalArgs(arg, doc)
+	if err != nil {
+		return nil, err
+	}
+	if len(args) != 2 {
+		return nil, fmt.Errorf("aggregate: %s takes exactly two arguments", op)
+	}
+	cmp := bson.Compare(args[0], args[1])
+	switch op {
+	case "$cmp":
+		return int64(cmp), nil
+	case "$eq":
+		return cmp == 0, nil
+	case "$ne":
+		return cmp != 0, nil
+	case "$gt":
+		return cmp > 0, nil
+	case "$gte":
+		return cmp >= 0, nil
+	case "$lt":
+		return cmp < 0, nil
+	case "$lte":
+		return cmp <= 0, nil
+	}
+	return nil, fmt.Errorf("aggregate: unreachable operator %s", op)
+}
+
+func evalLogicalN(op string, arg any, doc *bson.Doc) (any, error) {
+	args, err := evalArgs(arg, doc)
+	if err != nil {
+		return nil, err
+	}
+	if op == "$and" {
+		for _, a := range args {
+			if !bson.Truthy(a) {
+				return false, nil
+			}
+		}
+		return true, nil
+	}
+	for _, a := range args {
+		if bson.Truthy(a) {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// evalCond supports both the array form [if, then, else] and the document
+// form {if: ..., then: ..., else: ...}.
+func evalCond(arg any, doc *bson.Doc) (any, error) {
+	switch t := arg.(type) {
+	case []any:
+		if len(t) != 3 {
+			return nil, fmt.Errorf("aggregate: $cond array form takes [if, then, else]")
+		}
+		condVal, err := Evaluate(t[0], doc)
+		if err != nil {
+			return nil, err
+		}
+		if bson.Truthy(condVal) {
+			return Evaluate(t[1], doc)
+		}
+		return Evaluate(t[2], doc)
+	case *bson.Doc:
+		ifExpr, ok1 := t.Get("if")
+		thenExpr, ok2 := t.Get("then")
+		elseExpr, ok3 := t.Get("else")
+		if !ok1 || !ok2 || !ok3 {
+			return nil, fmt.Errorf("aggregate: $cond document form requires if/then/else")
+		}
+		condVal, err := Evaluate(ifExpr, doc)
+		if err != nil {
+			return nil, err
+		}
+		if bson.Truthy(condVal) {
+			return Evaluate(thenExpr, doc)
+		}
+		return Evaluate(elseExpr, doc)
+	default:
+		return nil, fmt.Errorf("aggregate: $cond requires an array or document argument")
+	}
+}

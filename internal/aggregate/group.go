@@ -1,0 +1,219 @@
+package aggregate
+
+import (
+	"fmt"
+	"sort"
+
+	"docstore/internal/bson"
+)
+
+// groupStage implements $group: documents are bucketed by the value of the
+// _id expression and each accumulator folds over the bucket's documents.
+type groupStage struct {
+	idExpr       any
+	accumulators []accumulatorSpec
+}
+
+type accumulatorSpec struct {
+	field string
+	op    string
+	expr  any
+}
+
+var supportedAccumulators = map[string]bool{
+	"$sum": true, "$avg": true, "$min": true, "$max": true,
+	"$first": true, "$last": true, "$push": true, "$addToSet": true,
+	"$count": true,
+}
+
+func parseGroupStage(spec *bson.Doc) (Stage, error) {
+	idExpr, ok := spec.Get(bson.IDKey)
+	if !ok {
+		return nil, fmt.Errorf("$group requires an _id expression")
+	}
+	g := &groupStage{idExpr: idExpr}
+	for _, f := range spec.Fields() {
+		if f.Key == bson.IDKey {
+			continue
+		}
+		accDoc, ok := f.Value.(*bson.Doc)
+		if !ok || accDoc.Len() != 1 {
+			return nil, fmt.Errorf("accumulator for %q must be a single-operator document", f.Key)
+		}
+		op := accDoc.Fields()[0].Key
+		if !supportedAccumulators[op] {
+			return nil, fmt.Errorf("unknown accumulator %s for %q", op, f.Key)
+		}
+		g.accumulators = append(g.accumulators, accumulatorSpec{
+			field: f.Key,
+			op:    op,
+			expr:  accDoc.Fields()[0].Value,
+		})
+	}
+	return g, nil
+}
+
+func (s *groupStage) Name() string { return "$group" }
+func (s *groupStage) Local() bool  { return false }
+
+// groupBucket accumulates state for one distinct _id value.
+type groupBucket struct {
+	id    any
+	order int
+	accs  []accumulatorState
+}
+
+type accumulatorState struct {
+	sum      float64
+	sumIsInt bool
+	count    int64
+	min, max any
+	hasMin   bool
+	first    any
+	hasFirst bool
+	last     any
+	values   []any
+}
+
+func (s *groupStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	buckets := make(map[string]*groupBucket)
+	var orderCounter int
+	for _, d := range docs {
+		idVal, err := Evaluate(s.idExpr, d)
+		if err != nil {
+			return nil, err
+		}
+		key := canonicalKey(idVal)
+		b, ok := buckets[key]
+		if !ok {
+			b = &groupBucket{id: idVal, order: orderCounter, accs: make([]accumulatorState, len(s.accumulators))}
+			for i := range b.accs {
+				b.accs[i].sumIsInt = true
+			}
+			orderCounter++
+			buckets[key] = b
+		}
+		for i, acc := range s.accumulators {
+			if err := b.accs[i].fold(acc, d); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Deterministic output: buckets in first-seen order.
+	ordered := make([]*groupBucket, 0, len(buckets))
+	for _, b := range buckets {
+		ordered = append(ordered, b)
+	}
+	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })
+
+	out := make([]*bson.Doc, 0, len(ordered))
+	for _, b := range ordered {
+		d := bson.NewDoc(len(s.accumulators) + 1)
+		d.Set(bson.IDKey, b.id)
+		for i, acc := range s.accumulators {
+			d.Set(acc.field, b.accs[i].result(acc))
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (st *accumulatorState) fold(spec accumulatorSpec, d *bson.Doc) error {
+	switch spec.op {
+	case "$count":
+		st.count++
+		return nil
+	}
+	v, err := Evaluate(spec.expr, d)
+	if err != nil {
+		return err
+	}
+	switch spec.op {
+	case "$sum":
+		if f, ok := bson.AsFloat(v); ok {
+			st.sum += f
+			if _, isInt := v.(int64); !isInt {
+				st.sumIsInt = false
+			}
+			st.count++
+		}
+	case "$avg":
+		if f, ok := bson.AsFloat(v); ok {
+			st.sum += f
+			st.count++
+		}
+	case "$min":
+		if v == nil {
+			return nil
+		}
+		if !st.hasMin || bson.Compare(v, st.min) < 0 {
+			st.min = v
+			st.hasMin = true
+		}
+	case "$max":
+		if v == nil {
+			return nil
+		}
+		if !st.hasMin || bson.Compare(v, st.max) > 0 {
+			st.max = v
+			st.hasMin = true
+		}
+	case "$first":
+		if !st.hasFirst {
+			st.first = v
+			st.hasFirst = true
+		}
+	case "$last":
+		st.last = v
+		st.hasFirst = true
+	case "$push":
+		st.values = append(st.values, v)
+	case "$addToSet":
+		for _, existing := range st.values {
+			if bson.Compare(existing, v) == 0 {
+				return nil
+			}
+		}
+		st.values = append(st.values, v)
+	}
+	return nil
+}
+
+func (st *accumulatorState) result(spec accumulatorSpec) any {
+	switch spec.op {
+	case "$sum":
+		if st.sumIsInt {
+			return int64(st.sum)
+		}
+		return st.sum
+	case "$count":
+		return st.count
+	case "$avg":
+		if st.count == 0 {
+			return nil
+		}
+		return st.sum / float64(st.count)
+	case "$min":
+		return st.min
+	case "$max":
+		return st.max
+	case "$first":
+		return st.first
+	case "$last":
+		return st.last
+	case "$push", "$addToSet":
+		if st.values == nil {
+			return []any{}
+		}
+		return st.values
+	default:
+		return nil
+	}
+}
+
+// canonicalKey produces a hashable string for a group key value.
+func canonicalKey(v any) string {
+	d := bson.NewDoc(1)
+	d.Set("k", v)
+	return string(bson.Marshal(d))
+}

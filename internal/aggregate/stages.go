@@ -1,0 +1,387 @@
+package aggregate
+
+import (
+	"fmt"
+	"strings"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+func parseStage(name string, arg any) (Stage, error) {
+	switch name {
+	case "$match":
+		spec, ok := arg.(*bson.Doc)
+		if !ok {
+			return nil, fmt.Errorf("argument must be a document")
+		}
+		m, err := query.Compile(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &matchStage{matcher: m}, nil
+	case "$project":
+		spec, ok := arg.(*bson.Doc)
+		if !ok || spec.Len() == 0 {
+			return nil, fmt.Errorf("argument must be a non-empty document")
+		}
+		return &projectStage{spec: spec}, nil
+	case "$addFields", "$set":
+		spec, ok := arg.(*bson.Doc)
+		if !ok || spec.Len() == 0 {
+			return nil, fmt.Errorf("argument must be a non-empty document")
+		}
+		return &addFieldsStage{spec: spec}, nil
+	case "$group":
+		spec, ok := arg.(*bson.Doc)
+		if !ok {
+			return nil, fmt.Errorf("argument must be a document")
+		}
+		return parseGroupStage(spec)
+	case "$sort":
+		spec, ok := arg.(*bson.Doc)
+		if !ok {
+			return nil, fmt.Errorf("argument must be a document")
+		}
+		s, err := query.ParseSort(spec)
+		if err != nil {
+			return nil, err
+		}
+		return &sortStage{sort: s}, nil
+	case "$limit":
+		n, ok := bson.AsInt(bson.Normalize(arg))
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("argument must be a non-negative number")
+		}
+		return &limitStage{n: int(n)}, nil
+	case "$skip":
+		n, ok := bson.AsInt(bson.Normalize(arg))
+		if !ok || n < 0 {
+			return nil, fmt.Errorf("argument must be a non-negative number")
+		}
+		return &skipStage{n: int(n)}, nil
+	case "$unwind":
+		switch t := arg.(type) {
+		case string:
+			if !strings.HasPrefix(t, "$") {
+				return nil, fmt.Errorf("path must start with $")
+			}
+			return &unwindStage{path: strings.TrimPrefix(t, "$")}, nil
+		case *bson.Doc:
+			pathVal, ok := t.Get("path")
+			path, isStr := pathVal.(string)
+			if !ok || !isStr || !strings.HasPrefix(path, "$") {
+				return nil, fmt.Errorf("path must start with $")
+			}
+			preserve := bson.Truthy(t.GetOr("preserveNullAndEmptyArrays", false))
+			return &unwindStage{path: strings.TrimPrefix(path, "$"), preserveEmpty: preserve}, nil
+		default:
+			return nil, fmt.Errorf("argument must be a path string or document")
+		}
+	case "$count":
+		field, ok := arg.(string)
+		if !ok || field == "" {
+			return nil, fmt.Errorf("argument must be a non-empty field name")
+		}
+		return &countStage{field: field}, nil
+	case "$out":
+		target, ok := arg.(string)
+		if !ok || target == "" {
+			return nil, fmt.Errorf("argument must be a collection name")
+		}
+		return &outStage{target: target}, nil
+	case "$lookup":
+		spec, ok := arg.(*bson.Doc)
+		if !ok {
+			return nil, fmt.Errorf("argument must be a document")
+		}
+		ls := &lookupStage{}
+		var strOK bool
+		if ls.from, strOK = spec.GetOr("from", "").(string); !strOK || ls.from == "" {
+			return nil, fmt.Errorf("from is required")
+		}
+		if ls.localField, strOK = spec.GetOr("localField", "").(string); !strOK || ls.localField == "" {
+			return nil, fmt.Errorf("localField is required")
+		}
+		if ls.foreignField, strOK = spec.GetOr("foreignField", "").(string); !strOK || ls.foreignField == "" {
+			return nil, fmt.Errorf("foreignField is required")
+		}
+		if ls.as, strOK = spec.GetOr("as", "").(string); !strOK || ls.as == "" {
+			return nil, fmt.Errorf("as is required")
+		}
+		return ls, nil
+	default:
+		return nil, fmt.Errorf("unknown stage operator %s", name)
+	}
+}
+
+// ---------------------------------------------------------------------------
+// $match
+
+type matchStage struct{ matcher *query.Matcher }
+
+func (s *matchStage) Name() string { return "$match" }
+func (s *matchStage) Local() bool  { return true }
+
+func (s *matchStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	out := docs[:0:0]
+	for _, d := range docs {
+		if s.matcher.Matches(d) {
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// $project
+
+type projectStage struct{ spec *bson.Doc }
+
+func (s *projectStage) Name() string { return "$project" }
+func (s *projectStage) Local() bool  { return true }
+
+func (s *projectStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	out := make([]*bson.Doc, 0, len(docs))
+	for _, d := range docs {
+		nd, err := projectDoc(s.spec, d)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, nd)
+	}
+	return out, nil
+}
+
+// projectDoc evaluates a $project specification against one document:
+// 1/true includes a field, 0/false excludes it (only _id), any other value is
+// an expression computing a new field.
+func projectDoc(spec *bson.Doc, d *bson.Doc) (*bson.Doc, error) {
+	out := bson.NewDoc(spec.Len() + 1)
+	includeID := true
+	idSetExplicitly := false
+	for _, f := range spec.Fields() {
+		switch v := f.Value.(type) {
+		case int64, float64, bool:
+			included := bson.Truthy(bson.Normalize(v))
+			if f.Key == bson.IDKey {
+				includeID = included
+				idSetExplicitly = true
+				continue
+			}
+			if included {
+				if val, ok := d.GetPath(f.Key); ok {
+					if err := out.SetPath(f.Key, val); err != nil {
+						return nil, err
+					}
+				}
+			}
+		default:
+			val, err := Evaluate(f.Value, d)
+			if err != nil {
+				return nil, err
+			}
+			if f.Key == bson.IDKey {
+				idSetExplicitly = true
+				includeID = false // replaced by the computed value below
+				out.Set(bson.IDKey, val)
+				continue
+			}
+			if err := out.SetPath(f.Key, val); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if includeID || !idSetExplicitly {
+		if id, ok := d.Get(bson.IDKey); ok && !out.Has(bson.IDKey) {
+			// _id keeps its customary leading position.
+			withID := bson.NewDoc(out.Len() + 1)
+			withID.Set(bson.IDKey, id)
+			for _, f := range out.Fields() {
+				withID.Set(f.Key, f.Value)
+			}
+			out = withID
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// $addFields / $set
+
+type addFieldsStage struct{ spec *bson.Doc }
+
+func (s *addFieldsStage) Name() string { return "$addFields" }
+func (s *addFieldsStage) Local() bool  { return true }
+
+func (s *addFieldsStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	out := make([]*bson.Doc, 0, len(docs))
+	for _, d := range docs {
+		nd := d.Clone()
+		for _, f := range s.spec.Fields() {
+			v, err := Evaluate(f.Value, d)
+			if err != nil {
+				return nil, err
+			}
+			if err := nd.SetPath(f.Key, v); err != nil {
+				return nil, err
+			}
+		}
+		out = append(out, nd)
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// $sort, $limit, $skip
+
+type sortStage struct{ sort query.Sort }
+
+func (s *sortStage) Name() string { return "$sort" }
+func (s *sortStage) Local() bool  { return false }
+
+func (s *sortStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	out := append([]*bson.Doc(nil), docs...)
+	s.sort.Apply(out)
+	return out, nil
+}
+
+type limitStage struct{ n int }
+
+func (s *limitStage) Name() string { return "$limit" }
+func (s *limitStage) Local() bool  { return false }
+
+func (s *limitStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	if len(docs) > s.n {
+		return docs[:s.n], nil
+	}
+	return docs, nil
+}
+
+type skipStage struct{ n int }
+
+func (s *skipStage) Name() string { return "$skip" }
+func (s *skipStage) Local() bool  { return false }
+
+func (s *skipStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	if s.n >= len(docs) {
+		return nil, nil
+	}
+	return docs[s.n:], nil
+}
+
+// ---------------------------------------------------------------------------
+// $unwind
+
+type unwindStage struct {
+	path          string
+	preserveEmpty bool
+}
+
+func (s *unwindStage) Name() string { return "$unwind" }
+func (s *unwindStage) Local() bool  { return true }
+
+func (s *unwindStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	var out []*bson.Doc
+	for _, d := range docs {
+		v, ok := d.GetPath(s.path)
+		arr, isArr := v.([]any)
+		switch {
+		case !ok || (isArr && len(arr) == 0) || v == nil:
+			if s.preserveEmpty {
+				out = append(out, d)
+			}
+		case isArr:
+			for _, e := range arr {
+				nd := d.Clone()
+				if err := nd.SetPath(s.path, e); err != nil {
+					return nil, err
+				}
+				out = append(out, nd)
+			}
+		default:
+			// Non-array values pass through unchanged.
+			out = append(out, d)
+		}
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// $count
+
+type countStage struct{ field string }
+
+func (s *countStage) Name() string { return "$count" }
+func (s *countStage) Local() bool  { return false }
+
+func (s *countStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
+	return []*bson.Doc{bson.D(s.field, int64(len(docs)))}, nil
+}
+
+// ---------------------------------------------------------------------------
+// $out
+
+type outStage struct{ target string }
+
+func (s *outStage) Name() string { return "$out" }
+func (s *outStage) Local() bool  { return false }
+
+func (s *outStage) Apply(docs []*bson.Doc, env Env) ([]*bson.Doc, error) {
+	if env == nil {
+		return nil, fmt.Errorf("no environment to write output collection %q", s.target)
+	}
+	if err := env.WriteCollection(s.target, docs); err != nil {
+		return nil, err
+	}
+	return docs, nil
+}
+
+// ---------------------------------------------------------------------------
+// $lookup
+
+type lookupStage struct {
+	from         string
+	localField   string
+	foreignField string
+	as           string
+}
+
+func (s *lookupStage) Name() string { return "$lookup" }
+func (s *lookupStage) Local() bool  { return false }
+
+func (s *lookupStage) Apply(docs []*bson.Doc, env Env) ([]*bson.Doc, error) {
+	if env == nil {
+		return nil, fmt.Errorf("no environment to read collection %q", s.from)
+	}
+	foreign, err := env.ReadCollection(s.from)
+	if err != nil {
+		return nil, err
+	}
+	// Build a hash join table over the foreign collection.
+	table := make(map[string][]*bson.Doc, len(foreign))
+	keyOf := func(v any) string {
+		d := bson.NewDoc(1)
+		d.Set("k", v)
+		return string(bson.Marshal(d))
+	}
+	for _, fd := range foreign {
+		v, _ := fd.GetPath(s.foreignField)
+		table[keyOf(v)] = append(table[keyOf(v)], fd)
+	}
+	out := make([]*bson.Doc, 0, len(docs))
+	for _, d := range docs {
+		v, _ := d.GetPath(s.localField)
+		matches := table[keyOf(v)]
+		nd := d.Clone()
+		arr := make([]any, len(matches))
+		for i, m := range matches {
+			arr[i] = m
+		}
+		if err := nd.SetPath(s.as, arr); err != nil {
+			return nil, err
+		}
+		out = append(out, nd)
+	}
+	return out, nil
+}

@@ -1,0 +1,266 @@
+package bson
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Binary encoding of documents. The format is a compact length-prefixed
+// layout reminiscent of BSON: it is used for persistence snapshots, for the
+// wire protocol, and as the canonical definition of a document's on-disk size
+// (which in turn drives the 16 MB document limit, chunk sizes, and the
+// selectivity measurements of Table 4.4).
+
+// Element type tags in the binary encoding.
+const (
+	tagNull     = 0x0A
+	tagFloat    = 0x01
+	tagInt64    = 0x12
+	tagString   = 0x02
+	tagDocument = 0x03
+	tagArray    = 0x04
+	tagObjectID = 0x07
+	tagBool     = 0x08
+	tagDate     = 0x09
+)
+
+// Marshal encodes a document into its binary representation.
+func Marshal(d *Doc) []byte {
+	buf := make([]byte, 0, 128)
+	return appendDoc(buf, d)
+}
+
+// EncodedSize returns the size in bytes of the binary encoding of d without
+// materializing it. This is the document "size" everywhere the engine needs
+// one (16 MB limit, chunk accounting, result-set selectivity).
+func EncodedSize(d *Doc) int {
+	size := 4 + 1 // length prefix + terminator
+	for _, f := range d.Fields() {
+		size += 1 + len(f.Key) + 1 + valueSize(f.Value)
+	}
+	return size
+}
+
+func valueSize(v any) int {
+	switch t := v.(type) {
+	case nil:
+		return 0
+	case float64, int64, time.Time:
+		return 8
+	case string:
+		return 4 + len(t) + 1
+	case bool:
+		return 1
+	case ObjectID:
+		return 12
+	case *Doc:
+		return EncodedSize(t)
+	case []any:
+		size := 4 + 1
+		for i, e := range t {
+			size += 1 + len(indexKey(i)) + 1 + valueSize(e)
+		}
+		return size
+	default:
+		return 0
+	}
+}
+
+func indexKey(i int) string { return fmt.Sprintf("%d", i) }
+
+func appendDoc(buf []byte, d *Doc) []byte {
+	start := len(buf)
+	buf = append(buf, 0, 0, 0, 0) // length placeholder
+	for _, f := range d.Fields() {
+		buf = appendElement(buf, f.Key, f.Value)
+	}
+	buf = append(buf, 0x00)
+	binary.LittleEndian.PutUint32(buf[start:start+4], uint32(len(buf)-start))
+	return buf
+}
+
+func appendElement(buf []byte, key string, v any) []byte {
+	switch t := v.(type) {
+	case nil:
+		buf = append(buf, tagNull)
+		buf = appendCString(buf, key)
+	case float64:
+		buf = append(buf, tagFloat)
+		buf = appendCString(buf, key)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(t))
+	case int64:
+		buf = append(buf, tagInt64)
+		buf = appendCString(buf, key)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t))
+	case string:
+		buf = append(buf, tagString)
+		buf = appendCString(buf, key)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(t)+1))
+		buf = append(buf, t...)
+		buf = append(buf, 0x00)
+	case bool:
+		buf = append(buf, tagBool)
+		buf = appendCString(buf, key)
+		if t {
+			buf = append(buf, 0x01)
+		} else {
+			buf = append(buf, 0x00)
+		}
+	case ObjectID:
+		buf = append(buf, tagObjectID)
+		buf = appendCString(buf, key)
+		buf = append(buf, t[:]...)
+	case time.Time:
+		buf = append(buf, tagDate)
+		buf = appendCString(buf, key)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(t.UnixMilli()))
+	case *Doc:
+		buf = append(buf, tagDocument)
+		buf = appendCString(buf, key)
+		buf = appendDoc(buf, t)
+	case []any:
+		buf = append(buf, tagArray)
+		buf = appendCString(buf, key)
+		arr := NewDoc(len(t))
+		for i, e := range t {
+			arr.Set(indexKey(i), e)
+		}
+		buf = appendDoc(buf, arr)
+	default:
+		// Normalize should have eliminated unknown types; encode as string to
+		// stay total.
+		return appendElement(buf, key, fmt.Sprintf("%v", t))
+	}
+	return buf
+}
+
+func appendCString(buf []byte, s string) []byte {
+	buf = append(buf, s...)
+	return append(buf, 0x00)
+}
+
+// Unmarshal decodes a binary document produced by Marshal.
+func Unmarshal(data []byte) (*Doc, error) {
+	d, rest, err := readDoc(data)
+	if err != nil {
+		return nil, err
+	}
+	if len(rest) != 0 {
+		return nil, fmt.Errorf("bson: %d trailing bytes after document", len(rest))
+	}
+	return d, nil
+}
+
+// UnmarshalPrefix decodes one document from the front of data and returns the
+// remaining bytes, allowing documents to be streamed back to back.
+func UnmarshalPrefix(data []byte) (*Doc, []byte, error) {
+	return readDoc(data)
+}
+
+func readDoc(data []byte) (*Doc, []byte, error) {
+	if len(data) < 5 {
+		return nil, nil, fmt.Errorf("bson: document truncated (%d bytes)", len(data))
+	}
+	length := int(binary.LittleEndian.Uint32(data[:4]))
+	if length < 5 || length > len(data) {
+		return nil, nil, fmt.Errorf("bson: invalid document length %d (have %d bytes)", length, len(data))
+	}
+	body := data[4 : length-1]
+	if data[length-1] != 0x00 {
+		return nil, nil, fmt.Errorf("bson: missing document terminator")
+	}
+	d := NewDoc(4)
+	for len(body) > 0 {
+		tag := body[0]
+		body = body[1:]
+		key, rest, err := readCString(body)
+		if err != nil {
+			return nil, nil, err
+		}
+		body = rest
+		var v any
+		v, body, err = readValue(tag, body)
+		if err != nil {
+			return nil, nil, fmt.Errorf("bson: field %q: %w", key, err)
+		}
+		d.Set(key, v)
+	}
+	return d, data[length:], nil
+}
+
+func readCString(data []byte) (string, []byte, error) {
+	for i, b := range data {
+		if b == 0x00 {
+			return string(data[:i]), data[i+1:], nil
+		}
+	}
+	return "", nil, fmt.Errorf("bson: unterminated cstring")
+}
+
+func readValue(tag byte, data []byte) (any, []byte, error) {
+	switch tag {
+	case tagNull:
+		return nil, data, nil
+	case tagFloat:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("truncated float")
+		}
+		return math.Float64frombits(binary.LittleEndian.Uint64(data[:8])), data[8:], nil
+	case tagInt64:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("truncated int64")
+		}
+		return int64(binary.LittleEndian.Uint64(data[:8])), data[8:], nil
+	case tagString:
+		if len(data) < 4 {
+			return nil, nil, fmt.Errorf("truncated string length")
+		}
+		n := int(binary.LittleEndian.Uint32(data[:4]))
+		if n < 1 || 4+n > len(data) {
+			return nil, nil, fmt.Errorf("invalid string length %d", n)
+		}
+		return string(data[4 : 4+n-1]), data[4+n:], nil
+	case tagBool:
+		if len(data) < 1 {
+			return nil, nil, fmt.Errorf("truncated bool")
+		}
+		return data[0] != 0x00, data[1:], nil
+	case tagObjectID:
+		if len(data) < 12 {
+			return nil, nil, fmt.Errorf("truncated ObjectID")
+		}
+		var id ObjectID
+		copy(id[:], data[:12])
+		return id, data[12:], nil
+	case tagDate:
+		if len(data) < 8 {
+			return nil, nil, fmt.Errorf("truncated date")
+		}
+		ms := int64(binary.LittleEndian.Uint64(data[:8]))
+		return time.UnixMilli(ms).UTC(), data[8:], nil
+	case tagDocument:
+		return readDocValue(data)
+	case tagArray:
+		d, rest, err := readDoc(data)
+		if err != nil {
+			return nil, nil, err
+		}
+		arr := make([]any, 0, d.Len())
+		for _, f := range d.Fields() {
+			arr = append(arr, f.Value)
+		}
+		return arr, rest, nil
+	default:
+		return nil, nil, fmt.Errorf("unknown element tag 0x%02x", tag)
+	}
+}
+
+func readDocValue(data []byte) (any, []byte, error) {
+	d, rest, err := readDoc(data)
+	if err != nil {
+		return nil, nil, err
+	}
+	return d, rest, nil
+}

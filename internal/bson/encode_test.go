@@ -1,0 +1,237 @@
+package bson
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleDoc() *Doc {
+	return D(
+		IDKey, NewObjectID(),
+		"ca_address_sk", 1,
+		"ca_address_id", "AAAAAAAABAAAAAAA",
+		"ca_street_number", 18,
+		"ca_street_name", "Jackson",
+		"price", 12.75,
+		"active", true,
+		"missing", nil,
+		"created", time.Date(2015, 11, 9, 12, 0, 0, 0, time.UTC),
+		"tags", A("retail", "tpcds", 42),
+		"address", D("city", "Cincinnati", "state", "OH"),
+	)
+}
+
+func TestMarshalUnmarshalRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	data := Marshal(d)
+	got, err := Unmarshal(data)
+	if err != nil {
+		t.Fatalf("Unmarshal: %v", err)
+	}
+	if !d.Equal(got) {
+		t.Fatalf("round trip mismatch:\n in: %s\nout: %s", d, got)
+	}
+}
+
+func TestEncodedSizeMatchesMarshal(t *testing.T) {
+	d := sampleDoc()
+	if got, want := EncodedSize(d), len(Marshal(d)); got != want {
+		t.Fatalf("EncodedSize = %d, len(Marshal) = %d", got, want)
+	}
+	empty := NewDoc(0)
+	if got, want := EncodedSize(empty), len(Marshal(empty)); got != want {
+		t.Fatalf("empty: EncodedSize = %d, len(Marshal) = %d", got, want)
+	}
+}
+
+func TestUnmarshalErrors(t *testing.T) {
+	if _, err := Unmarshal(nil); err == nil {
+		t.Fatalf("nil input should error")
+	}
+	if _, err := Unmarshal([]byte{1, 2, 3}); err == nil {
+		t.Fatalf("short input should error")
+	}
+	data := Marshal(D("a", 1))
+	data[0] = 0xff // corrupt the length prefix
+	if _, err := Unmarshal(data); err == nil {
+		t.Fatalf("corrupt length should error")
+	}
+	data = Marshal(D("a", 1))
+	if _, err := Unmarshal(append(data, 0x00)); err == nil {
+		t.Fatalf("trailing bytes should error")
+	}
+}
+
+func TestUnmarshalPrefixStreams(t *testing.T) {
+	a := D("n", 1)
+	b := D("n", 2)
+	data := append(Marshal(a), Marshal(b)...)
+	first, rest, err := UnmarshalPrefix(data)
+	if err != nil {
+		t.Fatalf("first: %v", err)
+	}
+	if !first.Equal(a) {
+		t.Fatalf("first = %s", first)
+	}
+	second, rest, err := UnmarshalPrefix(rest)
+	if err != nil {
+		t.Fatalf("second: %v", err)
+	}
+	if !second.Equal(b) || len(rest) != 0 {
+		t.Fatalf("second = %s, rest = %d bytes", second, len(rest))
+	}
+}
+
+// randomEncodableDoc builds documents restricted to values that survive the
+// encoding exactly (times truncated to milliseconds, UTC).
+func randomEncodableDoc(r *rand.Rand, depth int) *Doc {
+	d := NewDoc(3)
+	n := 1 + r.Intn(5)
+	for i := 0; i < n; i++ {
+		d.Set(randomKey(r)+string(rune('0'+i)), randomEncodableValue(r, depth))
+	}
+	return d
+}
+
+func randomEncodableValue(r *rand.Rand, depth int) any {
+	kind := r.Intn(9)
+	if depth <= 0 && (kind == 6 || kind == 7) {
+		kind = r.Intn(6)
+	}
+	switch kind {
+	case 0:
+		return nil
+	case 1:
+		return int64(r.Int63n(1 << 40))
+	case 2:
+		return r.NormFloat64() * 1e6
+	case 3:
+		return randomKey(r)
+	case 4:
+		return r.Intn(2) == 0
+	case 5:
+		return time.UnixMilli(int64(r.Intn(1 << 30))).UTC()
+	case 6:
+		return randomEncodableDoc(r, depth-1)
+	case 7:
+		n := r.Intn(4)
+		arr := make([]any, n)
+		for i := range arr {
+			arr[i] = randomEncodableValue(r, depth-1)
+		}
+		return arr
+	default:
+		return NewObjectIDFromTime(time.UnixMilli(int64(r.Intn(1 << 30))))
+	}
+}
+
+func TestMarshalRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 250; i++ {
+		d := randomEncodableDoc(r, 3)
+		data := Marshal(d)
+		if len(data) != EncodedSize(d) {
+			t.Fatalf("size mismatch for %s: %d vs %d", d, len(data), EncodedSize(d))
+		}
+		got, err := Unmarshal(data)
+		if err != nil {
+			t.Fatalf("Unmarshal(%s): %v", d, err)
+		}
+		if !d.Equal(got) {
+			t.Fatalf("round trip mismatch:\n in: %s\nout: %s", d, got)
+		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	d := sampleDoc()
+	js := d.ToJSON()
+	got, err := FromJSONString(js)
+	if err != nil {
+		t.Fatalf("FromJSON: %v", err)
+	}
+	if !d.Equal(got) {
+		t.Fatalf("JSON round trip mismatch:\n in: %s\nout: %s", d, got)
+	}
+}
+
+func TestJSONRoundTripProperty(t *testing.T) {
+	r := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		d := randomEncodableDoc(r, 2)
+		got, err := FromJSON([]byte(d.ToJSON()))
+		if err != nil {
+			t.Fatalf("FromJSON(%s): %v", d.ToJSON(), err)
+		}
+		if !d.Equal(got) {
+			t.Fatalf("JSON round trip mismatch:\n in: %s\nout: %s", d, got)
+		}
+	}
+}
+
+func TestFromJSONErrors(t *testing.T) {
+	if _, err := FromJSONString("[1,2]"); err == nil {
+		t.Fatalf("top-level array should be rejected")
+	}
+	if _, err := FromJSONString("{"); err == nil {
+		t.Fatalf("truncated object should be rejected")
+	}
+	if _, err := FromJSONString(`{"a": }`); err == nil {
+		t.Fatalf("bad value should be rejected")
+	}
+}
+
+func TestFromJSONNumbersAndNesting(t *testing.T) {
+	d, err := FromJSONString(`{"i": 42, "f": 4.5, "neg": -3, "arr": [1, {"x": true}], "s": "hi", "n": null}`)
+	if err != nil {
+		t.Fatalf("FromJSON: %v", err)
+	}
+	if v, _ := d.Get("i"); v != int64(42) {
+		t.Errorf("i = %v (%T), want int64 42", v, v)
+	}
+	if v, _ := d.Get("f"); v != 4.5 {
+		t.Errorf("f = %v, want 4.5", v)
+	}
+	if v, _ := d.Get("neg"); v != int64(-3) {
+		t.Errorf("neg = %v, want -3", v)
+	}
+	arr, _ := d.Get("arr")
+	if inner, ok := arr.([]any)[1].(*Doc); !ok {
+		t.Errorf("nested doc in array missing")
+	} else if v, _ := inner.Get("x"); v != true {
+		t.Errorf("nested bool = %v", v)
+	}
+	if v, _ := d.Get("n"); v != nil {
+		t.Errorf("null = %v", v)
+	}
+}
+
+func TestDecodeJSONStream(t *testing.T) {
+	input := `{"a":1}
+{"a":2}
+{"a":3}`
+	var got []int64
+	err := DecodeJSONStream(strings.NewReader(input), func(d *Doc) error {
+		v, _ := d.Get("a")
+		got = append(got, v.(int64))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("DecodeJSONStream: %v", err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// A callback error stops the stream and is returned.
+	wantErr := DecodeJSONStream(strings.NewReader(input), func(*Doc) error {
+		return errStop
+	})
+	if wantErr != errStop {
+		t.Fatalf("callback error not propagated: %v", wantErr)
+	}
+}
+
+var errStop = errors.New("stop")

@@ -1,0 +1,259 @@
+package bson
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JSON interchange for documents. Field order is preserved in both
+// directions: encoding walks the ordered fields, decoding uses a streaming
+// token decoder rather than an intermediate map.
+
+// MarshalJSON implements json.Marshaler for Doc.
+func (d *Doc) MarshalJSON() ([]byte, error) {
+	var buf bytes.Buffer
+	if err := writeJSONDoc(&buf, d); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// ToJSON renders the document as a JSON string.
+func (d *Doc) ToJSON() string {
+	b, err := d.MarshalJSON()
+	if err != nil {
+		return "{}"
+	}
+	return string(b)
+}
+
+func writeJSONDoc(buf *bytes.Buffer, d *Doc) error {
+	buf.WriteByte('{')
+	for i, f := range d.Fields() {
+		if i > 0 {
+			buf.WriteByte(',')
+		}
+		key, err := json.Marshal(f.Key)
+		if err != nil {
+			return err
+		}
+		buf.Write(key)
+		buf.WriteByte(':')
+		if err := writeJSONValue(buf, f.Value); err != nil {
+			return err
+		}
+	}
+	buf.WriteByte('}')
+	return nil
+}
+
+func writeJSONValue(buf *bytes.Buffer, v any) error {
+	switch t := v.(type) {
+	case nil:
+		buf.WriteString("null")
+	case bool:
+		if t {
+			buf.WriteString("true")
+		} else {
+			buf.WriteString("false")
+		}
+	case int64:
+		buf.WriteString(strconv.FormatInt(t, 10))
+	case float64:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case string:
+		b, err := json.Marshal(t)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	case ObjectID:
+		fmt.Fprintf(buf, `{"$oid":%q}`, t.Hex())
+	case time.Time:
+		fmt.Fprintf(buf, `{"$date":%q}`, t.UTC().Format(time.RFC3339Nano))
+	case *Doc:
+		return writeJSONDoc(buf, t)
+	case []any:
+		buf.WriteByte('[')
+		for i, e := range t {
+			if i > 0 {
+				buf.WriteByte(',')
+			}
+			if err := writeJSONValue(buf, e); err != nil {
+				return err
+			}
+		}
+		buf.WriteByte(']')
+	default:
+		b, err := json.Marshal(fmt.Sprintf("%v", t))
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+	}
+	return nil
+}
+
+// FromJSON parses a single JSON object into a document, preserving field
+// order and mapping the extended forms {"$oid": ...} and {"$date": ...} back
+// to ObjectID and time.Time values.
+func FromJSON(data []byte) (*Doc, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.UseNumber()
+	v, err := decodeJSONValue(dec)
+	if err != nil {
+		return nil, err
+	}
+	d, ok := v.(*Doc)
+	if !ok {
+		return nil, fmt.Errorf("bson: top-level JSON value is %T, not an object", v)
+	}
+	return d, nil
+}
+
+// FromJSONString is FromJSON for string input.
+func FromJSONString(s string) (*Doc, error) { return FromJSON([]byte(s)) }
+
+// DecodeJSONStream reads newline- or whitespace-separated JSON objects from r
+// and invokes fn for each decoded document, stopping at EOF or the first
+// error returned by fn.
+func DecodeJSONStream(r io.Reader, fn func(*Doc) error) error {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	for {
+		v, err := decodeJSONValue(dec)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return err
+		}
+		d, ok := v.(*Doc)
+		if !ok {
+			return fmt.Errorf("bson: stream element is %T, not an object", v)
+		}
+		if err := fn(d); err != nil {
+			return err
+		}
+	}
+}
+
+func decodeJSONValue(dec *json.Decoder) (any, error) {
+	tok, err := dec.Token()
+	if err != nil {
+		return nil, err
+	}
+	return decodeFromToken(dec, tok)
+}
+
+func decodeFromToken(dec *json.Decoder, tok json.Token) (any, error) {
+	switch t := tok.(type) {
+	case json.Delim:
+		switch t {
+		case '{':
+			return decodeJSONObject(dec)
+		case '[':
+			return decodeJSONArray(dec)
+		default:
+			return nil, fmt.Errorf("bson: unexpected delimiter %q", t)
+		}
+	case string:
+		return t, nil
+	case json.Number:
+		return decodeNumber(t), nil
+	case bool:
+		return t, nil
+	case nil:
+		return nil, nil
+	default:
+		return nil, fmt.Errorf("bson: unexpected JSON token %v (%T)", tok, tok)
+	}
+}
+
+func decodeNumber(n json.Number) any {
+	s := n.String()
+	if !strings.ContainsAny(s, ".eE") {
+		if i, err := n.Int64(); err == nil {
+			return i
+		}
+	}
+	f, err := n.Float64()
+	if err != nil {
+		return s
+	}
+	return f
+}
+
+func decodeJSONObject(dec *json.Decoder) (any, error) {
+	d := NewDoc(4)
+	for dec.More() {
+		keyTok, err := dec.Token()
+		if err != nil {
+			return nil, err
+		}
+		key, ok := keyTok.(string)
+		if !ok {
+			return nil, fmt.Errorf("bson: object key is %T, not a string", keyTok)
+		}
+		v, err := decodeJSONValue(dec)
+		if err != nil {
+			return nil, err
+		}
+		d.Set(key, v)
+	}
+	if _, err := dec.Token(); err != nil { // consume '}'
+		return nil, err
+	}
+	return promoteExtended(d), nil
+}
+
+func decodeJSONArray(dec *json.Decoder) (any, error) {
+	var arr []any
+	for dec.More() {
+		v, err := decodeJSONValue(dec)
+		if err != nil {
+			return nil, err
+		}
+		arr = append(arr, v)
+	}
+	if _, err := dec.Token(); err != nil { // consume ']'
+		return nil, err
+	}
+	if arr == nil {
+		arr = []any{}
+	}
+	return arr, nil
+}
+
+// promoteExtended converts {"$oid": "..."} and {"$date": "..."} documents
+// into their native value types.
+func promoteExtended(d *Doc) any {
+	if d.Len() != 1 {
+		return d
+	}
+	f := d.Fields()[0]
+	switch f.Key {
+	case "$oid":
+		if s, ok := f.Value.(string); ok {
+			if id, err := ObjectIDFromHex(s); err == nil {
+				return id
+			}
+		}
+	case "$date":
+		if s, ok := f.Value.(string); ok {
+			if ts, err := time.Parse(time.RFC3339Nano, s); err == nil {
+				return ts.UTC()
+			}
+		}
+	}
+	return d
+}

@@ -1,0 +1,69 @@
+package bson
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// ObjectID is the default primary key type: a 12-byte identifier generated
+// from a timestamp, a machine identifier, a process identifier, and a
+// process-local counter, mirroring the layout described in §2.1 of the
+// thesis.
+type ObjectID [12]byte
+
+var (
+	objectIDCounter uint32
+	machineID       = [3]byte{0x1f, 0x3d, 0x5b}
+	processID       = uint16(0x2a17)
+)
+
+// NewObjectID returns a new unique ObjectID.
+func NewObjectID() ObjectID {
+	return NewObjectIDFromTime(time.Now())
+}
+
+// NewObjectIDFromTime returns an ObjectID whose leading 4 bytes encode t.
+// The remaining bytes are the machine id, process id and an incrementing
+// counter, so ids generated within one process are unique and ordered.
+func NewObjectIDFromTime(t time.Time) ObjectID {
+	var id ObjectID
+	binary.BigEndian.PutUint32(id[0:4], uint32(t.Unix()))
+	copy(id[4:7], machineID[:])
+	binary.BigEndian.PutUint16(id[7:9], processID)
+	c := atomic.AddUint32(&objectIDCounter, 1)
+	id[9] = byte(c >> 16)
+	id[10] = byte(c >> 8)
+	id[11] = byte(c)
+	return id
+}
+
+// ObjectIDFromHex parses a 24-character hexadecimal ObjectID representation.
+func ObjectIDFromHex(s string) (ObjectID, error) {
+	var id ObjectID
+	if len(s) != 24 {
+		return id, fmt.Errorf("bson: invalid ObjectID hex length %d", len(s))
+	}
+	b, err := hex.DecodeString(s)
+	if err != nil {
+		return id, fmt.Errorf("bson: invalid ObjectID hex: %w", err)
+	}
+	copy(id[:], b)
+	return id, nil
+}
+
+// Hex returns the 24-character hexadecimal representation of the id.
+func (id ObjectID) Hex() string { return hex.EncodeToString(id[:]) }
+
+// Timestamp returns the creation time encoded in the id.
+func (id ObjectID) Timestamp() time.Time {
+	return time.Unix(int64(binary.BigEndian.Uint32(id[0:4])), 0)
+}
+
+// String implements fmt.Stringer.
+func (id ObjectID) String() string { return "ObjectId(\"" + id.Hex() + "\")" }
+
+// IsZero reports whether the id is the zero value.
+func (id ObjectID) IsZero() bool { return id == ObjectID{} }

@@ -1,0 +1,76 @@
+package bson
+
+import (
+	"testing"
+	"time"
+)
+
+func TestNewObjectIDUniqueness(t *testing.T) {
+	seen := make(map[ObjectID]bool)
+	for i := 0; i < 10000; i++ {
+		id := NewObjectID()
+		if seen[id] {
+			t.Fatalf("duplicate ObjectID generated: %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestObjectIDHexRoundTrip(t *testing.T) {
+	id := NewObjectID()
+	hexStr := id.Hex()
+	if len(hexStr) != 24 {
+		t.Fatalf("hex length = %d, want 24", len(hexStr))
+	}
+	back, err := ObjectIDFromHex(hexStr)
+	if err != nil {
+		t.Fatalf("ObjectIDFromHex: %v", err)
+	}
+	if back != id {
+		t.Fatalf("round trip mismatch: %v vs %v", back, id)
+	}
+}
+
+func TestObjectIDFromHexErrors(t *testing.T) {
+	if _, err := ObjectIDFromHex("short"); err == nil {
+		t.Fatalf("short hex should error")
+	}
+	if _, err := ObjectIDFromHex("zzzzzzzzzzzzzzzzzzzzzzzz"); err == nil {
+		t.Fatalf("non-hex should error")
+	}
+}
+
+func TestObjectIDTimestamp(t *testing.T) {
+	ts := time.Date(2015, 11, 9, 10, 30, 0, 0, time.UTC)
+	id := NewObjectIDFromTime(ts)
+	if got := id.Timestamp().UTC(); !got.Equal(ts) {
+		t.Fatalf("Timestamp = %v, want %v", got, ts)
+	}
+}
+
+func TestObjectIDStringAndZero(t *testing.T) {
+	var zero ObjectID
+	if !zero.IsZero() {
+		t.Fatalf("zero value should be zero")
+	}
+	id := NewObjectID()
+	if id.IsZero() {
+		t.Fatalf("generated id should not be zero")
+	}
+	s := id.String()
+	if len(s) == 0 || s[:9] != "ObjectId(" {
+		t.Fatalf("String() = %q", s)
+	}
+}
+
+func TestObjectIDsMonotonicWithinSameTime(t *testing.T) {
+	ts := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	prev := NewObjectIDFromTime(ts)
+	for i := 0; i < 100; i++ {
+		next := NewObjectIDFromTime(ts)
+		if Compare(prev, next) >= 0 {
+			t.Fatalf("ids not increasing: %v then %v", prev, next)
+		}
+		prev = next
+	}
+}

@@ -1,0 +1,142 @@
+// Package cluster assembles sharded deployments: it implements the
+// shard-count sizing formulas of §2.1.3.2, builds clusters of shard servers
+// plus a config server and query router, and reproduces the thesis'
+// deployment topologies (Figure 3.1: 3 shards, 1 config server, 1 combined
+// application server / query router).
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// SizingInputs carries the capacity figures used to size a cluster.
+type SizingInputs struct {
+	// Disk sizing.
+	StorageBytes   int64 // total data to store
+	ShardDiskBytes int64 // disk capacity per shard
+	// RAM sizing.
+	WorkingSetBytes int64 // indexes + frequently accessed documents
+	ShardRAMBytes   int64 // RAM per shard
+	// Reserve is RAM set aside for the OS and other processes on each shard
+	// (the thesis budgets 2 GB).
+	ReserveRAMBytes int64
+	// Disk throughput sizing.
+	RequiredIOPS int64
+	ShardIOPS    int64
+	// Operations-per-second sizing.
+	RequiredOPS      float64
+	SingleServerOPS  float64
+	ShardingOverhead float64 // the 0.7 factor of §2.1.3.2; 0 uses the default
+}
+
+// DefaultShardingOverhead is the sharding overhead factor used by the OPS
+// formula when none is supplied.
+const DefaultShardingOverhead = 0.7
+
+// ShardsForDiskStorage returns the shard count needed so that the summed disk
+// capacity covers the stored data (§2.1.3.2 example i).
+func ShardsForDiskStorage(storageBytes, shardDiskBytes int64) (int, error) {
+	if shardDiskBytes <= 0 {
+		return 0, fmt.Errorf("cluster: shard disk capacity must be positive")
+	}
+	if storageBytes <= 0 {
+		return 1, nil
+	}
+	return int(math.Ceil(float64(storageBytes) / float64(shardDiskBytes))), nil
+}
+
+// ShardsForRAM returns the shard count needed so that the summed usable RAM
+// covers the working set (§2.1.3.2 example ii). reserve is subtracted from
+// each shard's RAM before dividing.
+func ShardsForRAM(workingSetBytes, shardRAMBytes, reserveBytes int64) (int, error) {
+	usable := shardRAMBytes - reserveBytes
+	if usable <= 0 {
+		return 0, fmt.Errorf("cluster: shard RAM %d does not exceed the reserve %d", shardRAMBytes, reserveBytes)
+	}
+	if workingSetBytes <= 0 {
+		return 1, nil
+	}
+	return int(math.Ceil(float64(workingSetBytes) / float64(usable))), nil
+}
+
+// ShardsForIOPS returns the shard count needed so the summed IOPS meets the
+// requirement (§2.1.3.2 example iii).
+func ShardsForIOPS(requiredIOPS, shardIOPS int64) (int, error) {
+	if shardIOPS <= 0 {
+		return 0, fmt.Errorf("cluster: shard IOPS must be positive")
+	}
+	if requiredIOPS <= 0 {
+		return 1, nil
+	}
+	return int(math.Ceil(float64(requiredIOPS) / float64(shardIOPS))), nil
+}
+
+// ShardsForOPS returns the shard count needed to reach the required
+// operations per second given a single-server rate and the sharding overhead
+// factor: G = N * S * overhead  =>  N = G / (S * overhead) (§2.1.3.2
+// example iv).
+func ShardsForOPS(requiredOPS, singleServerOPS, overhead float64) (int, error) {
+	if overhead == 0 {
+		overhead = DefaultShardingOverhead
+	}
+	if singleServerOPS <= 0 || overhead <= 0 {
+		return 0, fmt.Errorf("cluster: single-server OPS and overhead must be positive")
+	}
+	if requiredOPS <= 0 {
+		return 1, nil
+	}
+	return int(math.Ceil(requiredOPS / (singleServerOPS * overhead))), nil
+}
+
+// SizingResult reports per-factor shard counts and the recommendation.
+type SizingResult struct {
+	ByDisk, ByRAM, ByIOPS, ByOPS int
+	Recommended                  int
+}
+
+// RecommendShards evaluates every sizing factor present in the inputs and
+// recommends the maximum, which is the count that satisfies all constraints.
+// The thesis sizes its cluster on disk and RAM and then rounds up to 3 shards
+// to leave room for indexes and intermediate collections.
+func RecommendShards(in SizingInputs) (SizingResult, error) {
+	res := SizingResult{Recommended: 1}
+	consider := func(n int) {
+		if n > res.Recommended {
+			res.Recommended = n
+		}
+	}
+	if in.ShardDiskBytes > 0 {
+		n, err := ShardsForDiskStorage(in.StorageBytes, in.ShardDiskBytes)
+		if err != nil {
+			return res, err
+		}
+		res.ByDisk = n
+		consider(n)
+	}
+	if in.ShardRAMBytes > 0 {
+		n, err := ShardsForRAM(in.WorkingSetBytes, in.ShardRAMBytes, in.ReserveRAMBytes)
+		if err != nil {
+			return res, err
+		}
+		res.ByRAM = n
+		consider(n)
+	}
+	if in.ShardIOPS > 0 {
+		n, err := ShardsForIOPS(in.RequiredIOPS, in.ShardIOPS)
+		if err != nil {
+			return res, err
+		}
+		res.ByIOPS = n
+		consider(n)
+	}
+	if in.SingleServerOPS > 0 {
+		n, err := ShardsForOPS(in.RequiredOPS, in.SingleServerOPS, in.ShardingOverhead)
+		if err != nil {
+			return res, err
+		}
+		res.ByOPS = n
+		consider(n)
+	}
+	return res, nil
+}

@@ -1,0 +1,171 @@
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/mongos"
+	"docstore/internal/sharding"
+)
+
+// Config describes a sharded deployment to build.
+type Config struct {
+	// Shards is the number of shard servers (the thesis uses 3).
+	Shards int
+	// ShardRAMBytes / ShardDiskBytes size each shard server (informational,
+	// feeds working-set pressure reporting).
+	ShardRAMBytes  int64
+	ShardDiskBytes int64
+	// NetworkLatency simulates the per-call network cost between the query
+	// router and the shards.
+	NetworkLatency time.Duration
+	// ParallelScatter makes the router fan out shard calls concurrently.
+	ParallelScatter bool
+	// ChunkSizeBytes overrides the 64 MB default chunk size.
+	ChunkSizeBytes int
+	// NamePrefix names the shard servers ("Shard1", "Shard2", ...).
+	NamePrefix string
+}
+
+// Cluster is a fully assembled sharded deployment: shard servers, a config
+// server and a query router, mirroring Figure 3.1.
+type Cluster struct {
+	cfg    Config
+	shards []*mongod.Server
+	config *sharding.ConfigServer
+	router *mongos.Router
+}
+
+// Build creates the deployment.
+func Build(cfg Config) (*Cluster, error) {
+	if cfg.Shards <= 0 {
+		return nil, fmt.Errorf("cluster: at least one shard is required")
+	}
+	if cfg.NamePrefix == "" {
+		cfg.NamePrefix = "Shard"
+	}
+	c := &Cluster{cfg: cfg, config: sharding.NewConfigServer()}
+	c.router = mongos.NewRouter(c.config, mongos.Options{
+		NetworkLatency: cfg.NetworkLatency,
+		Parallel:       cfg.ParallelScatter,
+	})
+	for i := 0; i < cfg.Shards; i++ {
+		s := mongod.NewServer(mongod.Options{
+			Name:      fmt.Sprintf("%s%d", cfg.NamePrefix, i+1),
+			RAMBytes:  cfg.ShardRAMBytes,
+			DiskBytes: cfg.ShardDiskBytes,
+		})
+		c.shards = append(c.shards, s)
+		c.router.AddShard(s.Name(), s)
+	}
+	return c, nil
+}
+
+// MustBuild is Build but panics on error.
+func MustBuild(cfg Config) *Cluster {
+	c, err := Build(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Router returns the cluster's query router; all client operations go
+// through it.
+func (c *Cluster) Router() *mongos.Router { return c.router }
+
+// ConfigServer returns the cluster's config server.
+func (c *Cluster) ConfigServer() *sharding.ConfigServer { return c.config }
+
+// Shards returns the shard servers.
+func (c *Cluster) Shards() []*mongod.Server { return append([]*mongod.Server(nil), c.shards...) }
+
+// ShardCount returns the number of shards.
+func (c *Cluster) ShardCount() int { return len(c.shards) }
+
+// ShardCollection shards db.coll on the given key and returns its metadata.
+func (c *Cluster) ShardCollection(db, coll string, keySpec *bson.Doc) (*sharding.CollectionMetadata, error) {
+	return c.router.EnableSharding(db, coll, keySpec, c.cfg.ChunkSizeBytes)
+}
+
+// Balance runs the balancer for one namespace, moving the affected documents
+// between shard servers and committing the ownership changes. It returns the
+// number of chunk migrations performed.
+func (c *Cluster) Balance(db, coll string) (int, error) {
+	ns := db + "." + coll
+	meta := c.config.Metadata(ns)
+	if meta == nil {
+		return 0, fmt.Errorf("cluster: %s is not sharded", ns)
+	}
+	balancer := sharding.NewBalancer(c.config)
+	migrations := balancer.Plan(ns)
+	for _, mig := range migrations {
+		if err := c.migrateChunk(db, coll, meta, mig); err != nil {
+			return 0, err
+		}
+		if !balancer.ApplyMigration(mig) {
+			return 0, fmt.Errorf("cluster: migration of chunk %d could not be committed", mig.ChunkID)
+		}
+	}
+	return len(migrations), nil
+}
+
+// migrateChunk moves the documents of one chunk between shard servers.
+func (c *Cluster) migrateChunk(db, coll string, meta *sharding.CollectionMetadata, mig sharding.Migration) error {
+	var chunk *sharding.Chunk
+	for _, ch := range meta.Chunks() {
+		if ch.ID == mig.ChunkID {
+			chunk = ch
+			break
+		}
+	}
+	if chunk == nil {
+		return fmt.Errorf("cluster: chunk %d not found", mig.ChunkID)
+	}
+	from := c.router.Shard(mig.From)
+	to := c.router.Shard(mig.To)
+	if from == nil || to == nil {
+		return fmt.Errorf("cluster: migration endpoints missing (%s -> %s)", mig.From, mig.To)
+	}
+	// Select the documents whose routing value falls inside the chunk.
+	var moving []*bson.Doc
+	from.Database(db).Collection(coll).Scan(func(d *bson.Doc) bool {
+		if chunk.Contains(meta.Key.ValueOf(d)) {
+			moving = append(moving, d)
+		}
+		return true
+	})
+	for _, d := range moving {
+		if _, err := to.Database(db).Insert(coll, d.Clone()); err != nil {
+			return err
+		}
+		if _, err := from.Database(db).Delete(coll, bson.D(bson.IDKey, d.ID()), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Status summarizes the cluster.
+type Status struct {
+	Shards        []mongod.ServerStatus
+	ShardedColls  []string
+	Routing       mongos.RoutingStats
+	TotalDataSize int64
+}
+
+// Status gathers the current cluster status.
+func (c *Cluster) Status() Status {
+	st := Status{
+		ShardedColls: c.config.ShardedNamespaces(),
+		Routing:      c.router.Stats(),
+	}
+	for _, s := range c.shards {
+		ss := s.Status()
+		st.Shards = append(st.Shards, ss)
+		st.TotalDataSize += ss.DataSizeBytes
+	}
+	return st
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"docstore/internal/queries"
+)
+
+func TestExtensionExperimentsSpecs(t *testing.T) {
+	small, large := testScales()
+	specs := ExtensionExperiments(small, large)
+	if len(specs) != 2 {
+		t.Fatalf("expected 2 extension experiments, got %d", len(specs))
+	}
+	for _, spec := range specs {
+		if spec.Model != Denormalized || spec.Env != Sharded {
+			t.Fatalf("extension spec = %+v", spec)
+		}
+	}
+	if specs[0].Number != 7 || specs[1].Number != 8 {
+		t.Fatalf("extension numbering = %d, %d", specs[0].Number, specs[1].Number)
+	}
+}
+
+// TestDenormalizedShardedDeployment exercises the future-work setup end to
+// end at tiny scale: denormalizing through the router and querying the
+// denormalized sharded collections must give the same answers as the
+// stand-alone denormalized deployment.
+func TestDenormalizedShardedDeployment(t *testing.T) {
+	small, _ := testScales()
+	cfg := testConfig()
+
+	standalone, err := Setup(ExperimentSpec{Number: 3, Scale: small, Model: Denormalized, Env: StandAlone}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sharded, err := Setup(ExperimentSpec{Number: 7, Scale: small, Model: Denormalized, Env: Sharded}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range queries.All() {
+		a, _, err := queries.RunDenormalized(standalone.Store, q, cfg.Params)
+		if err != nil {
+			t.Fatalf("%s stand-alone: %v", q.Name, err)
+		}
+		b, _, err := queries.RunDenormalized(sharded.Store, q, cfg.Params)
+		if err != nil {
+			t.Fatalf("%s sharded: %v", q.Name, err)
+		}
+		if len(a) != len(b) {
+			t.Fatalf("%s: stand-alone %d docs, sharded %d docs", q.Name, len(a), len(b))
+		}
+		for i := range a {
+			if !a[i].EqualUnordered(b[i]) {
+				t.Fatalf("%s row %d differs:\n  stand-alone: %s\n  sharded:     %s", q.Name, i, a[i], b[i])
+			}
+		}
+	}
+
+	// The extension report renders a comparison once both experiments exist.
+	suite := &SuiteResult{Config: cfg}
+	resA, err := standalone.RunAllQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	resB, err := sharded.RunAllQueries()
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite.Experiments = append(suite.Experiments, resA, resB)
+	report := ExtensionReport(suite, small.Name, "none")
+	if !strings.Contains(report, "Query 7") || !strings.Contains(report, "Denormalized sharded") {
+		t.Fatalf("extension report incomplete:\n%s", report)
+	}
+	// Without the sharded experiment the report is empty.
+	if ExtensionReport(&SuiteResult{Experiments: []*ExperimentResult{resA}}, small.Name, "none") != "" {
+		t.Fatalf("report should be empty without both experiments")
+	}
+}

@@ -1,0 +1,53 @@
+package core
+
+import (
+	"docstore/internal/cluster"
+	"docstore/internal/driver"
+	"docstore/internal/migrate"
+	"docstore/internal/mongod"
+)
+
+// Small construction helpers shared by Setup and the ablation runners.
+
+func buildCluster(cfg Config) (*cluster.Cluster, error) {
+	shards := cfg.Shards
+	if shards <= 0 {
+		shards = 3
+	}
+	return cluster.Build(cluster.Config{
+		Shards:          shards,
+		ShardRAMBytes:   8 << 30,
+		NetworkLatency:  cfg.NetworkLatency,
+		ParallelScatter: cfg.ParallelScatter,
+		ChunkSizeBytes:  cfg.ChunkSizeBytes,
+	})
+}
+
+func newShardedStore(c *cluster.Cluster, dbName string) driver.Store {
+	return driver.NewSharded(c.Router(), dbName)
+}
+
+func newStandaloneServer() *mongod.Server {
+	return mongod.NewServer(mongod.Options{Name: "standalone-m4.4xlarge", RAMBytes: 64 << 30})
+}
+
+func newStandaloneStore(s *mongod.Server, dbName string) driver.Store {
+	return driver.NewStandalone(s.Database(dbName))
+}
+
+// loadOnly migrates the dataset into the deployment without building indexes.
+func loadOnly(d *Deployment) (*migrate.DatasetLoadResult, error) {
+	return migrate.LoadDataset(d.Store, d.generator)
+}
+
+// loadAndIndex migrates the dataset and builds the benchmark indexes.
+func loadAndIndex(d *Deployment) (*migrate.DatasetLoadResult, error) {
+	load, err := migrate.LoadDataset(d.Store, d.generator)
+	if err != nil {
+		return nil, err
+	}
+	if err := migrate.EnsureQueryIndexes(d.Store, d.generator.Schema()); err != nil {
+		return nil, err
+	}
+	return load, nil
+}

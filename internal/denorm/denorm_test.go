@@ -1,0 +1,192 @@
+package denorm
+
+import (
+	"strings"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/driver"
+	"docstore/internal/migrate"
+	"docstore/internal/mongod"
+	"docstore/internal/storage"
+	"docstore/internal/tpcds"
+)
+
+func newStore() *driver.Standalone {
+	return driver.NewStandalone(mongod.NewServer(mongod.Options{}).Database("test"))
+}
+
+func TestEmbedDocumentsReplacesForeignKeys(t *testing.T) {
+	store := newStore()
+	// A miniature publisher/book example in TPC-DS clothing: sales reference
+	// items by surrogate key.
+	for i := 1; i <= 3; i++ {
+		if _, err := store.Insert("item", bson.D("i_item_sk", i, "i_item_id", strings.Repeat("A", i), "i_current_price", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 12; i++ {
+		if _, err := store.Insert("store_sales", bson.D("ss_item_sk", 1+i%3, "ss_quantity", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	modified, err := EmbedDocuments(store, "store_sales", Embedding{
+		Dimension: "item", FKField: "ss_item_sk", PKField: "i_item_sk",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if modified != 12 {
+		t.Fatalf("modified %d docs, want 12", modified)
+	}
+	docs, err := store.Find("store_sales", nil, storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range docs {
+		item, ok := d.Get("ss_item_sk")
+		itemDoc, isDoc := item.(*bson.Doc)
+		if !ok || !isDoc {
+			t.Fatalf("ss_item_sk not embedded: %s", d)
+		}
+		if itemDoc.Has(bson.IDKey) {
+			t.Fatalf("embedded dimension should not carry its _id: %s", itemDoc)
+		}
+		if _, ok := itemDoc.Get("i_item_id"); !ok {
+			t.Fatalf("embedded dimension missing attributes: %s", itemDoc)
+		}
+	}
+	// The dimension collection itself is untouched.
+	items, _ := store.Find("item", nil, storage.FindOptions{})
+	for _, it := range items {
+		if v, _ := it.Get("i_item_sk"); bson.TypeOf(v) != bson.TypeNumber {
+			t.Fatalf("dimension collection mutated: %s", it)
+		}
+	}
+	// Dimension documents without the PK field are skipped gracefully.
+	if _, err := store.Insert("item", bson.D("oops", true)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := EmbedDocuments(store, "store_sales", Embedding{Dimension: "item", FKField: "ss_item_sk", PKField: "i_item_sk"}); err != nil {
+		t.Fatal(err)
+	}
+	// Embedding from a missing (empty) dimension collection is a no-op.
+	if n, err := EmbedDocuments(store, "store_sales", Embedding{Dimension: "missing", FKField: "x", PKField: "y"}); err != nil || n != 0 {
+		t.Fatalf("missing dimension: n=%d err=%v", n, err)
+	}
+}
+
+func TestCreateDenormalizedCollection(t *testing.T) {
+	store := newStore()
+	for i := 1; i <= 2; i++ {
+		_, _ = store.Insert("date_dim", bson.D("d_date_sk", i, "d_year", 2000+i))
+		_, _ = store.Insert("item", bson.D("i_item_sk", i, "i_item_id", i))
+	}
+	for i := 0; i < 6; i++ {
+		_, _ = store.Insert("inventory", bson.D("inv_date_sk", 1+i%2, "inv_item_sk", 1+i%2, "inv_quantity_on_hand", i))
+	}
+	total, dur, err := CreateDenormalizedCollection(store, "inventory", []Embedding{
+		{Dimension: "date_dim", FKField: "inv_date_sk", PKField: "d_date_sk"},
+		{Dimension: "item", FKField: "inv_item_sk", PKField: "i_item_sk"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 12 || dur <= 0 {
+		t.Fatalf("total=%d dur=%v", total, dur)
+	}
+	doc, _ := store.Find("inventory", bson.D("inv_date_sk.d_year", 2001), storage.FindOptions{})
+	if len(doc) != 3 {
+		t.Fatalf("query on embedded dimension = %d docs", len(doc))
+	}
+	// Embeddings over empty dimensions contribute nothing.
+	if n, _, err := CreateDenormalizedCollection(store, "inventory", []Embedding{
+		{Dimension: "missing", FKField: "x", PKField: "y"},
+	}); err != nil || n != 0 {
+		t.Fatalf("empty dimension: n=%d err=%v", n, err)
+	}
+}
+
+func TestFactEmbeddingsFromSchema(t *testing.T) {
+	schema := tpcds.NewSchema()
+	embs := FactEmbeddings(schema, "store_sales")
+	if len(embs) != 8 { // 9 FKs minus time_dim
+		t.Fatalf("store_sales embeddings = %d: %+v", len(embs), embs)
+	}
+	for _, e := range embs {
+		if e.Dimension == "time_dim" || e.Dimension == "reason" {
+			t.Fatalf("time_dim/reason should be excluded")
+		}
+		if e.FKField == "" || e.PKField == "" {
+			t.Fatalf("incomplete embedding %+v", e)
+		}
+	}
+	if got := FactEmbeddings(schema, "store_returns"); len(got) != 7 {
+		t.Fatalf("store_returns embeddings = %d", len(got))
+	}
+	if got := FactEmbeddings(schema, "inventory"); len(got) != 3 {
+		t.Fatalf("inventory embeddings = %d", len(got))
+	}
+	if FactEmbeddings(schema, "nope") != nil {
+		t.Fatalf("unknown fact should return nil")
+	}
+}
+
+func TestDenormalizeDatasetEndToEnd(t *testing.T) {
+	store := newStore()
+	g := tpcds.NewGenerator(tpcds.ScaleSmall.WithDivisor(5000), 5)
+	if _, err := migrate.LoadDataset(store, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := migrate.EnsureQueryIndexes(store, g.Schema()); err != nil {
+		t.Fatal(err)
+	}
+	res, err := DenormalizeDataset(store, g.Schema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.EmbeddedDocuments == 0 || res.Duration <= 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	// The document paths the Appendix B pipelines navigate now resolve.
+	sales, err := store.Find("store_sales", nil, storage.FindOptions{})
+	if err != nil || len(sales) == 0 {
+		t.Fatal(err)
+	}
+	pathHits := map[string]int{}
+	for _, d := range sales {
+		for _, path := range []string{
+			"ss_cdemo_sk.cd_gender",
+			"ss_sold_date_sk.d_year",
+			"ss_item_sk.i_item_id",
+			"ss_store_sk.s_city",
+			"ss_customer_sk.c_current_addr_sk.ca_city",
+			"ss_addr_sk.ca_city",
+		} {
+			if _, ok := d.GetPath(path); ok {
+				pathHits[path]++
+			}
+		}
+	}
+	for path, hits := range pathHits {
+		if hits != len(sales) {
+			t.Errorf("path %s resolves on %d/%d documents", path, hits, len(sales))
+		}
+	}
+	if len(pathHits) != 6 {
+		t.Fatalf("paths resolved: %v", pathHits)
+	}
+	// Some sales carry an embedded return document with its own embedded date.
+	withReturns, err := store.Find("store_sales", bson.D(ReturnField+".sr_returned_date_sk.d_year", bson.D("$exists", true)), storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withReturns) == 0 {
+		t.Fatalf("no sales carry an embedded return; Query 50 would be empty")
+	}
+	// Inventory is denormalized too.
+	inv, err := store.Find("inventory", bson.D("inv_warehouse_sk.w_warehouse_name", bson.D("$exists", true)), storage.FindOptions{})
+	if err != nil || len(inv) == 0 {
+		t.Fatalf("inventory not denormalized: %d docs, %v", len(inv), err)
+	}
+}

@@ -1,0 +1,162 @@
+// Package driver provides the client abstraction the thesis' Java programs
+// use: a uniform set of collection operations (find, insert, update,
+// aggregate, index management) that works identically against a stand-alone
+// server and against a sharded cluster's query router. The data-migration,
+// denormalization and query-translation algorithms are all written against
+// this interface, so each experiment only swaps the deployment underneath.
+package driver
+
+import (
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/mongos"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// Store is the operation set the algorithms need from a deployment.
+type Store interface {
+	// Name identifies the deployment ("stand-alone" or "sharded").
+	Name() string
+	// Find returns documents matching filter.
+	Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error)
+	// Insert adds one document.
+	Insert(coll string, doc *bson.Doc) (any, error)
+	// InsertMany adds a batch of documents.
+	InsertMany(coll string, docs []*bson.Doc) ([]any, error)
+	// Update applies an update specification (query, update, upsert, multi).
+	Update(coll string, spec query.UpdateSpec) (storage.UpdateResult, error)
+	// Aggregate runs an aggregation pipeline.
+	Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error)
+	// Count returns the number of documents matching filter.
+	Count(coll string, filter *bson.Doc) (int, error)
+	// EnsureIndex creates an index.
+	EnsureIndex(coll string, spec *bson.Doc, unique bool) error
+	// DropCollection removes a collection.
+	DropCollection(coll string) bool
+	// DataSizeBytes returns the total stored size of a collection across the
+	// deployment, used for selectivity and working-set reporting.
+	DataSizeBytes(coll string) int64
+}
+
+// Standalone adapts a database on a single server to the Store interface.
+type Standalone struct {
+	DB *mongod.Database
+}
+
+// NewStandalone wraps a database of a stand-alone server.
+func NewStandalone(db *mongod.Database) *Standalone { return &Standalone{DB: db} }
+
+// Name implements Store.
+func (s *Standalone) Name() string { return "stand-alone" }
+
+// Find implements Store.
+func (s *Standalone) Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
+	return s.DB.Find(coll, filter, opts)
+}
+
+// Insert implements Store.
+func (s *Standalone) Insert(coll string, doc *bson.Doc) (any, error) { return s.DB.Insert(coll, doc) }
+
+// InsertMany implements Store.
+func (s *Standalone) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
+	return s.DB.InsertMany(coll, docs)
+}
+
+// Update implements Store.
+func (s *Standalone) Update(coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	return s.DB.Update(coll, spec)
+}
+
+// Aggregate implements Store.
+func (s *Standalone) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
+	return s.DB.Aggregate(coll, stages)
+}
+
+// Count implements Store.
+func (s *Standalone) Count(coll string, filter *bson.Doc) (int, error) {
+	return s.DB.Collection(coll).CountDocs(filter)
+}
+
+// EnsureIndex implements Store.
+func (s *Standalone) EnsureIndex(coll string, spec *bson.Doc, unique bool) error {
+	_, err := s.DB.EnsureIndex(coll, spec, unique)
+	return err
+}
+
+// DropCollection implements Store.
+func (s *Standalone) DropCollection(coll string) bool { return s.DB.DropCollection(coll) }
+
+// DataSizeBytes implements Store.
+func (s *Standalone) DataSizeBytes(coll string) int64 {
+	return int64(s.DB.Collection(coll).DataSize())
+}
+
+// Sharded adapts a database reached through a cluster's query router.
+type Sharded struct {
+	Router *mongos.Router
+	DBName string
+}
+
+// NewSharded wraps a database behind a query router.
+func NewSharded(router *mongos.Router, dbName string) *Sharded {
+	return &Sharded{Router: router, DBName: dbName}
+}
+
+// Name implements Store.
+func (s *Sharded) Name() string { return "sharded" }
+
+// Find implements Store.
+func (s *Sharded) Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
+	return s.Router.Find(s.DBName, coll, filter, opts)
+}
+
+// Insert implements Store.
+func (s *Sharded) Insert(coll string, doc *bson.Doc) (any, error) {
+	return s.Router.Insert(s.DBName, coll, doc)
+}
+
+// InsertMany implements Store.
+func (s *Sharded) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
+	return s.Router.InsertMany(s.DBName, coll, docs)
+}
+
+// Update implements Store.
+func (s *Sharded) Update(coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	return s.Router.Update(s.DBName, coll, spec)
+}
+
+// Aggregate implements Store.
+func (s *Sharded) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
+	return s.Router.Aggregate(s.DBName, coll, stages)
+}
+
+// Count implements Store.
+func (s *Sharded) Count(coll string, filter *bson.Doc) (int, error) {
+	return s.Router.Count(s.DBName, coll, filter)
+}
+
+// EnsureIndex implements Store.
+func (s *Sharded) EnsureIndex(coll string, spec *bson.Doc, unique bool) error {
+	return s.Router.EnsureIndex(s.DBName, coll, spec, unique)
+}
+
+// DropCollection implements Store.
+func (s *Sharded) DropCollection(coll string) bool {
+	dropped := false
+	for _, name := range s.Router.ShardNames() {
+		if s.Router.Shard(name).Database(s.DBName).DropCollection(coll) {
+			dropped = true
+		}
+	}
+	return dropped
+}
+
+// DataSizeBytes implements Store.
+func (s *Sharded) DataSizeBytes(coll string) int64 {
+	var total int64
+	for _, name := range s.Router.ShardNames() {
+		total += int64(s.Router.Shard(name).Database(s.DBName).Collection(coll).DataSize())
+	}
+	return total
+}

@@ -1,0 +1,350 @@
+// Package index implements the secondary-index engine of the document store:
+// an in-memory B-tree keyed by composite document values, and the index
+// types described in §2.1.2 of the thesis (default _id, single field,
+// compound, multikey, and hashed indexes).
+package index
+
+import (
+	"docstore/internal/bson"
+)
+
+// btreeDegree is the minimum degree of the B-tree: every node except the root
+// holds between degree-1 and 2*degree-1 keys.
+const btreeDegree = 32
+
+// Key is a composite index key: one entry per indexed field, compared
+// lexicographically with the canonical value ordering.
+type Key []any
+
+// MaxSentinel is a key component that sorts after every canonical value.
+// Range scans append it to an upper bound to cover all trailing components of
+// a compound key sharing the bounded prefix.
+type MaxSentinel struct{}
+
+// CompareKeys orders two composite keys.
+func CompareKeys(a, b Key) int {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	for i := 0; i < n; i++ {
+		_, aMax := a[i].(MaxSentinel)
+		_, bMax := b[i].(MaxSentinel)
+		if aMax || bMax {
+			switch {
+			case aMax && bMax:
+				continue
+			case aMax:
+				return 1
+			default:
+				return -1
+			}
+		}
+		if c := bson.Compare(a[i], b[i]); c != 0 {
+			return c
+		}
+	}
+	switch {
+	case len(a) < len(b):
+		return -1
+	case len(a) > len(b):
+		return 1
+	default:
+		return 0
+	}
+}
+
+// item is one key slot in a B-tree node: a composite key and the set of
+// document ids that share it.
+type item struct {
+	key Key
+	ids []any
+}
+
+type node struct {
+	items    []item
+	children []*node
+}
+
+func (n *node) leaf() bool { return len(n.children) == 0 }
+
+// BTree is an in-memory B-tree mapping composite keys to document ids.
+// It is not safe for concurrent mutation; the owning collection serializes
+// access.
+type BTree struct {
+	root    *node
+	keys    int // number of distinct keys
+	entries int // number of (key, id) pairs
+}
+
+// NewBTree returns an empty tree.
+func NewBTree() *BTree {
+	return &BTree{root: &node{}}
+}
+
+// Len returns the number of (key, id) entries in the tree.
+func (t *BTree) Len() int { return t.entries }
+
+// DistinctKeys returns the number of distinct keys in the tree. The shard-key
+// cardinality heuristics use this.
+func (t *BTree) DistinctKeys() int { return t.keys }
+
+// findInNode returns the position of key in the node and whether it is
+// present.
+func findInNode(n *node, key Key) (int, bool) {
+	lo, hi := 0, len(n.items)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if CompareKeys(n.items[mid].key, key) < 0 {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < len(n.items) && CompareKeys(n.items[lo].key, key) == 0 {
+		return lo, true
+	}
+	return lo, false
+}
+
+// Insert adds an (key, id) entry. Multiple ids may share a key.
+func (t *BTree) Insert(key Key, id any) {
+	if len(t.root.items) == 2*btreeDegree-1 {
+		old := t.root
+		t.root = &node{children: []*node{old}}
+		t.splitChild(t.root, 0)
+	}
+	t.insertNonFull(t.root, key, id)
+}
+
+func (t *BTree) splitChild(parent *node, i int) {
+	child := parent.children[i]
+	mid := btreeDegree - 1
+	midItem := child.items[mid]
+
+	right := &node{}
+	right.items = append(right.items, child.items[mid+1:]...)
+	if !child.leaf() {
+		right.children = append(right.children, child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	parent.items = append(parent.items, item{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = midItem
+
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *BTree) insertNonFull(n *node, key Key, id any) {
+	for {
+		pos, found := findInNode(n, key)
+		if found {
+			if len(n.items[pos].ids) == 0 {
+				// Re-populating a key slot left empty by a lazy delete.
+				t.keys++
+			}
+			n.items[pos].ids = append(n.items[pos].ids, id)
+			t.entries++
+			return
+		}
+		if n.leaf() {
+			n.items = append(n.items, item{})
+			copy(n.items[pos+1:], n.items[pos:])
+			n.items[pos] = item{key: append(Key(nil), key...), ids: []any{id}}
+			t.keys++
+			t.entries++
+			return
+		}
+		if len(n.children[pos].items) == 2*btreeDegree-1 {
+			t.splitChild(n, pos)
+			if c := CompareKeys(key, n.items[pos].key); c == 0 {
+				if len(n.items[pos].ids) == 0 {
+					t.keys++
+				}
+				n.items[pos].ids = append(n.items[pos].ids, id)
+				t.entries++
+				return
+			} else if c > 0 {
+				pos++
+			}
+		}
+		n = n.children[pos]
+	}
+}
+
+// Delete removes one (key, id) entry and reports whether it was found.
+// The tree uses lazy structural deletion: emptied key slots are removed from
+// their node but nodes are not rebalanced, which keeps deletion simple while
+// preserving search correctness (the workloads of the thesis are read- and
+// append-heavy).
+func (t *BTree) Delete(key Key, id any) bool {
+	n := t.root
+	for {
+		pos, found := findInNode(n, key)
+		if found {
+			ids := n.items[pos].ids
+			for i, e := range ids {
+				if bson.Compare(e, id) == 0 {
+					n.items[pos].ids = append(ids[:i], ids[i+1:]...)
+					t.entries--
+					if len(n.items[pos].ids) == 0 {
+						t.keys--
+						// Keep the key slot when the node is internal (it
+						// separates children); empty leaf slots are removed.
+						if n.leaf() {
+							n.items = append(n.items[:pos], n.items[pos+1:]...)
+						}
+					}
+					return true
+				}
+			}
+			return false
+		}
+		if n.leaf() {
+			return false
+		}
+		n = n.children[pos]
+	}
+}
+
+// Get returns the ids stored under an exact key.
+func (t *BTree) Get(key Key) []any {
+	n := t.root
+	for {
+		pos, found := findInNode(n, key)
+		if found {
+			return append([]any(nil), n.items[pos].ids...)
+		}
+		if n.leaf() {
+			return nil
+		}
+		n = n.children[pos]
+	}
+}
+
+// Ascend walks every entry in key order, invoking fn for each (key, id) pair
+// until fn returns false.
+func (t *BTree) Ascend(fn func(key Key, id any) bool) {
+	t.ascend(t.root, fn)
+}
+
+func (t *BTree) ascend(n *node, fn func(Key, any) bool) bool {
+	for i, it := range n.items {
+		if !n.leaf() {
+			if !t.ascend(n.children[i], fn) {
+				return false
+			}
+		}
+		if len(it.ids) > 0 {
+			for _, id := range it.ids {
+				if !fn(it.key, id) {
+					return false
+				}
+			}
+		}
+	}
+	if !n.leaf() {
+		return t.ascend(n.children[len(n.items)], fn)
+	}
+	return true
+}
+
+// Range describes a key interval for a range scan. A nil Min or Max leaves
+// that side unbounded.
+type Range struct {
+	Min, Max                   Key
+	MinInclusive, MaxIncl      bool
+	unboundedMin, unboundedMax bool
+}
+
+// NewRange builds a range; pass nil for an unbounded side.
+func NewRange(min Key, minIncl bool, max Key, maxIncl bool) Range {
+	return Range{
+		Min: min, Max: max,
+		MinInclusive: minIncl, MaxIncl: maxIncl,
+		unboundedMin: min == nil, unboundedMax: max == nil,
+	}
+}
+
+func (r Range) contains(key Key) bool {
+	if !r.unboundedMin {
+		c := CompareKeys(key, r.Min)
+		if c < 0 || (c == 0 && !r.MinInclusive) {
+			return false
+		}
+	}
+	if !r.unboundedMax {
+		c := CompareKeys(key, r.Max)
+		if c > 0 || (c == 0 && !r.MaxIncl) {
+			return false
+		}
+	}
+	return true
+}
+
+func (r Range) belowMax(key Key) bool {
+	if r.unboundedMax {
+		return true
+	}
+	c := CompareKeys(key, r.Max)
+	return c < 0 || (c == 0 && r.MaxIncl)
+}
+
+// Scan walks entries whose keys fall inside the range, in key order, invoking
+// fn until it returns false.
+func (t *BTree) Scan(r Range, fn func(key Key, id any) bool) {
+	t.scan(t.root, r, fn)
+}
+
+func (t *BTree) scan(n *node, r Range, fn func(Key, any) bool) bool {
+	for i, it := range n.items {
+		// Descend left whenever the subtree may still contain in-range keys.
+		if !n.leaf() {
+			descend := true
+			if !r.unboundedMin {
+				c := CompareKeys(it.key, r.Min)
+				if c < 0 {
+					descend = false
+				}
+			}
+			if descend {
+				if !t.scan(n.children[i], r, fn) {
+					return false
+				}
+			}
+		}
+		if !r.belowMax(it.key) {
+			return false
+		}
+		if r.contains(it.key) && len(it.ids) > 0 {
+			for _, id := range it.ids {
+				if !fn(it.key, id) {
+					return false
+				}
+			}
+		}
+	}
+	if !n.leaf() {
+		return t.scan(n.children[len(n.items)], r, fn)
+	}
+	return true
+}
+
+// Keys returns every distinct key in order. Intended for tests and for
+// chunk-split point calculation.
+func (t *BTree) Keys() []Key {
+	var out []Key
+	var last Key
+	t.Ascend(func(k Key, _ any) bool {
+		if last == nil || CompareKeys(last, k) != 0 {
+			out = append(out, k)
+			last = k
+		}
+		return true
+	})
+	return out
+}

@@ -1,0 +1,303 @@
+package index
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"docstore/internal/bson"
+)
+
+func TestBTreeInsertGet(t *testing.T) {
+	tr := NewBTree()
+	tr.Insert(Key{int64(5)}, "a")
+	tr.Insert(Key{int64(5)}, "b")
+	tr.Insert(Key{int64(7)}, "c")
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+	if tr.DistinctKeys() != 2 {
+		t.Fatalf("DistinctKeys = %d, want 2", tr.DistinctKeys())
+	}
+	ids := tr.Get(Key{int64(5)})
+	if len(ids) != 2 || ids[0] != "a" || ids[1] != "b" {
+		t.Fatalf("Get(5) = %v", ids)
+	}
+	if got := tr.Get(Key{int64(99)}); got != nil {
+		t.Fatalf("Get(99) = %v, want nil", got)
+	}
+}
+
+func TestBTreeDelete(t *testing.T) {
+	tr := NewBTree()
+	tr.Insert(Key{int64(1)}, "a")
+	tr.Insert(Key{int64(1)}, "b")
+	tr.Insert(Key{int64(2)}, "c")
+	if !tr.Delete(Key{int64(1)}, "a") {
+		t.Fatalf("delete existing entry failed")
+	}
+	if tr.Delete(Key{int64(1)}, "zz") {
+		t.Fatalf("delete of missing id should fail")
+	}
+	if tr.Delete(Key{int64(42)}, "a") {
+		t.Fatalf("delete of missing key should fail")
+	}
+	if tr.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", tr.Len())
+	}
+	if got := tr.Get(Key{int64(1)}); len(got) != 1 || got[0] != "b" {
+		t.Fatalf("Get(1) = %v", got)
+	}
+	// Deleting the last entry of a key reduces the distinct count, and
+	// re-inserting restores it.
+	tr.Delete(Key{int64(1)}, "b")
+	if tr.DistinctKeys() != 1 {
+		t.Fatalf("DistinctKeys = %d, want 1", tr.DistinctKeys())
+	}
+	tr.Insert(Key{int64(1)}, "x")
+	if tr.DistinctKeys() != 2 {
+		t.Fatalf("DistinctKeys after reinsert = %d, want 2", tr.DistinctKeys())
+	}
+}
+
+func TestBTreeAscendOrdered(t *testing.T) {
+	tr := NewBTree()
+	r := rand.New(rand.NewSource(1))
+	perm := r.Perm(5000)
+	for _, v := range perm {
+		tr.Insert(Key{int64(v)}, v)
+	}
+	var got []int64
+	tr.Ascend(func(k Key, _ any) bool {
+		got = append(got, k[0].(int64))
+		return true
+	})
+	if len(got) != 5000 {
+		t.Fatalf("visited %d entries", len(got))
+	}
+	for i := range got {
+		if got[i] != int64(i) {
+			t.Fatalf("position %d has key %d", i, got[i])
+		}
+	}
+	// Early termination.
+	count := 0
+	tr.Ascend(func(Key, any) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("early termination visited %d", count)
+	}
+}
+
+func TestBTreeLargeSplitAndDuplicates(t *testing.T) {
+	tr := NewBTree()
+	const n = 20000
+	for i := 0; i < n; i++ {
+		tr.Insert(Key{int64(i % 100)}, i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("Len = %d", tr.Len())
+	}
+	if tr.DistinctKeys() != 100 {
+		t.Fatalf("DistinctKeys = %d", tr.DistinctKeys())
+	}
+	for k := 0; k < 100; k++ {
+		if got := len(tr.Get(Key{int64(k)})); got != n/100 {
+			t.Fatalf("key %d has %d entries", k, got)
+		}
+	}
+}
+
+func TestBTreeScanRange(t *testing.T) {
+	tr := NewBTree()
+	for i := 0; i < 1000; i++ {
+		tr.Insert(Key{int64(i)}, i)
+	}
+	collect := func(r Range) []int64 {
+		var out []int64
+		tr.Scan(r, func(k Key, _ any) bool {
+			out = append(out, k[0].(int64))
+			return true
+		})
+		return out
+	}
+	got := collect(NewRange(Key{int64(100)}, true, Key{int64(105)}, true))
+	want := []int64{100, 101, 102, 103, 104, 105}
+	if len(got) != len(want) {
+		t.Fatalf("inclusive scan = %v", got)
+	}
+	got = collect(NewRange(Key{int64(100)}, false, Key{int64(105)}, false))
+	if len(got) != 4 || got[0] != 101 || got[3] != 104 {
+		t.Fatalf("exclusive scan = %v", got)
+	}
+	got = collect(NewRange(nil, true, Key{int64(3)}, true))
+	if len(got) != 4 {
+		t.Fatalf("unbounded min scan = %v", got)
+	}
+	got = collect(NewRange(Key{int64(996)}, true, nil, true))
+	if len(got) != 4 {
+		t.Fatalf("unbounded max scan = %v", got)
+	}
+	got = collect(NewRange(Key{int64(5000)}, true, nil, true))
+	if len(got) != 0 {
+		t.Fatalf("out-of-range scan = %v", got)
+	}
+	// Early termination.
+	n := 0
+	tr.Scan(NewRange(nil, true, nil, true), func(Key, any) bool {
+		n++
+		return n < 7
+	})
+	if n != 7 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCompareKeys(t *testing.T) {
+	cases := []struct {
+		a, b Key
+		want int
+	}{
+		{Key{int64(1)}, Key{int64(2)}, -1},
+		{Key{int64(2)}, Key{int64(1)}, 1},
+		{Key{int64(1)}, Key{int64(1)}, 0},
+		{Key{int64(1)}, Key{int64(1), "x"}, -1},
+		{Key{int64(1), "x"}, Key{int64(1)}, 1},
+		{Key{int64(1), "a"}, Key{int64(1), "b"}, -1},
+		{Key{"a", int64(9)}, Key{"a", int64(3)}, 1},
+		{Key{int64(1), MaxSentinel{}}, Key{int64(1), "zzz"}, 1},
+		{Key{int64(1), "zzz"}, Key{int64(1), MaxSentinel{}}, -1},
+		{Key{MaxSentinel{}}, Key{MaxSentinel{}}, 0},
+	}
+	for _, c := range cases {
+		if got := CompareKeys(c.a, c.b); got != c.want {
+			t.Errorf("CompareKeys(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestBTreeKeysDistinctOrdered(t *testing.T) {
+	tr := NewBTree()
+	vals := []string{"pear", "apple", "mango", "apple", "fig"}
+	for i, v := range vals {
+		tr.Insert(Key{v}, i)
+	}
+	keys := tr.Keys()
+	if len(keys) != 4 {
+		t.Fatalf("Keys() = %v", keys)
+	}
+	want := []string{"apple", "fig", "mango", "pear"}
+	for i, k := range keys {
+		if k[0] != want[i] {
+			t.Fatalf("Keys()[%d] = %v, want %v", i, k[0], want[i])
+		}
+	}
+}
+
+// TestBTreeEquivalentToSortedSliceProperty drives random inserts/deletes and
+// checks the tree agrees with a naive reference implementation.
+func TestBTreeEquivalentToSortedSliceProperty(t *testing.T) {
+	type entry struct {
+		k  int64
+		id int
+	}
+	r := rand.New(rand.NewSource(77))
+	tr := NewBTree()
+	var ref []entry
+	for op := 0; op < 20000; op++ {
+		k := int64(r.Intn(200))
+		if r.Intn(3) != 0 || len(ref) == 0 {
+			id := op
+			tr.Insert(Key{k}, id)
+			ref = append(ref, entry{k, id})
+		} else {
+			// Delete a random existing entry.
+			i := r.Intn(len(ref))
+			e := ref[i]
+			if !tr.Delete(Key{e.k}, e.id) {
+				t.Fatalf("delete of existing entry (%d,%d) failed", e.k, e.id)
+			}
+			ref = append(ref[:i], ref[i+1:]...)
+		}
+	}
+	if tr.Len() != len(ref) {
+		t.Fatalf("Len = %d, ref = %d", tr.Len(), len(ref))
+	}
+	// Tree traversal must produce the reference entries sorted by key.
+	sort.SliceStable(ref, func(i, j int) bool { return ref[i].k < ref[j].k })
+	var got []int64
+	tr.Ascend(func(k Key, _ any) bool {
+		got = append(got, k[0].(int64))
+		return true
+	})
+	if len(got) != len(ref) {
+		t.Fatalf("traversal length %d, want %d", len(got), len(ref))
+	}
+	for i := range got {
+		if got[i] != ref[i].k {
+			t.Fatalf("traversal[%d] = %d, want %d", i, got[i], ref[i].k)
+		}
+	}
+	// Range scans agree with the reference for random ranges.
+	for trial := 0; trial < 200; trial++ {
+		lo := int64(r.Intn(200))
+		hi := lo + int64(r.Intn(50))
+		wantCount := 0
+		for _, e := range ref {
+			if e.k >= lo && e.k <= hi {
+				wantCount++
+			}
+		}
+		gotCount := 0
+		tr.Scan(NewRange(Key{lo}, true, Key{hi}, true), func(Key, any) bool {
+			gotCount++
+			return true
+		})
+		if gotCount != wantCount {
+			t.Fatalf("range [%d,%d]: got %d, want %d", lo, hi, gotCount, wantCount)
+		}
+	}
+}
+
+func TestBTreeStringKeysQuick(t *testing.T) {
+	// Inserting any set of strings and traversing must yield them sorted.
+	f := func(vals []string) bool {
+		tr := NewBTree()
+		for i, v := range vals {
+			tr.Insert(Key{v}, i)
+		}
+		var got []string
+		tr.Ascend(func(k Key, _ any) bool {
+			got = append(got, k[0].(string))
+			return true
+		})
+		if len(got) != len(vals) {
+			return false
+		}
+		return sort.SliceIsSorted(got, func(i, j int) bool { return got[i] < got[j] })
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBTreeMixedTypeKeysOrdered(t *testing.T) {
+	tr := NewBTree()
+	vals := []any{int64(3), "str", nil, true, 2.5, bson.NewObjectID()}
+	for i, v := range vals {
+		tr.Insert(Key{v}, i)
+	}
+	var types []bson.Type
+	tr.Ascend(func(k Key, _ any) bool {
+		types = append(types, bson.TypeOf(k[0]))
+		return true
+	})
+	for i := 1; i < len(types); i++ {
+		if types[i] < types[i-1] {
+			t.Fatalf("cross-type order violated: %v", types)
+		}
+	}
+}

@@ -1,0 +1,386 @@
+package index
+
+import (
+	"fmt"
+	"hash/fnv"
+	"strings"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// Kind distinguishes the index types of §2.1.2.
+type Kind int
+
+// Index kinds.
+const (
+	KindSingle Kind = iota
+	KindCompound
+	KindHashed
+)
+
+// Field is one component of an index key specification.
+type Field struct {
+	Name   string
+	Desc   bool
+	Hashed bool
+}
+
+// Spec is an index key specification: an ordered list of fields, e.g.
+// {ItemPrice: 1, ItemQuantity: 1} from the thesis' compound-index example.
+type Spec struct {
+	Fields []Field
+}
+
+// ParseSpec converts an index specification document into a Spec. Values of
+// 1/-1 select ascending/descending order and "hashed" selects a hashed index
+// (only valid as the sole field).
+func ParseSpec(doc *bson.Doc) (Spec, error) {
+	var s Spec
+	if doc == nil || doc.Len() == 0 {
+		return s, fmt.Errorf("index: empty key specification")
+	}
+	for _, f := range doc.Fields() {
+		switch v := bson.Normalize(f.Value).(type) {
+		case int64:
+			if v != 1 && v != -1 {
+				return s, fmt.Errorf("index: direction for %q must be 1 or -1", f.Key)
+			}
+			s.Fields = append(s.Fields, Field{Name: f.Key, Desc: v == -1})
+		case float64:
+			if v != 1 && v != -1 {
+				return s, fmt.Errorf("index: direction for %q must be 1 or -1", f.Key)
+			}
+			s.Fields = append(s.Fields, Field{Name: f.Key, Desc: v == -1})
+		case string:
+			if v != "hashed" {
+				return s, fmt.Errorf("index: unsupported index type %q for %q", v, f.Key)
+			}
+			s.Fields = append(s.Fields, Field{Name: f.Key, Hashed: true})
+		default:
+			return s, fmt.Errorf("index: invalid specification value %v for %q", f.Value, f.Key)
+		}
+	}
+	if s.hashed() && len(s.Fields) > 1 {
+		return s, fmt.Errorf("index: hashed indexes must have exactly one field")
+	}
+	return s, nil
+}
+
+// MustParseSpec is ParseSpec but panics on error.
+func MustParseSpec(doc *bson.Doc) Spec {
+	s, err := ParseSpec(doc)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+func (s Spec) hashed() bool { return len(s.Fields) > 0 && s.Fields[0].Hashed }
+
+// Kind reports the index kind implied by the specification.
+func (s Spec) Kind() Kind {
+	switch {
+	case s.hashed():
+		return KindHashed
+	case len(s.Fields) > 1:
+		return KindCompound
+	default:
+		return KindSingle
+	}
+}
+
+// Name derives the conventional index name ("field_1_other_-1").
+func (s Spec) Name() string {
+	parts := make([]string, 0, len(s.Fields))
+	for _, f := range s.Fields {
+		switch {
+		case f.Hashed:
+			parts = append(parts, f.Name+"_hashed")
+		case f.Desc:
+			parts = append(parts, f.Name+"_-1")
+		default:
+			parts = append(parts, f.Name+"_1")
+		}
+	}
+	return strings.Join(parts, "_")
+}
+
+// FieldNames returns the indexed field paths in order.
+func (s Spec) FieldNames() []string {
+	out := make([]string, len(s.Fields))
+	for i, f := range s.Fields {
+		out[i] = f.Name
+	}
+	return out
+}
+
+// Doc renders the specification back into its document form.
+func (s Spec) Doc() *bson.Doc {
+	d := bson.NewDoc(len(s.Fields))
+	for _, f := range s.Fields {
+		switch {
+		case f.Hashed:
+			d.Set(f.Name, "hashed")
+		case f.Desc:
+			d.Set(f.Name, int64(-1))
+		default:
+			d.Set(f.Name, int64(1))
+		}
+	}
+	return d
+}
+
+// Index is a secondary index over a collection: a B-tree keyed by the values
+// of the specification fields, mapping to document ids.
+type Index struct {
+	name     string
+	spec     Spec
+	unique   bool
+	tree     *BTree
+	multikey bool
+	size     int // rough in-memory size in bytes, for working-set accounting
+}
+
+// New creates an empty index with the given specification.
+func New(name string, spec Spec, unique bool) *Index {
+	if name == "" {
+		name = spec.Name()
+	}
+	return &Index{name: name, spec: spec, unique: unique, tree: NewBTree()}
+}
+
+// Name returns the index name.
+func (ix *Index) Name() string { return ix.name }
+
+// Spec returns the key specification.
+func (ix *Index) Spec() Spec { return ix.spec }
+
+// Unique reports whether the index enforces key uniqueness.
+func (ix *Index) Unique() bool { return ix.unique }
+
+// Multikey reports whether any indexed document had an array value for an
+// indexed field.
+func (ix *Index) Multikey() bool { return ix.multikey }
+
+// Len returns the number of entries in the index.
+func (ix *Index) Len() int { return ix.tree.Len() }
+
+// DistinctKeys returns the number of distinct keys (the shard-key cardinality
+// measure of §2.1.3.3).
+func (ix *Index) DistinctKeys() int { return ix.tree.DistinctKeys() }
+
+// SizeBytes returns an estimate of the index's in-memory size, used by the
+// working-set calculations of §2.1.3.2.
+func (ix *Index) SizeBytes() int { return ix.size }
+
+// hashValue maps an arbitrary value to its hashed index key.
+func hashValue(v any) int64 {
+	h := fnv.New64a()
+	d := bson.NewDoc(1)
+	d.Set("v", v)
+	h.Write(bson.Marshal(d))
+	return int64(h.Sum64())
+}
+
+// HashValue exposes the hash used by hashed indexes; the hashed sharding
+// partitioner uses the same function so that routing and indexing agree.
+func HashValue(v any) int64 { return hashValue(v) }
+
+// keysForDoc extracts the index keys for a document. A single-field index
+// over an array value produces one key per element (multikey); compound
+// indexes use the first reachable value per field.
+func (ix *Index) keysForDoc(d *bson.Doc) []Key {
+	if len(ix.spec.Fields) == 1 {
+		f := ix.spec.Fields[0]
+		vals := d.LookupPathAll(f.Name)
+		if len(vals) == 0 {
+			vals = []any{nil}
+		}
+		if len(vals) == 1 {
+			if arr, ok := vals[0].([]any); ok {
+				if len(arr) == 0 {
+					vals = []any{nil}
+				} else {
+					vals = arr
+					ix.multikey = true
+				}
+			}
+		} else {
+			ix.multikey = true
+		}
+		keys := make([]Key, 0, len(vals))
+		for _, v := range vals {
+			if f.Hashed {
+				v = hashValue(v)
+			}
+			keys = append(keys, Key{v})
+		}
+		return keys
+	}
+	key := make(Key, len(ix.spec.Fields))
+	for i, f := range ix.spec.Fields {
+		vals := d.LookupPathAll(f.Name)
+		switch {
+		case len(vals) == 0:
+			key[i] = nil
+		default:
+			if len(vals) > 1 {
+				ix.multikey = true
+			}
+			key[i] = vals[0]
+		}
+	}
+	return []Key{key}
+}
+
+// ErrDuplicateKey is returned when inserting a document whose key already
+// exists in a unique index.
+type ErrDuplicateKey struct {
+	Index string
+	Key   Key
+}
+
+func (e *ErrDuplicateKey) Error() string {
+	return fmt.Sprintf("index %s: duplicate key %v", e.Index, e.Key)
+}
+
+// Insert adds the document (identified by id) to the index.
+func (ix *Index) Insert(d *bson.Doc, id any) error {
+	keys := ix.keysForDoc(d)
+	if ix.unique {
+		for _, k := range keys {
+			if existing := ix.tree.Get(k); len(existing) > 0 {
+				return &ErrDuplicateKey{Index: ix.name, Key: k}
+			}
+		}
+	}
+	for _, k := range keys {
+		ix.tree.Insert(k, id)
+		ix.size += keySize(k) + 16
+	}
+	return nil
+}
+
+// Remove deletes the document's entries from the index.
+func (ix *Index) Remove(d *bson.Doc, id any) {
+	for _, k := range ix.keysForDoc(d) {
+		if ix.tree.Delete(k, id) {
+			ix.size -= keySize(k) + 16
+			if ix.size < 0 {
+				ix.size = 0
+			}
+		}
+	}
+}
+
+func keySize(k Key) int {
+	size := 0
+	for _, v := range k {
+		d := bson.NewDoc(1)
+		d.Set("v", v)
+		size += bson.EncodedSize(d) - 6
+	}
+	return size
+}
+
+// Lookup returns the ids of documents whose indexed value equals v (for
+// single-field and hashed indexes) in index order.
+func (ix *Index) Lookup(v any) []any {
+	if ix.spec.hashed() {
+		v = hashValue(v)
+	}
+	return ix.tree.Get(Key{bson.Normalize(v)})
+}
+
+// LookupKey returns the ids for an exact composite key.
+func (ix *Index) LookupKey(k Key) []any { return ix.tree.Get(k) }
+
+// ScanRange walks index entries whose leading field falls within the
+// constraint bounds, invoking fn for each document id in key order.
+// It returns false when the constraint cannot be used with this index (for
+// example a range constraint against a hashed index).
+func (ix *Index) ScanRange(c *query.Constraint, fn func(id any) bool) bool {
+	if c == nil {
+		return false
+	}
+	if ix.spec.hashed() {
+		if !c.IsPoint() {
+			return false
+		}
+		for _, p := range c.Points {
+			for _, id := range ix.tree.Get(Key{hashValue(p)}) {
+				if !fn(id) {
+					return true
+				}
+			}
+		}
+		return true
+	}
+	if c.IsPoint() {
+		for _, p := range c.Points {
+			// [ {p}, {p, MAX} ] covers every compound key whose leading
+			// component equals p.
+			r := NewRange(Key{p}, true, Key{p, MaxSentinel{}}, true)
+			stopped := false
+			ix.tree.Scan(r, func(_ Key, id any) bool {
+				if !fn(id) {
+					stopped = true
+					return false
+				}
+				return true
+			})
+			if stopped {
+				return true
+			}
+		}
+		return true
+	}
+	if !c.IsRange() {
+		return false
+	}
+	var min, max Key
+	minIncl, maxIncl := true, true
+	if c.HasMin {
+		min = Key{c.Min}
+		minIncl = c.MinInclusive
+	}
+	if c.HasMax {
+		max = Key{c.Max, MaxSentinel{}}
+		maxIncl = true
+		if !c.MaxInclusive {
+			max = Key{c.Max}
+			maxIncl = false
+		}
+	}
+	ix.tree.Scan(NewRange(min, minIncl, max, maxIncl), func(_ Key, id any) bool { return fn(id) })
+	return true
+}
+
+// CoversSort reports whether the index natively provides the requested sort
+// order (ascending prefix match on the specification).
+func (ix *Index) CoversSort(s query.Sort) bool {
+	if len(s) == 0 || len(s) > len(ix.spec.Fields) || ix.spec.hashed() {
+		return false
+	}
+	for i, f := range s {
+		if ix.spec.Fields[i].Name != f.Field || ix.spec.Fields[i].Desc != f.Desc {
+			return false
+		}
+	}
+	return true
+}
+
+// PrefixMatches reports how many leading fields of the index are constrained
+// by the filter (the "index prefix" rule of §2.1.2).
+func (ix *Index) PrefixMatches(constraints map[string]*query.Constraint) int {
+	n := 0
+	for _, f := range ix.spec.Fields {
+		c, ok := constraints[f.Name]
+		if !ok || (!c.IsPoint() && !c.IsRange()) {
+			break
+		}
+		n++
+	}
+	return n
+}

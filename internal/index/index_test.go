@@ -1,0 +1,318 @@
+package index
+
+import (
+	"errors"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+func TestParseSpec(t *testing.T) {
+	s, err := ParseSpec(bson.D("ItemPrice", 1, "ItemQuantity", -1))
+	if err != nil {
+		t.Fatalf("ParseSpec: %v", err)
+	}
+	if s.Kind() != KindCompound || len(s.Fields) != 2 || !s.Fields[1].Desc {
+		t.Fatalf("spec = %+v", s)
+	}
+	if s.Name() != "ItemPrice_1_ItemQuantity_-1" {
+		t.Fatalf("Name = %q", s.Name())
+	}
+	single := MustParseSpec(bson.D("ss_item_sk", 1))
+	if single.Kind() != KindSingle {
+		t.Fatalf("single kind = %v", single.Kind())
+	}
+	hashed := MustParseSpec(bson.D("ss_ticket_number", "hashed"))
+	if hashed.Kind() != KindHashed || hashed.Name() != "ss_ticket_number_hashed" {
+		t.Fatalf("hashed spec = %+v", hashed)
+	}
+	if got := s.FieldNames(); len(got) != 2 || got[0] != "ItemPrice" {
+		t.Fatalf("FieldNames = %v", got)
+	}
+	// Doc round trip.
+	round := MustParseSpec(s.Doc())
+	if round.Name() != s.Name() {
+		t.Fatalf("Doc round trip: %q vs %q", round.Name(), s.Name())
+	}
+	// Float directions are accepted (JSON decoding produces them).
+	if _, err := ParseSpec(bson.D("x", 1.0)); err != nil {
+		t.Fatalf("float direction: %v", err)
+	}
+	// Errors.
+	for _, bad := range []*bson.Doc{
+		nil,
+		bson.NewDoc(0),
+		bson.D("x", 2),
+		bson.D("x", 0.5),
+		bson.D("x", "2d"),
+		bson.D("x", true),
+		bson.D("x", "hashed", "y", 1),
+	} {
+		if _, err := ParseSpec(bad); err == nil {
+			t.Errorf("ParseSpec(%v) should fail", bad)
+		}
+	}
+}
+
+func TestMustParseSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	MustParseSpec(bson.D("x", 3))
+}
+
+func TestIndexInsertLookupRemove(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("ss_item_sk", 1)), false)
+	if ix.Name() != "ss_item_sk_1" {
+		t.Fatalf("default name = %q", ix.Name())
+	}
+	docs := []*bson.Doc{
+		bson.D(bson.IDKey, 1, "ss_item_sk", 17),
+		bson.D(bson.IDKey, 2, "ss_item_sk", 17),
+		bson.D(bson.IDKey, 3, "ss_item_sk", 99),
+		bson.D(bson.IDKey, 4), // missing field indexes as null
+	}
+	for _, d := range docs {
+		if err := ix.Insert(d, d.ID()); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if ix.Len() != 4 {
+		t.Fatalf("Len = %d", ix.Len())
+	}
+	if got := ix.Lookup(17); len(got) != 2 {
+		t.Fatalf("Lookup(17) = %v", got)
+	}
+	if got := ix.Lookup(nil); len(got) != 1 || got[0] != int64(4) {
+		t.Fatalf("Lookup(nil) = %v", got)
+	}
+	if ix.SizeBytes() <= 0 {
+		t.Fatalf("SizeBytes = %d", ix.SizeBytes())
+	}
+	ix.Remove(docs[0], docs[0].ID())
+	if got := ix.Lookup(17); len(got) != 1 {
+		t.Fatalf("after remove Lookup(17) = %v", got)
+	}
+	if ix.DistinctKeys() != 3 {
+		t.Fatalf("DistinctKeys = %d", ix.DistinctKeys())
+	}
+}
+
+func TestUniqueIndexRejectsDuplicates(t *testing.T) {
+	ix := New("uniq", MustParseSpec(bson.D("email", 1)), true)
+	if err := ix.Insert(bson.D(bson.IDKey, 1, "email", "a@x.com"), 1); err != nil {
+		t.Fatalf("first insert: %v", err)
+	}
+	err := ix.Insert(bson.D(bson.IDKey, 2, "email", "a@x.com"), 2)
+	if err == nil {
+		t.Fatalf("duplicate insert should fail")
+	}
+	var dup *ErrDuplicateKey
+	if !errors.As(err, &dup) || dup.Index != "uniq" {
+		t.Fatalf("error = %v", err)
+	}
+	if !ix.Unique() {
+		t.Fatalf("Unique() should be true")
+	}
+}
+
+func TestMultikeyIndex(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("tags", 1)), false)
+	doc := bson.D(bson.IDKey, 1, "tags", bson.A("red", "green", "blue"))
+	if err := ix.Insert(doc, 1); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	if !ix.Multikey() {
+		t.Fatalf("index should be multikey")
+	}
+	if ix.Len() != 3 {
+		t.Fatalf("Len = %d, want one entry per element", ix.Len())
+	}
+	if got := ix.Lookup("green"); len(got) != 1 {
+		t.Fatalf("Lookup(green) = %v", got)
+	}
+	ix.Remove(doc, 1)
+	if ix.Len() != 0 {
+		t.Fatalf("Len after remove = %d", ix.Len())
+	}
+	// Empty array indexes as null.
+	ix2 := New("", MustParseSpec(bson.D("tags", 1)), false)
+	_ = ix2.Insert(bson.D(bson.IDKey, 1, "tags", bson.A()), 1)
+	if got := ix2.Lookup(nil); len(got) != 1 {
+		t.Fatalf("empty array should index as null, got %v", got)
+	}
+}
+
+func TestHashedIndexLookup(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("k", "hashed")), false)
+	for i := 0; i < 100; i++ {
+		if err := ix.Insert(bson.D(bson.IDKey, i, "k", i), i); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if got := ix.Lookup(42); len(got) != 1 || got[0] != 42 {
+		t.Fatalf("Lookup(42) = %v", got)
+	}
+	if got := ix.Lookup(1000); len(got) != 0 {
+		t.Fatalf("Lookup(1000) = %v", got)
+	}
+	// HashValue is deterministic and matches index behaviour.
+	if HashValue(int64(42)) != HashValue(int64(42)) {
+		t.Fatalf("HashValue not deterministic")
+	}
+	if HashValue(int64(42)) == HashValue(int64(43)) {
+		t.Fatalf("suspicious hash collision between adjacent keys")
+	}
+}
+
+func TestCompoundIndexAndPrefix(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("ItemPrice", 1, "ItemQuantity", 1)), false)
+	for i := 0; i < 50; i++ {
+		d := bson.D(bson.IDKey, i, "ItemPrice", i%5, "ItemQuantity", i)
+		if err := ix.Insert(d, i); err != nil {
+			t.Fatalf("Insert: %v", err)
+		}
+	}
+	if got := ix.LookupKey(Key{int64(3), int64(3)}); len(got) != 1 {
+		t.Fatalf("LookupKey = %v", got)
+	}
+	// Prefix matching (§2.1.2): a filter on the leading field alone can use
+	// the compound index.
+	cs := query.FieldConstraints(bson.D("ItemPrice", 3))
+	if n := ix.PrefixMatches(cs); n != 1 {
+		t.Fatalf("PrefixMatches(leading only) = %d", n)
+	}
+	cs = query.FieldConstraints(bson.D("ItemPrice", 3, "ItemQuantity", bson.D("$gte", 10)))
+	if n := ix.PrefixMatches(cs); n != 2 {
+		t.Fatalf("PrefixMatches(both) = %d", n)
+	}
+	cs = query.FieldConstraints(bson.D("ItemQuantity", 3))
+	if n := ix.PrefixMatches(cs); n != 0 {
+		t.Fatalf("PrefixMatches(trailing only) = %d", n)
+	}
+	// Scanning a point constraint on the leading field returns every doc
+	// with that price.
+	var ids []any
+	ok := ix.ScanRange(query.ConstraintFor(bson.D("ItemPrice", 3), "ItemPrice"), func(id any) bool {
+		ids = append(ids, id)
+		return true
+	})
+	if !ok || len(ids) != 10 {
+		t.Fatalf("ScanRange point on compound prefix: ok=%v ids=%d", ok, len(ids))
+	}
+}
+
+func TestScanRangeOnSingleFieldIndex(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("price", 1)), false)
+	for i := 0; i < 100; i++ {
+		_ = ix.Insert(bson.D(bson.IDKey, i, "price", float64(i)/10), i)
+	}
+	c := query.ConstraintFor(bson.D("price", bson.D("$gte", 0.99, "$lte", 1.49)), "price")
+	var ids []any
+	if !ix.ScanRange(c, func(id any) bool { ids = append(ids, id); return true }) {
+		t.Fatalf("ScanRange returned false")
+	}
+	// 1.0 .. 1.4 → ids 10..14 plus 0.99..: price values are i/10, so >=0.99
+	// means i >= 10 (i=10 → 1.0) and <= 1.49 means i <= 14.
+	if len(ids) != 5 {
+		t.Fatalf("range scan ids = %v", ids)
+	}
+	// Exclusive bounds.
+	c = query.ConstraintFor(bson.D("price", bson.D("$gt", 1.0, "$lt", 1.4)), "price")
+	ids = nil
+	ix.ScanRange(c, func(id any) bool { ids = append(ids, id); return true })
+	if len(ids) != 3 {
+		t.Fatalf("exclusive range scan ids = %v", ids)
+	}
+	// Early stop.
+	c = query.ConstraintFor(bson.D("price", bson.D("$gte", 0.0)), "price")
+	n := 0
+	ix.ScanRange(c, func(any) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	// A nil constraint cannot be used.
+	if ix.ScanRange(nil, func(any) bool { return true }) {
+		t.Fatalf("nil constraint should not be scannable")
+	}
+	// Point-set constraints ($in) scan each point.
+	c = query.ConstraintFor(bson.D("price", bson.D("$in", bson.A(0.5, 2.0))), "price")
+	ids = nil
+	ix.ScanRange(c, func(id any) bool { ids = append(ids, id); return true })
+	if len(ids) != 2 {
+		t.Fatalf("$in scan ids = %v", ids)
+	}
+}
+
+func TestScanRangeHashedIndexLimitations(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("k", "hashed")), false)
+	for i := 0; i < 20; i++ {
+		_ = ix.Insert(bson.D(bson.IDKey, i, "k", i), i)
+	}
+	// Point constraints work.
+	c := query.ConstraintFor(bson.D("k", 7), "k")
+	var ids []any
+	if !ix.ScanRange(c, func(id any) bool { ids = append(ids, id); return true }) {
+		t.Fatalf("hashed point scan should work")
+	}
+	if len(ids) != 1 || ids[0] != 7 {
+		t.Fatalf("hashed point scan ids = %v", ids)
+	}
+	// Range constraints cannot use a hashed index.
+	c = query.ConstraintFor(bson.D("k", bson.D("$gte", 3)), "k")
+	if ix.ScanRange(c, func(any) bool { return true }) {
+		t.Fatalf("hashed index should reject range scans")
+	}
+	// Early stop on hashed point sets.
+	c = query.ConstraintFor(bson.D("k", bson.D("$in", bson.A(1, 2, 3))), "k")
+	n := 0
+	ix.ScanRange(c, func(any) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestCoversSort(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("a", 1, "b", -1)), false)
+	if !ix.CoversSort(query.MustParseSort(bson.D("a", 1))) {
+		t.Fatalf("prefix sort should be covered")
+	}
+	if !ix.CoversSort(query.MustParseSort(bson.D("a", 1, "b", -1))) {
+		t.Fatalf("full sort should be covered")
+	}
+	if ix.CoversSort(query.MustParseSort(bson.D("a", -1))) {
+		t.Fatalf("reversed direction should not be covered")
+	}
+	if ix.CoversSort(query.MustParseSort(bson.D("b", -1))) {
+		t.Fatalf("non-prefix sort should not be covered")
+	}
+	if ix.CoversSort(nil) {
+		t.Fatalf("empty sort should not claim coverage")
+	}
+	hashed := New("", MustParseSpec(bson.D("a", "hashed")), false)
+	if hashed.CoversSort(query.MustParseSort(bson.D("a", 1))) {
+		t.Fatalf("hashed index cannot cover a sort")
+	}
+}
+
+func TestIndexRemoveMissingIsNoop(t *testing.T) {
+	ix := New("", MustParseSpec(bson.D("x", 1)), false)
+	d := bson.D(bson.IDKey, 1, "x", 5)
+	ix.Remove(d, 1) // nothing inserted yet
+	if ix.Len() != 0 || ix.SizeBytes() != 0 {
+		t.Fatalf("remove on empty index changed state")
+	}
+}
+
+func TestIndexDottedPathKeys(t *testing.T) {
+	// Indexing an embedded dimension attribute, as the denormalized model does.
+	ix := New("", MustParseSpec(bson.D("ss_sold_date_sk.d_year", 1)), false)
+	_ = ix.Insert(bson.D(bson.IDKey, 1, "ss_sold_date_sk", bson.D("d_year", 2001)), 1)
+	_ = ix.Insert(bson.D(bson.IDKey, 2, "ss_sold_date_sk", bson.D("d_year", 2002)), 2)
+	if got := ix.Lookup(2001); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("dotted path lookup = %v", got)
+	}
+}

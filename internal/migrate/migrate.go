@@ -1,0 +1,194 @@
+// Package migrate implements the thesis' data-migration algorithm
+// (Figure 4.3): each TPC-DS `.dat` file is read line by line, every line is
+// split on the '|' delimiter, a HashMap of column position → column name maps
+// each value to its key, and the resulting document is inserted into the
+// collection named after the table. Null column values (empty strings) are
+// omitted from the document, exactly as §4.1.2 describes.
+package migrate
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/driver"
+	"docstore/internal/tpcds"
+)
+
+// LoadResult reports the outcome of loading one table.
+type LoadResult struct {
+	Table     string
+	Documents int
+	Bytes     int64
+	Duration  time.Duration
+}
+
+// DatasetLoadResult aggregates per-table load results, mirroring Table 4.3.
+type DatasetLoadResult struct {
+	Tables []LoadResult
+	Total  time.Duration
+}
+
+// Result returns the load result for one table, or nil.
+func (r *DatasetLoadResult) Result(table string) *LoadResult {
+	for i := range r.Tables {
+		if r.Tables[i].Table == table {
+			return &r.Tables[i]
+		}
+	}
+	return nil
+}
+
+// TotalDocuments sums the loaded document counts.
+func (r *DatasetLoadResult) TotalDocuments() int {
+	n := 0
+	for _, t := range r.Tables {
+		n += t.Documents
+	}
+	return n
+}
+
+// TotalBytes sums the loaded document sizes.
+func (r *DatasetLoadResult) TotalBytes() int64 {
+	var n int64
+	for _, t := range r.Tables {
+		n += t.Bytes
+	}
+	return n
+}
+
+// RowToDocument converts one `.dat` row into a document using the table's
+// column catalog: the HashMap of the algorithm maps position i to column
+// name, and the declared column type converts the string value. Empty values
+// are omitted (the thesis omits null key-value entries).
+func RowToDocument(table *tpcds.Table, row []string) (*bson.Doc, error) {
+	if len(row) > len(table.Columns) {
+		return nil, fmt.Errorf("migrate: row has %d values but %s has %d columns", len(row), table.Name, len(table.Columns))
+	}
+	doc := bson.NewDoc(len(row))
+	for i, raw := range row {
+		if raw == "" {
+			continue
+		}
+		col := table.Columns[i]
+		switch col.Type {
+		case tpcds.ColInt:
+			n, err := strconv.ParseInt(raw, 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("migrate: %s.%s: %q is not an integer", table.Name, col.Name, raw)
+			}
+			doc.Set(col.Name, n)
+		case tpcds.ColFloat:
+			f, err := strconv.ParseFloat(raw, 64)
+			if err != nil {
+				return nil, fmt.Errorf("migrate: %s.%s: %q is not a number", table.Name, col.Name, raw)
+			}
+			doc.Set(col.Name, f)
+		default:
+			doc.Set(col.Name, raw)
+		}
+	}
+	return doc, nil
+}
+
+// batchSize is the number of documents buffered per InsertMany call,
+// mirroring the driver's bulk insert batching.
+const batchSize = 1000
+
+// LoadTable streams a `.dat` file into the collection named after the table.
+func LoadTable(store driver.Store, table *tpcds.Table, r io.Reader) (LoadResult, error) {
+	res := LoadResult{Table: table.Name}
+	start := time.Now()
+	batch := make([]*bson.Doc, 0, batchSize)
+	flush := func() error {
+		if len(batch) == 0 {
+			return nil
+		}
+		if _, err := store.InsertMany(table.Name, batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
+	err := tpcds.ReadDat(r, func(row []string) error {
+		doc, err := RowToDocument(table, row)
+		if err != nil {
+			return err
+		}
+		res.Documents++
+		batch = append(batch, doc)
+		if len(batch) >= batchSize {
+			return flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return res, err
+	}
+	if err := flush(); err != nil {
+		return res, err
+	}
+	res.Duration = time.Since(start)
+	res.Bytes = store.DataSizeBytes(table.Name)
+	return res, nil
+}
+
+// LoadTableFromGenerator generates a table's rows in memory and loads them,
+// avoiding the filesystem; it is what the experiment harness and benchmarks
+// use.
+func LoadTableFromGenerator(store driver.Store, g *tpcds.Generator, table string) (LoadResult, error) {
+	t := g.Schema().Table(table)
+	if t == nil {
+		return LoadResult{}, fmt.Errorf("migrate: unknown table %q", table)
+	}
+	data, err := g.TableDat(table)
+	if err != nil {
+		return LoadResult{}, err
+	}
+	return LoadTable(store, t, strings.NewReader(string(data)))
+}
+
+// LoadDataset loads every table of the generator's scale, returning per-table
+// load times (the data of Table 4.3 and Figure 4.9).
+func LoadDataset(store driver.Store, g *tpcds.Generator) (*DatasetLoadResult, error) {
+	out := &DatasetLoadResult{}
+	start := time.Now()
+	for _, table := range g.Schema().TableNames() {
+		res, err := LoadTableFromGenerator(store, g, table)
+		if err != nil {
+			return out, fmt.Errorf("migrate: loading %s: %w", table, err)
+		}
+		out.Tables = append(out.Tables, res)
+	}
+	out.Total = time.Since(start)
+	return out, nil
+}
+
+// EnsureQueryIndexes creates the secondary indexes the thesis' experiments
+// rely on: every foreign-key column of the fact tables touched by the
+// benchmark queries, plus the primary keys of their dimension tables. The
+// stand-alone and sharded experiments both call this after loading.
+func EnsureQueryIndexes(store driver.Store, schema *tpcds.Schema) error {
+	for _, factName := range []string{"store_sales", "store_returns", "inventory"} {
+		fact := schema.Table(factName)
+		for _, fk := range fact.ForeignKeys {
+			if err := store.EnsureIndex(factName, bson.D(fk.Column, 1), false); err != nil {
+				return err
+			}
+		}
+	}
+	for _, dim := range []string{"date_dim", "item", "customer", "customer_address",
+		"customer_demographics", "household_demographics", "promotion", "store", "warehouse"} {
+		t := schema.Table(dim)
+		if len(t.PrimaryKey) == 0 {
+			continue
+		}
+		if err := store.EnsureIndex(dim, bson.D(t.PrimaryKey[0], 1), false); err != nil {
+			return err
+		}
+	}
+	return nil
+}

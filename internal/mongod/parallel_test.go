@@ -1,0 +1,121 @@
+package mongod
+
+import (
+	"fmt"
+	"testing"
+
+	"docstore/internal/bson"
+)
+
+func loadParallelFixture(t *testing.T) *Database {
+	t.Helper()
+	db := NewServer(Options{}).Database("d")
+	var docs []*bson.Doc
+	for i := 0; i < 5000; i++ {
+		docs = append(docs, bson.D(
+			bson.IDKey, i,
+			"cat", fmt.Sprintf("c%02d", i%20),
+			"year", 2000+i%3,
+			"qty", i%50,
+		))
+	}
+	if _, err := db.InsertMany("sales", docs); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.EnsureIndex("sales", bson.D("year", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func parallelStages() []*bson.Doc {
+	return []*bson.Doc{
+		bson.D("$match", bson.D("year", 2001)),
+		bson.D("$project", bson.D("cat", 1, "qty", 1, "double", bson.D("$multiply", bson.A("$qty", 2)))),
+		bson.D("$group", bson.D(bson.IDKey, "$cat", "total", bson.D("$sum", "$qty"), "n", bson.D("$sum", 1))),
+		bson.D("$sort", bson.D(bson.IDKey, 1)),
+	}
+}
+
+func TestAggregateParallelMatchesSequential(t *testing.T) {
+	db := loadParallelFixture(t)
+	sequential, err := db.Aggregate("sales", parallelStages())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{0, 1, 2, 4, 8} {
+		parallel, err := db.AggregateParallel("sales", parallelStages(), workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(parallel) != len(sequential) {
+			t.Fatalf("workers=%d: %d groups vs %d", workers, len(parallel), len(sequential))
+		}
+		for i := range sequential {
+			if !parallel[i].EqualUnordered(sequential[i]) {
+				t.Fatalf("workers=%d: group %d differs: %s vs %s", workers, i, parallel[i], sequential[i])
+			}
+		}
+	}
+}
+
+func TestAggregateParallelWithoutLeadingMatch(t *testing.T) {
+	db := loadParallelFixture(t)
+	stages := []*bson.Doc{
+		bson.D("$project", bson.D("qty", 1)),
+		bson.D("$group", bson.D(bson.IDKey, nil, "total", bson.D("$sum", "$qty"))),
+	}
+	seq, err := db.Aggregate("sales", stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := db.AggregateParallel("sales", stages, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != 1 || !par[0].EqualUnordered(seq[0]) {
+		t.Fatalf("parallel total %s vs sequential %s", par[0], seq[0])
+	}
+}
+
+func TestAggregateParallelPurelyLocalPipeline(t *testing.T) {
+	db := loadParallelFixture(t)
+	stages := []*bson.Doc{
+		bson.D("$match", bson.D("year", 2002)),
+		bson.D("$project", bson.D("qty", 1)),
+	}
+	seq, _ := db.Aggregate("sales", stages)
+	par, err := db.AggregateParallel("sales", stages, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(par) != len(seq) {
+		t.Fatalf("parallel %d docs vs sequential %d", len(par), len(seq))
+	}
+}
+
+func TestAggregateParallelErrors(t *testing.T) {
+	db := loadParallelFixture(t)
+	if _, err := db.AggregateParallel("sales", []*bson.Doc{bson.D("$bogus", 1)}, 2); err == nil {
+		t.Fatalf("invalid pipeline should fail")
+	}
+	// Expression errors inside a worker propagate.
+	bad := []*bson.Doc{
+		bson.D("$match", bson.D("year", 2001)),
+		bson.D("$project", bson.D("x", bson.D("$divide", bson.A(1, 0)))),
+		bson.D("$group", bson.D(bson.IDKey, nil, "n", bson.D("$sum", 1))),
+	}
+	if _, err := db.AggregateParallel("sales", bad, 4); err == nil {
+		t.Fatalf("worker error should propagate")
+	}
+	// Tiny collections degrade to the sequential path.
+	small := NewServer(Options{}).Database("d")
+	_, _ = small.Insert("c", bson.D(bson.IDKey, 1, "v", 1))
+	out, err := small.AggregateParallel("c", []*bson.Doc{
+		bson.D("$match", bson.D("v", 1)),
+		bson.D("$group", bson.D(bson.IDKey, nil, "n", bson.D("$sum", 1))),
+	}, 8)
+	if err != nil || len(out) != 1 {
+		t.Fatalf("small collection parallel aggregate: %v %v", out, err)
+	}
+}

@@ -1,0 +1,62 @@
+package mongod
+
+import (
+	"sync"
+	"time"
+)
+
+// ProfileEntry records one profiled operation, mirroring the system.profile
+// collection.
+type ProfileEntry struct {
+	Op         string
+	Collection string
+	Database   string
+	Duration   time.Duration
+	At         time.Time
+}
+
+// profiler collects operation timings above the configured threshold.
+type profiler struct {
+	mu      sync.Mutex
+	entries []ProfileEntry
+}
+
+// profile starts timing an operation; the returned function stops the timer
+// and records the entry if it clears the server's slow-op threshold.
+func (db *Database) profile(op, coll string) func() {
+	start := time.Now()
+	return func() {
+		elapsed := time.Since(start)
+		if elapsed < db.server.opts.SlowOpThreshold {
+			return
+		}
+		p := &db.server.profiler
+		p.mu.Lock()
+		p.entries = append(p.entries, ProfileEntry{
+			Op:         op,
+			Collection: coll,
+			Database:   db.name,
+			Duration:   elapsed,
+			At:         start,
+		})
+		// Bound memory: keep the most recent 10k entries.
+		if len(p.entries) > 10000 {
+			p.entries = p.entries[len(p.entries)-10000:]
+		}
+		p.mu.Unlock()
+	}
+}
+
+// Profile returns a copy of the recorded profile entries.
+func (s *Server) Profile() []ProfileEntry {
+	s.profiler.mu.Lock()
+	defer s.profiler.mu.Unlock()
+	return append([]ProfileEntry(nil), s.profiler.entries...)
+}
+
+// ResetProfile clears the recorded profile entries.
+func (s *Server) ResetProfile() {
+	s.profiler.mu.Lock()
+	s.profiler.entries = nil
+	s.profiler.mu.Unlock()
+}

@@ -1,0 +1,393 @@
+// Package mongod implements the stand-alone document store server: named
+// databases holding collections, CRUD and aggregation entry points, index
+// management, an operation profiler, and server statistics. It is the
+// process-level analogue of the mongod daemon described in §2.1.3.1 of the
+// thesis.
+package mongod
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"docstore/internal/aggregate"
+	"docstore/internal/bson"
+	"docstore/internal/index"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// Options configures a server.
+type Options struct {
+	// Name identifies the server in cluster listings (e.g. "Shard1").
+	Name string
+	// RAMBytes is the advertised RAM capacity, used by the working-set and
+	// shard-count calculations (§2.1.3.2). Zero means unspecified.
+	RAMBytes int64
+	// DiskBytes is the advertised disk capacity. Zero means unspecified.
+	DiskBytes int64
+	// SlowOpThreshold controls the profiler: operations at or above the
+	// threshold are recorded. Zero records every operation.
+	SlowOpThreshold time.Duration
+}
+
+// Server is a stand-alone document store instance.
+type Server struct {
+	opts Options
+
+	mu  sync.RWMutex
+	dbs map[string]*Database
+
+	counters OpCounters
+	profiler profiler
+}
+
+// OpCounters mirrors serverStatus opcounters.
+type OpCounters struct {
+	Insert  int64
+	Query   int64
+	Update  int64
+	Delete  int64
+	Command int64
+}
+
+// NewServer creates an empty server.
+func NewServer(opts Options) *Server {
+	if opts.Name == "" {
+		opts.Name = "mongod"
+	}
+	return &Server{opts: opts, dbs: make(map[string]*Database)}
+}
+
+// Name returns the server name.
+func (s *Server) Name() string { return s.opts.Name }
+
+// Options returns the server options.
+func (s *Server) Options() Options { return s.opts }
+
+// Database returns the named database, creating it when absent.
+func (s *Server) Database(name string) *Database {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	db, ok := s.dbs[name]
+	if !ok {
+		db = newDatabase(name, s)
+		s.dbs[name] = db
+	}
+	return db
+}
+
+// DatabaseNames lists existing databases in sorted order.
+func (s *Server) DatabaseNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	names := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// DropDatabase removes the named database and reports whether it existed.
+func (s *Server) DropDatabase(name string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.dbs[name]; !ok {
+		return false
+	}
+	delete(s.dbs, name)
+	return true
+}
+
+// Counters returns a snapshot of the operation counters.
+func (s *Server) Counters() OpCounters {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.counters
+}
+
+// WorkingSetBytes sums data and index sizes across all databases: the
+// working-set measure used to size shards in §2.1.3.2.
+func (s *Server) WorkingSetBytes() int64 {
+	s.mu.RLock()
+	names := make([]*Database, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		names = append(names, db)
+	}
+	s.mu.RUnlock()
+	var total int64
+	for _, db := range names {
+		total += db.WorkingSetBytes()
+	}
+	return total
+}
+
+// ServerStatus summarizes the server state.
+type ServerStatus struct {
+	Name            string
+	Databases       int
+	Collections     int
+	Documents       int
+	DataSizeBytes   int64
+	IndexSizeBytes  int64
+	WorkingSetBytes int64
+	RAMBytes        int64
+	DiskBytes       int64
+	OpCounters      OpCounters
+	// RAMPressure is working set / RAM; above 1.0 the thesis predicts the
+	// working set no longer fits and reads hit "disk".
+	RAMPressure float64
+}
+
+// Status computes the current server status.
+func (s *Server) Status() ServerStatus {
+	s.mu.RLock()
+	dbs := make([]*Database, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		dbs = append(dbs, db)
+	}
+	counters := s.counters
+	s.mu.RUnlock()
+
+	st := ServerStatus{
+		Name:       s.opts.Name,
+		Databases:  len(dbs),
+		RAMBytes:   s.opts.RAMBytes,
+		DiskBytes:  s.opts.DiskBytes,
+		OpCounters: counters,
+	}
+	for _, db := range dbs {
+		for _, coll := range db.Collections() {
+			cs := coll.Stats()
+			st.Collections++
+			st.Documents += cs.Count
+			st.DataSizeBytes += int64(cs.DataSizeBytes)
+			st.IndexSizeBytes += int64(cs.IndexSizeBytes)
+		}
+	}
+	st.WorkingSetBytes = st.DataSizeBytes + st.IndexSizeBytes
+	if st.RAMBytes > 0 {
+		st.RAMPressure = float64(st.WorkingSetBytes) / float64(st.RAMBytes)
+	}
+	return st
+}
+
+func (s *Server) countOp(kind string) {
+	s.mu.Lock()
+	switch kind {
+	case "insert":
+		s.counters.Insert++
+	case "query":
+		s.counters.Query++
+	case "update":
+		s.counters.Update++
+	case "delete":
+		s.counters.Delete++
+	default:
+		s.counters.Command++
+	}
+	s.mu.Unlock()
+}
+
+// Database is a named set of collections on a server.
+type Database struct {
+	name   string
+	server *Server
+
+	mu    sync.RWMutex
+	colls map[string]*storage.Collection
+}
+
+func newDatabase(name string, server *Server) *Database {
+	return &Database{name: name, server: server, colls: make(map[string]*storage.Collection)}
+}
+
+// Name returns the database name.
+func (db *Database) Name() string { return db.name }
+
+// Collection returns the named collection, creating it when absent.
+func (db *Database) Collection(name string) *storage.Collection {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	c, ok := db.colls[name]
+	if !ok {
+		c = storage.NewCollection(name)
+		db.colls[name] = c
+	}
+	return c
+}
+
+// HasCollection reports whether the collection exists without creating it.
+func (db *Database) HasCollection(name string) bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	_, ok := db.colls[name]
+	return ok
+}
+
+// CollectionNames lists collections in sorted order.
+func (db *Database) CollectionNames() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.colls))
+	for n := range db.colls {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Collections returns the collections in name order.
+func (db *Database) Collections() []*storage.Collection {
+	names := db.CollectionNames()
+	out := make([]*storage.Collection, 0, len(names))
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	for _, n := range names {
+		out = append(out, db.colls[n])
+	}
+	return out
+}
+
+// DropCollection removes the named collection and reports whether it existed.
+func (db *Database) DropCollection(name string) bool {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.colls[name]; !ok {
+		return false
+	}
+	delete(db.colls, name)
+	return true
+}
+
+// WorkingSetBytes sums data and index sizes over the database's collections.
+func (db *Database) WorkingSetBytes() int64 {
+	var total int64
+	for _, c := range db.Collections() {
+		total += int64(c.WorkingSetBytes())
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------------
+// Operation entry points (profiled, counted)
+
+// Insert adds a document to the named collection.
+func (db *Database) Insert(coll string, doc *bson.Doc) (any, error) {
+	db.server.countOp("insert")
+	defer db.profile("insert", coll)()
+	return db.Collection(coll).Insert(doc)
+}
+
+// InsertMany adds documents to the named collection.
+func (db *Database) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
+	db.server.countOp("insert")
+	defer db.profile("insert", coll)()
+	return db.Collection(coll).InsertMany(docs)
+}
+
+// Find runs a query against the named collection.
+func (db *Database) Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
+	db.server.countOp("query")
+	defer db.profile("find", coll)()
+	return db.Collection(coll).Find(filter, opts)
+}
+
+// FindWithPlan runs a query and returns its execution plan.
+func (db *Database) FindWithPlan(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, storage.Plan, error) {
+	db.server.countOp("query")
+	defer db.profile("find", coll)()
+	return db.Collection(coll).FindWithPlan(filter, opts)
+}
+
+// Update applies an update specification against the named collection.
+func (db *Database) Update(coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	db.server.countOp("update")
+	defer db.profile("update", coll)()
+	return db.Collection(coll).Update(spec)
+}
+
+// Delete removes matching documents from the named collection.
+func (db *Database) Delete(coll string, filter *bson.Doc, multi bool) (int, error) {
+	db.server.countOp("delete")
+	defer db.profile("delete", coll)()
+	return db.Collection(coll).Delete(filter, multi)
+}
+
+// EnsureIndex creates an index on the named collection.
+func (db *Database) EnsureIndex(coll string, spec *bson.Doc, unique bool) (*index.Index, error) {
+	db.server.countOp("command")
+	return db.Collection(coll).EnsureIndexDoc(spec, unique)
+}
+
+// Aggregate runs an aggregation pipeline over the named collection. The
+// database itself is the pipeline environment, so $out and $lookup target
+// sibling collections, exactly as the thesis' JavaScript queries do.
+//
+// A leading $match stage is pushed down into the storage engine so it can use
+// the collection's indexes, matching the real engine's behaviour; the
+// remaining stages run over the narrowed document set.
+func (db *Database) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
+	db.server.countOp("command")
+	defer db.profile("aggregate", coll)()
+	pipeline, err := aggregate.Parse(stages)
+	if err != nil {
+		return nil, err
+	}
+	if len(stages) > 0 {
+		if matchArg, ok := stages[0].Get("$match"); ok {
+			if filter, isDoc := matchArg.(*bson.Doc); isDoc {
+				input, err := db.Collection(coll).Find(filter, storage.FindOptions{})
+				if err != nil {
+					return nil, err
+				}
+				rest, err := aggregate.Parse(stages[1:])
+				if err != nil {
+					return nil, err
+				}
+				return rest.Run(input, db.Env())
+			}
+		}
+	}
+	return db.RunPipeline(coll, pipeline)
+}
+
+// RunPipeline runs a pre-parsed pipeline over the named collection.
+func (db *Database) RunPipeline(coll string, pipeline *aggregate.Pipeline) ([]*bson.Doc, error) {
+	var input []*bson.Doc
+	db.Collection(coll).Scan(func(d *bson.Doc) bool {
+		input = append(input, d)
+		return true
+	})
+	return pipeline.Run(input, db.Env())
+}
+
+// Env returns the aggregation environment backed by this database.
+func (db *Database) Env() aggregate.Env { return &dbEnv{db: db} }
+
+// dbEnv adapts a Database to the aggregate.Env interface.
+type dbEnv struct{ db *Database }
+
+func (e *dbEnv) ReadCollection(name string) ([]*bson.Doc, error) {
+	if !e.db.HasCollection(name) {
+		return nil, fmt.Errorf("mongod: collection %q does not exist in database %q", name, e.db.name)
+	}
+	var docs []*bson.Doc
+	e.db.Collection(name).Scan(func(d *bson.Doc) bool {
+		docs = append(docs, d)
+		return true
+	})
+	return docs, nil
+}
+
+func (e *dbEnv) WriteCollection(name string, docs []*bson.Doc) error {
+	// $out replaces the target collection; documents are cloned so later
+	// pipeline stages (or callers) cannot alias stored state.
+	cloned := make([]*bson.Doc, len(docs))
+	for i, d := range docs {
+		cloned[i] = d.Clone()
+	}
+	return e.db.Collection(name).ReplaceContents(cloned)
+}

@@ -1,0 +1,449 @@
+// Package mongos implements the query router of the sharded cluster: it
+// routes inserts, finds, updates, deletes and aggregations to the shard (or
+// shards) owning the relevant chunks, gathers partial results, and merges
+// them — the mongos role of §2.1.3.1. Routing statistics distinguish targeted
+// operations (the query pins the shard key, as in Query 50) from broadcast
+// operations (multi-predicate analytical queries, as in Queries 7/21/46),
+// which is the distinction §4.3 uses to explain the runtime results.
+package mongos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"docstore/internal/aggregate"
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/query"
+	"docstore/internal/sharding"
+	"docstore/internal/storage"
+)
+
+// Options configures a Router.
+type Options struct {
+	// NetworkLatency is the simulated one-way latency added to every remote
+	// shard call. It stands in for the AWS inter-instance network of the
+	// thesis' cluster; zero disables the simulation.
+	NetworkLatency time.Duration
+	// Parallel performs scatter-gather shard calls concurrently. The thesis'
+	// Java client issues operations sequentially, so sequential is the
+	// default; the ablation benchmarks flip this.
+	Parallel bool
+}
+
+// RoutingStats counts how queries were routed.
+type RoutingStats struct {
+	TargetedQueries  int64
+	BroadcastQueries int64
+	ShardCalls       int64
+	DocsMerged       int64
+}
+
+// Router is the query router (mongos).
+type Router struct {
+	config *sharding.ConfigServer
+	opts   Options
+
+	mu     sync.RWMutex
+	shards map[string]*mongod.Server
+	order  []string // shard names in registration order; order[0] is the primary shard
+	stats  RoutingStats
+}
+
+// NewRouter creates a router over a config server.
+func NewRouter(config *sharding.ConfigServer, opts Options) *Router {
+	return &Router{config: config, opts: opts, shards: make(map[string]*mongod.Server)}
+}
+
+// AddShard registers a shard server with the router and the config server.
+func (r *Router) AddShard(name string, server *mongod.Server) {
+	r.mu.Lock()
+	if _, exists := r.shards[name]; !exists {
+		r.shards[name] = server
+		r.order = append(r.order, name)
+	}
+	r.mu.Unlock()
+	r.config.AddShard(name)
+}
+
+// Shard returns the named shard server, or nil.
+func (r *Router) Shard(name string) *mongod.Server {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.shards[name]
+}
+
+// ShardNames returns the registered shard names in registration order.
+func (r *Router) ShardNames() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return append([]string(nil), r.order...)
+}
+
+// PrimaryShard returns the shard that stores unsharded collections.
+func (r *Router) PrimaryShard() *mongod.Server {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	if len(r.order) == 0 {
+		return nil
+	}
+	return r.shards[r.order[0]]
+}
+
+// Config returns the config server.
+func (r *Router) Config() *sharding.ConfigServer { return r.config }
+
+// Stats returns a snapshot of the routing statistics.
+func (r *Router) Stats() RoutingStats {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.stats
+}
+
+// ResetStats zeroes the routing statistics.
+func (r *Router) ResetStats() {
+	r.mu.Lock()
+	r.stats = RoutingStats{}
+	r.mu.Unlock()
+}
+
+func namespace(db, coll string) string { return db + "." + coll }
+
+// remoteCall accounts for one call to a shard, including the simulated
+// network latency.
+func (r *Router) remoteCall() {
+	r.mu.Lock()
+	r.stats.ShardCalls++
+	r.mu.Unlock()
+	if r.opts.NetworkLatency > 0 {
+		time.Sleep(r.opts.NetworkLatency)
+	}
+}
+
+func (r *Router) recordRouting(targeted bool, merged int) {
+	r.mu.Lock()
+	if targeted {
+		r.stats.TargetedQueries++
+	} else {
+		r.stats.BroadcastQueries++
+	}
+	r.stats.DocsMerged += int64(merged)
+	r.mu.Unlock()
+}
+
+// EnableSharding shards a collection with the given shard key, creating the
+// backing shard-key index on every shard.
+func (r *Router) EnableSharding(db, coll string, keySpec *bson.Doc, chunkSizeBytes int) (*sharding.CollectionMetadata, error) {
+	key, err := sharding.ParseShardKey(keySpec)
+	if err != nil {
+		return nil, err
+	}
+	meta, err := r.config.ShardCollection(namespace(db, coll), key, chunkSizeBytes)
+	if err != nil {
+		return nil, err
+	}
+	for _, name := range r.ShardNames() {
+		r.remoteCall()
+		if _, err := r.Shard(name).Database(db).Collection(coll).EnsureIndex(key.IndexSpec(), false); err != nil {
+			return nil, err
+		}
+	}
+	return meta, nil
+}
+
+// Insert routes a document insert. Sharded collections route by shard key;
+// unsharded collections go to the primary shard.
+func (r *Router) Insert(db, coll string, doc *bson.Doc) (any, error) {
+	meta := r.config.Metadata(namespace(db, coll))
+	if meta == nil {
+		r.remoteCall()
+		return r.PrimaryShard().Database(db).Insert(coll, doc)
+	}
+	routing := meta.Key.ValueOf(doc)
+	shardName := meta.RecordInsert(routing, bson.EncodedSize(doc))
+	r.remoteCall()
+	return r.Shard(shardName).Database(db).Insert(coll, doc)
+}
+
+// InsertMany routes a batch of inserts, grouping per target shard to mirror
+// the driver's batching.
+func (r *Router) InsertMany(db, coll string, docs []*bson.Doc) ([]any, error) {
+	meta := r.config.Metadata(namespace(db, coll))
+	if meta == nil {
+		r.remoteCall()
+		return r.PrimaryShard().Database(db).InsertMany(coll, docs)
+	}
+	batches := make(map[string][]*bson.Doc)
+	for _, d := range docs {
+		routing := meta.Key.ValueOf(d)
+		shardName := meta.RecordInsert(routing, bson.EncodedSize(d))
+		batches[shardName] = append(batches[shardName], d)
+	}
+	names := make([]string, 0, len(batches))
+	for n := range batches {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var ids []any
+	for _, n := range names {
+		r.remoteCall()
+		batchIDs, err := r.Shard(n).Database(db).InsertMany(coll, batches[n])
+		ids = append(ids, batchIDs...)
+		if err != nil {
+			return ids, err
+		}
+	}
+	return ids, nil
+}
+
+// targetShards determines which shards a filter must be sent to. The second
+// return value reports whether the routing was targeted (fewer shards than
+// the whole cluster).
+func (r *Router) targetShards(meta *sharding.CollectionMetadata, filter *bson.Doc) ([]string, bool) {
+	all := r.ShardNames()
+	if meta == nil {
+		return all[:1], true
+	}
+	if len(meta.Key.Fields) != 1 || filter == nil {
+		owned := meta.AllShards()
+		if len(owned) == 0 {
+			owned = all
+		}
+		return owned, false
+	}
+	keyField := meta.Key.Fields[0]
+	cons := query.ConstraintFor(filter, keyField)
+	if cons == nil {
+		owned := meta.AllShards()
+		if len(owned) == 0 {
+			owned = all
+		}
+		return owned, false
+	}
+	if cons.IsPoint() {
+		seen := make(map[string]bool)
+		var out []string
+		for _, p := range cons.Points {
+			shard, _ := meta.ShardForValue(meta.Key.RoutingValue(p))
+			if !seen[shard] {
+				seen[shard] = true
+				out = append(out, shard)
+			}
+		}
+		sort.Strings(out)
+		return out, len(out) < len(all)
+	}
+	if cons.IsRange() && !meta.Key.Hashed {
+		shards := meta.ShardsForRange(cons.Min, cons.HasMin, cons.Max, cons.HasMax)
+		if len(shards) == 0 {
+			shards = meta.AllShards()
+		}
+		return shards, len(shards) < len(all)
+	}
+	owned := meta.AllShards()
+	if len(owned) == 0 {
+		owned = all
+	}
+	return owned, false
+}
+
+// Find routes a query, gathers per-shard results and merges them under the
+// requested sort order.
+func (r *Router) Find(db, coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
+	meta := r.config.Metadata(namespace(db, coll))
+	targets, targeted := r.targetShards(meta, filter)
+
+	// Skip/limit must be applied after the merge; each shard returns enough
+	// documents to satisfy skip+limit.
+	shardOpts := opts
+	shardOpts.Skip = 0
+	if opts.Limit > 0 {
+		shardOpts.Limit = opts.Limit + opts.Skip
+	}
+
+	parts, err := r.scatter(targets, func(s *mongod.Server) ([]*bson.Doc, error) {
+		return s.Database(db).Find(coll, filter, shardOpts)
+	})
+	if err != nil {
+		return nil, err
+	}
+	merged := opts.Sort.Merge(parts...)
+	r.recordRouting(targeted, len(merged))
+	if opts.Skip > 0 {
+		if opts.Skip >= len(merged) {
+			merged = nil
+		} else {
+			merged = merged[opts.Skip:]
+		}
+	}
+	if opts.Limit > 0 && len(merged) > opts.Limit {
+		merged = merged[:opts.Limit]
+	}
+	return merged, nil
+}
+
+// Count routes a count.
+func (r *Router) Count(db, coll string, filter *bson.Doc) (int, error) {
+	docs, err := r.Find(db, coll, filter, storage.FindOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// Update routes an update to the shards owning matching documents.
+func (r *Router) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	meta := r.config.Metadata(namespace(db, coll))
+	targets, targeted := r.targetShards(meta, spec.Query)
+	var total storage.UpdateResult
+	for _, name := range targets {
+		r.remoteCall()
+		res, err := r.Shard(name).Database(db).Update(coll, spec)
+		if err != nil {
+			return total, err
+		}
+		total.Matched += res.Matched
+		total.Modified += res.Modified
+		if res.UpsertedID != nil {
+			total.UpsertedID = res.UpsertedID
+		}
+		if !spec.Multi && total.Matched > 0 {
+			break
+		}
+	}
+	r.recordRouting(targeted, 0)
+	return total, nil
+}
+
+// Delete routes a delete to the shards owning matching documents.
+func (r *Router) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
+	meta := r.config.Metadata(namespace(db, coll))
+	targets, targeted := r.targetShards(meta, filter)
+	removed := 0
+	for _, name := range targets {
+		r.remoteCall()
+		n, err := r.Shard(name).Database(db).Delete(coll, filter, multi)
+		if err != nil {
+			return removed, err
+		}
+		removed += n
+		if !multi && removed > 0 {
+			break
+		}
+	}
+	r.recordRouting(targeted, 0)
+	return removed, nil
+}
+
+// EnsureIndex creates an index on every shard holding the collection.
+func (r *Router) EnsureIndex(db, coll string, spec *bson.Doc, unique bool) error {
+	for _, name := range r.ShardNames() {
+		r.remoteCall()
+		if _, err := r.Shard(name).Database(db).EnsureIndex(coll, spec, unique); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Aggregate routes an aggregation pipeline: the per-document prefix of the
+// pipeline runs on each targeted shard, the remainder (grouping, sorting,
+// $out) runs on the router over the concatenated partial results, and $out
+// writes to the primary shard.
+func (r *Router) Aggregate(db, coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
+	pipeline, err := aggregate.Parse(stages)
+	if err != nil {
+		return nil, err
+	}
+	shardPart, _ := pipeline.Split()
+	cut := shardPart.Len()
+	shardStages := stages[:cut]
+	mergeStages := stages[cut:]
+
+	// Targeting uses the leading $match stage when the pipeline starts with
+	// one, mirroring how the router can only avoid a broadcast when the match
+	// pins the shard key.
+	meta := r.config.Metadata(namespace(db, coll))
+	var filter *bson.Doc
+	if len(stages) > 0 {
+		if m, ok := stages[0].Get("$match"); ok {
+			if md, ok := m.(*bson.Doc); ok {
+				filter = md
+			}
+		}
+	}
+	targets, targeted := r.targetShards(meta, filter)
+
+	parts, err := r.scatter(targets, func(s *mongod.Server) ([]*bson.Doc, error) {
+		if len(shardStages) == 0 {
+			var docs []*bson.Doc
+			s.Database(db).Collection(coll).Scan(func(d *bson.Doc) bool {
+				docs = append(docs, d)
+				return true
+			})
+			return docs, nil
+		}
+		return s.Database(db).Aggregate(coll, shardStages)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var combined []*bson.Doc
+	for _, p := range parts {
+		combined = append(combined, p...)
+	}
+	r.recordRouting(targeted, len(combined))
+	if len(mergeStages) == 0 {
+		return combined, nil
+	}
+	mergePipeline, err := aggregate.Parse(mergeStages)
+	if err != nil {
+		return nil, err
+	}
+	primary := r.PrimaryShard()
+	if primary == nil {
+		return nil, fmt.Errorf("mongos: no shards registered")
+	}
+	return mergePipeline.Run(combined, primary.Database(db).Env())
+}
+
+// scatter runs fn against every named shard and collects the results, either
+// sequentially (default) or in parallel.
+func (r *Router) scatter(targets []string, fn func(*mongod.Server) ([]*bson.Doc, error)) ([][]*bson.Doc, error) {
+	parts := make([][]*bson.Doc, len(targets))
+	if !r.opts.Parallel {
+		for i, name := range targets {
+			r.remoteCall()
+			docs, err := fn(r.Shard(name))
+			if err != nil {
+				return nil, fmt.Errorf("mongos: shard %s: %w", name, err)
+			}
+			parts[i] = docs
+		}
+		return parts, nil
+	}
+	var wg sync.WaitGroup
+	errs := make([]error, len(targets))
+	for i, name := range targets {
+		wg.Add(1)
+		go func(i int, name string) {
+			defer wg.Done()
+			r.remoteCall()
+			docs, err := fn(r.Shard(name))
+			if err != nil {
+				errs[i] = fmt.Errorf("mongos: shard %s: %w", name, err)
+				return
+			}
+			parts[i] = docs
+		}(i, name)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return parts, nil
+}

@@ -1,0 +1,209 @@
+// Package queries defines the four TPC-DS data-mining queries the thesis
+// benchmarks (Query 7, 21, 46 and 50): their SQL text (Figures 3.5–3.8),
+// their feature profile (Table 3.5), the aggregation pipelines executed
+// against the denormalized fact collections (Appendix B), and the translated
+// plans executed against the normalized data model (Figure 4.8). Both
+// execution paths are expressed over the driver.Store interface so the same
+// query runs unchanged on the stand-alone server and on the sharded cluster.
+package queries
+
+import (
+	"fmt"
+)
+
+// Features is the query-feature profile of Table 3.5.
+type Features struct {
+	Tables                int
+	AggregationFunctions  int
+	GroupOrderByClauses   int
+	ConditionalConstructs int
+	CorrelatedSubqueries  int
+}
+
+// Query is one benchmark query.
+type Query struct {
+	ID       int
+	Name     string
+	SQL      string
+	Features Features
+	// Fact is the denormalized fact collection the Appendix B pipeline reads.
+	Fact string
+	// OutputCollection names the $out target, following the thesis
+	// ("query7_output").
+	OutputCollection string
+}
+
+// Params carries the query predicate values. The thesis regenerates these per
+// scale with dsqgen; the defaults below work for both generated scales of
+// this reproduction and can be overridden for sensitivity/ablation runs.
+type Params struct {
+	// Query 7.
+	Gender          string
+	MaritalStatus   string
+	EducationStatus string
+	SalesYear       int
+	// Query 21.
+	InventoryDate string // pivot date; the query window spans ±30 days around it
+	PriceMin      float64
+	PriceMax      float64
+	// Query 46.
+	Cities       []string
+	DOW          []int
+	Years        []int
+	DepCount     int
+	VehicleCount int
+	// Query 50.
+	ReturnYear  int
+	ReturnMonth int
+}
+
+// DefaultParams returns the predicate values of the thesis' 1 GB query set
+// (Figures 3.5–3.8).
+func DefaultParams() Params {
+	return Params{
+		Gender:          "M",
+		MaritalStatus:   "M",
+		EducationStatus: "4 yr Degree",
+		SalesYear:       2001,
+		InventoryDate:   "2002-05-29",
+		PriceMin:        0.99,
+		PriceMax:        1.49,
+		Cities:          []string{"Midway", "Fairview"},
+		DOW:             []int{6, 0},
+		Years:           []int{1998, 1999, 2000},
+		DepCount:        2,
+		VehicleCount:    3,
+		ReturnYear:      1998,
+		ReturnMonth:     10,
+	}
+}
+
+// All returns the four benchmark queries in id order.
+func All() []*Query {
+	return []*Query{Query7(), Query21(), Query46(), Query50()}
+}
+
+// ByID returns the query with the given id, or nil.
+func ByID(id int) *Query {
+	for _, q := range All() {
+		if q.ID == id {
+			return q
+		}
+	}
+	return nil
+}
+
+// MustByID returns the query with the given id or panics.
+func MustByID(id int) *Query {
+	q := ByID(id)
+	if q == nil {
+		panic(fmt.Sprintf("queries: unknown query %d", id))
+	}
+	return q
+}
+
+// Query7 is TPC-DS Query 7 (Figure 3.5): average quantity, list price, coupon
+// amount and sales price per item for male, married, degree-holding customers
+// exposed to email or event promotions during one year.
+func Query7() *Query {
+	return &Query{
+		ID:   7,
+		Name: "query7",
+		Fact: "store_sales",
+		SQL: `select i_item_id,
+       avg(ss_quantity) agg1, avg(ss_list_price) agg2,
+       avg(ss_coupon_amt) agg3, avg(ss_sales_price) agg4
+from store_sales, customer_demographics, date_dim, item, promotion
+where ss_sold_date_sk = d_date_sk and ss_item_sk = i_item_sk
+  and ss_cdemo_sk = cd_demo_sk and ss_promo_sk = p_promo_sk
+  and cd_gender = 'M' and cd_marital_status = 'M'
+  and cd_education_status = '4 yr Degree'
+  and (p_channel_email = 'N' or p_channel_event = 'N')
+  and d_year = 2001
+group by i_item_id
+order by i_item_id`,
+		Features:         Features{Tables: 5, AggregationFunctions: 4, GroupOrderByClauses: 1},
+		OutputCollection: "query7_output",
+	}
+}
+
+// Query21 is TPC-DS Query 21 (Figure 3.6): warehouse inventory before and
+// after a pivot date for items in a price band, keeping warehouses whose
+// after/before ratio lies between 2/3 and 3/2.
+func Query21() *Query {
+	return &Query{
+		ID:   21,
+		Name: "query21",
+		Fact: "inventory",
+		SQL: `select * from (
+  select w_warehouse_name, i_item_id,
+         sum(case when cast(d_date as date) < cast('2002-05-29' as date) then inv_quantity_on_hand else 0 end) as inv_before,
+         sum(case when cast(d_date as date) >= cast('2002-05-29' as date) then inv_quantity_on_hand else 0 end) as inv_after
+  from inventory, warehouse, item, date_dim
+  where i_current_price between 0.99 and 1.49
+    and i_item_sk = inv_item_sk and inv_warehouse_sk = w_warehouse_sk and inv_date_sk = d_date_sk
+    and d_date between (cast('2002-05-29' as date) - 30 days) and (cast('2002-05-29' as date) + 30 days)
+  group by w_warehouse_name, i_item_id) x
+where (case when inv_before > 0 then inv_after / inv_before else null end) between 2.0/3.0 and 3.0/2.0
+order by w_warehouse_name, i_item_id`,
+		Features:         Features{Tables: 4, AggregationFunctions: 2, GroupOrderByClauses: 1, ConditionalConstructs: 3},
+		OutputCollection: "query21_output",
+	}
+}
+
+// Query46 is TPC-DS Query 46 (Figure 3.7): weekend purchases in selected
+// store cities by households with a given dependent or vehicle count, where
+// the customer's current city differs from the city they bought in.
+func Query46() *Query {
+	return &Query{
+		ID:   46,
+		Name: "query46",
+		Fact: "store_sales",
+		SQL: `select c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number, amt, profit
+from (select ss_ticket_number, ss_customer_sk, ca_city bought_city,
+             sum(ss_coupon_amt) amt, sum(ss_net_profit) profit
+      from store_sales, date_dim, store, household_demographics, customer_address
+      where store_sales.ss_sold_date_sk = date_dim.d_date_sk
+        and store_sales.ss_store_sk = store.s_store_sk
+        and store_sales.ss_hdemo_sk = household_demographics.hd_demo_sk
+        and store_sales.ss_addr_sk = customer_address.ca_address_sk
+        and (household_demographics.hd_dep_count = 2 or household_demographics.hd_vehicle_count = 3)
+        and date_dim.d_dow in (6,0) and date_dim.d_year in (1998,1999,2000)
+        and store.s_city in ('Midway','Fairview')
+      group by ss_ticket_number, ss_customer_sk, ss_addr_sk, ca_city) dn, customer, customer_address current_addr
+where ss_customer_sk = c_customer_sk
+  and customer.c_current_addr_sk = current_addr.ca_address_sk
+  and current_addr.ca_city <> bought_city
+order by c_last_name, c_first_name, ca_city, bought_city, ss_ticket_number`,
+		Features:         Features{Tables: 6, AggregationFunctions: 2, GroupOrderByClauses: 1, CorrelatedSubqueries: 1},
+		OutputCollection: "query46_output",
+	}
+}
+
+// Query50 is TPC-DS Query 50 (Figure 3.8): for each store, how many returned
+// sales came back within 30/60/90/120/more days, for returns in one month.
+func Query50() *Query {
+	return &Query{
+		ID:   50,
+		Name: "query50",
+		Fact: "store_sales",
+		SQL: `select s_store_name, s_company_id, s_street_number, s_street_name, s_street_type,
+       s_suite_number, s_city, s_county, s_state, s_zip,
+       sum(case when (sr_returned_date_sk - ss_sold_date_sk <= 30) then 1 else 0 end) as "30 days",
+       sum(case when (sr_returned_date_sk - ss_sold_date_sk > 30) and (sr_returned_date_sk - ss_sold_date_sk <= 60) then 1 else 0 end) as "31-60 days",
+       sum(case when (sr_returned_date_sk - ss_sold_date_sk > 60) and (sr_returned_date_sk - ss_sold_date_sk <= 90) then 1 else 0 end) as "61-90 days",
+       sum(case when (sr_returned_date_sk - ss_sold_date_sk > 90) and (sr_returned_date_sk - ss_sold_date_sk <= 120) then 1 else 0 end) as "91-120 days",
+       sum(case when (sr_returned_date_sk - ss_sold_date_sk > 120) then 1 else 0 end) as ">120 days"
+from store_sales, store_returns, store, date_dim d1, date_dim d2
+where d2.d_year = 1998 and d2.d_moy = 10
+  and ss_ticket_number = sr_ticket_number and ss_item_sk = sr_item_sk
+  and ss_sold_date_sk = d1.d_date_sk and sr_returned_date_sk = d2.d_date_sk
+  and ss_customer_sk = sr_customer_sk and ss_store_sk = s_store_sk
+group by s_store_name, s_company_id, s_street_number, s_street_name, s_street_type,
+         s_suite_number, s_city, s_county, s_state, s_zip
+order by s_store_name, s_company_id, s_street_number, s_street_name, s_street_type,
+         s_suite_number, s_city`,
+		Features:         Features{Tables: 5, AggregationFunctions: 5, GroupOrderByClauses: 1, ConditionalConstructs: 5},
+		OutputCollection: "query50_output",
+	}
+}

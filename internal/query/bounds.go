@@ -1,0 +1,141 @@
+package query
+
+import (
+	"strings"
+
+	"docstore/internal/bson"
+)
+
+// Constraint captures what a filter says about one field under top-level AND
+// semantics. It is what the query planner uses to decide whether an index can
+// serve a filter, and what the query router uses to decide whether a query
+// can be targeted to specific shards (the thesis' targeted-vs-broadcast
+// distinction of §4.3).
+type Constraint struct {
+	Field string
+	// Points holds the exact values the field may take when the filter pins
+	// it down with $eq or $in. Nil when the field is only range-constrained.
+	Points []any
+	// Range bounds; meaningful when HasMin/HasMax are set.
+	Min, Max                   any
+	MinInclusive, MaxInclusive bool
+	HasMin, HasMax             bool
+}
+
+// IsPoint reports whether the constraint restricts the field to a finite set
+// of values.
+func (c *Constraint) IsPoint() bool { return len(c.Points) > 0 }
+
+// IsRange reports whether the constraint carries at least one range bound.
+func (c *Constraint) IsRange() bool { return c.HasMin || c.HasMax }
+
+// FieldConstraints extracts the per-field constraints implied by a filter.
+// Only conjunctive structure is analysed: top-level field conditions and
+// $and clauses contribute; $or, $nor and $not clauses are conservatively
+// ignored (they never make a plan incorrect, only less selective).
+func FieldConstraints(filter *bson.Doc) map[string]*Constraint {
+	out := make(map[string]*Constraint)
+	collectConstraints(filter, out)
+	return out
+}
+
+func collectConstraints(filter *bson.Doc, out map[string]*Constraint) {
+	if filter == nil {
+		return
+	}
+	for _, f := range filter.Fields() {
+		switch f.Key {
+		case "$and":
+			if arr, ok := f.Value.([]any); ok {
+				for _, e := range arr {
+					if sub, ok := e.(*bson.Doc); ok {
+						collectConstraints(sub, out)
+					}
+				}
+			}
+		case "$or", "$nor", "$not":
+			// Disjunctive clauses do not constrain a single field for planning.
+			continue
+		default:
+			if strings.HasPrefix(f.Key, "$") {
+				continue
+			}
+			collectFieldConstraint(f.Key, f.Value, out)
+		}
+	}
+}
+
+func collectFieldConstraint(field string, cond any, out map[string]*Constraint) {
+	c := out[field]
+	if c == nil {
+		c = &Constraint{Field: field}
+		out[field] = c
+	}
+	opDoc, ok := cond.(*bson.Doc)
+	if !ok || !isOperatorDoc(opDoc) {
+		c.addPoint(bson.Normalize(cond))
+		return
+	}
+	for _, op := range opDoc.Fields() {
+		v := bson.Normalize(op.Value)
+		switch op.Key {
+		case "$eq":
+			c.addPoint(v)
+		case "$in":
+			if arr, ok := v.([]any); ok {
+				c.addPoints(arr)
+			}
+		case "$gt":
+			c.setMin(v, false)
+		case "$gte":
+			c.setMin(v, true)
+		case "$lt":
+			c.setMax(v, false)
+		case "$lte":
+			c.setMax(v, true)
+		}
+	}
+}
+
+func (c *Constraint) addPoint(v any) { c.intersectPoints([]any{v}) }
+
+func (c *Constraint) addPoints(vs []any) { c.intersectPoints(vs) }
+
+// intersectPoints narrows the point set: the first point condition seeds the
+// set, later ones intersect with it (AND semantics).
+func (c *Constraint) intersectPoints(vs []any) {
+	if c.Points == nil {
+		c.Points = append([]any(nil), vs...)
+		return
+	}
+	var kept []any
+	for _, existing := range c.Points {
+		for _, v := range vs {
+			if bson.Compare(existing, v) == 0 {
+				kept = append(kept, existing)
+				break
+			}
+		}
+	}
+	if kept == nil {
+		kept = []any{}
+	}
+	c.Points = kept
+}
+
+func (c *Constraint) setMin(v any, inclusive bool) {
+	if !c.HasMin || bson.Compare(v, c.Min) > 0 {
+		c.Min, c.MinInclusive, c.HasMin = v, inclusive, true
+	}
+}
+
+func (c *Constraint) setMax(v any, inclusive bool) {
+	if !c.HasMax || bson.Compare(v, c.Max) < 0 {
+		c.Max, c.MaxInclusive, c.HasMax = v, inclusive, true
+	}
+}
+
+// ConstraintFor returns the constraint for a single field, or nil.
+func ConstraintFor(filter *bson.Doc, field string) *Constraint {
+	return FieldConstraints(filter)[field]
+}

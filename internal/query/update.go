@@ -1,0 +1,226 @@
+package query
+
+import (
+	"fmt"
+	"strings"
+
+	"docstore/internal/bson"
+)
+
+// Update operators supported by ApplyUpdate. The update document either uses
+// operators ({"$set": {...}, "$inc": {...}}) or is a full replacement
+// document (no $-prefixed top-level keys), in which case every field except
+// _id is replaced.
+
+// IsOperatorUpdate reports whether the update document uses update operators
+// rather than being a full-document replacement.
+func IsOperatorUpdate(update *bson.Doc) bool {
+	for _, f := range update.Fields() {
+		if strings.HasPrefix(f.Key, "$") {
+			return true
+		}
+	}
+	return false
+}
+
+// ApplyUpdate applies an update document to doc in place and reports whether
+// the document changed. The _id field is immutable: a replacement keeps the
+// existing _id and operator updates may not modify it.
+func ApplyUpdate(doc, update *bson.Doc) (bool, error) {
+	if !IsOperatorUpdate(update) {
+		return applyReplacement(doc, update)
+	}
+	changed := false
+	for _, f := range update.Fields() {
+		spec, ok := f.Value.(*bson.Doc)
+		if !ok {
+			return changed, fmt.Errorf("query: %s requires a document argument", f.Key)
+		}
+		for _, target := range spec.Fields() {
+			if target.Key == bson.IDKey {
+				return changed, fmt.Errorf("query: the %s field is immutable", bson.IDKey)
+			}
+			c, err := applyOperator(doc, f.Key, target.Key, target.Value)
+			if err != nil {
+				return changed, err
+			}
+			changed = changed || c
+		}
+	}
+	return changed, nil
+}
+
+func applyReplacement(doc, replacement *bson.Doc) (bool, error) {
+	id, hadID := doc.Get(bson.IDKey)
+	if newID, ok := replacement.Get(bson.IDKey); ok && hadID && bson.Compare(newID, id) != 0 {
+		return false, fmt.Errorf("query: the %s field is immutable", bson.IDKey)
+	}
+	// Remove all fields, then copy the replacement in, restoring _id first so
+	// it keeps its leading position.
+	for _, k := range doc.Keys() {
+		doc.Delete(k)
+	}
+	if hadID {
+		doc.Set(bson.IDKey, id)
+	}
+	for _, f := range replacement.Fields() {
+		if f.Key == bson.IDKey {
+			continue
+		}
+		doc.Set(f.Key, bson.CloneValue(f.Value))
+	}
+	return true, nil
+}
+
+func applyOperator(doc *bson.Doc, op, path string, arg any) (bool, error) {
+	arg = bson.Normalize(arg)
+	switch op {
+	case "$set":
+		cur, had := doc.GetPath(path)
+		if had && bson.Compare(cur, arg) == 0 {
+			return false, nil
+		}
+		return true, doc.SetPath(path, bson.CloneValue(arg))
+	case "$unset":
+		return doc.DeletePath(path), nil
+	case "$inc", "$mul":
+		delta, ok := bson.AsFloat(arg)
+		if !ok {
+			return false, fmt.Errorf("query: %s requires a numeric argument for %q", op, path)
+		}
+		cur, had := doc.GetPath(path)
+		if !had {
+			initial := arg
+			if op == "$mul" {
+				initial = int64(0)
+			}
+			return true, doc.SetPath(path, initial)
+		}
+		curF, ok := bson.AsFloat(cur)
+		if !ok {
+			return false, fmt.Errorf("query: cannot apply %s to non-numeric field %q", op, path)
+		}
+		var res float64
+		if op == "$inc" {
+			res = curF + delta
+		} else {
+			res = curF * delta
+		}
+		return true, doc.SetPath(path, numericResult(cur, arg, res))
+	case "$min", "$max":
+		cur, had := doc.GetPath(path)
+		if !had {
+			return true, doc.SetPath(path, arg)
+		}
+		cmp := bson.Compare(arg, cur)
+		if (op == "$min" && cmp < 0) || (op == "$max" && cmp > 0) {
+			return true, doc.SetPath(path, arg)
+		}
+		return false, nil
+	case "$rename":
+		newName, ok := arg.(string)
+		if !ok {
+			return false, fmt.Errorf("query: $rename requires a string argument for %q", path)
+		}
+		v, had := doc.GetPath(path)
+		if !had {
+			return false, nil
+		}
+		doc.DeletePath(path)
+		return true, doc.SetPath(newName, v)
+	case "$push":
+		cur, had := doc.GetPath(path)
+		if !had {
+			return true, doc.SetPath(path, []any{arg})
+		}
+		arr, ok := cur.([]any)
+		if !ok {
+			return false, fmt.Errorf("query: cannot $push to non-array field %q", path)
+		}
+		return true, doc.SetPath(path, append(arr, arg))
+	case "$addToSet":
+		cur, had := doc.GetPath(path)
+		if !had {
+			return true, doc.SetPath(path, []any{arg})
+		}
+		arr, ok := cur.([]any)
+		if !ok {
+			return false, fmt.Errorf("query: cannot $addToSet to non-array field %q", path)
+		}
+		for _, e := range arr {
+			if bson.Compare(e, arg) == 0 {
+				return false, nil
+			}
+		}
+		return true, doc.SetPath(path, append(arr, arg))
+	case "$pull":
+		cur, had := doc.GetPath(path)
+		if !had {
+			return false, nil
+		}
+		arr, ok := cur.([]any)
+		if !ok {
+			return false, fmt.Errorf("query: cannot $pull from non-array field %q", path)
+		}
+		kept := arr[:0:0]
+		removed := false
+		for _, e := range arr {
+			if bson.Compare(e, arg) == 0 {
+				removed = true
+				continue
+			}
+			kept = append(kept, e)
+		}
+		if !removed {
+			return false, nil
+		}
+		return true, doc.SetPath(path, kept)
+	case "$pop":
+		n, ok := bson.AsInt(arg)
+		if !ok || (n != 1 && n != -1) {
+			return false, fmt.Errorf("query: $pop requires 1 or -1 for %q", path)
+		}
+		cur, had := doc.GetPath(path)
+		if !had {
+			return false, nil
+		}
+		arr, ok := cur.([]any)
+		if !ok {
+			return false, fmt.Errorf("query: cannot $pop from non-array field %q", path)
+		}
+		if len(arr) == 0 {
+			return false, nil
+		}
+		if n == 1 {
+			arr = arr[:len(arr)-1]
+		} else {
+			arr = arr[1:]
+		}
+		return true, doc.SetPath(path, arr)
+	default:
+		return false, fmt.Errorf("query: unknown update operator %s", op)
+	}
+}
+
+// numericResult keeps integer arithmetic integral: when both the current
+// value and the operand are integers the result stays an int64, otherwise it
+// becomes a float64.
+func numericResult(cur, operand any, res float64) any {
+	_, curInt := cur.(int64)
+	_, opInt := operand.(int64)
+	if curInt && opInt {
+		return int64(res)
+	}
+	return res
+}
+
+// UpdateSpec describes a full update request, mirroring the four-parameter
+// update call used by the thesis' EmbedDocuments algorithm (Figure 4.7):
+// a selection filter, the update document, upsert behaviour and whether all
+// matching documents are updated.
+type UpdateSpec struct {
+	Query  *bson.Doc
+	Update *bson.Doc
+	Upsert bool
+	Multi  bool
+}

@@ -1,0 +1,292 @@
+// Package replset implements a minimal replica set: a primary that accepts
+// writes, secondaries that apply the primary's oplog, read preferences, and
+// fail-over by promotion. The thesis describes replica sets as the
+// redundancy mechanism backing shards (§2.1.3.1); the sharded experiments use
+// single-member shards, so this package exists to complete the substrate and
+// is exercised by its own tests and the ablation benchmarks.
+package replset
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// ReadPreference selects which member serves reads.
+type ReadPreference int
+
+// Read preferences.
+const (
+	ReadPrimary ReadPreference = iota
+	ReadSecondary
+	ReadNearest
+)
+
+// OpType identifies an oplog operation.
+type OpType string
+
+// Oplog operation types.
+const (
+	OpInsert OpType = "i"
+	OpUpdate OpType = "u"
+	OpDelete OpType = "d"
+)
+
+// OplogEntry is one replicated operation.
+type OplogEntry struct {
+	Seq        int64
+	At         time.Time
+	Op         OpType
+	Database   string
+	Collection string
+	Document   *bson.Doc // insert payload
+	Filter     *bson.Doc // update/delete selector
+	Update     *bson.Doc // update payload
+	Multi      bool
+}
+
+// ReplicaSet is a primary plus a set of secondaries.
+type ReplicaSet struct {
+	name string
+
+	mu          sync.Mutex
+	members     []*mongod.Server
+	primary     int
+	oplog       []OplogEntry
+	applied     map[string]int64 // member name -> last applied seq
+	nextSeq     int64
+	chainedRead int // round-robin cursor for ReadNearest
+}
+
+// New creates a replica set with the given member servers; the first member
+// starts as primary.
+func New(name string, members ...*mongod.Server) (*ReplicaSet, error) {
+	if len(members) == 0 {
+		return nil, fmt.Errorf("replset: at least one member is required")
+	}
+	rs := &ReplicaSet{name: name, members: members, applied: make(map[string]int64)}
+	for _, m := range members {
+		rs.applied[m.Name()] = 0
+	}
+	return rs, nil
+}
+
+// Name returns the replica set name.
+func (rs *ReplicaSet) Name() string { return rs.name }
+
+// Primary returns the current primary member.
+func (rs *ReplicaSet) Primary() *mongod.Server {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return rs.members[rs.primary]
+}
+
+// Secondaries returns the current secondary members.
+func (rs *ReplicaSet) Secondaries() []*mongod.Server {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var out []*mongod.Server
+	for i, m := range rs.members {
+		if i != rs.primary {
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// Members returns every member.
+func (rs *ReplicaSet) Members() []*mongod.Server {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]*mongod.Server(nil), rs.members...)
+}
+
+// OplogLength returns the number of oplog entries retained.
+func (rs *ReplicaSet) OplogLength() int {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return len(rs.oplog)
+}
+
+// Insert writes through the primary and appends an oplog entry.
+func (rs *ReplicaSet) Insert(db, coll string, doc *bson.Doc) (any, error) {
+	rs.mu.Lock()
+	primary := rs.members[rs.primary]
+	rs.mu.Unlock()
+	id, err := primary.Database(db).Insert(coll, doc)
+	if err != nil {
+		return nil, err
+	}
+	rs.appendOplog(OplogEntry{Op: OpInsert, Database: db, Collection: coll, Document: doc.Clone()})
+	return id, nil
+}
+
+// Update writes through the primary and appends an oplog entry.
+func (rs *ReplicaSet) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	rs.mu.Lock()
+	primary := rs.members[rs.primary]
+	rs.mu.Unlock()
+	res, err := primary.Database(db).Update(coll, spec)
+	if err != nil {
+		return res, err
+	}
+	rs.appendOplog(OplogEntry{
+		Op: OpUpdate, Database: db, Collection: coll,
+		Filter: cloneOrNil(spec.Query), Update: cloneOrNil(spec.Update), Multi: spec.Multi,
+	})
+	return res, nil
+}
+
+// Delete writes through the primary and appends an oplog entry.
+func (rs *ReplicaSet) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
+	rs.mu.Lock()
+	primary := rs.members[rs.primary]
+	rs.mu.Unlock()
+	n, err := primary.Database(db).Delete(coll, filter, multi)
+	if err != nil {
+		return n, err
+	}
+	rs.appendOplog(OplogEntry{Op: OpDelete, Database: db, Collection: coll, Filter: cloneOrNil(filter), Multi: multi})
+	return n, nil
+}
+
+func cloneOrNil(d *bson.Doc) *bson.Doc {
+	if d == nil {
+		return nil
+	}
+	return d.Clone()
+}
+
+func (rs *ReplicaSet) appendOplog(e OplogEntry) {
+	rs.mu.Lock()
+	rs.nextSeq++
+	e.Seq = rs.nextSeq
+	e.At = time.Now()
+	rs.oplog = append(rs.oplog, e)
+	primaryName := rs.members[rs.primary].Name()
+	rs.applied[primaryName] = e.Seq
+	rs.mu.Unlock()
+}
+
+// Sync applies pending oplog entries to every secondary, bringing the set to
+// a consistent state. It returns the number of entries applied across
+// members.
+func (rs *ReplicaSet) Sync() (int, error) {
+	rs.mu.Lock()
+	oplog := append([]OplogEntry(nil), rs.oplog...)
+	members := append([]*mongod.Server(nil), rs.members...)
+	primaryIdx := rs.primary
+	applied := make(map[string]int64, len(rs.applied))
+	for k, v := range rs.applied {
+		applied[k] = v
+	}
+	rs.mu.Unlock()
+
+	total := 0
+	for i, m := range members {
+		if i == primaryIdx {
+			continue
+		}
+		last := applied[m.Name()]
+		for _, e := range oplog {
+			if e.Seq <= last {
+				continue
+			}
+			if err := applyEntry(m, e); err != nil {
+				return total, fmt.Errorf("replset: applying op %d to %s: %w", e.Seq, m.Name(), err)
+			}
+			last = e.Seq
+			total++
+		}
+		rs.mu.Lock()
+		rs.applied[m.Name()] = last
+		rs.mu.Unlock()
+	}
+	return total, nil
+}
+
+func applyEntry(m *mongod.Server, e OplogEntry) error {
+	db := m.Database(e.Database)
+	switch e.Op {
+	case OpInsert:
+		_, err := db.Insert(e.Collection, e.Document.Clone())
+		return err
+	case OpUpdate:
+		_, err := db.Update(e.Collection, query.UpdateSpec{Query: e.Filter, Update: e.Update, Multi: e.Multi})
+		return err
+	case OpDelete:
+		_, err := db.Delete(e.Collection, e.Filter, e.Multi)
+		return err
+	default:
+		return fmt.Errorf("unknown oplog op %q", e.Op)
+	}
+}
+
+// ReplicationLag returns, per secondary, how many oplog entries it has not
+// yet applied.
+func (rs *ReplicaSet) ReplicationLag() map[string]int64 {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	out := make(map[string]int64)
+	for i, m := range rs.members {
+		if i == rs.primary {
+			continue
+		}
+		out[m.Name()] = rs.nextSeq - rs.applied[m.Name()]
+	}
+	return out
+}
+
+// Find reads from a member chosen by the read preference.
+func (rs *ReplicaSet) Find(pref ReadPreference, db, coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
+	member := rs.pickMember(pref)
+	return member.Database(db).Find(coll, filter, opts)
+}
+
+func (rs *ReplicaSet) pickMember(pref ReadPreference) *mongod.Server {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	switch pref {
+	case ReadPrimary:
+		return rs.members[rs.primary]
+	case ReadSecondary:
+		for i, m := range rs.members {
+			if i != rs.primary {
+				return m
+			}
+		}
+		return rs.members[rs.primary]
+	default:
+		rs.chainedRead++
+		return rs.members[rs.chainedRead%len(rs.members)]
+	}
+}
+
+// StepDown demotes the current primary and elects the secondary with the
+// most applied oplog entries, returning the new primary. With a single
+// member the primary is retained.
+func (rs *ReplicaSet) StepDown() *mongod.Server {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	if len(rs.members) == 1 {
+		return rs.members[rs.primary]
+	}
+	best, bestApplied := -1, int64(-1)
+	for i, m := range rs.members {
+		if i == rs.primary {
+			continue
+		}
+		if a := rs.applied[m.Name()]; a > bestApplied {
+			best, bestApplied = i, a
+		}
+	}
+	if best >= 0 {
+		rs.primary = best
+	}
+	return rs.members[rs.primary]
+}

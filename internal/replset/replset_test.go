@@ -1,0 +1,169 @@
+package replset
+
+import (
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+func newTestSet(t *testing.T, members int) *ReplicaSet {
+	t.Helper()
+	servers := make([]*mongod.Server, members)
+	for i := range servers {
+		servers[i] = mongod.NewServer(mongod.Options{Name: string(rune('A' + i))})
+	}
+	rs, err := New("rs0", servers...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestNewRequiresMembers(t *testing.T) {
+	if _, err := New("rs0"); err == nil {
+		t.Fatalf("empty member list should fail")
+	}
+	rs := newTestSet(t, 3)
+	if rs.Name() != "rs0" {
+		t.Fatalf("Name = %q", rs.Name())
+	}
+	if rs.Primary().Name() != "A" {
+		t.Fatalf("primary = %q", rs.Primary().Name())
+	}
+	if len(rs.Secondaries()) != 2 || len(rs.Members()) != 3 {
+		t.Fatalf("membership wrong")
+	}
+}
+
+func TestWriteReplicationAndLag(t *testing.T) {
+	rs := newTestSet(t, 3)
+	for i := 0; i < 20; i++ {
+		if _, err := rs.Insert("db", "c", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if rs.OplogLength() != 20 {
+		t.Fatalf("oplog length = %d", rs.OplogLength())
+	}
+	lag := rs.ReplicationLag()
+	if lag["B"] != 20 || lag["C"] != 20 {
+		t.Fatalf("lag before sync = %v", lag)
+	}
+	applied, err := rs.Sync()
+	if err != nil || applied != 40 {
+		t.Fatalf("Sync applied %d, %v", applied, err)
+	}
+	lag = rs.ReplicationLag()
+	if lag["B"] != 0 || lag["C"] != 0 {
+		t.Fatalf("lag after sync = %v", lag)
+	}
+	// Every member has the same data.
+	for _, m := range rs.Members() {
+		if got := m.Database("db").Collection("c").Count(); got != 20 {
+			t.Fatalf("member %s has %d docs", m.Name(), got)
+		}
+	}
+	// Updates and deletes replicate too.
+	if _, err := rs.Update("db", "c", query.UpdateSpec{
+		Query: bson.D("v", bson.D("$lt", 5)), Update: bson.D("$set", bson.D("small", true)), Multi: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Delete("db", "c", bson.D("v", bson.D("$gte", 15)), true); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rs.Members() {
+		coll := m.Database("db").Collection("c")
+		if coll.Count() != 15 {
+			t.Fatalf("member %s count = %d after delete", m.Name(), coll.Count())
+		}
+		small, _ := coll.CountDocs(bson.D("small", true))
+		if small != 5 {
+			t.Fatalf("member %s small count = %d", m.Name(), small)
+		}
+	}
+	// Idempotent: a second sync applies nothing.
+	applied, _ = rs.Sync()
+	if applied != 0 {
+		t.Fatalf("second sync applied %d entries", applied)
+	}
+}
+
+func TestReadPreferences(t *testing.T) {
+	rs := newTestSet(t, 2)
+	if _, err := rs.Insert("db", "c", bson.D(bson.IDKey, 1)); err != nil {
+		t.Fatal(err)
+	}
+	// Before syncing, a primary read sees the document but a secondary read
+	// does not (eventual consistency).
+	docs, err := rs.Find(ReadPrimary, "db", "c", nil, storage.FindOptions{})
+	if err != nil || len(docs) != 1 {
+		t.Fatalf("primary read = %d docs, %v", len(docs), err)
+	}
+	docs, err = rs.Find(ReadSecondary, "db", "c", nil, storage.FindOptions{})
+	if err != nil || len(docs) != 0 {
+		t.Fatalf("stale secondary read = %d docs, %v", len(docs), err)
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	docs, _ = rs.Find(ReadSecondary, "db", "c", nil, storage.FindOptions{})
+	if len(docs) != 1 {
+		t.Fatalf("secondary read after sync = %d docs", len(docs))
+	}
+	// Nearest rotates across members without failing.
+	for i := 0; i < 4; i++ {
+		if _, err := rs.Find(ReadNearest, "db", "c", nil, storage.FindOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Single-member set serves "secondary" reads from the primary.
+	single := newTestSet(t, 1)
+	if _, err := single.Insert("db", "c", bson.D(bson.IDKey, 1)); err != nil {
+		t.Fatal(err)
+	}
+	docs, _ = single.Find(ReadSecondary, "db", "c", nil, storage.FindOptions{})
+	if len(docs) != 1 {
+		t.Fatalf("single-member secondary read = %d docs", len(docs))
+	}
+}
+
+func TestStepDownPromotesMostCaughtUpSecondary(t *testing.T) {
+	rs := newTestSet(t, 3)
+	for i := 0; i < 10; i++ {
+		if _, err := rs.Insert("db", "c", bson.D(bson.IDKey, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	old := rs.Primary().Name()
+	newPrimary := rs.StepDown()
+	if newPrimary.Name() == old {
+		t.Fatalf("step down did not change the primary")
+	}
+	// Writes continue through the new primary and still replicate.
+	if _, err := rs.Insert("db", "c", bson.D(bson.IDKey, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rs.Members() {
+		if got := m.Database("db").Collection("c").Count(); got != 11 {
+			t.Fatalf("member %s count after failover = %d", m.Name(), got)
+		}
+	}
+	// Single-member sets keep their primary.
+	single := newTestSet(t, 1)
+	if single.StepDown().Name() != single.Primary().Name() {
+		t.Fatalf("single member step down changed primary")
+	}
+}

@@ -1,0 +1,146 @@
+package sharding
+
+import (
+	"sort"
+)
+
+// Migration describes one chunk move proposed by the balancer.
+type Migration struct {
+	Namespace string
+	ChunkID   int
+	From, To  string
+}
+
+// Balancer redistributes chunks so that the number of chunks per shard is as
+// even as possible. The real system migrates chunk data between shards; here
+// the proposed migrations are returned so the cluster layer can move the
+// documents and then commit the ownership change via ApplyMigration.
+type Balancer struct {
+	config *ConfigServer
+}
+
+// NewBalancer creates a balancer over the given config server.
+func NewBalancer(config *ConfigServer) *Balancer { return &Balancer{config: config} }
+
+// Plan computes the chunk migrations that would even out chunk counts for a
+// namespace. It never proposes moving a jumbo chunk.
+func (b *Balancer) Plan(namespace string) []Migration {
+	meta := b.config.Metadata(namespace)
+	if meta == nil {
+		return nil
+	}
+	shards := b.config.Shards()
+	if len(shards) < 2 {
+		return nil
+	}
+	counts := make(map[string]int, len(shards))
+	for _, s := range shards {
+		counts[s] = 0
+	}
+	chunksByShard := make(map[string][]*Chunk)
+	for _, c := range meta.Chunks() {
+		counts[c.Shard]++
+		chunksByShard[c.Shard] = append(chunksByShard[c.Shard], c)
+	}
+
+	var migrations []Migration
+	for {
+		overloaded, underloaded := "", ""
+		maxCount, minCount := -1, int(^uint(0)>>1)
+		// Deterministic iteration order.
+		names := make([]string, 0, len(counts))
+		for s := range counts {
+			names = append(names, s)
+		}
+		sort.Strings(names)
+		for _, s := range names {
+			if counts[s] > maxCount {
+				maxCount, overloaded = counts[s], s
+			}
+			if counts[s] < minCount {
+				minCount, underloaded = counts[s], s
+			}
+		}
+		if maxCount-minCount <= 1 {
+			break
+		}
+		// Move one non-jumbo chunk from the most to the least loaded shard.
+		var candidate *Chunk
+		for _, c := range chunksByShard[overloaded] {
+			if !c.Jumbo {
+				candidate = c
+				break
+			}
+		}
+		if candidate == nil {
+			break
+		}
+		migrations = append(migrations, Migration{
+			Namespace: namespace,
+			ChunkID:   candidate.ID,
+			From:      overloaded,
+			To:        underloaded,
+		})
+		counts[overloaded]--
+		counts[underloaded]++
+		// Remove the candidate from the overloaded shard's list and append it
+		// to the underloaded one so later iterations see the new ownership.
+		rest := chunksByShard[overloaded][:0]
+		for _, c := range chunksByShard[overloaded] {
+			if c != candidate {
+				rest = append(rest, c)
+			}
+		}
+		chunksByShard[overloaded] = rest
+		chunksByShard[underloaded] = append(chunksByShard[underloaded], candidate)
+	}
+	return migrations
+}
+
+// ApplyMigration commits a chunk ownership change in the metadata. The data
+// movement itself is the caller's responsibility (the cluster layer moves
+// the affected documents between shard servers before committing).
+func (b *Balancer) ApplyMigration(mig Migration) bool {
+	meta := b.config.Metadata(mig.Namespace)
+	if meta == nil {
+		return false
+	}
+	meta.mu.Lock()
+	defer meta.mu.Unlock()
+	for _, c := range meta.chunks {
+		if c.ID == mig.ChunkID && c.Shard == mig.From {
+			c.Shard = mig.To
+			return true
+		}
+	}
+	return false
+}
+
+// Imbalance returns the difference between the largest and smallest per-shard
+// chunk counts for a namespace.
+func (b *Balancer) Imbalance(namespace string) int {
+	meta := b.config.Metadata(namespace)
+	if meta == nil {
+		return 0
+	}
+	counts := meta.ChunkCountByShard()
+	// Include shards that own no chunks.
+	for _, s := range b.config.Shards() {
+		if _, ok := counts[s]; !ok {
+			counts[s] = 0
+		}
+	}
+	minC, maxC := int(^uint(0)>>1), 0
+	for _, n := range counts {
+		if n < minC {
+			minC = n
+		}
+		if n > maxC {
+			maxC = n
+		}
+	}
+	if len(counts) == 0 {
+		return 0
+	}
+	return maxC - minC
+}

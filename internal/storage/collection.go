@@ -1,0 +1,256 @@
+// Package storage implements the collection storage engine: document
+// storage with a primary _id index, secondary indexes, a query planner that
+// chooses between collection scans and index scans, update/delete execution,
+// and snapshot persistence.
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"docstore/internal/bson"
+	"docstore/internal/index"
+)
+
+// ErrDocumentTooLarge is returned when a document exceeds the 16 MB limit.
+type ErrDocumentTooLarge struct {
+	Size int
+}
+
+func (e *ErrDocumentTooLarge) Error() string {
+	return fmt.Sprintf("storage: document of %d bytes exceeds the %d byte limit", e.Size, bson.MaxDocumentSize)
+}
+
+// ErrDuplicateID is returned when inserting a document whose _id already
+// exists in the collection.
+type ErrDuplicateID struct {
+	ID any
+}
+
+func (e *ErrDuplicateID) Error() string {
+	return fmt.Sprintf("storage: duplicate _id %v", e.ID)
+}
+
+// record is one stored document slot. Deleted slots remain as tombstones
+// until the collection compacts, which keeps scans in insertion order.
+type record struct {
+	idKey   string
+	doc     *bson.Doc
+	size    int
+	deleted bool
+}
+
+// Collection is a single document collection. All methods are safe for
+// concurrent use.
+type Collection struct {
+	name string
+
+	mu       sync.RWMutex
+	records  []record
+	byID     map[string]int // idKey -> position in records
+	indexes  map[string]*index.Index
+	count    int
+	dataSize int
+	tombs    int
+
+	// stats (atomic: bumped under read locks)
+	scans      atomic.Int64 // collection scans performed
+	indexScans atomic.Int64 // index scans performed
+}
+
+// NewCollection creates an empty collection.
+func NewCollection(name string) *Collection {
+	return &Collection{
+		name:    name,
+		byID:    make(map[string]int),
+		indexes: make(map[string]*index.Index),
+	}
+}
+
+// Name returns the collection name.
+func (c *Collection) Name() string { return c.name }
+
+// idKey derives the map key for an _id value.
+func idKey(id any) string {
+	d := bson.NewDoc(1)
+	d.Set("k", id)
+	return string(bson.Marshal(d))
+}
+
+// Insert adds a document to the collection. When the document has no _id an
+// ObjectID is assigned (mirroring the behaviour described in §2.1). The
+// stored document is the one passed in; callers must not mutate it afterwards
+// except through Update.
+func (c *Collection) Insert(doc *bson.Doc) (any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.insertLocked(doc)
+}
+
+func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
+	id, ok := doc.Get(bson.IDKey)
+	if !ok {
+		id = bson.NewObjectID()
+		// _id leads the document, as the real engine stores it.
+		withID := bson.NewDoc(doc.Len() + 1)
+		withID.Set(bson.IDKey, id)
+		for _, f := range doc.Fields() {
+			withID.Set(f.Key, f.Value)
+		}
+		*doc = *withID
+	}
+	size := bson.EncodedSize(doc)
+	if size > bson.MaxDocumentSize {
+		return nil, &ErrDocumentTooLarge{Size: size}
+	}
+	key := idKey(id)
+	if _, exists := c.byID[key]; exists {
+		return nil, &ErrDuplicateID{ID: id}
+	}
+	for _, ix := range c.indexes {
+		if err := ix.Insert(doc, id); err != nil {
+			// Roll back entries added to earlier indexes.
+			for _, other := range c.indexes {
+				if other == ix {
+					break
+				}
+				other.Remove(doc, id)
+			}
+			return nil, err
+		}
+	}
+	c.records = append(c.records, record{idKey: key, doc: doc, size: size})
+	c.byID[key] = len(c.records) - 1
+	c.count++
+	c.dataSize += size
+	return id, nil
+}
+
+// InsertMany inserts a batch of documents, stopping at the first error.
+// It returns the ids of the documents inserted so far.
+func (c *Collection) InsertMany(docs []*bson.Doc) ([]any, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ids := make([]any, 0, len(docs))
+	for _, d := range docs {
+		id, err := c.insertLocked(d)
+		if err != nil {
+			return ids, err
+		}
+		ids = append(ids, id)
+	}
+	return ids, nil
+}
+
+// FindID returns the document with the given _id, or nil when absent.
+func (c *Collection) FindID(id any) *bson.Doc {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	pos, ok := c.byID[idKey(bson.Normalize(id))]
+	if !ok || c.records[pos].deleted {
+		return nil
+	}
+	return c.records[pos].doc
+}
+
+// Count returns the number of live documents.
+func (c *Collection) Count() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.count
+}
+
+// DataSize returns the total encoded size of live documents in bytes.
+func (c *Collection) DataSize() int {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.dataSize
+}
+
+// Scan invokes fn for every live document in insertion order until fn
+// returns false.
+func (c *Collection) Scan(fn func(*bson.Doc) bool) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.scans.Add(1)
+	for i := range c.records {
+		if c.records[i].deleted {
+			continue
+		}
+		if !fn(c.records[i].doc) {
+			return
+		}
+	}
+}
+
+// Drop removes every document and secondary index.
+func (c *Collection) Drop() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.records = nil
+	c.byID = make(map[string]int)
+	c.indexes = make(map[string]*index.Index)
+	c.count = 0
+	c.dataSize = 0
+	c.tombs = 0
+}
+
+// compactLocked rewrites the record slice without tombstones.
+func (c *Collection) compactLocked() {
+	if c.tombs == 0 {
+		return
+	}
+	kept := make([]record, 0, c.count)
+	byID := make(map[string]int, c.count)
+	for _, r := range c.records {
+		if r.deleted {
+			continue
+		}
+		byID[r.idKey] = len(kept)
+		kept = append(kept, r)
+	}
+	c.records = kept
+	c.byID = byID
+	c.tombs = 0
+}
+
+// Stats summarizes the collection, mirroring collStats.
+type Stats struct {
+	Name            string
+	Count           int
+	DataSizeBytes   int
+	AvgObjSizeBytes int
+	IndexCount      int
+	IndexSizeBytes  int
+	CollScans       int64
+	IndexScans      int64
+}
+
+// Stats returns current collection statistics.
+func (c *Collection) Stats() Stats {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	s := Stats{
+		Name:          c.name,
+		Count:         c.count,
+		DataSizeBytes: c.dataSize,
+		IndexCount:    len(c.indexes),
+		CollScans:     c.scans.Load(),
+		IndexScans:    c.indexScans.Load(),
+	}
+	if c.count > 0 {
+		s.AvgObjSizeBytes = c.dataSize / c.count
+	}
+	for _, ix := range c.indexes {
+		s.IndexSizeBytes += ix.SizeBytes()
+	}
+	return s
+}
+
+// WorkingSetBytes approximates the working set contribution of the
+// collection: data plus index sizes (§2.1.3.2 of the thesis).
+func (c *Collection) WorkingSetBytes() int {
+	st := c.Stats()
+	return st.DataSizeBytes + st.IndexSizeBytes
+}

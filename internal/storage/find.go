@@ -1,0 +1,296 @@
+package storage
+
+import (
+	"fmt"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// FindOptions modifies a Find call.
+type FindOptions struct {
+	Sort       query.Sort
+	Projection *query.Projection
+	Limit      int // 0 means no limit
+	Skip       int
+	// Hint forces the named index; empty lets the planner choose.
+	Hint string
+}
+
+// Plan describes how a query was (or would be) executed; it is the
+// explain() analogue.
+type Plan struct {
+	Collection   string
+	IndexUsed    string // empty for a collection scan
+	DocsExamined int
+	DocsReturned int
+	SortInMemory bool
+}
+
+// String renders the plan compactly.
+func (p Plan) String() string {
+	src := "COLLSCAN"
+	if p.IndexUsed != "" {
+		src = "IXSCAN " + p.IndexUsed
+	}
+	return fmt.Sprintf("%s on %s examined=%d returned=%d", src, p.Collection, p.DocsExamined, p.DocsReturned)
+}
+
+// Find returns the documents matching filter, honouring the options.
+func (c *Collection) Find(filter *bson.Doc, opts FindOptions) ([]*bson.Doc, error) {
+	docs, _, err := c.FindWithPlan(filter, opts)
+	return docs, err
+}
+
+// FindAll returns every document matching the filter with default options.
+func (c *Collection) FindAll(filter *bson.Doc) ([]*bson.Doc, error) {
+	return c.Find(filter, FindOptions{})
+}
+
+// FindOne returns the first matching document or nil.
+func (c *Collection) FindOne(filter *bson.Doc) (*bson.Doc, error) {
+	docs, err := c.Find(filter, FindOptions{Limit: 1})
+	if err != nil {
+		return nil, err
+	}
+	if len(docs) == 0 {
+		return nil, nil
+	}
+	return docs[0], nil
+}
+
+// CountDocs returns the number of documents matching the filter.
+func (c *Collection) CountDocs(filter *bson.Doc) (int, error) {
+	if filter == nil || filter.Len() == 0 {
+		return c.Count(), nil
+	}
+	docs, err := c.Find(filter, FindOptions{})
+	if err != nil {
+		return 0, err
+	}
+	return len(docs), nil
+}
+
+// FindWithPlan is Find but also returns the execution plan, which the
+// benchmark harness uses to verify index usage and document-examined counts.
+func (c *Collection) FindWithPlan(filter *bson.Doc, opts FindOptions) ([]*bson.Doc, Plan, error) {
+	plan := Plan{Collection: c.name}
+	matcher, err := query.Compile(filter)
+	if err != nil {
+		return nil, plan, err
+	}
+
+	c.mu.RLock()
+	candidates, indexUsed := c.planLocked(filter, opts)
+	plan.IndexUsed = indexUsed
+
+	var out []*bson.Doc
+	// When we can rely on index order for the sort and there is no explicit
+	// sort requirement beyond it, results are produced in candidate order.
+	examined := 0
+	consider := func(d *bson.Doc) bool {
+		examined++
+		if !matcher.Matches(d) {
+			return true
+		}
+		out = append(out, d)
+		// Limit can only be applied during the scan when no sort reorders
+		// the results afterwards.
+		if opts.Limit > 0 && len(opts.Sort) == 0 && len(out) >= opts.Limit+opts.Skip {
+			return false
+		}
+		return true
+	}
+	if candidates == nil {
+		c.scans.Add(1)
+		for i := range c.records {
+			if c.records[i].deleted {
+				continue
+			}
+			if !consider(c.records[i].doc) {
+				break
+			}
+		}
+	} else {
+		c.indexScans.Add(1)
+		for _, pos := range candidates {
+			r := c.records[pos]
+			if r.deleted {
+				continue
+			}
+			if !consider(r.doc) {
+				break
+			}
+		}
+	}
+	c.mu.RUnlock()
+
+	plan.DocsExamined = examined
+	if len(opts.Sort) > 0 {
+		plan.SortInMemory = true
+		opts.Sort.Apply(out)
+	}
+	if opts.Skip > 0 {
+		if opts.Skip >= len(out) {
+			out = nil
+		} else {
+			out = out[opts.Skip:]
+		}
+	}
+	if opts.Limit > 0 && len(out) > opts.Limit {
+		out = out[:opts.Limit]
+	}
+	if opts.Projection != nil {
+		projected := make([]*bson.Doc, len(out))
+		for i, d := range out {
+			projected[i] = opts.Projection.Apply(d)
+		}
+		out = projected
+	}
+	plan.DocsReturned = len(out)
+	return out, plan, nil
+}
+
+// planLocked chooses an access path for the filter: either nil (collection
+// scan) or the ordered record positions produced by the most selective usable
+// index. The caller holds at least a read lock.
+func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, string) {
+	if len(c.indexes) == 0 || filter == nil || filter.Len() == 0 {
+		return nil, ""
+	}
+	constraints := query.FieldConstraints(filter)
+	if len(constraints) == 0 && opts.Hint == "" {
+		return nil, ""
+	}
+	var best *indexChoice
+	for name, ix := range c.indexes {
+		if opts.Hint != "" && name != opts.Hint {
+			continue
+		}
+		prefix := ix.PrefixMatches(constraints)
+		if prefix == 0 {
+			if opts.Hint == name {
+				// Honour the hint even if it cannot narrow the scan.
+				return nil, ""
+			}
+			continue
+		}
+		leading := constraints[ix.Spec().Fields[0].Name]
+		choice := &indexChoice{name: name, prefix: prefix, leading: leading, distinct: ix.DistinctKeys()}
+		if best == nil || choice.better(best) {
+			best = choice
+		}
+	}
+	if best == nil {
+		return nil, ""
+	}
+	ix := c.indexes[best.name]
+	// A non-nil (possibly empty) slice signals that an index narrowed the
+	// candidates; nil means a collection scan is required.
+	positions := make([]int, 0, 16)
+	ok := ix.ScanRange(best.leading, func(id any) bool {
+		if pos, exists := c.byID[idKey(id)]; exists {
+			positions = append(positions, pos)
+		}
+		return true
+	})
+	if !ok {
+		return nil, ""
+	}
+	return positions, best.name
+}
+
+type indexChoice struct {
+	name     string
+	prefix   int
+	leading  *query.Constraint
+	distinct int
+}
+
+// better prefers longer prefixes, then point constraints over ranges, then
+// higher-cardinality indexes (a point lookup on a high-cardinality index
+// narrows the candidate set more), and finally the name for determinism.
+func (a *indexChoice) better(b *indexChoice) bool {
+	if a.prefix != b.prefix {
+		return a.prefix > b.prefix
+	}
+	aPoint, bPoint := a.leading.IsPoint(), b.leading.IsPoint()
+	if aPoint != bPoint {
+		return aPoint
+	}
+	if a.distinct != b.distinct {
+		return a.distinct > b.distinct
+	}
+	return a.name < b.name
+}
+
+// Distinct returns the sorted distinct values of a (possibly dotted) field
+// across documents matching the filter.
+func (c *Collection) Distinct(field string, filter *bson.Doc) ([]any, error) {
+	docs, err := c.FindAll(filter)
+	if err != nil {
+		return nil, err
+	}
+	var out []any
+	for _, d := range docs {
+		for _, v := range d.LookupPathAll(field) {
+			found := false
+			for _, existing := range out {
+				if bson.Compare(existing, v) == 0 {
+					found = true
+					break
+				}
+			}
+			if !found {
+				out = append(out, v)
+			}
+		}
+	}
+	sortValues(out)
+	return out, nil
+}
+
+func sortValues(vals []any) {
+	for i := 1; i < len(vals); i++ {
+		for j := i; j > 0 && bson.Compare(vals[j], vals[j-1]) < 0; j-- {
+			vals[j], vals[j-1] = vals[j-1], vals[j]
+		}
+	}
+}
+
+// Cursor provides iterator-style access over a result set, mirroring the
+// cursor interface the thesis' algorithms are written against
+// (cursor.hasNext() / cursor.next() in Figure 4.7).
+type Cursor struct {
+	docs []*bson.Doc
+	pos  int
+}
+
+// NewCursor wraps a result slice in a cursor.
+func NewCursor(docs []*bson.Doc) *Cursor { return &Cursor{docs: docs} }
+
+// HasNext reports whether another document is available.
+func (cur *Cursor) HasNext() bool { return cur.pos < len(cur.docs) }
+
+// Next returns the next document; it panics when exhausted, matching
+// iterator misuse being a programming error.
+func (cur *Cursor) Next() *bson.Doc {
+	if !cur.HasNext() {
+		panic("storage: Next called on exhausted cursor")
+	}
+	d := cur.docs[cur.pos]
+	cur.pos++
+	return d
+}
+
+// Remaining returns the number of documents not yet consumed.
+func (cur *Cursor) Remaining() int { return len(cur.docs) - cur.pos }
+
+// FindCursor runs Find and returns a cursor over the results.
+func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, error) {
+	docs, err := c.Find(filter, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewCursor(docs), nil
+}

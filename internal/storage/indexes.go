@@ -1,0 +1,83 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"docstore/internal/bson"
+	"docstore/internal/index"
+)
+
+// EnsureIndex creates a secondary index over the collection if one with the
+// same specification does not already exist, and backfills it from the
+// current documents. It returns the index either way.
+func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	name := spec.Name()
+	if existing, ok := c.indexes[name]; ok {
+		return existing, nil
+	}
+	ix := index.New(name, spec, unique)
+	for i := range c.records {
+		r := &c.records[i]
+		if r.deleted {
+			continue
+		}
+		if err := ix.Insert(r.doc, r.doc.ID()); err != nil {
+			return nil, fmt.Errorf("storage: building index %s: %w", name, err)
+		}
+	}
+	c.indexes[name] = ix
+	return ix, nil
+}
+
+// EnsureIndexDoc is EnsureIndex taking the document form of the key
+// specification, e.g. {"ss_item_sk": 1}.
+func (c *Collection) EnsureIndexDoc(spec *bson.Doc, unique bool) (*index.Index, error) {
+	parsed, err := index.ParseSpec(spec)
+	if err != nil {
+		return nil, err
+	}
+	return c.EnsureIndex(parsed, unique)
+}
+
+// DropIndex removes the named index and reports whether it existed.
+func (c *Collection) DropIndex(name string) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.indexes[name]; !ok {
+		return false
+	}
+	delete(c.indexes, name)
+	return true
+}
+
+// Index returns the named index, or nil.
+func (c *Collection) Index(name string) *index.Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.indexes[name]
+}
+
+// Indexes returns the collection's secondary indexes sorted by name.
+func (c *Collection) Indexes() []*index.Index {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([]*index.Index, 0, len(c.indexes))
+	for _, ix := range c.indexes {
+		out = append(out, ix)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// IndexNames returns the names of the collection's secondary indexes.
+func (c *Collection) IndexNames() []string {
+	ixs := c.Indexes()
+	names := make([]string, len(ixs))
+	for i, ix := range ixs {
+		names[i] = ix.Name()
+	}
+	return names
+}

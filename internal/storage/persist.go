@@ -1,0 +1,111 @@
+package storage
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"docstore/internal/bson"
+)
+
+// Snapshot persistence: a collection is written as a stream of
+// length-prefixed binary documents preceded by a small header. This is the
+// storage analogue of a data directory; the experiment harness uses it to
+// avoid regenerating datasets between runs.
+
+var snapshotMagic = [4]byte{'D', 'S', 'C', '1'}
+
+// WriteSnapshot writes every live document to w.
+func (c *Collection) WriteSnapshot(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(snapshotMagic[:]); err != nil {
+		return err
+	}
+	countBuf := make([]byte, 8)
+	binary.LittleEndian.PutUint64(countBuf, uint64(c.Count()))
+	if _, err := bw.Write(countBuf); err != nil {
+		return err
+	}
+	var writeErr error
+	c.Scan(func(d *bson.Doc) bool {
+		if _, err := bw.Write(bson.Marshal(d)); err != nil {
+			writeErr = err
+			return false
+		}
+		return true
+	})
+	if writeErr != nil {
+		return writeErr
+	}
+	return bw.Flush()
+}
+
+// ReadSnapshot loads documents from r into the collection, appending to its
+// current contents.
+func (c *Collection) ReadSnapshot(r io.Reader) error {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return fmt.Errorf("storage: reading snapshot header: %w", err)
+	}
+	if magic != snapshotMagic {
+		return fmt.Errorf("storage: bad snapshot magic %q", magic[:])
+	}
+	countBuf := make([]byte, 8)
+	if _, err := io.ReadFull(br, countBuf); err != nil {
+		return fmt.Errorf("storage: reading snapshot count: %w", err)
+	}
+	count := binary.LittleEndian.Uint64(countBuf)
+	for i := uint64(0); i < count; i++ {
+		doc, err := readLengthPrefixedDoc(br)
+		if err != nil {
+			return fmt.Errorf("storage: reading snapshot document %d: %w", i, err)
+		}
+		if _, err := c.Insert(doc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func readLengthPrefixedDoc(br *bufio.Reader) (*bson.Doc, error) {
+	lenBuf := make([]byte, 4)
+	if _, err := io.ReadFull(br, lenBuf); err != nil {
+		return nil, err
+	}
+	length := binary.LittleEndian.Uint32(lenBuf)
+	if length < 5 || length > bson.MaxDocumentSize+1024 {
+		return nil, fmt.Errorf("invalid document length %d", length)
+	}
+	buf := make([]byte, length)
+	copy(buf, lenBuf)
+	if _, err := io.ReadFull(br, buf[4:]); err != nil {
+		return nil, err
+	}
+	return bson.Unmarshal(buf)
+}
+
+// SaveFile writes the snapshot to a file path.
+func (c *Collection) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := c.WriteSnapshot(f); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// LoadFile reads a snapshot file into the collection.
+func (c *Collection) LoadFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return c.ReadSnapshot(f)
+}

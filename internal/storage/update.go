@@ -1,0 +1,169 @@
+package storage
+
+import (
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// UpdateResult reports what an update touched.
+type UpdateResult struct {
+	Matched  int
+	Modified int
+	// UpsertedID is non-nil when an upsert inserted a new document.
+	UpsertedID any
+}
+
+// Update applies an update specification: the four-parameter form (query,
+// update, upsert, multi) used throughout the thesis' algorithms.
+func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
+	var res UpdateResult
+	matcher, err := query.Compile(spec.Query)
+	if err != nil {
+		return res, err
+	}
+
+	c.mu.Lock()
+	defer c.mu.Unlock()
+
+	// Narrow the candidate set through an index when one matches the query,
+	// exactly as Find does; the denormalization algorithm issues one
+	// multi-update per dimension key and relies on this.
+	positions, _ := c.planLocked(spec.Query, FindOptions{})
+	if positions == nil {
+		positions = make([]int, 0, len(c.records))
+		for i := range c.records {
+			positions = append(positions, i)
+		}
+	}
+	for _, i := range positions {
+		r := &c.records[i]
+		if r.deleted || !matcher.Matches(r.doc) {
+			continue
+		}
+		res.Matched++
+		before := r.doc.Clone()
+		changed, err := query.ApplyUpdate(r.doc, spec.Update)
+		if err != nil {
+			return res, err
+		}
+		if changed {
+			newSize := bson.EncodedSize(r.doc)
+			if newSize > bson.MaxDocumentSize {
+				// Restore the previous content before reporting the error.
+				*r.doc = *before
+				return res, &ErrDocumentTooLarge{Size: newSize}
+			}
+			res.Modified++
+			c.dataSize += newSize - r.size
+			r.size = newSize
+			id := r.doc.ID()
+			for _, ix := range c.indexes {
+				ix.Remove(before, id)
+				if err := ix.Insert(r.doc, id); err != nil {
+					return res, err
+				}
+			}
+		}
+		if !spec.Multi {
+			return res, nil
+		}
+	}
+
+	if res.Matched == 0 && spec.Upsert {
+		doc := buildUpsertDocument(spec)
+		id, err := c.insertLocked(doc)
+		if err != nil {
+			return res, err
+		}
+		res.UpsertedID = id
+	}
+	return res, nil
+}
+
+// buildUpsertDocument constructs the document inserted by an upsert that
+// matched nothing: the equality fields of the query plus the update applied
+// to it (for operator updates) or the update document itself (replacement).
+func buildUpsertDocument(spec query.UpdateSpec) *bson.Doc {
+	base := bson.NewDoc(4)
+	if spec.Query != nil {
+		for field, cons := range query.FieldConstraints(spec.Query) {
+			if cons.IsPoint() && len(cons.Points) == 1 {
+				_ = base.SetPath(field, cons.Points[0])
+			}
+		}
+	}
+	if !query.IsOperatorUpdate(spec.Update) {
+		doc := spec.Update.Clone()
+		if id, ok := base.Get(bson.IDKey); ok && !doc.Has(bson.IDKey) {
+			doc.Set(bson.IDKey, id)
+		}
+		return doc
+	}
+	_, _ = query.ApplyUpdate(base, spec.Update)
+	return base
+}
+
+// UpdateMany is shorthand for a multi-document operator update.
+func (c *Collection) UpdateMany(filter, update *bson.Doc) (UpdateResult, error) {
+	return c.Update(query.UpdateSpec{Query: filter, Update: update, Multi: true})
+}
+
+// UpdateOne is shorthand for a single-document update.
+func (c *Collection) UpdateOne(filter, update *bson.Doc) (UpdateResult, error) {
+	return c.Update(query.UpdateSpec{Query: filter, Update: update})
+}
+
+// ReplaceContents drops every document and inserts the given ones; it is the
+// semantics of the aggregation $out stage writing its result collection.
+func (c *Collection) ReplaceContents(docs []*bson.Doc) error {
+	c.Drop()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, d := range docs {
+		if _, err := c.insertLocked(d); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Delete removes documents matching the filter. When multi is false only the
+// first match is removed. It returns the number of documents removed.
+func (c *Collection) Delete(filter *bson.Doc, multi bool) (int, error) {
+	matcher, err := query.Compile(filter)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	removed := 0
+	for i := range c.records {
+		r := &c.records[i]
+		if r.deleted || !matcher.Matches(r.doc) {
+			continue
+		}
+		r.deleted = true
+		delete(c.byID, r.idKey)
+		id := r.doc.ID()
+		for _, ix := range c.indexes {
+			ix.Remove(r.doc, id)
+		}
+		c.count--
+		c.dataSize -= r.size
+		c.tombs++
+		removed++
+		if !multi {
+			break
+		}
+	}
+	if c.tombs > len(c.records)/2 && c.tombs > 64 {
+		c.compactLocked()
+	}
+	return removed, nil
+}
+
+// DeleteID removes the document with the given _id.
+func (c *Collection) DeleteID(id any) (bool, error) {
+	n, err := c.Delete(bson.D(bson.IDKey, id), false)
+	return n > 0, err
+}

@@ -1,0 +1,106 @@
+package tpcds
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// The dsdgen output format: one line per row, column values joined by '|'
+// (every column value is followed by the delimiter, including the last, which
+// is how the real toolkit writes its files). Null values are empty strings.
+
+// WriteDatRow writes one row in .dat format.
+func WriteDatRow(w io.Writer, row []string) error {
+	var b strings.Builder
+	for _, v := range row {
+		b.WriteString(v)
+		b.WriteByte('|')
+	}
+	b.WriteByte('\n')
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// ReadDat reads .dat rows from r and invokes fn with each row's column
+// values. It tolerates both trailing-delimiter and no-trailing-delimiter
+// forms.
+func ReadDat(r io.Reader, fn func(row []string) error) error {
+	scanner := bufio.NewScanner(r)
+	scanner.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
+	line := 0
+	for scanner.Scan() {
+		line++
+		text := scanner.Text()
+		if text == "" {
+			continue
+		}
+		cols := strings.Split(text, "|")
+		// A trailing delimiter yields one empty extra field; drop it.
+		if len(cols) > 0 && cols[len(cols)-1] == "" && strings.HasSuffix(text, "|") {
+			cols = cols[:len(cols)-1]
+		}
+		if err := fn(cols); err != nil {
+			return fmt.Errorf("tpcds: line %d: %w", line, err)
+		}
+	}
+	return scanner.Err()
+}
+
+// WriteDat generates every row of a table to w in .dat format.
+func (g *Generator) WriteDat(table string, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	err := g.EachRow(table, func(_ int, row []string) error {
+		return WriteDatRow(bw, row)
+	})
+	if err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// DatFileName returns the conventional file name for a table ("store_sales.dat").
+func DatFileName(table string) string { return table + ".dat" }
+
+// GenerateDir writes every table's .dat file into dir (created if needed),
+// mirroring `dsdgen -dir data`. It returns the table → file path mapping.
+func (g *Generator) GenerateDir(dir string) (map[string]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	out := make(map[string]string)
+	for _, table := range g.schema.TableNames() {
+		path := filepath.Join(dir, DatFileName(table))
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := g.WriteDat(table, f); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("tpcds: generating %s: %w", table, err)
+		}
+		if err := f.Close(); err != nil {
+			return nil, err
+		}
+		out[table] = path
+	}
+	return out, nil
+}
+
+// TableDat renders a whole table as an in-memory .dat byte slice; the
+// experiment harness uses it to feed the migration algorithm without touching
+// the filesystem.
+func (g *Generator) TableDat(table string) ([]byte, error) {
+	var sb strings.Builder
+	if err := g.WriteDat(table, &stringsWriter{&sb}); err != nil {
+		return nil, err
+	}
+	return []byte(sb.String()), nil
+}
+
+type stringsWriter struct{ b *strings.Builder }
+
+func (w *stringsWriter) Write(p []byte) (int, error) { return w.b.Write(p) }

@@ -1,0 +1,587 @@
+package tpcds
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+)
+
+// Calendar constants: the generated calendar starts at 1998-01-01, whose
+// TPC-DS surrogate key is 2450815, and the fact tables draw their sale dates
+// from a five-year window so every query-year predicate (1998–2002) selects a
+// non-trivial slice.
+const (
+	DateSkBase       = 2450815
+	calendarStartISO = "1998-01-01"
+	salesWindowDays  = 1826 // 1998-01-01 .. 2002-12-31
+)
+
+var calendarStart = time.Date(1998, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// DateForOffset returns the calendar date at a day offset from the window
+// start.
+func DateForOffset(offset int) time.Time { return calendarStart.AddDate(0, 0, offset) }
+
+// DateSkForOffset returns the date surrogate key at a day offset.
+func DateSkForOffset(offset int) int { return DateSkBase + offset }
+
+// OffsetForDate returns the day offset of an ISO date within the calendar.
+func OffsetForDate(iso string) (int, error) {
+	t, err := time.Parse("2006-01-02", iso)
+	if err != nil {
+		return 0, fmt.Errorf("tpcds: bad date %q: %w", iso, err)
+	}
+	return int(t.Sub(calendarStart).Hours() / 24), nil
+}
+
+// Generator produces the synthetic dataset for one scale. Row generation is
+// deterministic in (seed, table, row index): generating a table twice, or on
+// two different machines, yields identical rows. Fact rows are pure functions
+// of their index so correlated tables (store_returns referencing store_sales)
+// can be generated independently without materializing their parents.
+type Generator struct {
+	schema *Schema
+	scale  Scale
+	seed   uint64
+}
+
+// NewGenerator creates a generator for a scale.
+func NewGenerator(scale Scale, seed int64) *Generator {
+	return &Generator{schema: NewSchema(), scale: scale, seed: uint64(seed)}
+}
+
+// Schema returns the table catalog.
+func (g *Generator) Schema() *Schema { return g.schema }
+
+// Scale returns the generator's scale.
+func (g *Generator) Scale() Scale { return g.scale }
+
+// RowCount returns the number of rows generated for a table.
+func (g *Generator) RowCount(table string) int { return g.scale.RowCount(table) }
+
+// splitmix64 is the per-row deterministic hash driving all value choices.
+func splitmix64(x uint64) uint64 {
+	x += 0x9E3779B97F4A7C15
+	x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9
+	x = (x ^ (x >> 27)) * 0x94D049BB133111EB
+	return x ^ (x >> 31)
+}
+
+// rnd derives the k-th random draw for row i of a table.
+func (g *Generator) rnd(table string, i, k int) uint64 {
+	h := g.seed
+	for _, c := range table {
+		h = splitmix64(h ^ uint64(c))
+	}
+	return splitmix64(h ^ splitmix64(uint64(i)*2654435761+uint64(k)*40503))
+}
+
+func (g *Generator) rndInt(table string, i, k, n int) int {
+	if n <= 0 {
+		return 0
+	}
+	return int(g.rnd(table, i, k) % uint64(n))
+}
+
+func (g *Generator) rndFloat(table string, i, k int, lo, hi float64) float64 {
+	f := float64(g.rnd(table, i, k)%1000000) / 1000000.0
+	return lo + f*(hi-lo)
+}
+
+// EachRow invokes fn for every row of the table in order.
+func (g *Generator) EachRow(table string, fn func(i int, row []string) error) error {
+	t := g.schema.Table(table)
+	if t == nil {
+		return fmt.Errorf("tpcds: unknown table %q", table)
+	}
+	n := g.RowCount(table)
+	for i := 0; i < n; i++ {
+		row, err := g.Row(table, i)
+		if err != nil {
+			return err
+		}
+		if err := fn(i, row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Row generates row i of a table as column string values in schema order.
+// Null column values are rendered as empty strings, matching the dsdgen
+// `.dat` convention.
+func (g *Generator) Row(table string, i int) ([]string, error) {
+	t := g.schema.Table(table)
+	if t == nil {
+		return nil, fmt.Errorf("tpcds: unknown table %q", table)
+	}
+	n := g.RowCount(table)
+	if i < 0 || i >= n {
+		return nil, fmt.Errorf("tpcds: row %d out of range for %s (%d rows)", i, table, n)
+	}
+	switch table {
+	case "date_dim":
+		return g.dateDimRow(i), nil
+	case "time_dim":
+		return g.timeDimRow(i), nil
+	case "item":
+		return g.itemRow(i), nil
+	case "customer":
+		return g.customerRow(i), nil
+	case "customer_address":
+		return g.customerAddressRow(i), nil
+	case "customer_demographics":
+		return g.customerDemographicsRow(i), nil
+	case "household_demographics":
+		return g.householdDemographicsRow(i), nil
+	case "income_band":
+		return g.incomeBandRow(i), nil
+	case "promotion":
+		return g.promotionRow(i), nil
+	case "store":
+		return g.storeRow(i), nil
+	case "warehouse":
+		return g.warehouseRow(i), nil
+	case "store_sales":
+		return g.storeSalesRow(i), nil
+	case "store_returns":
+		return g.storeReturnsRow(i), nil
+	case "inventory":
+		return g.inventoryRow(i), nil
+	default:
+		return g.genericRow(t, i), nil
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Dimension tables
+
+var (
+	genders        = []string{"M", "F"}
+	maritalStatus  = []string{"M", "S", "D", "W", "U"}
+	educations     = []string{"Primary", "Secondary", "College", "2 yr Degree", "4 yr Degree", "Advanced Degree", "Unknown"}
+	creditRatings  = []string{"Low Risk", "Good", "High Risk", "Unknown"}
+	buyPotentials  = []string{"0-500", "501-1000", "1001-5000", "5001-10000", ">10000", "Unknown"}
+	cities         = []string{"Midway", "Fairview", "Oak Grove", "Pleasant Hill", "Centerville", "Lakeview", "Riverside", "Union", "Salem", "Greenville"}
+	states         = []string{"OH", "CA", "TX", "GA", "KY", "TN", "IN", "MI"}
+	streetNames    = []string{"Jackson", "Main", "Oak", "Maple", "Washington", "Park", "Elm", "College"}
+	streetTypes    = []string{"Parkway", "Street", "Avenue", "Boulevard", "Lane", "Court"}
+	firstNames     = []string{"Earl", "James", "Mary", "Linda", "Robert", "Patricia", "Michael", "Barbara", "William", "Susan"}
+	lastNames      = []string{"Garrison", "Smith", "Johnson", "Williams", "Brown", "Jones", "Miller", "Davis", "Wilson", "Moore"}
+	categories     = []string{"Books", "Electronics", "Home", "Jewelry", "Men", "Music", "Shoes", "Sports", "Women", "Children"}
+	dayNames       = []string{"Sunday", "Monday", "Tuesday", "Wednesday", "Thursday", "Friday", "Saturday"}
+	yesNo          = []string{"Y", "N"}
+	channelNames   = []string{"mail", "email", "catalog", "tv", "radio", "press", "event", "demo"}
+	warehouseNames = []string{"Conventional childr", "Important issues liv", "Doors canno", "Bad cards must make", "Rooms cook ", "Sure opportunities m", "Eyes say close"}
+)
+
+func itoa(v int) string                       { return strconv.Itoa(v) }
+func ftoa(v float64) string                   { return strconv.FormatFloat(v, 'f', 2, 64) }
+func businessKey(prefix string, i int) string { return fmt.Sprintf("%s%016d", prefix, i+1) }
+
+func (g *Generator) dateDimRow(i int) []string {
+	d := DateForOffset(i)
+	dow := int(d.Weekday())
+	weekend := "N"
+	if dow == 0 || dow == 6 {
+		weekend = "Y"
+	}
+	quarter := (int(d.Month())-1)/3 + 1
+	return []string{
+		itoa(DateSkForOffset(i)),                  // d_date_sk
+		businessKey("AAAAAAAA", i),                // d_date_id
+		d.Format("2006-01-02"),                    // d_date
+		itoa((d.Year()-1900)*12 + int(d.Month())), // d_month_seq
+		itoa(i / 7),                               // d_week_seq
+		itoa((d.Year()-1900)*4 + quarter),         // d_quarter_seq
+		itoa(d.Year()),                            // d_year
+		itoa(dow),                                 // d_dow
+		itoa(int(d.Month())),                      // d_moy
+		itoa(d.Day()),                             // d_dom
+		itoa(quarter),                             // d_qoy
+		itoa(d.Year()),                            // d_fy_year
+		itoa((d.Year()-1900)*4 + quarter),         // d_fy_quarter_seq
+		itoa(i / 7),                               // d_fy_week_seq
+		dayNames[dow],                             // d_day_name
+		fmt.Sprintf("%dQ%d", d.Year(), quarter),   // d_quarter_name
+		"N",                                       // d_holiday
+		weekend,                                   // d_weekend
+		"N",                                       // d_following_holiday
+		itoa(DateSkForOffset(i - d.Day() + 1)),    // d_first_dom
+		itoa(DateSkForOffset(i)),                  // d_last_dom (approximation)
+		itoa(DateSkForOffset(i) - 365),            // d_same_day_ly
+		itoa(DateSkForOffset(i) - 91),             // d_same_day_lq
+		"N", "N", "N", "N", "N",                   // d_current_*
+	}
+}
+
+func (g *Generator) timeDimRow(i int) []string {
+	total := i * (86400 / maxInt(1, g.RowCount("time_dim")))
+	h, m, s := total/3600, (total/60)%60, total%60
+	ampm := "AM"
+	if h >= 12 {
+		ampm = "PM"
+	}
+	shift := "first"
+	switch {
+	case h >= 16:
+		shift = "third"
+	case h >= 8:
+		shift = "second"
+	}
+	meal := ""
+	switch {
+	case h >= 6 && h < 9:
+		meal = "breakfast"
+	case h >= 11 && h < 14:
+		meal = "lunch"
+	case h >= 17 && h < 21:
+		meal = "dinner"
+	}
+	return []string{
+		itoa(i), businessKey("AAAAAAAA", i), itoa(total),
+		itoa(h), itoa(m), itoa(s), ampm, shift, "morning", meal,
+	}
+}
+
+func (g *Generator) itemRow(i int) []string {
+	price := g.rndFloat("item", i, 0, 0.09, 9.99)
+	cat := categories[i%len(categories)]
+	return []string{
+		itoa(i + 1),                // i_item_sk
+		businessKey("AAAAAAAA", i), // i_item_id
+		"1997-10-27",               // i_rec_start_date
+		"",                         // i_rec_end_date (null)
+		fmt.Sprintf("Item %d description for the %s category", i+1, cat), // i_item_desc
+		ftoa(price),                        // i_current_price
+		ftoa(price * 0.6),                  // i_wholesale_cost
+		itoa(1 + i%50),                     // i_brand_id
+		fmt.Sprintf("brand#%d", 1+i%50),    // i_brand
+		itoa(1 + i%10),                     // i_class_id
+		fmt.Sprintf("class%d", 1+i%10),     // i_class
+		itoa(1 + i%len(categories)),        // i_category_id
+		cat,                                // i_category
+		itoa(1 + i%100),                    // i_manufact_id
+		fmt.Sprintf("manufact%d", 1+i%100), // i_manufact
+		[]string{"small", "medium", "large", "extra large", "petite", "N/A"}[i%6], // i_size
+		fmt.Sprintf("formulation%d", i%20),                                        // i_formulation
+		[]string{"red", "green", "blue", "white", "black", "ivory"}[i%6],          // i_color
+		[]string{"Each", "Case", "Box", "Pound"}[i%4],                             // i_units
+		[]string{"Unknown"}[0],                                                    // i_container
+		itoa(1 + i%20),                                                            // i_manager_id
+		fmt.Sprintf("product%d", i+1),                                             // i_product_name
+	}
+}
+
+func (g *Generator) customerRow(i int) []string {
+	addrCount := g.RowCount("customer_address")
+	cdCount := g.RowCount("customer_demographics")
+	hdCount := g.RowCount("household_demographics")
+	birthYear := 1930 + g.rndInt("customer", i, 4, 60)
+	return []string{
+		itoa(i + 1),                // c_customer_sk
+		businessKey("AAAAAAAA", i), // c_customer_id
+		itoa(1 + g.rndInt("customer", i, 0, cdCount)),                      // c_current_cdemo_sk
+		itoa(1 + g.rndInt("customer", i, 1, hdCount)),                      // c_current_hdemo_sk
+		itoa(1 + g.rndInt("customer", i, 2, addrCount)),                    // c_current_addr_sk
+		itoa(DateSkForOffset(g.rndInt("customer", i, 3, salesWindowDays))), // c_first_shipto_date_sk
+		itoa(DateSkForOffset(g.rndInt("customer", i, 5, salesWindowDays))), // c_first_sales_date_sk
+		[]string{"Mr.", "Mrs.", "Ms.", "Dr.", "Sir"}[i%5],                  // c_salutation
+		firstNames[g.rndInt("customer", i, 6, len(firstNames))],            // c_first_name
+		lastNames[g.rndInt("customer", i, 7, len(lastNames))],              // c_last_name
+		yesNo[i%2],                               // c_preferred_cust_flag
+		itoa(1 + g.rndInt("customer", i, 8, 28)), // c_birth_day
+		itoa(1 + g.rndInt("customer", i, 9, 12)), // c_birth_month
+		itoa(birthYear),                          // c_birth_year
+		"UNITED STATES",                          // c_birth_country
+		"",                                       // c_login (null)
+		fmt.Sprintf("customer%d@example.com", i+1), // c_email_address
+		itoa(DateSkForOffset(salesWindowDays - 1)), // c_last_review_date_sk
+	}
+}
+
+func (g *Generator) customerAddressRow(i int) []string {
+	return []string{
+		itoa(i + 1),                // ca_address_sk
+		businessKey("AAAAAAAA", i), // ca_address_id
+		itoa(1 + g.rndInt("customer_address", i, 0, 999)),                 // ca_street_number
+		streetNames[g.rndInt("customer_address", i, 1, len(streetNames))], // ca_street_name
+		streetTypes[g.rndInt("customer_address", i, 2, len(streetTypes))], // ca_street_type
+		fmt.Sprintf("Suite %d", g.rndInt("customer_address", i, 3, 400)),  // ca_suite_number
+		cities[g.rndInt("customer_address", i, 4, len(cities))],           // ca_city
+		"Williamson County", // ca_county
+		states[g.rndInt("customer_address", i, 5, len(states))],              // ca_state
+		fmt.Sprintf("%05d", 10000+g.rndInt("customer_address", i, 6, 89999)), // ca_zip
+		"United States", // ca_country
+		"-5.00",         // ca_gmt_offset
+		[]string{"apartment", "condo", "single family"}[i%3], // ca_location_type
+	}
+}
+
+func (g *Generator) customerDemographicsRow(i int) []string {
+	// Every combination of gender / marital status / education appears,
+	// cycling deterministically as the real generator does, so the Query 7
+	// predicate (M / M / 4 yr Degree) selects a fixed 1/70 of demographics.
+	return []string{
+		itoa(i + 1),             // cd_demo_sk
+		genders[i%2],            // cd_gender
+		maritalStatus[(i/2)%5],  // cd_marital_status
+		educations[(i/10)%7],    // cd_education_status
+		itoa(500 * (1 + i%20)),  // cd_purchase_estimate
+		creditRatings[(i/70)%4], // cd_credit_rating
+		itoa(i % 7),             // cd_dep_count
+		itoa(i % 5),             // cd_dep_employed_count
+		itoa(i % 3),             // cd_dep_college_count
+	}
+}
+
+func (g *Generator) householdDemographicsRow(i int) []string {
+	return []string{
+		itoa(i + 1),                           // hd_demo_sk
+		itoa(1 + i%g.RowCount("income_band")), // hd_income_band_sk
+		buyPotentials[i%len(buyPotentials)],   // hd_buy_potential
+		itoa(i % 10),                          // hd_dep_count (2 for the Q46 predicate on 1/10 of rows)
+		itoa(i % 5),                           // hd_vehicle_count (3 on 1/5 of rows)
+	}
+}
+
+func (g *Generator) incomeBandRow(i int) []string {
+	return []string{itoa(i + 1), itoa(i * 10000), itoa((i+1)*10000 - 1)}
+}
+
+func (g *Generator) promotionRow(i int) []string {
+	row := []string{
+		itoa(i + 1),                // p_promo_sk
+		businessKey("AAAAAAAA", i), // p_promo_id
+		itoa(DateSkForOffset(g.rndInt("promotion", i, 0, salesWindowDays/2))),                     // p_start_date_sk
+		itoa(DateSkForOffset(salesWindowDays/2 + g.rndInt("promotion", i, 1, salesWindowDays/2))), // p_end_date_sk
+		itoa(1 + g.rndInt("promotion", i, 2, g.RowCount("item"))),                                 // p_item_sk
+		ftoa(1000.0),                // p_cost
+		itoa(1),                     // p_response_target
+		fmt.Sprintf("promo%d", i+1), // p_promo_name
+	}
+	// Channel flags: roughly half N, half Y, varying per channel and per row
+	// so the Query 7 OR-predicate has mixed outcomes.
+	for c := range channelNames {
+		row = append(row, yesNo[g.rndInt("promotion", i, 3+c, 2)])
+	}
+	row = append(row, "in-store promotion", "promotion purpose", "N")
+	return row
+}
+
+func (g *Generator) storeRow(i int) []string {
+	return []string{
+		itoa(i + 1),                // s_store_sk
+		businessKey("AAAAAAAA", i), // s_store_id
+		"1997-03-13", "",           // s_rec_start_date, s_rec_end_date
+		"", // s_closed_date_sk (null)
+		[]string{"ought", "able", "pri", "ese", "anti", "cally", "ation", "eing", "n st", "bar"}[i%10], // s_store_name
+		itoa(200 + i%100),      // s_number_employees
+		itoa(5000000 + i*1000), // s_floor_space
+		"8AM-8PM",              // s_hours
+		firstNames[i%len(firstNames)] + " " + lastNames[i%len(lastNames)], // s_manager
+		itoa(1 + i%10),       // s_market_id
+		"Unknown",            // s_geography_class
+		"market description", // s_market_desc
+		firstNames[(i+3)%len(firstNames)] + " " + lastNames[(i+5)%len(lastNames)], // s_market_manager
+		itoa(1 + i%5),                   // s_division_id
+		"Unknown",                       // s_division_name
+		itoa(1 + i%6),                   // s_company_id
+		"Unknown",                       // s_company_name
+		itoa(100 + i),                   // s_street_number
+		streetNames[i%len(streetNames)], // s_street_name
+		streetTypes[i%len(streetTypes)], // s_street_type
+		fmt.Sprintf("Suite %d", 100+i),  // s_suite_number
+		cities[i%len(cities)],           // s_city: Midway, Fairview, ... in rotation
+		"Williamson County",             // s_county
+		states[i%len(states)],           // s_state
+		fmt.Sprintf("%05d", 30000+i),    // s_zip
+		"United States",                 // s_country
+		"-5.00",                         // s_gmt_offset
+		"0.03",                          // s_tax_precentage
+	}
+}
+
+func (g *Generator) warehouseRow(i int) []string {
+	return []string{
+		itoa(i + 1),                           // w_warehouse_sk
+		businessKey("AAAAAAAA", i),            // w_warehouse_id
+		warehouseNames[i%len(warehouseNames)], // w_warehouse_name
+		itoa(500000 + i*1000),                 // w_warehouse_sq_ft
+		itoa(100 + i),                         // w_street_number
+		streetNames[i%len(streetNames)],       // w_street_name
+		streetTypes[i%len(streetTypes)],       // w_street_type
+		fmt.Sprintf("Suite %d", i),            // w_suite_number
+		cities[i%len(cities)],                 // w_city
+		"Williamson County",                   // w_county
+		states[i%len(states)],                 // w_state
+		fmt.Sprintf("%05d", 40000+i),          // w_zip
+		"United States",                       // w_country
+		"-5.00",                               // w_gmt_offset
+	}
+}
+
+// genericRow fills tables that the benchmark queries never touch with
+// plausible values driven only by the column types.
+func (g *Generator) genericRow(t *Table, i int) []string {
+	row := make([]string, len(t.Columns))
+	for c, col := range t.Columns {
+		switch {
+		case c == 0:
+			row[c] = itoa(i + 1) // surrogate key
+		case col.Type == ColInt:
+			row[c] = itoa(g.rndInt(t.Name, i, c, 10000))
+		case col.Type == ColFloat:
+			row[c] = ftoa(g.rndFloat(t.Name, i, c, 0, 1000))
+		case col.Type == ColDate:
+			row[c] = DateForOffset(g.rndInt(t.Name, i, c, salesWindowDays)).Format("2006-01-02")
+		default:
+			row[c] = fmt.Sprintf("%s_%d", col.Name, i+1)
+		}
+	}
+	return row
+}
+
+// ---------------------------------------------------------------------------
+// Fact tables
+
+// storeSaleFields are the deterministic per-row choices shared between
+// store_sales and store_returns generation.
+type storeSaleFields struct {
+	soldDateOffset int
+	itemSk         int
+	customerSk     int
+	cdemoSk        int
+	hdemoSk        int
+	addrSk         int
+	storeSk        int
+	promoSk        int
+	ticketNumber   int
+	quantity       int
+	listPrice      float64
+	salesPrice     float64
+	couponAmt      float64
+	netProfit      float64
+}
+
+func (g *Generator) storeSaleFields(i int) storeSaleFields {
+	maxDate := minInt(salesWindowDays, g.RowCount("date_dim")) - 1
+	return storeSaleFields{
+		soldDateOffset: g.rndInt("store_sales", i, 0, maxDate),
+		itemSk:         1 + g.rndInt("store_sales", i, 1, g.RowCount("item")),
+		customerSk:     1 + g.rndInt("store_sales", i, 2, g.RowCount("customer")),
+		cdemoSk:        1 + g.rndInt("store_sales", i, 3, g.RowCount("customer_demographics")),
+		hdemoSk:        1 + g.rndInt("store_sales", i, 4, g.RowCount("household_demographics")),
+		addrSk:         1 + g.rndInt("store_sales", i, 5, g.RowCount("customer_address")),
+		storeSk:        1 + g.rndInt("store_sales", i, 6, g.RowCount("store")),
+		promoSk:        1 + g.rndInt("store_sales", i, 7, g.RowCount("promotion")),
+		ticketNumber:   i/3 + 1,
+		quantity:       1 + g.rndInt("store_sales", i, 8, 100),
+		listPrice:      g.rndFloat("store_sales", i, 9, 1, 200),
+		salesPrice:     g.rndFloat("store_sales", i, 10, 1, 200) * 0.8,
+		couponAmt:      g.rndFloat("store_sales", i, 11, 0, 20),
+		netProfit:      g.rndFloat("store_sales", i, 12, -100, 250),
+	}
+}
+
+func (g *Generator) storeSalesRow(i int) []string {
+	f := g.storeSaleFields(i)
+	wholesale := f.listPrice * 0.6
+	ext := func(v float64) string { return ftoa(v * float64(f.quantity)) }
+	return []string{
+		itoa(DateSkForOffset(f.soldDateOffset)),                      // ss_sold_date_sk
+		itoa(g.rndInt("store_sales", i, 13, g.RowCount("time_dim"))), // ss_sold_time_sk
+		itoa(f.itemSk),       // ss_item_sk
+		itoa(f.customerSk),   // ss_customer_sk
+		itoa(f.cdemoSk),      // ss_cdemo_sk
+		itoa(f.hdemoSk),      // ss_hdemo_sk
+		itoa(f.addrSk),       // ss_addr_sk
+		itoa(f.storeSk),      // ss_store_sk
+		itoa(f.promoSk),      // ss_promo_sk
+		itoa(f.ticketNumber), // ss_ticket_number
+		itoa(f.quantity),     // ss_quantity
+		ftoa(wholesale),      // ss_wholesale_cost
+		ftoa(f.listPrice),    // ss_list_price
+		ftoa(f.salesPrice),   // ss_sales_price
+		ftoa(2.5),            // ss_ext_discount_amt
+		ext(f.salesPrice),    // ss_ext_sales_price
+		ext(wholesale),       // ss_ext_wholesale_cost
+		ext(f.listPrice),     // ss_ext_list_price
+		ftoa(f.salesPrice * float64(f.quantity) * 0.06), // ss_ext_tax
+		ftoa(f.couponAmt), // ss_coupon_amt
+		ext(f.salesPrice), // ss_net_paid
+		ftoa(f.salesPrice * float64(f.quantity) * 1.06), // ss_net_paid_inc_tax
+		ftoa(f.netProfit), // ss_net_profit
+	}
+}
+
+func (g *Generator) storeReturnsRow(i int) []string {
+	salesCount := g.RowCount("store_sales")
+	returnsCount := g.RowCount("store_returns")
+	// Each return references a distinct sale, spread evenly over the sales
+	// so joins on (ticket_number, item_sk, customer_sk) succeed.
+	stride := maxInt(1, salesCount/maxInt(1, returnsCount))
+	saleIdx := (i * stride) % maxInt(1, salesCount)
+	f := g.storeSaleFields(saleIdx)
+	delay := 1 + g.rndInt("store_returns", i, 0, 150)
+	maxDate := minInt(g.RowCount("date_dim"), calendarDays) - 1
+	returnedOffset := minInt(f.soldDateOffset+delay, maxDate)
+	returnQty := 1 + g.rndInt("store_returns", i, 1, f.quantity)
+	returnAmt := f.salesPrice * float64(returnQty)
+	return []string{
+		itoa(DateSkForOffset(returnedOffset)),                         // sr_returned_date_sk
+		itoa(g.rndInt("store_returns", i, 2, g.RowCount("time_dim"))), // sr_return_time_sk
+		itoa(f.itemSk),     // sr_item_sk
+		itoa(f.customerSk), // sr_customer_sk
+		itoa(f.cdemoSk),    // sr_cdemo_sk
+		itoa(f.hdemoSk),    // sr_hdemo_sk
+		itoa(f.addrSk),     // sr_addr_sk
+		itoa(f.storeSk),    // sr_store_sk
+		itoa(1 + g.rndInt("store_returns", i, 3, g.RowCount("reason"))), // sr_reason_sk
+		itoa(f.ticketNumber),   // sr_ticket_number
+		itoa(returnQty),        // sr_return_quantity
+		ftoa(returnAmt),        // sr_return_amt
+		ftoa(returnAmt * 0.06), // sr_return_tax
+		ftoa(returnAmt * 1.06), // sr_return_amt_inc_tax
+		ftoa(5.0),              // sr_fee
+		ftoa(returnAmt * 0.1),  // sr_return_ship_cost
+		ftoa(returnAmt * 0.7),  // sr_refunded_cash
+		ftoa(returnAmt * 0.2),  // sr_reversed_charge
+		ftoa(returnAmt * 0.1),  // sr_store_credit
+		ftoa(returnAmt * 0.5),  // sr_net_loss
+	}
+}
+
+func (g *Generator) inventoryRow(i int) []string {
+	// Inventory snapshots are bi-weekly per (item, warehouse) pair, covering
+	// the whole sales window so Query 21 sees stock levels both before and
+	// after its pivot date for every pair.
+	const snapshotIntervalDays = 14
+	items := g.RowCount("item")
+	warehouses := g.RowCount("warehouse")
+	snapshots := maxInt(1, minInt(salesWindowDays, g.RowCount("date_dim"))/snapshotIntervalDays)
+	pair := i / snapshots
+	snap := i % snapshots
+	item := 1 + pair%items
+	warehouse := 1 + (pair/items)%warehouses
+	return []string{
+		itoa(DateSkForOffset(snap * snapshotIntervalDays)), // inv_date_sk
+		itoa(item),                              // inv_item_sk
+		itoa(warehouse),                         // inv_warehouse_sk
+		itoa(g.rndInt("inventory", i, 0, 1000)), // inv_quantity_on_hand
+	}
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,467 @@
+// Package tpcds implements the TPC-DS substrate used by the thesis: the
+// 24-table retail snowflake schema (7 fact tables, 17 dimension tables), a
+// deterministic synthetic data generator whose per-table cardinalities follow
+// the row-count model of Table 3.6, a pipe-delimited ".dat" file writer and
+// reader matching the dsdgen output format, and the catalog of the four data
+// mining queries (Q7, Q21, Q46, Q50) with the features of Table 3.5.
+//
+// The real TPC-DS toolkit (dsdgen/dsqgen) is proprietary C code driven by
+// distribution files; this package substitutes a synthetic generator that
+// preserves what the evaluation depends on — table cardinalities and their
+// ratios across scales, the foreign-key topology of Figures 3.2–3.4, and
+// value distributions that give the four queries non-trivial selectivities.
+package tpcds
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ColumnType is the SQL-ish type of a column, used when migrating string
+// fields from .dat files into typed document values.
+type ColumnType int
+
+// Column types.
+const (
+	ColInt ColumnType = iota
+	ColFloat
+	ColString
+	ColDate // calendar date rendered as "YYYY-MM-DD"
+)
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColumnType
+}
+
+// ForeignKey links a fact/dimension column to the primary key of another
+// table.
+type ForeignKey struct {
+	Column    string
+	RefTable  string
+	RefColumn string
+}
+
+// Table describes one TPC-DS table.
+type Table struct {
+	Name        string
+	Fact        bool
+	PrimaryKey  []string
+	Columns     []Column
+	ForeignKeys []ForeignKey
+}
+
+// Column index lookup.
+func (t *Table) ColumnIndex(name string) int {
+	for i, c := range t.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// ColumnNames returns the column names in order.
+func (t *Table) ColumnNames() []string {
+	out := make([]string, len(t.Columns))
+	for i, c := range t.Columns {
+		out[i] = c.Name
+	}
+	return out
+}
+
+// ForeignKeyFor returns the foreign key declared on the named column, or nil.
+func (t *Table) ForeignKeyFor(column string) *ForeignKey {
+	for i := range t.ForeignKeys {
+		if t.ForeignKeys[i].Column == column {
+			return &t.ForeignKeys[i]
+		}
+	}
+	return nil
+}
+
+// Schema is the full table catalog.
+type Schema struct {
+	tables map[string]*Table
+}
+
+// NewSchema returns the TPC-DS schema.
+func NewSchema() *Schema {
+	s := &Schema{tables: make(map[string]*Table)}
+	for _, t := range buildTables() {
+		s.tables[t.Name] = t
+	}
+	return s
+}
+
+// Table returns the named table, or nil.
+func (s *Schema) Table(name string) *Table { return s.tables[name] }
+
+// TableNames lists every table in sorted order.
+func (s *Schema) TableNames() []string {
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// FactTables lists the fact tables in sorted order.
+func (s *Schema) FactTables() []string {
+	var out []string
+	for n, t := range s.tables {
+		if t.Fact {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// DimensionTables lists the dimension tables in sorted order.
+func (s *Schema) DimensionTables() []string {
+	var out []string
+	for n, t := range s.tables {
+		if !t.Fact {
+			out = append(out, n)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// MustTable returns the named table or panics; for statically known names.
+func (s *Schema) MustTable(name string) *Table {
+	t := s.Table(name)
+	if t == nil {
+		panic(fmt.Sprintf("tpcds: unknown table %q", name))
+	}
+	return t
+}
+
+func cols(pairs ...any) []Column {
+	if len(pairs)%2 != 0 {
+		panic("tpcds: cols requires name/type pairs")
+	}
+	out := make([]Column, 0, len(pairs)/2)
+	for i := 0; i < len(pairs); i += 2 {
+		out = append(out, Column{Name: pairs[i].(string), Type: pairs[i+1].(ColumnType)})
+	}
+	return out
+}
+
+// buildTables declares the 24 TPC-DS tables. The tables touched by the four
+// benchmark queries carry their full production column lists; the remaining
+// tables carry representative column subsets sufficient for data-load
+// benchmarking (Table 4.3) while keeping the generator honest about relative
+// row widths.
+func buildTables() []*Table {
+	return []*Table{
+		// ------------------------------------------------------------- facts
+		{
+			Name: "store_sales", Fact: true,
+			PrimaryKey: []string{"ss_item_sk", "ss_ticket_number"},
+			Columns: cols(
+				"ss_sold_date_sk", ColInt, "ss_sold_time_sk", ColInt, "ss_item_sk", ColInt,
+				"ss_customer_sk", ColInt, "ss_cdemo_sk", ColInt, "ss_hdemo_sk", ColInt,
+				"ss_addr_sk", ColInt, "ss_store_sk", ColInt, "ss_promo_sk", ColInt,
+				"ss_ticket_number", ColInt, "ss_quantity", ColInt, "ss_wholesale_cost", ColFloat,
+				"ss_list_price", ColFloat, "ss_sales_price", ColFloat, "ss_ext_discount_amt", ColFloat,
+				"ss_ext_sales_price", ColFloat, "ss_ext_wholesale_cost", ColFloat, "ss_ext_list_price", ColFloat,
+				"ss_ext_tax", ColFloat, "ss_coupon_amt", ColFloat, "ss_net_paid", ColFloat,
+				"ss_net_paid_inc_tax", ColFloat, "ss_net_profit", ColFloat,
+			),
+			ForeignKeys: []ForeignKey{
+				{"ss_sold_date_sk", "date_dim", "d_date_sk"},
+				{"ss_sold_time_sk", "time_dim", "t_time_sk"},
+				{"ss_item_sk", "item", "i_item_sk"},
+				{"ss_customer_sk", "customer", "c_customer_sk"},
+				{"ss_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+				{"ss_hdemo_sk", "household_demographics", "hd_demo_sk"},
+				{"ss_addr_sk", "customer_address", "ca_address_sk"},
+				{"ss_store_sk", "store", "s_store_sk"},
+				{"ss_promo_sk", "promotion", "p_promo_sk"},
+			},
+		},
+		{
+			Name: "store_returns", Fact: true,
+			PrimaryKey: []string{"sr_item_sk", "sr_ticket_number"},
+			Columns: cols(
+				"sr_returned_date_sk", ColInt, "sr_return_time_sk", ColInt, "sr_item_sk", ColInt,
+				"sr_customer_sk", ColInt, "sr_cdemo_sk", ColInt, "sr_hdemo_sk", ColInt,
+				"sr_addr_sk", ColInt, "sr_store_sk", ColInt, "sr_reason_sk", ColInt,
+				"sr_ticket_number", ColInt, "sr_return_quantity", ColInt, "sr_return_amt", ColFloat,
+				"sr_return_tax", ColFloat, "sr_return_amt_inc_tax", ColFloat, "sr_fee", ColFloat,
+				"sr_return_ship_cost", ColFloat, "sr_refunded_cash", ColFloat, "sr_reversed_charge", ColFloat,
+				"sr_store_credit", ColFloat, "sr_net_loss", ColFloat,
+			),
+			ForeignKeys: []ForeignKey{
+				{"sr_returned_date_sk", "date_dim", "d_date_sk"},
+				{"sr_return_time_sk", "time_dim", "t_time_sk"},
+				{"sr_item_sk", "item", "i_item_sk"},
+				{"sr_customer_sk", "customer", "c_customer_sk"},
+				{"sr_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+				{"sr_hdemo_sk", "household_demographics", "hd_demo_sk"},
+				{"sr_addr_sk", "customer_address", "ca_address_sk"},
+				{"sr_store_sk", "store", "s_store_sk"},
+				{"sr_reason_sk", "reason", "r_reason_sk"},
+			},
+		},
+		{
+			Name: "inventory", Fact: true,
+			PrimaryKey: []string{"inv_date_sk", "inv_item_sk", "inv_warehouse_sk"},
+			Columns: cols(
+				"inv_date_sk", ColInt, "inv_item_sk", ColInt, "inv_warehouse_sk", ColInt,
+				"inv_quantity_on_hand", ColInt,
+			),
+			ForeignKeys: []ForeignKey{
+				{"inv_date_sk", "date_dim", "d_date_sk"},
+				{"inv_item_sk", "item", "i_item_sk"},
+				{"inv_warehouse_sk", "warehouse", "w_warehouse_sk"},
+			},
+		},
+		{
+			Name: "catalog_sales", Fact: true,
+			PrimaryKey: []string{"cs_item_sk", "cs_order_number"},
+			Columns: cols(
+				"cs_sold_date_sk", ColInt, "cs_sold_time_sk", ColInt, "cs_ship_date_sk", ColInt,
+				"cs_bill_customer_sk", ColInt, "cs_bill_cdemo_sk", ColInt, "cs_bill_hdemo_sk", ColInt,
+				"cs_bill_addr_sk", ColInt, "cs_ship_customer_sk", ColInt, "cs_call_center_sk", ColInt,
+				"cs_catalog_page_sk", ColInt, "cs_ship_mode_sk", ColInt, "cs_warehouse_sk", ColInt,
+				"cs_item_sk", ColInt, "cs_promo_sk", ColInt, "cs_order_number", ColInt,
+				"cs_quantity", ColInt, "cs_wholesale_cost", ColFloat, "cs_list_price", ColFloat,
+				"cs_sales_price", ColFloat, "cs_ext_sales_price", ColFloat, "cs_net_paid", ColFloat,
+				"cs_net_profit", ColFloat,
+			),
+			ForeignKeys: []ForeignKey{
+				{"cs_sold_date_sk", "date_dim", "d_date_sk"},
+				{"cs_item_sk", "item", "i_item_sk"},
+				{"cs_bill_customer_sk", "customer", "c_customer_sk"},
+				{"cs_warehouse_sk", "warehouse", "w_warehouse_sk"},
+				{"cs_promo_sk", "promotion", "p_promo_sk"},
+			},
+		},
+		{
+			Name: "catalog_returns", Fact: true,
+			PrimaryKey: []string{"cr_item_sk", "cr_order_number"},
+			Columns: cols(
+				"cr_returned_date_sk", ColInt, "cr_returned_time_sk", ColInt, "cr_item_sk", ColInt,
+				"cr_refunded_customer_sk", ColInt, "cr_returning_customer_sk", ColInt, "cr_call_center_sk", ColInt,
+				"cr_catalog_page_sk", ColInt, "cr_ship_mode_sk", ColInt, "cr_warehouse_sk", ColInt,
+				"cr_reason_sk", ColInt, "cr_order_number", ColInt, "cr_return_quantity", ColInt,
+				"cr_return_amount", ColFloat, "cr_return_tax", ColFloat, "cr_net_loss", ColFloat,
+			),
+			ForeignKeys: []ForeignKey{
+				{"cr_returned_date_sk", "date_dim", "d_date_sk"},
+				{"cr_item_sk", "item", "i_item_sk"},
+				{"cr_reason_sk", "reason", "r_reason_sk"},
+			},
+		},
+		{
+			Name: "web_sales", Fact: true,
+			PrimaryKey: []string{"ws_item_sk", "ws_order_number"},
+			Columns: cols(
+				"ws_sold_date_sk", ColInt, "ws_sold_time_sk", ColInt, "ws_ship_date_sk", ColInt,
+				"ws_item_sk", ColInt, "ws_bill_customer_sk", ColInt, "ws_bill_cdemo_sk", ColInt,
+				"ws_bill_hdemo_sk", ColInt, "ws_bill_addr_sk", ColInt, "ws_web_page_sk", ColInt,
+				"ws_web_site_sk", ColInt, "ws_ship_mode_sk", ColInt, "ws_warehouse_sk", ColInt,
+				"ws_promo_sk", ColInt, "ws_order_number", ColInt, "ws_quantity", ColInt,
+				"ws_wholesale_cost", ColFloat, "ws_list_price", ColFloat, "ws_sales_price", ColFloat,
+				"ws_ext_sales_price", ColFloat, "ws_net_paid", ColFloat, "ws_net_profit", ColFloat,
+			),
+			ForeignKeys: []ForeignKey{
+				{"ws_sold_date_sk", "date_dim", "d_date_sk"},
+				{"ws_item_sk", "item", "i_item_sk"},
+				{"ws_bill_customer_sk", "customer", "c_customer_sk"},
+				{"ws_web_site_sk", "web_site", "web_site_sk"},
+			},
+		},
+		{
+			Name: "web_returns", Fact: true,
+			PrimaryKey: []string{"wr_item_sk", "wr_order_number"},
+			Columns: cols(
+				"wr_returned_date_sk", ColInt, "wr_returned_time_sk", ColInt, "wr_item_sk", ColInt,
+				"wr_refunded_customer_sk", ColInt, "wr_returning_customer_sk", ColInt, "wr_web_page_sk", ColInt,
+				"wr_reason_sk", ColInt, "wr_order_number", ColInt, "wr_return_quantity", ColInt,
+				"wr_return_amt", ColFloat, "wr_return_tax", ColFloat, "wr_net_loss", ColFloat,
+			),
+			ForeignKeys: []ForeignKey{
+				{"wr_returned_date_sk", "date_dim", "d_date_sk"},
+				{"wr_item_sk", "item", "i_item_sk"},
+				{"wr_reason_sk", "reason", "r_reason_sk"},
+			},
+		},
+		// -------------------------------------------------------- dimensions
+		{
+			Name: "date_dim", PrimaryKey: []string{"d_date_sk"},
+			Columns: cols(
+				"d_date_sk", ColInt, "d_date_id", ColString, "d_date", ColDate,
+				"d_month_seq", ColInt, "d_week_seq", ColInt, "d_quarter_seq", ColInt,
+				"d_year", ColInt, "d_dow", ColInt, "d_moy", ColInt, "d_dom", ColInt,
+				"d_qoy", ColInt, "d_fy_year", ColInt, "d_fy_quarter_seq", ColInt,
+				"d_fy_week_seq", ColInt, "d_day_name", ColString, "d_quarter_name", ColString,
+				"d_holiday", ColString, "d_weekend", ColString, "d_following_holiday", ColString,
+				"d_first_dom", ColInt, "d_last_dom", ColInt, "d_same_day_ly", ColInt,
+				"d_same_day_lq", ColInt, "d_current_day", ColString, "d_current_week", ColString,
+				"d_current_month", ColString, "d_current_quarter", ColString, "d_current_year", ColString,
+			),
+		},
+		{
+			Name: "time_dim", PrimaryKey: []string{"t_time_sk"},
+			Columns: cols(
+				"t_time_sk", ColInt, "t_time_id", ColString, "t_time", ColInt,
+				"t_hour", ColInt, "t_minute", ColInt, "t_second", ColInt,
+				"t_am_pm", ColString, "t_shift", ColString, "t_sub_shift", ColString,
+				"t_meal_time", ColString,
+			),
+		},
+		{
+			Name: "item", PrimaryKey: []string{"i_item_sk"},
+			Columns: cols(
+				"i_item_sk", ColInt, "i_item_id", ColString, "i_rec_start_date", ColDate,
+				"i_rec_end_date", ColDate, "i_item_desc", ColString, "i_current_price", ColFloat,
+				"i_wholesale_cost", ColFloat, "i_brand_id", ColInt, "i_brand", ColString,
+				"i_class_id", ColInt, "i_class", ColString, "i_category_id", ColInt,
+				"i_category", ColString, "i_manufact_id", ColInt, "i_manufact", ColString,
+				"i_size", ColString, "i_formulation", ColString, "i_color", ColString,
+				"i_units", ColString, "i_container", ColString, "i_manager_id", ColInt,
+				"i_product_name", ColString,
+			),
+		},
+		{
+			Name: "customer", PrimaryKey: []string{"c_customer_sk"},
+			Columns: cols(
+				"c_customer_sk", ColInt, "c_customer_id", ColString, "c_current_cdemo_sk", ColInt,
+				"c_current_hdemo_sk", ColInt, "c_current_addr_sk", ColInt, "c_first_shipto_date_sk", ColInt,
+				"c_first_sales_date_sk", ColInt, "c_salutation", ColString, "c_first_name", ColString,
+				"c_last_name", ColString, "c_preferred_cust_flag", ColString, "c_birth_day", ColInt,
+				"c_birth_month", ColInt, "c_birth_year", ColInt, "c_birth_country", ColString,
+				"c_login", ColString, "c_email_address", ColString, "c_last_review_date_sk", ColInt,
+			),
+			ForeignKeys: []ForeignKey{
+				{"c_current_cdemo_sk", "customer_demographics", "cd_demo_sk"},
+				{"c_current_hdemo_sk", "household_demographics", "hd_demo_sk"},
+				{"c_current_addr_sk", "customer_address", "ca_address_sk"},
+			},
+		},
+		{
+			Name: "customer_address", PrimaryKey: []string{"ca_address_sk"},
+			Columns: cols(
+				"ca_address_sk", ColInt, "ca_address_id", ColString, "ca_street_number", ColString,
+				"ca_street_name", ColString, "ca_street_type", ColString, "ca_suite_number", ColString,
+				"ca_city", ColString, "ca_county", ColString, "ca_state", ColString,
+				"ca_zip", ColString, "ca_country", ColString, "ca_gmt_offset", ColFloat,
+				"ca_location_type", ColString,
+			),
+		},
+		{
+			Name: "customer_demographics", PrimaryKey: []string{"cd_demo_sk"},
+			Columns: cols(
+				"cd_demo_sk", ColInt, "cd_gender", ColString, "cd_marital_status", ColString,
+				"cd_education_status", ColString, "cd_purchase_estimate", ColInt, "cd_credit_rating", ColString,
+				"cd_dep_count", ColInt, "cd_dep_employed_count", ColInt, "cd_dep_college_count", ColInt,
+			),
+		},
+		{
+			Name: "household_demographics", PrimaryKey: []string{"hd_demo_sk"},
+			Columns: cols(
+				"hd_demo_sk", ColInt, "hd_income_band_sk", ColInt, "hd_buy_potential", ColString,
+				"hd_dep_count", ColInt, "hd_vehicle_count", ColInt,
+			),
+			ForeignKeys: []ForeignKey{{"hd_income_band_sk", "income_band", "ib_income_band_sk"}},
+		},
+		{
+			Name: "income_band", PrimaryKey: []string{"ib_income_band_sk"},
+			Columns: cols(
+				"ib_income_band_sk", ColInt, "ib_lower_bound", ColInt, "ib_upper_bound", ColInt,
+			),
+		},
+		{
+			Name: "promotion", PrimaryKey: []string{"p_promo_sk"},
+			Columns: cols(
+				"p_promo_sk", ColInt, "p_promo_id", ColString, "p_start_date_sk", ColInt,
+				"p_end_date_sk", ColInt, "p_item_sk", ColInt, "p_cost", ColFloat,
+				"p_response_target", ColInt, "p_promo_name", ColString, "p_channel_dmail", ColString,
+				"p_channel_email", ColString, "p_channel_catalog", ColString, "p_channel_tv", ColString,
+				"p_channel_radio", ColString, "p_channel_press", ColString, "p_channel_event", ColString,
+				"p_channel_demo", ColString, "p_channel_details", ColString, "p_purpose", ColString,
+				"p_discount_active", ColString,
+			),
+		},
+		{
+			Name: "store", PrimaryKey: []string{"s_store_sk"},
+			Columns: cols(
+				"s_store_sk", ColInt, "s_store_id", ColString, "s_rec_start_date", ColDate,
+				"s_rec_end_date", ColDate, "s_closed_date_sk", ColInt, "s_store_name", ColString,
+				"s_number_employees", ColInt, "s_floor_space", ColInt, "s_hours", ColString,
+				"s_manager", ColString, "s_market_id", ColInt, "s_geography_class", ColString,
+				"s_market_desc", ColString, "s_market_manager", ColString, "s_division_id", ColInt,
+				"s_division_name", ColString, "s_company_id", ColInt, "s_company_name", ColString,
+				"s_street_number", ColString, "s_street_name", ColString, "s_street_type", ColString,
+				"s_suite_number", ColString, "s_city", ColString, "s_county", ColString,
+				"s_state", ColString, "s_zip", ColString, "s_country", ColString,
+				"s_gmt_offset", ColFloat, "s_tax_precentage", ColFloat,
+			),
+		},
+		{
+			Name: "warehouse", PrimaryKey: []string{"w_warehouse_sk"},
+			Columns: cols(
+				"w_warehouse_sk", ColInt, "w_warehouse_id", ColString, "w_warehouse_name", ColString,
+				"w_warehouse_sq_ft", ColInt, "w_street_number", ColString, "w_street_name", ColString,
+				"w_street_type", ColString, "w_suite_number", ColString, "w_city", ColString,
+				"w_county", ColString, "w_state", ColString, "w_zip", ColString,
+				"w_country", ColString, "w_gmt_offset", ColFloat,
+			),
+		},
+		{
+			Name: "reason", PrimaryKey: []string{"r_reason_sk"},
+			Columns: cols(
+				"r_reason_sk", ColInt, "r_reason_id", ColString, "r_reason_desc", ColString,
+			),
+		},
+		{
+			Name: "ship_mode", PrimaryKey: []string{"sm_ship_mode_sk"},
+			Columns: cols(
+				"sm_ship_mode_sk", ColInt, "sm_ship_mode_id", ColString, "sm_type", ColString,
+				"sm_code", ColString, "sm_carrier", ColString, "sm_contract", ColString,
+			),
+		},
+		{
+			Name: "call_center", PrimaryKey: []string{"cc_call_center_sk"},
+			Columns: cols(
+				"cc_call_center_sk", ColInt, "cc_call_center_id", ColString, "cc_name", ColString,
+				"cc_class", ColString, "cc_employees", ColInt, "cc_sq_ft", ColInt,
+				"cc_hours", ColString, "cc_manager", ColString, "cc_city", ColString,
+				"cc_state", ColString,
+			),
+		},
+		{
+			Name: "catalog_page", PrimaryKey: []string{"cp_catalog_page_sk"},
+			Columns: cols(
+				"cp_catalog_page_sk", ColInt, "cp_catalog_page_id", ColString, "cp_start_date_sk", ColInt,
+				"cp_end_date_sk", ColInt, "cp_department", ColString, "cp_catalog_number", ColInt,
+				"cp_catalog_page_number", ColInt, "cp_description", ColString, "cp_type", ColString,
+			),
+		},
+		{
+			Name: "web_page", PrimaryKey: []string{"wp_web_page_sk"},
+			Columns: cols(
+				"wp_web_page_sk", ColInt, "wp_web_page_id", ColString, "wp_creation_date_sk", ColInt,
+				"wp_access_date_sk", ColInt, "wp_autogen_flag", ColString, "wp_url", ColString,
+				"wp_type", ColString, "wp_char_count", ColInt, "wp_link_count", ColInt,
+				"wp_image_count", ColInt,
+			),
+		},
+		{
+			Name: "web_site", PrimaryKey: []string{"web_site_sk"},
+			Columns: cols(
+				"web_site_sk", ColInt, "web_site_id", ColString, "web_name", ColString,
+				"web_open_date_sk", ColInt, "web_close_date_sk", ColInt, "web_class", ColString,
+				"web_manager", ColString, "web_market_id", ColInt, "web_company_id", ColInt,
+				"web_company_name", ColString, "web_city", ColString, "web_state", ColString,
+			),
+		},
+	}
+}

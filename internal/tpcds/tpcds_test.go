@@ -1,0 +1,447 @@
+package tpcds
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestSchemaCatalog(t *testing.T) {
+	s := NewSchema()
+	if got := len(s.TableNames()); got != 24 {
+		t.Fatalf("schema has %d tables, want 24", got)
+	}
+	if got := len(s.FactTables()); got != 7 {
+		t.Fatalf("schema has %d fact tables, want 7", got)
+	}
+	if got := len(s.DimensionTables()); got != 17 {
+		t.Fatalf("schema has %d dimension tables, want 17", got)
+	}
+	ss := s.MustTable("store_sales")
+	if !ss.Fact || len(ss.Columns) != 23 {
+		t.Fatalf("store_sales: fact=%v cols=%d", ss.Fact, len(ss.Columns))
+	}
+	if ss.ColumnIndex("ss_sold_date_sk") != 0 || ss.ColumnIndex("nope") != -1 {
+		t.Fatalf("ColumnIndex broken")
+	}
+	if len(ss.ColumnNames()) != 23 {
+		t.Fatalf("ColumnNames length wrong")
+	}
+	fk := ss.ForeignKeyFor("ss_sold_date_sk")
+	if fk == nil || fk.RefTable != "date_dim" || fk.RefColumn != "d_date_sk" {
+		t.Fatalf("FK = %+v", fk)
+	}
+	if ss.ForeignKeyFor("ss_quantity") != nil {
+		t.Fatalf("measure column should have no FK")
+	}
+	// Every declared foreign key references an existing table and column.
+	for _, name := range s.TableNames() {
+		tab := s.Table(name)
+		for _, fk := range tab.ForeignKeys {
+			ref := s.Table(fk.RefTable)
+			if ref == nil {
+				t.Errorf("%s.%s references unknown table %s", name, fk.Column, fk.RefTable)
+				continue
+			}
+			if ref.ColumnIndex(fk.RefColumn) != 0 {
+				t.Errorf("%s.%s references %s.%s which is not the leading PK column", name, fk.Column, fk.RefTable, fk.RefColumn)
+			}
+			if tab.ColumnIndex(fk.Column) < 0 {
+				t.Errorf("%s declares FK on missing column %s", name, fk.Column)
+			}
+		}
+	}
+	if s.Table("nope") != nil {
+		t.Fatalf("unknown table should be nil")
+	}
+}
+
+func TestSchemaMustTablePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("expected panic")
+		}
+	}()
+	NewSchema().MustTable("nope")
+}
+
+func TestScaleRowCountsFollowTable36(t *testing.T) {
+	small, large := ScaleSmall, ScaleLarge
+	// Paper row counts are Table 3.6 verbatim.
+	if small.PaperRowCount("store_sales") != 2880404 || large.PaperRowCount("store_sales") != 14400052 {
+		t.Fatalf("paper store_sales counts wrong")
+	}
+	if small.PaperRowCount("customer_demographics") != large.PaperRowCount("customer_demographics") {
+		t.Fatalf("customer_demographics should be identical at both scales")
+	}
+	if small.PaperRowCount("unknown_table") != 0 {
+		t.Fatalf("unknown table should have zero rows")
+	}
+	// Scaled counts preserve the 1GB:5GB ratios for scaled tables.
+	ssRatio := float64(large.RowCount("store_sales")) / float64(small.RowCount("store_sales"))
+	paperRatio := float64(14400052) / float64(2880404)
+	if ssRatio < paperRatio*0.95 || ssRatio > paperRatio*1.05 {
+		t.Fatalf("store_sales ratio %.3f deviates from paper %.3f", ssRatio, paperRatio)
+	}
+	// Tables with identical paper counts stay identical across scales
+	// (observation (i) of §4.3 relies on this).
+	for _, table := range []string{"customer_demographics", "date_dim", "household_demographics", "income_band", "ship_mode", "time_dim", "catalog_page"} {
+		if small.RowCount(table) != large.RowCount(table) {
+			t.Errorf("%s should have equal counts at both scales: %d vs %d", table, small.RowCount(table), large.RowCount(table))
+		}
+	}
+	// Divisor 1 reproduces the paper's absolute counts.
+	full := ScaleSmall.WithDivisor(1)
+	if full.RowCount("store_sales") != 2880404 {
+		t.Fatalf("divisor 1 should reproduce the paper count, got %d", full.RowCount("store_sales"))
+	}
+	if full.RowCount("date_dim") != 73049 {
+		t.Fatalf("divisor 1 date_dim = %d", full.RowCount("date_dim"))
+	}
+	// Reduced-scale calendar covers the query window.
+	if small.RowCount("date_dim") != calendarDays {
+		t.Fatalf("reduced date_dim = %d", small.RowCount("date_dim"))
+	}
+	// WithDivisor guards against nonsense.
+	if ScaleSmall.WithDivisor(0).Divisor != 1 {
+		t.Fatalf("WithDivisor(0) should clamp to 1")
+	}
+	if ScaleSmall.String() == "" || len(small.TableRowCounts(NewSchema())) != 24 {
+		t.Fatalf("String/TableRowCounts broken")
+	}
+}
+
+func TestGeneratorRowShapesAndDeterminism(t *testing.T) {
+	g := NewGenerator(ScaleSmall.WithDivisor(2000), 42)
+	schema := g.Schema()
+	for _, table := range schema.TableNames() {
+		tab := schema.Table(table)
+		n := g.RowCount(table)
+		if n <= 0 {
+			t.Fatalf("%s has no rows", table)
+		}
+		seen := 0
+		err := g.EachRow(table, func(i int, row []string) error {
+			seen++
+			if len(row) != len(tab.Columns) {
+				t.Fatalf("%s row %d has %d values, want %d", table, i, len(row), len(tab.Columns))
+			}
+			// Typed columns must parse when non-null.
+			for c, col := range tab.Columns {
+				v := row[c]
+				if v == "" {
+					continue
+				}
+				switch col.Type {
+				case ColInt:
+					if _, err := strconv.Atoi(v); err != nil {
+						t.Fatalf("%s.%s row %d: %q is not an int", table, col.Name, i, v)
+					}
+				case ColFloat:
+					if _, err := strconv.ParseFloat(v, 64); err != nil {
+						t.Fatalf("%s.%s row %d: %q is not a float", table, col.Name, i, v)
+					}
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("EachRow(%s): %v", table, err)
+		}
+		if seen != n {
+			t.Fatalf("%s generated %d rows, want %d", table, seen, n)
+		}
+	}
+	// Determinism: the same (scale, seed) yields identical rows.
+	g2 := NewGenerator(ScaleSmall.WithDivisor(2000), 42)
+	for _, table := range []string{"store_sales", "item", "customer"} {
+		for i := 0; i < 20; i++ {
+			a, _ := g.Row(table, i)
+			b, _ := g2.Row(table, i)
+			if strings.Join(a, "|") != strings.Join(b, "|") {
+				t.Fatalf("%s row %d not deterministic", table, i)
+			}
+		}
+	}
+	// A different seed yields different fact rows.
+	g3 := NewGenerator(ScaleSmall.WithDivisor(2000), 43)
+	a, _ := g.Row("store_sales", 0)
+	b, _ := g3.Row("store_sales", 0)
+	if strings.Join(a, "|") == strings.Join(b, "|") {
+		t.Fatalf("different seeds produced identical rows")
+	}
+	// Errors for unknown tables and out-of-range rows.
+	if _, err := g.Row("nope", 0); err == nil {
+		t.Fatalf("unknown table should error")
+	}
+	if _, err := g.Row("item", 1<<30); err == nil {
+		t.Fatalf("out-of-range row should error")
+	}
+	if err := g.EachRow("nope", func(int, []string) error { return nil }); err == nil {
+		t.Fatalf("EachRow on unknown table should error")
+	}
+}
+
+func TestGeneratorReferentialIntegrity(t *testing.T) {
+	g := NewGenerator(ScaleSmall.WithDivisor(1000), 7)
+	schema := g.Schema()
+	// Surrogate keys of facts must stay within the referenced dimension's
+	// cardinality so every join in the queries resolves.
+	checkFK := func(table string) {
+		tab := schema.Table(table)
+		err := g.EachRow(table, func(i int, row []string) error {
+			for _, fk := range tab.ForeignKeys {
+				idx := tab.ColumnIndex(fk.Column)
+				v := row[idx]
+				if v == "" {
+					continue
+				}
+				n, err := strconv.Atoi(v)
+				if err != nil {
+					t.Fatalf("%s.%s row %d: %v", table, fk.Column, i, err)
+				}
+				refCount := g.RowCount(fk.RefTable)
+				// Date keys live in surrogate space offset by DateSkBase.
+				if fk.RefTable == "date_dim" {
+					if n < DateSkBase || n >= DateSkBase+refCount {
+						t.Fatalf("%s.%s row %d: date key %d outside [%d, %d)", table, fk.Column, i, n, DateSkBase, DateSkBase+refCount)
+					}
+					continue
+				}
+				if fk.RefTable == "time_dim" {
+					continue // time keys are 0-based and not queried
+				}
+				if n < 1 || n > refCount {
+					t.Fatalf("%s.%s row %d: key %d outside [1, %d]", table, fk.Column, i, n, refCount)
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, table := range []string{"store_sales", "store_returns", "inventory", "customer"} {
+		checkFK(table)
+	}
+}
+
+func TestStoreReturnsJoinBackToSales(t *testing.T) {
+	g := NewGenerator(ScaleSmall.WithDivisor(1000), 7)
+	ssTab := g.Schema().Table("store_sales")
+	srTab := g.Schema().Table("store_returns")
+	// Build the (ticket, item, customer) key set of sales.
+	type key struct{ ticket, item, customer string }
+	sales := make(map[key]string) // -> sold date sk
+	_ = g.EachRow("store_sales", func(_ int, row []string) error {
+		sales[key{
+			row[ssTab.ColumnIndex("ss_ticket_number")],
+			row[ssTab.ColumnIndex("ss_item_sk")],
+			row[ssTab.ColumnIndex("ss_customer_sk")],
+		}] = row[ssTab.ColumnIndex("ss_sold_date_sk")]
+		return nil
+	})
+	matched, within := 0, 0
+	total := 0
+	_ = g.EachRow("store_returns", func(_ int, row []string) error {
+		total++
+		k := key{
+			row[srTab.ColumnIndex("sr_ticket_number")],
+			row[srTab.ColumnIndex("sr_item_sk")],
+			row[srTab.ColumnIndex("sr_customer_sk")],
+		}
+		soldSk, ok := sales[k]
+		if !ok {
+			return nil
+		}
+		matched++
+		sold, _ := strconv.Atoi(soldSk)
+		returned, _ := strconv.Atoi(row[srTab.ColumnIndex("sr_returned_date_sk")])
+		if diff := returned - sold; diff >= 1 && diff <= 150 {
+			within++
+		}
+		return nil
+	})
+	if total == 0 {
+		t.Fatalf("no returns generated")
+	}
+	if matched < total*9/10 {
+		t.Fatalf("only %d/%d returns join back to a sale; Query 50 needs this join", matched, total)
+	}
+	if within < matched*9/10 {
+		t.Fatalf("only %d/%d matched returns have a 1-150 day lag", within, matched)
+	}
+}
+
+func TestQueryPredicateValueDomains(t *testing.T) {
+	g := NewGenerator(ScaleSmall.WithDivisor(1000), 7)
+	schema := g.Schema()
+	// Query 7 relies on the M / M / 4 yr Degree demographic combination.
+	cd := schema.Table("customer_demographics")
+	found := false
+	_ = g.EachRow("customer_demographics", func(_ int, row []string) error {
+		if row[cd.ColumnIndex("cd_gender")] == "M" &&
+			row[cd.ColumnIndex("cd_marital_status")] == "M" &&
+			row[cd.ColumnIndex("cd_education_status")] == "4 yr Degree" {
+			found = true
+		}
+		return nil
+	})
+	if !found {
+		t.Fatalf("no M/M/4 yr Degree demographics generated; Query 7 would be empty")
+	}
+	// Query 46 relies on stores in Midway / Fairview and weekend dates.
+	st := schema.Table("store")
+	cityHit := false
+	_ = g.EachRow("store", func(_ int, row []string) error {
+		c := row[st.ColumnIndex("s_city")]
+		if c == "Midway" || c == "Fairview" {
+			cityHit = true
+		}
+		return nil
+	})
+	if !cityHit {
+		t.Fatalf("no stores in Midway/Fairview; Query 46 would be empty")
+	}
+	dd := schema.Table("date_dim")
+	years := map[string]bool{}
+	weekend := false
+	oct1998 := false
+	may2002 := false
+	_ = g.EachRow("date_dim", func(_ int, row []string) error {
+		years[row[dd.ColumnIndex("d_year")]] = true
+		if row[dd.ColumnIndex("d_dow")] == "6" || row[dd.ColumnIndex("d_dow")] == "0" {
+			weekend = true
+		}
+		if row[dd.ColumnIndex("d_year")] == "1998" && row[dd.ColumnIndex("d_moy")] == "10" {
+			oct1998 = true
+		}
+		if row[dd.ColumnIndex("d_date")] == "2002-05-29" {
+			may2002 = true
+		}
+		return nil
+	})
+	for _, y := range []string{"1998", "1999", "2000", "2001", "2002"} {
+		if !years[y] {
+			t.Fatalf("calendar missing year %s", y)
+		}
+	}
+	if !weekend || !oct1998 || !may2002 {
+		t.Fatalf("calendar missing query-relevant dates (weekend=%v oct1998=%v may2002=%v)", weekend, oct1998, may2002)
+	}
+	// Query 21 relies on items priced between 0.99 and 1.49.
+	it := schema.Table("item")
+	priced := 0
+	_ = g.EachRow("item", func(_ int, row []string) error {
+		p, _ := strconv.ParseFloat(row[it.ColumnIndex("i_current_price")], 64)
+		if p >= 0.99 && p <= 1.49 {
+			priced++
+		}
+		return nil
+	})
+	if priced == 0 {
+		t.Fatalf("no items in the 0.99-1.49 price band; Query 21 would be empty")
+	}
+	// Query 46 relies on hd_dep_count=2 / hd_vehicle_count=3 households.
+	hd := schema.Table("household_demographics")
+	hdHit := false
+	_ = g.EachRow("household_demographics", func(_ int, row []string) error {
+		if row[hd.ColumnIndex("hd_dep_count")] == "2" || row[hd.ColumnIndex("hd_vehicle_count")] == "3" {
+			hdHit = true
+		}
+		return nil
+	})
+	if !hdHit {
+		t.Fatalf("no qualifying household demographics; Query 46 would be empty")
+	}
+}
+
+func TestCalendarHelpers(t *testing.T) {
+	if DateForOffset(0).Format("2006-01-02") != calendarStartISO {
+		t.Fatalf("calendar start mismatch")
+	}
+	if DateSkForOffset(0) != DateSkBase {
+		t.Fatalf("date sk base mismatch")
+	}
+	off, err := OffsetForDate("2002-05-29")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if DateForOffset(off).Format("2006-01-02") != "2002-05-29" {
+		t.Fatalf("offset round trip failed")
+	}
+	if _, err := OffsetForDate("not-a-date"); err == nil {
+		t.Fatalf("bad date should error")
+	}
+}
+
+func TestDatRoundTrip(t *testing.T) {
+	g := NewGenerator(ScaleSmall.WithDivisor(2000), 3)
+	var buf bytes.Buffer
+	if err := g.WriteDat("customer_address", &buf); err != nil {
+		t.Fatal(err)
+	}
+	content := buf.String()
+	if !strings.Contains(content, "|") || !strings.HasSuffix(strings.TrimSpace(strings.Split(content, "\n")[0]), "|") {
+		t.Fatalf("dat format should delimit every column with a trailing pipe")
+	}
+	var rows [][]string
+	if err := ReadDat(&buf, func(row []string) error {
+		rows = append(rows, append([]string(nil), row...))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := g.RowCount("customer_address")
+	if len(rows) != want {
+		t.Fatalf("read %d rows, want %d", len(rows), want)
+	}
+	tab := g.Schema().Table("customer_address")
+	for _, r := range rows {
+		if len(r) != len(tab.Columns) {
+			t.Fatalf("row has %d columns, want %d", len(r), len(tab.Columns))
+		}
+	}
+	// Reader errors propagate.
+	if err := ReadDat(strings.NewReader("a|b|\n"), func([]string) error {
+		return strings.NewReader("").UnreadByte()
+	}); err == nil {
+		t.Fatalf("callback errors should propagate")
+	}
+	// Empty lines are skipped, non-trailing-delimiter rows are tolerated.
+	var got [][]string
+	err := ReadDat(strings.NewReader("a|b\n\nc|d|\n"), func(row []string) error {
+		got = append(got, row)
+		return nil
+	})
+	if err != nil || len(got) != 2 || len(got[0]) != 2 || len(got[1]) != 2 {
+		t.Fatalf("tolerant parse = %v, %v", got, err)
+	}
+}
+
+func TestGenerateDirAndTableDat(t *testing.T) {
+	g := NewGenerator(ScaleSmall.WithDivisor(5000), 3)
+	dir := t.TempDir()
+	files, err := g.GenerateDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 24 {
+		t.Fatalf("generated %d files, want 24", len(files))
+	}
+	if files["store_sales"] == "" || !strings.HasSuffix(files["store_sales"], "store_sales.dat") {
+		t.Fatalf("file map = %v", files["store_sales"])
+	}
+	data, err := g.TableDat("warehouse")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Count(string(data), "\n")
+	if lines != g.RowCount("warehouse") {
+		t.Fatalf("TableDat lines = %d, want %d", lines, g.RowCount("warehouse"))
+	}
+	if DatFileName("item") != "item.dat" {
+		t.Fatalf("DatFileName wrong")
+	}
+}

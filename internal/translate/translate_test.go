@@ -1,0 +1,154 @@
+package translate
+
+import (
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/denorm"
+	"docstore/internal/driver"
+	"docstore/internal/mongod"
+	"docstore/internal/storage"
+)
+
+// buildMiniRetail loads a tiny normalized retail dataset: 4 items, 3 dates,
+// and 24 sales.
+func buildMiniRetail(t *testing.T) driver.Store {
+	t.Helper()
+	store := driver.NewStandalone(mongod.NewServer(mongod.Options{}).Database("mini"))
+	for i := 1; i <= 4; i++ {
+		if _, err := store.Insert("item", bson.D("i_item_sk", i, "i_item_id", string(rune('A'+i-1)), "i_current_price", float64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 1; i <= 3; i++ {
+		if _, err := store.Insert("date_dim", bson.D("d_date_sk", i, "d_year", 1999+i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 24; i++ {
+		if _, err := store.Insert("store_sales", bson.D(
+			"ss_item_sk", 1+i%4,
+			"ss_sold_date_sk", 1+i%3,
+			"ss_quantity", i,
+		)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return store
+}
+
+func plan() Plan {
+	return Plan{
+		Name: "mini",
+		Fact: "store_sales",
+		Filters: []DimFilter{
+			{Dimension: "date_dim", FKField: "ss_sold_date_sk", PKField: "d_date_sk", Where: bson.D("d_year", 2001)},
+			{Dimension: "item", FKField: "ss_item_sk", PKField: "i_item_sk", Where: bson.D("i_current_price", bson.D("$lte", 2.0))},
+		},
+		Embed: []denorm.Embedding{
+			{Dimension: "item", FKField: "ss_item_sk", PKField: "i_item_sk"},
+		},
+		Aggregation: []*bson.Doc{
+			bson.D("$group", bson.D(bson.IDKey, "$ss_item_sk.i_item_id", "total", bson.D("$sum", "$ss_quantity"))),
+			bson.D("$sort", bson.D(bson.IDKey, 1)),
+		},
+	}
+}
+
+func TestRunFollowsFigure48Steps(t *testing.T) {
+	store := buildMiniRetail(t)
+	res, err := Run(store, plan())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Year 2001 is date_sk 2 (8 sales); price <= 2.0 keeps items 1 and 2
+	// (half of those): 4 documents survive the semi-join, two item groups.
+	if res.IntermediateDocs != 4 {
+		t.Fatalf("intermediate docs = %d, want 4", res.IntermediateDocs)
+	}
+	if len(res.Docs) != 2 {
+		t.Fatalf("result groups = %d, want 2", len(res.Docs))
+	}
+	if id, _ := res.Docs[0].Get(bson.IDKey); id != "A" {
+		t.Fatalf("first group = %s", res.Docs[0])
+	}
+	if res.Total <= 0 || res.Aggregate <= 0 || res.SemiJoin <= 0 || res.FilterDims <= 0 {
+		t.Fatalf("phase durations not recorded: %+v", res)
+	}
+	// The output collection was materialized via $out.
+	n, err := store.Count("mini_output", nil)
+	if err != nil || n != 2 {
+		t.Fatalf("output collection has %d docs, %v", n, err)
+	}
+	// The intermediate collection was cleaned up by default.
+	if n, _ := store.Count("store_sales_mini_intermediate", nil); n != 0 {
+		t.Fatalf("intermediate collection not dropped (%d docs)", n)
+	}
+	// The source fact collection is untouched (still scalar references).
+	sales, _ := store.Find("store_sales", bson.D("ss_item_sk", 1), storage.FindOptions{})
+	if len(sales) != 6 {
+		t.Fatalf("source fact collection mutated: %d docs for item 1", len(sales))
+	}
+}
+
+func TestRunKeepIntermediateAndCustomNames(t *testing.T) {
+	store := buildMiniRetail(t)
+	p := plan()
+	p.Intermediate = "scratch"
+	p.Output = "final"
+	p.KeepIntermediate = true
+	res, err := Run(store, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := store.Count("scratch", nil); n != res.IntermediateDocs {
+		t.Fatalf("intermediate kept %d docs, want %d", n, res.IntermediateDocs)
+	}
+	if n, _ := store.Count("final", nil); n != len(res.Docs) {
+		t.Fatalf("output has %d docs", n)
+	}
+}
+
+func TestRunWithNilWhereSkipsSemiJoinForThatDimension(t *testing.T) {
+	store := buildMiniRetail(t)
+	p := plan()
+	// Remove the item filter: only the year filter narrows the fact.
+	p.Filters[1].Where = nil
+	res, err := Run(store, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntermediateDocs != 8 {
+		t.Fatalf("intermediate docs = %d, want 8", res.IntermediateDocs)
+	}
+	if len(res.Docs) != 4 {
+		t.Fatalf("groups = %d, want 4", len(res.Docs))
+	}
+}
+
+func TestRunEmptySemiJoin(t *testing.T) {
+	store := buildMiniRetail(t)
+	p := plan()
+	p.Filters[0].Where = bson.D("d_year", 1900) // matches nothing
+	res, err := Run(store, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.IntermediateDocs != 0 || len(res.Docs) != 0 {
+		t.Fatalf("empty filter should produce nothing: %+v", res)
+	}
+}
+
+func TestRunErrorsPropagate(t *testing.T) {
+	store := buildMiniRetail(t)
+	p := plan()
+	p.Filters[0].Where = bson.D("$bogus", 1)
+	if _, err := Run(store, p); err == nil {
+		t.Fatalf("bad dimension filter should fail")
+	}
+	p = plan()
+	p.Aggregation = []*bson.Doc{bson.D("$bogus", 1)}
+	if _, err := Run(store, p); err == nil {
+		t.Fatalf("bad aggregation should fail")
+	}
+}

@@ -1,0 +1,164 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"docstore/internal/bson"
+)
+
+// Client is a wire-protocol client for a docstored server.
+type Client struct {
+	mu     sync.Mutex
+	conn   net.Conn
+	reader *bufio.Reader
+	writer *bufio.Writer
+}
+
+// Dial connects to a docstored server.
+func Dial(addr string, timeout time.Duration) (*Client, error) {
+	conn, err := net.DialTimeout("tcp", addr, timeout)
+	if err != nil {
+		return nil, fmt.Errorf("wire: dialing %s: %w", addr, err)
+	}
+	return &Client{conn: conn, reader: bufio.NewReader(conn), writer: bufio.NewWriter(conn)}, nil
+}
+
+// Close closes the connection.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Do sends one request and waits for its response. Requests are serialized
+// over the single connection.
+func (c *Client) Do(req *Request) (*Response, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, err := c.writer.Write(append([]byte(req.encode().ToJSON()), '\n')); err != nil {
+		return nil, err
+	}
+	if err := c.writer.Flush(); err != nil {
+		return nil, err
+	}
+	line, err := c.reader.ReadBytes('\n')
+	if err != nil {
+		return nil, err
+	}
+	doc, err := bson.FromJSON(line)
+	if err != nil {
+		return nil, fmt.Errorf("wire: malformed response: %w", err)
+	}
+	resp := decodeResponse(doc)
+	if !resp.OK {
+		return resp, fmt.Errorf("wire: server error: %s", resp.Error)
+	}
+	return resp, nil
+}
+
+// Ping checks connectivity.
+func (c *Client) Ping() error {
+	_, err := c.Do(&Request{Op: OpPing})
+	return err
+}
+
+// Insert inserts one document.
+func (c *Client) Insert(db, coll string, doc *bson.Doc) error {
+	_, err := c.Do(&Request{Op: OpInsert, DB: db, Collection: coll, Doc: doc})
+	return err
+}
+
+// InsertMany inserts a batch of documents.
+func (c *Client) InsertMany(db, coll string, docs []*bson.Doc) (int64, error) {
+	resp, err := c.Do(&Request{Op: OpInsertMany, DB: db, Collection: coll, Docs: docs})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Find runs a query.
+func (c *Client) Find(db, coll string, filter, sort *bson.Doc, limit int) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpFind, DB: db, Collection: coll, Filter: filter, Sort: sort, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// Count counts matching documents.
+func (c *Client) Count(db, coll string, filter *bson.Doc) (int64, error) {
+	resp, err := c.Do(&Request{Op: OpCount, DB: db, Collection: coll, Filter: filter})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Update applies an update and returns the modified count.
+func (c *Client) Update(db, coll string, filter, update *bson.Doc, multi, upsert bool) (int64, error) {
+	resp, err := c.Do(&Request{Op: OpUpdate, DB: db, Collection: coll, Filter: filter, Update: update, Multi: multi, Upsert: upsert})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Delete removes matching documents and returns the removed count.
+func (c *Client) Delete(db, coll string, filter *bson.Doc, multi bool) (int64, error) {
+	resp, err := c.Do(&Request{Op: OpDelete, DB: db, Collection: coll, Filter: filter, Multi: multi})
+	if err != nil {
+		return 0, err
+	}
+	return resp.N, nil
+}
+
+// Aggregate runs an aggregation pipeline.
+func (c *Client) Aggregate(db, coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpAggregate, DB: db, Collection: coll, Docs: stages})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// EnsureIndex creates an index.
+func (c *Client) EnsureIndex(db, coll string, keys *bson.Doc, unique bool) error {
+	_, err := c.Do(&Request{Op: OpEnsureIndex, DB: db, Collection: coll, Keys: keys, Unique: unique})
+	return err
+}
+
+// ListCollections lists collection names.
+func (c *Client) ListCollections(db string) ([]string, error) {
+	resp, err := c.Do(&Request{Op: OpListColls, DB: db})
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(resp.Docs))
+	for _, d := range resp.Docs {
+		if v, ok := d.Get("name"); ok {
+			if s, isStr := v.(string); isStr {
+				names = append(names, s)
+			}
+		}
+	}
+	return names, nil
+}
+
+// Drop removes a collection.
+func (c *Client) Drop(db, coll string) error {
+	_, err := c.Do(&Request{Op: OpDrop, DB: db, Collection: coll})
+	return err
+}
+
+// Stats returns the server status summary document.
+func (c *Client) Stats(db string) (*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpStats, DB: db})
+	if err != nil {
+		return nil, err
+	}
+	if len(resp.Docs) == 0 {
+		return nil, fmt.Errorf("wire: empty stats response")
+	}
+	return resp.Docs[0], nil
+}

@@ -1,0 +1,210 @@
+// Package wire implements a minimal client/server wire protocol for the
+// document store so it can run as a separate process (cmd/docstored) and be
+// queried remotely, the way the thesis' application server talks to mongod
+// over the network. The protocol is line-delimited JSON: each request and
+// each response is a single JSON object on one line.
+//
+// Request shape:
+//
+//	{"op": "find", "db": "Dataset_1GB", "coll": "store_sales",
+//	 "filter": {...}, "sort": {...}, "limit": 10}
+//
+// Response shape:
+//
+//	{"ok": true, "docs": [...], "n": 3}
+//	{"ok": false, "error": "..."}
+package wire
+
+import (
+	"docstore/internal/bson"
+)
+
+// Op names understood by the server.
+const (
+	OpPing        = "ping"
+	OpInsert      = "insert"
+	OpInsertMany  = "insertMany"
+	OpFind        = "find"
+	OpCount       = "count"
+	OpUpdate      = "update"
+	OpDelete      = "delete"
+	OpAggregate   = "aggregate"
+	OpEnsureIndex = "ensureIndex"
+	OpDrop        = "drop"
+	OpListColls   = "listCollections"
+	OpStats       = "stats"
+)
+
+// Request is one client request. It is encoded as a flat document so that
+// both ends can use the bson JSON codec.
+type Request struct {
+	Op         string
+	DB         string
+	Collection string
+	Doc        *bson.Doc   // insert
+	Docs       []*bson.Doc // insertMany, aggregate stages
+	Filter     *bson.Doc
+	Update     *bson.Doc
+	Sort       *bson.Doc
+	Projection *bson.Doc
+	Keys       *bson.Doc // ensureIndex specification
+	Limit      int
+	Skip       int
+	Multi      bool
+	Upsert     bool
+	Unique     bool
+}
+
+// encode renders the request as a document.
+func (r *Request) encode() *bson.Doc {
+	d := bson.NewDoc(8)
+	d.Set("op", r.Op)
+	if r.DB != "" {
+		d.Set("db", r.DB)
+	}
+	if r.Collection != "" {
+		d.Set("coll", r.Collection)
+	}
+	if r.Doc != nil {
+		d.Set("doc", r.Doc)
+	}
+	if r.Docs != nil {
+		arr := make([]any, len(r.Docs))
+		for i, doc := range r.Docs {
+			arr[i] = doc
+		}
+		d.Set("docs", arr)
+	}
+	if r.Filter != nil {
+		d.Set("filter", r.Filter)
+	}
+	if r.Update != nil {
+		d.Set("update", r.Update)
+	}
+	if r.Sort != nil {
+		d.Set("sort", r.Sort)
+	}
+	if r.Projection != nil {
+		d.Set("projection", r.Projection)
+	}
+	if r.Keys != nil {
+		d.Set("keys", r.Keys)
+	}
+	if r.Limit != 0 {
+		d.Set("limit", r.Limit)
+	}
+	if r.Skip != 0 {
+		d.Set("skip", r.Skip)
+	}
+	if r.Multi {
+		d.Set("multi", true)
+	}
+	if r.Upsert {
+		d.Set("upsert", true)
+	}
+	if r.Unique {
+		d.Set("unique", true)
+	}
+	return d
+}
+
+// decodeRequest parses a request document.
+func decodeRequest(d *bson.Doc) *Request {
+	r := &Request{}
+	if v, ok := d.Get("op"); ok {
+		r.Op, _ = v.(string)
+	}
+	if v, ok := d.Get("db"); ok {
+		r.DB, _ = v.(string)
+	}
+	if v, ok := d.Get("coll"); ok {
+		r.Collection, _ = v.(string)
+	}
+	if v, ok := d.Get("doc"); ok {
+		r.Doc, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("docs"); ok {
+		if arr, isArr := v.([]any); isArr {
+			for _, e := range arr {
+				if doc, isDoc := e.(*bson.Doc); isDoc {
+					r.Docs = append(r.Docs, doc)
+				}
+			}
+		}
+	}
+	if v, ok := d.Get("filter"); ok {
+		r.Filter, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("update"); ok {
+		r.Update, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("sort"); ok {
+		r.Sort, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("projection"); ok {
+		r.Projection, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("keys"); ok {
+		r.Keys, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("limit"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.Limit = int(n)
+		}
+	}
+	if v, ok := d.Get("skip"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.Skip = int(n)
+		}
+	}
+	r.Multi = bson.Truthy(d.GetOr("multi", false))
+	r.Upsert = bson.Truthy(d.GetOr("upsert", false))
+	r.Unique = bson.Truthy(d.GetOr("unique", false))
+	return r
+}
+
+// Response is the server's reply.
+type Response struct {
+	OK    bool
+	Error string
+	Docs  []*bson.Doc
+	N     int64
+}
+
+func (r *Response) encode() *bson.Doc {
+	d := bson.NewDoc(4)
+	d.Set("ok", r.OK)
+	if r.Error != "" {
+		d.Set("error", r.Error)
+	}
+	if r.Docs != nil {
+		arr := make([]any, len(r.Docs))
+		for i, doc := range r.Docs {
+			arr[i] = doc
+		}
+		d.Set("docs", arr)
+	}
+	d.Set("n", r.N)
+	return d
+}
+
+func decodeResponse(d *bson.Doc) *Response {
+	r := &Response{}
+	r.OK = bson.Truthy(d.GetOr("ok", false))
+	if v, ok := d.Get("error"); ok {
+		r.Error, _ = v.(string)
+	}
+	if v, ok := d.Get("docs"); ok {
+		if arr, isArr := v.([]any); isArr {
+			for _, e := range arr {
+				if doc, isDoc := e.(*bson.Doc); isDoc {
+					r.Docs = append(r.Docs, doc)
+				}
+			}
+		}
+	}
+	if v, ok := d.Get("n"); ok {
+		r.N, _ = bson.AsInt(v)
+	}
+	return r
+}

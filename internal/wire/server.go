@@ -1,0 +1,221 @@
+package wire
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// Server serves the wire protocol for a mongod.Server over TCP.
+type Server struct {
+	backend *mongod.Server
+
+	mu       sync.Mutex
+	listener net.Listener
+	conns    map[net.Conn]bool
+	closed   bool
+	wg       sync.WaitGroup
+}
+
+// NewServer wraps a document store server.
+func NewServer(backend *mongod.Server) *Server {
+	return &Server{backend: backend, conns: make(map[net.Conn]bool)}
+}
+
+// Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
+// port) and returns the bound address. Serving happens on background
+// goroutines until Close is called.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.mu.Lock()
+	s.listener = ln
+	s.mu.Unlock()
+	s.wg.Add(1)
+	go s.acceptLoop(ln)
+	return ln.Addr().String(), nil
+}
+
+func (s *Server) acceptLoop(ln net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = true
+		s.mu.Unlock()
+		s.wg.Add(1)
+		go s.serveConn(conn)
+	}
+}
+
+// Close stops the listener and closes active connections.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	s.closed = true
+	ln := s.listener
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+func (s *Server) serveConn(conn net.Conn) {
+	defer s.wg.Done()
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		conn.Close()
+	}()
+	reader := bufio.NewReader(conn)
+	writer := bufio.NewWriter(conn)
+	for {
+		line, err := reader.ReadBytes('\n')
+		if err != nil {
+			return
+		}
+		var resp *Response
+		reqDoc, err := bson.FromJSON(line)
+		if err != nil {
+			resp = &Response{Error: fmt.Sprintf("malformed request: %v", err)}
+		} else {
+			resp = s.Handle(decodeRequest(reqDoc))
+		}
+		if _, err := writer.Write(append([]byte(resp.encode().ToJSON()), '\n')); err != nil {
+			return
+		}
+		if err := writer.Flush(); err != nil {
+			return
+		}
+	}
+}
+
+// Handle executes one request against the backend. It is exported so tests
+// and in-process callers can drive the protocol without a socket.
+func (s *Server) Handle(req *Request) *Response {
+	if req.DB == "" && req.Op != OpPing {
+		return &Response{Error: "db is required"}
+	}
+	db := s.backend.Database(req.DB)
+	switch req.Op {
+	case OpPing:
+		return &Response{OK: true}
+	case OpInsert:
+		if req.Doc == nil {
+			return &Response{Error: "doc is required"}
+		}
+		if _, err := db.Insert(req.Collection, req.Doc); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, N: 1}
+	case OpInsertMany:
+		ids, err := db.InsertMany(req.Collection, req.Docs)
+		if err != nil {
+			return &Response{Error: err.Error(), N: int64(len(ids))}
+		}
+		return &Response{OK: true, N: int64(len(ids))}
+	case OpFind:
+		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip}
+		if req.Sort != nil {
+			sortSpec, err := query.ParseSort(req.Sort)
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			opts.Sort = sortSpec
+		}
+		if req.Projection != nil {
+			proj, err := query.ParseProjection(req.Projection)
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			opts.Projection = proj
+		}
+		docs, err := db.Find(req.Collection, req.Filter, opts)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	case OpCount:
+		n, err := db.Collection(req.Collection).CountDocs(req.Filter)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, N: int64(n)}
+	case OpUpdate:
+		res, err := db.Update(req.Collection, query.UpdateSpec{
+			Query: req.Filter, Update: req.Update, Upsert: req.Upsert, Multi: req.Multi,
+		})
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, N: int64(res.Modified)}
+	case OpDelete:
+		n, err := db.Delete(req.Collection, req.Filter, req.Multi)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, N: int64(n)}
+	case OpAggregate:
+		docs, err := db.Aggregate(req.Collection, req.Docs)
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	case OpEnsureIndex:
+		if _, err := db.EnsureIndex(req.Collection, req.Keys, req.Unique); err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true}
+	case OpDrop:
+		dropped := db.DropCollection(req.Collection)
+		return &Response{OK: true, N: boolToN(dropped)}
+	case OpListColls:
+		names := db.CollectionNames()
+		docs := make([]*bson.Doc, len(names))
+		for i, n := range names {
+			docs[i] = bson.D("name", n)
+		}
+		return &Response{OK: true, Docs: docs, N: int64(len(names))}
+	case OpStats:
+		st := s.backend.Status()
+		return &Response{OK: true, Docs: []*bson.Doc{bson.D(
+			"name", st.Name,
+			"databases", st.Databases,
+			"collections", st.Collections,
+			"documents", st.Documents,
+			"dataSizeBytes", st.DataSizeBytes,
+			"indexSizeBytes", st.IndexSizeBytes,
+		)}, N: 1}
+	default:
+		return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
+	}
+}
+
+func boolToN(b bool) int64 {
+	if b {
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,184 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+)
+
+func startServer(t *testing.T) (*Server, *Client) {
+	t.Helper()
+	srv := NewServer(mongod.NewServer(mongod.Options{Name: "docstored"}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+func TestClientServerRoundTrip(t *testing.T) {
+	_, c := startServer(t)
+	if err := c.Ping(); err != nil {
+		t.Fatalf("Ping: %v", err)
+	}
+	if err := c.Insert("db", "people", bson.D(bson.IDKey, 1, "name", "Earl", "age", 36)); err != nil {
+		t.Fatalf("Insert: %v", err)
+	}
+	n, err := c.InsertMany("db", "people", []*bson.Doc{
+		bson.D(bson.IDKey, 2, "name", "Mary", "age", 29),
+		bson.D(bson.IDKey, 3, "name", "Linda", "age", 41),
+	})
+	if err != nil || n != 2 {
+		t.Fatalf("InsertMany: %d, %v", n, err)
+	}
+	docs, err := c.Find("db", "people", bson.D("age", bson.D("$gte", 30)), bson.D("age", -1), 0)
+	if err != nil {
+		t.Fatalf("Find: %v", err)
+	}
+	if len(docs) != 2 {
+		t.Fatalf("Find returned %d docs", len(docs))
+	}
+	if name, _ := docs[0].Get("name"); name != "Linda" {
+		t.Fatalf("sort not applied: %s", docs[0])
+	}
+	count, err := c.Count("db", "people", nil)
+	if err != nil || count != 3 {
+		t.Fatalf("Count = %d, %v", count, err)
+	}
+	mod, err := c.Update("db", "people", bson.D("name", "Earl"), bson.D("$set", bson.D("age", 37)), false, false)
+	if err != nil || mod != 1 {
+		t.Fatalf("Update = %d, %v", mod, err)
+	}
+	if err := c.EnsureIndex("db", "people", bson.D("age", 1), false); err != nil {
+		t.Fatalf("EnsureIndex: %v", err)
+	}
+	agg, err := c.Aggregate("db", "people", []*bson.Doc{
+		bson.D("$group", bson.D(bson.IDKey, nil, "avgAge", bson.D("$avg", "$age"))),
+	})
+	if err != nil || len(agg) != 1 {
+		t.Fatalf("Aggregate: %v, %v", agg, err)
+	}
+	colls, err := c.ListCollections("db")
+	if err != nil || len(colls) != 1 || colls[0] != "people" {
+		t.Fatalf("ListCollections = %v, %v", colls, err)
+	}
+	stats, err := c.Stats("db")
+	if err != nil || !stats.Has("documents") {
+		t.Fatalf("Stats = %v, %v", stats, err)
+	}
+	removed, err := c.Delete("db", "people", bson.D("name", "Mary"), false)
+	if err != nil || removed != 1 {
+		t.Fatalf("Delete = %d, %v", removed, err)
+	}
+	if err := c.Drop("db", "people"); err != nil {
+		t.Fatalf("Drop: %v", err)
+	}
+	if count, _ := c.Count("db", "people", nil); count != 0 {
+		t.Fatalf("count after drop = %d", count)
+	}
+}
+
+func TestServerErrorsAndHandle(t *testing.T) {
+	srv, c := startServer(t)
+	// Server-side errors surface as client errors.
+	if _, err := c.Do(&Request{Op: "bogus", DB: "db"}); err == nil {
+		t.Fatalf("unknown op should error")
+	}
+	if _, err := c.Do(&Request{Op: OpFind}); err == nil {
+		t.Fatalf("missing db should error")
+	}
+	if _, err := c.Do(&Request{Op: OpInsert, DB: "db", Collection: "c"}); err == nil {
+		t.Fatalf("insert without doc should error")
+	}
+	if _, err := c.Do(&Request{Op: OpFind, DB: "db", Collection: "c", Filter: bson.D("$bogus", 1)}); err == nil {
+		t.Fatalf("bad filter should error")
+	}
+	if _, err := c.Do(&Request{Op: OpFind, DB: "db", Collection: "c", Sort: bson.D("a", 7)}); err == nil {
+		t.Fatalf("bad sort should error")
+	}
+	if _, err := c.Do(&Request{Op: OpAggregate, DB: "db", Collection: "c", Docs: []*bson.Doc{bson.D("$bogus", 1)}}); err == nil {
+		t.Fatalf("bad pipeline should error")
+	}
+	if _, err := c.Do(&Request{Op: OpEnsureIndex, DB: "db", Collection: "c", Keys: bson.D("a", 9)}); err == nil {
+		t.Fatalf("bad index keys should error")
+	}
+	// Direct Handle calls work without a socket.
+	resp := srv.Handle(&Request{Op: OpPing})
+	if !resp.OK {
+		t.Fatalf("Handle ping = %+v", resp)
+	}
+	// Duplicate _id insert reports an error response.
+	_ = c.Insert("db", "c", bson.D(bson.IDKey, 1))
+	if err := c.Insert("db", "c", bson.D(bson.IDKey, 1)); err == nil {
+		t.Fatalf("duplicate insert should error")
+	}
+}
+
+func TestConcurrentClients(t *testing.T) {
+	srv := NewServer(mongod.NewServer(mongod.Options{}))
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			client, err := Dial(addr, time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer client.Close()
+			for i := 0; i < 25; i++ {
+				if err := client.Insert("db", "load", bson.D(bson.IDKey, w*1000+i, "w", w)); err != nil {
+					done <- err
+					return
+				}
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	client, _ := Dial(addr, time.Second)
+	defer client.Close()
+	n, err := client.Count("db", "load", nil)
+	if err != nil || n != 100 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+func TestRequestEncodeDecodeRoundTrip(t *testing.T) {
+	req := &Request{
+		Op: OpUpdate, DB: "db", Collection: "c",
+		Filter: bson.D("a", 1), Update: bson.D("$set", bson.D("b", 2)),
+		Sort: bson.D("a", 1), Projection: bson.D("a", 1), Keys: bson.D("a", 1),
+		Doc: bson.D("x", 1), Docs: []*bson.Doc{bson.D("y", 2)},
+		Limit: 5, Skip: 2, Multi: true, Upsert: true, Unique: true,
+	}
+	decoded := decodeRequest(req.encode())
+	if decoded.Op != req.Op || decoded.DB != req.DB || decoded.Collection != req.Collection ||
+		decoded.Limit != 5 || decoded.Skip != 2 || !decoded.Multi || !decoded.Upsert || !decoded.Unique {
+		t.Fatalf("decoded = %+v", decoded)
+	}
+	if decoded.Filter == nil || decoded.Update == nil || decoded.Doc == nil || len(decoded.Docs) != 1 {
+		t.Fatalf("documents lost in round trip: %+v", decoded)
+	}
+	resp := &Response{OK: true, Docs: []*bson.Doc{bson.D("a", 1)}, N: 1}
+	back := decodeResponse(resp.encode())
+	if !back.OK || back.N != 1 || len(back.Docs) != 1 {
+		t.Fatalf("response round trip = %+v", back)
+	}
+}
