@@ -25,6 +25,7 @@ import (
 	"docstore/internal/bson"
 	"docstore/internal/core"
 	"docstore/internal/queries"
+	"docstore/internal/storage"
 	"docstore/internal/tpcds"
 )
 
@@ -182,6 +183,90 @@ func BenchmarkExperiment5NormalizedStandalone5GB(b *testing.B) {
 func BenchmarkExperiment6DenormalizedStandalone5GB(b *testing.B) {
 	_, large := benchScales()
 	benchmarkExperimentQueries(b, core.ExperimentSpec{Number: 6, Scale: large, Model: core.Denormalized, Env: core.StandAlone})
+}
+
+// BenchmarkFullScanSliceVsCursor contrasts the two execution strategies for
+// a full collection scan of the denormalized store_sales fact collection at
+// the bench divisor: the materializing slice path (Find) allocates the whole
+// result set per operation, while the streaming cursor path (FindCursor)
+// holds only one batch at a time, so its reported B/op — the peak transient
+// allocation — drops from O(result) to O(batch). Both paths are verified to
+// produce byte-identical results before timing starts.
+func BenchmarkFullScanSliceVsCursor(b *testing.B) {
+	small, _ := benchScales()
+	d := benchDeployment(b, core.ExperimentSpec{Number: 3, Scale: small, Model: core.Denormalized, Env: core.StandAlone})
+	coll := d.Standalone.Database(core.DatabaseName(small)).Collection("store_sales")
+	if coll.Count() == 0 {
+		b.Fatal("store_sales is empty")
+	}
+
+	checksum := func(docs []*bson.Doc) (int, int64) {
+		var bytes int64
+		for _, doc := range docs {
+			bytes += int64(bson.EncodedSize(doc))
+		}
+		return len(docs), bytes
+	}
+	sliceDocs, err := coll.Find(nil, storage.FindOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cur, err := coll.FindCursor(nil, storage.FindOptions{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cursorDocs, err := cur.All()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if len(sliceDocs) != len(cursorDocs) {
+		b.Fatalf("slice path returned %d docs, cursor path %d", len(sliceDocs), len(cursorDocs))
+	}
+	for i := range sliceDocs {
+		sb, cb := bson.Marshal(sliceDocs[i]), bson.Marshal(cursorDocs[i])
+		if string(sb) != string(cb) {
+			b.Fatalf("doc %d not byte-identical between slice and cursor paths", i)
+		}
+	}
+	wantN, wantBytes := checksum(sliceDocs)
+
+	b.Run("Slice", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			docs, err := coll.Find(nil, storage.FindOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n, bytes := checksum(docs)
+			if n != wantN || bytes != wantBytes {
+				b.Fatalf("slice scan drifted: %d docs / %d bytes", n, bytes)
+			}
+		}
+	})
+	b.Run("Cursor", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			cur, err := coll.FindCursor(nil, storage.FindOptions{})
+			if err != nil {
+				b.Fatal(err)
+			}
+			n := 0
+			var bytes int64
+			for {
+				batch := cur.NextBatch()
+				if len(batch) == 0 {
+					break
+				}
+				n += len(batch)
+				for _, doc := range batch {
+					bytes += int64(bson.EncodedSize(doc))
+				}
+			}
+			if n != wantN || bytes != wantBytes {
+				b.Fatalf("cursor scan drifted: %d docs / %d bytes", n, bytes)
+			}
+		}
+	})
 }
 
 // BenchmarkAblationShardKeyRouting contrasts Query 50 under the paper's

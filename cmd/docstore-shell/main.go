@@ -53,7 +53,11 @@ func main() {
 		for _, d := range resp.Docs {
 			fmt.Println(d.ToJSON())
 		}
-		fmt.Printf("ok (n=%d)\n", resp.N)
+		if resp.CursorID != 0 {
+			fmt.Printf("ok (n=%d, cursorId=%d)\n", resp.N, resp.CursorID)
+		} else {
+			fmt.Printf("ok (n=%d)\n", resp.N)
+		}
 		return nil
 	}
 
@@ -121,6 +125,16 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	if v, ok := doc.Get("skip"); ok {
 		if n, isNum := bson.AsInt(v); isNum {
 			req.Skip = int(n)
+		}
+	}
+	if v, ok := doc.Get("batchSize"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			req.BatchSize = int(n)
+		}
+	}
+	if v, ok := doc.Get("cursorId"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			req.CursorID = n
 		}
 	}
 	req.Multi = bson.Truthy(doc.GetOr("multi", false))

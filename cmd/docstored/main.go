@@ -22,10 +22,12 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:27017", "listen address")
 	name := flag.String("name", "docstored", "server name reported in stats")
 	ramGB := flag.Int64("ram-gb", 0, "advertised RAM in GiB (informational, drives working-set reporting)")
+	cursorTimeout := flag.Duration("cursor-timeout", wire.DefaultCursorTimeout, "idle timeout after which abandoned server-side cursors are reaped")
 	flag.Parse()
 
 	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30})
 	srv := wire.NewServer(backend)
+	srv.SetCursorTimeout(*cursorTimeout)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docstored: %v\n", err)

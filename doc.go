@@ -9,4 +9,41 @@
 // The implementation lives under internal/ (see DESIGN.md for the system
 // inventory); cmd/ holds the executables and examples/ holds runnable
 // walkthroughs of the public API surface.
+//
+// # Streaming cursor execution
+//
+// Every query layer streams results in cursor batches instead of
+// materializing full result sets, so peak memory for a large scan is
+// O(batch) rather than O(result):
+//
+//   - storage.Collection.FindCursor returns a storage.Cursor
+//     (HasNext/Next/TryNext/NextBatch/All/Close) backed by an incremental
+//     collection or index scan; each batch is read under one lock
+//     acquisition. The batch size is set per query with
+//     storage.FindOptions.BatchSize: 0 uses storage.DefaultBatchSize,
+//     negative values disable batching and produce the whole result in one
+//     batch (what the slice-returning Find does internally).
+//   - aggregate pipelines execute over aggregate.Iterator via
+//     Pipeline.RunIter: $match, $project, $addFields, $unwind, $limit and
+//     $skip stream document-at-a-time ($limit stops the upstream scan
+//     early), $group accumulates its buckets incrementally, and only
+//     blocking stages ($sort, $lookup, $out, $count) materialize.
+//   - mongod.Database.FindCursor and AggregateCursor expose both, with a
+//     leading $match pushed down to the storage engine's indexes.
+//   - mongos.Router.FindCursor merges per-shard cursors with a streaming
+//     k-way merge (one prefetching goroutine per shard when
+//     Options.Parallel is set); Router.AggregateCursor streams the shard
+//     prefix of a pipeline into the router-side merge pipeline.
+//   - driver.CursorStore is the deployment-independent cursor interface,
+//     implemented by both the stand-alone and the sharded adapters.
+//   - the wire protocol carries cursor batching through batchSize/cursorId:
+//     a find or aggregate with batchSize > 0 returns one batch plus a
+//     cursor id, getMore pages through the rest, killCursors releases a
+//     half-consumed cursor, and wire.Client.FindCursor/AggregateCursor wrap
+//     the exchange in a client-side cursor. Abandoned server-side cursors
+//     are reaped after an idle timeout (wire.DefaultCursorTimeout, the
+//     docstored -cursor-timeout flag).
+//
+// The slice APIs (Find, Aggregate, Router.Find, ...) are thin wrappers that
+// drain these cursors, so existing callers and benchmarks are unchanged.
 package docstore

@@ -1,0 +1,3 @@
+module docstore
+
+go 1.24

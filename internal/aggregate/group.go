@@ -76,32 +76,57 @@ type accumulatorState struct {
 }
 
 func (s *groupStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
-	buckets := make(map[string]*groupBucket)
-	var orderCounter int
+	acc := s.startAccum().(*groupAccum)
 	for _, d := range docs {
-		idVal, err := Evaluate(s.idExpr, d)
-		if err != nil {
+		if err := acc.absorb(d); err != nil {
 			return nil, err
 		}
-		key := canonicalKey(idVal)
-		b, ok := buckets[key]
-		if !ok {
-			b = &groupBucket{id: idVal, order: orderCounter, accs: make([]accumulatorState, len(s.accumulators))}
-			for i := range b.accs {
-				b.accs[i].sumIsInt = true
-			}
-			orderCounter++
-			buckets[key] = b
+	}
+	return acc.finish()
+}
+
+// startAccum lets $group consume a document stream incrementally: the hash
+// table of buckets is the only state kept, so a streamed group holds
+// O(groups) memory instead of O(input)+O(groups).
+func (s *groupStage) startAccum() docAccum {
+	return &groupAccum{s: s, buckets: make(map[string]*groupBucket)}
+}
+
+type groupAccum struct {
+	s            *groupStage
+	buckets      map[string]*groupBucket
+	orderCounter int
+}
+
+func (a *groupAccum) absorb(d *bson.Doc) error {
+	s := a.s
+	idVal, err := Evaluate(s.idExpr, d)
+	if err != nil {
+		return err
+	}
+	key := canonicalKey(idVal)
+	b, ok := a.buckets[key]
+	if !ok {
+		b = &groupBucket{id: idVal, order: a.orderCounter, accs: make([]accumulatorState, len(s.accumulators))}
+		for i := range b.accs {
+			b.accs[i].sumIsInt = true
 		}
-		for i, acc := range s.accumulators {
-			if err := b.accs[i].fold(acc, d); err != nil {
-				return nil, err
-			}
+		a.orderCounter++
+		a.buckets[key] = b
+	}
+	for i, acc := range s.accumulators {
+		if err := b.accs[i].fold(acc, d); err != nil {
+			return err
 		}
 	}
+	return nil
+}
+
+func (a *groupAccum) finish() ([]*bson.Doc, error) {
+	s := a.s
 	// Deterministic output: buckets in first-seen order.
-	ordered := make([]*groupBucket, 0, len(buckets))
-	for _, b := range buckets {
+	ordered := make([]*groupBucket, 0, len(a.buckets))
+	for _, b := range a.buckets {
 		ordered = append(ordered, b)
 	}
 	sort.Slice(ordered, func(i, j int) bool { return ordered[i].order < ordered[j].order })

@@ -1,0 +1,263 @@
+package aggregate
+
+import (
+	"fmt"
+
+	"docstore/internal/bson"
+)
+
+// Iterator is the streaming document interface the pipeline engine executes
+// over. Stages that operate per document ($match, $project, $addFields,
+// $unwind, $limit, $skip) transform iterators without materializing their
+// input; blocking stages ($sort, $lookup, $out, $count) drain their input
+// first; $group consumes its input incrementally and materializes only its
+// buckets. The same interface is implemented by the storage layer's cursors
+// (via an adapter) and by the query router's shard-merge cursors, so a whole
+// query can stream end to end until its first blocking stage.
+type Iterator interface {
+	// Next returns the next document, or (nil, false) once the stream ends.
+	Next() (*bson.Doc, bool)
+	// Err returns the error that terminated the stream, if any. It is only
+	// meaningful after Next has returned false.
+	Err() error
+	// Close releases the iterator's resources. It is safe to call multiple
+	// times and after exhaustion.
+	Close()
+}
+
+// sliceIter serves documents from a materialized slice.
+type sliceIter struct {
+	docs []*bson.Doc
+	pos  int
+}
+
+// FromSlice wraps a document slice in an Iterator.
+func FromSlice(docs []*bson.Doc) Iterator { return &sliceIter{docs: docs} }
+
+func (it *sliceIter) Next() (*bson.Doc, bool) {
+	if it.pos >= len(it.docs) {
+		return nil, false
+	}
+	d := it.docs[it.pos]
+	it.pos++
+	return d, true
+}
+
+func (it *sliceIter) Err() error { return nil }
+func (it *sliceIter) Close()     { it.docs = nil; it.pos = 0 }
+
+// Drain consumes the iterator into a slice and closes it.
+func Drain(it Iterator) ([]*bson.Doc, error) {
+	defer it.Close()
+	var out []*bson.Doc
+	for {
+		d, ok := it.Next()
+		if !ok {
+			break
+		}
+		out = append(out, d)
+	}
+	return out, it.Err()
+}
+
+// docStream is per-run state for a streamable stage: push feeds it one input
+// document and collects zero or more output documents. The bool result
+// reports whether the stage wants more input; false lets $limit stop the
+// upstream scan early.
+type docStream interface {
+	push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error)
+}
+
+// streamableStage is implemented by stages that process documents one at a
+// time with no cross-document state beyond a per-run counter.
+type streamableStage interface {
+	Stage
+	startStream() docStream
+}
+
+// accumulatingStage is implemented by stages that consume their input
+// incrementally but only emit once the input is exhausted ($group): the
+// stream stays O(batch)+O(state) instead of materializing the input.
+type accumulatingStage interface {
+	Stage
+	startAccum() docAccum
+}
+
+type docAccum interface {
+	absorb(d *bson.Doc) error
+	finish() ([]*bson.Doc, error)
+}
+
+// stageIter applies a docStream to an upstream iterator.
+type stageIter struct {
+	name string
+	src  Iterator
+	st   docStream
+	buf  []*bson.Doc
+	pos  int
+	err  error
+	done bool
+}
+
+func (it *stageIter) Next() (*bson.Doc, bool) {
+	for {
+		if it.pos < len(it.buf) {
+			d := it.buf[it.pos]
+			it.pos++
+			return d, true
+		}
+		if it.done {
+			return nil, false
+		}
+		d, ok := it.src.Next()
+		if !ok {
+			it.done = true
+			it.err = it.src.Err()
+			return nil, false
+		}
+		it.buf = it.buf[:0]
+		it.pos = 0
+		out, more, err := it.st.push(d, it.buf)
+		it.buf = out
+		if err != nil {
+			it.done = true
+			it.err = fmt.Errorf("aggregate: %s: %w", it.name, err)
+			return nil, false
+		}
+		if !more {
+			it.done = true
+			it.src.Close()
+		}
+	}
+}
+
+func (it *stageIter) Err() error { return it.err }
+func (it *stageIter) Close() {
+	it.done = true
+	it.buf = nil
+	it.src.Close()
+}
+
+// accumIter feeds an upstream iterator into a docAccum and serves the
+// finished output.
+type accumIter struct {
+	name string
+	src  Iterator
+	acc  docAccum
+	out  []*bson.Doc
+	pos  int
+	err  error
+	done bool
+}
+
+func (it *accumIter) Next() (*bson.Doc, bool) {
+	if it.acc != nil {
+		for {
+			d, ok := it.src.Next()
+			if !ok {
+				break
+			}
+			if err := it.acc.absorb(d); err != nil {
+				it.err = fmt.Errorf("aggregate: %s: %w", it.name, err)
+				it.done = true
+				it.acc = nil
+				it.src.Close()
+				return nil, false
+			}
+		}
+		if err := it.src.Err(); err != nil {
+			it.err = err
+			it.done = true
+			it.acc = nil
+			return nil, false
+		}
+		out, err := it.acc.finish()
+		it.acc = nil
+		if err != nil {
+			it.err = fmt.Errorf("aggregate: %s: %w", it.name, err)
+			it.done = true
+			return nil, false
+		}
+		it.out = out
+	}
+	if it.done || it.pos >= len(it.out) {
+		return nil, false
+	}
+	d := it.out[it.pos]
+	it.pos++
+	return d, true
+}
+
+func (it *accumIter) Err() error { return it.err }
+func (it *accumIter) Close() {
+	it.done = true
+	it.acc = nil
+	it.out = nil
+	it.src.Close()
+}
+
+// blockingIter drains its upstream, applies a slice-based stage, and serves
+// the result — the materialization point for $sort, $lookup, $out and
+// $count.
+type blockingIter struct {
+	name    string
+	src     Iterator
+	stage   Stage
+	env     Env
+	out     []*bson.Doc
+	pos     int
+	err     error
+	started bool
+	done    bool
+}
+
+func (it *blockingIter) Next() (*bson.Doc, bool) {
+	if !it.started {
+		it.started = true
+		docs, err := Drain(it.src)
+		if err != nil {
+			it.err = err
+			it.done = true
+			return nil, false
+		}
+		out, err := it.stage.Apply(docs, it.env)
+		if err != nil {
+			it.err = fmt.Errorf("aggregate: %s: %w", it.name, err)
+			it.done = true
+			return nil, false
+		}
+		it.out = out
+	}
+	if it.done || it.pos >= len(it.out) {
+		return nil, false
+	}
+	d := it.out[it.pos]
+	it.pos++
+	return d, true
+}
+
+func (it *blockingIter) Err() error { return it.err }
+func (it *blockingIter) Close() {
+	it.done = true
+	it.out = nil
+	it.src.Close()
+}
+
+// RunIter builds the streaming execution of the pipeline over the input
+// iterator. Per-document stages stream, $group accumulates incrementally,
+// and every other stage materializes at its position in the chain. Errors
+// surface through the returned iterator's Err after Next returns false.
+func (p *Pipeline) RunIter(input Iterator, env Env) Iterator {
+	it := input
+	for _, s := range p.stages {
+		switch st := s.(type) {
+		case streamableStage:
+			it = &stageIter{name: s.Name(), src: it, st: st.startStream()}
+		case accumulatingStage:
+			it = &accumIter{name: s.Name(), src: it, acc: st.startAccum()}
+		default:
+			it = &blockingIter{name: s.Name(), src: it, stage: s, env: env}
+		}
+	}
+	return it
+}

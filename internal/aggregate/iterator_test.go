@@ -1,0 +1,144 @@
+package aggregate
+
+import (
+	"fmt"
+	"testing"
+
+	"docstore/internal/bson"
+)
+
+func iterTestDocs(n int) []*bson.Doc {
+	docs := make([]*bson.Doc, 0, n)
+	for i := 0; i < n; i++ {
+		var tags []any
+		for j := 0; j <= i%3; j++ {
+			tags = append(tags, fmt.Sprintf("t%d", j))
+		}
+		docs = append(docs, bson.D(
+			bson.IDKey, i,
+			"g", i%5,
+			"v", i,
+			"tags", tags,
+		))
+	}
+	return docs
+}
+
+// TestRunIterMatchesRun asserts the streaming execution produces exactly the
+// documents of the slice execution for pipelines covering every stage class:
+// streamable, accumulating ($group) and blocking ($sort, $count, $lookup).
+func TestRunIterMatchesRun(t *testing.T) {
+	docs := iterTestDocs(200)
+	env := NewSliceEnv()
+	env.Collections["dims"] = []*bson.Doc{
+		bson.D(bson.IDKey, 0, "g", 0, "label", "zero"),
+		bson.D(bson.IDKey, 1, "g", 1, "label", "one"),
+	}
+	pipelines := map[string][]*bson.Doc{
+		"match":            {bson.D("$match", bson.D("g", 2))},
+		"match+project":    {bson.D("$match", bson.D("g", bson.D("$lt", 3))), bson.D("$project", bson.D("v", 1))},
+		"addFields":        {bson.D("$addFields", bson.D("vv", bson.D("$multiply", bson.A("$v", int64(2)))))},
+		"unwind":           {bson.D("$unwind", "$tags")},
+		"unwind+group":     {bson.D("$unwind", "$tags"), bson.D("$group", bson.D(bson.IDKey, "$tags", "n", bson.D("$sum", 1)))},
+		"skip+limit":       {bson.D("$skip", 10), bson.D("$limit", 20)},
+		"group+sort":       {bson.D("$group", bson.D(bson.IDKey, "$g", "avg", bson.D("$avg", "$v"))), bson.D("$sort", bson.D(bson.IDKey, 1))},
+		"sort+skip+limit":  {bson.D("$sort", bson.D("v", -1)), bson.D("$skip", 5), bson.D("$limit", 7)},
+		"count":            {bson.D("$match", bson.D("g", bson.D("$gte", 1))), bson.D("$count", "n")},
+		"lookup":           {bson.D("$limit", 10), bson.D("$lookup", bson.D("from", "dims", "localField", "g", "foreignField", "g", "as", "dim"))},
+		"limit after group": {
+			bson.D("$group", bson.D(bson.IDKey, "$g", "n", bson.D("$sum", 1))),
+			bson.D("$limit", 2),
+		},
+	}
+	for name, stageDocs := range pipelines {
+		t.Run(name, func(t *testing.T) {
+			p, err := Parse(stageDocs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := p.Run(docs, env)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := Drain(p.RunIter(FromSlice(docs), env))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("iterator produced %d docs, slice produced %d", len(got), len(want))
+			}
+			for i := range got {
+				if !got[i].Equal(want[i]) {
+					t.Fatalf("doc %d differs:\n got  %v\n want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+// countingIter counts how many documents downstream stages pulled.
+type countingIter struct {
+	docs   []*bson.Doc
+	pos    int
+	pulled int
+	closed bool
+}
+
+func (it *countingIter) Next() (*bson.Doc, bool) {
+	if it.pos >= len(it.docs) {
+		return nil, false
+	}
+	d := it.docs[it.pos]
+	it.pos++
+	it.pulled++
+	return d, true
+}
+
+func (it *countingIter) Err() error { return nil }
+func (it *countingIter) Close()     { it.closed = true }
+
+// TestLimitStopsUpstream checks the streamable prefix is actually lazy: a
+// $limit must stop pulling from its source once satisfied, and close it.
+func TestLimitStopsUpstream(t *testing.T) {
+	src := &countingIter{docs: iterTestDocs(1000)}
+	p := MustParse([]*bson.Doc{
+		bson.D("$match", bson.D("g", bson.D("$gte", 0))),
+		bson.D("$limit", 10),
+	})
+	got, err := Drain(p.RunIter(src, nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("got %d docs, want 10", len(got))
+	}
+	if src.pulled > 11 {
+		t.Fatalf("$limit pulled %d source docs, expected ~10", src.pulled)
+	}
+	if !src.closed {
+		t.Fatal("$limit did not close its upstream")
+	}
+}
+
+// TestIteratorErrorPropagation checks stage errors surface through Err with
+// the same wrapping Run produces.
+func TestIteratorErrorPropagation(t *testing.T) {
+	docs := []*bson.Doc{bson.D("v", "not-a-number")}
+	p := MustParse([]*bson.Doc{
+		bson.D("$project", bson.D("bad", bson.D("$divide", bson.A("$v", int64(0))))),
+	})
+	_, runErr := p.Run(docs, nil)
+	if runErr == nil {
+		t.Fatal("expected slice Run to fail")
+	}
+	it := p.RunIter(FromSlice(docs), nil)
+	if _, ok := it.Next(); ok {
+		t.Fatal("expected streaming Next to fail")
+	}
+	if it.Err() == nil {
+		t.Fatal("expected streaming Err to be set")
+	}
+	if it.Err().Error() != runErr.Error() {
+		t.Fatalf("error mismatch:\n iter: %v\n run:  %v", it.Err(), runErr)
+	}
+}

@@ -77,16 +77,12 @@ func (p *Pipeline) Stages() []Stage { return p.stages }
 // OutCollection returns the $out target collection name, or "".
 func (p *Pipeline) OutCollection() string { return p.out }
 
-// Run executes the pipeline over the input documents.
+// Run executes the pipeline over the input documents. It is a thin wrapper
+// over the streaming execution: the input is served from a slice and the
+// output drained back into one, so callers see the historical materializing
+// behaviour while the stages in between stream.
 func (p *Pipeline) Run(docs []*bson.Doc, env Env) ([]*bson.Doc, error) {
-	var err error
-	for _, s := range p.stages {
-		docs, err = s.Apply(docs, env)
-		if err != nil {
-			return nil, fmt.Errorf("aggregate: %s: %w", s.Name(), err)
-		}
-	}
-	return docs, nil
+	return Drain(p.RunIter(FromSlice(docs), env))
 }
 
 // Split partitions the pipeline for sharded execution: the shard part is the
@@ -107,6 +103,19 @@ func (p *Pipeline) Split() (shard, merge *Pipeline) {
 
 // Len returns the number of stages.
 func (p *Pipeline) Len() int { return len(p.stages) }
+
+// Tail returns the pipeline with its first n stages removed, preserving the
+// $out target. It lets callers push a leading $match down into the storage
+// engine without re-parsing the remaining stages.
+func (p *Pipeline) Tail(n int) *Pipeline {
+	if n <= 0 {
+		return p
+	}
+	if n > len(p.stages) {
+		n = len(p.stages)
+	}
+	return &Pipeline{stages: p.stages[n:], out: p.out}
+}
 
 // StageNames lists the stage operators in order.
 func (p *Pipeline) StageNames() []string {

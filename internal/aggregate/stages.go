@@ -133,6 +133,17 @@ func (s *matchStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
 	return out, nil
 }
 
+func (s *matchStage) startStream() docStream { return matchStream{s} }
+
+type matchStream struct{ s *matchStage }
+
+func (st matchStream) push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error) {
+	if st.s.matcher.Matches(d) {
+		out = append(out, d)
+	}
+	return out, true, nil
+}
+
 // ---------------------------------------------------------------------------
 // $project
 
@@ -151,6 +162,18 @@ func (s *projectStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
 		out = append(out, nd)
 	}
 	return out, nil
+}
+
+func (s *projectStage) startStream() docStream { return projectStream{s} }
+
+type projectStream struct{ s *projectStage }
+
+func (st projectStream) push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error) {
+	nd, err := projectDoc(st.s.spec, d)
+	if err != nil {
+		return out, false, err
+	}
+	return append(out, nd), true, nil
 }
 
 // projectDoc evaluates a $project specification against one document:
@@ -217,19 +240,39 @@ func (s *addFieldsStage) Local() bool  { return true }
 func (s *addFieldsStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
 	out := make([]*bson.Doc, 0, len(docs))
 	for _, d := range docs {
-		nd := d.Clone()
-		for _, f := range s.spec.Fields() {
-			v, err := Evaluate(f.Value, d)
-			if err != nil {
-				return nil, err
-			}
-			if err := nd.SetPath(f.Key, v); err != nil {
-				return nil, err
-			}
+		nd, err := s.applyDoc(d)
+		if err != nil {
+			return nil, err
 		}
 		out = append(out, nd)
 	}
 	return out, nil
+}
+
+func (s *addFieldsStage) applyDoc(d *bson.Doc) (*bson.Doc, error) {
+	nd := d.Clone()
+	for _, f := range s.spec.Fields() {
+		v, err := Evaluate(f.Value, d)
+		if err != nil {
+			return nil, err
+		}
+		if err := nd.SetPath(f.Key, v); err != nil {
+			return nil, err
+		}
+	}
+	return nd, nil
+}
+
+func (s *addFieldsStage) startStream() docStream { return addFieldsStream{s} }
+
+type addFieldsStream struct{ s *addFieldsStage }
+
+func (st addFieldsStream) push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error) {
+	nd, err := st.s.applyDoc(d)
+	if err != nil {
+		return out, false, err
+	}
+	return append(out, nd), true, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -258,6 +301,20 @@ func (s *limitStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
 	return docs, nil
 }
 
+// $limit streams: it passes documents through and stops the upstream scan
+// once n documents have been emitted.
+func (s *limitStage) startStream() docStream { return &limitStream{left: s.n} }
+
+type limitStream struct{ left int }
+
+func (st *limitStream) push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error) {
+	if st.left <= 0 {
+		return out, false, nil
+	}
+	st.left--
+	return append(out, d), st.left > 0, nil
+}
+
 type skipStage struct{ n int }
 
 func (s *skipStage) Name() string { return "$skip" }
@@ -268,6 +325,18 @@ func (s *skipStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
 		return nil, nil
 	}
 	return docs[s.n:], nil
+}
+
+func (s *skipStage) startStream() docStream { return &skipStream{left: s.n} }
+
+type skipStream struct{ left int }
+
+func (st *skipStream) push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error) {
+	if st.left > 0 {
+		st.left--
+		return out, true, nil
+	}
+	return append(out, d), true, nil
 }
 
 // ---------------------------------------------------------------------------
@@ -283,28 +352,46 @@ func (s *unwindStage) Local() bool  { return true }
 
 func (s *unwindStage) Apply(docs []*bson.Doc, _ Env) ([]*bson.Doc, error) {
 	var out []*bson.Doc
+	var err error
 	for _, d := range docs {
-		v, ok := d.GetPath(s.path)
-		arr, isArr := v.([]any)
-		switch {
-		case !ok || (isArr && len(arr) == 0) || v == nil:
-			if s.preserveEmpty {
-				out = append(out, d)
-			}
-		case isArr:
-			for _, e := range arr {
-				nd := d.Clone()
-				if err := nd.SetPath(s.path, e); err != nil {
-					return nil, err
-				}
-				out = append(out, nd)
-			}
-		default:
-			// Non-array values pass through unchanged.
-			out = append(out, d)
+		out, err = s.unwindDoc(d, out)
+		if err != nil {
+			return nil, err
 		}
 	}
 	return out, nil
+}
+
+func (s *unwindStage) unwindDoc(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, error) {
+	v, ok := d.GetPath(s.path)
+	arr, isArr := v.([]any)
+	switch {
+	case !ok || (isArr && len(arr) == 0) || v == nil:
+		if s.preserveEmpty {
+			out = append(out, d)
+		}
+	case isArr:
+		for _, e := range arr {
+			nd := d.Clone()
+			if err := nd.SetPath(s.path, e); err != nil {
+				return nil, err
+			}
+			out = append(out, nd)
+		}
+	default:
+		// Non-array values pass through unchanged.
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+func (s *unwindStage) startStream() docStream { return unwindStream{s} }
+
+type unwindStream struct{ s *unwindStage }
+
+func (st unwindStream) push(d *bson.Doc, out []*bson.Doc) ([]*bson.Doc, bool, error) {
+	out, err := st.s.unwindDoc(d, out)
+	return out, err == nil, err
 }
 
 // ---------------------------------------------------------------------------

@@ -1,0 +1,54 @@
+package bson
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzExtJSONRoundTrip feeds arbitrary byte strings through the extended
+// JSON decoder; every successfully decoded document must survive a
+// ToJSON → FromJSON round trip with identical canonical BSON bytes, and the
+// binary codec must agree with itself on the same document. Seeds come from
+// the JSON shapes exercised by the unit tests and the wire protocol.
+func FuzzExtJSONRoundTrip(f *testing.F) {
+	seeds := []string{
+		`{}`,
+		`{"a": 1}`,
+		`{"a": -1.5, "b": "x", "c": true, "d": null}`,
+		`{"_id": 7, "nested": {"k": [1, 2, {"deep": "v"}]}}`,
+		`{"s": "with \"quotes\" and \\ backslash é"}`,
+		`{"n": 9007199254740993}`,
+		`{"f": 1e300, "tiny": 1e-300}`,
+		`{"arr": [], "doc": {}, "mix": [null, false, 0, ""]}`,
+		`{"op": "find", "db": "Dataset_1GB", "coll": "store_sales", "filter": {"ss_ticket_number": 1}, "limit": 10}`,
+		`{"ok": true, "docs": [{"name": "a"}], "n": 3}`,
+		`{"$oid": "0102030405060708090a0b0c"}`,
+		`{"dup": 1, "dup": 2}`,
+	}
+	for _, s := range seeds {
+		f.Add([]byte(s))
+	}
+	f.Fuzz(func(t *testing.T, data []byte) {
+		doc, err := FromJSON(data)
+		if err != nil {
+			return // malformed input is allowed to fail
+		}
+		js := doc.ToJSON()
+		doc2, err := FromJSON([]byte(js))
+		if err != nil {
+			t.Fatalf("re-decoding our own JSON %q failed: %v", js, err)
+		}
+		b1, b2 := Marshal(doc), Marshal(doc2)
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("extended-JSON round trip changed the document:\n in:  %v\n out: %v", doc, doc2)
+		}
+		// The binary codec must also round-trip the decoded document.
+		back, err := Unmarshal(b1)
+		if err != nil {
+			t.Fatalf("Unmarshal(Marshal(doc)) failed: %v", err)
+		}
+		if !bytes.Equal(Marshal(back), b1) {
+			t.Fatalf("binary round trip changed the document:\n in:  %v\n out: %v", doc, back)
+		}
+	})
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
 	"time"
@@ -65,6 +66,13 @@ func writeJSONValue(buf *bytes.Buffer, v any) error {
 	case int64:
 		buf.WriteString(strconv.FormatInt(t, 10))
 	case float64:
+		if t == math.Trunc(t) && math.Abs(t) < 1e21 {
+			// Integral doubles would otherwise render without a decimal
+			// point or exponent and re-decode as int64, silently changing
+			// the value's BSON type across a round trip.
+			buf.WriteString(strconv.FormatFloat(t, 'f', 1, 64))
+			break
+		}
 		b, err := json.Marshal(t)
 		if err != nil {
 			return err

@@ -7,11 +7,35 @@
 package driver
 
 import (
+	"docstore/internal/aggregate"
 	"docstore/internal/bson"
 	"docstore/internal/mongod"
 	"docstore/internal/mongos"
 	"docstore/internal/query"
 	"docstore/internal/storage"
+)
+
+// Cursor is the streaming result interface the driver exposes: the
+// aggregation engine's iterator, implemented by the stand-alone server's
+// storage cursors and by the query router's shard-merge cursors alike.
+type Cursor = aggregate.Iterator
+
+// CursorStore is implemented by deployments that can stream results in
+// cursor batches instead of materializing them. Both deployment adapters of
+// this package implement it; algorithms that can stream should type-assert
+// from Store to CursorStore and fall back to the slice APIs otherwise.
+type CursorStore interface {
+	Store
+	// FindCursor streams documents matching filter; batch size comes from
+	// opts.BatchSize (zero = storage.DefaultBatchSize).
+	FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error)
+	// AggregateCursor streams the results of an aggregation pipeline.
+	AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error)
+}
+
+var (
+	_ CursorStore = (*Standalone)(nil)
+	_ CursorStore = (*Sharded)(nil)
 )
 
 // Store is the operation set the algorithms need from a deployment.
@@ -73,6 +97,20 @@ func (s *Standalone) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, er
 	return s.DB.Aggregate(coll, stages)
 }
 
+// FindCursor implements CursorStore.
+func (s *Standalone) FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error) {
+	cur, err := s.DB.FindCursor(coll, filter, opts)
+	if err != nil {
+		return nil, err
+	}
+	return mongod.Iter(cur), nil
+}
+
+// AggregateCursor implements CursorStore.
+func (s *Standalone) AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error) {
+	return s.DB.AggregateCursor(coll, stages)
+}
+
 // Count implements Store.
 func (s *Standalone) Count(coll string, filter *bson.Doc) (int, error) {
 	return s.DB.Collection(coll).CountDocs(filter)
@@ -129,6 +167,20 @@ func (s *Sharded) Update(coll string, spec query.UpdateSpec) (storage.UpdateResu
 // Aggregate implements Store.
 func (s *Sharded) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
 	return s.Router.Aggregate(s.DBName, coll, stages)
+}
+
+// FindCursor implements CursorStore.
+func (s *Sharded) FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error) {
+	cur, err := s.Router.FindCursor(s.DBName, coll, filter, opts)
+	if err != nil {
+		return nil, err
+	}
+	return cur, nil
+}
+
+// AggregateCursor implements CursorStore.
+func (s *Sharded) AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error) {
+	return s.Router.AggregateCursor(s.DBName, coll, stages)
 }
 
 // Count implements Store.

@@ -1,0 +1,109 @@
+package mongod
+
+import (
+	"docstore/internal/aggregate"
+	"docstore/internal/bson"
+	"docstore/internal/storage"
+)
+
+// Iter adapts a storage cursor to the aggregation engine's Iterator
+// interface, letting a pipeline stream straight off a collection or index
+// scan.
+func Iter(cur *storage.Cursor) aggregate.Iterator { return cursorIter{cur} }
+
+type cursorIter struct{ cur *storage.Cursor }
+
+func (i cursorIter) Next() (*bson.Doc, bool) { return i.cur.TryNext() }
+func (i cursorIter) Err() error              { return i.cur.Err() }
+func (i cursorIter) Close()                  { _ = i.cur.Close() }
+
+// FindCursor runs a query against the named collection and returns a
+// streaming cursor over the results. Batch size is controlled by
+// opts.BatchSize (zero uses storage.DefaultBatchSize). The profiler records
+// the operation when the cursor is exhausted or closed, so a streamed query
+// is timed over its whole drain.
+func (db *Database) FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (*storage.Cursor, error) {
+	db.server.countOp("query")
+	stop := db.profile("find", coll)
+	cur, err := db.Collection(coll).FindCursor(filter, opts)
+	if err != nil {
+		stop()
+		return nil, err
+	}
+	cur.OnFinish(stop)
+	return cur, nil
+}
+
+// AggregateCursor runs an aggregation pipeline over the named collection and
+// returns an iterator over its results. The streamable prefix of the
+// pipeline ($match/$project/$addFields/$unwind/$limit/$skip, plus an
+// incrementally accumulated $group) pulls documents off the collection scan
+// in cursor batches, so peak memory is O(batch) plus any blocking stage's
+// state rather than O(collection). Like FindCursor, the profiler records the
+// operation when the iterator finishes, not when it is built.
+//
+// A leading $match is pushed down into the storage engine so it can use the
+// collection's indexes, exactly as Aggregate does.
+func (db *Database) AggregateCursor(coll string, stages []*bson.Doc) (aggregate.Iterator, error) {
+	db.server.countOp("command")
+	stop := db.profile("aggregate", coll)
+	it, err := db.aggregateIter(coll, stages)
+	if err != nil {
+		stop()
+		return nil, err
+	}
+	return &finishIter{it: it, stop: stop}, nil
+}
+
+// finishIter invokes stop exactly once when the wrapped iterator ends or is
+// closed.
+type finishIter struct {
+	it   aggregate.Iterator
+	stop func()
+}
+
+func (f *finishIter) Next() (*bson.Doc, bool) {
+	d, ok := f.it.Next()
+	if !ok {
+		f.fire()
+	}
+	return d, ok
+}
+
+func (f *finishIter) Err() error { return f.it.Err() }
+
+func (f *finishIter) Close() {
+	f.it.Close()
+	f.fire()
+}
+
+func (f *finishIter) fire() {
+	if f.stop != nil {
+		stop := f.stop
+		f.stop = nil
+		stop()
+	}
+}
+
+// aggregateIter is the shared streaming implementation behind Aggregate and
+// AggregateCursor.
+func (db *Database) aggregateIter(coll string, stages []*bson.Doc) (aggregate.Iterator, error) {
+	pipeline, err := aggregate.Parse(stages)
+	if err != nil {
+		return nil, err
+	}
+	scanFilter := (*bson.Doc)(nil)
+	if len(stages) > 0 {
+		if matchArg, ok := stages[0].Get("$match"); ok {
+			if filter, isDoc := matchArg.(*bson.Doc); isDoc {
+				scanFilter = filter
+				pipeline = pipeline.Tail(1)
+			}
+		}
+	}
+	cur, err := db.Collection(coll).FindCursor(scanFilter, storage.FindOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return pipeline.RunIter(Iter(cur), db.Env()), nil
+}

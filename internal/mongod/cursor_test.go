@@ -1,0 +1,222 @@
+package mongod
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"docstore/internal/aggregate"
+	"docstore/internal/bson"
+	"docstore/internal/storage"
+)
+
+func cursorTestDB(t *testing.T) *Database {
+	t.Helper()
+	db := NewServer(Options{}).Database("db")
+	for i := 0; i < 400; i++ {
+		doc := bson.D(
+			bson.IDKey, i,
+			"g", i%9,
+			"v", i,
+			"name", fmt.Sprintf("row-%04d", i),
+		)
+		if _, err := db.Insert("rows", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := db.EnsureIndex("rows", bson.D("g", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+// TestDatabaseFindCursorMatchesFind checks the profiled cursor entry point
+// streams exactly what Find materializes.
+func TestDatabaseFindCursorMatchesFind(t *testing.T) {
+	db := cursorTestDB(t)
+	filter := bson.D("g", bson.D("$in", bson.A(int64(1), int64(4))))
+	want, err := db.Find("rows", filter, storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := db.FindCursor("rows", filter, storage.FindOptions{BatchSize: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor %d docs, find %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+}
+
+// TestAggregateCursorMatchesAggregateAndParallel checks the three execution
+// strategies — slice Aggregate, streaming AggregateCursor and
+// AggregateParallel — agree on pipelines with and without a pushed-down
+// leading $match, including a $out whose side effect must land identically.
+func TestAggregateCursorMatchesAggregateAndParallel(t *testing.T) {
+	pipelines := map[string][]*bson.Doc{
+		"pushdown match": {
+			bson.D("$match", bson.D("g", bson.D("$lt", 5))),
+			bson.D("$group", bson.D(bson.IDKey, "$g", "n", bson.D("$sum", 1), "total", bson.D("$sum", "$v"))),
+			bson.D("$sort", bson.D(bson.IDKey, 1)),
+		},
+		"no match": {
+			bson.D("$project", bson.D("g", 1, "v", 1)),
+			bson.D("$group", bson.D(bson.IDKey, "$g", "avg", bson.D("$avg", "$v"))),
+			bson.D("$sort", bson.D("avg", -1)),
+		},
+		"with out": {
+			bson.D("$match", bson.D("g", 3)),
+			bson.D("$sort", bson.D("v", 1)),
+			bson.D("$out", "result"),
+		},
+	}
+	for name, stages := range pipelines {
+		t.Run(name, func(t *testing.T) {
+			// Fresh databases per strategy so $out side effects are isolated.
+			sliceDB := cursorTestDB(t)
+			cursorDB := cursorTestDB(t)
+			parallelDB := cursorTestDB(t)
+
+			want, err := sliceDB.Aggregate("rows", stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			it, err := cursorDB.AggregateCursor("rows", stages)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := aggregate.Drain(it)
+			if err != nil {
+				t.Fatal(err)
+			}
+			par, err := parallelDB.AggregateParallel("rows", stages, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			for label, docs := range map[string][]*bson.Doc{"cursor": got, "parallel": par} {
+				if len(docs) != len(want) {
+					t.Fatalf("%s produced %d docs, Aggregate produced %d", label, len(docs), len(want))
+				}
+				for i := range docs {
+					if !docs[i].Equal(want[i]) {
+						t.Fatalf("%s doc %d differs:\n got  %v\n want %v", label, i, docs[i], want[i])
+					}
+				}
+			}
+
+			// When the pipeline writes $out, both side-effect collections
+			// must hold identical contents.
+			if name == "with out" {
+				a, err := sliceDB.Find("result", nil, storage.FindOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				b, err := cursorDB.Find("result", nil, storage.FindOptions{})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(a) != len(b) {
+					t.Fatalf("$out wrote %d docs on slice path, %d on cursor path", len(a), len(b))
+				}
+				for i := range a {
+					if !a[i].Equal(b[i]) {
+						t.Fatalf("$out doc %d differs", i)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestCursorProfilingSpansDrain checks a streamed query is profiled over
+// its whole drain, not just cursor construction: the recorded duration must
+// include time spent between batches.
+func TestCursorProfilingSpansDrain(t *testing.T) {
+	srv := NewServer(Options{}) // zero threshold records every op
+	db := srv.Database("db")
+	for i := 0; i < 50; i++ {
+		if _, err := db.Insert("rows", bson.D(bson.IDKey, i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.ResetProfile()
+	cur, err := db.FindCursor("rows", nil, storage.FindOptions{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(profileOf(srv, "find")); got != 0 {
+		t.Fatalf("find profiled before the cursor was drained (%d entries)", got)
+	}
+	const pause = 20 * time.Millisecond
+	time.Sleep(pause)
+	if _, err := cur.All(); err != nil {
+		t.Fatal(err)
+	}
+	entries := profileOf(srv, "find")
+	if len(entries) != 1 {
+		t.Fatalf("expected 1 find profile entry after drain, got %d", len(entries))
+	}
+	if entries[0].Duration < pause {
+		t.Fatalf("profiled duration %v does not span the drain (>= %v)", entries[0].Duration, pause)
+	}
+
+	// Closing an undrained AggregateCursor must record exactly once too.
+	srv.ResetProfile()
+	it, err := db.AggregateCursor("rows", []*bson.Doc{bson.D("$match", bson.D(bson.IDKey, bson.D("$lt", 10)))})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := it.Next(); !ok {
+		t.Fatal("expected a first document")
+	}
+	it.Close()
+	it.Close()
+	if got := len(profileOf(srv, "aggregate")); got != 1 {
+		t.Fatalf("expected 1 aggregate profile entry after close, got %d", got)
+	}
+}
+
+func profileOf(srv *Server, op string) []ProfileEntry {
+	var out []ProfileEntry
+	for _, e := range srv.Profile() {
+		if e.Op == op {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// TestAggregateCursorStopsScanOnLimit checks the cursor path's laziness pays
+// off end-to-end: a pipeline topped by $limit must not scan the whole
+// collection.
+func TestAggregateCursorStopsScanOnLimit(t *testing.T) {
+	db := cursorTestDB(t)
+	before := db.Collection("rows").Stats().CollScans
+	it, err := db.AggregateCursor("rows", []*bson.Doc{
+		bson.D("$limit", 5),
+		bson.D("$project", bson.D("v", 1)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := aggregate.Drain(it)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 5 {
+		t.Fatalf("got %d docs, want 5", len(docs))
+	}
+	if after := db.Collection("rows").Stats().CollScans; after != before+1 {
+		t.Fatalf("expected exactly one collection scan, got %d", after-before)
+	}
+}

@@ -332,36 +332,21 @@ func (db *Database) EnsureIndex(coll string, spec *bson.Doc, unique bool) (*inde
 func (db *Database) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
 	db.server.countOp("command")
 	defer db.profile("aggregate", coll)()
-	pipeline, err := aggregate.Parse(stages)
+	it, err := db.aggregateIter(coll, stages)
 	if err != nil {
 		return nil, err
 	}
-	if len(stages) > 0 {
-		if matchArg, ok := stages[0].Get("$match"); ok {
-			if filter, isDoc := matchArg.(*bson.Doc); isDoc {
-				input, err := db.Collection(coll).Find(filter, storage.FindOptions{})
-				if err != nil {
-					return nil, err
-				}
-				rest, err := aggregate.Parse(stages[1:])
-				if err != nil {
-					return nil, err
-				}
-				return rest.Run(input, db.Env())
-			}
-		}
-	}
-	return db.RunPipeline(coll, pipeline)
+	return aggregate.Drain(it)
 }
 
-// RunPipeline runs a pre-parsed pipeline over the named collection.
+// RunPipeline runs a pre-parsed pipeline over the named collection,
+// streaming the collection scan into the pipeline in cursor batches.
 func (db *Database) RunPipeline(coll string, pipeline *aggregate.Pipeline) ([]*bson.Doc, error) {
-	var input []*bson.Doc
-	db.Collection(coll).Scan(func(d *bson.Doc) bool {
-		input = append(input, d)
-		return true
-	})
-	return pipeline.Run(input, db.Env())
+	cur, err := db.Collection(coll).FindCursor(nil, storage.FindOptions{})
+	if err != nil {
+		return nil, err
+	}
+	return aggregate.Drain(pipeline.RunIter(Iter(cur), db.Env()))
 }
 
 // Env returns the aggregation environment backed by this database.

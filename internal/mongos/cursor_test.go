@@ -1,0 +1,209 @@
+package mongos
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// shardedFixture builds a router over three shards with a hash-sharded
+// collection spread across them.
+func shardedFixture(t *testing.T, opts Options, docs int) *Router {
+	t.Helper()
+	r := newTestRouter(t, opts)
+	if _, err := r.EnableSharding("db", "events", bson.D("k", "hashed"), 16<<10); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < docs; i++ {
+		doc := bson.D(bson.IDKey, i, "k", i, "g", i%11, "name", fmt.Sprintf("ev-%05d", i))
+		if _, err := r.Insert("db", "events", doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return r
+}
+
+// TestRouterFindCursorMatchesFind asserts the streaming merge cursor and the
+// materializing Find return the same documents in the same order, across
+// sorts, skip/limit and both scatter modes.
+func TestRouterFindCursorMatchesFind(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		r := shardedFixture(t, Options{Parallel: parallel}, 500)
+		cases := []struct {
+			name   string
+			filter *bson.Doc
+			opts   storage.FindOptions
+		}{
+			{"broadcast", bson.D("g", 4), storage.FindOptions{}},
+			{"targeted", bson.D("k", 123), storage.FindOptions{}},
+			{"sorted", bson.D("g", bson.D("$lt", 5)), storage.FindOptions{Sort: query.MustParseSort(bson.D("name", 1))}},
+			{"sorted desc", nil, storage.FindOptions{Sort: query.MustParseSort(bson.D("name", -1))}},
+			{"sorted+skip+limit", nil, storage.FindOptions{Sort: query.MustParseSort(bson.D("name", 1)), Skip: 20, Limit: 50}},
+			{"unsorted+limit", nil, storage.FindOptions{Limit: 33}},
+		}
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("parallel=%v/%s", parallel, tc.name), func(t *testing.T) {
+				want, err := r.Find("db", "events", tc.filter, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cur, err := r.FindCursor("db", "events", tc.filter, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cur.All()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("cursor returned %d docs, Find returned %d", len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("doc %d differs:\n got  %v\n want %v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRouterAggregateCursorMatchesAggregate checks the streamed shard
+// concatenation plus router-side merge pipeline against the slice path.
+func TestRouterAggregateCursorMatchesAggregate(t *testing.T) {
+	for _, parallel := range []bool{false, true} {
+		r := shardedFixture(t, Options{Parallel: parallel}, 400)
+		pipelines := map[string][]*bson.Doc{
+			"match+group+sort": {
+				bson.D("$match", bson.D("g", bson.D("$lt", 6))),
+				bson.D("$group", bson.D(bson.IDKey, "$g", "n", bson.D("$sum", 1))),
+				bson.D("$sort", bson.D(bson.IDKey, 1)),
+			},
+			"project only": {
+				bson.D("$project", bson.D("name", 1)),
+			},
+			"group+sort+limit": {
+				bson.D("$group", bson.D(bson.IDKey, "$g", "total", bson.D("$sum", "$k"))),
+				bson.D("$sort", bson.D("total", -1)),
+				bson.D("$limit", 3),
+			},
+		}
+		for name, stages := range pipelines {
+			t.Run(fmt.Sprintf("parallel=%v/%s", parallel, name), func(t *testing.T) {
+				want, err := r.Aggregate("db", "events", stages)
+				if err != nil {
+					t.Fatal(err)
+				}
+				it, err := r.AggregateCursor("db", "events", stages)
+				if err != nil {
+					t.Fatal(err)
+				}
+				var got []*bson.Doc
+				for {
+					d, ok := it.Next()
+					if !ok {
+						break
+					}
+					got = append(got, d)
+				}
+				if err := it.Err(); err != nil {
+					t.Fatal(err)
+				}
+				it.Close()
+				if len(got) != len(want) {
+					t.Fatalf("cursor returned %d docs, Aggregate returned %d", len(got), len(want))
+				}
+				for i := range got {
+					if !got[i].Equal(want[i]) {
+						t.Fatalf("doc %d differs:\n got  %v\n want %v", i, got[i], want[i])
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestRouterCursorEarlyClose verifies closing a merge cursor mid-stream
+// shuts down the parallel prefetch pumps without leaking or deadlocking.
+func TestRouterCursorEarlyClose(t *testing.T) {
+	r := shardedFixture(t, Options{Parallel: true}, 600)
+	for i := 0; i < 10; i++ {
+		cur, err := r.FindCursor("db", "events", nil, storage.FindOptions{BatchSize: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, ok := cur.Next(); !ok {
+			t.Fatal("expected at least one document")
+		}
+		cur.Close()
+		if _, ok := cur.Next(); ok {
+			t.Fatal("Next succeeded after Close")
+		}
+	}
+}
+
+// TestStressParallelRouterFind runs concurrent Router.Find and FindCursor
+// calls with Options.Parallel enabled while writers keep inserting — the
+// scatter-gather race surface the -race run is meant to cover.
+func TestStressParallelRouterFind(t *testing.T) {
+	r := shardedFixture(t, Options{Parallel: true}, 300)
+	const (
+		readers = 6
+		writers = 2
+		ops     = 100
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				id := 10000 + w*ops + i
+				doc := bson.D(bson.IDKey, id, "k", id, "g", id%11, "name", fmt.Sprintf("ev-%05d", id))
+				if _, err := r.Insert("db", "events", doc); err != nil {
+					t.Errorf("insert: %v", err)
+					return
+				}
+			}
+		}(w)
+	}
+	for g := 0; g < readers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				if i%2 == 0 {
+					docs, err := r.Find("db", "events", bson.D("g", i%11), storage.FindOptions{})
+					if err != nil {
+						t.Errorf("find: %v", err)
+						return
+					}
+					_ = docs
+				} else {
+					cur, err := r.FindCursor("db", "events", nil, storage.FindOptions{BatchSize: 32, Limit: 64})
+					if err != nil {
+						t.Errorf("cursor: %v", err)
+						return
+					}
+					if _, err := cur.All(); err != nil {
+						t.Errorf("drain: %v", err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	total := 0
+	for _, name := range r.ShardNames() {
+		total += r.Shard(name).Database("db").Collection("events").Count()
+	}
+	if total != 300+writers*ops {
+		t.Fatalf("cluster holds %d docs, want %d", total, 300+writers*ops)
+	}
+}

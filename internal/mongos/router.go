@@ -8,7 +8,6 @@
 package mongos
 
 import (
-	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -250,38 +249,14 @@ func (r *Router) targetShards(meta *sharding.CollectionMetadata, filter *bson.Do
 }
 
 // Find routes a query, gathers per-shard results and merges them under the
-// requested sort order.
+// requested sort order. It is a thin wrapper draining the streaming merge
+// cursor of FindCursor.
 func (r *Router) Find(db, coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
-	meta := r.config.Metadata(namespace(db, coll))
-	targets, targeted := r.targetShards(meta, filter)
-
-	// Skip/limit must be applied after the merge; each shard returns enough
-	// documents to satisfy skip+limit.
-	shardOpts := opts
-	shardOpts.Skip = 0
-	if opts.Limit > 0 {
-		shardOpts.Limit = opts.Limit + opts.Skip
-	}
-
-	parts, err := r.scatter(targets, func(s *mongod.Server) ([]*bson.Doc, error) {
-		return s.Database(db).Find(coll, filter, shardOpts)
-	})
+	cur, err := r.FindCursor(db, coll, filter, opts)
 	if err != nil {
 		return nil, err
 	}
-	merged := opts.Sort.Merge(parts...)
-	r.recordRouting(targeted, len(merged))
-	if opts.Skip > 0 {
-		if opts.Skip >= len(merged) {
-			merged = nil
-		} else {
-			merged = merged[opts.Skip:]
-		}
-	}
-	if opts.Limit > 0 && len(merged) > opts.Limit {
-		merged = merged[:opts.Limit]
-	}
-	return merged, nil
+	return cur.All()
 }
 
 // Count routes a count.
@@ -350,100 +325,13 @@ func (r *Router) EnsureIndex(db, coll string, spec *bson.Doc, unique bool) error
 
 // Aggregate routes an aggregation pipeline: the per-document prefix of the
 // pipeline runs on each targeted shard, the remainder (grouping, sorting,
-// $out) runs on the router over the concatenated partial results, and $out
-// writes to the primary shard.
+// $out) runs on the router over the concatenated shard streams, and $out
+// writes to the primary shard. It is a thin wrapper draining the streaming
+// iterator of AggregateCursor.
 func (r *Router) Aggregate(db, coll string, stages []*bson.Doc) ([]*bson.Doc, error) {
-	pipeline, err := aggregate.Parse(stages)
+	it, err := r.AggregateCursor(db, coll, stages)
 	if err != nil {
 		return nil, err
 	}
-	shardPart, _ := pipeline.Split()
-	cut := shardPart.Len()
-	shardStages := stages[:cut]
-	mergeStages := stages[cut:]
-
-	// Targeting uses the leading $match stage when the pipeline starts with
-	// one, mirroring how the router can only avoid a broadcast when the match
-	// pins the shard key.
-	meta := r.config.Metadata(namespace(db, coll))
-	var filter *bson.Doc
-	if len(stages) > 0 {
-		if m, ok := stages[0].Get("$match"); ok {
-			if md, ok := m.(*bson.Doc); ok {
-				filter = md
-			}
-		}
-	}
-	targets, targeted := r.targetShards(meta, filter)
-
-	parts, err := r.scatter(targets, func(s *mongod.Server) ([]*bson.Doc, error) {
-		if len(shardStages) == 0 {
-			var docs []*bson.Doc
-			s.Database(db).Collection(coll).Scan(func(d *bson.Doc) bool {
-				docs = append(docs, d)
-				return true
-			})
-			return docs, nil
-		}
-		return s.Database(db).Aggregate(coll, shardStages)
-	})
-	if err != nil {
-		return nil, err
-	}
-	var combined []*bson.Doc
-	for _, p := range parts {
-		combined = append(combined, p...)
-	}
-	r.recordRouting(targeted, len(combined))
-	if len(mergeStages) == 0 {
-		return combined, nil
-	}
-	mergePipeline, err := aggregate.Parse(mergeStages)
-	if err != nil {
-		return nil, err
-	}
-	primary := r.PrimaryShard()
-	if primary == nil {
-		return nil, fmt.Errorf("mongos: no shards registered")
-	}
-	return mergePipeline.Run(combined, primary.Database(db).Env())
-}
-
-// scatter runs fn against every named shard and collects the results, either
-// sequentially (default) or in parallel.
-func (r *Router) scatter(targets []string, fn func(*mongod.Server) ([]*bson.Doc, error)) ([][]*bson.Doc, error) {
-	parts := make([][]*bson.Doc, len(targets))
-	if !r.opts.Parallel {
-		for i, name := range targets {
-			r.remoteCall()
-			docs, err := fn(r.Shard(name))
-			if err != nil {
-				return nil, fmt.Errorf("mongos: shard %s: %w", name, err)
-			}
-			parts[i] = docs
-		}
-		return parts, nil
-	}
-	var wg sync.WaitGroup
-	errs := make([]error, len(targets))
-	for i, name := range targets {
-		wg.Add(1)
-		go func(i int, name string) {
-			defer wg.Done()
-			r.remoteCall()
-			docs, err := fn(r.Shard(name))
-			if err != nil {
-				errs[i] = fmt.Errorf("mongos: shard %s: %w", name, err)
-				return
-			}
-			parts[i] = docs
-		}(i, name)
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return parts, nil
+	return aggregate.Drain(it)
 }

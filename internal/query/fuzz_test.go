@@ -1,0 +1,71 @@
+package query
+
+import (
+	"testing"
+
+	"docstore/internal/bson"
+)
+
+// FuzzMatcher feeds arbitrary filter and document JSON through Compile and
+// Matches: compilation may reject a filter, but an accepted filter must
+// never panic during evaluation and must evaluate deterministically. Seeds
+// are drawn from the operator corpus of the unit tests (the predicates of
+// benchmark queries 7/21/46/50 among them).
+func FuzzMatcher(f *testing.F) {
+	filters := []string{
+		`{}`,
+		`{"cd_gender": "M"}`,
+		`{"cd_gender": {"$eq": "M"}}`,
+		`{"i_current_price": {"$gte": 0.99, "$lte": 1.49}}`,
+		`{"d_year": {"$gt": 2000}}`,
+		`{"d_year": {"$ne": 1999}}`,
+		`{"d_dow": {"$in": [6, 0]}}`,
+		`{"d_dow": {"$nin": [1, 2]}}`,
+		`{"$and": [{"a": 1}, {"$or": [{"b": 2}, {"c": {"$exists": true}}]}]}`,
+		`{"$or": [{"p_channel_email": "N"}, {"p_channel_event": "N"}]}`,
+		`{"a.b.c": {"$lt": 10}}`,
+		`{"tags": {"$all": ["x", "y"]}}`,
+		`{"v": {"$not": {"$gt": 5}}}`,
+		`{"absent": {"$exists": false}}`,
+		`{"s": {"$regex": "^ab.*c$"}}`,
+	}
+	docs := []string{
+		`{}`,
+		`{"cd_gender": "M", "d_year": 2001, "d_dow": 6}`,
+		`{"i_current_price": 1.25, "a": {"b": {"c": 5}}}`,
+		`{"tags": ["x", "y", "z"], "v": 3, "s": "abc"}`,
+		`{"p_channel_email": "N", "absent": null}`,
+		`{"a": [1, {"b": 2}], "nested": {"deep": [[1], [2]]}}`,
+	}
+	for _, flt := range filters {
+		for _, doc := range docs {
+			f.Add([]byte(flt), []byte(doc))
+		}
+	}
+	f.Fuzz(func(t *testing.T, filterJSON, docJSON []byte) {
+		filter, err := bson.FromJSON(filterJSON)
+		if err != nil {
+			return
+		}
+		doc, err := bson.FromJSON(docJSON)
+		if err != nil {
+			return
+		}
+		m, err := Compile(filter)
+		if err != nil {
+			return // rejected filters are fine; panics are not
+		}
+		first := m.Matches(doc)
+		if m.Matches(doc) != first {
+			t.Fatalf("Matches is not deterministic for filter %s doc %s", filterJSON, docJSON)
+		}
+		// A freshly compiled matcher must agree with the first one.
+		m2, err := Compile(filter)
+		if err != nil {
+			t.Fatalf("filter %s compiled once but not twice: %v", filterJSON, err)
+		}
+		if m2.Matches(doc) != first {
+			t.Fatalf("recompiled matcher disagrees for filter %s doc %s", filterJSON, docJSON)
+		}
+	})
+}

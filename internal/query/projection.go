@@ -13,7 +13,7 @@ import (
 // explicitly in either mode.
 type Projection struct {
 	include   bool
-	fields    map[string]bool // dotted paths
+	fields    []string // dotted paths, in specification order
 	includeID bool
 	empty     bool
 }
@@ -25,7 +25,8 @@ func ParseProjection(spec *bson.Doc) (*Projection, error) {
 	if spec == nil || spec.Len() == 0 {
 		return &Projection{empty: true, includeID: true}, nil
 	}
-	p := &Projection{fields: make(map[string]bool, spec.Len()), includeID: true}
+	p := &Projection{includeID: true}
+	seen := make(map[string]bool, spec.Len())
 	mode := 0 // 0 unknown, 1 include, -1 exclude
 	for _, f := range spec.Fields() {
 		v := bson.Normalize(f.Value)
@@ -56,12 +57,15 @@ func ParseProjection(spec *bson.Doc) (*Projection, error) {
 		} else if mode != want {
 			return nil, fmt.Errorf("query: cannot mix inclusion and exclusion in a projection")
 		}
-		p.fields[f.Key] = true
+		if !seen[f.Key] {
+			seen[f.Key] = true
+			p.fields = append(p.fields, f.Key)
+		}
 	}
 	if mode == 0 {
 		// Only _id was specified.
 		mode = -1
-		p.fields = map[string]bool{}
+		p.fields = nil
 	}
 	p.include = mode == 1
 	return p, nil
@@ -88,7 +92,7 @@ func (p *Projection) Apply(d *bson.Doc) *bson.Doc {
 				out.Set(bson.IDKey, id)
 			}
 		}
-		for path := range p.fields {
+		for _, path := range p.fields {
 			if v, ok := d.GetPath(path); ok {
 				setProjected(out, path, v)
 			}
@@ -97,7 +101,7 @@ func (p *Projection) Apply(d *bson.Doc) *bson.Doc {
 	}
 	// Exclusion projection: deep-copy then remove.
 	out := d.Clone()
-	for path := range p.fields {
+	for _, path := range p.fields {
 		out.DeletePath(path)
 	}
 	if !p.includeID {
@@ -118,14 +122,11 @@ func setProjected(out *bson.Doc, path string, v any) {
 // IsInclusion reports whether the projection is an inclusion projection.
 func (p *Projection) IsInclusion() bool { return p != nil && !p.empty && p.include }
 
-// Fields returns the dotted paths referenced by the projection.
+// Fields returns the dotted paths referenced by the projection, in
+// specification order.
 func (p *Projection) Fields() []string {
 	if p == nil {
 		return nil
 	}
-	out := make([]string, 0, len(p.fields))
-	for f := range p.fields {
-		out = append(out, f)
-	}
-	return out
+	return append([]string(nil), p.fields...)
 }

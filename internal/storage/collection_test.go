@@ -567,8 +567,8 @@ func TestCursor(t *testing.T) {
 		}
 		seen++
 	}
-	if seen != 3 || cur.Remaining() != 0 {
-		t.Fatalf("cursor visited %d, remaining %d", seen, cur.Remaining())
+	if seen != 3 || cur.HasNext() {
+		t.Fatalf("cursor visited %d, HasNext=%v after drain", seen, cur.HasNext())
 	}
 	defer func() {
 		if recover() == nil {

@@ -1,0 +1,303 @@
+package storage
+
+import (
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// DefaultBatchSize is the number of documents a streaming cursor pulls from
+// the collection per lock acquisition when FindOptions.BatchSize is zero.
+// It mirrors the role of the wire protocol's default batch size: large enough
+// to amortize locking, small enough to bound per-batch memory.
+const DefaultBatchSize = 256
+
+// Cursor streams the results of a query in batches instead of materializing
+// the full result set, so peak memory for a scan is O(batch) rather than
+// O(result). It retains the iterator interface the thesis' algorithms are
+// written against (cursor.hasNext() / cursor.next() in Figure 4.7) alongside
+// Go-style TryNext/NextBatch accessors.
+//
+// A cursor opened against a collection captures a snapshot of the record
+// array at creation: documents inserted afterwards are never seen, deletions
+// are seen as long as the snapshot still shares the live record array, and a
+// rewrite of that array (slice growth on insert, or compaction) freezes the
+// snapshot at its pre-rewrite state. Each batch is read under the
+// collection's read lock, so batches are internally consistent; the scan as
+// a whole is not a point-in-time snapshot of document contents (the same
+// non-isolated semantics real cursors have).
+//
+// Cursors are not safe for concurrent use by multiple goroutines.
+type Cursor struct {
+	// Streaming state (coll == nil for slice-backed cursors).
+	coll    *Collection
+	snap    []record
+	order   []int // index-scan positions into snap; nil = sequential scan
+	next    int
+	matcher *query.Matcher
+	proj    *query.Projection
+
+	skipLeft  int
+	limitLeft int // -1 = unlimited
+	batchSize int // <= 0 = unbounded (whole result in one batch)
+
+	// Slice mode: pre-materialized results (sorted queries, NewCursor).
+	rest []*bson.Doc
+
+	buf    []*bson.Doc
+	pos    int
+	done   bool
+	closed bool
+	plan   Plan
+
+	onFinish func()
+}
+
+// OnFinish registers a hook invoked exactly once when the cursor is
+// exhausted or closed, whichever happens first. The profiler uses it to
+// time a streamed query over its whole drain rather than its construction.
+func (cur *Cursor) OnFinish(fn func()) { cur.onFinish = fn }
+
+func (cur *Cursor) finishOnce() {
+	if cur.onFinish != nil {
+		fn := cur.onFinish
+		cur.onFinish = nil
+		fn()
+	}
+}
+
+// NewCursor wraps an already materialized result slice in a cursor.
+func NewCursor(docs []*bson.Doc) *Cursor {
+	return &Cursor{rest: docs, limitLeft: -1, batchSize: -1}
+}
+
+// BatchSize returns the cursor's batch size; <= 0 means unbounded.
+func (cur *Cursor) BatchSize() int { return cur.batchSize }
+
+// Plan returns the execution plan observed so far. After the cursor is
+// exhausted it matches the plan FindWithPlan would have returned.
+func (cur *Cursor) Plan() Plan { return cur.plan }
+
+// Err returns the first error encountered while iterating. Storage cursors
+// validate their query at creation, so Err is always nil today; it exists so
+// higher layers can treat every cursor uniformly.
+func (cur *Cursor) Err() error { return nil }
+
+// Close releases the cursor's snapshot and buffers. It is safe to call more
+// than once and after exhaustion.
+func (cur *Cursor) Close() error {
+	cur.closed = true
+	cur.done = true
+	cur.coll = nil
+	cur.snap = nil
+	cur.order = nil
+	cur.rest = nil
+	cur.buf = nil
+	cur.pos = 0
+	cur.finishOnce()
+	return nil
+}
+
+// HasNext reports whether another document is available, fetching the next
+// batch when the current one is consumed.
+func (cur *Cursor) HasNext() bool {
+	for cur.pos >= len(cur.buf) {
+		if cur.done || cur.closed {
+			cur.finishOnce()
+			return false
+		}
+		cur.fill()
+	}
+	return true
+}
+
+// Next returns the next document; it panics when exhausted, matching
+// iterator misuse being a programming error (the thesis-style next()).
+func (cur *Cursor) Next() *bson.Doc {
+	if !cur.HasNext() {
+		panic("storage: Next called on exhausted cursor")
+	}
+	d := cur.buf[cur.pos]
+	cur.pos++
+	return d
+}
+
+// TryNext returns the next document, or (nil, false) when the cursor is
+// exhausted or closed.
+func (cur *Cursor) TryNext() (*bson.Doc, bool) {
+	if !cur.HasNext() {
+		return nil, false
+	}
+	d := cur.buf[cur.pos]
+	cur.pos++
+	return d, true
+}
+
+// NextBatch returns the next batch of documents, or an empty slice when the
+// cursor is exhausted. The returned slice is the cursor's internal buffer and
+// is only valid until the following NextBatch/Next call.
+func (cur *Cursor) NextBatch() []*bson.Doc {
+	if !cur.HasNext() {
+		return nil
+	}
+	batch := cur.buf[cur.pos:]
+	cur.pos = len(cur.buf)
+	return batch
+}
+
+// All drains the remaining documents and closes the cursor.
+func (cur *Cursor) All() ([]*bson.Doc, error) {
+	var out []*bson.Doc
+	for {
+		batch := cur.NextBatch()
+		if len(batch) == 0 {
+			break
+		}
+		out = append(out, batch...)
+	}
+	err := cur.Err()
+	cur.Close()
+	return out, err
+}
+
+// fill pulls the next batch into cur.buf. For collection-backed cursors the
+// whole batch is produced under one read-lock acquisition.
+func (cur *Cursor) fill() {
+	cur.buf = cur.buf[:0]
+	cur.pos = 0
+	if cur.done || cur.closed {
+		return
+	}
+	if cur.coll == nil {
+		n := len(cur.rest)
+		if cur.batchSize > 0 && n > cur.batchSize {
+			n = cur.batchSize
+		}
+		cur.buf = append(cur.buf, cur.rest[:n]...)
+		cur.rest = cur.rest[n:]
+		cur.plan.DocsReturned += n
+		if len(cur.rest) == 0 {
+			cur.done = true
+		}
+		return
+	}
+
+	c := cur.coll
+	c.mu.RLock()
+	for !cur.done && (cur.batchSize <= 0 || len(cur.buf) < cur.batchSize) {
+		var r *record
+		if cur.order != nil {
+			if cur.next >= len(cur.order) {
+				cur.done = true
+				break
+			}
+			r = &cur.snap[cur.order[cur.next]]
+		} else {
+			if cur.next >= len(cur.snap) {
+				cur.done = true
+				break
+			}
+			r = &cur.snap[cur.next]
+		}
+		cur.next++
+		if r.deleted {
+			continue
+		}
+		cur.plan.DocsExamined++
+		if !cur.matcher.Matches(r.doc) {
+			continue
+		}
+		if cur.skipLeft > 0 {
+			cur.skipLeft--
+			continue
+		}
+		d := r.doc
+		if cur.proj != nil {
+			d = cur.proj.Apply(d)
+		}
+		cur.buf = append(cur.buf, d)
+		cur.plan.DocsReturned++
+		if cur.limitLeft > 0 {
+			cur.limitLeft--
+			if cur.limitLeft == 0 {
+				cur.done = true
+			}
+		}
+	}
+	c.mu.RUnlock()
+	if len(cur.buf) == 0 {
+		cur.done = true
+	}
+}
+
+// FindCursor opens a streaming cursor over the documents matching filter.
+// Queries without a sort stream directly from the collection (or index) scan
+// in batches of opts.BatchSize documents; queries with a sort are blocking
+// and materialize their result before the first batch, exactly as an
+// in-memory sort must.
+func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, error) {
+	matcher, err := query.Compile(filter)
+	if err != nil {
+		return nil, err
+	}
+	batchSize := opts.BatchSize
+	if batchSize == 0 {
+		batchSize = DefaultBatchSize
+	}
+
+	c.mu.RLock()
+	order, indexUsed := c.planLocked(filter, opts)
+	snap := c.records
+	c.mu.RUnlock()
+	if order == nil {
+		c.scans.Add(1)
+	} else {
+		c.indexScans.Add(1)
+	}
+
+	cur := &Cursor{
+		coll:      c,
+		snap:      snap,
+		order:     order,
+		matcher:   matcher,
+		batchSize: batchSize,
+		limitLeft: -1,
+		plan:      Plan{Collection: c.name, IndexUsed: indexUsed},
+	}
+
+	if len(opts.Sort) > 0 {
+		// Blocking sort: drain the raw scan, order it, then serve the result
+		// from a slice-backed cursor that retains the scan's plan counters.
+		cur.batchSize = -1
+		cur.fill()
+		docs := append([]*bson.Doc(nil), cur.buf...)
+		plan := cur.plan
+		plan.SortInMemory = true
+		plan.DocsReturned = 0
+		opts.Sort.Apply(docs)
+		if opts.Skip > 0 {
+			if opts.Skip >= len(docs) {
+				docs = nil
+			} else {
+				docs = docs[opts.Skip:]
+			}
+		}
+		if opts.Limit > 0 && len(docs) > opts.Limit {
+			docs = docs[:opts.Limit]
+		}
+		if opts.Projection != nil {
+			projected := make([]*bson.Doc, len(docs))
+			for i, d := range docs {
+				projected[i] = opts.Projection.Apply(d)
+			}
+			docs = projected
+		}
+		return &Cursor{rest: docs, limitLeft: -1, batchSize: batchSize, plan: plan}, nil
+	}
+
+	cur.proj = opts.Projection
+	cur.skipLeft = opts.Skip
+	if opts.Limit > 0 {
+		cur.limitLeft = opts.Limit
+	}
+	return cur, nil
+}

@@ -1,0 +1,211 @@
+package storage
+
+import (
+	"fmt"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// cursorTestCollection builds a collection with a secondary index and enough
+// documents to span several default batches.
+func cursorTestCollection(t *testing.T, n int) *Collection {
+	t.Helper()
+	c := NewCollection("items")
+	for i := 0; i < n; i++ {
+		doc := bson.D(
+			bson.IDKey, i,
+			"cat", fmt.Sprintf("c%d", i%7),
+			"v", i%13,
+			"name", fmt.Sprintf("item-%04d", i),
+		)
+		if _, err := c.Insert(doc); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := c.EnsureIndexDoc(bson.D("cat", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func docsEqual(t *testing.T, got, want []*bson.Doc, label string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: got %d docs, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("%s: doc %d differs:\n got  %v\n want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// TestFindCursorMatchesFind asserts slice/cursor equivalence across the
+// option matrix: filters, index scans, sorts, skip/limit and projections.
+func TestFindCursorMatchesFind(t *testing.T) {
+	c := cursorTestCollection(t, 1000)
+	proj, err := query.ParseProjection(bson.D("name", 1, "v", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		name   string
+		filter *bson.Doc
+		opts   FindOptions
+	}{
+		{"full scan", nil, FindOptions{}},
+		{"filter collscan", bson.D("v", bson.D("$gte", 7)), FindOptions{}},
+		{"filter ixscan", bson.D("cat", "c3"), FindOptions{}},
+		{"limit", bson.D("v", bson.D("$lt", 9)), FindOptions{Limit: 57}},
+		{"skip", bson.D("v", bson.D("$lt", 9)), FindOptions{Skip: 13}},
+		{"skip+limit", bson.D("v", bson.D("$lt", 9)), FindOptions{Skip: 13, Limit: 57}},
+		{"skip past end", bson.D("cat", "c1"), FindOptions{Skip: 100000}},
+		{"sort", bson.D("v", bson.D("$lt", 9)), FindOptions{Sort: query.MustParseSort(bson.D("name", -1))}},
+		{"sort+skip+limit", nil, FindOptions{Sort: query.MustParseSort(bson.D("v", 1, "name", -1)), Skip: 10, Limit: 25}},
+		{"projection", bson.D("cat", "c2"), FindOptions{Projection: proj}},
+		{"projection+sort", bson.D("cat", "c2"), FindOptions{Projection: proj, Sort: query.MustParseSort(bson.D("name", 1))}},
+	}
+	for _, bs := range []int{0, 1, 3, 1000000, -1} {
+		for _, tc := range cases {
+			t.Run(fmt.Sprintf("%s/batch=%d", tc.name, bs), func(t *testing.T) {
+				want, wantPlan, err := c.FindWithPlan(tc.filter, tc.opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				opts := tc.opts
+				opts.BatchSize = bs
+				cur, err := c.FindCursor(tc.filter, opts)
+				if err != nil {
+					t.Fatal(err)
+				}
+				got, err := cur.All()
+				if err != nil {
+					t.Fatal(err)
+				}
+				docsEqual(t, got, want, tc.name)
+				gotPlan := cur.Plan()
+				if gotPlan.IndexUsed != wantPlan.IndexUsed ||
+					gotPlan.DocsExamined != wantPlan.DocsExamined ||
+					gotPlan.DocsReturned != wantPlan.DocsReturned ||
+					gotPlan.SortInMemory != wantPlan.SortInMemory {
+					t.Fatalf("plan mismatch: cursor %+v, find %+v", gotPlan, wantPlan)
+				}
+			})
+		}
+	}
+}
+
+// TestCursorBatching checks that NextBatch respects the requested batch size
+// and that the batch buffer is reused rather than reallocated.
+func TestCursorBatching(t *testing.T) {
+	c := cursorTestCollection(t, 100)
+	cur, err := c.FindCursor(nil, FindOptions{BatchSize: 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sizes := []int{}
+	total := 0
+	for {
+		b := cur.NextBatch()
+		if len(b) == 0 {
+			break
+		}
+		sizes = append(sizes, len(b))
+		total += len(b)
+	}
+	if total != 100 {
+		t.Fatalf("cursor yielded %d docs, want 100", total)
+	}
+	for i, s := range sizes {
+		if s > 32 {
+			t.Fatalf("batch %d has %d docs, exceeds batch size 32", i, s)
+		}
+	}
+	if len(sizes) != 4 { // 32+32+32+4
+		t.Fatalf("expected 4 batches, got %d (%v)", len(sizes), sizes)
+	}
+}
+
+// TestCursorSeesSnapshot documents the cursor's snapshot semantics: inserts
+// after the cursor opens are invisible, deletes before the cursor reaches
+// them are honoured.
+func TestCursorSeesSnapshot(t *testing.T) {
+	c := NewCollection("t")
+	for i := 0; i < 10; i++ {
+		_, _ = c.Insert(bson.D(bson.IDKey, i))
+	}
+	cur, err := c.FindCursor(nil, FindOptions{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Consume the first batch, then mutate the collection.
+	first := append([]*bson.Doc(nil), cur.NextBatch()...)
+	if len(first) != 2 {
+		t.Fatalf("first batch has %d docs", len(first))
+	}
+	// A delete while the snapshot still shares the record array is seen as a
+	// tombstone; inserts afterwards (which may grow the array) are not.
+	if _, err := c.Delete(bson.D(bson.IDKey, 5), false); err != nil {
+		t.Fatal(err)
+	}
+	for i := 10; i < 20; i++ {
+		_, _ = c.Insert(bson.D(bson.IDKey, i)) // invisible: after snapshot
+	}
+	rest, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := len(first) + len(rest)
+	if got != 9 { // 10 snapshot docs minus the deleted one
+		t.Fatalf("cursor saw %d docs, want 9", got)
+	}
+}
+
+// TestCursorCloseStopsIteration checks Close is terminal and idempotent.
+func TestCursorCloseStopsIteration(t *testing.T) {
+	c := cursorTestCollection(t, 50)
+	cur, err := c.FindCursor(nil, FindOptions{BatchSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.TryNext(); !ok {
+		t.Fatal("expected a first document")
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cur.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.TryNext(); ok {
+		t.Fatal("TryNext succeeded after Close")
+	}
+	if cur.HasNext() {
+		t.Fatal("HasNext true after Close")
+	}
+	if b := cur.NextBatch(); len(b) != 0 {
+		t.Fatalf("NextBatch returned %d docs after Close", len(b))
+	}
+}
+
+// TestCursorLimitStopsScan checks that a limited, unsorted cursor stops
+// examining documents once the limit is reached.
+func TestCursorLimitStopsScan(t *testing.T) {
+	c := cursorTestCollection(t, 1000)
+	cur, err := c.FindCursor(nil, FindOptions{Limit: 5, BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	docs, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 5 {
+		t.Fatalf("got %d docs, want 5", len(docs))
+	}
+	if p := cur.Plan(); p.DocsExamined != 5 {
+		t.Fatalf("limited scan examined %d docs, want 5", p.DocsExamined)
+	}
+}

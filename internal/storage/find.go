@@ -15,6 +15,11 @@ type FindOptions struct {
 	Skip       int
 	// Hint forces the named index; empty lets the planner choose.
 	Hint string
+	// BatchSize is the number of documents a FindCursor pulls per batch:
+	// 0 uses DefaultBatchSize, negative values disable batching so the whole
+	// result is produced in one batch (the materializing behaviour Find
+	// relies on). Slice-returning APIs ignore it.
+	BatchSize int
 }
 
 // Plan describes how a query was (or would be) executed; it is the
@@ -73,82 +78,16 @@ func (c *Collection) CountDocs(filter *bson.Doc) (int, error) {
 
 // FindWithPlan is Find but also returns the execution plan, which the
 // benchmark harness uses to verify index usage and document-examined counts.
+// It is a thin wrapper over FindCursor with batching disabled, so the whole
+// scan happens under a single read-lock acquisition as it always has.
 func (c *Collection) FindWithPlan(filter *bson.Doc, opts FindOptions) ([]*bson.Doc, Plan, error) {
-	plan := Plan{Collection: c.name}
-	matcher, err := query.Compile(filter)
+	opts.BatchSize = -1
+	cur, err := c.FindCursor(filter, opts)
 	if err != nil {
-		return nil, plan, err
+		return nil, Plan{Collection: c.name}, err
 	}
-
-	c.mu.RLock()
-	candidates, indexUsed := c.planLocked(filter, opts)
-	plan.IndexUsed = indexUsed
-
-	var out []*bson.Doc
-	// When we can rely on index order for the sort and there is no explicit
-	// sort requirement beyond it, results are produced in candidate order.
-	examined := 0
-	consider := func(d *bson.Doc) bool {
-		examined++
-		if !matcher.Matches(d) {
-			return true
-		}
-		out = append(out, d)
-		// Limit can only be applied during the scan when no sort reorders
-		// the results afterwards.
-		if opts.Limit > 0 && len(opts.Sort) == 0 && len(out) >= opts.Limit+opts.Skip {
-			return false
-		}
-		return true
-	}
-	if candidates == nil {
-		c.scans.Add(1)
-		for i := range c.records {
-			if c.records[i].deleted {
-				continue
-			}
-			if !consider(c.records[i].doc) {
-				break
-			}
-		}
-	} else {
-		c.indexScans.Add(1)
-		for _, pos := range candidates {
-			r := c.records[pos]
-			if r.deleted {
-				continue
-			}
-			if !consider(r.doc) {
-				break
-			}
-		}
-	}
-	c.mu.RUnlock()
-
-	plan.DocsExamined = examined
-	if len(opts.Sort) > 0 {
-		plan.SortInMemory = true
-		opts.Sort.Apply(out)
-	}
-	if opts.Skip > 0 {
-		if opts.Skip >= len(out) {
-			out = nil
-		} else {
-			out = out[opts.Skip:]
-		}
-	}
-	if opts.Limit > 0 && len(out) > opts.Limit {
-		out = out[:opts.Limit]
-	}
-	if opts.Projection != nil {
-		projected := make([]*bson.Doc, len(out))
-		for i, d := range out {
-			projected[i] = opts.Projection.Apply(d)
-		}
-		out = projected
-	}
-	plan.DocsReturned = len(out)
-	return out, plan, nil
+	docs, err := cur.All()
+	return docs, cur.Plan(), err
 }
 
 // planLocked chooses an access path for the filter: either nil (collection
@@ -256,41 +195,4 @@ func sortValues(vals []any) {
 			vals[j], vals[j-1] = vals[j-1], vals[j]
 		}
 	}
-}
-
-// Cursor provides iterator-style access over a result set, mirroring the
-// cursor interface the thesis' algorithms are written against
-// (cursor.hasNext() / cursor.next() in Figure 4.7).
-type Cursor struct {
-	docs []*bson.Doc
-	pos  int
-}
-
-// NewCursor wraps a result slice in a cursor.
-func NewCursor(docs []*bson.Doc) *Cursor { return &Cursor{docs: docs} }
-
-// HasNext reports whether another document is available.
-func (cur *Cursor) HasNext() bool { return cur.pos < len(cur.docs) }
-
-// Next returns the next document; it panics when exhausted, matching
-// iterator misuse being a programming error.
-func (cur *Cursor) Next() *bson.Doc {
-	if !cur.HasNext() {
-		panic("storage: Next called on exhausted cursor")
-	}
-	d := cur.docs[cur.pos]
-	cur.pos++
-	return d
-}
-
-// Remaining returns the number of documents not yet consumed.
-func (cur *Cursor) Remaining() int { return len(cur.docs) - cur.pos }
-
-// FindCursor runs Find and returns a cursor over the results.
-func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, error) {
-	docs, err := c.Find(filter, opts)
-	if err != nil {
-		return nil, err
-	}
-	return NewCursor(docs), nil
 }

@@ -1,0 +1,181 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// TestStressParallelCRUD hammers one collection with concurrent inserts,
+// finds, cursor scans, updates and deletes. It asserts nothing about exact
+// results — interleavings are unconstrained — only that every operation
+// stays internally consistent and that the race detector stays quiet.
+func TestStressParallelCRUD(t *testing.T) {
+	c := NewCollection("stress")
+	if _, err := c.EnsureIndexDoc(bson.D("g", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	// Seed so readers have something to chew on from the start.
+	for i := 0; i < 200; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, fmt.Sprintf("seed-%d", i), "g", i%10, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	const (
+		writers    = 4
+		readers    = 4
+		opsPerGoro = 300
+	)
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	fail := func(format string, args ...any) {
+		failures.Add(1)
+		t.Errorf(format, args...)
+	}
+
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < opsPerGoro; i++ {
+				id := fmt.Sprintf("w%d-%d", w, i)
+				switch i % 4 {
+				case 0, 1:
+					if _, err := c.Insert(bson.D(bson.IDKey, id, "g", i%10, "v", i)); err != nil {
+						fail("insert %s: %v", id, err)
+						return
+					}
+				case 2:
+					spec := query.UpdateSpec{
+						Query:  bson.D("g", i%10),
+						Update: bson.D("$inc", bson.D("v", 1)),
+						Multi:  true,
+					}
+					if _, err := c.Update(spec); err != nil {
+						fail("update: %v", err)
+						return
+					}
+				case 3:
+					if _, err := c.Delete(bson.D("g", i%10), false); err != nil {
+						fail("delete: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < opsPerGoro; i++ {
+				switch i % 3 {
+				case 0:
+					// Materializing find through an index scan.
+					docs, err := c.Find(bson.D("g", i%10), FindOptions{})
+					if err != nil {
+						fail("find: %v", err)
+						return
+					}
+					if len(docs) < 0 { // keep docs live
+						return
+					}
+				case 1:
+					// Streaming cursor over the whole collection in small
+					// batches, interleaving with the writers.
+					cur, err := c.FindCursor(nil, FindOptions{BatchSize: 16})
+					if err != nil {
+						fail("cursor open: %v", err)
+						return
+					}
+					n := 0
+					for {
+						b := cur.NextBatch()
+						if len(b) == 0 {
+							break
+						}
+						n += len(b)
+					}
+					if p := cur.Plan(); p.DocsReturned != n {
+						fail("cursor plan returned %d, counted %d", p.DocsReturned, n)
+						return
+					}
+				case 2:
+					_ = c.Count()
+					_ = c.Stats()
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	if failures.Load() > 0 {
+		t.Fatalf("%d stress operations failed", failures.Load())
+	}
+
+	// The collection must still be coherent after the storm.
+	docs, err := c.Find(nil, FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != c.Count() {
+		t.Fatalf("final Find returned %d docs, Count says %d", len(docs), c.Count())
+	}
+}
+
+// TestStressCursorsAcrossCompaction interleaves open cursors with enough
+// deletes to trigger compaction, checking cursors never double-count or
+// panic when the record array is rewritten underneath their snapshot.
+func TestStressCursorsAcrossCompaction(t *testing.T) {
+	c := NewCollection("compact")
+	const n = 500
+	for i := 0; i < n; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cur, err := c.FindCursor(nil, FindOptions{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := append([]*bson.Doc(nil), cur.NextBatch()...)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		// Delete enough to trip the tombstone-compaction threshold.
+		for i := 100; i < 500; i++ {
+			_, _ = c.Delete(bson.D(bson.IDKey, i), false)
+		}
+	}()
+	var rest []*bson.Doc
+	for {
+		b := cur.NextBatch()
+		if len(b) == 0 {
+			break
+		}
+		rest = append(rest, b...)
+	}
+	wg.Wait()
+
+	seen := make(map[any]bool)
+	for _, d := range append(first, rest...) {
+		id := d.ID()
+		if seen[id] {
+			t.Fatalf("cursor yielded _id %v twice", id)
+		}
+		seen[id] = true
+	}
+	// Everything the deletes could not touch must be present.
+	for i := 0; i < 100; i++ {
+		if !seen[bson.Normalize(i)] {
+			t.Fatalf("cursor missed undeleted _id %d", i)
+		}
+	}
+}

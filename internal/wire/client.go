@@ -122,6 +122,97 @@ func (c *Client) Aggregate(db, coll string, stages []*bson.Doc) ([]*bson.Doc, er
 	return resp.Docs, nil
 }
 
+// Cursor is a client-side cursor over a server-side result stream: it holds
+// the current batch and issues getMore requests as the caller consumes it,
+// so the client never materializes more than one batch.
+type Cursor struct {
+	c         *Client
+	db        string
+	id        int64 // 0 once the server reports exhaustion
+	batchSize int
+	batch     []*bson.Doc
+	pos       int
+	err       error
+	closed    bool
+}
+
+// FindCursor opens a cursor over a find. batchSize <= 0 uses the server's
+// default batch size for the initial reply.
+func (c *Client) FindCursor(db, coll string, filter, sort *bson.Doc, limit, batchSize int) (*Cursor, error) {
+	if batchSize <= 0 {
+		batchSize = 101
+	}
+	resp, err := c.Do(&Request{Op: OpFind, DB: db, Collection: coll, Filter: filter, Sort: sort, Limit: limit, BatchSize: batchSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{c: c, db: db, id: resp.CursorID, batchSize: batchSize, batch: resp.Docs}, nil
+}
+
+// AggregateCursor opens a cursor over an aggregation pipeline.
+func (c *Client) AggregateCursor(db, coll string, stages []*bson.Doc, batchSize int) (*Cursor, error) {
+	if batchSize <= 0 {
+		batchSize = 101
+	}
+	resp, err := c.Do(&Request{Op: OpAggregate, DB: db, Collection: coll, Docs: stages, BatchSize: batchSize})
+	if err != nil {
+		return nil, err
+	}
+	return &Cursor{c: c, db: db, id: resp.CursorID, batchSize: batchSize, batch: resp.Docs}, nil
+}
+
+// Next returns the next document, issuing getMore requests as needed.
+func (cur *Cursor) Next() (*bson.Doc, bool) {
+	for cur.pos >= len(cur.batch) {
+		if cur.closed || cur.id == 0 {
+			return nil, false
+		}
+		resp, err := cur.c.Do(&Request{Op: OpGetMore, DB: cur.db, CursorID: cur.id, BatchSize: cur.batchSize})
+		if err != nil {
+			cur.err = err
+			cur.id = 0
+			cur.closed = true
+			return nil, false
+		}
+		cur.batch, cur.pos = resp.Docs, 0
+		cur.id = resp.CursorID
+	}
+	d := cur.batch[cur.pos]
+	cur.pos++
+	return d, true
+}
+
+// Err returns the error that terminated iteration, if any.
+func (cur *Cursor) Err() error { return cur.err }
+
+// Close releases the server-side cursor when one is still open.
+func (cur *Cursor) Close() {
+	if cur.closed {
+		return
+	}
+	cur.closed = true
+	if cur.id != 0 {
+		_, _ = cur.c.Do(&Request{Op: OpKillCursors, DB: cur.db, CursorID: cur.id})
+		cur.id = 0
+	}
+	cur.batch = nil
+}
+
+// All drains the remaining documents and closes the cursor.
+func (cur *Cursor) All() ([]*bson.Doc, error) {
+	var out []*bson.Doc
+	for {
+		d, ok := cur.Next()
+		if !ok {
+			break
+		}
+		out = append(out, d)
+	}
+	err := cur.Err()
+	cur.Close()
+	return out, err
+}
+
 // EnsureIndex creates an index.
 func (c *Client) EnsureIndex(db, coll string, keys *bson.Doc, unique bool) error {
 	_, err := c.Do(&Request{Op: OpEnsureIndex, DB: db, Collection: coll, Keys: keys, Unique: unique})

@@ -1,0 +1,225 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+)
+
+func cursorTestServer(t *testing.T, docs int) (*Server, *Client) {
+	t.Helper()
+	backend := mongod.NewServer(mongod.Options{})
+	db := backend.Database("db")
+	for i := 0; i < docs; i++ {
+		if _, err := db.Insert("rows", bson.D(bson.IDKey, i, "g", i%5, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := NewServer(backend)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+// TestWireFindCursorGetMore drives the getMore path over a real TCP
+// connection: the first reply carries one batch and a cursor id, getMore
+// pages through the rest, and the result matches a plain find.
+func TestWireFindCursorGetMore(t *testing.T) {
+	srv, client := cursorTestServer(t, 250)
+
+	want, err := client.Find("db", "rows", nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 250 {
+		t.Fatalf("plain find returned %d docs", len(want))
+	}
+
+	cur, err := client.FindCursor("db", "rows", nil, nil, 0, 40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor returned %d docs, find returned %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("doc %d differs:\n got  %v\n want %v", i, got[i], want[i])
+		}
+	}
+	if n := srv.OpenCursors(); n != 0 {
+		t.Fatalf("%d cursors still open after drain", n)
+	}
+}
+
+// TestWireAggregateCursor pages an aggregation result through getMore.
+func TestWireAggregateCursor(t *testing.T) {
+	srv, client := cursorTestServer(t, 100)
+	stages := []*bson.Doc{
+		bson.D("$match", bson.D("g", bson.D("$lt", 3))),
+		bson.D("$sort", bson.D("v", -1)),
+	}
+	want, err := client.Aggregate("db", "rows", stages)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cur, err := client.AggregateCursor("db", "rows", stages, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := cur.All()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor returned %d docs, aggregate returned %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("doc %d differs", i)
+		}
+	}
+	if n := srv.OpenCursors(); n != 0 {
+		t.Fatalf("%d cursors still open after drain", n)
+	}
+}
+
+// TestWireKillCursors closes a half-consumed cursor and checks the server
+// releases it and rejects further getMores.
+func TestWireKillCursors(t *testing.T) {
+	srv, client := cursorTestServer(t, 200)
+	cur, err := client.FindCursor("db", "rows", nil, nil, 0, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := cur.Next(); !ok {
+		t.Fatal("expected a first document")
+	}
+	if srv.OpenCursors() != 1 {
+		t.Fatalf("expected 1 open cursor, have %d", srv.OpenCursors())
+	}
+	id := cur.id
+	cur.Close()
+	if srv.OpenCursors() != 0 {
+		t.Fatalf("kill left %d cursors open", srv.OpenCursors())
+	}
+	if _, err := client.Do(&Request{Op: OpGetMore, DB: "db", CursorID: id}); err == nil {
+		t.Fatal("getMore on a killed cursor should fail")
+	}
+}
+
+// TestWireCursorExactMultiple checks the edge where the result size is an
+// exact multiple of the batch size: the server keeps the cursor open after
+// the last full batch and the final getMore returns an empty batch with
+// cursor id 0.
+func TestWireCursorExactMultiple(t *testing.T) {
+	_, client := cursorTestServer(t, 80)
+	resp, err := client.Do(&Request{Op: OpFind, DB: "db", Collection: "rows", BatchSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp.Docs) != 40 || resp.CursorID == 0 {
+		t.Fatalf("first batch: %d docs, cursor %d", len(resp.Docs), resp.CursorID)
+	}
+	resp2, err := client.Do(&Request{Op: OpGetMore, DB: "db", CursorID: resp.CursorID, BatchSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp2.Docs) != 40 || resp2.CursorID == 0 {
+		t.Fatalf("second batch: %d docs, cursor %d", len(resp2.Docs), resp2.CursorID)
+	}
+	resp3, err := client.Do(&Request{Op: OpGetMore, DB: "db", CursorID: resp2.CursorID, BatchSize: 40})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resp3.Docs) != 0 || resp3.CursorID != 0 {
+		t.Fatalf("final batch: %d docs, cursor %d", len(resp3.Docs), resp3.CursorID)
+	}
+}
+
+// TestWireCursorIdleReaping checks abandoned cursors are reaped after the
+// idle timeout instead of pinning their snapshots forever.
+func TestWireCursorIdleReaping(t *testing.T) {
+	srv, client := cursorTestServer(t, 100)
+	srv.SetCursorTimeout(10 * time.Millisecond)
+	resp, err := client.Do(&Request{Op: OpFind, DB: "db", Collection: "rows", BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.CursorID == 0 {
+		t.Fatal("expected an open cursor")
+	}
+	if srv.OpenCursors() != 1 {
+		t.Fatalf("expected 1 open cursor, have %d", srv.OpenCursors())
+	}
+	time.Sleep(30 * time.Millisecond)
+	// Any cursor operation triggers lazy reaping; a fresh cursor must not be
+	// swept with the stale one.
+	resp2, err := client.Do(&Request{Op: OpFind, DB: "db", Collection: "rows", BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if srv.OpenCursors() != 1 {
+		t.Fatalf("stale cursor not reaped: %d open", srv.OpenCursors())
+	}
+	if _, err := client.Do(&Request{Op: OpGetMore, DB: "db", CursorID: resp.CursorID}); err == nil {
+		t.Fatal("getMore on a reaped cursor should fail")
+	}
+	if _, err := client.Do(&Request{Op: OpGetMore, DB: "db", CursorID: resp2.CursorID, BatchSize: 10}); err != nil {
+		t.Fatalf("fresh cursor was reaped too: %v", err)
+	}
+}
+
+// TestWireConcurrentCursors interleaves several cursors over separate
+// connections under -race.
+func TestWireConcurrentCursors(t *testing.T) {
+	srv, client := cursorTestServer(t, 300)
+	addr := srv.listener.Addr().String()
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func(w int) {
+			c, err := Dial(addr, time.Second)
+			if err != nil {
+				done <- err
+				return
+			}
+			defer c.Close()
+			cur, err := c.FindCursor("db", "rows", bson.D("g", w), nil, 0, 9)
+			if err != nil {
+				done <- err
+				return
+			}
+			docs, err := cur.All()
+			if err != nil {
+				done <- err
+				return
+			}
+			if len(docs) != 60 {
+				done <- fmt.Errorf("worker %d got %d docs, want 60", w, len(docs))
+				return
+			}
+			done <- nil
+		}(w)
+	}
+	for i := 0; i < 4; i++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	_ = client
+}

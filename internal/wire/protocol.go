@@ -33,6 +33,11 @@ const (
 	OpDrop        = "drop"
 	OpListColls   = "listCollections"
 	OpStats       = "stats"
+	// OpGetMore pulls the next batch from a server-side cursor opened by a
+	// find or aggregate request that carried a batchSize.
+	OpGetMore = "getMore"
+	// OpKillCursors closes a server-side cursor before exhaustion.
+	OpKillCursors = "killCursors"
 )
 
 // Request is one client request. It is encoded as a flat document so that
@@ -50,9 +55,15 @@ type Request struct {
 	Keys       *bson.Doc // ensureIndex specification
 	Limit      int
 	Skip       int
-	Multi      bool
-	Upsert     bool
-	Unique     bool
+	// BatchSize > 0 turns a find/aggregate into a cursor request: the
+	// response carries the first batch plus a CursorID to getMore against.
+	// It also sets the batch size of a getMore.
+	BatchSize int
+	// CursorID identifies the server-side cursor for getMore/killCursors.
+	CursorID int64
+	Multi    bool
+	Upsert   bool
+	Unique   bool
 }
 
 // encode renders the request as a document.
@@ -95,6 +106,12 @@ func (r *Request) encode() *bson.Doc {
 	}
 	if r.Skip != 0 {
 		d.Set("skip", r.Skip)
+	}
+	if r.BatchSize != 0 {
+		d.Set("batchSize", r.BatchSize)
+	}
+	if r.CursorID != 0 {
+		d.Set("cursorId", r.CursorID)
 	}
 	if r.Multi {
 		d.Set("multi", true)
@@ -157,6 +174,16 @@ func decodeRequest(d *bson.Doc) *Request {
 			r.Skip = int(n)
 		}
 	}
+	if v, ok := d.Get("batchSize"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.BatchSize = int(n)
+		}
+	}
+	if v, ok := d.Get("cursorId"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.CursorID = n
+		}
+	}
 	r.Multi = bson.Truthy(d.GetOr("multi", false))
 	r.Upsert = bson.Truthy(d.GetOr("upsert", false))
 	r.Unique = bson.Truthy(d.GetOr("unique", false))
@@ -169,10 +196,13 @@ type Response struct {
 	Error string
 	Docs  []*bson.Doc
 	N     int64
+	// CursorID is non-zero when a server-side cursor remains open: pass it
+	// to getMore for the next batch. Zero means the result is complete.
+	CursorID int64
 }
 
 func (r *Response) encode() *bson.Doc {
-	d := bson.NewDoc(4)
+	d := bson.NewDoc(5)
 	d.Set("ok", r.OK)
 	if r.Error != "" {
 		d.Set("error", r.Error)
@@ -185,6 +215,9 @@ func (r *Response) encode() *bson.Doc {
 		d.Set("docs", arr)
 	}
 	d.Set("n", r.N)
+	if r.CursorID != 0 {
+		d.Set("cursorId", r.CursorID)
+	}
 	return d
 }
 
@@ -205,6 +238,9 @@ func decodeResponse(d *bson.Doc) *Response {
 	}
 	if v, ok := d.Get("n"); ok {
 		r.N, _ = bson.AsInt(v)
+	}
+	if v, ok := d.Get("cursorId"); ok {
+		r.CursorID, _ = bson.AsInt(v)
 	}
 	return r
 }

@@ -5,12 +5,20 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"time"
 
+	"docstore/internal/aggregate"
 	"docstore/internal/bson"
 	"docstore/internal/mongod"
 	"docstore/internal/query"
 	"docstore/internal/storage"
 )
+
+// DefaultCursorTimeout is how long an idle server-side cursor survives
+// before it is reaped, mirroring the real server's cursor timeout. Clients
+// that disconnect without exhausting or killing their cursors would
+// otherwise pin their collection snapshots for the server's lifetime.
+const DefaultCursorTimeout = 10 * time.Minute
 
 // Server serves the wire protocol for a mongod.Server over TCP.
 type Server struct {
@@ -21,11 +29,112 @@ type Server struct {
 	conns    map[net.Conn]bool
 	closed   bool
 	wg       sync.WaitGroup
+
+	// Server-side cursors for the getMore path. Cursors live until they are
+	// exhausted, killed, idle past cursorTimeout, or the server closes.
+	cursorMu      sync.Mutex
+	cursors       map[int64]*openCursor
+	nextCur       int64
+	cursorTimeout time.Duration
+}
+
+// openCursor is one registered server-side cursor with its idle clock.
+type openCursor struct {
+	it       aggregate.Iterator
+	lastUsed time.Time
+}
+
+// SetCursorTimeout overrides the idle timeout after which abandoned
+// server-side cursors are reaped. Zero or negative durations are ignored.
+// It must be called before the server starts handling requests.
+func (s *Server) SetCursorTimeout(d time.Duration) {
+	if d > 0 {
+		s.cursorTimeout = d
+	}
 }
 
 // NewServer wraps a document store server.
 func NewServer(backend *mongod.Server) *Server {
-	return &Server{backend: backend, conns: make(map[net.Conn]bool)}
+	return &Server{
+		backend:       backend,
+		conns:         make(map[net.Conn]bool),
+		cursors:       make(map[int64]*openCursor),
+		cursorTimeout: DefaultCursorTimeout,
+	}
+}
+
+// reapCursorsLocked closes cursors idle past the timeout. The caller holds
+// cursorMu. Reaping happens lazily on every cursor operation, so an
+// abandoned cursor costs at most one timeout window of memory.
+func (s *Server) reapCursorsLocked() {
+	deadline := time.Now().Add(-s.cursorTimeout)
+	for id, oc := range s.cursors {
+		if oc.lastUsed.Before(deadline) {
+			oc.it.Close()
+			delete(s.cursors, id)
+		}
+	}
+}
+
+// registerCursor stores an open cursor and returns its id.
+func (s *Server) registerCursor(it aggregate.Iterator) int64 {
+	s.cursorMu.Lock()
+	defer s.cursorMu.Unlock()
+	s.reapCursorsLocked()
+	s.nextCur++
+	id := s.nextCur
+	s.cursors[id] = &openCursor{it: it, lastUsed: time.Now()}
+	return id
+}
+
+// takeCursor removes and returns the cursor with the given id.
+func (s *Server) takeCursor(id int64) (aggregate.Iterator, bool) {
+	s.cursorMu.Lock()
+	defer s.cursorMu.Unlock()
+	s.reapCursorsLocked()
+	oc, ok := s.cursors[id]
+	if ok {
+		delete(s.cursors, id)
+		return oc.it, true
+	}
+	return nil, false
+}
+
+// OpenCursors returns the number of live server-side cursors.
+func (s *Server) OpenCursors() int {
+	s.cursorMu.Lock()
+	defer s.cursorMu.Unlock()
+	return len(s.cursors)
+}
+
+// pullBatch reads up to n documents from the iterator.
+func pullBatch(it aggregate.Iterator, n int) ([]*bson.Doc, error) {
+	docs := make([]*bson.Doc, 0, n)
+	for len(docs) < n {
+		d, ok := it.Next()
+		if !ok {
+			return docs, it.Err()
+		}
+		docs = append(docs, d)
+	}
+	return docs, nil
+}
+
+// cursorResponse serves the first batch of a cursor request and registers
+// the cursor when it may have more to give.
+func (s *Server) cursorResponse(it aggregate.Iterator, batchSize int) *Response {
+	docs, err := pullBatch(it, batchSize)
+	if err != nil {
+		it.Close()
+		return &Response{Error: err.Error()}
+	}
+	resp := &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	if len(docs) == batchSize {
+		resp.CursorID = s.registerCursor(it)
+	} else {
+		it.Close()
+	}
+	return resp
 }
 
 // Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
@@ -64,7 +173,8 @@ func (s *Server) acceptLoop(ln net.Listener) {
 	}
 }
 
-// Close stops the listener and closes active connections.
+// Close stops the listener, closes active connections and releases any
+// server-side cursors.
 func (s *Server) Close() error {
 	s.mu.Lock()
 	s.closed = true
@@ -73,6 +183,12 @@ func (s *Server) Close() error {
 		c.Close()
 	}
 	s.mu.Unlock()
+	s.cursorMu.Lock()
+	for id, oc := range s.cursors {
+		oc.it.Close()
+		delete(s.cursors, id)
+	}
+	s.cursorMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -152,6 +268,14 @@ func (s *Server) Handle(req *Request) *Response {
 			}
 			opts.Projection = proj
 		}
+		if req.BatchSize > 0 {
+			opts.BatchSize = req.BatchSize
+			cur, err := db.FindCursor(req.Collection, req.Filter, opts)
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			return s.cursorResponse(mongod.Iter(cur), req.BatchSize)
+		}
 		docs, err := db.Find(req.Collection, req.Filter, opts)
 		if err != nil {
 			return &Response{Error: err.Error()}
@@ -178,11 +302,48 @@ func (s *Server) Handle(req *Request) *Response {
 		}
 		return &Response{OK: true, N: int64(n)}
 	case OpAggregate:
+		if req.BatchSize > 0 {
+			it, err := db.AggregateCursor(req.Collection, req.Docs)
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			return s.cursorResponse(it, req.BatchSize)
+		}
 		docs, err := db.Aggregate(req.Collection, req.Docs)
 		if err != nil {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	case OpGetMore:
+		it, ok := s.takeCursor(req.CursorID)
+		if !ok {
+			return &Response{Error: fmt.Sprintf("cursor %d not found", req.CursorID)}
+		}
+		batchSize := req.BatchSize
+		if batchSize <= 0 {
+			batchSize = storage.DefaultBatchSize
+		}
+		docs, err := pullBatch(it, batchSize)
+		if err != nil {
+			it.Close()
+			return &Response{Error: err.Error()}
+		}
+		resp := &Response{OK: true, Docs: docs, N: int64(len(docs))}
+		if len(docs) == batchSize {
+			s.cursorMu.Lock()
+			s.cursors[req.CursorID] = &openCursor{it: it, lastUsed: time.Now()}
+			s.cursorMu.Unlock()
+			resp.CursorID = req.CursorID
+		} else {
+			it.Close()
+		}
+		return resp
+	case OpKillCursors:
+		it, ok := s.takeCursor(req.CursorID)
+		if ok {
+			it.Close()
+		}
+		return &Response{OK: true, N: boolToN(ok)}
 	case OpEnsureIndex:
 		if _, err := db.EnsureIndex(req.Collection, req.Keys, req.Unique); err != nil {
 			return &Response{Error: err.Error()}
