@@ -1,0 +1,62 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: docstore
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkBulkInsertVsLoop/SingleNodeWire/Loop    	       1	 471982014 ns/op	     21187 docs/s	77059392 B/op	 2298145 allocs/op
+BenchmarkBulkInsertVsLoop/SingleNodeWire/Bulk-8  	       1	 130634775 ns/op	     76550 docs/s	33230496 B/op	 1168553 allocs/op
+BenchmarkTable35QueryFeatures-8                  	       1	      4399 ns/op
+PASS
+ok  	docstore	20.111s
+`
+
+func TestParseBench(t *testing.T) {
+	sum, err := parseBench(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks", len(sum.Benchmarks))
+	}
+	// The -8 GOMAXPROCS suffix is stripped.
+	b, ok := sum.Benchmarks["BenchmarkBulkInsertVsLoop/SingleNodeWire/Bulk"]
+	if !ok {
+		t.Fatalf("suffix not normalized: %v", sum.Benchmarks)
+	}
+	if b.NsPerOp != 130634775 || b.BytesPerOp != 33230496 || b.AllocsPerOp != 1168553 {
+		t.Fatalf("bench = %+v", b)
+	}
+	if b.Metrics["docs/s"] != 76550 {
+		t.Fatalf("custom metric = %v", b.Metrics)
+	}
+	if noMem := sum.Benchmarks["BenchmarkTable35QueryFeatures"]; noMem.BytesPerOp != 0 || noMem.NsPerOp != 4399 {
+		t.Fatalf("memless bench = %+v", noMem)
+	}
+}
+
+func TestCompareFlagsBigBOpRegressions(t *testing.T) {
+	baseline := &Summary{Benchmarks: map[string]Bench{
+		"A": {BytesPerOp: 1000},
+		"B": {BytesPerOp: 1000},
+		"C": {NsPerOp: 5}, // no B/op: never compared
+	}}
+	current := &Summary{Benchmarks: map[string]Bench{
+		"A": {BytesPerOp: 1500},  // 1.5x: fine
+		"B": {BytesPerOp: 2500},  // 2.5x: regression
+		"C": {BytesPerOp: 99999}, // baseline had none
+		"D": {BytesPerOp: 1},     // new benchmark
+	}}
+	var buf strings.Builder
+	if n := compare(&buf, baseline, current, 2.0); n != 1 {
+		t.Fatalf("regressions = %d, output:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "B B/op regressed 2.50x") {
+		t.Fatalf("warning output: %q", buf.String())
+	}
+}

@@ -53,6 +53,9 @@ func main() {
 		for _, d := range resp.Docs {
 			fmt.Println(d.ToJSON())
 		}
+		if resp.Result != nil {
+			fmt.Println(resp.Result.ToJSON())
+		}
 		if resp.CursorID != 0 {
 			fmt.Printf("ok (n=%d, cursorId=%d)\n", resp.N, resp.CursorID)
 		} else {
@@ -140,5 +143,6 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	req.Multi = bson.Truthy(doc.GetOr("multi", false))
 	req.Upsert = bson.Truthy(doc.GetOr("upsert", false))
 	req.Unique = bson.Truthy(doc.GetOr("unique", false))
+	req.Ordered = bson.Truthy(doc.GetOr("ordered", false))
 	return client.Do(req)
 }

@@ -46,4 +46,41 @@
 //
 // The slice APIs (Find, Aggregate, Router.Find, ...) are thin wrappers that
 // drain these cursors, so existing callers and benchmarks are unchanged.
+//
+// # Write path
+//
+// The write path mirrors the cursor engine's layering with a batched
+// bulk-write engine, so fresh-ingest throughput scales with batch size the
+// way read throughput scales with cursor batches:
+//
+//   - storage.Collection.BulkWrite executes a mixed batch of inserts,
+//     updates and deletes (storage.WriteOp) under a single write-lock
+//     acquisition with per-op error attribution (storage.BulkError) and
+//     amortized maintenance: matchers compile before the lock, the record
+//     array grows once for all inserts, and tombstone compaction is
+//     considered once per batch. Ordered mode stops at the first failure;
+//     unordered mode attempts every op.
+//   - mongod.Database.BulkWrite profiles each batch as one entry carrying
+//     the batch size and per-op failure count, and counts each op under its
+//     own opcounter kind.
+//   - mongos.Router.BulkWrite partitions a bulk by target shard through the
+//     chunk map and dispatches one sub-batch per shard — one round-trip per
+//     shard instead of one per document — merging per-shard results with
+//     original-index attribution. Unordered sub-batches fan out in parallel
+//     goroutines; ordered batches dispatch maximal contiguous same-shard
+//     runs sequentially, as the real mongos does. Broadcast updates/deletes
+//     fall back to the scalar routing path in place.
+//   - driver.BulkStore is the deployment-independent bulk interface,
+//     implemented by both adapters.
+//   - the wire protocol's bulkWrite op carries the batch ("docs", one op
+//     document each), the ordered flag and a result document with counters,
+//     aligned insertedIds and the writeErrors array; wire.Client.BulkWrite
+//     (with BulkInsertOp/BulkUpdateOp/BulkDeleteOp builders) wraps the
+//     exchange, and docstore-shell passes "ordered" through and prints the
+//     result document.
+//
+// InsertMany at every layer (and ReplaceContents, which $out uses) is a
+// thin wrapper over this path, so the migration and denormalization loaders
+// batch for free. BenchmarkBulkInsertVsLoop measures the win on the wire
+// and router paths.
 package docstore

@@ -35,16 +35,16 @@ func TestRunIterMatchesRun(t *testing.T) {
 		bson.D(bson.IDKey, 1, "g", 1, "label", "one"),
 	}
 	pipelines := map[string][]*bson.Doc{
-		"match":            {bson.D("$match", bson.D("g", 2))},
-		"match+project":    {bson.D("$match", bson.D("g", bson.D("$lt", 3))), bson.D("$project", bson.D("v", 1))},
-		"addFields":        {bson.D("$addFields", bson.D("vv", bson.D("$multiply", bson.A("$v", int64(2)))))},
-		"unwind":           {bson.D("$unwind", "$tags")},
-		"unwind+group":     {bson.D("$unwind", "$tags"), bson.D("$group", bson.D(bson.IDKey, "$tags", "n", bson.D("$sum", 1)))},
-		"skip+limit":       {bson.D("$skip", 10), bson.D("$limit", 20)},
-		"group+sort":       {bson.D("$group", bson.D(bson.IDKey, "$g", "avg", bson.D("$avg", "$v"))), bson.D("$sort", bson.D(bson.IDKey, 1))},
-		"sort+skip+limit":  {bson.D("$sort", bson.D("v", -1)), bson.D("$skip", 5), bson.D("$limit", 7)},
-		"count":            {bson.D("$match", bson.D("g", bson.D("$gte", 1))), bson.D("$count", "n")},
-		"lookup":           {bson.D("$limit", 10), bson.D("$lookup", bson.D("from", "dims", "localField", "g", "foreignField", "g", "as", "dim"))},
+		"match":           {bson.D("$match", bson.D("g", 2))},
+		"match+project":   {bson.D("$match", bson.D("g", bson.D("$lt", 3))), bson.D("$project", bson.D("v", 1))},
+		"addFields":       {bson.D("$addFields", bson.D("vv", bson.D("$multiply", bson.A("$v", int64(2)))))},
+		"unwind":          {bson.D("$unwind", "$tags")},
+		"unwind+group":    {bson.D("$unwind", "$tags"), bson.D("$group", bson.D(bson.IDKey, "$tags", "n", bson.D("$sum", 1)))},
+		"skip+limit":      {bson.D("$skip", 10), bson.D("$limit", 20)},
+		"group+sort":      {bson.D("$group", bson.D(bson.IDKey, "$g", "avg", bson.D("$avg", "$v"))), bson.D("$sort", bson.D(bson.IDKey, 1))},
+		"sort+skip+limit": {bson.D("$sort", bson.D("v", -1)), bson.D("$skip", 5), bson.D("$limit", 7)},
+		"count":           {bson.D("$match", bson.D("g", bson.D("$gte", 1))), bson.D("$count", "n")},
+		"lookup":          {bson.D("$limit", 10), bson.D("$lookup", bson.D("from", "dims", "localField", "g", "foreignField", "g", "as", "dim"))},
 		"limit after group": {
 			bson.D("$group", bson.D(bson.IDKey, "$g", "n", bson.D("$sum", 1))),
 			bson.D("$limit", 2),

@@ -139,6 +139,22 @@ type Deployment struct {
 // Generator returns the deployment's data generator.
 func (d *Deployment) Generator() *tpcds.Generator { return d.generator }
 
+// DocsExamined sums the documents examined by read cursors across the
+// deployment's servers (the stand-alone server, or every shard).
+func (d *Deployment) DocsExamined() int64 {
+	if d.Standalone != nil {
+		return d.Standalone.DocsExamined()
+	}
+	if d.Cluster != nil {
+		var total int64
+		for _, s := range d.Cluster.Shards() {
+			total += s.DocsExamined()
+		}
+		return total
+	}
+	return 0
+}
+
 // Setup builds the deployment for an experiment: it creates the environment,
 // migrates the generated dataset into it, builds the query indexes, shards
 // the fact collections (sharded environments), and denormalizes the fact
@@ -212,6 +228,11 @@ type QueryRun struct {
 	// ResultBytes is the encoded size of the result set — the selectivity
 	// measure of Table 4.4.
 	ResultBytes int64
+	// DocsExamined is the number of stored documents the deployment's
+	// servers read to answer the query (first run): a deterministic work
+	// measure for cross-model comparisons that, unlike wall-clock time, does
+	// not flake under parallel test load.
+	DocsExamined int64
 }
 
 // RunQuery executes one query cfg.Runs times against the deployment and
@@ -223,6 +244,10 @@ func (d *Deployment) RunQuery(q *queries.Query) (QueryRun, error) {
 		var docs []*bson.Doc
 		var elapsed time.Duration
 		var err error
+		var examinedBefore int64
+		if i == 0 {
+			examinedBefore = d.DocsExamined()
+		}
 		if d.Spec.Model == Denormalized {
 			docs, elapsed, err = queries.RunDenormalized(d.Store, q, d.Config.Params)
 		} else {
@@ -241,6 +266,7 @@ func (d *Deployment) RunQuery(q *queries.Query) (QueryRun, error) {
 			for _, doc := range docs {
 				run.ResultBytes += int64(bson.EncodedSize(doc))
 			}
+			run.DocsExamined = d.DocsExamined() - examinedBefore
 		}
 	}
 	if len(run.Runs) > 0 {

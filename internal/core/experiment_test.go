@@ -200,13 +200,22 @@ func TestRunExperimentAndSuiteReporting(t *testing.T) {
 		t.Fatalf("Experiment lookup broken")
 	}
 
-	// The denormalized model must not be slower than the normalized model on
-	// the same data — the headline result of the thesis.
+	// The denormalized model must not do more work than the normalized model
+	// on the same data — the headline result of the thesis. The comparison
+	// uses the deterministic documents-examined counter instead of wall-clock
+	// time: the normalized plan reads the fact collection plus every joined
+	// dimension (and its intermediate collections), while the denormalized
+	// plan reads only the pre-joined fact, so the counter ordering holds
+	// regardless of scheduler load when packages run in parallel.
 	norm, den := suite.Experiment(2), suite.Experiment(3)
 	for _, id := range []int{7, 21, 46} {
-		if den.QueryRun(id).Best > norm.QueryRun(id).Best {
-			t.Errorf("query %d: denormalized (%v) slower than normalized (%v)",
-				id, den.QueryRun(id).Best, norm.QueryRun(id).Best)
+		n, d := norm.QueryRun(id), den.QueryRun(id)
+		if n.DocsExamined <= 0 {
+			t.Errorf("query %d: normalized run examined no documents", id)
+		}
+		if d.DocsExamined > n.DocsExamined {
+			t.Errorf("query %d: denormalized examined %d docs, more than normalized %d",
+				id, d.DocsExamined, n.DocsExamined)
 		}
 	}
 

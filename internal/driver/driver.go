@@ -33,9 +33,22 @@ type CursorStore interface {
 	AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error)
 }
 
+// BulkStore is implemented by deployments that can execute a mixed batch of
+// writes in one round trip per target server. Both deployment adapters of
+// this package implement it; loaders that can batch should type-assert from
+// Store to BulkStore and fall back to the scalar APIs otherwise.
+type BulkStore interface {
+	Store
+	// BulkWrite executes a mixed batch of inserts/updates/deletes with
+	// per-op error attribution; opts selects ordered or unordered mode.
+	BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
+}
+
 var (
 	_ CursorStore = (*Standalone)(nil)
 	_ CursorStore = (*Sharded)(nil)
+	_ BulkStore   = (*Standalone)(nil)
+	_ BulkStore   = (*Sharded)(nil)
 )
 
 // Store is the operation set the algorithms need from a deployment.
@@ -46,7 +59,13 @@ type Store interface {
 	Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error)
 	// Insert adds one document.
 	Insert(coll string, doc *bson.Doc) (any, error)
-	// InsertMany adds a batch of documents.
+	// InsertMany adds a batch of documents, returning the inserted ids in
+	// document order. Both adapters route it through the bulk-write engine;
+	// on a mid-batch failure the stand-alone adapter stops at the failing
+	// document (ordered) while the sharded adapter still attempts the
+	// remaining per-shard sub-batches in parallel (unordered) — callers that
+	// need an exact partial-state guarantee on error should use BulkStore
+	// with an explicit ordered mode.
 	InsertMany(coll string, docs []*bson.Doc) ([]any, error)
 	// Update applies an update specification (query, update, upsert, multi).
 	Update(coll string, spec query.UpdateSpec) (storage.UpdateResult, error)
@@ -85,6 +104,11 @@ func (s *Standalone) Insert(coll string, doc *bson.Doc) (any, error) { return s.
 // InsertMany implements Store.
 func (s *Standalone) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
 	return s.DB.InsertMany(coll, docs)
+}
+
+// BulkWrite implements BulkStore.
+func (s *Standalone) BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	return s.DB.BulkWrite(coll, ops, opts)
 }
 
 // Update implements Store.
@@ -157,6 +181,11 @@ func (s *Sharded) Insert(coll string, doc *bson.Doc) (any, error) {
 // InsertMany implements Store.
 func (s *Sharded) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
 	return s.Router.InsertMany(s.DBName, coll, docs)
+}
+
+// BulkWrite implements BulkStore.
+func (s *Sharded) BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	return s.Router.BulkWrite(s.DBName, coll, ops, opts)
 }
 
 // Update implements Store.

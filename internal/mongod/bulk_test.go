@@ -1,0 +1,57 @@
+package mongod
+
+import (
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// TestDatabaseBulkWriteProfilingAndCounters checks the mongod-level bulk
+// surface: one profile entry per batch carrying the batch size and failure
+// count, and per-kind opcounter accounting.
+func TestDatabaseBulkWriteProfilingAndCounters(t *testing.T) {
+	s := NewServer(Options{}) // zero threshold: every op is profiled
+	db := s.Database("db")
+
+	res := db.BulkWrite("c", []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, 1)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 1)), // duplicate
+		storage.UpdateWriteOp(query.UpdateSpec{Query: bson.D(bson.IDKey, 1), Update: bson.D("$set", bson.D("v", 2))}),
+		storage.DeleteWriteOp(bson.D(bson.IDKey, 99), false),
+	}, storage.BulkOptions{})
+	if res.Inserted != 1 || res.Modified != 1 || res.Deleted != 0 || len(res.Errors) != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+
+	counters := s.Counters()
+	if counters.Insert != 2 || counters.Update != 1 || counters.Delete != 1 {
+		t.Fatalf("counters = %+v", counters)
+	}
+
+	entries := s.Profile()
+	if len(entries) != 1 {
+		t.Fatalf("profiled %d entries, want one per batch", len(entries))
+	}
+	e := entries[0]
+	if e.Op != "bulkWrite" || e.Collection != "c" || e.BatchOps != 4 || e.BatchErrors != 1 {
+		t.Fatalf("profile entry = %+v", e)
+	}
+
+	// InsertMany rides the same path: one more batch entry, not 10.
+	docs := make([]*bson.Doc, 10)
+	for i := range docs {
+		docs[i] = bson.D(bson.IDKey, 100+i)
+	}
+	if _, err := db.InsertMany("c", docs); err != nil {
+		t.Fatal(err)
+	}
+	entries = s.Profile()
+	if len(entries) != 2 || entries[1].BatchOps != 10 || entries[1].BatchErrors != 0 {
+		t.Fatalf("profile after InsertMany = %+v", entries)
+	}
+	if got := s.Counters().Insert; got != 12 {
+		t.Fatalf("insert counter = %d", got)
+	}
+}

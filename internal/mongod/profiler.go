@@ -13,6 +13,10 @@ type ProfileEntry struct {
 	Database   string
 	Duration   time.Duration
 	At         time.Time
+	// BatchOps and BatchErrors describe bulk writes: how many ops the batch
+	// carried and how many of them failed. Both are zero for scalar ops.
+	BatchOps    int
+	BatchErrors int
 }
 
 // profiler collects operation timings above the configured threshold.
@@ -26,25 +30,43 @@ type profiler struct {
 func (db *Database) profile(op, coll string) func() {
 	start := time.Now()
 	return func() {
-		elapsed := time.Since(start)
-		if elapsed < db.server.opts.SlowOpThreshold {
-			return
-		}
-		p := &db.server.profiler
-		p.mu.Lock()
-		p.entries = append(p.entries, ProfileEntry{
-			Op:         op,
-			Collection: coll,
-			Database:   db.name,
-			Duration:   elapsed,
-			At:         start,
-		})
-		// Bound memory: keep the most recent 10k entries.
-		if len(p.entries) > 10000 {
-			p.entries = p.entries[len(p.entries)-10000:]
-		}
-		p.mu.Unlock()
+		db.record(op, coll, start, 0, 0)
 	}
+}
+
+// profileBulk starts timing a bulk write of the given batch size; the
+// returned function stops the timer and records the entry together with the
+// per-op failure count the batch produced.
+func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int) {
+	start := time.Now()
+	return func(batchErrors int) {
+		db.record("bulkWrite", coll, start, batchOps, batchErrors)
+	}
+}
+
+// record appends a profile entry when the elapsed time clears the server's
+// slow-op threshold.
+func (db *Database) record(op, coll string, start time.Time, batchOps, batchErrors int) {
+	elapsed := time.Since(start)
+	if elapsed < db.server.opts.SlowOpThreshold {
+		return
+	}
+	p := &db.server.profiler
+	p.mu.Lock()
+	p.entries = append(p.entries, ProfileEntry{
+		Op:          op,
+		Collection:  coll,
+		Database:    db.name,
+		Duration:    elapsed,
+		At:          start,
+		BatchOps:    batchOps,
+		BatchErrors: batchErrors,
+	})
+	// Bound memory: keep the most recent 10k entries.
+	if len(p.entries) > 10000 {
+		p.entries = p.entries[len(p.entries)-10000:]
+	}
+	p.mu.Unlock()
 }
 
 // Profile returns a copy of the recorded profile entries.

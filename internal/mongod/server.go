@@ -124,6 +124,25 @@ func (s *Server) WorkingSetBytes() int64 {
 	return total
 }
 
+// DocsExamined sums the documents examined by read cursors across every
+// collection of the server: a deterministic work measure the experiment
+// harness compares across data models without wall-clock noise.
+func (s *Server) DocsExamined() int64 {
+	s.mu.RLock()
+	dbs := make([]*Database, 0, len(s.dbs))
+	for _, db := range s.dbs {
+		dbs = append(dbs, db)
+	}
+	s.mu.RUnlock()
+	var total int64
+	for _, db := range dbs {
+		for _, coll := range db.Collections() {
+			total += coll.Stats().DocsExamined
+		}
+	}
+	return total
+}
+
 // ServerStatus summarizes the server state.
 type ServerStatus struct {
 	Name            string
@@ -172,6 +191,16 @@ func (s *Server) Status() ServerStatus {
 		st.RAMPressure = float64(st.WorkingSetBytes) / float64(st.RAMBytes)
 	}
 	return st
+}
+
+// countOps bumps the write counters once for a whole bulk batch, mirroring
+// how real opcounters count per document operation.
+func (s *Server) countOps(insert, update, del int64) {
+	s.mu.Lock()
+	s.counters.Insert += insert
+	s.counters.Update += update
+	s.counters.Delete += del
+	s.mu.Unlock()
 }
 
 func (s *Server) countOp(kind string) {
@@ -281,11 +310,34 @@ func (db *Database) Insert(coll string, doc *bson.Doc) (any, error) {
 	return db.Collection(coll).Insert(doc)
 }
 
-// InsertMany adds documents to the named collection.
+// InsertMany adds documents to the named collection. It is a thin wrapper
+// over the bulk-write engine: one profiled batch, one lock acquisition.
 func (db *Database) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
-	db.server.countOp("insert")
-	defer db.profile("insert", coll)()
-	return db.Collection(coll).InsertMany(docs)
+	res := db.BulkWrite(coll, storage.InsertOps(docs), storage.BulkOptions{Ordered: true})
+	return res.CompactInsertedIDs(), res.FirstError()
+}
+
+// BulkWrite executes a mixed batch of writes against the named collection.
+// The profiler records the batch size and how many of its ops failed; the
+// opcounters count each attempted op under its own kind — ops an ordered
+// batch never reached are not counted.
+func (db *Database) BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	stop := db.profileBulk(coll, len(ops))
+	res := db.Collection(coll).BulkWrite(ops, opts)
+	stop(len(res.Errors))
+	var inserts, updates, deletes int64
+	for i := range ops[:res.Attempted] {
+		switch ops[i].Kind {
+		case storage.InsertOp:
+			inserts++
+		case storage.UpdateOp:
+			updates++
+		case storage.DeleteOp:
+			deletes++
+		}
+	}
+	db.server.countOps(inserts, updates, deletes)
+	return res
 }
 
 // Find runs a query against the named collection.

@@ -1,0 +1,231 @@
+package mongos
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"docstore/internal/bson"
+	"docstore/internal/sharding"
+	"docstore/internal/storage"
+)
+
+// subBatch is the portion of a bulk destined for one shard, with the
+// original batch positions of its ops so per-shard results merge back with
+// correct index attribution.
+type subBatch struct {
+	shard   string
+	ops     []storage.WriteOp
+	indices []int
+}
+
+// bulkTargets resolves the shards one bulk op must reach. Inserts always
+// route to exactly one shard through the chunk map; updates and deletes
+// reuse the query-routing logic of targetShards. Routing is read-only —
+// chunk accounting happens in recordInserts just before a sub-batch is
+// dispatched, so ops an ordered batch never reaches are never recorded.
+func (r *Router) bulkTargets(meta *sharding.CollectionMetadata, op *storage.WriteOp) []string {
+	switch op.Kind {
+	case storage.InsertOp:
+		if op.Doc == nil {
+			// Shape errors surface from the storage engine with the right op
+			// index; route the op anywhere.
+			return r.ShardNames()[:1]
+		}
+		shard, _ := meta.ShardForValue(meta.Key.ValueOf(op.Doc))
+		return []string{shard}
+	case storage.UpdateOp:
+		targets, _ := r.targetShards(meta, op.Update.Query)
+		return targets
+	default: // storage.DeleteOp
+		targets, _ := r.targetShards(meta, op.Filter)
+		return targets
+	}
+}
+
+// recordInserts accounts a sub-batch's attempted insert ops in the chunk
+// map (feeding chunk-split decisions, exactly as Insert does) after
+// dispatch, so ops a stopped ordered batch never reached are never
+// recorded. Splits keep both halves on the chunk's shard, so recording
+// after routing cannot invalidate the shard the ops were grouped under.
+func recordInserts(meta *sharding.CollectionMetadata, ops []storage.WriteOp) {
+	for i := range ops {
+		if ops[i].Kind == storage.InsertOp && ops[i].Doc != nil {
+			meta.RecordInsert(meta.Key.ValueOf(ops[i].Doc), bson.EncodedSize(ops[i].Doc))
+		}
+	}
+}
+
+// BulkWrite routes a mixed batch of writes. For an unsharded collection the
+// whole batch is one round-trip to the primary shard. For a sharded
+// collection the batch is partitioned by target shard via the chunk map and
+// dispatched as per-shard sub-batches — one round-trip per shard instead of
+// one per document; unordered sub-batches fan out in parallel goroutines.
+// Ordered mode preserves cross-op ordering the way the real mongos does:
+// maximal contiguous runs targeting the same single shard dispatch
+// sequentially, stopping at the first failure. Ops whose filter spans
+// several shards (broadcast updates/deletes) fall back to the scalar routing
+// path in place.
+func (r *Router) BulkWrite(db, coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	var res storage.BulkResult
+	if len(ops) == 0 {
+		return res
+	}
+	meta := r.config.Metadata(namespace(db, coll))
+	if meta == nil {
+		r.remoteCall()
+		r.recordRouting(true, 0)
+		return r.PrimaryShard().Database(db).BulkWrite(coll, ops, opts)
+	}
+	if opts.Ordered {
+		res = r.bulkOrdered(db, coll, meta, ops, opts)
+	} else {
+		res = r.bulkUnordered(db, coll, meta, ops, opts)
+	}
+	sort.Slice(res.Errors, func(i, j int) bool { return res.Errors[i].Index < res.Errors[j].Index })
+	return res
+}
+
+// bulkUnordered partitions the whole batch by target shard and dispatches
+// every sub-batch concurrently, one goroutine (and one simulated round-trip)
+// per shard. Multi-shard ops run through the scalar path afterwards.
+func (r *Router) bulkUnordered(db, coll string, meta *sharding.CollectionMetadata, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	var res storage.BulkResult
+	groups := make(map[string]*subBatch)
+	var scalars []int
+	for i := range ops {
+		targets := r.bulkTargets(meta, &ops[i])
+		if len(targets) != 1 {
+			scalars = append(scalars, i)
+			continue
+		}
+		sb, ok := groups[targets[0]]
+		if !ok {
+			sb = &subBatch{shard: targets[0]}
+			groups[targets[0]] = sb
+		}
+		sb.ops = append(sb.ops, ops[i])
+		sb.indices = append(sb.indices, i)
+	}
+
+	subs := make([]*subBatch, 0, len(groups))
+	for _, sb := range groups {
+		subs = append(subs, sb)
+	}
+	sort.Slice(subs, func(i, j int) bool { return subs[i].shard < subs[j].shard })
+
+	results := make([]storage.BulkResult, len(subs))
+	var wg sync.WaitGroup
+	for si, sb := range subs {
+		wg.Add(1)
+		go func(si int, sb *subBatch) {
+			defer wg.Done()
+			r.remoteCall()
+			results[si] = r.Shard(sb.shard).Database(db).BulkWrite(coll, sb.ops, opts)
+			recordInserts(meta, sb.ops[:results[si].Attempted])
+		}(si, sb)
+	}
+	wg.Wait()
+	for si, sb := range subs {
+		res.Merge(results[si], sb.indices, len(ops))
+	}
+	for _, i := range scalars {
+		r.applyScalar(db, coll, &ops[i], i, &res, len(ops))
+	}
+	// The grouped dispatch is one logical routed operation; scalar ops
+	// already record themselves inside Update/Delete.
+	if len(subs) > 0 {
+		r.recordRouting(len(scalars) == 0, 0)
+	}
+	return res
+}
+
+// bulkOrdered walks the batch in order, dispatching each maximal contiguous
+// run of same-shard ops as one sub-batch and stopping at the first failure.
+func (r *Router) bulkOrdered(db, coll string, meta *sharding.CollectionMetadata, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	var res storage.BulkResult
+	targeted := true
+	runs := 0
+	i := 0
+	targets := r.bulkTargets(meta, &ops[0])
+	for i < len(ops) {
+		if len(targets) != 1 {
+			targeted = false
+			err := r.applyScalar(db, coll, &ops[i], i, &res, len(ops))
+			i++
+			if err != nil {
+				break
+			}
+			if i < len(ops) {
+				targets = r.bulkTargets(meta, &ops[i])
+			}
+			continue
+		}
+		shard := targets[0]
+		j := i + 1
+		for j < len(ops) {
+			targets = r.bulkTargets(meta, &ops[j])
+			if len(targets) != 1 || targets[0] != shard {
+				break
+			}
+			j++
+		}
+		indices := make([]int, j-i)
+		for k := range indices {
+			indices[k] = i + k
+		}
+		r.remoteCall()
+		runs++
+		subRes := r.Shard(shard).Database(db).BulkWrite(coll, ops[i:j], opts)
+		recordInserts(meta, ops[i:i+subRes.Attempted])
+		res.Merge(subRes, indices, len(ops))
+		if len(res.Errors) > 0 {
+			break
+		}
+		i = j
+	}
+	// As in the unordered path, only the grouped runs count as one routed
+	// operation; scalar fallbacks record themselves.
+	if runs > 0 {
+		r.recordRouting(targeted, 0)
+	}
+	return res
+}
+
+// applyScalar executes one multi-shard op through the router's scalar
+// update/delete paths, preserving their semantics (sequential shard visits,
+// first-match stop for non-multi ops), and folds the outcome into res.
+func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *storage.BulkResult, total int) error {
+	res.Attempted++
+	switch op.Kind {
+	case storage.UpdateOp:
+		ur, err := r.Update(db, coll, op.Update)
+		res.Matched += ur.Matched
+		res.Modified += ur.Modified
+		if ur.UpsertedID != nil {
+			res.Upserted++
+			if res.UpsertedIDs == nil {
+				res.UpsertedIDs = make([]any, total)
+			}
+			res.UpsertedIDs[i] = ur.UpsertedID
+		}
+		if err != nil {
+			res.Errors = append(res.Errors, storage.BulkError{Index: i, Err: err})
+			return err
+		}
+	case storage.DeleteOp:
+		n, err := r.Delete(db, coll, op.Filter, op.Multi)
+		res.Deleted += n
+		if err != nil {
+			res.Errors = append(res.Errors, storage.BulkError{Index: i, Err: err})
+			return err
+		}
+	default:
+		// Mirror the storage engine so both BulkStore adapters reject the
+		// same malformed op the same way.
+		err := fmt.Errorf("mongos: unknown bulk op kind %d", int(op.Kind))
+		res.Errors = append(res.Errors, storage.BulkError{Index: i, Err: err})
+		return err
+	}
+	return nil
+}

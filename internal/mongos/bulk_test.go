@@ -1,0 +1,319 @@
+package mongos
+
+import (
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+func shardCounts(r *Router, db, coll string) map[string]int {
+	out := make(map[string]int)
+	for _, name := range r.ShardNames() {
+		out[name] = r.Shard(name).Database(db).Collection(coll).Count()
+	}
+	return out
+}
+
+// TestBulkWriteUnshardedSingleRoundTrip routes a whole mixed bulk to the
+// primary shard in one shard call.
+func TestBulkWriteUnshardedSingleRoundTrip(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	r.ResetStats()
+	res := r.BulkWrite("db", "plain", []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, 1, "v", 1)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 2, "v", 2)),
+		storage.UpdateWriteOp(query.UpdateSpec{Query: bson.D(bson.IDKey, 1), Update: bson.D("$set", bson.D("v", 10))}),
+		storage.DeleteWriteOp(bson.D(bson.IDKey, 2), false),
+	}, storage.BulkOptions{})
+	if res.FirstError() != nil {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Inserted != 2 || res.Modified != 1 || res.Deleted != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := r.Stats().ShardCalls; got != 1 {
+		t.Fatalf("shard calls = %d, want 1 round trip", got)
+	}
+	if got := r.Shard("Shard1").Database("db").Collection("plain").Count(); got != 1 {
+		t.Fatalf("primary count = %d", got)
+	}
+}
+
+// TestBulkWriteGroupedScatter checks that an unordered sharded bulk issues
+// one shard call per owning shard — not one per document — and that inserted
+// ids merge back under their original batch positions.
+func TestBulkWriteGroupedScatter(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if _, err := r.EnableSharding("db", "sales", bson.D("k", "hashed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]storage.WriteOp, 600)
+	for i := range ops {
+		ops[i] = storage.InsertWriteOp(bson.D(bson.IDKey, i, "k", i))
+	}
+	r.ResetStats()
+	res := r.BulkWrite("db", "sales", ops, storage.BulkOptions{})
+	if res.FirstError() != nil {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Inserted != 600 || res.Attempted != 600 {
+		t.Fatalf("result = %+v", res)
+	}
+	calls := r.Stats().ShardCalls
+	if calls > int64(len(r.ShardNames())) {
+		t.Fatalf("shard calls = %d, want at most one per shard", calls)
+	}
+	// Every shard owns part of the hashed key space at this cardinality.
+	populated, total := 0, 0
+	for _, n := range shardCounts(r, "db", "sales") {
+		total += n
+		if n > 0 {
+			populated++
+		}
+	}
+	if populated != 3 || total != 600 {
+		t.Fatalf("distribution: populated=%d total=%d", populated, total)
+	}
+	// Original-index attribution: slot i carries doc i's _id.
+	for i, id := range res.InsertedIDs {
+		if id == nil || bson.Compare(id, bson.Normalize(i)) != 0 {
+			t.Fatalf("InsertedIDs[%d] = %v", i, id)
+		}
+	}
+}
+
+// TestBulkWriteOrderedStopsAcrossShards verifies ordered mode: a failure in
+// a mid-batch sub-batch prevents every later op from executing, even ops
+// destined for other shards.
+func TestBulkWriteOrderedStopsAcrossShards(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if _, err := r.EnableSharding("db", "sales", bson.D("k", "hashed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	seed := make([]storage.WriteOp, 200)
+	for i := range seed {
+		seed[i] = storage.InsertWriteOp(bson.D(bson.IDKey, i, "k", i))
+	}
+	if res := r.BulkWrite("db", "sales", seed, storage.BulkOptions{}); res.FirstError() != nil {
+		t.Fatal(res.FirstError())
+	}
+
+	ops := []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, 1000, "k", 1000)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 0, "k", 0)), // duplicate _id on its shard
+		storage.InsertWriteOp(bson.D(bson.IDKey, 1001, "k", 1001)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 1002, "k", 1002)),
+	}
+	res := r.BulkWrite("db", "sales", ops, storage.BulkOptions{Ordered: true})
+	if len(res.Errors) != 1 || res.Errors[0].Index != 1 {
+		t.Fatalf("errors = %v", res.Errors)
+	}
+	total := 0
+	for _, n := range shardCounts(r, "db", "sales") {
+		total += n
+	}
+	// Op 0 ran; ops 2 and 3 must not have (they sit after the failure).
+	if res.Inserted != 1 || total != 201 {
+		t.Fatalf("ordered bulk ran past the failure: inserted=%d total=%d", res.Inserted, total)
+	}
+
+	// The same batch unordered inserts everything but the duplicate.
+	unordered := []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, 2000, "k", 2000)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 0, "k", 0)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 2001, "k", 2001)),
+	}
+	res = r.BulkWrite("db", "sales", unordered, storage.BulkOptions{})
+	if res.Inserted != 2 || len(res.Errors) != 1 || res.Errors[0].Index != 1 {
+		t.Fatalf("unordered result = %+v", res)
+	}
+}
+
+// TestBulkWriteOrderedStopDoesNotRecordUnreachedInserts pins the chunk-map
+// accounting: inserts sitting after an ordered failure — destined for a
+// different shard, so never dispatched — must not be recorded as chunk
+// contents.
+func TestBulkWriteOrderedStopDoesNotRecordUnreachedInserts(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	meta, err := r.EnableSharding("db", "sales", bson.D("k", "hashed"), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Probe the hashed key space for two keys owned by different shards.
+	shardOf := func(k int) string {
+		targets := r.bulkTargets(meta, &storage.WriteOp{Kind: storage.InsertOp, Doc: bson.D("k", k)})
+		return targets[0]
+	}
+	kA := 0
+	kB := -1
+	for k := 1; k < 100; k++ {
+		if shardOf(k) != shardOf(kA) {
+			kB = k
+			break
+		}
+	}
+	if kB < 0 {
+		t.Fatalf("no key pair spanning two shards in probe range")
+	}
+	if _, err := r.Insert("db", "sales", bson.D(bson.IDKey, "seed", "k", kA)); err != nil {
+		t.Fatal(err)
+	}
+	recordedBefore := 0
+	for _, n := range meta.DocCountByShard() {
+		recordedBefore += n
+	}
+
+	res := r.BulkWrite("db", "sales", []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, "seed", "k", kA)), // duplicate _id: fails on its shard
+		storage.InsertWriteOp(bson.D(bson.IDKey, "other", "k", kB)),
+	}, storage.BulkOptions{Ordered: true})
+	if res.Inserted != 0 || len(res.Errors) != 1 || res.Errors[0].Index != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	recordedAfter := 0
+	for _, n := range meta.DocCountByShard() {
+		recordedAfter += n
+	}
+	// Op 0 was dispatched (and recorded) but failed; op 1 was never reached
+	// and must not appear in the chunk accounting.
+	if recordedAfter != recordedBefore+1 {
+		t.Fatalf("chunk map records %d docs, want %d: unreached insert was recorded",
+			recordedAfter, recordedBefore+1)
+	}
+}
+
+// TestBulkWriteOrderedStopMidRunRecordsOnlyAttempted pins the same
+// accounting within one contiguous run: a range-sharded collection keeps
+// every op in a single run, and a mid-run duplicate must stop the chunk
+// accounting at the attempted prefix.
+func TestBulkWriteOrderedStopMidRunRecordsOnlyAttempted(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	meta, err := r.EnableSharding("db", "sales", bson.D("k", 1), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Insert("db", "sales", bson.D(bson.IDKey, "seed", "k", 0)); err != nil {
+		t.Fatal(err)
+	}
+	res := r.BulkWrite("db", "sales", []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, "a", "k", 1)),
+		storage.InsertWriteOp(bson.D(bson.IDKey, "seed", "k", 2)), // duplicate
+		storage.InsertWriteOp(bson.D(bson.IDKey, "b", "k", 3)),    // never attempted
+	}, storage.BulkOptions{Ordered: true})
+	if res.Inserted != 1 || res.Attempted != 2 || len(res.Errors) != 1 || res.Errors[0].Index != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	recorded := 0
+	for _, n := range meta.DocCountByShard() {
+		recorded += n
+	}
+	// seed + ops 0 and 1 (attempted, even though op 1 failed); op 2 must not
+	// be recorded.
+	if recorded != 3 {
+		t.Fatalf("chunk map records %d docs, want 3", recorded)
+	}
+}
+
+// TestBulkWriteSpansChunkSplit inserts a bulk big enough to split its range
+// chunks mid-batch: every document must still land on the shard the chunk
+// map assigns, the chunk invariants must hold, and nothing is lost.
+func TestBulkWriteSpansChunkSplit(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	// Range sharding with a tiny chunk size forces splits during the batch.
+	meta, err := r.EnableSharding("db", "sales", bson.D("k", 1), 4<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(meta.Chunks()); got != 1 {
+		t.Fatalf("pre-split chunks = %d", got)
+	}
+	ops := make([]storage.WriteOp, 1000)
+	for i := range ops {
+		ops[i] = storage.InsertWriteOp(bson.D(bson.IDKey, i, "k", i, "pad", "xxxxxxxxxxxxxxxxxxxxxxxxxxxxxxxx"))
+	}
+	res := r.BulkWrite("db", "sales", ops, storage.BulkOptions{})
+	if res.FirstError() != nil || res.Inserted != 1000 {
+		t.Fatalf("result = %+v", res)
+	}
+	if got := len(meta.Chunks()); got < 2 {
+		t.Fatalf("bulk did not span a chunk split: %d chunks", got)
+	}
+	if err := meta.Validate(); err != nil {
+		t.Fatalf("chunk invariants broken after mid-bulk splits: %v", err)
+	}
+	total := 0
+	for _, n := range shardCounts(r, "db", "sales") {
+		total += n
+	}
+	if total != 1000 {
+		t.Fatalf("stored %d of 1000 docs", total)
+	}
+	// Reads through the router still see every document.
+	if n, err := r.Count("db", "sales", nil); err != nil || n != 1000 {
+		t.Fatalf("Count = %d, %v", n, err)
+	}
+}
+
+// TestBulkWriteBroadcastOpsFallBackToScalarPath mixes targeted inserts with
+// a broadcast multi-update and multi-delete whose filters do not pin the
+// shard key.
+func TestBulkWriteBroadcastOpsFallBackToScalarPath(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if _, err := r.EnableSharding("db", "sales", bson.D("k", "hashed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]storage.WriteOp, 0, 203)
+	for i := 0; i < 200; i++ {
+		ops = append(ops, storage.InsertWriteOp(bson.D(bson.IDKey, i, "k", i, "flag", i%2)))
+	}
+	ops = append(ops,
+		storage.UpdateWriteOp(query.UpdateSpec{Query: bson.D("flag", 1), Update: bson.D("$set", bson.D("hot", true)), Multi: true}),
+		storage.DeleteWriteOp(bson.D("flag", 0), true),
+		storage.InsertWriteOp(bson.D(bson.IDKey, 999, "k", 999, "flag", 3)),
+	)
+	res := r.BulkWrite("db", "sales", ops, storage.BulkOptions{})
+	if res.FirstError() != nil {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+	if res.Inserted != 201 || res.Matched != 100 || res.Modified != 100 || res.Deleted != 100 {
+		t.Fatalf("result = %+v", res)
+	}
+	if n, _ := r.Count("db", "sales", nil); n != 101 {
+		t.Fatalf("count after broadcast ops = %d", n)
+	}
+}
+
+// TestRouterInsertManyEquivalence: the InsertMany wrapper must return ids
+// aligned with the documents (each id is the stored _id of its document),
+// exactly as a per-document Insert loop would.
+func TestRouterInsertManyEquivalence(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if _, err := r.EnableSharding("db", "sales", bson.D("k", "hashed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	docs := make([]*bson.Doc, 300)
+	for i := range docs {
+		docs[i] = bson.D("k", i, "v", i) // no _id: the engine assigns ObjectIDs
+	}
+	ids, err := r.InsertMany("db", "sales", docs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ids) != len(docs) {
+		t.Fatalf("got %d ids for %d docs", len(ids), len(docs))
+	}
+	for i, d := range docs {
+		id, ok := d.Get(bson.IDKey)
+		if !ok {
+			t.Fatalf("doc %d was not assigned an _id", i)
+		}
+		if bson.Compare(ids[i], id) != 0 {
+			t.Fatalf("ids[%d] = %v, doc carries %v: order not preserved", i, ids[i], id)
+		}
+	}
+	if n, _ := r.Count("db", "sales", nil); n != 300 {
+		t.Fatalf("count = %d", n)
+	}
+}

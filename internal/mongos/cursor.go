@@ -41,8 +41,8 @@ type Cursor struct {
 // feed is one shard's document stream with a one-document lookahead head
 // used by the sorted merge.
 type feed struct {
-	cur   *storage.Cursor   // sequential mode: pulled lazily
-	ch    chan []*bson.Doc  // parallel mode: filled by a pump goroutine
+	cur   *storage.Cursor  // sequential mode: pulled lazily
+	ch    chan []*bson.Doc // parallel mode: filled by a pump goroutine
 	batch []*bson.Doc
 	pos   int
 	head  *bson.Doc

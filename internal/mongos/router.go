@@ -166,35 +166,15 @@ func (r *Router) Insert(db, coll string, doc *bson.Doc) (any, error) {
 	return r.Shard(shardName).Database(db).Insert(coll, doc)
 }
 
-// InsertMany routes a batch of inserts, grouping per target shard to mirror
-// the driver's batching.
+// InsertMany routes a batch of inserts through the bulk-write engine: the
+// batch is partitioned by target shard and dispatched as one parallel
+// sub-batch per shard — one round-trip per shard instead of one per
+// document. The returned ids follow the original document order; on failure
+// every shard's sub-batch is still attempted and the ids of the documents
+// that did insert are returned alongside the first error.
 func (r *Router) InsertMany(db, coll string, docs []*bson.Doc) ([]any, error) {
-	meta := r.config.Metadata(namespace(db, coll))
-	if meta == nil {
-		r.remoteCall()
-		return r.PrimaryShard().Database(db).InsertMany(coll, docs)
-	}
-	batches := make(map[string][]*bson.Doc)
-	for _, d := range docs {
-		routing := meta.Key.ValueOf(d)
-		shardName := meta.RecordInsert(routing, bson.EncodedSize(d))
-		batches[shardName] = append(batches[shardName], d)
-	}
-	names := make([]string, 0, len(batches))
-	for n := range batches {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	var ids []any
-	for _, n := range names {
-		r.remoteCall()
-		batchIDs, err := r.Shard(n).Database(db).InsertMany(coll, batches[n])
-		ids = append(ids, batchIDs...)
-		if err != nil {
-			return ids, err
-		}
-	}
-	return ids, nil
+	res := r.BulkWrite(db, coll, storage.InsertOps(docs), storage.BulkOptions{})
+	return res.CompactInsertedIDs(), res.FirstError()
 }
 
 // targetShards determines which shards a filter must be sent to. The second

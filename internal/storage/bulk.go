@@ -1,0 +1,259 @@
+package storage
+
+import (
+	"fmt"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// WriteOpKind discriminates the operation a WriteOp carries.
+type WriteOpKind int
+
+// Write operation kinds.
+const (
+	InsertOp WriteOpKind = iota
+	UpdateOp
+	DeleteOp
+)
+
+// String names the kind for diagnostics.
+func (k WriteOpKind) String() string {
+	switch k {
+	case InsertOp:
+		return "insert"
+	case UpdateOp:
+		return "update"
+	case DeleteOp:
+		return "delete"
+	default:
+		return fmt.Sprintf("writeOp(%d)", int(k))
+	}
+}
+
+// WriteOp is one operation of a bulk write: an insert, an update
+// specification, or a delete. Exactly the fields for its Kind are read.
+type WriteOp struct {
+	Kind WriteOpKind
+	// Doc is the document to insert (InsertOp). As with Insert, a missing
+	// _id is assigned in place.
+	Doc *bson.Doc
+	// Update is the update specification (UpdateOp).
+	Update query.UpdateSpec
+	// Filter selects the documents to delete (DeleteOp); Multi removes every
+	// match instead of the first.
+	Filter *bson.Doc
+	Multi  bool
+}
+
+// InsertWriteOp builds an insert op.
+func InsertWriteOp(doc *bson.Doc) WriteOp { return WriteOp{Kind: InsertOp, Doc: doc} }
+
+// UpdateWriteOp builds an update op.
+func UpdateWriteOp(spec query.UpdateSpec) WriteOp { return WriteOp{Kind: UpdateOp, Update: spec} }
+
+// DeleteWriteOp builds a delete op.
+func DeleteWriteOp(filter *bson.Doc, multi bool) WriteOp {
+	return WriteOp{Kind: DeleteOp, Filter: filter, Multi: multi}
+}
+
+// InsertOps wraps a document batch as insert ops, the shape InsertMany and
+// ReplaceContents feed to the bulk engine.
+func InsertOps(docs []*bson.Doc) []WriteOp {
+	ops := make([]WriteOp, len(docs))
+	for i, d := range docs {
+		ops[i] = InsertWriteOp(d)
+	}
+	return ops
+}
+
+// BulkOptions tunes a bulk write.
+type BulkOptions struct {
+	// Ordered stops the batch at the first failing operation, guaranteeing
+	// every op before the failure executed and none after it did. Unordered
+	// attempts every operation and collects all failures.
+	Ordered bool
+}
+
+// BulkError attributes one failure to the operation that caused it.
+type BulkError struct {
+	// Index is the position of the failing op in the batch.
+	Index int
+	Err   error
+}
+
+func (e BulkError) Error() string { return fmt.Sprintf("bulk op %d: %v", e.Index, e.Err) }
+
+// Unwrap exposes the underlying error for errors.Is/As.
+func (e BulkError) Unwrap() error { return e.Err }
+
+// BulkResult reports what a bulk write did, with per-op error attribution.
+type BulkResult struct {
+	Inserted int
+	Matched  int
+	Modified int
+	Upserted int
+	Deleted  int
+	// Attempted is how many ops were executed; ordered batches stop early on
+	// failure, so it can be less than the batch size.
+	Attempted int
+	// InsertedIDs is aligned with the op batch: entry i holds the _id
+	// produced by op i when it was a successful insert, nil otherwise. It is
+	// nil when the batch contains no inserts.
+	InsertedIDs []any
+	// UpsertedIDs is aligned the same way for updates that upserted. It is
+	// nil when no op could upsert.
+	UpsertedIDs []any
+	// Errors lists per-op failures in ascending Index order.
+	Errors []BulkError
+}
+
+// FirstError returns the lowest-index failure, or nil when every attempted
+// op succeeded.
+func (r *BulkResult) FirstError() error {
+	if len(r.Errors) == 0 {
+		return nil
+	}
+	return r.Errors[0].Err
+}
+
+// CompactInsertedIDs returns the inserted ids in batch order with the empty
+// slots (non-insert ops, failed or unattempted inserts) dropped — the shape
+// the InsertMany wrappers return.
+func (r *BulkResult) CompactInsertedIDs() []any {
+	ids := make([]any, 0, len(r.InsertedIDs))
+	for _, id := range r.InsertedIDs {
+		if id != nil {
+			ids = append(ids, id)
+		}
+	}
+	return ids
+}
+
+// Merge folds the counters, aligned id slices and re-indexed errors of a
+// sub-batch result into r. indices maps the sub-batch's op positions to
+// positions in the original batch of size total. The query router uses it to
+// reassemble per-shard results with original-index attribution.
+func (r *BulkResult) Merge(sub BulkResult, indices []int, total int) {
+	r.Inserted += sub.Inserted
+	r.Matched += sub.Matched
+	r.Modified += sub.Modified
+	r.Upserted += sub.Upserted
+	r.Deleted += sub.Deleted
+	r.Attempted += sub.Attempted
+	for k, id := range sub.InsertedIDs {
+		if id == nil {
+			continue
+		}
+		if r.InsertedIDs == nil {
+			r.InsertedIDs = make([]any, total)
+		}
+		r.InsertedIDs[indices[k]] = id
+	}
+	for k, id := range sub.UpsertedIDs {
+		if id == nil {
+			continue
+		}
+		if r.UpsertedIDs == nil {
+			r.UpsertedIDs = make([]any, total)
+		}
+		r.UpsertedIDs[indices[k]] = id
+	}
+	for _, e := range sub.Errors {
+		r.Errors = append(r.Errors, BulkError{Index: indices[e.Index], Err: e.Err})
+	}
+}
+
+// preparedOp is the per-op state computable without the collection lock.
+type preparedOp struct {
+	matcher *query.Matcher
+	err     error
+}
+
+// BulkWrite executes a mixed batch of inserts, updates and deletes under a
+// single write-lock acquisition with per-op error collection. Maintenance
+// work is amortized across the batch: matchers compile before the lock is
+// taken, the record array grows once for all inserts, and tombstone
+// compaction is considered once at the end instead of per delete. Ordered
+// batches stop at the first failure; unordered batches attempt every op.
+func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
+	var res BulkResult
+	if len(ops) == 0 {
+		return res
+	}
+
+	// Phase 1 (no lock): validate shapes and compile matchers.
+	prep := make([]preparedOp, len(ops))
+	inserts, upserts := 0, false
+	for i := range ops {
+		op := &ops[i]
+		switch op.Kind {
+		case InsertOp:
+			inserts++
+			if op.Doc == nil {
+				prep[i].err = fmt.Errorf("storage: bulk insert op has no document")
+			}
+		case UpdateOp:
+			if op.Update.Upsert {
+				upserts = true
+			}
+			prep[i].matcher, prep[i].err = query.Compile(op.Update.Query)
+		case DeleteOp:
+			prep[i].matcher, prep[i].err = query.Compile(op.Filter)
+		default:
+			prep[i].err = fmt.Errorf("storage: unknown bulk op kind %d", int(op.Kind))
+		}
+	}
+	if inserts > 0 {
+		res.InsertedIDs = make([]any, len(ops))
+	}
+	if upserts {
+		res.UpsertedIDs = make([]any, len(ops))
+	}
+
+	// Phase 2 (one lock acquisition): apply the ops.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.reserveLocked(inserts)
+	for i := range ops {
+		res.Attempted++
+		if err := c.applyLocked(&ops[i], prep[i], &res, i); err != nil {
+			res.Errors = append(res.Errors, BulkError{Index: i, Err: err})
+			if opts.Ordered {
+				break
+			}
+		}
+	}
+	c.maybeCompactLocked()
+	return res
+}
+
+// applyLocked executes one bulk op under the held write lock, folding its
+// outcome into res at position i.
+func (c *Collection) applyLocked(op *WriteOp, prep preparedOp, res *BulkResult, i int) error {
+	if prep.err != nil {
+		return prep.err
+	}
+	switch op.Kind {
+	case InsertOp:
+		id, err := c.insertLocked(op.Doc)
+		if err != nil {
+			return err
+		}
+		res.InsertedIDs[i] = id
+		res.Inserted++
+		return nil
+	case UpdateOp:
+		ur, err := c.updateLocked(op.Update, prep.matcher)
+		res.Matched += ur.Matched
+		res.Modified += ur.Modified
+		if ur.UpsertedID != nil {
+			res.Upserted++
+			res.UpsertedIDs[i] = ur.UpsertedID
+		}
+		return err
+	default: // DeleteOp
+		res.Deleted += c.deleteLocked(prep.matcher, op.Multi)
+		return nil
+	}
+}

@@ -55,8 +55,9 @@ type Collection struct {
 	tombs    int
 
 	// stats (atomic: bumped under read locks)
-	scans      atomic.Int64 // collection scans performed
-	indexScans atomic.Int64 // index scans performed
+	scans        atomic.Int64 // collection scans performed
+	indexScans   atomic.Int64 // index scans performed
+	docsExamined atomic.Int64 // documents examined by read cursors
 }
 
 // NewCollection creates an empty collection.
@@ -128,19 +129,30 @@ func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
 }
 
 // InsertMany inserts a batch of documents, stopping at the first error.
-// It returns the ids of the documents inserted so far.
+// It returns the ids of the documents inserted so far, in document order. It
+// is a thin wrapper over the bulk-write engine: the whole batch executes
+// under one lock acquisition.
 func (c *Collection) InsertMany(docs []*bson.Doc) ([]any, error) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	ids := make([]any, 0, len(docs))
-	for _, d := range docs {
-		id, err := c.insertLocked(d)
-		if err != nil {
-			return ids, err
-		}
-		ids = append(ids, id)
+	res := c.BulkWrite(InsertOps(docs), BulkOptions{Ordered: true})
+	return res.CompactInsertedIDs(), res.FirstError()
+}
+
+// reserveLocked grows the record slice capacity ahead of a batch of n
+// inserts so the batch appends without repeated reallocation (each
+// reallocation also freezes open cursor snapshots earlier than necessary).
+// Growth is at least geometric so repeated batches keep the amortized O(1)
+// append cost instead of copying the whole array per batch.
+func (c *Collection) reserveLocked(n int) {
+	if n <= 0 || cap(c.records)-len(c.records) >= n {
+		return
 	}
-	return ids, nil
+	newCap := len(c.records) + n
+	if doubled := 2 * cap(c.records); doubled > newCap {
+		newCap = doubled
+	}
+	grown := make([]record, len(c.records), newCap)
+	copy(grown, c.records)
+	c.records = grown
 }
 
 // FindID returns the document with the given _id, or nil when absent.
@@ -225,6 +237,9 @@ type Stats struct {
 	IndexSizeBytes  int
 	CollScans       int64
 	IndexScans      int64
+	// DocsExamined counts the documents read-path cursors looked at: a
+	// deterministic work measure independent of wall-clock noise.
+	DocsExamined int64
 }
 
 // Stats returns current collection statistics.
@@ -238,6 +253,7 @@ func (c *Collection) Stats() Stats {
 		IndexCount:    len(c.indexes),
 		CollScans:     c.scans.Load(),
 		IndexScans:    c.indexScans.Load(),
+		DocsExamined:  c.docsExamined.Load(),
 	}
 	if c.count > 0 {
 		s.AvgObjSizeBytes = c.dataSize / c.count

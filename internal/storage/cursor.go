@@ -182,6 +182,7 @@ func (cur *Cursor) fill() {
 	}
 
 	c := cur.coll
+	examinedBefore := cur.plan.DocsExamined
 	c.mu.RLock()
 	for !cur.done && (cur.batchSize <= 0 || len(cur.buf) < cur.batchSize) {
 		var r *record
@@ -224,6 +225,7 @@ func (cur *Cursor) fill() {
 		}
 	}
 	c.mu.RUnlock()
+	c.docsExamined.Add(int64(cur.plan.DocsExamined - examinedBefore))
 	if len(cur.buf) == 0 {
 		cur.done = true
 	}

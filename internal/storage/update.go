@@ -16,14 +16,19 @@ type UpdateResult struct {
 // Update applies an update specification: the four-parameter form (query,
 // update, upsert, multi) used throughout the thesis' algorithms.
 func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
-	var res UpdateResult
 	matcher, err := query.Compile(spec.Query)
 	if err != nil {
-		return res, err
+		return UpdateResult{}, err
 	}
-
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	return c.updateLocked(spec, matcher)
+}
+
+// updateLocked executes a pre-compiled update under the caller's write lock;
+// it is the shared implementation behind Update and BulkWrite.
+func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher) (UpdateResult, error) {
+	var res UpdateResult
 
 	// Narrow the candidate set through an index when one matches the query,
 	// exactly as Find does; the denormalization algorithm issues one
@@ -114,17 +119,12 @@ func (c *Collection) UpdateOne(filter, update *bson.Doc) (UpdateResult, error) {
 }
 
 // ReplaceContents drops every document and inserts the given ones; it is the
-// semantics of the aggregation $out stage writing its result collection.
+// semantics of the aggregation $out stage writing its result collection. The
+// batch runs through the bulk-write engine under one lock acquisition.
 func (c *Collection) ReplaceContents(docs []*bson.Doc) error {
 	c.Drop()
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	for _, d := range docs {
-		if _, err := c.insertLocked(d); err != nil {
-			return err
-		}
-	}
-	return nil
+	res := c.BulkWrite(InsertOps(docs), BulkOptions{Ordered: true})
+	return res.FirstError()
 }
 
 // Delete removes documents matching the filter. When multi is false only the
@@ -136,6 +136,15 @@ func (c *Collection) Delete(filter *bson.Doc, multi bool) (int, error) {
 	}
 	c.mu.Lock()
 	defer c.mu.Unlock()
+	removed := c.deleteLocked(matcher, multi)
+	c.maybeCompactLocked()
+	return removed, nil
+}
+
+// deleteLocked removes matching documents under the caller's write lock. It
+// never compacts; callers decide when to pay for compaction so a bulk of
+// deletes triggers at most one rewrite.
+func (c *Collection) deleteLocked(matcher *query.Matcher, multi bool) int {
 	removed := 0
 	for i := range c.records {
 		r := &c.records[i]
@@ -156,10 +165,14 @@ func (c *Collection) Delete(filter *bson.Doc, multi bool) (int, error) {
 			break
 		}
 	}
+	return removed
+}
+
+// maybeCompactLocked rewrites the record array when tombstones dominate it.
+func (c *Collection) maybeCompactLocked() {
 	if c.tombs > len(c.records)/2 && c.tombs > 64 {
 		c.compactLocked()
 	}
-	return removed, nil
 }
 
 // DeleteID removes the document with the given _id.

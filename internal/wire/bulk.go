@@ -1,0 +1,149 @@
+package wire
+
+import (
+	"fmt"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// BulkInsertOp builds the op document for a bulk insert.
+func BulkInsertOp(doc *bson.Doc) *bson.Doc { return bson.D("insert", doc) }
+
+// BulkUpdateOp builds the op document for a bulk update.
+func BulkUpdateOp(q, u *bson.Doc, multi, upsert bool) *bson.Doc {
+	return bson.D("update", bson.D("q", q, "u", u, "multi", multi, "upsert", upsert))
+}
+
+// BulkDeleteOp builds the op document for a bulk delete.
+func BulkDeleteOp(q *bson.Doc, multi bool) *bson.Doc {
+	return bson.D("delete", bson.D("q", q, "multi", multi))
+}
+
+// decodeWriteOp parses one bulkWrite op document into a storage WriteOp.
+func decodeWriteOp(d *bson.Doc) (storage.WriteOp, error) {
+	if v, ok := d.Get("insert"); ok {
+		doc, isDoc := v.(*bson.Doc)
+		if !isDoc {
+			return storage.WriteOp{}, fmt.Errorf("insert op requires a document")
+		}
+		return storage.InsertWriteOp(doc), nil
+	}
+	if v, ok := d.Get("update"); ok {
+		spec, isDoc := v.(*bson.Doc)
+		if !isDoc {
+			return storage.WriteOp{}, fmt.Errorf("update op requires a {q, u, multi, upsert} document")
+		}
+		q, _ := spec.GetOr("q", nil).(*bson.Doc)
+		u, _ := spec.GetOr("u", nil).(*bson.Doc)
+		if u == nil {
+			return storage.WriteOp{}, fmt.Errorf("update op requires a u document")
+		}
+		return storage.UpdateWriteOp(query.UpdateSpec{
+			Query:  q,
+			Update: u,
+			Multi:  bson.Truthy(spec.GetOr("multi", false)),
+			Upsert: bson.Truthy(spec.GetOr("upsert", false)),
+		}), nil
+	}
+	if v, ok := d.Get("delete"); ok {
+		spec, isDoc := v.(*bson.Doc)
+		if !isDoc {
+			return storage.WriteOp{}, fmt.Errorf("delete op requires a {q, multi} document")
+		}
+		q, _ := spec.GetOr("q", nil).(*bson.Doc)
+		return storage.DeleteWriteOp(q, bson.Truthy(spec.GetOr("multi", false))), nil
+	}
+	return storage.WriteOp{}, fmt.Errorf("op document must carry insert, update or delete")
+}
+
+// encodeBulkResult renders a bulk outcome as the response's result document.
+func encodeBulkResult(res storage.BulkResult) *bson.Doc {
+	d := bson.D(
+		"nInserted", res.Inserted,
+		"nMatched", res.Matched,
+		"nModified", res.Modified,
+		"nUpserted", res.Upserted,
+		"nDeleted", res.Deleted,
+		"attempted", res.Attempted,
+	)
+	if res.InsertedIDs != nil {
+		d.Set("insertedIds", append([]any(nil), res.InsertedIDs...))
+	}
+	if res.UpsertedIDs != nil {
+		d.Set("upsertedIds", append([]any(nil), res.UpsertedIDs...))
+	}
+	if len(res.Errors) > 0 {
+		errs := make([]any, len(res.Errors))
+		for i, e := range res.Errors {
+			errs[i] = bson.D("index", e.Index, "errmsg", e.Err.Error())
+		}
+		d.Set("writeErrors", errs)
+	}
+	return d
+}
+
+// BulkWriteError is one per-op failure reported by a bulkWrite.
+type BulkWriteError struct {
+	Index   int
+	Message string
+}
+
+// BulkWriteResult is the decoded outcome of a bulkWrite request.
+type BulkWriteResult struct {
+	Inserted    int64
+	Matched     int64
+	Modified    int64
+	Upserted    int64
+	Deleted     int64
+	Attempted   int64
+	InsertedIDs []any
+	UpsertedIDs []any
+	WriteErrors []BulkWriteError
+}
+
+// decodeBulkWriteResult parses the result document of a bulkWrite response.
+func decodeBulkWriteResult(d *bson.Doc) *BulkWriteResult {
+	res := &BulkWriteResult{}
+	if d == nil {
+		return res
+	}
+	res.Inserted, _ = bson.AsInt(d.GetOr("nInserted", 0))
+	res.Matched, _ = bson.AsInt(d.GetOr("nMatched", 0))
+	res.Modified, _ = bson.AsInt(d.GetOr("nModified", 0))
+	res.Upserted, _ = bson.AsInt(d.GetOr("nUpserted", 0))
+	res.Deleted, _ = bson.AsInt(d.GetOr("nDeleted", 0))
+	res.Attempted, _ = bson.AsInt(d.GetOr("attempted", 0))
+	if v, ok := d.Get("insertedIds"); ok {
+		res.InsertedIDs, _ = v.([]any)
+	}
+	if v, ok := d.Get("upsertedIds"); ok {
+		res.UpsertedIDs, _ = v.([]any)
+	}
+	if v, ok := d.Get("writeErrors"); ok {
+		if arr, isArr := v.([]any); isArr {
+			for _, e := range arr {
+				ed, isDoc := e.(*bson.Doc)
+				if !isDoc {
+					continue
+				}
+				idx, _ := bson.AsInt(ed.GetOr("index", 0))
+				msg, _ := ed.GetOr("errmsg", "").(string)
+				res.WriteErrors = append(res.WriteErrors, BulkWriteError{Index: int(idx), Message: msg})
+			}
+		}
+	}
+	return res
+}
+
+// BulkWrite executes a mixed batch of writes in one round trip. Build ops
+// with BulkInsertOp/BulkUpdateOp/BulkDeleteOp. Per-op failures come back in
+// the result's WriteErrors, not as a transport error.
+func (c *Client) BulkWrite(db, coll string, ops []*bson.Doc, ordered bool) (*BulkWriteResult, error) {
+	resp, err := c.Do(&Request{Op: OpBulkWrite, DB: db, Collection: coll, Docs: ops, Ordered: ordered})
+	if err != nil {
+		return nil, err
+	}
+	return decodeBulkWriteResult(resp.Result), nil
+}

@@ -1,0 +1,88 @@
+package wire
+
+import (
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+)
+
+// TestBulkWriteOverTheWire exercises the bulkWrite op end to end over TCP:
+// a mixed batch, the ordered flag, and the write-error array.
+func TestBulkWriteOverTheWire(t *testing.T) {
+	backend := mongod.NewServer(mongod.Options{})
+	srv := NewServer(backend)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	client, err := Dial(addr, 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	res, err := client.BulkWrite("db", "c", []*bson.Doc{
+		BulkInsertOp(bson.D(bson.IDKey, 1, "v", 1)),
+		BulkInsertOp(bson.D(bson.IDKey, 2, "v", 2)),
+		BulkUpdateOp(bson.D(bson.IDKey, 1), bson.D("$set", bson.D("v", 10)), false, false),
+		BulkDeleteOp(bson.D(bson.IDKey, 2), false),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 2 || res.Matched != 1 || res.Modified != 1 || res.Deleted != 1 || len(res.WriteErrors) != 0 {
+		t.Fatalf("result = %+v", res)
+	}
+	if len(res.InsertedIDs) != 4 || res.InsertedIDs[0] == nil || res.InsertedIDs[2] != nil {
+		t.Fatalf("insertedIds = %v", res.InsertedIDs)
+	}
+
+	// Unordered: the duplicate is reported in writeErrors, later ops run.
+	res, err = client.BulkWrite("db", "c", []*bson.Doc{
+		BulkInsertOp(bson.D(bson.IDKey, 1)), // duplicate
+		BulkInsertOp(bson.D(bson.IDKey, 3)),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || len(res.WriteErrors) != 1 || res.WriteErrors[0].Index != 0 || res.WriteErrors[0].Message == "" {
+		t.Fatalf("unordered result = %+v", res)
+	}
+
+	// Ordered: the batch stops at the duplicate.
+	res, err = client.BulkWrite("db", "c", []*bson.Doc{
+		BulkInsertOp(bson.D(bson.IDKey, 4)),
+		BulkInsertOp(bson.D(bson.IDKey, 1)), // duplicate
+		BulkInsertOp(bson.D(bson.IDKey, 5)),
+	}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Inserted != 1 || res.Attempted != 2 || len(res.WriteErrors) != 1 || res.WriteErrors[0].Index != 1 {
+		t.Fatalf("ordered result = %+v", res)
+	}
+	if n, err := client.Count("db", "c", nil); err != nil || n != 3 { // ids 1, 3, 4
+		t.Fatalf("count = %d, %v", n, err)
+	}
+
+	// An upsert that matches nothing reports its created _id through the
+	// aligned upsertedIds array.
+	res, err = client.BulkWrite("db", "c", []*bson.Doc{
+		BulkInsertOp(bson.D(bson.IDKey, 6)),
+		BulkUpdateOp(bson.D(bson.IDKey, 7), bson.D("$set", bson.D("v", 70)), false, true),
+	}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Upserted != 1 || len(res.UpsertedIDs) != 2 || res.UpsertedIDs[0] != nil || res.UpsertedIDs[1] == nil {
+		t.Fatalf("upsert result = %+v", res)
+	}
+
+	// A malformed op is a request error, not a write error.
+	if _, err := client.BulkWrite("db", "c", []*bson.Doc{bson.D("frobnicate", 1)}, false); err == nil {
+		t.Fatalf("malformed op must fail the request")
+	}
+}

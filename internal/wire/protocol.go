@@ -38,6 +38,12 @@ const (
 	OpGetMore = "getMore"
 	// OpKillCursors closes a server-side cursor before exhaustion.
 	OpKillCursors = "killCursors"
+	// OpBulkWrite executes a mixed batch of inserts/updates/deletes in one
+	// round trip. Ops travel in "docs" (one document per op, built by
+	// BulkInsertOp/BulkUpdateOp/BulkDeleteOp); "ordered" stops the batch at
+	// the first failure. The response carries a "result" document with the
+	// counters, the aligned insertedIds array and the write-error array.
+	OpBulkWrite = "bulkWrite"
 )
 
 // Request is one client request. It is encoded as a flat document so that
@@ -64,6 +70,8 @@ type Request struct {
 	Multi    bool
 	Upsert   bool
 	Unique   bool
+	// Ordered makes a bulkWrite stop at its first failing op.
+	Ordered bool
 }
 
 // encode renders the request as a document.
@@ -121,6 +129,9 @@ func (r *Request) encode() *bson.Doc {
 	}
 	if r.Unique {
 		d.Set("unique", true)
+	}
+	if r.Ordered {
+		d.Set("ordered", true)
 	}
 	return d
 }
@@ -187,6 +198,7 @@ func decodeRequest(d *bson.Doc) *Request {
 	r.Multi = bson.Truthy(d.GetOr("multi", false))
 	r.Upsert = bson.Truthy(d.GetOr("upsert", false))
 	r.Unique = bson.Truthy(d.GetOr("unique", false))
+	r.Ordered = bson.Truthy(d.GetOr("ordered", false))
 	return r
 }
 
@@ -199,6 +211,10 @@ type Response struct {
 	// CursorID is non-zero when a server-side cursor remains open: pass it
 	// to getMore for the next batch. Zero means the result is complete.
 	CursorID int64
+	// Result carries the bulkWrite outcome document (counters, insertedIds,
+	// writeErrors). Per-op write errors are data, not transport errors, so
+	// they ride inside an OK response.
+	Result *bson.Doc
 }
 
 func (r *Response) encode() *bson.Doc {
@@ -217,6 +233,9 @@ func (r *Response) encode() *bson.Doc {
 	d.Set("n", r.N)
 	if r.CursorID != 0 {
 		d.Set("cursorId", r.CursorID)
+	}
+	if r.Result != nil {
+		d.Set("result", r.Result)
 	}
 	return d
 }
@@ -241,6 +260,9 @@ func decodeResponse(d *bson.Doc) *Response {
 	}
 	if v, ok := d.Get("cursorId"); ok {
 		r.CursorID, _ = bson.AsInt(v)
+	}
+	if v, ok := d.Get("result"); ok {
+		r.Result, _ = v.(*bson.Doc)
 	}
 	return r
 }

@@ -252,6 +252,21 @@ func (s *Server) Handle(req *Request) *Response {
 			return &Response{Error: err.Error(), N: int64(len(ids))}
 		}
 		return &Response{OK: true, N: int64(len(ids))}
+	case OpBulkWrite:
+		ops := make([]storage.WriteOp, len(req.Docs))
+		for i, opDoc := range req.Docs {
+			op, err := decodeWriteOp(opDoc)
+			if err != nil {
+				return &Response{Error: fmt.Sprintf("bulkWrite op %d: %v", i, err)}
+			}
+			ops[i] = op
+		}
+		res := db.BulkWrite(req.Collection, ops, storage.BulkOptions{Ordered: req.Ordered})
+		return &Response{
+			OK:     true,
+			N:      int64(res.Inserted + res.Modified + res.Upserted + res.Deleted),
+			Result: encodeBulkResult(res),
+		}
 	case OpFind:
 		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip}
 		if req.Sort != nil {
