@@ -1,7 +1,8 @@
 // Command benchjson converts `go test -bench` text output into a JSON
 // summary (ns/op, B/op, allocs/op and custom metrics per benchmark) and
 // optionally compares it against a previous summary, warning on large
-// allocation regressions. It is the CI perf-regression gate:
+// allocation (B/op) and time (ns/op) regressions. It is the CI
+// perf-regression gate:
 //
 //	go test -run='^$' -bench=. -benchmem -benchtime=1x -count=1 . | \
 //	    benchjson -out BENCH_PR2.json -baseline BENCH_PR1.json
@@ -78,8 +79,11 @@ func parseBench(r io.Reader) (*Summary, error) {
 	return sum, scanner.Err()
 }
 
-// compare warns about benchmarks whose B/op grew beyond threshold times the
-// baseline and returns the number of regressions.
+// compare warns about benchmarks whose B/op or ns/op grew beyond threshold
+// times the baseline and returns the number of regressions. B/op is the
+// stable signal (allocation profiles barely jitter); ns/op is noisier —
+// especially at -benchtime=1x — which is why the comparison is fail-soft by
+// default.
 func compare(w io.Writer, baseline, current *Summary, threshold float64) int {
 	names := make([]string, 0, len(current.Benchmarks))
 	for name := range current.Benchmarks {
@@ -90,13 +94,22 @@ func compare(w io.Writer, baseline, current *Summary, threshold float64) int {
 	for _, name := range names {
 		cur := current.Benchmarks[name]
 		base, ok := baseline.Benchmarks[name]
-		if !ok || base.BytesPerOp <= 0 {
+		if !ok {
 			continue
 		}
-		if ratio := cur.BytesPerOp / base.BytesPerOp; ratio > threshold {
-			regressions++
-			fmt.Fprintf(w, "WARN: %s B/op regressed %.2fx (%.0f -> %.0f)\n",
-				name, ratio, base.BytesPerOp, cur.BytesPerOp)
+		if base.BytesPerOp > 0 {
+			if ratio := cur.BytesPerOp / base.BytesPerOp; ratio > threshold {
+				regressions++
+				fmt.Fprintf(w, "WARN: %s B/op regressed %.2fx (%.0f -> %.0f)\n",
+					name, ratio, base.BytesPerOp, cur.BytesPerOp)
+			}
+		}
+		if base.NsPerOp > 0 {
+			if ratio := cur.NsPerOp / base.NsPerOp; ratio > threshold {
+				regressions++
+				fmt.Fprintf(w, "WARN: %s ns/op regressed %.2fx (%.0f -> %.0f)\n",
+					name, ratio, base.NsPerOp, cur.NsPerOp)
+			}
 		}
 	}
 	return regressions
@@ -106,7 +119,7 @@ func run() error {
 	in := flag.String("in", "-", "bench output to read (- for stdin)")
 	out := flag.String("out", "", "JSON summary to write")
 	baselinePath := flag.String("baseline", "", "previous JSON summary to compare against")
-	threshold := flag.Float64("threshold", 2.0, "warn when B/op exceeds threshold x baseline")
+	threshold := flag.Float64("threshold", 2.0, "warn when B/op or ns/op exceeds threshold x baseline")
 	strict := flag.Bool("strict", false, "exit non-zero on regressions instead of warning")
 	flag.Parse()
 
@@ -146,12 +159,12 @@ func run() error {
 			return fmt.Errorf("parsing baseline: %w", err)
 		}
 		if n := compare(os.Stdout, baseline, sum, *threshold); n > 0 {
-			fmt.Printf("%d B/op regression(s) above %.1fx against %s\n", n, *threshold, *baselinePath)
+			fmt.Printf("%d B/op or ns/op regression(s) above %.1fx against %s\n", n, *threshold, *baselinePath)
 			if *strict {
 				return fmt.Errorf("benchmark regressions in strict mode")
 			}
 		} else {
-			fmt.Printf("no B/op regressions above %.1fx against %s\n", *threshold, *baselinePath)
+			fmt.Printf("no B/op or ns/op regressions above %.1fx against %s\n", *threshold, *baselinePath)
 		}
 	}
 	return nil

@@ -44,12 +44,12 @@ func TestCompareFlagsBigBOpRegressions(t *testing.T) {
 	baseline := &Summary{Benchmarks: map[string]Bench{
 		"A": {BytesPerOp: 1000},
 		"B": {BytesPerOp: 1000},
-		"C": {NsPerOp: 5}, // no B/op: never compared
+		"C": {NsPerOp: 5}, // no B/op: only time is compared
 	}}
 	current := &Summary{Benchmarks: map[string]Bench{
 		"A": {BytesPerOp: 1500},  // 1.5x: fine
 		"B": {BytesPerOp: 2500},  // 2.5x: regression
-		"C": {BytesPerOp: 99999}, // baseline had none
+		"C": {BytesPerOp: 99999}, // baseline had no B/op, current has no ns/op
 		"D": {BytesPerOp: 1},     // new benchmark
 	}}
 	var buf strings.Builder
@@ -58,5 +58,29 @@ func TestCompareFlagsBigBOpRegressions(t *testing.T) {
 	}
 	if !strings.Contains(buf.String(), "B B/op regressed 2.50x") {
 		t.Fatalf("warning output: %q", buf.String())
+	}
+}
+
+func TestCompareFlagsBigNsOpRegressions(t *testing.T) {
+	baseline := &Summary{Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 1000, BytesPerOp: 500},
+		"B": {NsPerOp: 1000},
+		"C": {NsPerOp: 1000, BytesPerOp: 500},
+	}}
+	current := &Summary{Benchmarks: map[string]Bench{
+		"A": {NsPerOp: 1900, BytesPerOp: 500},  // 1.9x: fine
+		"B": {NsPerOp: 2100},                   // 2.1x: regression
+		"C": {NsPerOp: 2500, BytesPerOp: 1500}, // both regress: counted twice
+	}}
+	var buf strings.Builder
+	if n := compare(&buf, baseline, current, 2.0); n != 3 {
+		t.Fatalf("regressions = %d, output:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "B ns/op regressed 2.10x") {
+		t.Fatalf("missing ns/op warning: %q", out)
+	}
+	if !strings.Contains(out, "C B/op regressed 3.00x") || !strings.Contains(out, "C ns/op regressed 2.50x") {
+		t.Fatalf("missing double warning: %q", out)
 	}
 }

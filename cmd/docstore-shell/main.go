@@ -6,7 +6,9 @@
 //	    -eval '{"op":"find","coll":"store_sales","filter":{"ss_quantity":{"$gte":90}},"limit":2}'
 //
 // Without -eval it reads one JSON request per line from standard input. The
-// "db" field may be omitted from requests when -db is given.
+// "db" field may be omitted from requests when -db is given. Write requests
+// accept a "j": true field (writeConcern {j: true}): the server then
+// acknowledges only after the write's WAL record is fsynced.
 package main
 
 import (
@@ -144,5 +146,6 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	req.Upsert = bson.Truthy(doc.GetOr("upsert", false))
 	req.Unique = bson.Truthy(doc.GetOr("unique", false))
 	req.Ordered = bson.Truthy(doc.GetOr("ordered", false))
+	req.Journaled = bson.Truthy(doc.GetOr("j", false))
 	return client.Do(req)
 }

@@ -4,6 +4,19 @@
 //
 //	docstored -addr 127.0.0.1:27017 -name Shard1
 //
+// With -data-dir the server is durable: every write is recorded in a
+// write-ahead log before it applies, startup recovers the last checkpoint
+// plus a log replay (truncating any torn tail left by a crash), and
+// checkpoints prune obsolete log segments. The sync policy is chosen with
+// -wal-sync:
+//
+//	docstored -data-dir /var/lib/docstore -wal-sync group -checkpoint-every 5m
+//
+//	-wal-sync always   one fsync per acknowledged write
+//	-wal-sync group    group commit: concurrent writers share fsyncs (default)
+//	-wal-sync none     fsync only on rotation/shutdown; writeConcern
+//	                   {j: true} still forces one
+//
 // Clients connect with the wire.Client API or cmd/docstore-shell.
 package main
 
@@ -12,9 +25,12 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"sync"
 	"syscall"
+	"time"
 
 	"docstore/internal/mongod"
+	"docstore/internal/wal"
 	"docstore/internal/wire"
 )
 
@@ -23,9 +39,35 @@ func main() {
 	name := flag.String("name", "docstored", "server name reported in stats")
 	ramGB := flag.Int64("ram-gb", 0, "advertised RAM in GiB (informational, drives working-set reporting)")
 	cursorTimeout := flag.Duration("cursor-timeout", wire.DefaultCursorTimeout, "idle timeout after which abandoned server-side cursors are reaped")
+	dataDir := flag.String("data-dir", "", "data directory; enables the write-ahead log and crash recovery when set")
+	walSync := flag.String("wal-sync", "group", "WAL sync policy: always (fsync per write), group (group commit) or none")
+	walGroupInterval := flag.Duration("wal-group-interval", 0, "extra coalescing window for the group-commit leader (0 = flush as soon as the previous fsync completes)")
+	walSegmentMB := flag.Int64("wal-segment-mb", 0, "WAL segment rotation size in MiB (0 = default)")
+	checkpointEvery := flag.Duration("checkpoint-every", 0, "interval between automatic checkpoints (0 = only the shutdown checkpoint)")
 	flag.Parse()
 
 	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30})
+	durable := *dataDir != ""
+	if durable {
+		policy, err := wal.ParseSyncPolicy(*walSync)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
+			os.Exit(1)
+		}
+		stats, err := backend.EnableDurability(mongod.Durability{
+			Dir:                 *dataDir,
+			Sync:                policy,
+			GroupCommitInterval: *walGroupInterval,
+			SegmentMaxBytes:     *walSegmentMB << 20,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: durability: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("docstored: recovered from %s (checkpoint lsn %d, %d collection snapshots, %d wal records replayed)\n",
+			*dataDir, stats.CheckpointLSN, stats.CollectionsLoaded, stats.RecordsReplayed)
+	}
+
 	srv := wire.NewServer(backend)
 	srv.SetCursorTimeout(*cursorTimeout)
 	bound, err := srv.Listen(*addr)
@@ -35,12 +77,52 @@ func main() {
 	}
 	fmt.Printf("docstored %q listening on %s\n", *name, bound)
 
+	stopCheckpoints := make(chan struct{})
+	var checkpointLoop sync.WaitGroup
+	if durable && *checkpointEvery > 0 {
+		checkpointLoop.Add(1)
+		go func() {
+			defer checkpointLoop.Done()
+			ticker := time.NewTicker(*checkpointEvery)
+			defer ticker.Stop()
+			for {
+				select {
+				case <-ticker.C:
+					if st, err := backend.Checkpoint(); err != nil {
+						fmt.Fprintf(os.Stderr, "docstored: checkpoint: %v\n", err)
+					} else if !st.Skipped {
+						fmt.Printf("docstored: checkpoint at lsn %d (%d collections, %d segments pruned)\n",
+							st.LSN, st.Collections, st.SegmentsPruned)
+					}
+				case <-stopCheckpoints:
+					return
+				}
+			}
+		}()
+	}
+
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
 	<-stop
 	fmt.Println("docstored: shutting down")
+	close(stopCheckpoints)
+	// Wait out any in-flight periodic checkpoint: the shutdown checkpoint
+	// below would otherwise be refused as already-in-progress, and closing
+	// the WAL under a running checkpoint would fail its pruning.
+	checkpointLoop.Wait()
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "docstored: close: %v\n", err)
 		os.Exit(1)
+	}
+	if durable {
+		// A shutdown checkpoint makes the next startup a snapshot load
+		// instead of a long replay, and prunes the log while we are at it.
+		if _, err := backend.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: shutdown checkpoint: %v\n", err)
+		}
+		if err := backend.CloseDurability(); err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: closing wal: %v\n", err)
+			os.Exit(1)
+		}
 	}
 }

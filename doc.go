@@ -83,4 +83,67 @@
 // thin wrapper over this path, so the migration and denormalization loaders
 // batch for free. BenchmarkBulkInsertVsLoop measures the win on the wire
 // and router paths.
+//
+// # Durability & recovery
+//
+// The storage engine is made crash-safe by a write-ahead log (internal/wal)
+// that every write layer journals through before applying:
+//
+//   - WAL format: rotating segment files (wal-<firstLSN>.log, fsynced and
+//     immutable once rotated) holding length-prefixed, CRC32C-checksummed
+//     records. A record is a logical batch — the ops of one
+//     storage.BulkWrite, a scalar write as a one-op batch, a collection
+//     clear, or a collection/database drop — so replaying the log re-runs
+//     the same deterministic batch code that ran the first time (insert _ids
+//     are assigned before logging for exactly this reason).
+//   - Sync policies (wal.SyncPolicy): "always" fsyncs once per acknowledged
+//     write; "group" (the default) runs group commit — the first waiter
+//     leads an fsync that covers every record appended before it, so
+//     concurrent writers share disk flushes and acknowledged-write
+//     throughput scales with concurrency (BenchmarkWALGroupCommit measures
+//     the win over per-write fsync); "none" defers to rotation and
+//     shutdown. The flush happens under the append lock but the fsync does
+//     not, which is what lets the next batch fill while the disk works.
+//   - writeConcern semantics: a write on a journaled collection is
+//     acknowledged once its record is durable under the policy.
+//     storage.BulkOptions.Journaled — surfaced as {j: true} ("j") on the
+//     wire protocol's insert/insertMany/update/delete/bulkWrite and in
+//     docstore-shell — escalates any policy to an fsync before
+//     acknowledgement.
+//   - Index durability: EnsureIndex and DropIndex are journaled like
+//     writes (under the same collection lock, so replayed writes see the
+//     same unique-key enforcement the original run did — an insert a
+//     unique index rejected replays as rejected), and checkpoint manifests
+//     carry each snapshot's index definitions so recovery rebuilds the
+//     trees by backfilling.
+//   - Checkpoints (mongod.Server.Checkpoint) reuse the storage snapshot
+//     format: every collection streams to a checkpoint-<lsn> directory
+//     while writes keep flowing, with each snapshot recording the journal
+//     watermark captured under the same lock as its data. WAL segments
+//     fully covered by the checkpoint are pruned, and older checkpoints
+//     are removed once the new one is durable (write to temp dir, fsync,
+//     rename).
+//   - Recovery (mongod.Server.EnableDurability) loads the newest complete
+//     checkpoint, truncates any torn tail — a partial or checksum-failing
+//     record left by a crash mid-append — from the newest segment, and
+//     replays every record newer than each collection's snapshot
+//     watermark. Torn records anywhere else are reported as corruption,
+//     never silently dropped.
+//   - replset shares the log format: oplog entries carry wal.Records,
+//     AttachWAL makes the oplog durable, and LoadOplogFromWAL +
+//     ApplyAll/Sync rebuild members from the log alone.
+//   - docstored enables all of this with -data-dir, selects the policy
+//     with -wal-sync, tunes the coalescing window and segment size with
+//     -wal-group-interval / -wal-segment-mb, and checkpoints periodically
+//     with -checkpoint-every (plus once at shutdown).
+//
+// Two caveats are inherent to logging logical batches before applying
+// them. An upsert that inserts generates its document _id at apply time,
+// so a WAL replay of an upsert can assign a different generated _id than
+// the original run (plain inserts are not affected: ids are assigned
+// before logging; replset sidesteps it by logging the upserted post-image
+// as an insert, so replication stays deterministic). And one batch is one
+// log record, bounded by wal.MaxRecordSize (64 MiB encoded): a journaled
+// bulk write beyond that is rejected whole with a durability error before
+// anything applies — split such loads into smaller batches.
 package docstore

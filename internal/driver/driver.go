@@ -40,7 +40,11 @@ type CursorStore interface {
 type BulkStore interface {
 	Store
 	// BulkWrite executes a mixed batch of inserts/updates/deletes with
-	// per-op error attribution; opts selects ordered or unordered mode.
+	// per-op error attribution; opts selects ordered or unordered mode and
+	// the writeConcern (opts.Journaled is {j: true}: against a durable
+	// deployment the batch is acknowledged only once its write-ahead-log
+	// record is fsynced — the sharded adapter propagates it to every
+	// per-shard sub-batch).
 	BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
 }
 

@@ -1,0 +1,548 @@
+package mongod
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/storage"
+	"docstore/internal/wal"
+)
+
+// Durability configures the server's write-ahead log and checkpointing.
+type Durability struct {
+	// Dir is the data directory: segment files live in Dir/wal and
+	// checkpoint snapshots in Dir/checkpoint-<lsn>.
+	Dir string
+	// Sync is the WAL sync policy (default wal.SyncGroupCommit).
+	Sync wal.SyncPolicy
+	// GroupCommitInterval is the optional extra coalescing window of the
+	// group commit leader; zero flushes as soon as the previous fsync
+	// completes.
+	GroupCommitInterval time.Duration
+	// SegmentMaxBytes rotates WAL segments past this size (0 = default).
+	SegmentMaxBytes int64
+}
+
+// RecoveryStats reports what EnableDurability restored.
+type RecoveryStats struct {
+	// CheckpointLSN is the capture LSN of the checkpoint that seeded the
+	// state, 0 when starting fresh.
+	CheckpointLSN int64
+	// CollectionsLoaded is how many collection snapshots were read.
+	CollectionsLoaded int
+	// RecordsReplayed is how many WAL records were applied on top.
+	RecordsReplayed int
+}
+
+// CheckpointStats reports what a checkpoint did.
+type CheckpointStats struct {
+	// LSN is the checkpoint's capture LSN (its directory suffix).
+	LSN int64
+	// Collections is how many collection snapshots were written.
+	Collections int
+	// SegmentsPruned is how many WAL segment files became obsolete.
+	SegmentsPruned int
+	// Skipped reports that the newest checkpoint already covers the whole
+	// log (no journaled mutation since), so nothing was written.
+	Skipped bool
+}
+
+// durableState is the per-server durability runtime, published atomically on
+// the Server so the hot write path reads it without locks.
+type durableState struct {
+	wal  *wal.WAL
+	dir  string
+	opts Durability
+
+	checkpointMu chan struct{} // 1-buffered: held while a checkpoint runs
+}
+
+const manifestName = "MANIFEST.json"
+
+// checkpointManifest is the JSON document describing one checkpoint.
+type checkpointManifest struct {
+	// CaptureLSN is the WAL position read before the first snapshot; no
+	// record at or below it is missing from the checkpoint.
+	CaptureLSN  int64             `json:"capture_lsn"`
+	Collections []checkpointEntry `json:"collections"`
+}
+
+type checkpointEntry struct {
+	DB      string          `json:"db"`
+	Coll    string          `json:"coll"`
+	File    string          `json:"file"`
+	LastLSN int64           `json:"last_lsn"`
+	Count   int             `json:"count"`
+	Indexes []manifestIndex `json:"indexes,omitempty"`
+}
+
+// manifestIndex persists one secondary index definition; the spec document
+// travels as its extended-JSON rendering inside the JSON manifest.
+type manifestIndex struct {
+	Spec   string `json:"spec"`
+	Unique bool   `json:"unique,omitempty"`
+}
+
+// collJournal adapts the server's WAL to the storage engine's Journal
+// interface for one collection.
+type collJournal struct {
+	w    *wal.WAL
+	db   string
+	coll string
+}
+
+func (j *collJournal) LogBatch(ops []storage.WriteOp, ordered bool) (storage.CommitWaiter, error) {
+	commit, err := j.w.Append(&wal.Record{Kind: wal.KindBatch, DB: j.db, Coll: j.coll, Ordered: ordered, Ops: ops})
+	if err != nil {
+		return nil, err
+	}
+	return commit, nil
+}
+
+func (j *collJournal) LogClear() (storage.CommitWaiter, error) {
+	commit, err := j.w.Append(&wal.Record{Kind: wal.KindClear, DB: j.db, Coll: j.coll})
+	if err != nil {
+		return nil, err
+	}
+	return commit, nil
+}
+
+func (j *collJournal) LogEnsureIndex(spec *bson.Doc, unique bool) (storage.CommitWaiter, error) {
+	commit, err := j.w.Append(&wal.Record{Kind: wal.KindEnsureIndex, DB: j.db, Coll: j.coll, Spec: spec, Unique: unique})
+	if err != nil {
+		return nil, err
+	}
+	return commit, nil
+}
+
+func (j *collJournal) LogDropIndex(name string) (storage.CommitWaiter, error) {
+	commit, err := j.w.Append(&wal.Record{Kind: wal.KindDropIndex, DB: j.db, Coll: j.coll, Index: name})
+	if err != nil {
+		return nil, err
+	}
+	return commit, nil
+}
+
+// DurabilityEnabled reports whether the server writes a WAL.
+func (s *Server) DurabilityEnabled() bool { return s.durable.Load() != nil }
+
+// WALDir returns the WAL segment directory, or "" when durability is off.
+func (s *Server) WALDir() string {
+	ds := s.durable.Load()
+	if ds == nil {
+		return ""
+	}
+	return ds.wal.Dir()
+}
+
+// EnableDurability opens the write-ahead log under d.Dir, recovers the
+// server's state (newest checkpoint snapshot first, then a replay of the
+// records the snapshot does not cover, with any torn tail truncated away),
+// and attaches the WAL to every collection so subsequent writes are logged
+// before they apply. It must be called before the server starts serving.
+//
+// Recovery populates the server, so it is meant for servers constructed
+// empty; collections that already hold data keep it, but that data is not
+// crash-safe until the next Checkpoint.
+func (s *Server) EnableDurability(d Durability) (RecoveryStats, error) {
+	var stats RecoveryStats
+	if s.durable.Load() != nil {
+		return stats, fmt.Errorf("mongod: durability already enabled")
+	}
+	if d.Dir == "" {
+		return stats, fmt.Errorf("mongod: Durability.Dir is required")
+	}
+	if err := os.MkdirAll(d.Dir, 0o755); err != nil {
+		return stats, err
+	}
+	w, err := wal.Open(wal.Options{
+		Dir:                 filepath.Join(d.Dir, "wal"),
+		Sync:                d.Sync,
+		GroupCommitInterval: d.GroupCommitInterval,
+		SegmentMaxBytes:     d.SegmentMaxBytes,
+	})
+	if err != nil {
+		return stats, err
+	}
+	// Phase 1: seed from the newest complete checkpoint, recording each
+	// collection's snapshot watermark so the replay below can skip records
+	// the snapshot already contains.
+	cpLSN, cpDir, err := newestCheckpoint(d.Dir)
+	if err != nil {
+		w.Close()
+		return stats, err
+	}
+	if cpDir != "" {
+		n, err := s.loadCheckpoint(cpDir)
+		if err != nil {
+			w.Close()
+			return stats, fmt.Errorf("mongod: loading checkpoint %s: %w", cpDir, err)
+		}
+		stats.CheckpointLSN = cpLSN
+		stats.CollectionsLoaded = n
+	}
+	// Phase 2: replay the log on top. Collections have no journal attached
+	// yet, so replayed writes are not re-logged.
+	err = wal.Replay(w.Dir(), func(rec *wal.Record) error {
+		if s.applyRecord(rec) {
+			stats.RecordsReplayed++
+		}
+		return nil
+	})
+	if err != nil {
+		w.Close()
+		return stats, fmt.Errorf("mongod: replaying wal: %w", err)
+	}
+	// Phase 3: go live. Publishing durableState first makes lazily-created
+	// collections pick up journals; then existing collections are wired.
+	ds := &durableState{wal: w, dir: d.Dir, opts: d, checkpointMu: make(chan struct{}, 1)}
+	s.durable.Store(ds)
+	for _, dbName := range s.DatabaseNames() {
+		db := s.Database(dbName)
+		for _, collName := range db.CollectionNames() {
+			db.Collection(collName).SetJournal(&collJournal{w: w, db: dbName, coll: collName})
+		}
+	}
+	return stats, nil
+}
+
+// applyRecord applies one replayed WAL record, reporting whether it did
+// anything. Records already reflected in a checkpoint snapshot are skipped
+// by comparing against each collection's snapshot watermark.
+func (s *Server) applyRecord(rec *wal.Record) bool {
+	switch rec.Kind {
+	case wal.KindBatch:
+		coll := s.Database(rec.DB).Collection(rec.Coll)
+		if rec.LSN <= coll.LastLSN() {
+			return false
+		}
+		// Per-op failures replay exactly as they failed before the crash
+		// (the log records the attempt, not the outcome), so they are not
+		// recovery errors.
+		coll.BulkWrite(rec.Ops, storage.BulkOptions{Ordered: rec.Ordered})
+		coll.SetReplayLSN(rec.LSN)
+		return true
+	case wal.KindClear:
+		coll := s.Database(rec.DB).Collection(rec.Coll)
+		if rec.LSN <= coll.LastLSN() {
+			return false
+		}
+		coll.Drop()
+		coll.SetReplayLSN(rec.LSN)
+		return true
+	case wal.KindEnsureIndex:
+		coll := s.Database(rec.DB).Collection(rec.Coll)
+		if rec.LSN <= coll.LastLSN() {
+			return false
+		}
+		// A backfill failure (unique violation on the data as of this
+		// point in the log) failed identically before the crash; either
+		// way the outcome is deterministic.
+		_, _ = coll.EnsureIndexDoc(rec.Spec, rec.Unique)
+		coll.SetReplayLSN(rec.LSN)
+		return true
+	case wal.KindDropIndex:
+		coll := s.Database(rec.DB).Collection(rec.Coll)
+		if rec.LSN <= coll.LastLSN() {
+			return false
+		}
+		coll.DropIndex(rec.Index)
+		coll.SetReplayLSN(rec.LSN)
+		return true
+	case wal.KindDropCollection:
+		db := s.Database(rec.DB)
+		// A snapshot watermark at or past the drop means the collection in
+		// memory is a later incarnation restored from the checkpoint.
+		if db.HasCollection(rec.Coll) && db.Collection(rec.Coll).LastLSN() >= rec.LSN {
+			return false
+		}
+		return db.DropCollection(rec.Coll)
+	case wal.KindDropDatabase:
+		db, ok := s.lookupDatabase(rec.DB)
+		if !ok {
+			return false
+		}
+		// The drop kills exactly the collections that existed before it:
+		// those whose watermark is below the drop LSN. Collections restored
+		// from a checkpoint taken after a same-name database was recreated
+		// carry higher watermarks and survive — an all-or-nothing skip here
+		// would let pre-drop collections replayed from older records ride
+		// along with them and resurrect.
+		dropped := false
+		for _, coll := range db.Collections() {
+			if coll.LastLSN() < rec.LSN {
+				db.DropCollection(coll.Name())
+				dropped = true
+			}
+		}
+		if len(db.CollectionNames()) == 0 {
+			dropped = s.DropDatabase(rec.DB) || dropped
+		}
+		return dropped
+	default:
+		return false
+	}
+}
+
+// logStructuralLocked appends a drop-collection / drop-database record
+// while the caller still holds the lock that removed the entry, so the
+// record's LSN orders after every write of the dropped incarnation and
+// before any write of a same-name successor (which must re-enter that lock
+// to be created). The returned commit is waited on after the lock is
+// released; an append error means the drop never entered the log and the
+// caller must undo the in-memory removal. A nil commit means durability is
+// off.
+func (s *Server) logStructuralLocked(kind wal.RecordKind, db, coll string) (*wal.Commit, error) {
+	ds := s.durable.Load()
+	if ds == nil {
+		return nil, nil
+	}
+	return ds.wal.Append(&wal.Record{Kind: kind, DB: db, Coll: coll})
+}
+
+// newestCheckpoint finds the highest-LSN complete checkpoint directory.
+func newestCheckpoint(dir string) (int64, string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return 0, "", err
+	}
+	bestLSN, bestDir := int64(-1), ""
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, "checkpoint-") {
+			continue
+		}
+		lsn, err := strconv.ParseInt(strings.TrimPrefix(name, "checkpoint-"), 10, 64)
+		if err != nil {
+			continue
+		}
+		if _, err := os.Stat(filepath.Join(dir, name, manifestName)); err != nil {
+			continue
+		}
+		if lsn > bestLSN {
+			bestLSN, bestDir = lsn, filepath.Join(dir, name)
+		}
+	}
+	if bestDir == "" {
+		return 0, "", nil
+	}
+	return bestLSN, bestDir, nil
+}
+
+// loadCheckpoint restores every collection snapshot of one checkpoint.
+func (s *Server) loadCheckpoint(cpDir string) (int, error) {
+	data, err := os.ReadFile(filepath.Join(cpDir, manifestName))
+	if err != nil {
+		return 0, err
+	}
+	var m checkpointManifest
+	if err := json.Unmarshal(data, &m); err != nil {
+		return 0, fmt.Errorf("parsing manifest: %w", err)
+	}
+	for _, e := range m.Collections {
+		coll := s.Database(e.DB).Collection(e.Coll)
+		f, err := os.Open(filepath.Join(cpDir, e.File))
+		if err != nil {
+			return 0, err
+		}
+		err = coll.ReadSnapshot(f)
+		f.Close()
+		if err != nil {
+			return 0, fmt.Errorf("snapshot %s (%s.%s): %w", e.File, e.DB, e.Coll, err)
+		}
+		if got := coll.Count(); got != e.Count {
+			return 0, fmt.Errorf("snapshot %s (%s.%s): loaded %d documents, manifest says %d", e.File, e.DB, e.Coll, got, e.Count)
+		}
+		for _, ix := range e.Indexes {
+			spec, err := bson.FromJSONString(ix.Spec)
+			if err != nil {
+				return 0, fmt.Errorf("snapshot %s (%s.%s): index spec %q: %w", e.File, e.DB, e.Coll, ix.Spec, err)
+			}
+			if _, err := coll.EnsureIndexDoc(spec, ix.Unique); err != nil {
+				return 0, fmt.Errorf("snapshot %s (%s.%s): rebuilding index %s: %w", e.File, e.DB, e.Coll, ix.Spec, err)
+			}
+		}
+		coll.SetReplayLSN(e.LastLSN)
+	}
+	return len(m.Collections), nil
+}
+
+// Checkpoint writes a snapshot of every collection, fsyncs it into a
+// checkpoint directory, prunes WAL segments the checkpoint makes obsolete
+// and removes older checkpoints. Writes keep flowing while it runs: each
+// collection snapshot carries the journal watermark captured under the same
+// lock as its data, so recovery knows exactly which records each snapshot
+// already contains.
+func (s *Server) Checkpoint() (CheckpointStats, error) {
+	var stats CheckpointStats
+	ds := s.durable.Load()
+	if ds == nil {
+		return stats, fmt.Errorf("mongod: durability is not enabled")
+	}
+	select {
+	case ds.checkpointMu <- struct{}{}:
+		defer func() { <-ds.checkpointMu }()
+	default:
+		return stats, fmt.Errorf("mongod: checkpoint already in progress")
+	}
+
+	captureLSN := ds.wal.LastLSN()
+	// Every mutation is journaled, so an unchanged capture LSN means the
+	// newest checkpoint still describes the exact current state; periodic
+	// checkpointing of an idle server then costs nothing.
+	if lsn, dir, err := newestCheckpoint(ds.dir); err == nil && dir != "" && lsn == captureLSN {
+		return CheckpointStats{LSN: captureLSN, Skipped: true}, nil
+	}
+	tmp := filepath.Join(ds.dir, "checkpoint.tmp")
+	if err := os.RemoveAll(tmp); err != nil {
+		return stats, err
+	}
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return stats, err
+	}
+	manifest := checkpointManifest{CaptureLSN: captureLSN}
+	idx := 0
+	for _, dbName := range s.DatabaseNames() {
+		// Non-creating lookups throughout: Checkpoint runs concurrently
+		// with drops, and the create-on-absent accessors would resurrect a
+		// just-dropped database or collection as an empty shell — worse, a
+		// recreated collection would enter the manifest with watermark 0
+		// and let the prune cutoff eat the drop record.
+		db, ok := s.lookupDatabase(dbName)
+		if !ok {
+			continue
+		}
+		for _, coll := range db.Collections() {
+			file := fmt.Sprintf("snap-%06d.bin", idx)
+			idx++
+			info, err := writeCollectionSnapshot(filepath.Join(tmp, file), coll)
+			if err != nil {
+				return stats, err
+			}
+			entry := checkpointEntry{
+				DB: dbName, Coll: coll.Name(), File: file, LastLSN: info.LastLSN, Count: info.Count,
+			}
+			for _, ix := range info.Indexes {
+				entry.Indexes = append(entry.Indexes, manifestIndex{Spec: ix.Spec.ToJSON(), Unique: ix.Unique})
+			}
+			manifest.Collections = append(manifest.Collections, entry)
+		}
+	}
+	data, err := json.MarshalIndent(&manifest, "", "  ")
+	if err != nil {
+		return stats, err
+	}
+	if err := writeFileSync(filepath.Join(tmp, manifestName), data); err != nil {
+		return stats, err
+	}
+	if err := wal.SyncDir(tmp); err != nil {
+		return stats, err
+	}
+	final := filepath.Join(ds.dir, fmt.Sprintf("checkpoint-%016d", captureLSN))
+	if err := os.RemoveAll(final); err != nil {
+		return stats, err
+	}
+	if err := os.Rename(tmp, final); err != nil {
+		return stats, err
+	}
+	if err := wal.SyncDir(ds.dir); err != nil {
+		return stats, err
+	}
+	stats.LSN = captureLSN
+	stats.Collections = len(manifest.Collections)
+
+	// Prune: a segment is obsolete once every record in it is at or below
+	// every snapshot watermark (and below the capture LSN, which bounds
+	// collections whose watermark is 0 because they were never written).
+	cutoff := captureLSN
+	for _, e := range manifest.Collections {
+		if e.LastLSN > 0 && e.LastLSN < cutoff {
+			cutoff = e.LastLSN
+		}
+	}
+	pruned, err := ds.wal.Prune(cutoff)
+	stats.SegmentsPruned = pruned
+	if err != nil {
+		return stats, err
+	}
+	// Older checkpoints are superseded.
+	entries, err := os.ReadDir(ds.dir)
+	if err != nil {
+		return stats, err
+	}
+	for _, e := range entries {
+		name := e.Name()
+		if !e.IsDir() || !strings.HasPrefix(name, "checkpoint-") || filepath.Join(ds.dir, name) == final {
+			continue
+		}
+		if lsn, err := strconv.ParseInt(strings.TrimPrefix(name, "checkpoint-"), 10, 64); err == nil && lsn < captureLSN {
+			if err := os.RemoveAll(filepath.Join(ds.dir, name)); err != nil {
+				return stats, err
+			}
+		}
+	}
+	return stats, nil
+}
+
+// CloseDurability flushes and closes the WAL. The server must not serve
+// writes afterwards; call Checkpoint first for a fast next startup.
+func (s *Server) CloseDurability() error {
+	ds := s.durable.Load()
+	if ds == nil {
+		return nil
+	}
+	return ds.wal.Close()
+}
+
+func writeCollectionSnapshot(path string, coll *storage.Collection) (storage.SnapshotInfo, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return storage.SnapshotInfo{}, err
+	}
+	info, err := coll.Snapshot(f)
+	if err != nil {
+		f.Close()
+		return info, err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return info, err
+	}
+	return info, f.Close()
+}
+
+func writeFileSync(path string, data []byte) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sortedCheckpointNames is a test helper listing checkpoint directories.
+func sortedCheckpointNames(dir string) []string {
+	entries, _ := os.ReadDir(dir)
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "checkpoint-") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names
+}

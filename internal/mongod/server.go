@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"docstore/internal/aggregate"
@@ -16,6 +17,7 @@ import (
 	"docstore/internal/index"
 	"docstore/internal/query"
 	"docstore/internal/storage"
+	"docstore/internal/wal"
 )
 
 // Options configures a server.
@@ -41,6 +43,11 @@ type Server struct {
 
 	counters OpCounters
 	profiler profiler
+
+	// durable, when non-nil, holds the write-ahead log every collection
+	// journals through (see durability.go). It is read lock-free on the
+	// write path.
+	durable atomic.Pointer[durableState]
 }
 
 // OpCounters mirrors serverStatus opcounters.
@@ -65,6 +72,16 @@ func (s *Server) Name() string { return s.opts.Name }
 
 // Options returns the server options.
 func (s *Server) Options() Options { return s.opts }
+
+// lookupDatabase returns the named database without creating it, so
+// observers (checkpoints, stats) cannot resurrect a concurrently dropped
+// database as an empty shell.
+func (s *Server) lookupDatabase(name string) (*Database, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	db, ok := s.dbs[name]
+	return db, ok
+}
 
 // Database returns the named database, creating it when absent.
 func (s *Server) Database(name string) *Database {
@@ -91,14 +108,52 @@ func (s *Server) DatabaseNames() []string {
 }
 
 // DropDatabase removes the named database and reports whether it existed.
+// With durability enabled the drop is journaled under the same lock that
+// removes it — so it cannot interleave with writes to a recreated same-name
+// database — and the drop is refused (false) if the record cannot enter the
+// log, since recovery would otherwise resurrect the data.
 func (s *Server) DropDatabase(name string) bool {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.dbs[name]; !ok {
+	db, ok := s.dbs[name]
+	if !ok {
+		s.mu.Unlock()
 		return false
 	}
 	delete(s.dbs, name)
+	// Seal every collection's journal before logging the drop: detaching
+	// waits out any writer holding the collection lock, so every record of
+	// the dropped incarnation — even from a writer that resolved its
+	// *Collection before the drop — has a lower LSN than the drop record.
+	for _, coll := range db.Collections() {
+		coll.SetJournal(nil)
+	}
+	commit, err := s.logStructuralLocked(wal.KindDropDatabase, name, "")
+	if err != nil {
+		s.dbs[name] = db
+		s.reattachJournals(db)
+		s.mu.Unlock()
+		return false
+	}
+	s.mu.Unlock()
+	if commit != nil {
+		// A wait failure here means "not durable yet", not "not logged";
+		// the record is buffered and syncs with the next flush, the same
+		// window every non-journaled write has.
+		_ = commit.Wait(false)
+	}
 	return true
+}
+
+// reattachJournals re-wires a database's collections to the WAL after a
+// failed drop restored it. The caller holds s.mu.
+func (s *Server) reattachJournals(db *Database) {
+	ds := s.durable.Load()
+	if ds == nil {
+		return
+	}
+	for _, name := range db.CollectionNames() {
+		db.Collection(name).SetJournal(&collJournal{w: ds.wal, db: db.name, coll: name})
+	}
 }
 
 // Counters returns a snapshot of the operation counters.
@@ -236,13 +291,18 @@ func newDatabase(name string, server *Server) *Database {
 // Name returns the database name.
 func (db *Database) Name() string { return db.name }
 
-// Collection returns the named collection, creating it when absent.
+// Collection returns the named collection, creating it when absent. On a
+// durable server a new collection is born with its journal attached, so its
+// very first write is already logged.
 func (db *Database) Collection(name string) *storage.Collection {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	c, ok := db.colls[name]
 	if !ok {
 		c = storage.NewCollection(name)
+		if ds := db.server.durable.Load(); ds != nil {
+			c.SetJournal(&collJournal{w: ds.wal, db: db.name, coll: name})
+		}
 		db.colls[name] = c
 	}
 	return c
@@ -268,26 +328,57 @@ func (db *Database) CollectionNames() []string {
 	return names
 }
 
-// Collections returns the collections in name order.
+// Collections returns the collections in name order. Collections dropped
+// between the name listing and the lookup are skipped, never returned as
+// nil entries.
 func (db *Database) Collections() []*storage.Collection {
 	names := db.CollectionNames()
 	out := make([]*storage.Collection, 0, len(names))
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	for _, n := range names {
-		out = append(out, db.colls[n])
+		if c, ok := db.colls[n]; ok {
+			out = append(out, c)
+		}
 	}
 	return out
 }
 
-// DropCollection removes the named collection and reports whether it existed.
+// DropCollection removes the named collection and reports whether it
+// existed. With durability enabled the drop is journaled under the same
+// lock that removes it — a recreated same-name collection must re-enter
+// this lock, so its writes always log after the drop record — and the drop
+// is refused (false) if the record cannot enter the log, since recovery
+// would otherwise resurrect the collection.
 func (db *Database) DropCollection(name string) bool {
 	db.mu.Lock()
-	defer db.mu.Unlock()
-	if _, ok := db.colls[name]; !ok {
+	c, ok := db.colls[name]
+	if !ok {
+		db.mu.Unlock()
 		return false
 	}
 	delete(db.colls, name)
+	// Seal the journal before logging the drop: SetJournal takes the
+	// collection's write lock, so it waits out any in-flight writer — even
+	// one that resolved the *Collection before the drop — guaranteeing
+	// every record of this incarnation has a lower LSN than the drop
+	// record, and no acknowledged write can be destroyed by its replay.
+	c.SetJournal(nil)
+	commit, err := db.server.logStructuralLocked(wal.KindDropCollection, db.name, name)
+	if err != nil {
+		db.colls[name] = c
+		if ds := db.server.durable.Load(); ds != nil {
+			c.SetJournal(&collJournal{w: ds.wal, db: db.name, coll: name})
+		}
+		db.mu.Unlock()
+		return false
+	}
+	db.mu.Unlock()
+	if commit != nil {
+		// See DropDatabase: a wait failure is a durability delay, not a
+		// lost record.
+		_ = commit.Wait(false)
+	}
 	return true
 }
 

@@ -6,6 +6,8 @@ import (
 	"sync"
 
 	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/query"
 	"docstore/internal/sharding"
 	"docstore/internal/storage"
 )
@@ -130,7 +132,7 @@ func (r *Router) bulkUnordered(db, coll string, meta *sharding.CollectionMetadat
 		res.Merge(results[si], sb.indices, len(ops))
 	}
 	for _, i := range scalars {
-		r.applyScalar(db, coll, &ops[i], i, &res, len(ops))
+		r.applyScalar(db, coll, &ops[i], i, &res, len(ops), opts.Journaled)
 	}
 	// The grouped dispatch is one logical routed operation; scalar ops
 	// already record themselves inside Update/Delete.
@@ -151,7 +153,7 @@ func (r *Router) bulkOrdered(db, coll string, meta *sharding.CollectionMetadata,
 	for i < len(ops) {
 		if len(targets) != 1 {
 			targeted = false
-			err := r.applyScalar(db, coll, &ops[i], i, &res, len(ops))
+			err := r.applyScalar(db, coll, &ops[i], i, &res, len(ops), opts.Journaled)
 			i++
 			if err != nil {
 				break
@@ -193,13 +195,22 @@ func (r *Router) bulkOrdered(db, coll string, meta *sharding.CollectionMetadata,
 }
 
 // applyScalar executes one multi-shard op through the router's scalar
-// update/delete paths, preserving their semantics (sequential shard visits,
-// first-match stop for non-multi ops), and folds the outcome into res.
-func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *storage.BulkResult, total int) error {
+// update/delete semantics (sequential shard visits, first-match stop for
+// non-multi ops) and folds the outcome into res. When the batch carries
+// {j: true}, the per-shard calls go through one-op journaled sub-batches
+// instead of the plain scalar paths — which cannot carry a writeConcern —
+// so the escalation reaches every shard the broadcast touches.
+func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *storage.BulkResult, total int, journaled bool) error {
 	res.Attempted++
 	switch op.Kind {
 	case storage.UpdateOp:
-		ur, err := r.Update(db, coll, op.Update)
+		var ur storage.UpdateResult
+		var err error
+		if journaled {
+			ur, err = r.journaledUpdate(db, coll, op.Update)
+		} else {
+			ur, err = r.Update(db, coll, op.Update)
+		}
 		res.Matched += ur.Matched
 		res.Modified += ur.Modified
 		if ur.UpsertedID != nil {
@@ -214,7 +225,13 @@ func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *s
 			return err
 		}
 	case storage.DeleteOp:
-		n, err := r.Delete(db, coll, op.Filter, op.Multi)
+		var n int
+		var err error
+		if journaled {
+			n, err = r.journaledDelete(db, coll, op.Filter, op.Multi)
+		} else {
+			n, err = r.Delete(db, coll, op.Filter, op.Multi)
+		}
 		res.Deleted += n
 		if err != nil {
 			res.Errors = append(res.Errors, storage.BulkError{Index: i, Err: err})
@@ -228,4 +245,27 @@ func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *s
 		return err
 	}
 	return nil
+}
+
+// journaledUpdate is Router.Update with each shard visit escalated to a
+// one-op journaled sub-batch, so the write is fsynced before acknowledgement.
+func (r *Router) journaledUpdate(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	return r.updateShards(db, coll, spec, func(d *mongod.Database) (storage.UpdateResult, error) {
+		sub := d.BulkWrite(coll, []storage.WriteOp{storage.UpdateWriteOp(spec)},
+			storage.BulkOptions{Ordered: true, Journaled: true})
+		res := storage.UpdateResult{Matched: sub.Matched, Modified: sub.Modified}
+		if len(sub.UpsertedIDs) > 0 {
+			res.UpsertedID = sub.UpsertedIDs[0]
+		}
+		return res, sub.FirstError()
+	})
+}
+
+// journaledDelete is Router.Delete with per-shard journaled acknowledgement.
+func (r *Router) journaledDelete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
+	return r.deleteShards(db, coll, filter, multi, func(d *mongod.Database) (int, error) {
+		sub := d.BulkWrite(coll, []storage.WriteOp{storage.DeleteWriteOp(filter, multi)},
+			storage.BulkOptions{Ordered: true, Journaled: true})
+		return sub.Deleted, sub.FirstError()
+	})
 }

@@ -4,8 +4,11 @@ import (
 	"testing"
 
 	"docstore/internal/bson"
+	"docstore/internal/mongod"
 	"docstore/internal/query"
+	"docstore/internal/sharding"
 	"docstore/internal/storage"
+	"docstore/internal/wal"
 )
 
 func shardCounts(r *Router, db, coll string) map[string]int {
@@ -315,5 +318,61 @@ func TestRouterInsertManyEquivalence(t *testing.T) {
 	}
 	if n, _ := r.Count("db", "sales", nil); n != 300 {
 		t.Fatalf("count = %d", n)
+	}
+}
+
+// TestBulkWriteJournaledBroadcast checks the {j: true} escalation reaches
+// broadcast (multi-shard) updates: shards run durable with SyncNone — the
+// laziest policy — so only the journaled fallback path can have fsynced the
+// records, which a recovery of each shard onto a fresh server then proves.
+func TestBulkWriteJournaledBroadcast(t *testing.T) {
+	cfg := sharding.NewConfigServer()
+	r := NewRouter(cfg, Options{})
+	dirs := map[string]string{"Shard1": t.TempDir(), "Shard2": t.TempDir()}
+	for _, name := range []string{"Shard1", "Shard2"} {
+		s := mongod.NewServer(mongod.Options{Name: name})
+		if _, err := s.EnableDurability(mongod.Durability{Dir: dirs[name], Sync: wal.SyncNone}); err != nil {
+			t.Fatal(err)
+		}
+		r.AddShard(name, s)
+	}
+	if _, err := r.EnableSharding("db", "c", bson.D("k", "hashed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]storage.WriteOp, 0, 41)
+	for i := 0; i < 40; i++ {
+		ops = append(ops, storage.InsertWriteOp(bson.D(bson.IDKey, i, "k", i, "v", 0)))
+	}
+	// A multi-update with no shard-key filter broadcasts to every shard:
+	// the scalar fallback the journaled path must cover.
+	ops = append(ops, storage.UpdateWriteOp(query.UpdateSpec{
+		Query: bson.D("v", 0), Update: bson.D("$set", bson.D("touched", true)), Multi: true,
+	}))
+	res := r.BulkWrite("db", "c", ops, storage.BulkOptions{Ordered: true, Journaled: true})
+	if err := res.FirstError(); err != nil {
+		t.Fatalf("bulk: %v", err)
+	}
+	if res.Inserted != 40 || res.Modified != 40 {
+		t.Fatalf("result = %+v", res)
+	}
+	// Simulated crash of every shard: recover fresh servers from the dirs.
+	total := 0
+	for name, dir := range dirs {
+		fresh := mongod.NewServer(mongod.Options{Name: name})
+		if _, err := fresh.EnableDurability(mongod.Durability{Dir: dir, Sync: wal.SyncNone}); err != nil {
+			t.Fatal(err)
+		}
+		coll := fresh.Database("db").Collection("c")
+		n, err := coll.CountDocs(bson.D("touched", true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if n != coll.Count() {
+			t.Fatalf("shard %s: broadcast update not durable: %d of %d touched", name, n, coll.Count())
+		}
+		total += coll.Count()
+	}
+	if total != 40 {
+		t.Fatalf("recovered %d documents across shards, want 40", total)
 	}
 }

@@ -248,21 +248,24 @@ func (r *Router) Count(db, coll string, filter *bson.Doc) (int, error) {
 	return len(docs), nil
 }
 
-// Update routes an update to the shards owning matching documents.
-func (r *Router) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+// updateShards visits the shards targeted by spec.Query in order, applying
+// perShard on each, accumulating the result and honouring the non-multi
+// first-match stop. The plain scalar path and the journaled bulk fallback
+// differ only in the per-shard call, so both route through here.
+func (r *Router) updateShards(db, coll string, spec query.UpdateSpec, perShard func(*mongod.Database) (storage.UpdateResult, error)) (storage.UpdateResult, error) {
 	meta := r.config.Metadata(namespace(db, coll))
 	targets, targeted := r.targetShards(meta, spec.Query)
 	var total storage.UpdateResult
 	for _, name := range targets {
 		r.remoteCall()
-		res, err := r.Shard(name).Database(db).Update(coll, spec)
-		if err != nil {
-			return total, err
-		}
+		res, err := perShard(r.Shard(name).Database(db))
 		total.Matched += res.Matched
 		total.Modified += res.Modified
 		if res.UpsertedID != nil {
 			total.UpsertedID = res.UpsertedID
+		}
+		if err != nil {
+			return total, err
 		}
 		if !spec.Multi && total.Matched > 0 {
 			break
@@ -272,24 +275,38 @@ func (r *Router) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateR
 	return total, nil
 }
 
-// Delete routes a delete to the shards owning matching documents.
-func (r *Router) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
+// Update routes an update to the shards owning matching documents.
+func (r *Router) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
+	return r.updateShards(db, coll, spec, func(d *mongod.Database) (storage.UpdateResult, error) {
+		return d.Update(coll, spec)
+	})
+}
+
+// deleteShards is updateShards for deletes.
+func (r *Router) deleteShards(db, coll string, filter *bson.Doc, multi bool, perShard func(*mongod.Database) (int, error)) (int, error) {
 	meta := r.config.Metadata(namespace(db, coll))
 	targets, targeted := r.targetShards(meta, filter)
 	removed := 0
 	for _, name := range targets {
 		r.remoteCall()
-		n, err := r.Shard(name).Database(db).Delete(coll, filter, multi)
+		n, err := perShard(r.Shard(name).Database(db))
+		removed += n
 		if err != nil {
 			return removed, err
 		}
-		removed += n
 		if !multi && removed > 0 {
 			break
 		}
 	}
 	r.recordRouting(targeted, 0)
 	return removed, nil
+}
+
+// Delete routes a delete to the shards owning matching documents.
+func (r *Router) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
+	return r.deleteShards(db, coll, filter, multi, func(d *mongod.Database) (int, error) {
+		return d.Delete(coll, filter, multi)
+	})
 }
 
 // EnsureIndex creates an index on every shard holding the collection.

@@ -4,6 +4,13 @@
 // redundancy mechanism backing shards (§2.1.3.1); the sharded experiments use
 // single-member shards, so this package exists to complete the substrate and
 // is exercised by its own tests and the ablation benchmarks.
+//
+// Since the durability subsystem landed, the oplog and the write-ahead log
+// share one format: every oplog entry carries a wal.Record, the same logical
+// batch record the storage engine journals. A replica set can therefore be
+// given its own WAL (AttachWAL) to make the oplog durable, and an oplog can
+// be reloaded from any WAL directory (LoadOplogFromWAL) so secondaries
+// converge by replaying exactly what recovery would replay.
 package replset
 
 import (
@@ -15,6 +22,7 @@ import (
 	"docstore/internal/mongod"
 	"docstore/internal/query"
 	"docstore/internal/storage"
+	"docstore/internal/wal"
 )
 
 // ReadPreference selects which member serves reads.
@@ -27,28 +35,17 @@ const (
 	ReadNearest
 )
 
-// OpType identifies an oplog operation.
-type OpType string
-
-// Oplog operation types.
-const (
-	OpInsert OpType = "i"
-	OpUpdate OpType = "u"
-	OpDelete OpType = "d"
-)
-
-// OplogEntry is one replicated operation.
+// OplogEntry is one replicated operation: a WAL record plus the wall-clock
+// time the primary accepted it. The entry's sequence number is the record's
+// LSN — assigned by the attached WAL when the oplog is durable, or by the
+// in-memory counter otherwise, so both modes produce the same log.
 type OplogEntry struct {
-	Seq        int64
-	At         time.Time
-	Op         OpType
-	Database   string
-	Collection string
-	Document   *bson.Doc // insert payload
-	Filter     *bson.Doc // update/delete selector
-	Update     *bson.Doc // update payload
-	Multi      bool
+	At     time.Time
+	Record *wal.Record
 }
+
+// Seq returns the entry's sequence number.
+func (e *OplogEntry) Seq() int64 { return e.Record.LSN }
 
 // ReplicaSet is a primary plus a set of secondaries.
 type ReplicaSet struct {
@@ -58,6 +55,7 @@ type ReplicaSet struct {
 	members     []*mongod.Server
 	primary     int
 	oplog       []OplogEntry
+	wal         *wal.WAL         // nil: volatile oplog with in-memory seqs
 	applied     map[string]int64 // member name -> last applied seq
 	nextSeq     int64
 	chainedRead int // round-robin cursor for ReadNearest
@@ -74,6 +72,42 @@ func New(name string, members ...*mongod.Server) (*ReplicaSet, error) {
 		rs.applied[m.Name()] = 0
 	}
 	return rs, nil
+}
+
+// AttachWAL makes the oplog durable: every subsequent entry is appended to w
+// (which assigns its LSN) and acknowledged under w's sync policy before the
+// write returns. Call it once, before the set starts accepting writes; the
+// WAL must be empty or positioned after the current oplog (its next LSN is
+// adopted as the sequence counter).
+func (rs *ReplicaSet) AttachWAL(w *wal.WAL) {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.wal = w
+	rs.nextSeq = w.LastLSN()
+}
+
+// LoadOplogFromWAL reads every record of a WAL directory into the oplog
+// buffer, replacing its contents. It is how a restarted set (or a test
+// standing in for one) resumes replication from the durable log: secondaries
+// then converge through the ordinary Sync/ApplyAll path. No member is marked
+// as having applied anything; pair it with ApplyAll to rebuild member state.
+func (rs *ReplicaSet) LoadOplogFromWAL(dir string) (int, error) {
+	records, err := wal.ReadAll(dir)
+	if err != nil {
+		return 0, err
+	}
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	rs.oplog = rs.oplog[:0]
+	rs.nextSeq = 0
+	for _, rec := range records {
+		rs.oplog = append(rs.oplog, OplogEntry{At: time.Now(), Record: rec})
+		rs.nextSeq = rec.LSN
+	}
+	for name := range rs.applied {
+		rs.applied[name] = 0
+	}
+	return len(rs.oplog), nil
 }
 
 // Name returns the replica set name.
@@ -113,46 +147,95 @@ func (rs *ReplicaSet) OplogLength() int {
 	return len(rs.oplog)
 }
 
-// Insert writes through the primary and appends an oplog entry.
+// Oplog returns a copy of the retained oplog entries in sequence order.
+func (rs *ReplicaSet) Oplog() []OplogEntry {
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	return append([]OplogEntry(nil), rs.oplog...)
+}
+
+// Insert writes through the primary and appends an oplog entry. The apply
+// and the oplog append happen under one lock hold, so oplog order always
+// equals the primary's apply order — two concurrent writes can never land
+// in the durable log in the opposite order they executed, which is what
+// makes replaying the log (on a secondary or after a restart) converge to
+// the primary's state. Writes through the set are serialized as a result.
 func (rs *ReplicaSet) Insert(db, coll string, doc *bson.Doc) (any, error) {
 	rs.mu.Lock()
 	primary := rs.members[rs.primary]
-	rs.mu.Unlock()
 	id, err := primary.Database(db).Insert(coll, doc)
 	if err != nil {
+		rs.mu.Unlock()
 		return nil, err
 	}
-	rs.appendOplog(OplogEntry{Op: OpInsert, Database: db, Collection: coll, Document: doc.Clone()})
-	return id, nil
+	commit, err := rs.appendOplogLocked(&wal.Record{
+		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: true,
+		Ops: []storage.WriteOp{storage.InsertWriteOp(doc.Clone())},
+	})
+	rs.mu.Unlock()
+	if err != nil {
+		return id, err
+	}
+	return id, waitOplog(commit)
 }
 
-// Update writes through the primary and appends an oplog entry.
+// Update writes through the primary and appends an oplog entry; see Insert
+// for the ordering contract.
 func (rs *ReplicaSet) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
 	rs.mu.Lock()
 	primary := rs.members[rs.primary]
-	rs.mu.Unlock()
 	res, err := primary.Database(db).Update(coll, spec)
+	if err != nil {
+		rs.mu.Unlock()
+		return res, err
+	}
+	var op storage.WriteOp
+	if res.UpsertedID != nil {
+		// The upsert inserted a document whose generated _id only the
+		// primary knows; log the post-image as an insert so every member
+		// (and a WAL replay) materializes the identical document instead of
+		// re-running the upsert and generating its own _id.
+		if doc := primary.Database(db).Collection(coll).FindID(res.UpsertedID); doc != nil {
+			op = storage.InsertWriteOp(doc.Clone())
+		}
+	}
+	if op.Doc == nil {
+		logged := query.UpdateSpec{
+			Query: cloneOrNil(spec.Query), Update: cloneOrNil(spec.Update),
+			Upsert: spec.Upsert, Multi: spec.Multi,
+		}
+		op = storage.UpdateWriteOp(logged)
+	}
+	commit, err := rs.appendOplogLocked(&wal.Record{
+		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: true,
+		Ops: []storage.WriteOp{op},
+	})
+	rs.mu.Unlock()
 	if err != nil {
 		return res, err
 	}
-	rs.appendOplog(OplogEntry{
-		Op: OpUpdate, Database: db, Collection: coll,
-		Filter: cloneOrNil(spec.Query), Update: cloneOrNil(spec.Update), Multi: spec.Multi,
-	})
-	return res, nil
+	return res, waitOplog(commit)
 }
 
-// Delete writes through the primary and appends an oplog entry.
+// Delete writes through the primary and appends an oplog entry; see Insert
+// for the ordering contract.
 func (rs *ReplicaSet) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
 	rs.mu.Lock()
 	primary := rs.members[rs.primary]
-	rs.mu.Unlock()
 	n, err := primary.Database(db).Delete(coll, filter, multi)
+	if err != nil {
+		rs.mu.Unlock()
+		return n, err
+	}
+	commit, err := rs.appendOplogLocked(&wal.Record{
+		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: true,
+		Ops: []storage.WriteOp{storage.DeleteWriteOp(cloneOrNil(filter), multi)},
+	})
+	rs.mu.Unlock()
 	if err != nil {
 		return n, err
 	}
-	rs.appendOplog(OplogEntry{Op: OpDelete, Database: db, Collection: coll, Filter: cloneOrNil(filter), Multi: multi})
-	return n, nil
+	return n, waitOplog(commit)
 }
 
 func cloneOrNil(d *bson.Doc) *bson.Doc {
@@ -162,21 +245,53 @@ func cloneOrNil(d *bson.Doc) *bson.Doc {
 	return d.Clone()
 }
 
-func (rs *ReplicaSet) appendOplog(e OplogEntry) {
-	rs.mu.Lock()
-	rs.nextSeq++
-	e.Seq = rs.nextSeq
-	e.At = time.Now()
-	rs.oplog = append(rs.oplog, e)
+// appendOplogLocked stamps and retains one record under the caller's hold
+// of rs.mu. With a WAL attached the record is appended there — which
+// assigns its LSN — and the returned commit is waited on (waitOplog) after
+// the lock is released so concurrent oplog fsyncs can group-commit; without
+// one the in-memory counter assigns the sequence and the commit is nil.
+func (rs *ReplicaSet) appendOplogLocked(rec *wal.Record) (*wal.Commit, error) {
+	var commit *wal.Commit
+	if rs.wal != nil {
+		var err error
+		commit, err = rs.wal.Append(rec)
+		if err != nil {
+			return nil, fmt.Errorf("replset: oplog append: %w", err)
+		}
+		rs.nextSeq = rec.LSN
+	} else {
+		rs.nextSeq++
+		rec.LSN = rs.nextSeq
+	}
+	rs.oplog = append(rs.oplog, OplogEntry{At: time.Now(), Record: rec})
 	primaryName := rs.members[rs.primary].Name()
-	rs.applied[primaryName] = e.Seq
-	rs.mu.Unlock()
+	rs.applied[primaryName] = rec.LSN
+	return commit, nil
+}
+
+// waitOplog resolves a durable-oplog commit after rs.mu is released.
+func waitOplog(commit *wal.Commit) error {
+	if commit == nil {
+		return nil
+	}
+	return commit.Wait(false)
 }
 
 // Sync applies pending oplog entries to every secondary, bringing the set to
 // a consistent state. It returns the number of entries applied across
 // members.
 func (rs *ReplicaSet) Sync() (int, error) {
+	return rs.sync(false)
+}
+
+// ApplyAll applies pending oplog entries to every member, primary included.
+// It is the catch-up path after LoadOplogFromWAL, where no member has the
+// oplog's state yet.
+func (rs *ReplicaSet) ApplyAll() (int, error) {
+	return rs.sync(true)
+}
+
+func (rs *ReplicaSet) sync(includePrimary bool) (int, error) {
 	rs.mu.Lock()
 	oplog := append([]OplogEntry(nil), rs.oplog...)
 	members := append([]*mongod.Server(nil), rs.members...)
@@ -189,41 +304,55 @@ func (rs *ReplicaSet) Sync() (int, error) {
 
 	total := 0
 	for i, m := range members {
-		if i == primaryIdx {
+		if i == primaryIdx && !includePrimary {
 			continue
 		}
 		last := applied[m.Name()]
 		for _, e := range oplog {
-			if e.Seq <= last {
+			if e.Seq() <= last {
 				continue
 			}
 			if err := applyEntry(m, e); err != nil {
-				return total, fmt.Errorf("replset: applying op %d to %s: %w", e.Seq, m.Name(), err)
+				return total, fmt.Errorf("replset: applying op %d to %s: %w", e.Seq(), m.Name(), err)
 			}
-			last = e.Seq
+			last = e.Seq()
 			total++
 		}
 		rs.mu.Lock()
-		rs.applied[m.Name()] = last
+		if last > rs.applied[m.Name()] {
+			rs.applied[m.Name()] = last
+		}
 		rs.mu.Unlock()
 	}
 	return total, nil
 }
 
+// applyEntry replays one oplog record against a member. The record is cloned
+// before applying because inserted documents are stored by reference and
+// every member needs its own copy.
 func applyEntry(m *mongod.Server, e OplogEntry) error {
-	db := m.Database(e.Database)
-	switch e.Op {
-	case OpInsert:
-		_, err := db.Insert(e.Collection, e.Document.Clone())
+	rec := e.Record.Clone()
+	switch rec.Kind {
+	case wal.KindBatch:
+		res := m.Database(rec.DB).BulkWrite(rec.Coll, rec.Ops, storage.BulkOptions{Ordered: rec.Ordered})
+		return res.FirstError()
+	case wal.KindClear:
+		m.Database(rec.DB).Collection(rec.Coll).Drop()
+		return nil
+	case wal.KindDropCollection:
+		m.Database(rec.DB).DropCollection(rec.Coll)
+		return nil
+	case wal.KindDropDatabase:
+		m.DropDatabase(rec.DB)
+		return nil
+	case wal.KindEnsureIndex:
+		_, err := m.Database(rec.DB).Collection(rec.Coll).EnsureIndexDoc(rec.Spec, rec.Unique)
 		return err
-	case OpUpdate:
-		_, err := db.Update(e.Collection, query.UpdateSpec{Query: e.Filter, Update: e.Update, Multi: e.Multi})
-		return err
-	case OpDelete:
-		_, err := db.Delete(e.Collection, e.Filter, e.Multi)
-		return err
+	case wal.KindDropIndex:
+		m.Database(rec.DB).Collection(rec.Coll).DropIndex(rec.Index)
+		return nil
 	default:
-		return fmt.Errorf("unknown oplog op %q", e.Op)
+		return fmt.Errorf("unknown oplog record kind %v", rec.Kind)
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"docstore/internal/mongod"
 	"docstore/internal/query"
 	"docstore/internal/storage"
+	"docstore/internal/wal"
 )
 
 func newTestSet(t *testing.T, members int) *ReplicaSet {
@@ -131,6 +132,110 @@ func TestReadPreferences(t *testing.T) {
 	docs, _ = single.Find(ReadSecondary, "db", "c", nil, storage.FindOptions{})
 	if len(docs) != 1 {
 		t.Fatalf("single-member secondary read = %d docs", len(docs))
+	}
+}
+
+// TestWALSourcedOplogConvergence drives a replica set whose oplog is backed
+// by a WAL, "crashes" it, rebuilds a fresh set from the durable log alone,
+// and checks that a secondary replaying the WAL-sourced oplog entries
+// converges to exactly the primary's state.
+func TestWALSourcedOplogConvergence(t *testing.T) {
+	dir := t.TempDir()
+	w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncAlways})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs := newTestSet(t, 2)
+	rs.AttachWAL(w)
+	for i := 0; i < 12; i++ {
+		if _, err := rs.Insert("db", "c", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rs.Update("db", "c", query.UpdateSpec{
+		Query: bson.D("v", bson.D("$lt", 4)), Update: bson.D("$set", bson.D("low", true)), Multi: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Delete("db", "c", bson.D("v", bson.D("$gte", 10)), true); err != nil {
+		t.Fatal(err)
+	}
+	wantPrimary := rs.Primary()
+	// Crash: abandon the set; the WAL is the only survivor.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	rs2 := newTestSet(t, 2)
+	loaded, err := rs2.LoadOplogFromWAL(dir)
+	if err != nil {
+		t.Fatalf("LoadOplogFromWAL: %v", err)
+	}
+	if loaded != 14 {
+		t.Fatalf("loaded %d oplog entries, want 14", loaded)
+	}
+	applied, err := rs2.ApplyAll()
+	if err != nil {
+		t.Fatalf("ApplyAll: %v", err)
+	}
+	if applied != 28 {
+		t.Fatalf("applied %d entries across members, want 28", applied)
+	}
+	// Every member converged to the original primary's state.
+	for _, m := range rs2.Members() {
+		coll := m.Database("db").Collection("c")
+		wantColl := wantPrimary.Database("db").Collection("c")
+		if coll.Count() != wantColl.Count() {
+			t.Fatalf("member %s has %d docs, want %d", m.Name(), coll.Count(), wantColl.Count())
+		}
+		wantColl.Scan(func(d *bson.Doc) bool {
+			got := coll.FindID(d.ID())
+			if got == nil || !got.Equal(d) {
+				t.Fatalf("member %s diverges at _id %v", m.Name(), d.ID())
+			}
+			return true
+		})
+	}
+	// New writes continue from the recovered sequence and replicate.
+	if _, err := rs2.Insert("db", "c", bson.D(bson.IDKey, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs2.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	lag := rs2.ReplicationLag()
+	for name, n := range lag {
+		if n != 0 {
+			t.Fatalf("member %s lag = %d after sync", name, n)
+		}
+	}
+}
+
+// TestUpsertReplicatesDeterministically pins the post-image logging rule:
+// an upsert that inserts generates its _id on the primary, and the oplog
+// must carry that document — not the update spec — or every member would
+// generate its own _id and diverge.
+func TestUpsertReplicatesDeterministically(t *testing.T) {
+	rs := newTestSet(t, 2)
+	res, err := rs.Update("db", "c", query.UpdateSpec{
+		Query:  bson.D("missing", true),
+		Update: bson.D("$set", bson.D("created", true)),
+		Upsert: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.UpsertedID == nil {
+		t.Fatal("upsert did not insert")
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rs.Members() {
+		doc := m.Database("db").Collection("c").FindID(res.UpsertedID)
+		if doc == nil {
+			t.Fatalf("member %s missing upserted _id %v (divergent generated ids)", m.Name(), res.UpsertedID)
+		}
 	}
 }
 

@@ -73,6 +73,11 @@ type BulkOptions struct {
 	// every op before the failure executed and none after it did. Unordered
 	// attempts every operation and collects all failures.
 	Ordered bool
+	// Journaled is the writeConcern {j: true} escalation: when a journal is
+	// attached, the batch is acknowledged only once its log record is
+	// fsynced, even under sync policies that would otherwise acknowledge
+	// earlier. Without a journal it has no effect.
+	Journaled bool
 }
 
 // BulkError attributes one failure to the operation that caused it.
@@ -106,13 +111,18 @@ type BulkResult struct {
 	UpsertedIDs []any
 	// Errors lists per-op failures in ascending Index order.
 	Errors []BulkError
+	// DurabilityErr is a batch-level journaling failure: the batch could not
+	// be logged (nothing was applied), or — after apply — the log record
+	// could not be made durable. It is separate from Errors because it is
+	// not attributable to one op.
+	DurabilityErr error
 }
 
-// FirstError returns the lowest-index failure, or nil when every attempted
-// op succeeded.
+// FirstError returns the lowest-index failure, a batch-level durability
+// failure when no op failed, or nil when the batch fully succeeded.
 func (r *BulkResult) FirstError() error {
 	if len(r.Errors) == 0 {
-		return nil
+		return r.DurabilityErr
 	}
 	return r.Errors[0].Err
 }
@@ -161,6 +171,9 @@ func (r *BulkResult) Merge(sub BulkResult, indices []int, total int) {
 	}
 	for _, e := range sub.Errors {
 		r.Errors = append(r.Errors, BulkError{Index: indices[e.Index], Err: e.Err})
+	}
+	if r.DurabilityErr == nil {
+		r.DurabilityErr = sub.DurabilityErr
 	}
 }
 
@@ -211,9 +224,18 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 		res.UpsertedIDs = make([]any, len(ops))
 	}
 
-	// Phase 2 (one lock acquisition): apply the ops.
+	// Phase 2 (one lock acquisition): journal the batch, then apply the ops.
+	// The record enters the log before any op applies and under the same
+	// lock that orders the applies, so log order equals apply order; the
+	// durability wait happens after the lock is released so concurrent
+	// batches can share one group-commit fsync.
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	commit, err := c.logLocked(ops, opts.Ordered)
+	if err != nil {
+		c.mu.Unlock()
+		res.DurabilityErr = err
+		return res
+	}
 	c.reserveLocked(inserts)
 	for i := range ops {
 		res.Attempted++
@@ -225,6 +247,8 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 		}
 	}
 	c.maybeCompactLocked()
+	c.mu.Unlock()
+	res.DurabilityErr = waitCommit(commit, opts.Journaled)
 	return res
 }
 

@@ -54,6 +54,12 @@ type Collection struct {
 	dataSize int
 	tombs    int
 
+	// journal, when attached, receives every mutation before it is applied;
+	// lastLSN is the sequence number of the newest journaled mutation (see
+	// journal.go).
+	journal Journal
+	lastLSN int64
+
 	// stats (atomic: bumped under read locks)
 	scans        atomic.Int64 // collection scans performed
 	indexScans   atomic.Int64 // index scans performed
@@ -85,15 +91,26 @@ func idKey(id any) string {
 // except through Update.
 func (c *Collection) Insert(doc *bson.Doc) (any, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.insertLocked(doc)
+	commit, err := c.logLocked([]WriteOp{InsertWriteOp(doc)}, true)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	id, err := c.insertLocked(doc)
+	c.mu.Unlock()
+	if err != nil {
+		return id, err
+	}
+	return id, waitCommit(commit, false)
 }
 
-func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
+// ensureID assigns a fresh ObjectID to a document without one, rebuilding
+// the document so _id leads it, as the real engine stores it. It returns the
+// document's id.
+func ensureID(doc *bson.Doc) any {
 	id, ok := doc.Get(bson.IDKey)
 	if !ok {
 		id = bson.NewObjectID()
-		// _id leads the document, as the real engine stores it.
 		withID := bson.NewDoc(doc.Len() + 1)
 		withID.Set(bson.IDKey, id)
 		for _, f := range doc.Fields() {
@@ -101,6 +118,11 @@ func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
 		}
 		*doc = *withID
 	}
+	return id
+}
+
+func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
+	id := ensureID(doc)
 	size := bson.EncodedSize(doc)
 	if size > bson.MaxDocumentSize {
 		return nil, &ErrDocumentTooLarge{Size: size}
@@ -196,16 +218,22 @@ func (c *Collection) Scan(fn func(*bson.Doc) bool) {
 	}
 }
 
-// Drop removes every document and secondary index.
+// Drop removes every document and secondary index. With a journal attached
+// the wipe is logged first so recovery reproduces it; a journal failure here
+// is best-effort (Drop predates durability and has no error return), but the
+// only caller that can observe one, ReplaceContents, surfaces the wait error
+// of the insert batch that follows.
 func (c *Collection) Drop() {
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	commit, _ := c.logClearLocked()
 	c.records = nil
 	c.byID = make(map[string]int)
 	c.indexes = make(map[string]*index.Index)
 	c.count = 0
 	c.dataSize = 0
 	c.tombs = 0
+	c.mu.Unlock()
+	_ = waitCommit(commit, false)
 }
 
 // compactLocked rewrites the record slice without tombstones.

@@ -10,13 +10,22 @@ import (
 
 // EnsureIndex creates a secondary index over the collection if one with the
 // same specification does not already exist, and backfills it from the
-// current documents. It returns the index either way.
+// current documents. It returns the index either way. Creation is journaled
+// (before the backfill, under the same lock that orders writes) so recovery
+// rebuilds the index and replayed writes see the same unique-key
+// enforcement; a backfill failure replays identically, so the logged record
+// is deterministic either way.
 func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, error) {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	name := spec.Name()
 	if existing, ok := c.indexes[name]; ok {
+		c.mu.Unlock()
 		return existing, nil
+	}
+	commit, err := c.logEnsureIndexLocked(spec.Doc(), unique)
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
 	}
 	ix := index.New(name, spec, unique)
 	for i := range c.records {
@@ -25,11 +34,13 @@ func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, er
 			continue
 		}
 		if err := ix.Insert(r.doc, r.doc.ID()); err != nil {
+			c.mu.Unlock()
 			return nil, fmt.Errorf("storage: building index %s: %w", name, err)
 		}
 	}
 	c.indexes[name] = ix
-	return ix, nil
+	c.mu.Unlock()
+	return ix, waitCommit(commit, false)
 }
 
 // EnsureIndexDoc is EnsureIndex taking the document form of the key
@@ -42,14 +53,22 @@ func (c *Collection) EnsureIndexDoc(spec *bson.Doc, unique bool) (*index.Index, 
 	return c.EnsureIndex(parsed, unique)
 }
 
-// DropIndex removes the named index and reports whether it existed.
+// DropIndex removes the named index and reports whether it existed. The
+// removal is journaled so recovery does not resurrect the index.
 func (c *Collection) DropIndex(name string) bool {
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	if _, ok := c.indexes[name]; !ok {
+		c.mu.Unlock()
+		return false
+	}
+	commit, err := c.logDropIndexLocked(name)
+	if err != nil {
+		c.mu.Unlock()
 		return false
 	}
 	delete(c.indexes, name)
+	c.mu.Unlock()
+	_ = waitCommit(commit, false)
 	return true
 }
 

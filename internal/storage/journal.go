@@ -1,0 +1,138 @@
+package storage
+
+import "docstore/internal/bson"
+
+// Journal is the write-ahead hook a durability layer attaches to a
+// collection. The collection logs every mutation through it BEFORE applying
+// it, under the collection's write lock, so log order equals apply order and
+// recovery can replay the log deterministically. The package deliberately
+// does not depend on the log implementation; internal/wal provides one and
+// internal/mongod wires it up per collection.
+type Journal interface {
+	// LogBatch records a batch of operations about to be applied. It is
+	// called under the collection write lock and must only buffer — the
+	// returned CommitWaiter is waited on after the lock is released, which
+	// is what lets a group commit coalesce concurrent writers into one
+	// fsync. Insert ops have their _id already assigned, so a replay
+	// regenerates identical documents.
+	LogBatch(ops []WriteOp, ordered bool) (CommitWaiter, error)
+	// LogClear records the collection being wiped in place (Drop, which
+	// ReplaceContents and the aggregation $out stage use).
+	LogClear() (CommitWaiter, error)
+	// LogEnsureIndex records a secondary index creation, so recovery
+	// rebuilds the index and replayed writes see the same unique-key
+	// enforcement the original run did.
+	LogEnsureIndex(spec *bson.Doc, unique bool) (CommitWaiter, error)
+	// LogDropIndex records an index removal by name.
+	LogDropIndex(name string) (CommitWaiter, error)
+}
+
+// CommitWaiter is the acknowledgement handle of one logged record.
+type CommitWaiter interface {
+	// LSN returns the log sequence number the record was assigned.
+	LSN() int64
+	// Wait blocks until the record is durable under the journal's sync
+	// policy. journaled (writeConcern {j: true}) forces an fsync even under
+	// policies that would otherwise acknowledge before syncing.
+	Wait(journaled bool) error
+}
+
+// SetJournal attaches a write-ahead journal to the collection. It must be
+// called before the collection starts serving writes (the durability layer
+// attaches journals at collection creation or at the end of recovery).
+func (c *Collection) SetJournal(j Journal) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.journal = j
+}
+
+// LastLSN returns the log sequence number of the last journaled mutation,
+// 0 when the collection was never journaled. A snapshot taken under the same
+// lock acquisition (Collection.Snapshot) pairs the data with this number,
+// which is what makes fuzzy checkpoints consistent per collection.
+func (c *Collection) LastLSN() int64 {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return c.lastLSN
+}
+
+// SetReplayLSN records that the collection's state reflects the log up to
+// lsn. Recovery calls it after loading a checkpoint snapshot and after
+// replaying each record; it never moves the watermark backwards.
+func (c *Collection) SetReplayLSN(lsn int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if lsn > c.lastLSN {
+		c.lastLSN = lsn
+	}
+}
+
+// logLocked journals a batch about to be applied under the held write lock.
+// It returns (nil, nil) when no journal is attached. Insert ops get their
+// _id assigned here — before the record is encoded — so the logged document
+// is byte-identical to the one a replay will insert.
+func (c *Collection) logLocked(ops []WriteOp, ordered bool) (CommitWaiter, error) {
+	if c.journal == nil {
+		return nil, nil
+	}
+	for i := range ops {
+		if ops[i].Kind == InsertOp && ops[i].Doc != nil {
+			ensureID(ops[i].Doc)
+		}
+	}
+	commit, err := c.journal.LogBatch(ops, ordered)
+	if err != nil {
+		return nil, err
+	}
+	c.lastLSN = commit.LSN()
+	return commit, nil
+}
+
+// logClearLocked journals a collection wipe under the held write lock.
+func (c *Collection) logClearLocked() (CommitWaiter, error) {
+	if c.journal == nil {
+		return nil, nil
+	}
+	commit, err := c.journal.LogClear()
+	if err != nil {
+		return nil, err
+	}
+	c.lastLSN = commit.LSN()
+	return commit, nil
+}
+
+// logEnsureIndexLocked journals an index creation under the held write lock.
+func (c *Collection) logEnsureIndexLocked(spec *bson.Doc, unique bool) (CommitWaiter, error) {
+	if c.journal == nil {
+		return nil, nil
+	}
+	commit, err := c.journal.LogEnsureIndex(spec, unique)
+	if err != nil {
+		return nil, err
+	}
+	c.lastLSN = commit.LSN()
+	return commit, nil
+}
+
+// logDropIndexLocked journals an index removal under the held write lock.
+func (c *Collection) logDropIndexLocked(name string) (CommitWaiter, error) {
+	if c.journal == nil {
+		return nil, nil
+	}
+	commit, err := c.journal.LogDropIndex(name)
+	if err != nil {
+		return nil, err
+	}
+	c.lastLSN = commit.LSN()
+	return commit, nil
+}
+
+// waitCommit resolves a commit handle after the collection lock has been
+// released, translating the journal's policy into the caller's
+// acknowledgement. A nil commit (no journal) is a no-op.
+func waitCommit(commit CommitWaiter, journaled bool) error {
+	if commit == nil {
+		return nil
+	}
+	return commit.Wait(journaled)
+}

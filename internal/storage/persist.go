@@ -17,29 +17,65 @@ import (
 
 var snapshotMagic = [4]byte{'D', 'S', 'C', '1'}
 
-// WriteSnapshot writes every live document to w.
-func (c *Collection) WriteSnapshot(w io.Writer) error {
+// SnapshotInfo describes what one snapshot captured.
+type SnapshotInfo struct {
+	// Count is the number of documents written.
+	Count int
+	// LastLSN is the journal watermark of the collection at the moment of
+	// the snapshot, captured under the same lock acquisition as the data.
+	// Checkpoints pair it with the snapshot so recovery replays exactly the
+	// log records the snapshot does not already contain.
+	LastLSN int64
+	// Indexes are the secondary index definitions live at the snapshot,
+	// captured under the same lock so they are exactly the indexes implied
+	// by the watermark. The snapshot stream itself carries only documents;
+	// checkpoints persist these definitions in their manifest and recovery
+	// rebuilds the trees by backfilling.
+	Indexes []IndexMeta
+}
+
+// IndexMeta is one secondary index definition.
+type IndexMeta struct {
+	Spec   *bson.Doc
+	Unique bool
+}
+
+// Snapshot writes every live document to w and reports what it captured.
+// The header count, the journal watermark and the document scan all happen
+// under one read-lock acquisition, so a concurrent write can never make the
+// header disagree with the records that follow it.
+func (c *Collection) Snapshot(w io.Writer) (SnapshotInfo, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	c.scans.Add(1)
+	info := SnapshotInfo{Count: c.count, LastLSN: c.lastLSN}
+	for _, ix := range c.indexes {
+		info.Indexes = append(info.Indexes, IndexMeta{Spec: ix.Spec().Doc(), Unique: ix.Unique()})
+	}
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return err
+		return info, err
 	}
 	countBuf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(countBuf, uint64(c.Count()))
+	binary.LittleEndian.PutUint64(countBuf, uint64(c.count))
 	if _, err := bw.Write(countBuf); err != nil {
-		return err
+		return info, err
 	}
-	var writeErr error
-	c.Scan(func(d *bson.Doc) bool {
-		if _, err := bw.Write(bson.Marshal(d)); err != nil {
-			writeErr = err
-			return false
+	for i := range c.records {
+		if c.records[i].deleted {
+			continue
 		}
-		return true
-	})
-	if writeErr != nil {
-		return writeErr
+		if _, err := bw.Write(bson.Marshal(c.records[i].doc)); err != nil {
+			return info, err
+		}
 	}
-	return bw.Flush()
+	return info, bw.Flush()
+}
+
+// WriteSnapshot writes every live document to w.
+func (c *Collection) WriteSnapshot(w io.Writer) error {
+	_, err := c.Snapshot(w)
+	return err
 }
 
 // ReadSnapshot loads documents from r into the collection, appending to its
@@ -66,6 +102,12 @@ func (c *Collection) ReadSnapshot(r io.Reader) error {
 		if _, err := c.Insert(doc); err != nil {
 			return err
 		}
+	}
+	// The header count must agree exactly with the stream: trailing data
+	// means the snapshot was written with a count/scan mismatch (or was
+	// corrupted) and cannot be trusted.
+	if _, err := br.ReadByte(); err != io.EOF {
+		return fmt.Errorf("storage: snapshot contains data beyond its header count of %d documents", count)
 	}
 	return nil
 }

@@ -21,8 +21,17 @@ func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
 		return UpdateResult{}, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.updateLocked(spec, matcher)
+	commit, err := c.logLocked([]WriteOp{UpdateWriteOp(spec)}, true)
+	if err != nil {
+		c.mu.Unlock()
+		return UpdateResult{}, err
+	}
+	res, err := c.updateLocked(spec, matcher)
+	c.mu.Unlock()
+	if err != nil {
+		return res, err
+	}
+	return res, waitCommit(commit, false)
 }
 
 // updateLocked executes a pre-compiled update under the caller's write lock;
@@ -135,10 +144,15 @@ func (c *Collection) Delete(filter *bson.Doc, multi bool) (int, error) {
 		return 0, err
 	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
+	commit, err := c.logLocked([]WriteOp{DeleteWriteOp(filter, multi)}, true)
+	if err != nil {
+		c.mu.Unlock()
+		return 0, err
+	}
 	removed := c.deleteLocked(matcher, multi)
 	c.maybeCompactLocked()
-	return removed, nil
+	c.mu.Unlock()
+	return removed, waitCommit(commit, false)
 }
 
 // deleteLocked removes matching documents under the caller's write lock. It

@@ -1,0 +1,129 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Segment files: the log is a sequence of fixed-header files named by the
+// first LSN they hold ("wal-%016d.log"). A closed segment i therefore covers
+// the LSN range [first_i, first_{i+1}-1], which is what checkpoint pruning
+// needs to decide whether a whole file is obsolete.
+
+const (
+	segmentPrefix  = "wal-"
+	segmentSuffix  = ".log"
+	segmentVersion = 1
+)
+
+var segmentMagic = [4]byte{'D', 'W', 'A', 'L'}
+
+// segmentHeaderSize is the byte length of the segment file header:
+// 4-byte magic plus a 4-byte little-endian format version.
+const segmentHeaderSize = 8
+
+func segmentName(firstLSN int64) string {
+	return fmt.Sprintf("%s%016d%s", segmentPrefix, firstLSN, segmentSuffix)
+}
+
+func encodeSegmentHeader() []byte {
+	hdr := make([]byte, segmentHeaderSize)
+	copy(hdr, segmentMagic[:])
+	binary.LittleEndian.PutUint32(hdr[4:8], segmentVersion)
+	return hdr
+}
+
+func checkSegmentHeader(data []byte) error {
+	if len(data) < segmentHeaderSize {
+		return fmt.Errorf("wal: segment header truncated (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != segmentMagic {
+		return fmt.Errorf("wal: bad segment magic %q", data[:4])
+	}
+	if v := binary.LittleEndian.Uint32(data[4:8]); v != segmentVersion {
+		return fmt.Errorf("wal: unsupported segment version %d", v)
+	}
+	return nil
+}
+
+// segmentInfo is one discovered segment file.
+type segmentInfo struct {
+	path     string
+	firstLSN int64
+}
+
+// listSegments returns the segment files of dir sorted by first LSN.
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasPrefix(name, segmentPrefix) || !strings.HasSuffix(name, segmentSuffix) {
+			continue
+		}
+		numPart := strings.TrimSuffix(strings.TrimPrefix(name, segmentPrefix), segmentSuffix)
+		first, err := strconv.ParseInt(numPart, 10, 64)
+		if err != nil || first <= 0 {
+			return nil, fmt.Errorf("wal: unrecognized segment file name %q", name)
+		}
+		segs = append(segs, segmentInfo{path: filepath.Join(dir, name), firstLSN: first})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].firstLSN < segs[j].firstLSN })
+	return segs, nil
+}
+
+// readSegmentRecords reads every complete record of one segment file,
+// calling fn for each. It returns the number of bytes occupied by the header
+// plus all complete records (the truncation point for a torn tail), the LSN
+// of the last complete record (0 when none), and whether the segment ended
+// with a torn record.
+func readSegmentRecords(path string, fn func(*Record) error) (goodBytes int64, lastLSN int64, torn bool, err error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return 0, 0, false, err
+	}
+	if err := checkSegmentHeader(data); err != nil {
+		// A header shorter than segmentHeaderSize can only happen when the
+		// process died while creating the segment: treat it as fully torn.
+		if len(data) < segmentHeaderSize {
+			return 0, 0, true, nil
+		}
+		return 0, 0, false, err
+	}
+	rest := data[segmentHeaderSize:]
+	goodBytes = segmentHeaderSize
+	for len(rest) > 0 {
+		rec, next, err := DecodeRecord(rest)
+		if err != nil {
+			return goodBytes, lastLSN, true, nil
+		}
+		if fn != nil {
+			if err := fn(rec); err != nil {
+				return goodBytes, lastLSN, false, err
+			}
+		}
+		goodBytes += int64(len(rest) - len(next))
+		lastLSN = rec.LSN
+		rest = next
+	}
+	return goodBytes, lastLSN, false, nil
+}
+
+// SyncDir fsyncs a directory so renames and removals inside it are durable.
+// The checkpoint machinery shares it for its own directory shuffling.
+func SyncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}

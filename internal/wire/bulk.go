@@ -81,6 +81,13 @@ func encodeBulkResult(res storage.BulkResult) *bson.Doc {
 		}
 		d.Set("writeErrors", errs)
 	}
+	if res.DurabilityErr != nil {
+		// A batch-level journaling failure: either nothing was applied (the
+		// log rejected the record) or the applied batch could not be made
+		// durable. Either way a {j: true} client must not treat the batch
+		// as acknowledged.
+		d.Set("writeConcernError", res.DurabilityErr.Error())
+	}
 	return d
 }
 
@@ -101,6 +108,11 @@ type BulkWriteResult struct {
 	InsertedIDs []any
 	UpsertedIDs []any
 	WriteErrors []BulkWriteError
+	// WriteConcernError is non-empty when the batch's write-ahead-log
+	// record could not be written or made durable: the batch (or the part
+	// of it already applied) is not crash-safe and a {j: true} caller must
+	// treat the request as failed.
+	WriteConcernError string
 }
 
 // decodeBulkWriteResult parses the result document of a bulkWrite response.
@@ -120,6 +132,9 @@ func decodeBulkWriteResult(d *bson.Doc) *BulkWriteResult {
 	}
 	if v, ok := d.Get("upsertedIds"); ok {
 		res.UpsertedIDs, _ = v.([]any)
+	}
+	if v, ok := d.Get("writeConcernError"); ok {
+		res.WriteConcernError, _ = v.(string)
 	}
 	if v, ok := d.Get("writeErrors"); ok {
 		if arr, isArr := v.([]any); isArr {

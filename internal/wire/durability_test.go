@@ -1,0 +1,124 @@
+package wire
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/storage"
+	"docstore/internal/wal"
+)
+
+func startDurableServer(t *testing.T, dir string) (*Server, *Client) {
+	t.Helper()
+	backend := mongod.NewServer(mongod.Options{Name: "docstored"})
+	if _, err := backend.EnableDurability(mongod.Durability{Dir: dir, Sync: wal.SyncNone}); err != nil {
+		t.Fatalf("EnableDurability: %v", err)
+	}
+	srv := NewServer(backend)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Listen: %v", err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	client, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatalf("Dial: %v", err)
+	}
+	t.Cleanup(func() { client.Close() })
+	return srv, client
+}
+
+// TestWriteConcernJournaled drives every write op with {j: true} against a
+// durable backend running SyncNone — the laziest policy — so only the
+// writeConcern escalation can have forced the records to disk. A recovery
+// on a second server then proves the acknowledged writes were durable.
+func TestWriteConcernJournaled(t *testing.T) {
+	dir := t.TempDir()
+	_, c := startDurableServer(t, dir)
+
+	do := func(req *Request) *Response {
+		t.Helper()
+		resp, err := c.Do(req)
+		if err != nil {
+			t.Fatalf("%s: %v", req.Op, err)
+		}
+		if !resp.OK {
+			t.Fatalf("%s: %s", req.Op, resp.Error)
+		}
+		return resp
+	}
+	do(&Request{Op: OpInsert, DB: "db", Collection: "c",
+		Doc: bson.D(bson.IDKey, 1, "v", 1), Journaled: true})
+	do(&Request{Op: OpInsertMany, DB: "db", Collection: "c",
+		Docs: []*bson.Doc{bson.D(bson.IDKey, 2, "v", 2), bson.D(bson.IDKey, 3, "v", 3)}, Journaled: true})
+	do(&Request{Op: OpUpdate, DB: "db", Collection: "c",
+		Filter: bson.D(bson.IDKey, 2), Update: bson.D("$set", bson.D("v", 20)), Journaled: true})
+	do(&Request{Op: OpDelete, DB: "db", Collection: "c",
+		Filter: bson.D(bson.IDKey, 3), Journaled: true})
+	do(&Request{Op: OpBulkWrite, DB: "db", Collection: "c",
+		Docs: []*bson.Doc{BulkInsertOp(bson.D(bson.IDKey, 4, "v", 4))}, Ordered: true, Journaled: true})
+
+	// Simulated crash: nothing was closed, so only j: true-forced syncs can
+	// have reached the segment file.
+	backend2 := mongod.NewServer(mongod.Options{Name: "recovered"})
+	stats, err := backend2.EnableDurability(mongod.Durability{Dir: dir, Sync: wal.SyncNone})
+	if err != nil {
+		t.Fatalf("recovery: %v", err)
+	}
+	if stats.RecordsReplayed != 5 {
+		t.Fatalf("replayed %d records, want 5", stats.RecordsReplayed)
+	}
+	coll := backend2.Database("db").Collection("c")
+	if coll.Count() != 3 {
+		t.Fatalf("recovered %d documents, want 3", coll.Count())
+	}
+	doc := coll.FindID(2)
+	if doc == nil {
+		t.Fatalf("journaled insert lost")
+	}
+	if v, _ := bson.AsInt(doc.GetOr("v", 0)); v != 20 {
+		t.Fatalf("journaled update lost: v = %d", v)
+	}
+	if coll.FindID(3) != nil {
+		t.Fatalf("journaled delete lost")
+	}
+	if coll.FindID(4) == nil {
+		t.Fatalf("journaled bulkWrite lost")
+	}
+}
+
+// TestBulkResultCarriesWriteConcernError checks a batch-level durability
+// failure survives the result codec: a {j: true} client must be able to see
+// that its batch was not made durable even though per-op results exist.
+func TestBulkResultCarriesWriteConcernError(t *testing.T) {
+	res := storage.BulkResult{Inserted: 2, Attempted: 2, DurabilityErr: errFakeDisk}
+	decoded := decodeBulkWriteResult(encodeBulkResult(res))
+	if decoded.WriteConcernError == "" {
+		t.Fatalf("durability error lost in the result codec")
+	}
+	if decoded.Inserted != 2 {
+		t.Fatalf("counters lost alongside the writeConcernError")
+	}
+	clean := decodeBulkWriteResult(encodeBulkResult(storage.BulkResult{Inserted: 1}))
+	if clean.WriteConcernError != "" {
+		t.Fatalf("writeConcernError appeared from nowhere")
+	}
+}
+
+var errFakeDisk = fmt.Errorf("fsync: no space left on device")
+
+// TestJournaledFlagRoundTrip checks the wire codec carries "j".
+func TestJournaledFlagRoundTrip(t *testing.T) {
+	req := &Request{Op: OpInsert, DB: "db", Collection: "c", Doc: bson.D(bson.IDKey, 1), Journaled: true}
+	decoded := decodeRequest(req.encode())
+	if !decoded.Journaled {
+		t.Fatalf("j flag lost in the codec")
+	}
+	decoded = decodeRequest((&Request{Op: OpInsert, DB: "db"}).encode())
+	if decoded.Journaled {
+		t.Fatalf("j flag appeared from nowhere")
+	}
+}

@@ -42,7 +42,10 @@ const (
 	// round trip. Ops travel in "docs" (one document per op, built by
 	// BulkInsertOp/BulkUpdateOp/BulkDeleteOp); "ordered" stops the batch at
 	// the first failure. The response carries a "result" document with the
-	// counters, the aligned insertedIds array and the write-error array.
+	// counters, the aligned insertedIds array, the write-error array and —
+	// when the batch could not be journaled or made durable — a
+	// writeConcernError string that {j: true} callers must treat as
+	// failure.
 	OpBulkWrite = "bulkWrite"
 )
 
@@ -72,6 +75,11 @@ type Request struct {
 	Unique   bool
 	// Ordered makes a bulkWrite stop at its first failing op.
 	Ordered bool
+	// Journaled is the writeConcern {j: true} flag: the write is
+	// acknowledged only after its write-ahead-log record is fsynced. It
+	// applies to insert, insertMany, update, delete and bulkWrite, and is a
+	// no-op against a server running without a WAL (-data-dir unset).
+	Journaled bool
 }
 
 // encode renders the request as a document.
@@ -132,6 +140,9 @@ func (r *Request) encode() *bson.Doc {
 	}
 	if r.Ordered {
 		d.Set("ordered", true)
+	}
+	if r.Journaled {
+		d.Set("j", true)
 	}
 	return d
 }
@@ -199,6 +210,7 @@ func decodeRequest(d *bson.Doc) *Request {
 	r.Upsert = bson.Truthy(d.GetOr("upsert", false))
 	r.Unique = bson.Truthy(d.GetOr("unique", false))
 	r.Ordered = bson.Truthy(d.GetOr("ordered", false))
+	r.Journaled = bson.Truthy(d.GetOr("j", false))
 	return r
 }
 

@@ -242,11 +242,25 @@ func (s *Server) Handle(req *Request) *Response {
 		if req.Doc == nil {
 			return &Response{Error: "doc is required"}
 		}
+		if req.Journaled {
+			_, err := journaledBatch(db, req.Collection, []storage.WriteOp{storage.InsertWriteOp(req.Doc)})
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			return &Response{OK: true, N: 1}
+		}
 		if _, err := db.Insert(req.Collection, req.Doc); err != nil {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true, N: 1}
 	case OpInsertMany:
+		if req.Journaled {
+			res, err := journaledBatch(db, req.Collection, storage.InsertOps(req.Docs))
+			if err != nil {
+				return &Response{Error: err.Error(), N: int64(res.Inserted)}
+			}
+			return &Response{OK: true, N: int64(res.Inserted)}
+		}
 		ids, err := db.InsertMany(req.Collection, req.Docs)
 		if err != nil {
 			return &Response{Error: err.Error(), N: int64(len(ids))}
@@ -261,7 +275,14 @@ func (s *Server) Handle(req *Request) *Response {
 			}
 			ops[i] = op
 		}
-		res := db.BulkWrite(req.Collection, ops, storage.BulkOptions{Ordered: req.Ordered})
+		res := db.BulkWrite(req.Collection, ops, storage.BulkOptions{Ordered: req.Ordered, Journaled: req.Journaled})
+		if res.DurabilityErr != nil && res.Attempted == 0 {
+			// The batch could not even be journaled, so nothing was applied:
+			// that is a failed request, not a result. A post-apply
+			// durability failure instead rides in the result document as
+			// writeConcernError, alongside the counters of what did apply.
+			return &Response{Error: res.DurabilityErr.Error(), Result: encodeBulkResult(res)}
+		}
 		return &Response{
 			OK:     true,
 			N:      int64(res.Inserted + res.Modified + res.Upserted + res.Deleted),
@@ -303,14 +324,29 @@ func (s *Server) Handle(req *Request) *Response {
 		}
 		return &Response{OK: true, N: int64(n)}
 	case OpUpdate:
-		res, err := db.Update(req.Collection, query.UpdateSpec{
+		spec := query.UpdateSpec{
 			Query: req.Filter, Update: req.Update, Upsert: req.Upsert, Multi: req.Multi,
-		})
+		}
+		if req.Journaled {
+			res, err := journaledBatch(db, req.Collection, []storage.WriteOp{storage.UpdateWriteOp(spec)})
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			return &Response{OK: true, N: int64(res.Modified)}
+		}
+		res, err := db.Update(req.Collection, spec)
 		if err != nil {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true, N: int64(res.Modified)}
 	case OpDelete:
+		if req.Journaled {
+			res, err := journaledBatch(db, req.Collection, []storage.WriteOp{storage.DeleteWriteOp(req.Filter, req.Multi)})
+			if err != nil {
+				return &Response{Error: err.Error()}
+			}
+			return &Response{OK: true, N: int64(res.Deleted)}
+		}
 		n, err := db.Delete(req.Collection, req.Filter, req.Multi)
 		if err != nil {
 			return &Response{Error: err.Error()}
@@ -394,4 +430,12 @@ func boolToN(b bool) int64 {
 		return 1
 	}
 	return 0
+}
+
+// journaledBatch runs scalar write ops as one ordered journaled batch: the
+// shared escalation path behind every {j: true} insert/insertMany/update/
+// delete request, so the four ops cannot drift in how they acknowledge.
+func journaledBatch(db *mongod.Database, coll string, ops []storage.WriteOp) (storage.BulkResult, error) {
+	res := db.BulkWrite(coll, ops, storage.BulkOptions{Ordered: true, Journaled: true})
+	return res, res.FirstError()
 }
