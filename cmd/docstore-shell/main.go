@@ -9,6 +9,16 @@
 // "db" field may be omitted from requests when -db is given. Write requests
 // accept a "j": true field (writeConcern {j: true}): the server then
 // acknowledges only after the write's WAL record is fsynced.
+//
+// Change streams pass through as requests too: a watch opens a tailable
+// cursor and getMore drains it, waiting up to maxTimeMS for new events —
+//
+//	{"op":"watch","coll":"store_sales","docs":[{"$match":{"operationType":"insert"}}]}
+//	{"op":"getMore","cursorId":1,"maxTimeMS":5000}
+//	{"op":"killCursors","cursorId":1}
+//
+// and "resumeAfter" resumes a watch from a previous response's resumeToken
+// (every event's _id is its own token).
 package main
 
 import (
@@ -58,9 +68,12 @@ func main() {
 		if resp.Result != nil {
 			fmt.Println(resp.Result.ToJSON())
 		}
-		if resp.CursorID != 0 {
+		switch {
+		case resp.CursorID != 0 && resp.ResumeToken != "":
+			fmt.Printf("ok (n=%d, cursorId=%d, resumeToken=%s)\n", resp.N, resp.CursorID, resp.ResumeToken)
+		case resp.CursorID != 0:
 			fmt.Printf("ok (n=%d, cursorId=%d)\n", resp.N, resp.CursorID)
-		} else {
+		default:
 			fmt.Printf("ok (n=%d)\n", resp.N)
 		}
 		return nil
@@ -140,6 +153,14 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	if v, ok := doc.Get("cursorId"); ok {
 		if n, isNum := bson.AsInt(v); isNum {
 			req.CursorID = n
+		}
+	}
+	if v, ok := doc.Get("resumeAfter"); ok {
+		req.ResumeAfter, _ = v.(string)
+	}
+	if v, ok := doc.Get("maxTimeMS"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			req.MaxTimeMS = int(n)
 		}
 	}
 	req.Multi = bson.Truthy(doc.GetOr("multi", false))

@@ -17,6 +17,12 @@
 //	-wal-sync none     fsync only on rotation/shutdown; writeConcern
 //	                   {j: true} still forces one
 //
+// A durable server also serves change streams: the wire "watch" op opens a
+// tailable cursor over the committed write feed, resumable by token.
+// -changestream-buffer sizes each watcher's bounded event buffer — a watcher
+// that falls further behind is invalidated (it resumes from its last token)
+// rather than ever stalling the write path.
+//
 // Clients connect with the wire.Client API or cmd/docstore-shell.
 package main
 
@@ -44,6 +50,7 @@ func main() {
 	walGroupInterval := flag.Duration("wal-group-interval", 0, "extra coalescing window for the group-commit leader (0 = flush as soon as the previous fsync completes)")
 	walSegmentMB := flag.Int64("wal-segment-mb", 0, "WAL segment rotation size in MiB (0 = default)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "interval between automatic checkpoints (0 = only the shutdown checkpoint)")
+	changeStreamBuffer := flag.Int("changestream-buffer", 0, "per-watcher change stream event buffer; a watcher that falls this far behind is invalidated and must resume from its token (0 = default)")
 	flag.Parse()
 
 	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30})
@@ -59,6 +66,7 @@ func main() {
 			Sync:                policy,
 			GroupCommitInterval: *walGroupInterval,
 			SegmentMaxBytes:     *walSegmentMB << 20,
+			ChangeStreamBuffer:  *changeStreamBuffer,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docstored: durability: %v\n", err)

@@ -146,4 +146,54 @@
 // log record, bounded by wal.MaxRecordSize (64 MiB encoded): a journaled
 // bulk write beyond that is rejected whole with a durability error before
 // anything applies — split such loads into smaller batches.
+//
+// # Change streams
+//
+// internal/changestream turns the durability layer into a live event
+// backbone: watchers tail the committed write feed the way real deployments
+// tail the oplog to drive caches, search indexes and reactive clients.
+//
+//   - Events and tokens: every journaled write fans out as ordered events
+//     {_id: resumeToken, operationType, ns, documentKey, fullDocument /
+//     updateDescription / filter}. A resume token encodes (LSN, op index)
+//     as 24 hex characters; an event's _id is its own token, and resuming
+//     from a token delivers events strictly after it. The stream mirrors
+//     the journal — it reports logged write intents, so an op that failed
+//     to apply (duplicate _id) still appears, exactly as it would tailing
+//     the oplog — and a resumed stream replays WAL segments from disk
+//     before switching to the live tail, so live and resumed sequences are
+//     identical: exactly-once delivery across disconnects and full server
+//     restarts.
+//   - Ordering: the write path publishes each record after its apply,
+//     outside the collection lock; a per-server sequencer
+//     (changestream.Broker) delivers only up to the contiguous LSN
+//     frontier, so every watcher observes strictly increasing (LSN, op)
+//     order. While nobody watches, the write path skips event
+//     materialization entirely (one atomic load).
+//   - Flow control: each watcher owns a bounded buffer
+//     (changestream.DefaultBufferSize, docstored -changestream-buffer). A
+//     watcher that overflows it is invalidated with ErrSlowConsumer — the
+//     write path never blocks on a watcher — and resumes from its last
+//     token. A token whose history checkpoint pruning removed fails with
+//     ErrTokenTooOld rather than resuming with a gap.
+//   - Filtering: mongod.Server.Watch accepts $match pipeline stages
+//     compiled by the query matcher and evaluated against the event
+//     document on the publish path, so uninteresting events never enter a
+//     watcher's buffer; only delivered events advance the resume token, so
+//     filters and resume compose.
+//   - Cluster-wide: mongos.Router.Watch opens one stream per shard and
+//     merges them (one pump goroutine per shard, the FindCursor prefetch
+//     pattern) into a single feed with a composite per-shard resume token.
+//     Per-shard LSN order is preserved; cross-shard interleaving is
+//     arbitrary — the strongest guarantee independent per-shard logs
+//     admit.
+//   - Surfaces: the wire "watch" op opens a tailable cursor whose getMore
+//     waits up to maxTimeMS for events (awaitData) and never exhausts;
+//     live change-stream cursors get an extended idle window
+//     (wire.TailableCursorTimeoutMultiple — polling keeps them alive
+//     forever, an abandoned one still ages out), and killCursors tears
+//     the subscription down, even mid-getMore. wire.Client.Watch wraps
+//     the exchange, driver.WatchStore abstracts over both deployments,
+//     and docstore-shell passes watch/getMore/resumeAfter straight
+//     through.
 package docstore

@@ -1,0 +1,491 @@
+package changestream
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+	"docstore/internal/wal"
+)
+
+func updSpec(q, u *bson.Doc) query.UpdateSpec { return query.UpdateSpec{Query: q, Update: u} }
+
+func testWAL(t *testing.T, segmentMax int64) *wal.WAL {
+	t.Helper()
+	w, err := wal.Open(wal.Options{Dir: t.TempDir(), Sync: wal.SyncNone, SegmentMaxBytes: segmentMax})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { w.Close() })
+	return w
+}
+
+// appendInsert logs a one-op insert batch and returns the record with its
+// assigned LSN.
+func appendInsert(t *testing.T, w *wal.WAL, v int) *wal.Record {
+	t.Helper()
+	rec := &wal.Record{
+		Kind: wal.KindBatch, DB: "db", Coll: "c",
+		Ops: []storage.WriteOp{storage.InsertWriteOp(bson.D(bson.IDKey, v, "v", v))},
+	}
+	if _, err := w.Append(rec); err != nil {
+		t.Fatal(err)
+	}
+	return rec
+}
+
+func TestTokenRoundTrip(t *testing.T) {
+	cases := []Token{
+		{LSN: 0, Op: 0},
+		{LSN: 1, Op: 0},
+		{LSN: 42, Op: 7},
+		{LSN: 1<<62 + 12345, Op: opEnd},
+	}
+	for _, tok := range cases {
+		got, err := ParseToken(tok.String())
+		if err != nil {
+			t.Fatalf("ParseToken(%s): %v", tok, err)
+		}
+		if got != tok {
+			t.Fatalf("round trip %v -> %v", tok, got)
+		}
+	}
+	for _, bad := range []string{"", "zz", "00000000000000010000000", "g0000000000000010000000f", "ffffffffffffffff00000000"} {
+		if _, err := ParseToken(bad); err == nil {
+			t.Fatalf("ParseToken(%q) should fail", bad)
+		}
+	}
+
+	comp := CompositeToken{"Shard2": {LSN: 9, Op: 1}, "Shard1": {LSN: 4, Op: opEnd}}
+	got, err := ParseCompositeToken(comp.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got["Shard1"] != comp["Shard1"] || got["Shard2"] != comp["Shard2"] {
+		t.Fatalf("composite round trip: %v -> %v", comp, got)
+	}
+	if empty, err := ParseCompositeToken(""); err != nil || len(empty) != 0 {
+		t.Fatalf("empty composite: %v %v", empty, err)
+	}
+	for _, bad := range []string{"=abc", "a=zz", "a", "a=" + Token{}.String() + "/a=" + Token{}.String()} {
+		if _, err := ParseCompositeToken(bad); err == nil {
+			t.Fatalf("ParseCompositeToken(%q) should fail", bad)
+		}
+	}
+}
+
+// TestBrokerSequencesOutOfOrderPublishes checks that a watcher observes
+// events in LSN order even when the post-commit hooks fire out of order, and
+// that frontier-only records (no events) still advance delivery.
+func TestBrokerSequencesOutOfOrderPublishes(t *testing.T) {
+	w := testWAL(t, 0)
+	b := NewBroker(w)
+	sub, err := b.Subscribe(SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	recs := make([]*wal.Record, 5)
+	for i := range recs {
+		recs[i] = appendInsert(t, w, i)
+	}
+	// Publish in scrambled order; record 2 is frontier-only (nil events),
+	// as an index-management record would be.
+	order := []int{2, 4, 0, 1, 3}
+	for _, i := range order {
+		var events []*Event
+		if i != 2 {
+			events = EventsFromRecord(recs[i], false)
+		}
+		b.Publish(recs[i].LSN, events)
+	}
+
+	var got []int64
+	for {
+		ev, err := sub.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == nil {
+			break
+		}
+		got = append(got, ev.Token.LSN)
+	}
+	want := []int64{recs[0].LSN, recs[1].LSN, recs[3].LSN, recs[4].LSN}
+	if len(got) != len(want) {
+		t.Fatalf("got %v events, want %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("event %d: lsn %d, want %d (order not sequenced)", i, got[i], want[i])
+		}
+	}
+	if st := b.Stats(); st.RecordsPublished != 5 || st.EventsDelivered != 4 {
+		t.Fatalf("stats: %+v", st)
+	}
+}
+
+// TestSlowConsumerInvalidation checks a watcher that overflows its bounded
+// buffer is cut off with ErrSlowConsumer after draining what was buffered.
+func TestSlowConsumerInvalidation(t *testing.T) {
+	w := testWAL(t, 0)
+	b := NewBroker(w)
+	sub, err := b.Subscribe(SubscribeOptions{BufferSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	for i := 0; i < 4; i++ {
+		rec := appendInsert(t, w, i)
+		b.Publish(rec.LSN, EventsFromRecord(rec, false))
+	}
+	delivered := 0
+	for {
+		ev, err := sub.Next(10 * time.Millisecond)
+		if err != nil {
+			if !errors.Is(err, ErrSlowConsumer) {
+				t.Fatalf("want ErrSlowConsumer, got %v", err)
+			}
+			break
+		}
+		if ev == nil {
+			t.Fatal("stream went quiet instead of reporting invalidation")
+		}
+		delivered++
+	}
+	if delivered != 2 {
+		t.Fatalf("delivered %d buffered events before invalidation, want 2", delivered)
+	}
+	if st := b.Stats(); st.Watchers != 0 || st.SlowConsumers != 1 {
+		t.Fatalf("stats after invalidation: %+v", st)
+	}
+}
+
+// TestFilterSelectsEvents checks the per-watcher predicate runs on both the
+// live path and the replay path and gates the resume token identically.
+func TestFilterSelectsEvents(t *testing.T) {
+	w := testWAL(t, 0)
+	b := NewBroker(w)
+	even := func(ev *Event) bool {
+		v, _ := bson.AsInt(ev.FullDocument.GetOr("v", int64(-1)))
+		return v%2 == 0
+	}
+	sub, err := b.Subscribe(SubscribeOptions{Filter: even})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+
+	for i := 0; i < 6; i++ {
+		rec := appendInsert(t, w, i)
+		b.Publish(rec.LSN, EventsFromRecord(rec, false))
+	}
+	var lives []int64
+	for {
+		ev, err := sub.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == nil {
+			break
+		}
+		v, _ := bson.AsInt(ev.FullDocument.GetOr("v", int64(-1)))
+		if v%2 != 0 {
+			t.Fatalf("filter leaked v=%d", v)
+		}
+		lives = append(lives, v)
+	}
+	if len(lives) != 3 {
+		t.Fatalf("live filtered events: %v", lives)
+	}
+
+	// Resume from scratch with the same filter: replay must deliver the
+	// same filtered sequence.
+	start := Token{LSN: 0, Op: opEnd}
+	resumed, err := b.Subscribe(SubscribeOptions{Resume: &start, Filter: even})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	var replayed []int64
+	for {
+		ev, err := resumed.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == nil {
+			break
+		}
+		v, _ := bson.AsInt(ev.FullDocument.GetOr("v", int64(-1)))
+		replayed = append(replayed, v)
+	}
+	if fmt.Sprint(replayed) != fmt.Sprint(lives) {
+		t.Fatalf("replay %v differs from live %v", replayed, lives)
+	}
+}
+
+// TestResumeAcrossSegmentRotation writes enough records to rotate segments,
+// consumes half the stream, then resumes from the half-way token and checks
+// the remainder arrives exactly once, spanning the rotation point.
+func TestResumeAcrossSegmentRotation(t *testing.T) {
+	w := testWAL(t, 1<<10) // tiny segments: force several rotations
+	b := NewBroker(w)
+
+	const total = 50
+	var recs []*wal.Record
+	for i := 0; i < total; i++ {
+		rec := appendInsert(t, w, i)
+		recs = append(recs, rec)
+		b.Publish(rec.LSN, EventsFromRecord(rec, false))
+	}
+	if segs, err := wal.SegmentFiles(w.Dir()); err != nil || len(segs) < 3 {
+		t.Fatalf("want >= 3 segments to span a rotation, have %d (%v)", len(segs), err)
+	}
+
+	// First stream: resume from the beginning, consume half, remember the
+	// token, drop the stream mid-flight.
+	start := Token{LSN: 0, Op: opEnd}
+	first, err := b.Subscribe(SubscribeOptions{Resume: &start})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var seen []int64
+	for i := 0; i < total/2; i++ {
+		ev, err := first.Next(time.Second)
+		if err != nil || ev == nil {
+			t.Fatalf("event %d: %v %v", i, ev, err)
+		}
+		seen = append(seen, ev.Token.LSN)
+	}
+	tokStr := first.ResumeToken()
+	first.Close()
+
+	tok, err := ParseToken(tokStr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := b.Subscribe(SubscribeOptions{Resume: &tok})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer second.Close()
+	for {
+		ev, err := second.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == nil {
+			break
+		}
+		seen = append(seen, ev.Token.LSN)
+	}
+	if len(seen) != total {
+		t.Fatalf("resume lost or duplicated events: %d total, want %d", len(seen), total)
+	}
+	for i, lsn := range seen {
+		if lsn != recs[i].LSN {
+			t.Fatalf("event %d has lsn %d, want %d", i, lsn, recs[i].LSN)
+		}
+	}
+}
+
+// TestResumeBelowPruneCutoffFails prunes early segments (as a checkpoint
+// does) and checks a resume below the cutoff reports ErrTokenTooOld instead
+// of silently skipping the gap.
+func TestResumeBelowPruneCutoffFails(t *testing.T) {
+	w := testWAL(t, 1<<10)
+	b := NewBroker(w)
+	var last *wal.Record
+	for i := 0; i < 50; i++ {
+		last = appendInsert(t, w, i)
+		b.Publish(last.LSN, EventsFromRecord(last, false))
+	}
+	segs, err := wal.SegmentFiles(w.Dir())
+	if err != nil || len(segs) < 3 {
+		t.Fatalf("need rotated segments: %d %v", len(segs), err)
+	}
+	cut := segs[len(segs)-1].FirstLSN - 1
+	if _, err := w.Prune(cut); err != nil {
+		t.Fatal(err)
+	}
+
+	old := Token{LSN: 1, Op: 0}
+	if _, err := b.Subscribe(SubscribeOptions{Resume: &old}); !errors.Is(err, ErrTokenTooOld) {
+		t.Fatalf("resume below cutoff: want ErrTokenTooOld, got %v", err)
+	}
+	// A token at the live edge still resumes fine.
+	edge := Token{LSN: last.LSN, Op: opEnd}
+	sub, err := b.Subscribe(SubscribeOptions{Resume: &edge})
+	if err != nil {
+		t.Fatalf("edge resume: %v", err)
+	}
+	sub.Close()
+}
+
+// TestEventsFromRecord covers the event derivation rules: per-op tokens,
+// document keys, structural records, and index records yielding nothing.
+func TestEventsFromRecord(t *testing.T) {
+	rec := &wal.Record{
+		Kind: wal.KindBatch, DB: "d", Coll: "c", LSN: 7,
+		Ops: []storage.WriteOp{
+			storage.InsertWriteOp(bson.D(bson.IDKey, 1, "x", "a")),
+			storage.UpdateWriteOp(updSpec(bson.D(bson.IDKey, 2), bson.D("$set", bson.D("x", "b")))),
+			storage.DeleteWriteOp(bson.D("x", bson.D("$gt", 0)), true),
+		},
+	}
+	evs := EventsFromRecord(rec, false)
+	if len(evs) != 3 {
+		t.Fatalf("events: %d", len(evs))
+	}
+	if evs[0].OpType != OpInsert || evs[0].Token != (Token{LSN: 7, Op: 0}) || evs[0].FullDocument == nil {
+		t.Fatalf("insert event: %+v", evs[0])
+	}
+	if id, _ := bson.AsInt(evs[0].DocumentKey.GetOr(bson.IDKey, nil)); id != 1 {
+		t.Fatalf("insert documentKey: %v", evs[0].DocumentKey)
+	}
+	if evs[1].OpType != OpUpdate || evs[1].DocumentKey == nil || evs[1].UpdateDescription == nil {
+		t.Fatalf("update event: %+v", evs[1])
+	}
+	if evs[2].OpType != OpDelete || evs[2].DocumentKey != nil || evs[2].Filter == nil {
+		t.Fatalf("delete event: %+v", evs[2])
+	}
+	doc := evs[0].Doc()
+	if op, _ := doc.Get("operationType"); op != OpInsert {
+		t.Fatalf("event doc: %v", doc)
+	}
+	if tok, _ := doc.Get("_id"); tok != evs[0].Token.String() {
+		t.Fatalf("event doc _id: %v", tok)
+	}
+
+	if evs := EventsFromRecord(&wal.Record{Kind: wal.KindDropCollection, DB: "d", Coll: "c", LSN: 9}, false); len(evs) != 1 || evs[0].OpType != OpDrop {
+		t.Fatalf("drop events: %+v", evs)
+	}
+	if evs := EventsFromRecord(&wal.Record{Kind: wal.KindDropDatabase, DB: "d", LSN: 10}, false); len(evs) != 1 || evs[0].OpType != OpDropDatabase || evs[0].Coll != "" {
+		t.Fatalf("dropDatabase events: %+v", evs)
+	}
+	if evs := EventsFromRecord(&wal.Record{Kind: wal.KindEnsureIndex, DB: "d", Coll: "c", LSN: 11}, false); evs != nil {
+		t.Fatalf("index records must be frontier-only, got %+v", evs)
+	}
+}
+
+// TestInvalidationMidReplayDoesNotJumpToken checks a watcher invalidated
+// while its resume replay is still running reports the error WITHOUT
+// delivering buffered live events: handing those out would advance the
+// resume token past undelivered replay history and create a permanent gap.
+func TestInvalidationMidReplayDoesNotJumpToken(t *testing.T) {
+	w := testWAL(t, 1<<10)
+	b := NewBroker(w)
+	const history = 30
+	for i := 0; i < history; i++ {
+		rec := appendInsert(t, w, i)
+		b.Publish(rec.LSN, EventsFromRecord(rec, false))
+	}
+	start := Token{}
+	sub, err := b.Subscribe(SubscribeOptions{Resume: &start, BufferSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub.Close()
+	// Deliver one replay event so the token sits inside the history.
+	first, err := sub.Next(0)
+	if err != nil || first == nil {
+		t.Fatalf("first replay event: %v %v", first, err)
+	}
+	// Live writes overflow the 1-slot buffer and invalidate the watcher
+	// while the replay is far from finished.
+	for i := 0; i < 3; i++ {
+		rec := appendInsert(t, w, history+i)
+		b.Publish(rec.LSN, EventsFromRecord(rec, false))
+	}
+	tokenBefore := sub.ResumeToken()
+	ev, err := sub.Next(0)
+	if !errors.Is(err, ErrSlowConsumer) {
+		t.Fatalf("mid-replay invalidation: ev=%v err=%v", ev, err)
+	}
+	if sub.ResumeToken() != tokenBefore {
+		t.Fatalf("token moved on invalidation: %s -> %s", tokenBefore, sub.ResumeToken())
+	}
+	// Resuming from that token re-delivers the whole remaining history.
+	tok, err := ParseToken(tokenBefore)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resumed, err := b.Subscribe(SubscribeOptions{Resume: &tok, BufferSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resumed.Close()
+	count := 0
+	for {
+		ev, err := resumed.Next(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ev == nil {
+			break
+		}
+		count++
+	}
+	if count != history-1+3 {
+		t.Fatalf("resume after mid-replay invalidation delivered %d events, want %d", count, history-1+3)
+	}
+}
+
+// TestWantsEventsScoping checks the namespace-interest index the write path
+// consults to skip event materialization: a watcher's scope covers exactly
+// its collection, database, or everything, and releases on close.
+func TestWantsEventsScoping(t *testing.T) {
+	w := testWAL(t, 0)
+	b := NewBroker(w)
+	if b.WantsEvents("d1", "c1") {
+		t.Fatal("fresh broker wants events")
+	}
+	collSub, err := b.Subscribe(SubscribeOptions{DB: "d1", Coll: "c1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.WantsEvents("d1", "c1") || b.WantsEvents("d1", "c2") || b.WantsEvents("d2", "c1") {
+		t.Fatal("collection scope leaked or missing")
+	}
+	dbSub, err := b.Subscribe(SubscribeOptions{DB: "d2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.WantsEvents("d2", "anything") || b.WantsEvents("d3", "x") {
+		t.Fatal("database scope wrong")
+	}
+	allSub, err := b.Subscribe(SubscribeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !b.WantsEvents("d3", "x") {
+		t.Fatal("server scope missing")
+	}
+	allSub.Close()
+	dbSub.Close()
+	if b.WantsEvents("d2", "x") || !b.WantsEvents("d1", "c1") {
+		t.Fatal("interest not released on close")
+	}
+	collSub.Close()
+	if b.WantsEvents("d1", "c1") {
+		t.Fatal("interest not released on close")
+	}
+}
+
+// TestResumeBeyondLogEndRejected checks a token from a longer, lost log
+// (e.g. a wiped data dir) is rejected instead of silently accepted.
+func TestResumeBeyondLogEndRejected(t *testing.T) {
+	w := testWAL(t, 0)
+	b := NewBroker(w)
+	appendInsert(t, w, 1)
+	future := Token{LSN: 99, Op: 0}
+	if _, err := b.Subscribe(SubscribeOptions{Resume: &future}); err == nil {
+		t.Fatal("future token should be rejected")
+	}
+}

@@ -1,0 +1,124 @@
+package changestream
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Token is a resume position in one server's change stream: the WAL record
+// (LSN) and the index of the last delivered operation inside that record's
+// batch. Resuming from a token delivers events strictly after it — the
+// remaining operations of record LSN first, then every later record — so a
+// consumer that persists the token of each event it processes gets
+// exactly-once delivery across disconnects and server restarts.
+type Token struct {
+	// LSN is the log sequence number of the WAL record the event came from.
+	LSN int64
+	// Op is the index of the event's operation within the record's batch.
+	// opEnd marks a whole record as consumed (the position of a fresh,
+	// event-less stream).
+	Op int32
+}
+
+// opEnd is the Op value meaning "every operation of this record delivered";
+// the initial token of a stream that has not delivered anything yet is
+// {joinLSN, opEnd}, i.e. resume from the next record.
+const opEnd = math.MaxInt32
+
+// tokenLen is the length of an encoded token: 12 bytes hex-encoded.
+const tokenLen = 24
+
+// String renders the token in its wire form: 24 hex characters encoding the
+// big-endian LSN followed by the big-endian op index.
+func (t Token) String() string {
+	var raw [12]byte
+	binary.BigEndian.PutUint64(raw[0:8], uint64(t.LSN))
+	binary.BigEndian.PutUint32(raw[8:12], uint32(t.Op))
+	return hex.EncodeToString(raw[:])
+}
+
+// next reports the first LSN a resume from this token needs from the log: the
+// token's own record when operations of it remain undelivered, otherwise the
+// record after it. LSNs start at 1, so the zero Token means "from the very
+// beginning of the log".
+func (t Token) next() int64 {
+	if t.LSN == 0 || t.Op == opEnd {
+		return t.LSN + 1
+	}
+	return t.LSN
+}
+
+// ParseToken decodes the wire form of a token. It never panics on malformed
+// input (FuzzResumeTokenDecode enforces this) and rejects anything that could
+// not have been produced by String.
+func ParseToken(s string) (Token, error) {
+	if len(s) != tokenLen {
+		return Token{}, fmt.Errorf("changestream: resume token %q: want %d hex characters, have %d", s, tokenLen, len(s))
+	}
+	raw, err := hex.DecodeString(s)
+	if err != nil {
+		return Token{}, fmt.Errorf("changestream: resume token %q: %v", s, err)
+	}
+	lsn := int64(binary.BigEndian.Uint64(raw[0:8]))
+	op := int32(binary.BigEndian.Uint32(raw[8:12]))
+	if lsn < 0 {
+		return Token{}, fmt.Errorf("changestream: resume token %q: negative lsn", s)
+	}
+	if op < 0 {
+		return Token{}, fmt.Errorf("changestream: resume token %q: negative op index", s)
+	}
+	return Token{LSN: lsn, Op: op}, nil
+}
+
+// CompositeToken is the cluster-wide resume token of a merged stream: one
+// per-shard token under the shard's name. A mongos watcher resumes by handing
+// each shard its own token, so per-shard exactly-once delivery carries over
+// to the merged stream.
+type CompositeToken map[string]Token
+
+// String renders the composite token as "shard=token/shard=token" with the
+// shards in sorted order, so equal positions encode identically.
+func (c CompositeToken) String() string {
+	if len(c) == 0 {
+		return ""
+	}
+	names := make([]string, 0, len(c))
+	for name := range c {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	parts := make([]string, len(names))
+	for i, name := range names {
+		parts[i] = name + "=" + c[name].String()
+	}
+	return strings.Join(parts, "/")
+}
+
+// ParseCompositeToken decodes the composite form. The empty string is a valid
+// empty token (a fresh cluster-wide stream). Like ParseToken it never panics
+// on malformed input.
+func ParseCompositeToken(s string) (CompositeToken, error) {
+	out := CompositeToken{}
+	if s == "" {
+		return out, nil
+	}
+	for _, part := range strings.Split(s, "/") {
+		name, tok, ok := strings.Cut(part, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("changestream: composite token part %q: want shard=token", part)
+		}
+		if _, dup := out[name]; dup {
+			return nil, fmt.Errorf("changestream: composite token names shard %q twice", name)
+		}
+		t, err := ParseToken(tok)
+		if err != nil {
+			return nil, err
+		}
+		out[name] = t
+	}
+	return out, nil
+}

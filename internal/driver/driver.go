@@ -9,6 +9,7 @@ package driver
 import (
 	"docstore/internal/aggregate"
 	"docstore/internal/bson"
+	"docstore/internal/changestream"
 	"docstore/internal/mongod"
 	"docstore/internal/mongos"
 	"docstore/internal/query"
@@ -48,11 +49,31 @@ type BulkStore interface {
 	BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
 }
 
+// WatchStore is implemented by deployments that can open change streams:
+// live, resumable feeds of committed writes. Both deployment adapters
+// implement it — the stand-alone adapter over the server's WAL tail, the
+// sharded adapter as a cluster-wide merge of per-shard streams with a
+// composite resume token. Reactive consumers (cache invalidation, search
+// indexing) type-assert from Store to WatchStore and fall back to polling
+// otherwise.
+type WatchStore interface {
+	Store
+	// Watch opens a change stream over a collection (coll == "" watches
+	// the whole database). pipeline is an optional list of $match stages
+	// evaluated per event; resumeAfter, when non-empty, is a token from a
+	// previous stream's ResumeToken — the deployment-matching format
+	// (per-server token stand-alone, composite token sharded). Requires
+	// durability on the underlying server(s).
+	Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error)
+}
+
 var (
 	_ CursorStore = (*Standalone)(nil)
 	_ CursorStore = (*Sharded)(nil)
 	_ BulkStore   = (*Standalone)(nil)
 	_ BulkStore   = (*Sharded)(nil)
+	_ WatchStore  = (*Standalone)(nil)
+	_ WatchStore  = (*Sharded)(nil)
 )
 
 // Store is the operation set the algorithms need from a deployment.
@@ -139,6 +160,11 @@ func (s *Standalone) AggregateCursor(coll string, stages []*bson.Doc) (Cursor, e
 	return s.DB.AggregateCursor(coll, stages)
 }
 
+// Watch implements WatchStore.
+func (s *Standalone) Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error) {
+	return s.DB.Server().Watch(s.DB.Name(), coll, mongod.WatchOptions{Pipeline: pipeline, ResumeAfter: resumeAfter})
+}
+
 // Count implements Store.
 func (s *Standalone) Count(coll string, filter *bson.Doc) (int, error) {
 	return s.DB.Collection(coll).CountDocs(filter)
@@ -214,6 +240,11 @@ func (s *Sharded) FindCursor(coll string, filter *bson.Doc, opts storage.FindOpt
 // AggregateCursor implements CursorStore.
 func (s *Sharded) AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error) {
 	return s.Router.AggregateCursor(s.DBName, coll, stages)
+}
+
+// Watch implements WatchStore.
+func (s *Sharded) Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error) {
+	return s.Router.Watch(s.DBName, coll, pipeline, resumeAfter)
 }
 
 // Count implements Store.

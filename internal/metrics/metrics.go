@@ -168,13 +168,24 @@ func (f *Figure) String() string {
 // Timer measures an operation and its repeats.
 type Timer struct {
 	runs []time.Duration
+	// Clock, when non-nil, replaces the wall clock. Tests inject one so
+	// timing assertions do not depend on scheduler latency or clock
+	// granularity.
+	Clock func() time.Time
+}
+
+func (t *Timer) now() time.Time {
+	if t.Clock != nil {
+		return t.Clock()
+	}
+	return time.Now()
 }
 
 // Measure runs fn once and records its duration, returning fn's error.
 func (t *Timer) Measure(fn func() error) error {
-	start := time.Now()
+	start := t.now()
 	err := fn()
-	t.runs = append(t.runs, time.Since(start))
+	t.runs = append(t.runs, t.now().Sub(start))
 	return err
 }
 

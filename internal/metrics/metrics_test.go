@@ -88,16 +88,21 @@ func TestFigureRendering(t *testing.T) {
 }
 
 func TestTimer(t *testing.T) {
+	// An injected clock makes the measured durations exact: each Measure
+	// call advances the fake clock by a known amount inside fn, so the
+	// assertions hold on any scheduler and any timer granularity.
+	now := time.Unix(1_000_000, 0)
 	var tm Timer
+	tm.Clock = func() time.Time { return now }
 	if tm.Best() != 0 || tm.Mean() != 0 {
 		t.Fatalf("empty timer should report zero")
 	}
-	for i := 0; i < 3; i++ {
+	for i, d := range []time.Duration{30 * time.Millisecond, 10 * time.Millisecond, 20 * time.Millisecond} {
 		if err := tm.Measure(func() error {
-			time.Sleep(time.Millisecond)
+			now = now.Add(d)
 			return nil
 		}); err != nil {
-			t.Fatal(err)
+			t.Fatal(i, err)
 		}
 	}
 	wantErr := errors.New("boom")
@@ -108,7 +113,13 @@ func TestTimer(t *testing.T) {
 	if len(runs) != 4 {
 		t.Fatalf("runs = %d", len(runs))
 	}
-	if tm.Best() <= 0 || tm.Mean() < tm.Best() {
-		t.Fatalf("best=%v mean=%v", tm.Best(), tm.Mean())
+	if runs[0] != 30*time.Millisecond || runs[3] != 0 {
+		t.Fatalf("runs = %v", runs)
+	}
+	if tm.Best() != 0 {
+		t.Fatalf("best = %v, want the zero-duration error run", tm.Best())
+	}
+	if tm.Mean() != 15*time.Millisecond {
+		t.Fatalf("mean = %v", tm.Mean())
 	}
 }

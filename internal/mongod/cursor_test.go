@@ -2,6 +2,7 @@ package mongod
 
 import (
 	"fmt"
+	"sync"
 	"testing"
 	"time"
 
@@ -140,9 +141,23 @@ func TestAggregateCursorMatchesAggregateAndParallel(t *testing.T) {
 
 // TestCursorProfilingSpansDrain checks a streamed query is profiled over
 // its whole drain, not just cursor construction: the recorded duration must
-// include time spent between batches.
+// include time spent between batches. The server's profiling clock is
+// injected and advanced explicitly between open and drain, so the assertion
+// is exact on any scheduler — no sleeping.
 func TestCursorProfilingSpansDrain(t *testing.T) {
 	srv := NewServer(Options{}) // zero threshold records every op
+	var mu sync.Mutex
+	now := time.Unix(1_000_000, 0)
+	srv.clock = func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	advance := func(d time.Duration) {
+		mu.Lock()
+		now = now.Add(d)
+		mu.Unlock()
+	}
 	db := srv.Database("db")
 	for i := 0; i < 50; i++ {
 		if _, err := db.Insert("rows", bson.D(bson.IDKey, i)); err != nil {
@@ -158,7 +173,7 @@ func TestCursorProfilingSpansDrain(t *testing.T) {
 		t.Fatalf("find profiled before the cursor was drained (%d entries)", got)
 	}
 	const pause = 20 * time.Millisecond
-	time.Sleep(pause)
+	advance(pause)
 	if _, err := cur.All(); err != nil {
 		t.Fatal(err)
 	}
@@ -166,8 +181,8 @@ func TestCursorProfilingSpansDrain(t *testing.T) {
 	if len(entries) != 1 {
 		t.Fatalf("expected 1 find profile entry after drain, got %d", len(entries))
 	}
-	if entries[0].Duration < pause {
-		t.Fatalf("profiled duration %v does not span the drain (>= %v)", entries[0].Duration, pause)
+	if entries[0].Duration != pause {
+		t.Fatalf("profiled duration %v does not span the drain (want exactly %v)", entries[0].Duration, pause)
 	}
 
 	// Closing an undrained AggregateCursor must record exactly once too.

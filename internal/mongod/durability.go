@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"docstore/internal/bson"
+	"docstore/internal/changestream"
 	"docstore/internal/storage"
 	"docstore/internal/wal"
 )
@@ -28,6 +29,11 @@ type Durability struct {
 	GroupCommitInterval time.Duration
 	// SegmentMaxBytes rotates WAL segments past this size (0 = default).
 	SegmentMaxBytes int64
+	// ChangeStreamBuffer is the default per-watcher event buffer of change
+	// streams opened with Server.Watch (0 = changestream.DefaultBufferSize).
+	// A watcher that falls this many events behind the write stream is
+	// invalidated and must resume from its last token.
+	ChangeStreamBuffer int
 }
 
 // RecoveryStats reports what EnableDurability restored.
@@ -57,9 +63,10 @@ type CheckpointStats struct {
 // durableState is the per-server durability runtime, published atomically on
 // the Server so the hot write path reads it without locks.
 type durableState struct {
-	wal  *wal.WAL
-	dir  string
-	opts Durability
+	wal    *wal.WAL
+	dir    string
+	opts   Durability
+	broker *changestream.Broker
 
 	checkpointMu chan struct{} // 1-buffered: held while a checkpoint runs
 }
@@ -91,43 +98,75 @@ type manifestIndex struct {
 }
 
 // collJournal adapts the server's WAL to the storage engine's Journal
-// interface for one collection.
+// interface for one collection, and feeds the change-stream broker: every
+// logged record comes back as a notifyingCommit whose post-commit hook
+// publishes the record's events.
 type collJournal struct {
-	w    *wal.WAL
-	db   string
-	coll string
+	w      *wal.WAL
+	broker *changestream.Broker
+	db     string
+	coll   string
+}
+
+// notifyingCommit wraps a WAL commit so that storage's post-commit hook
+// (storage.CommitNotifier, fired by waitCommit after the apply and the
+// durability wait) publishes the record to the change-stream broker. Publish
+// sequences records by LSN, so the out-of-order arrival of hooks from
+// concurrent collections is fine; what matters is that every logged record
+// reaches Publish exactly once.
+type notifyingCommit struct {
+	*wal.Commit
+	broker *changestream.Broker
+	rec    *wal.Record
+	events []*changestream.Event
+}
+
+// Notify implements storage.CommitNotifier.
+func (n *notifyingCommit) Notify() {
+	if n.rec.Kind == wal.KindBatch {
+		// Batch events are pre-built (or deliberately absent) at log time;
+		// deriving them here would race in-place updates of the stored
+		// documents the record references.
+		n.broker.Publish(n.rec.LSN, n.events)
+		return
+	}
+	n.broker.Publish(n.rec.LSN, changestream.EventsFromRecord(n.rec, false))
+}
+
+func (j *collJournal) wrap(rec *wal.Record) (storage.CommitWaiter, error) {
+	commit, err := j.w.Append(rec)
+	if err != nil {
+		return nil, err
+	}
+	nc := &notifyingCommit{Commit: commit, broker: j.broker, rec: rec}
+	if rec.Kind == wal.KindBatch && j.broker.WantsEvents(rec.DB, rec.Coll) {
+		// Built under the collection lock (LogBatch is called from
+		// logLocked), AFTER the append: a subscriber whose join point
+		// precedes this record has, by the WAL-mutex ordering, already
+		// raised the interest index this check reads, so no watcher can
+		// need events this skips — and writes to namespaces nobody
+		// watches skip materialization entirely. The clone pins the
+		// insert payloads against later in-place updates of the stored
+		// documents.
+		nc.events = changestream.EventsFromRecord(rec, true)
+	}
+	return nc, nil
 }
 
 func (j *collJournal) LogBatch(ops []storage.WriteOp, ordered bool) (storage.CommitWaiter, error) {
-	commit, err := j.w.Append(&wal.Record{Kind: wal.KindBatch, DB: j.db, Coll: j.coll, Ordered: ordered, Ops: ops})
-	if err != nil {
-		return nil, err
-	}
-	return commit, nil
+	return j.wrap(&wal.Record{Kind: wal.KindBatch, DB: j.db, Coll: j.coll, Ordered: ordered, Ops: ops})
 }
 
 func (j *collJournal) LogClear() (storage.CommitWaiter, error) {
-	commit, err := j.w.Append(&wal.Record{Kind: wal.KindClear, DB: j.db, Coll: j.coll})
-	if err != nil {
-		return nil, err
-	}
-	return commit, nil
+	return j.wrap(&wal.Record{Kind: wal.KindClear, DB: j.db, Coll: j.coll})
 }
 
 func (j *collJournal) LogEnsureIndex(spec *bson.Doc, unique bool) (storage.CommitWaiter, error) {
-	commit, err := j.w.Append(&wal.Record{Kind: wal.KindEnsureIndex, DB: j.db, Coll: j.coll, Spec: spec, Unique: unique})
-	if err != nil {
-		return nil, err
-	}
-	return commit, nil
+	return j.wrap(&wal.Record{Kind: wal.KindEnsureIndex, DB: j.db, Coll: j.coll, Spec: spec, Unique: unique})
 }
 
 func (j *collJournal) LogDropIndex(name string) (storage.CommitWaiter, error) {
-	commit, err := j.w.Append(&wal.Record{Kind: wal.KindDropIndex, DB: j.db, Coll: j.coll, Index: name})
-	if err != nil {
-		return nil, err
-	}
-	return commit, nil
+	return j.wrap(&wal.Record{Kind: wal.KindDropIndex, DB: j.db, Coll: j.coll, Index: name})
 }
 
 // DurabilityEnabled reports whether the server writes a WAL.
@@ -200,14 +239,20 @@ func (s *Server) EnableDurability(d Durability) (RecoveryStats, error) {
 		w.Close()
 		return stats, fmt.Errorf("mongod: replaying wal: %w", err)
 	}
-	// Phase 3: go live. Publishing durableState first makes lazily-created
+	// Phase 3: go live. The change-stream broker starts at the
+	// post-recovery frontier (replayed records are state reconstruction,
+	// not new changes). Publishing durableState first makes lazily-created
 	// collections pick up journals; then existing collections are wired.
-	ds := &durableState{wal: w, dir: d.Dir, opts: d, checkpointMu: make(chan struct{}, 1)}
+	ds := &durableState{
+		wal: w, dir: d.Dir, opts: d,
+		broker:       changestream.NewBroker(w),
+		checkpointMu: make(chan struct{}, 1),
+	}
 	s.durable.Store(ds)
 	for _, dbName := range s.DatabaseNames() {
 		db := s.Database(dbName)
 		for _, collName := range db.CollectionNames() {
-			db.Collection(collName).SetJournal(&collJournal{w: w, db: dbName, coll: collName})
+			db.Collection(collName).SetJournal(&collJournal{w: w, broker: ds.broker, db: dbName, coll: collName})
 		}
 	}
 	return stats, nil
@@ -295,16 +340,21 @@ func (s *Server) applyRecord(rec *wal.Record) bool {
 // while the caller still holds the lock that removed the entry, so the
 // record's LSN orders after every write of the dropped incarnation and
 // before any write of a same-name successor (which must re-enter that lock
-// to be created). The returned commit is waited on after the lock is
-// released; an append error means the drop never entered the log and the
-// caller must undo the in-memory removal. A nil commit means durability is
-// off.
-func (s *Server) logStructuralLocked(kind wal.RecordKind, db, coll string) (*wal.Commit, error) {
+// to be created). The returned commit is waited on — and its change-stream
+// notification fired — after the lock is released; an append error means the
+// drop never entered the log and the caller must undo the in-memory removal.
+// A nil commit means durability is off.
+func (s *Server) logStructuralLocked(kind wal.RecordKind, db, coll string) (*notifyingCommit, error) {
 	ds := s.durable.Load()
 	if ds == nil {
 		return nil, nil
 	}
-	return ds.wal.Append(&wal.Record{Kind: kind, DB: db, Coll: coll})
+	rec := &wal.Record{Kind: kind, DB: db, Coll: coll}
+	commit, err := ds.wal.Append(rec)
+	if err != nil {
+		return nil, err
+	}
+	return &notifyingCommit{Commit: commit, broker: ds.broker, rec: rec}, nil
 }
 
 // newestCheckpoint finds the highest-LSN complete checkpoint directory.
@@ -491,14 +541,29 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 	return stats, nil
 }
 
-// CloseDurability flushes and closes the WAL. The server must not serve
-// writes afterwards; call Checkpoint first for a fast next startup.
+// CloseDurability invalidates every change-stream watcher, then flushes and
+// closes the WAL. The server must not serve writes afterwards; call
+// Checkpoint first for a fast next startup.
 func (s *Server) CloseDurability() error {
 	ds := s.durable.Load()
 	if ds == nil {
 		return nil
 	}
+	// Watchers go first: a resume replay racing the log teardown would
+	// read a closing file set.
+	ds.broker.Close()
 	return ds.wal.Close()
+}
+
+// ChangeStreams returns the server's change-stream broker, or nil when
+// durability is off. Tests and the wire layer's stats use it; streams are
+// opened with Server.Watch.
+func (s *Server) ChangeStreams() *changestream.Broker {
+	ds := s.durable.Load()
+	if ds == nil {
+		return nil
+	}
+	return ds.broker
 }
 
 func writeCollectionSnapshot(path string, coll *storage.Collection) (storage.SnapshotInfo, error) {

@@ -25,10 +25,20 @@ type profiler struct {
 	entries []ProfileEntry
 }
 
+// clock returns the server's profiling clock: the wall clock unless a test
+// injected one (see Server.clock), so drain-spanning duration assertions can
+// advance time explicitly instead of sleeping.
+func (s *Server) clockTime() time.Time {
+	if s.clock != nil {
+		return s.clock()
+	}
+	return time.Now()
+}
+
 // profile starts timing an operation; the returned function stops the timer
 // and records the entry if it clears the server's slow-op threshold.
 func (db *Database) profile(op, coll string) func() {
-	start := time.Now()
+	start := db.server.clockTime()
 	return func() {
 		db.record(op, coll, start, 0, 0)
 	}
@@ -38,7 +48,7 @@ func (db *Database) profile(op, coll string) func() {
 // returned function stops the timer and records the entry together with the
 // per-op failure count the batch produced.
 func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int) {
-	start := time.Now()
+	start := db.server.clockTime()
 	return func(batchErrors int) {
 		db.record("bulkWrite", coll, start, batchOps, batchErrors)
 	}
@@ -47,7 +57,7 @@ func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int)
 // record appends a profile entry when the elapsed time clears the server's
 // slow-op threshold.
 func (db *Database) record(op, coll string, start time.Time, batchOps, batchErrors int) {
-	elapsed := time.Since(start)
+	elapsed := db.server.clockTime().Sub(start)
 	if elapsed < db.server.opts.SlowOpThreshold {
 		return
 	}

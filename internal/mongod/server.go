@@ -44,6 +44,11 @@ type Server struct {
 	counters OpCounters
 	profiler profiler
 
+	// clock, when non-nil, replaces the wall clock for profiling. Tests
+	// inject one (before the server serves operations) so duration
+	// assertions are deterministic.
+	clock func() time.Time
+
 	// durable, when non-nil, holds the write-ahead log every collection
 	// journals through (see durability.go). It is read lock-free on the
 	// write path.
@@ -138,8 +143,10 @@ func (s *Server) DropDatabase(name string) bool {
 	if commit != nil {
 		// A wait failure here means "not durable yet", not "not logged";
 		// the record is buffered and syncs with the next flush, the same
-		// window every non-journaled write has.
+		// window every non-journaled write has. The notification publishes
+		// the dropDatabase event and advances the change-stream frontier.
 		_ = commit.Wait(false)
+		commit.Notify()
 	}
 	return true
 }
@@ -152,7 +159,7 @@ func (s *Server) reattachJournals(db *Database) {
 		return
 	}
 	for _, name := range db.CollectionNames() {
-		db.Collection(name).SetJournal(&collJournal{w: ds.wal, db: db.name, coll: name})
+		db.Collection(name).SetJournal(&collJournal{w: ds.wal, broker: ds.broker, db: db.name, coll: name})
 	}
 }
 
@@ -291,6 +298,10 @@ func newDatabase(name string, server *Server) *Database {
 // Name returns the database name.
 func (db *Database) Name() string { return db.name }
 
+// Server returns the server the database belongs to; the driver's
+// stand-alone adapter uses it to reach server-scoped entry points (Watch).
+func (db *Database) Server() *Server { return db.server }
+
 // Collection returns the named collection, creating it when absent. On a
 // durable server a new collection is born with its journal attached, so its
 // very first write is already logged.
@@ -301,7 +312,7 @@ func (db *Database) Collection(name string) *storage.Collection {
 	if !ok {
 		c = storage.NewCollection(name)
 		if ds := db.server.durable.Load(); ds != nil {
-			c.SetJournal(&collJournal{w: ds.wal, db: db.name, coll: name})
+			c.SetJournal(&collJournal{w: ds.wal, broker: ds.broker, db: db.name, coll: name})
 		}
 		db.colls[name] = c
 	}
@@ -368,7 +379,7 @@ func (db *Database) DropCollection(name string) bool {
 	if err != nil {
 		db.colls[name] = c
 		if ds := db.server.durable.Load(); ds != nil {
-			c.SetJournal(&collJournal{w: ds.wal, db: db.name, coll: name})
+			c.SetJournal(&collJournal{w: ds.wal, broker: ds.broker, db: db.name, coll: name})
 		}
 		db.mu.Unlock()
 		return false
@@ -376,8 +387,9 @@ func (db *Database) DropCollection(name string) bool {
 	db.mu.Unlock()
 	if commit != nil {
 		// See DropDatabase: a wait failure is a durability delay, not a
-		// lost record.
+		// lost record. The notification publishes the drop event.
 		_ = commit.Wait(false)
+		commit.Notify()
 	}
 	return true
 }

@@ -1,0 +1,107 @@
+package mongod
+
+import (
+	"fmt"
+
+	"docstore/internal/bson"
+	"docstore/internal/changestream"
+	"docstore/internal/query"
+)
+
+// WatchOptions configures a change stream opened with Server.Watch.
+type WatchOptions struct {
+	// Pipeline is an optional list of $match stages evaluated against each
+	// event's document rendering ({operationType, ns: {db, coll},
+	// documentKey, fullDocument, ...}), reusing the query matcher
+	// machinery. Only events every stage matches are delivered — and only
+	// they advance the watcher's resume token, so a resumed stream
+	// re-filters identically. Stages other than $match are rejected.
+	Pipeline []*bson.Doc
+	// ResumeAfter, when non-empty, is the token of the last processed
+	// event: the stream replays history strictly after it (from the WAL
+	// segments on disk) before switching to the live tail. A token whose
+	// history a checkpoint has pruned fails with
+	// changestream.ErrTokenTooOld.
+	ResumeAfter string
+	// BufferSize bounds the watcher's event buffer (0 = the server's
+	// Durability.ChangeStreamBuffer, else changestream.DefaultBufferSize).
+	BufferSize int
+}
+
+// Watch opens a change stream over the named collection (coll == "" watches
+// the whole database, db == "" the whole server). The stream delivers every
+// journaled write of the watched namespace from the moment Watch returns —
+// or, when resuming, from the resume token — as ordered events with
+// exactly-once semantics. It requires durability: the stream is a tail of
+// the write-ahead log.
+func (s *Server) Watch(db, coll string, opts WatchOptions) (*changestream.Subscription, error) {
+	ds := s.durable.Load()
+	if ds == nil {
+		return nil, fmt.Errorf("mongod: change streams require durability (EnableDurability)")
+	}
+	filter, err := compileWatchFilter(db, coll, opts.Pipeline)
+	if err != nil {
+		return nil, err
+	}
+	var resume *changestream.Token
+	if opts.ResumeAfter != "" {
+		tok, err := changestream.ParseToken(opts.ResumeAfter)
+		if err != nil {
+			return nil, err
+		}
+		resume = &tok
+	}
+	buffer := opts.BufferSize
+	if buffer <= 0 {
+		buffer = ds.opts.ChangeStreamBuffer
+	}
+	return ds.broker.Subscribe(changestream.SubscribeOptions{
+		DB:         db,
+		Coll:       coll,
+		Resume:     resume,
+		Filter:     filter,
+		BufferSize: buffer,
+	})
+}
+
+// compileWatchFilter builds the per-event predicate of a watch: the
+// namespace scope plus the compiled $match stages of the pipeline. The
+// predicate runs on the broker's publish path, so matchers are compiled once
+// here, not per event.
+func compileWatchFilter(db, coll string, pipeline []*bson.Doc) (func(*changestream.Event) bool, error) {
+	matchers := make([]*query.Matcher, 0, len(pipeline))
+	for i, stage := range pipeline {
+		if stage == nil || stage.Len() != 1 {
+			return nil, fmt.Errorf("mongod: watch pipeline stage %d must have exactly one operator", i)
+		}
+		arg, ok := stage.Get("$match")
+		if !ok {
+			return nil, fmt.Errorf("mongod: watch pipeline stage %d: change streams support $match stages only", i)
+		}
+		md, ok := arg.(*bson.Doc)
+		if !ok {
+			return nil, fmt.Errorf("mongod: watch pipeline stage %d: $match takes a document", i)
+		}
+		m, err := query.Compile(md)
+		if err != nil {
+			return nil, fmt.Errorf("mongod: watch pipeline stage %d: %w", i, err)
+		}
+		matchers = append(matchers, m)
+	}
+	return func(ev *changestream.Event) bool {
+		if db != "" && ev.DB != db {
+			return false
+		}
+		// A collection-scoped watch still sees its database being
+		// dropped (ev.Coll is empty on dropDatabase events).
+		if coll != "" && ev.Coll != "" && ev.Coll != coll {
+			return false
+		}
+		for _, m := range matchers {
+			if !m.Matches(ev.Doc()) {
+				return false
+			}
+		}
+		return true
+	}, nil
+}

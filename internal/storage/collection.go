@@ -98,10 +98,14 @@ func (c *Collection) Insert(doc *bson.Doc) (any, error) {
 	}
 	id, err := c.insertLocked(doc)
 	c.mu.Unlock()
+	// The commit is resolved (and its post-commit hook notified) even when
+	// the apply failed: the record is in the log either way, and the
+	// change-stream frontier needs every logged LSN accounted for.
+	werr := waitCommit(commit, false)
 	if err != nil {
 		return id, err
 	}
-	return id, waitCommit(commit, false)
+	return id, werr
 }
 
 // ensureID assigns a fresh ObjectID to a document without one, rebuilding

@@ -35,6 +35,10 @@ func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, er
 		}
 		if err := ix.Insert(r.doc, r.doc.ID()); err != nil {
 			c.mu.Unlock()
+			// The record is logged; resolve the commit so the
+			// change-stream frontier sees its LSN (a replayed backfill
+			// fails identically, so recovery stays deterministic).
+			_ = waitCommit(commit, false)
 			return nil, fmt.Errorf("storage: building index %s: %w", name, err)
 		}
 	}

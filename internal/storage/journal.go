@@ -37,6 +37,19 @@ type CommitWaiter interface {
 	Wait(journaled bool) error
 }
 
+// CommitNotifier is the optional post-commit hook of a commit handle: when a
+// journal's CommitWaiter also implements it, the collection calls Notify
+// exactly once per logged record, after the mutation has been applied, the
+// collection lock released and the durability wait resolved. Change streams
+// hang off this hook: firing outside the lock keeps watchers off the write
+// path's critical section, and firing after the wait means a watcher never
+// sees an event for a write that is not yet acknowledged. EVERY logged
+// record must be notified — even one whose apply failed — because the
+// change-stream delivery frontier advances only through contiguous LSNs.
+type CommitNotifier interface {
+	Notify()
+}
+
 // SetJournal attaches a write-ahead journal to the collection. It must be
 // called before the collection starts serving writes (the durability layer
 // attaches journals at collection creation or at the end of recovery).
@@ -129,10 +142,17 @@ func (c *Collection) logDropIndexLocked(name string) (CommitWaiter, error) {
 
 // waitCommit resolves a commit handle after the collection lock has been
 // released, translating the journal's policy into the caller's
-// acknowledgement. A nil commit (no journal) is a no-op.
+// acknowledgement, then fires the post-commit notification hook. A nil
+// commit (no journal) is a no-op. Every code path that obtains a commit must
+// reach waitCommit — including apply-error paths — or the change-stream
+// frontier would stall on the unnotified LSN.
 func waitCommit(commit CommitWaiter, journaled bool) error {
 	if commit == nil {
 		return nil
 	}
-	return commit.Wait(journaled)
+	err := commit.Wait(journaled)
+	if n, ok := commit.(CommitNotifier); ok {
+		n.Notify()
+	}
+	return err
 }

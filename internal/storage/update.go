@@ -28,10 +28,13 @@ func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
 	}
 	res, err := c.updateLocked(spec, matcher)
 	c.mu.Unlock()
+	// Resolve the commit even on an apply error: the record was logged and
+	// the change-stream frontier needs its LSN notified.
+	werr := waitCommit(commit, false)
 	if err != nil {
 		return res, err
 	}
-	return res, waitCommit(commit, false)
+	return res, werr
 }
 
 // updateLocked executes a pre-compiled update under the caller's write lock;

@@ -117,6 +117,45 @@ func readSegmentRecords(path string, fn func(*Record) error) (goodBytes int64, l
 	return goodBytes, lastLSN, false, nil
 }
 
+// SegmentFile describes one discovered segment file: its path and the LSN of
+// the first record it holds. Change stream resume walks the listing to find
+// the segments overlapping a resume token's position.
+type SegmentFile struct {
+	Path     string
+	FirstLSN int64
+}
+
+// SegmentFiles lists the segment files of a log directory in first-LSN order.
+func SegmentFiles(dir string) ([]SegmentFile, error) {
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]SegmentFile, len(segs))
+	for i, s := range segs {
+		out[i] = SegmentFile{Path: s.path, FirstLSN: s.firstLSN}
+	}
+	return out, nil
+}
+
+// ReadSegmentFile reads every complete record of one segment file in LSN
+// order. A torn tail (partial frame from a crash, or from reading the active
+// segment concurrently with an in-flight flush) silently ends the segment,
+// exactly as Open's recovery scan treats it; callers that tail the live log
+// bound their reads to LSNs known flushed, so a torn tail is always beyond
+// what they need.
+func ReadSegmentFile(path string) ([]*Record, error) {
+	var out []*Record
+	_, _, _, err := readSegmentRecords(path, func(r *Record) error {
+		out = append(out, r)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
 // SyncDir fsyncs a directory so renames and removals inside it are durable.
 // The checkpoint machinery shares it for its own directory shuffling.
 func SyncDir(dir string) error {

@@ -348,6 +348,23 @@ func (w *WAL) flushAndSync() error {
 	return nil
 }
 
+// Flush writes buffered frames through to the active segment file without
+// fsyncing. After Flush returns, every appended record is readable from the
+// segment files (the OS page cache serves reads of unsynced data); change
+// stream resume uses this to replay history from disk without paying for a
+// disk flush. A flush on a closed log is a no-op: Close already flushed.
+func (w *WAL) Flush() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return nil
+	}
+	if w.failed != nil {
+		return fmt.Errorf("wal: log failed: %w", w.failed)
+	}
+	return w.bw.Flush()
+}
+
 // Close flushes, fsyncs and closes the active segment.
 func (w *WAL) Close() error {
 	w.mu.Lock()

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"net"
 	"sync"
@@ -211,6 +212,112 @@ func (cur *Cursor) All() ([]*bson.Doc, error) {
 	err := cur.Err()
 	cur.Close()
 	return out, err
+}
+
+// WatchCursor is a client-side tailable cursor over a server-side change
+// stream: Next polls the server with awaitData getMores and hands back one
+// event document at a time, tracking the post-batch resume token so the
+// caller can resume after a disconnect with no loss or duplication.
+type WatchCursor struct {
+	c         *Client
+	db        string
+	id        int64
+	batchSize int
+	batch     []*bson.Doc
+	pos       int
+	token     string
+	err       error
+	closed    bool
+}
+
+// Watch opens a change stream over db/coll (coll == "" watches the whole
+// database). pipeline is an optional list of $match stages; resumeAfter, when
+// non-empty, resumes strictly after a previous stream's token.
+func (c *Client) Watch(db, coll string, pipeline []*bson.Doc, resumeAfter string, batchSize int) (*WatchCursor, error) {
+	if batchSize <= 0 {
+		batchSize = 101
+	}
+	resp, err := c.Do(&Request{Op: OpWatch, DB: db, Collection: coll, Docs: pipeline, ResumeAfter: resumeAfter, BatchSize: batchSize})
+	if err != nil {
+		return nil, err
+	}
+	w := &WatchCursor{c: c, db: db, id: resp.CursorID, batchSize: batchSize, batch: resp.Docs, token: resumeAfter}
+	if len(resp.Docs) == 0 {
+		// Seed from the post-batch token only when there is no batch to
+		// consume: with events in hand, the cursor's token must track
+		// what the caller actually consumed (each event's _id), or a
+		// resume taken before draining the batch would skip it.
+		w.token = resp.ResumeToken
+	}
+	return w, nil
+}
+
+// Next returns the next event document, issuing a getMore that waits up to
+// maxWait server-side when nothing is buffered. (nil, nil) means the wait
+// elapsed with the stream still live.
+func (w *WatchCursor) Next(maxWait time.Duration) (*bson.Doc, error) {
+	if w.pos >= len(w.batch) {
+		if w.closed {
+			return nil, w.err
+		}
+		req := &Request{Op: OpGetMore, DB: w.db, CursorID: w.id, BatchSize: w.batchSize}
+		// The protocol's maxTimeMS: 0 means "server default" (a 1-second
+		// awaitData wait), so a poll (maxWait <= 0) or a sub-millisecond
+		// wait is sent as the minimum expressible bound instead — never
+		// the default, which would block up to 2000x longer than asked.
+		ms := int(maxWait / time.Millisecond)
+		if ms <= 0 {
+			ms = 1
+		}
+		req.MaxTimeMS = ms
+		resp, err := w.c.Do(req)
+		if err != nil {
+			w.err = err
+			w.closed = true
+			return nil, err
+		}
+		if len(resp.Docs) == 0 && resp.ResumeToken != "" {
+			w.token = resp.ResumeToken
+		}
+		w.batch, w.pos = resp.Docs, 0
+		if len(w.batch) == 0 {
+			return nil, nil
+		}
+	}
+	d := w.batch[w.pos]
+	w.pos++
+	// Track the token per consumed event (each event's _id is its token):
+	// a close mid-batch then resumes after what was actually consumed, not
+	// after the batch's undelivered tail.
+	if tok, ok := d.Get("_id"); ok {
+		if s, isStr := tok.(string); isStr {
+			w.token = s
+		}
+	}
+	return d, nil
+}
+
+// ResumeToken returns the stream's post-batch resume token: pass it as
+// resumeAfter to a new Watch to continue after everything this cursor's
+// batches contained.
+func (w *WatchCursor) ResumeToken() string { return w.token }
+
+// ErrWatchCursorClosed is what Next returns once the cursor was closed
+// locally: a terminal error, so consumer poll loops exit instead of spinning
+// on the (nil, nil) "stream quiet" signal forever.
+var ErrWatchCursorClosed = errors.New("wire: watch cursor closed")
+
+// Close kills the server-side cursor, tearing down its subscription.
+func (w *WatchCursor) Close() {
+	if w.closed {
+		return
+	}
+	w.closed = true
+	if w.err == nil {
+		w.err = ErrWatchCursorClosed
+	}
+	_, _ = w.c.Do(&Request{Op: OpKillCursors, DB: w.db, CursorID: w.id})
+	w.batch = nil
 }
 
 // EnsureIndex creates an index.

@@ -10,6 +10,15 @@ import (
 )
 
 func cursorTestServer(t *testing.T, docs int) (*Server, *Client) {
+	srv, client, _ := cursorTestServerClock(t, docs)
+	return srv, client
+}
+
+// cursorTestServerClock additionally injects a fake idle clock (installed
+// before the server starts handling requests, so no goroutine observes the
+// swap). Time stands still unless the test advances it, which makes
+// idle-reaping behaviour fully deterministic.
+func cursorTestServerClock(t *testing.T, docs int) (*Server, *Client, *fakeClock) {
 	t.Helper()
 	backend := mongod.NewServer(mongod.Options{})
 	db := backend.Database("db")
@@ -19,6 +28,8 @@ func cursorTestServer(t *testing.T, docs int) (*Server, *Client) {
 		}
 	}
 	srv := NewServer(backend)
+	clock := newFakeClock()
+	srv.now = clock.Now
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -29,7 +40,7 @@ func cursorTestServer(t *testing.T, docs int) (*Server, *Client) {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { client.Close() })
-	return srv, client
+	return srv, client, clock
 }
 
 // TestWireFindCursorGetMore drives the getMore path over a real TCP
@@ -153,10 +164,11 @@ func TestWireCursorExactMultiple(t *testing.T) {
 }
 
 // TestWireCursorIdleReaping checks abandoned cursors are reaped after the
-// idle timeout instead of pinning their snapshots forever.
+// idle timeout instead of pinning their snapshots forever. The idle clock is
+// injected and advanced explicitly — no sleeping, so a slow scheduler can
+// neither hide the stale cursor nor age the fresh one into the reaper.
 func TestWireCursorIdleReaping(t *testing.T) {
-	srv, client := cursorTestServer(t, 100)
-	srv.SetCursorTimeout(10 * time.Millisecond)
+	srv, client, clock := cursorTestServerClock(t, 100)
 	resp, err := client.Do(&Request{Op: OpFind, DB: "db", Collection: "rows", BatchSize: 10})
 	if err != nil {
 		t.Fatal(err)
@@ -167,7 +179,7 @@ func TestWireCursorIdleReaping(t *testing.T) {
 	if srv.OpenCursors() != 1 {
 		t.Fatalf("expected 1 open cursor, have %d", srv.OpenCursors())
 	}
-	time.Sleep(30 * time.Millisecond)
+	clock.Advance(DefaultCursorTimeout + time.Minute)
 	// Any cursor operation triggers lazy reaping; a fresh cursor must not be
 	// swept with the stale one.
 	resp2, err := client.Do(&Request{Op: OpFind, DB: "db", Collection: "rows", BatchSize: 10})
@@ -182,6 +194,14 @@ func TestWireCursorIdleReaping(t *testing.T) {
 	}
 	if _, err := client.Do(&Request{Op: OpGetMore, DB: "db", CursorID: resp2.CursorID, BatchSize: 10}); err != nil {
 		t.Fatalf("fresh cursor was reaped too: %v", err)
+	}
+	// The explicit trigger reaps without any cursor traffic.
+	if _, err := client.Do(&Request{Op: OpFind, DB: "db", Collection: "rows", BatchSize: 10}); err != nil {
+		t.Fatal(err)
+	}
+	clock.Advance(DefaultCursorTimeout + time.Minute)
+	if n := srv.ReapIdleCursors(); n != 0 {
+		t.Fatalf("explicit reap left %d cursors", n)
 	}
 }
 

@@ -47,6 +47,14 @@ const (
 	// writeConcernError string that {j: true} callers must treat as
 	// failure.
 	OpBulkWrite = "bulkWrite"
+	// OpWatch opens a change stream over db/coll (coll empty = whole
+	// database): a tailable server-side cursor getMore drains. The request
+	// may carry a $match pipeline in "docs", a "resumeAfter" token, and a
+	// "batchSize"; the response holds the immediately-available first batch,
+	// the cursor id, and the post-batch "resumeToken". getMore on a watch
+	// cursor waits up to "maxTimeMS" for the first event (awaitData) and
+	// never exhausts the cursor; killCursors tears the stream down.
+	OpWatch = "watch"
 )
 
 // Request is one client request. It is encoded as a flat document so that
@@ -80,6 +88,13 @@ type Request struct {
 	// applies to insert, insertMany, update, delete and bulkWrite, and is a
 	// no-op against a server running without a WAL (-data-dir unset).
 	Journaled bool
+	// ResumeAfter is a watch request's resume token: the stream replays
+	// history strictly after it before tailing live.
+	ResumeAfter string
+	// MaxTimeMS bounds how long a getMore on a change-stream cursor waits
+	// for the first event before returning an empty batch (awaitData).
+	// Zero uses the server's default wait.
+	MaxTimeMS int
 }
 
 // encode renders the request as a document.
@@ -144,6 +159,12 @@ func (r *Request) encode() *bson.Doc {
 	if r.Journaled {
 		d.Set("j", true)
 	}
+	if r.ResumeAfter != "" {
+		d.Set("resumeAfter", r.ResumeAfter)
+	}
+	if r.MaxTimeMS != 0 {
+		d.Set("maxTimeMS", r.MaxTimeMS)
+	}
 	return d
 }
 
@@ -206,6 +227,14 @@ func decodeRequest(d *bson.Doc) *Request {
 			r.CursorID = n
 		}
 	}
+	if v, ok := d.Get("resumeAfter"); ok {
+		r.ResumeAfter, _ = v.(string)
+	}
+	if v, ok := d.Get("maxTimeMS"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.MaxTimeMS = int(n)
+		}
+	}
 	r.Multi = bson.Truthy(d.GetOr("multi", false))
 	r.Upsert = bson.Truthy(d.GetOr("upsert", false))
 	r.Unique = bson.Truthy(d.GetOr("unique", false))
@@ -227,6 +256,10 @@ type Response struct {
 	// writeErrors). Per-op write errors are data, not transport errors, so
 	// they ride inside an OK response.
 	Result *bson.Doc
+	// ResumeToken is the post-batch resume token of a change-stream reply:
+	// resuming from it continues exactly after the last event of this
+	// batch, even when the batch is empty.
+	ResumeToken string
 }
 
 func (r *Response) encode() *bson.Doc {
@@ -248,6 +281,9 @@ func (r *Response) encode() *bson.Doc {
 	}
 	if r.Result != nil {
 		d.Set("result", r.Result)
+	}
+	if r.ResumeToken != "" {
+		d.Set("resumeToken", r.ResumeToken)
 	}
 	return d
 }
@@ -275,6 +311,9 @@ func decodeResponse(d *bson.Doc) *Response {
 	}
 	if v, ok := d.Get("result"); ok {
 		r.Result, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("resumeToken"); ok {
+		r.ResumeToken, _ = v.(string)
 	}
 	return r
 }

@@ -9,6 +9,7 @@ import (
 
 	"docstore/internal/aggregate"
 	"docstore/internal/bson"
+	"docstore/internal/changestream"
 	"docstore/internal/mongod"
 	"docstore/internal/query"
 	"docstore/internal/storage"
@@ -20,6 +21,18 @@ import (
 // otherwise pin their collection snapshots for the server's lifetime.
 const DefaultCursorTimeout = 10 * time.Minute
 
+// DefaultAwaitDataTimeout is how long a getMore on a change-stream cursor
+// waits for the first event when the request carries no maxTimeMS.
+const DefaultAwaitDataTimeout = time.Second
+
+// TailableCursorTimeoutMultiple scales the idle timeout for live
+// change-stream cursors: a tailable cursor is idle by design between events,
+// so it is exempt from the normal window — but a client that stops issuing
+// getMores entirely (every getMore refreshes the idle clock, events or not)
+// is gone, and without any bound an abandoned watcher would pin its buffer
+// and keep the whole server materializing events forever.
+const TailableCursorTimeoutMultiple = 6
+
 // Server serves the wire protocol for a mongod.Server over TCP.
 type Server struct {
 	backend *mongod.Server
@@ -30,18 +43,42 @@ type Server struct {
 	closed   bool
 	wg       sync.WaitGroup
 
+	// now is the cursor-idle clock; injectable so the reaping tests can
+	// advance time explicitly instead of sleeping. It must be set before
+	// the server starts handling requests.
+	now func() time.Time
+
 	// Server-side cursors for the getMore path. Cursors live until they are
 	// exhausted, killed, idle past cursorTimeout, or the server closes.
+	// Change-stream cursors are tailable: they never exhaust, and they are
+	// exempt from idle reaping while their subscription is live.
 	cursorMu      sync.Mutex
 	cursors       map[int64]*openCursor
 	nextCur       int64
 	cursorTimeout time.Duration
 }
 
-// openCursor is one registered server-side cursor with its idle clock.
+// openCursor is one registered server-side cursor with its idle clock:
+// either a result iterator (find/aggregate) or a tailable change-stream
+// subscription.
 type openCursor struct {
 	it       aggregate.Iterator
+	sub      *changestream.Subscription
 	lastUsed time.Time
+	// inUse marks a change-stream cursor with a getMore in flight (the
+	// awaitData wait happens outside cursorMu): concurrent getMores are
+	// refused and the reaper leaves it alone.
+	inUse bool
+}
+
+// close releases whichever stream the cursor holds.
+func (oc *openCursor) close() {
+	if oc.it != nil {
+		oc.it.Close()
+	}
+	if oc.sub != nil {
+		oc.sub.Close()
+	}
 }
 
 // SetCursorTimeout overrides the idle timeout after which abandoned
@@ -60,44 +97,81 @@ func NewServer(backend *mongod.Server) *Server {
 		conns:         make(map[net.Conn]bool),
 		cursors:       make(map[int64]*openCursor),
 		cursorTimeout: DefaultCursorTimeout,
+		now:           time.Now,
 	}
 }
 
 // reapCursorsLocked closes cursors idle past the timeout. The caller holds
 // cursorMu. Reaping happens lazily on every cursor operation, so an
-// abandoned cursor costs at most one timeout window of memory.
+// abandoned cursor costs at most one timeout window of memory. A live
+// change-stream cursor gets TailableCursorTimeoutMultiple windows instead:
+// it is idle by design between events, and any getMore — even one that
+// returns an empty batch — refreshes its clock, so a polling client keeps
+// it alive indefinitely while a vanished client's watcher still ages out.
+// One whose subscription already died (slow consumer, broker shutdown) ages
+// out on the normal window.
 func (s *Server) reapCursorsLocked() {
-	deadline := time.Now().Add(-s.cursorTimeout)
+	deadline := s.now().Add(-s.cursorTimeout)
+	tailableDeadline := s.now().Add(-TailableCursorTimeoutMultiple * s.cursorTimeout)
 	for id, oc := range s.cursors {
-		if oc.lastUsed.Before(deadline) {
-			oc.it.Close()
+		if oc.inUse {
+			continue // a getMore is waiting on it right now
+		}
+		cutoff := deadline
+		if oc.sub != nil && oc.sub.Alive() {
+			cutoff = tailableDeadline
+		}
+		if oc.lastUsed.Before(cutoff) {
+			oc.close()
 			delete(s.cursors, id)
 		}
 	}
 }
 
+// ReapIdleCursors triggers one explicit reaping pass and returns the number
+// of live cursors left. Reaping is lazy (piggybacked on cursor operations);
+// this entry point lets operators and tests force a pass deterministically.
+func (s *Server) ReapIdleCursors() int {
+	s.cursorMu.Lock()
+	defer s.cursorMu.Unlock()
+	s.reapCursorsLocked()
+	return len(s.cursors)
+}
+
 // registerCursor stores an open cursor and returns its id.
-func (s *Server) registerCursor(it aggregate.Iterator) int64 {
+func (s *Server) registerCursor(oc *openCursor) int64 {
 	s.cursorMu.Lock()
 	defer s.cursorMu.Unlock()
 	s.reapCursorsLocked()
 	s.nextCur++
 	id := s.nextCur
-	s.cursors[id] = &openCursor{it: it, lastUsed: time.Now()}
+	oc.lastUsed = s.now()
+	s.cursors[id] = oc
 	return id
 }
 
-// takeCursor removes and returns the cursor with the given id.
-func (s *Server) takeCursor(id int64) (aggregate.Iterator, bool) {
+// getMoreCursor claims the cursor with the given id for a getMore. A result
+// iterator is removed from the registry (the getMore re-registers it when a
+// partial batch leaves it open, the pre-change-stream behaviour). A
+// change-stream cursor instead STAYS registered and is marked in-use: its
+// awaitData wait happens outside cursorMu, and keeping the entry visible is
+// what lets a concurrent killCursors find and tear it down mid-wait — were
+// it removed, a kill in the window would miss it and the subscription would
+// leak forever.
+func (s *Server) getMoreCursor(id int64) (*openCursor, bool) {
 	s.cursorMu.Lock()
 	defer s.cursorMu.Unlock()
 	s.reapCursorsLocked()
 	oc, ok := s.cursors[id]
-	if ok {
-		delete(s.cursors, id)
-		return oc.it, true
+	if !ok || oc.inUse {
+		return nil, false // absent, or a concurrent getMore holds it
 	}
-	return nil, false
+	if oc.sub != nil {
+		oc.inUse = true
+		return oc, true
+	}
+	delete(s.cursors, id)
+	return oc, true
 }
 
 // OpenCursors returns the number of live server-side cursors.
@@ -130,11 +204,31 @@ func (s *Server) cursorResponse(it aggregate.Iterator, batchSize int) *Response 
 	}
 	resp := &Response{OK: true, Docs: docs, N: int64(len(docs))}
 	if len(docs) == batchSize {
-		resp.CursorID = s.registerCursor(it)
+		resp.CursorID = s.registerCursor(&openCursor{it: it})
 	} else {
 		it.Close()
 	}
 	return resp
+}
+
+// drainWatch pulls up to batchSize events off a change-stream subscription,
+// blocking up to maxWait for the first one (the awaitData contract) and
+// collecting whatever else is already buffered. It renders events in their
+// wire document form.
+func drainWatch(sub *changestream.Subscription, batchSize int, maxWait time.Duration) ([]*bson.Doc, error) {
+	docs := make([]*bson.Doc, 0, batchSize)
+	for len(docs) < batchSize {
+		ev, err := sub.Next(maxWait)
+		if err != nil {
+			return docs, err
+		}
+		if ev == nil {
+			break
+		}
+		docs = append(docs, ev.Doc())
+		maxWait = 0 // only the first event blocks
+	}
+	return docs, nil
 }
 
 // Listen starts accepting connections on addr ("127.0.0.1:0" picks a free
@@ -185,7 +279,7 @@ func (s *Server) Close() error {
 	s.mu.Unlock()
 	s.cursorMu.Lock()
 	for id, oc := range s.cursors {
-		oc.it.Close()
+		oc.close()
 		delete(s.cursors, id)
 	}
 	s.cursorMu.Unlock()
@@ -365,8 +459,30 @@ func (s *Server) Handle(req *Request) *Response {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	case OpWatch:
+		sub, err := s.backend.Watch(req.DB, req.Collection, mongod.WatchOptions{
+			Pipeline:    req.Docs,
+			ResumeAfter: req.ResumeAfter,
+		})
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		batchSize := req.BatchSize
+		if batchSize <= 0 {
+			batchSize = storage.DefaultBatchSize
+		}
+		// The first reply carries whatever is immediately available (the
+		// resume replay, typically) without blocking; the client polls the
+		// live tail with getMore.
+		docs, err := drainWatch(sub, batchSize, 0)
+		if err != nil {
+			sub.Close()
+			return &Response{Error: err.Error()}
+		}
+		id := s.registerCursor(&openCursor{sub: sub})
+		return &Response{OK: true, Docs: docs, N: int64(len(docs)), CursorID: id, ResumeToken: sub.ResumeToken()}
 	case OpGetMore:
-		it, ok := s.takeCursor(req.CursorID)
+		oc, ok := s.getMoreCursor(req.CursorID)
 		if !ok {
 			return &Response{Error: fmt.Sprintf("cursor %d not found", req.CursorID)}
 		}
@@ -374,25 +490,40 @@ func (s *Server) Handle(req *Request) *Response {
 		if batchSize <= 0 {
 			batchSize = storage.DefaultBatchSize
 		}
-		docs, err := pullBatch(it, batchSize)
+		if oc.sub != nil {
+			return s.watchGetMore(req, oc, batchSize)
+		}
+		docs, err := pullBatch(oc.it, batchSize)
 		if err != nil {
-			it.Close()
+			oc.it.Close()
 			return &Response{Error: err.Error()}
 		}
 		resp := &Response{OK: true, Docs: docs, N: int64(len(docs))}
 		if len(docs) == batchSize {
 			s.cursorMu.Lock()
-			s.cursors[req.CursorID] = &openCursor{it: it, lastUsed: time.Now()}
+			oc.lastUsed = s.now()
+			s.cursors[req.CursorID] = oc
 			s.cursorMu.Unlock()
 			resp.CursorID = req.CursorID
 		} else {
-			it.Close()
+			oc.it.Close()
 		}
 		return resp
 	case OpKillCursors:
-		it, ok := s.takeCursor(req.CursorID)
+		// Unlike takeCursor, a kill also claims a change-stream cursor
+		// with a getMore in flight: closing the subscription unblocks the
+		// parked awaitData wait, which then observes the removal.
+		s.cursorMu.Lock()
+		oc, ok := s.cursors[req.CursorID]
 		if ok {
-			it.Close()
+			delete(s.cursors, req.CursorID)
+		}
+		s.cursorMu.Unlock()
+		if ok {
+			// For a change-stream cursor this tears the subscription down:
+			// the watcher detaches from the broker and its buffer is
+			// released, so nothing keeps accumulating server-side.
+			oc.close()
 		}
 		return &Response{OK: true, N: boolToN(ok)}
 	case OpEnsureIndex:
@@ -412,17 +543,70 @@ func (s *Server) Handle(req *Request) *Response {
 		return &Response{OK: true, Docs: docs, N: int64(len(names))}
 	case OpStats:
 		st := s.backend.Status()
-		return &Response{OK: true, Docs: []*bson.Doc{bson.D(
+		doc := bson.D(
 			"name", st.Name,
 			"databases", st.Databases,
 			"collections", st.Collections,
 			"documents", st.Documents,
 			"dataSizeBytes", st.DataSizeBytes,
 			"indexSizeBytes", st.IndexSizeBytes,
-		)}, N: 1}
+		)
+		if broker := s.backend.ChangeStreams(); broker != nil {
+			cs := broker.Stats()
+			doc.Set("changeStreams", bson.D(
+				"watchers", cs.Watchers,
+				"recordsPublished", cs.RecordsPublished,
+				"eventsDelivered", cs.EventsDelivered,
+				"slowConsumers", cs.SlowConsumers,
+			))
+		}
+		return &Response{OK: true, Docs: []*bson.Doc{doc}, N: 1}
 	default:
 		return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
 	}
+}
+
+// watchGetMore serves a getMore against a tailable change-stream cursor:
+// wait up to the request's maxTimeMS for the first event (awaitData), return
+// whatever accumulated, and keep the cursor open — the stream never
+// exhausts. The caller's getMoreCursor left the cursor registered and marked
+// in-use, so the reaper skips it and a concurrent killCursors can still
+// find it and tear it down, which unblocks the wait here.
+func (s *Server) watchGetMore(req *Request, oc *openCursor, batchSize int) *Response {
+	maxWait := DefaultAwaitDataTimeout
+	if req.MaxTimeMS > 0 {
+		maxWait = time.Duration(req.MaxTimeMS) * time.Millisecond
+	}
+	docs, err := drainWatch(oc.sub, batchSize, maxWait)
+
+	s.cursorMu.Lock()
+	// The token must be read BEFORE inUse clears: this handler is the
+	// subscription's sole consumer only while it holds the in-use claim,
+	// and the instant the claim drops another getMore may start writing
+	// the subscription's token.
+	token := oc.sub.ResumeToken()
+	_, live := s.cursors[req.CursorID]
+	if live {
+		if err != nil {
+			delete(s.cursors, req.CursorID)
+		} else {
+			oc.inUse = false
+			oc.lastUsed = s.now()
+		}
+	}
+	s.cursorMu.Unlock()
+	if err != nil {
+		// Terminal (slow consumer, stream closed): the cursor is gone; the
+		// client resumes from the token of its last successful batch, so
+		// events buffered past that token are not lost, just re-fetched.
+		oc.sub.Close()
+		return &Response{Error: err.Error()}
+	}
+	if !live {
+		// Killed while the wait was parked: report the kill, not a batch.
+		return &Response{Error: fmt.Sprintf("cursor %d not found", req.CursorID)}
+	}
+	return &Response{OK: true, Docs: docs, N: int64(len(docs)), CursorID: req.CursorID, ResumeToken: token}
 }
 
 func boolToN(b bool) int64 {
