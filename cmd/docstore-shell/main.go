@@ -8,7 +8,9 @@
 // Without -eval it reads one JSON request per line from standard input. The
 // "db" field may be omitted from requests when -db is given. Write requests
 // accept a "j": true field (writeConcern {j: true}): the server then
-// acknowledges only after the write's WAL record is fsynced.
+// acknowledges only after the write's WAL record is fsynced. Find requests
+// accept a "hint": "index_name" field forcing the named index; a hint that
+// names no index fails the request instead of silently scanning.
 //
 // Change streams pass through as requests too: a watch opens a tailable
 // cursor and getMore drains it, waiting up to maxTimeMS for new events —
@@ -123,8 +125,14 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	if v, ok := doc.Get("sort"); ok {
 		req.Sort, _ = v.(*bson.Doc)
 	}
+	if v, ok := doc.Get("projection"); ok {
+		req.Projection, _ = v.(*bson.Doc)
+	}
 	if v, ok := doc.Get("keys"); ok {
 		req.Keys, _ = v.(*bson.Doc)
+	}
+	if v, ok := doc.Get("hint"); ok {
+		req.Hint = wire.HintString(v)
 	}
 	if v, ok := doc.Get("docs"); ok {
 		if arr, isArr := v.([]any); isArr {

@@ -1,0 +1,220 @@
+// Benchmarks for the MVCC read path (PR 5): reader throughput while a bulk
+// writer continuously mutates the same collection.
+//
+//	BenchmarkConcurrentScanUnderWrites          — 8 reader goroutines draining
+//	    full-collection cursors against one storage.Collection while a writer
+//	    streams unordered bulk multi-update batches that rewrite every
+//	    document per batch. Reported reader_docs/s is the headline number for
+//	    the copy-on-write snapshot engine: before it, every cursor batch
+//	    queued behind the writer's collection lock.
+//	BenchmarkConcurrentScanUnderWritesSharded   — the same shape through a
+//	    4-shard query router with parallel prefetch pumps, writer routing
+//	    broadcast bulk updates, readers draining merged router cursors.
+//
+// The collection size is constant (the writer only updates), so per-drain
+// reader work does not drift as the writer makes progress and docs/s is
+// comparable across runs.
+package docstore_test
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/cluster"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+const (
+	scanBenchReaders = 8
+	scanBenchDocs    = 4000
+	scanBenchGroups  = 16
+	// drains per reader per benchmark iteration: enough wall time that the
+	// writer interleaves with every reader even at -benchtime=1x.
+	scanBenchDrains = 4
+)
+
+// scanBenchUpdateBatch rewrites every document: one multi-update per group,
+// batched unordered, so a single BulkWrite touches the whole collection the
+// way the re-balancing loads of Experiments 1-6 do.
+func scanBenchUpdateBatch() []storage.WriteOp {
+	ops := make([]storage.WriteOp, scanBenchGroups)
+	for g := 0; g < scanBenchGroups; g++ {
+		ops[g] = storage.UpdateWriteOp(query.UpdateSpec{
+			Query:  bson.D("g", g),
+			Update: bson.D("$inc", bson.D("v", 1)),
+			Multi:  true,
+		})
+	}
+	return ops
+}
+
+func scanBenchSeedOps(n int) []storage.WriteOp {
+	ops := make([]storage.WriteOp, n)
+	for i := 0; i < n; i++ {
+		ops[i] = storage.InsertWriteOp(bson.D(
+			bson.IDKey, fmt.Sprintf("seed-%d", i),
+			"g", i%scanBenchGroups,
+			"v", 0,
+			"pad", fmt.Sprintf("item-%06d", i),
+		))
+	}
+	return ops
+}
+
+func BenchmarkConcurrentScanUnderWrites(b *testing.B) {
+	c := storage.NewCollection("scans")
+	if _, err := c.EnsureIndexDoc(bson.D("g", 1), false); err != nil {
+		b.Fatal(err)
+	}
+	if res := c.BulkWrite(scanBenchSeedOps(scanBenchDocs), storage.BulkOptions{}); res.FirstError() != nil {
+		b.Fatal(res.FirstError())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var readerDocs, writerBatches int64
+	for n := 0; n < b.N; n++ {
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := c.BulkWrite(scanBenchUpdateBatch(), storage.BulkOptions{})
+				if err := res.FirstError(); err != nil {
+					b.Error(err)
+					return
+				}
+				atomic.AddInt64(&writerBatches, 1)
+			}
+		}()
+
+		var readerWG sync.WaitGroup
+		for r := 0; r < scanBenchReaders; r++ {
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				for d := 0; d < scanBenchDrains; d++ {
+					cur, err := c.FindCursor(nil, storage.FindOptions{})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					read := 0
+					for {
+						batch := cur.NextBatch()
+						if len(batch) == 0 {
+							break
+						}
+						read += len(batch)
+					}
+					atomic.AddInt64(&readerDocs, int64(read))
+					if read != scanBenchDocs {
+						b.Errorf("reader drained %d docs, want %d", read, scanBenchDocs)
+						return
+					}
+				}
+			}()
+		}
+		readerWG.Wait()
+		close(stop)
+		writerWG.Wait()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(atomic.LoadInt64(&readerDocs))/s, "reader_docs/s")
+		b.ReportMetric(float64(atomic.LoadInt64(&writerBatches))/s, "writer_batches/s")
+	}
+}
+
+func BenchmarkConcurrentScanUnderWritesSharded(b *testing.B) {
+	cl := cluster.MustBuild(cluster.Config{
+		Shards:          4,
+		NetworkLatency:  benchRouterLatency,
+		ParallelScatter: true,
+		ChunkSizeBytes:  1 << 20,
+	})
+	r := cl.Router()
+	if _, err := r.EnableSharding("bench", "scans", bson.D("g", "hashed"), 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	if res := r.BulkWrite("bench", "scans", scanBenchSeedOps(scanBenchDocs), storage.BulkOptions{}); res.FirstError() != nil {
+		b.Fatal(res.FirstError())
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var readerDocs, writerBatches int64
+	for n := 0; n < b.N; n++ {
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Updates filter on a non-shard-key predicate pattern per
+				// group value; the hashed shard key on g routes each
+				// multi-update to one shard, so the writer keeps all four
+				// shards busy.
+				res := r.BulkWrite("bench", "scans", scanBenchUpdateBatch(), storage.BulkOptions{})
+				if err := res.FirstError(); err != nil {
+					b.Error(err)
+					return
+				}
+				atomic.AddInt64(&writerBatches, 1)
+			}
+		}()
+
+		var readerWG sync.WaitGroup
+		for rd := 0; rd < scanBenchReaders; rd++ {
+			readerWG.Add(1)
+			go func() {
+				defer readerWG.Done()
+				for d := 0; d < scanBenchDrains; d++ {
+					cur, err := r.FindCursor("bench", "scans", nil, storage.FindOptions{})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					read := 0
+					for {
+						doc, ok := cur.Next()
+						if !ok {
+							break
+						}
+						_ = doc
+						read++
+					}
+					cur.Close()
+					atomic.AddInt64(&readerDocs, int64(read))
+					if read != scanBenchDocs {
+						b.Errorf("reader drained %d docs, want %d", read, scanBenchDocs)
+						return
+					}
+				}
+			}()
+		}
+		readerWG.Wait()
+		close(stop)
+		writerWG.Wait()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(atomic.LoadInt64(&readerDocs))/s, "reader_docs/s")
+		b.ReportMetric(float64(atomic.LoadInt64(&writerBatches))/s, "writer_batches/s")
+	}
+}

@@ -18,8 +18,9 @@
 //
 //   - storage.Collection.FindCursor returns a storage.Cursor
 //     (HasNext/Next/TryNext/NextBatch/All/Close) backed by an incremental
-//     collection or index scan; each batch is read under one lock
-//     acquisition. The batch size is set per query with
+//     collection or index scan over one pinned snapshot; batches are
+//     filled without taking any lock (see "Concurrency & isolation"
+//     below). The batch size is set per query with
 //     storage.FindOptions.BatchSize: 0 uses storage.DefaultBatchSize,
 //     negative values disable batching and produce the whole result in one
 //     batch (what the slice-returning Find does internally).
@@ -84,6 +85,65 @@
 // batch for free. BenchmarkBulkInsertVsLoop measures the win on the wire
 // and router paths.
 //
+// # Concurrency & isolation
+//
+// The storage engine is a multi-version copy-on-write store: reads never
+// block writes, writes never block reads, and every scan is a point-in-time
+// snapshot of one committed state.
+//
+//   - Versions and snapshots: a collection's state lives in an immutable
+//     version (records, counters, journal watermark, index definitions)
+//     published through an atomic pointer. storage.Collection.Snapshot pins
+//     the current version with one atomic load; the returned
+//     storage.Snapshot serves Count/Docs/Scan/WriteData/LastLSN lock-free
+//     and stays frozen no matter what commits afterwards. Snapshots need no
+//     release — the garbage collector reclaims superseded versions when the
+//     last pin goes away.
+//   - Writer serialization: writers (Insert, Update, Delete, BulkWrite,
+//     EnsureIndex, Drop...) serialize on one per-collection mutex, exactly
+//     as before; the WAL append still happens under that mutex, so journal
+//     order, replay determinism and change-stream ordering are untouched.
+//     A batch mutates the writer's working state and publishes the new
+//     version as its last step, so readers observe whole batches or
+//     nothing — never a half-applied bulk.
+//   - Copy-on-write: inserts append to the shared record array (appends
+//     only touch slots beyond every published length, which no reader
+//     accesses); the first update or delete of a batch copies the array
+//     once — O(collection) per mutating batch, amortized across the batch
+//     (the ROADMAP's pin-tracking/paged-records item is the follow-on for
+//     single-document write streams); updates install modified clones
+//     instead of mutating stored documents. Compaction rewrites into a fresh array. An open cursor is
+//     therefore isolated from inserts, updates, deletes, compaction, index
+//     churn and even Drop — the pre-MVCC anomaly where deletes leaked into
+//     open cursors until an array rewrite froze them is gone, and tests
+//     assert a cursor drained across interleaved writes returns exactly
+//     the at-open document set with at-open contents.
+//   - Memory model: publishing is an atomic pointer store with release
+//     semantics and pinning is an acquire load, so a reader that sees a
+//     version sees every record and document written before its publish;
+//     slots below a published length are never written again (copy-on-
+//     write), appends target only memory outside every pinned version, and
+//     published documents are immutable — hence readers need no locks and
+//     the -race stress suite (readers vs BulkWrite / EnsureIndex backfill /
+//     compaction / checkpoint streaming) stays quiet.
+//   - Planning: collection scans pin and go; index-backed queries plan
+//     under the writer mutex (inside it the shared B-trees agree exactly
+//     with the published version, so position lists are snapshot-
+//     consistent), then scan lock-free. FindOptions.Hint naming no index
+//     fails with storage.ErrUnknownIndex through every layer instead of
+//     silently degrading to a collection scan.
+//   - Surfacing: storage.Plan carries SnapshotVersion and Isolation
+//     ("snapshot"), shown by explain (FindWithPlan) and recorded by the
+//     mongod profiler (ProfileEntry.PlanSummary/DocsExamined/
+//     SnapshotVersion/Isolation) when a cursor finishes its drain. Wire
+//     getMore batches of one cursor are mutually consistent; mongos
+//     prefetch pumps scan per-shard snapshots while bulk writes keep
+//     scattering; checkpoints stream pinned snapshots without stalling
+//     writers; replset.FindCursor reads one member version under
+//     replication. BenchmarkConcurrentScanUnderWrites measures the win: at
+//     8 readers + 1 bulk writer the reader throughput is ~49x the locked
+//     engine's.
+//
 // # Durability & recovery
 //
 // The storage engine is made crash-safe by a write-ahead log (internal/wal)
@@ -119,7 +179,8 @@
 //   - Checkpoints (mongod.Server.Checkpoint) reuse the storage snapshot
 //     format: every collection streams to a checkpoint-<lsn> directory
 //     while writes keep flowing, with each snapshot recording the journal
-//     watermark captured under the same lock as its data. WAL segments
+//     watermark captured in the same pinned MVCC version as its data (the
+//     disk write itself holds no lock at all). WAL segments
 //     fully covered by the checkpoint are pruned, and older checkpoints
 //     are removed once the new one is durable (write to temp dir, fsync,
 //     rename).

@@ -8,7 +8,9 @@ import (
 
 // Iter adapts a storage cursor to the aggregation engine's Iterator
 // interface, letting a pipeline stream straight off a collection or index
-// scan.
+// scan. The underlying cursor pins one storage snapshot, so the pipeline's
+// whole input is a single committed version no matter how long the
+// downstream stages take.
 func Iter(cur *storage.Cursor) aggregate.Iterator { return cursorIter{cur} }
 
 type cursorIter struct{ cur *storage.Cursor }
@@ -19,18 +21,21 @@ func (i cursorIter) Close()                  { _ = i.cur.Close() }
 
 // FindCursor runs a query against the named collection and returns a
 // streaming cursor over the results. Batch size is controlled by
-// opts.BatchSize (zero uses storage.DefaultBatchSize). The profiler records
-// the operation when the cursor is exhausted or closed, so a streamed query
-// is timed over its whole drain.
+// opts.BatchSize (zero uses storage.DefaultBatchSize). The cursor pins one
+// storage snapshot for its whole lifetime, so every batch it ever returns —
+// wire getMore batches included — belongs to the same committed version.
+// The profiler records the operation when the cursor is exhausted or
+// closed, so a streamed query is timed over its whole drain and the entry
+// carries the finished plan (access path, docs examined, snapshot version).
 func (db *Database) FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (*storage.Cursor, error) {
 	db.server.countOp("query")
-	stop := db.profile("find", coll)
+	start := db.server.clockTime()
 	cur, err := db.Collection(coll).FindCursor(filter, opts)
 	if err != nil {
-		stop()
+		db.record(ProfileEntry{Op: "find", Collection: coll, At: start})
 		return nil, err
 	}
-	cur.OnFinish(stop)
+	cur.OnFinish(func() { db.recordPlan("find", coll, start, cur.Plan()) })
 	return cur, nil
 }
 

@@ -1,13 +1,16 @@
 package mongod
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"docstore/internal/aggregate"
 	"docstore/internal/bson"
+	"docstore/internal/query"
 	"docstore/internal/storage"
 )
 
@@ -233,5 +236,141 @@ func TestAggregateCursorStopsScanOnLimit(t *testing.T) {
 	}
 	if after := db.Collection("rows").Stats().CollScans; after != before+1 {
 		t.Fatalf("expected exactly one collection scan, got %d", after-before)
+	}
+}
+
+// TestFindCursorSnapshotAcrossDatabaseWrites pins the mongod-level MVCC
+// contract: a cursor opened through the Database layer drains the at-open
+// document set even as Database-level writes (insert, update, delete) land
+// between its batches.
+func TestFindCursorSnapshotAcrossDatabaseWrites(t *testing.T) {
+	srv := NewServer(Options{})
+	db := srv.Database("db")
+	for i := 0; i < 90; i++ {
+		if _, err := db.Insert("rows", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := db.Find("rows", nil, storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := db.FindCursor("rows", nil, storage.FindOptions{BatchSize: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*bson.Doc
+	for {
+		b := cur.NextBatch()
+		if len(b) == 0 {
+			break
+		}
+		for _, d := range b {
+			got = append(got, d.Clone())
+		}
+		if _, err := db.Insert("rows", bson.D(bson.IDKey, 1000+len(got))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Update("rows", query.UpdateSpec{Query: bson.D(), Update: bson.D("$set", bson.D("v", -1)), Multi: true}); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Delete("rows", bson.D(bson.IDKey, len(got)), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor drained %d docs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("doc %d differs from at-open state:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+}
+
+// TestProfilerRecordsPlanFields checks the profiler surfaces the execution
+// plan of streamed and materializing queries: access path summary, docs
+// examined, and the snapshot version/isolation the scan pinned.
+func TestProfilerRecordsPlanFields(t *testing.T) {
+	srv := NewServer(Options{}) // zero threshold: every op records
+	db := srv.Database("db")
+	for i := 0; i < 30; i++ {
+		if _, err := db.Insert("rows", bson.D(bson.IDKey, i, "g", i%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv.ResetProfile()
+
+	cur, err := db.FindCursor("rows", bson.D("g", 1), storage.FindOptions{BatchSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Not recorded until the drain finishes.
+	for _, e := range srv.Profile() {
+		if e.Op == "find" {
+			t.Fatalf("find profiled before the cursor finished")
+		}
+	}
+	if _, err := cur.All(); err != nil {
+		t.Fatal(err)
+	}
+
+	var entry *ProfileEntry
+	for _, e := range srv.Profile() {
+		if e.Op == "find" {
+			entry = &e
+			break
+		}
+	}
+	if entry == nil {
+		t.Fatalf("no find profile entry after drain")
+	}
+	if entry.DocsExamined != 30 {
+		t.Fatalf("DocsExamined = %d, want 30", entry.DocsExamined)
+	}
+	if entry.SnapshotVersion <= 0 {
+		t.Fatalf("SnapshotVersion = %d", entry.SnapshotVersion)
+	}
+	if entry.Isolation != storage.IsolationSnapshot {
+		t.Fatalf("Isolation = %q", entry.Isolation)
+	}
+	if !strings.Contains(entry.PlanSummary, "COLLSCAN") {
+		t.Fatalf("PlanSummary = %q", entry.PlanSummary)
+	}
+
+	// The slice path (FindWithPlan) records the same fields.
+	srv.ResetProfile()
+	_, plan, err := db.FindWithPlan("rows", bson.D("g", 1), storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, e := range srv.Profile() {
+		if e.Op == "find" && e.SnapshotVersion == plan.SnapshotVersion && e.Isolation == storage.IsolationSnapshot {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("FindWithPlan did not profile its plan; entries=%+v", srv.Profile())
+	}
+}
+
+// TestDatabaseFindHintUnknownIndex checks the storage engine's unknown-hint
+// error surfaces unchanged through the Database entry points.
+func TestDatabaseFindHintUnknownIndex(t *testing.T) {
+	db := NewServer(Options{}).Database("db")
+	if _, err := db.Insert("rows", bson.D(bson.IDKey, 1, "g", 1)); err != nil {
+		t.Fatal(err)
+	}
+	var unknown *storage.ErrUnknownIndex
+	if _, err := db.Find("rows", bson.D("g", 1), storage.FindOptions{Hint: "nope_1"}); !errors.As(err, &unknown) {
+		t.Fatalf("Find: %v", err)
+	}
+	if _, err := db.FindCursor("rows", bson.D("g", 1), storage.FindOptions{Hint: "nope_1"}); !errors.As(err, &unknown) {
+		t.Fatalf("FindCursor: %v", err)
+	}
+	if unknown.Hint != "nope_1" || unknown.Collection != "rows" {
+		t.Fatalf("error fields: %+v", unknown)
 	}
 }

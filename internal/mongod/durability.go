@@ -566,13 +566,20 @@ func (s *Server) ChangeStreams() *changestream.Broker {
 	return ds.broker
 }
 
+// writeCollectionSnapshot pins one immutable storage snapshot and streams it
+// to disk. The pin is a single atomic load; the (arbitrarily slow) disk
+// write happens entirely outside the collection's write path, so writes keep
+// flowing at full speed while the checkpoint streams, and the manifest entry
+// built from the same snapshot (count, watermark, index definitions) is
+// consistent with the streamed data by construction.
 func writeCollectionSnapshot(path string, coll *storage.Collection) (storage.SnapshotInfo, error) {
+	snap := coll.Snapshot()
+	info := snap.Info()
 	f, err := os.Create(path)
 	if err != nil {
-		return storage.SnapshotInfo{}, err
+		return info, err
 	}
-	info, err := coll.Snapshot(f)
-	if err != nil {
+	if err := snap.WriteData(f); err != nil {
 		f.Close()
 		return info, err
 	}

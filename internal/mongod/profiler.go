@@ -3,6 +3,8 @@ package mongod
 import (
 	"sync"
 	"time"
+
+	"docstore/internal/storage"
 )
 
 // ProfileEntry records one profiled operation, mirroring the system.profile
@@ -17,6 +19,14 @@ type ProfileEntry struct {
 	// carried and how many of them failed. Both are zero for scalar ops.
 	BatchOps    int
 	BatchErrors int
+	// PlanSummary, DocsExamined, SnapshotVersion and Isolation describe a
+	// profiled query's execution: the access path, the work it did, and the
+	// storage version its scan was pinned to (see storage.Plan). They are
+	// zero for writes and for queries profiled before their plan is known.
+	PlanSummary     string
+	DocsExamined    int
+	SnapshotVersion int64
+	Isolation       string
 }
 
 // profiler collects operation timings above the configured threshold.
@@ -40,7 +50,7 @@ func (s *Server) clockTime() time.Time {
 func (db *Database) profile(op, coll string) func() {
 	start := db.server.clockTime()
 	return func() {
-		db.record(op, coll, start, 0, 0)
+		db.record(ProfileEntry{Op: op, Collection: coll, At: start})
 	}
 }
 
@@ -50,28 +60,39 @@ func (db *Database) profile(op, coll string) func() {
 func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int) {
 	start := db.server.clockTime()
 	return func(batchErrors int) {
-		db.record("bulkWrite", coll, start, batchOps, batchErrors)
+		db.record(ProfileEntry{
+			Op: "bulkWrite", Collection: coll, At: start,
+			BatchOps: batchOps, BatchErrors: batchErrors,
+		})
 	}
 }
 
-// record appends a profile entry when the elapsed time clears the server's
-// slow-op threshold.
-func (db *Database) record(op, coll string, start time.Time, batchOps, batchErrors int) {
-	elapsed := db.server.clockTime().Sub(start)
+// recordPlan records a profiled query together with its execution plan: the
+// access path summary, the examined-document count, and the snapshot
+// version/isolation the scan was pinned to. Streamed queries call it when
+// their cursor finishes, so the duration spans the whole drain.
+func (db *Database) recordPlan(op, coll string, start time.Time, plan storage.Plan) {
+	db.record(ProfileEntry{
+		Op: op, Collection: coll, At: start,
+		PlanSummary:     plan.String(),
+		DocsExamined:    plan.DocsExamined,
+		SnapshotVersion: plan.SnapshotVersion,
+		Isolation:       plan.Isolation,
+	})
+}
+
+// record stamps the entry's duration and appends it when the elapsed time
+// clears the server's slow-op threshold. entry.At must hold the start time.
+func (db *Database) record(entry ProfileEntry) {
+	elapsed := db.server.clockTime().Sub(entry.At)
 	if elapsed < db.server.opts.SlowOpThreshold {
 		return
 	}
+	entry.Database = db.name
+	entry.Duration = elapsed
 	p := &db.server.profiler
 	p.mu.Lock()
-	p.entries = append(p.entries, ProfileEntry{
-		Op:          op,
-		Collection:  coll,
-		Database:    db.name,
-		Duration:    elapsed,
-		At:          start,
-		BatchOps:    batchOps,
-		BatchErrors: batchErrors,
-	})
+	p.entries = append(p.entries, entry)
 	// Bound memory: keep the most recent 10k entries.
 	if len(p.entries) > 10000 {
 		p.entries = p.entries[len(p.entries)-10000:]

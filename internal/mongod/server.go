@@ -443,18 +443,22 @@ func (db *Database) BulkWrite(coll string, ops []storage.WriteOp, opts storage.B
 	return res
 }
 
-// Find runs a query against the named collection.
+// Find runs a query against the named collection. The profile entry carries
+// the execution plan, including the snapshot version the scan pinned.
 func (db *Database) Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
-	db.server.countOp("query")
-	defer db.profile("find", coll)()
-	return db.Collection(coll).Find(filter, opts)
+	docs, _, err := db.FindWithPlan(coll, filter, opts)
+	return docs, err
 }
 
-// FindWithPlan runs a query and returns its execution plan.
+// FindWithPlan runs a query and returns its execution plan (the explain
+// entry point): access path, work counters, and the snapshot version /
+// isolation level of the scan.
 func (db *Database) FindWithPlan(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, storage.Plan, error) {
 	db.server.countOp("query")
-	defer db.profile("find", coll)()
-	return db.Collection(coll).FindWithPlan(filter, opts)
+	start := db.server.clockTime()
+	docs, plan, err := db.Collection(coll).FindWithPlan(filter, opts)
+	db.recordPlan("find", coll, start, plan)
+	return docs, plan, err
 }
 
 // Update applies an update specification against the named collection.
@@ -514,12 +518,9 @@ func (e *dbEnv) ReadCollection(name string) ([]*bson.Doc, error) {
 	if !e.db.HasCollection(name) {
 		return nil, fmt.Errorf("mongod: collection %q does not exist in database %q", name, e.db.name)
 	}
-	var docs []*bson.Doc
-	e.db.Collection(name).Scan(func(d *bson.Doc) bool {
-		docs = append(docs, d)
-		return true
-	})
-	return docs, nil
+	// $lookup and other pipeline side-reads pin one immutable snapshot per
+	// read: lock-free, and never a half-applied bulk batch.
+	return e.db.Collection(name).Snapshot().Docs(), nil
 }
 
 func (e *dbEnv) WriteCollection(name string, docs []*bson.Doc) error {

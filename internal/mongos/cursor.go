@@ -12,10 +12,14 @@ import (
 )
 
 // Cursor is the router's streaming result cursor: a k-way merge over
-// per-shard storage cursors. Instead of gathering every shard's full result
-// and merging afterwards, the router pulls shard cursors in batches — lazily
-// when Options.Parallel is off, via one prefetching goroutine per shard when
-// it is on — so the router's peak memory is O(shards × batch) rather than
+// per-shard storage cursors. Each shard cursor pins its shard's committed
+// storage version at open, so the merge reads one immutable snapshot per
+// shard — the prefetch pumps scan entirely lock-free and are never stalled
+// by (nor ever stall) bulk writes the router keeps scattering to the same
+// shards. Instead of gathering every shard's full result and merging
+// afterwards, the router pulls shard cursors in batches — lazily when
+// Options.Parallel is off, via one prefetching goroutine per shard when it
+// is on — so the router's peak memory is O(shards × batch) rather than
 // O(result). When the query carries a sort, each shard cursor is already
 // ordered and the merge pops the smallest head (ties resolved by shard
 // registration order, matching query.Sort.Merge); without a sort the shard

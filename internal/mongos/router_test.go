@@ -1,6 +1,7 @@
 package mongos
 
 import (
+	"errors"
 	"testing"
 	"time"
 
@@ -380,5 +381,42 @@ func TestRouterParallelScatter(t *testing.T) {
 	}
 	if elapsed := time.Since(start); elapsed > 20*time.Millisecond {
 		t.Fatalf("parallel broadcast took %v; expected roughly one latency unit", elapsed)
+	}
+}
+
+// TestRouterFindHintUnknownIndex checks a bad hint fails a routed query with
+// the shard-attributed storage error instead of silently scanning, and that
+// a hint naming a real per-shard index still routes.
+func TestRouterFindHintUnknownIndex(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if _, err := r.EnableSharding("db", "rows", bson.D("g", "hashed"), 1<<20); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 30; i++ {
+		if _, err := r.Insert("db", "rows", bson.D(bson.IDKey, i, "g", i%5, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	var unknown *storage.ErrUnknownIndex
+	if _, err := r.Find("db", "rows", bson.D("v", 3), storage.FindOptions{Hint: "nope_1"}); !errors.As(err, &unknown) {
+		t.Fatalf("routed find with bad hint: %v", err)
+	}
+	if _, err := r.FindCursor("db", "rows", bson.D("v", 3), storage.FindOptions{Hint: "nope_1"}); !errors.As(err, &unknown) {
+		t.Fatalf("routed cursor with bad hint: %v", err)
+	}
+
+	// Create the index on every shard; the hinted query then works.
+	for _, name := range r.ShardNames() {
+		if _, err := r.Shard(name).Database("db").EnsureIndex("rows", bson.D("v", 1), false); err != nil {
+			t.Fatal(err)
+		}
+	}
+	docs, err := r.Find("db", "rows", bson.D("v", 3), storage.FindOptions{Hint: "v_1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("hinted routed find returned %d docs", len(docs))
 	}
 }

@@ -377,6 +377,17 @@ func (rs *ReplicaSet) Find(pref ReadPreference, db, coll string, filter *bson.Do
 	return member.Database(db).Find(coll, filter, opts)
 }
 
+// FindCursor opens a streaming cursor on a member chosen by the read
+// preference. The cursor pins the member's committed storage version at
+// open, so a long drain observes one point-in-time state of that member
+// even while replication keeps applying oplog entries underneath it — a
+// secondary read never blocks behind the apply stream, and the apply stream
+// never waits for slow readers.
+func (rs *ReplicaSet) FindCursor(pref ReadPreference, db, coll string, filter *bson.Doc, opts storage.FindOptions) (*storage.Cursor, error) {
+	member := rs.pickMember(pref)
+	return member.Database(db).FindCursor(coll, filter, opts)
+}
+
 func (rs *ReplicaSet) pickMember(pref ReadPreference) *mongod.Server {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()

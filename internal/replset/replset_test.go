@@ -272,3 +272,59 @@ func TestStepDownPromotesMostCaughtUpSecondary(t *testing.T) {
 		t.Fatalf("single member step down changed primary")
 	}
 }
+
+// TestFindCursorPinsMemberSnapshot checks a replica-set read cursor pins its
+// member's committed version: replicated writes landing mid-drain do not
+// leak into the open cursor.
+func TestFindCursorPinsMemberSnapshot(t *testing.T) {
+	rs := newTestSet(t, 2)
+	for i := 0; i < 60; i++ {
+		if _, err := rs.Insert("db", "rows", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := rs.Find(ReadPrimary, "db", "rows", nil, storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cur, err := rs.FindCursor(ReadPrimary, "db", "rows", nil, storage.FindOptions{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []*bson.Doc
+	for {
+		b := cur.NextBatch()
+		if len(b) == 0 {
+			break
+		}
+		got = append(got, b...)
+		if _, err := rs.Insert("db", "rows", bson.D(bson.IDKey, 1000+len(got))); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := rs.Update("db", "rows", query.UpdateSpec{
+			Query: bson.D(), Update: bson.D("$set", bson.D("v", -7)), Multi: true,
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor drained %d docs, want %d", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("doc %d differs from at-open state: %s", i, got[i])
+		}
+	}
+	// Secondaries converge on the post-write state once synced.
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := rs.Find(ReadSecondary, "db", "rows", bson.D("v", -7), storage.FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) == 0 {
+		t.Fatalf("secondary missed the replicated update")
+	}
+}

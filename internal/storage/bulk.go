@@ -224,11 +224,14 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 		res.UpsertedIDs = make([]any, len(ops))
 	}
 
-	// Phase 2 (one lock acquisition): journal the batch, then apply the ops.
-	// The record enters the log before any op applies and under the same
-	// lock that orders the applies, so log order equals apply order; the
-	// durability wait happens after the lock is released so concurrent
-	// batches can share one group-commit fsync.
+	// Phase 2 (one lock acquisition): journal the batch, apply the ops, then
+	// publish the resulting version in one atomic swap. The record enters
+	// the log before any op applies and under the same lock that orders the
+	// applies, so log order equals apply order; readers never observe a
+	// half-applied batch, because the version publish is the last thing the
+	// batch does before releasing the lock; the durability wait happens
+	// after the lock is released so concurrent batches can share one
+	// group-commit fsync.
 	c.mu.Lock()
 	commit, err := c.logLocked(ops, opts.Ordered)
 	if err != nil {
@@ -247,6 +250,7 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 		}
 	}
 	c.maybeCompactLocked()
+	c.publishLocked()
 	c.mu.Unlock()
 	res.DurabilityErr = waitCommit(commit, opts.Journaled)
 	return res

@@ -208,9 +208,9 @@ func TestBulkWriteAmortizedMaintenance(t *testing.T) {
 	if res.Deleted != 400 {
 		t.Fatalf("deleted %d", res.Deleted)
 	}
-	c.mu.RLock()
+	c.mu.Lock()
 	records, tombs := len(c.records), c.tombs
-	c.mu.RUnlock()
+	c.mu.Unlock()
 	if tombs != 0 || records != 200 {
 		t.Fatalf("post-bulk compaction: records=%d tombs=%d", records, tombs)
 	}

@@ -1,11 +1,13 @@
 // Package storage implements the collection storage engine: document
 // storage with a primary _id index, secondary indexes, a query planner that
 // chooses between collection scans and index scans, update/delete execution,
-// and snapshot persistence.
+// multi-version concurrency control with copy-on-write snapshots, and
+// snapshot persistence.
 package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -33,7 +35,9 @@ func (e *ErrDuplicateID) Error() string {
 }
 
 // record is one stored document slot. Deleted slots remain as tombstones
-// until the collection compacts, which keeps scans in insertion order.
+// until the collection compacts, which keeps scans in insertion order and —
+// more importantly under MVCC — keeps record positions stable, so the _id
+// map and index position lists survive deletes without rebuilds.
 type record struct {
 	idKey   string
 	doc     *bson.Doc
@@ -41,18 +45,76 @@ type record struct {
 	deleted bool
 }
 
+// version is one immutable published state of a collection: the unit of
+// multi-version concurrency control. A writer builds the next state under
+// the collection's write mutex and publishes it with one atomic pointer
+// swap; readers pin a version with one atomic load and then scan it without
+// any lock. Once published, a version never changes:
+//
+//   - records[0:len(records)] is frozen. Writers that must modify an
+//     existing slot (update, delete) copy the slice first
+//     (Collection.ensureOwnedLocked); writers that only append may share
+//     the backing array, because appends write exclusively at indexes >=
+//     the published length, which no reader of this version ever accesses.
+//   - every *bson.Doc reachable from records is frozen. Updates install a
+//     modified clone instead of mutating the stored document, so a pinned
+//     version observes point-in-time document contents, not just a
+//     point-in-time membership set.
+//   - counters, the journal watermark and the index definitions are plain
+//     fields captured at publish time, so Count/Stats/checkpoint manifests
+//     are mutually consistent with the records they describe.
+type version struct {
+	// seq is the monotonically increasing version number, starting at 1 for
+	// a fresh collection; Plan.SnapshotVersion and Snapshot.Version surface
+	// it through explain and the profiler.
+	seq      int64
+	records  []record
+	count    int
+	dataSize int
+	tombs    int
+	// lastLSN is the journal watermark as of this version: the LSN of the
+	// newest mutation folded into records. Checkpoints pair it with the
+	// snapshot data so recovery replays exactly the records the snapshot
+	// does not already contain.
+	lastLSN int64
+	// indexMeta holds the secondary index definitions live at this version,
+	// sorted by index name. The trees themselves are shared mutable
+	// structures owned by the writer lock; only their definitions are
+	// versioned (checkpoints rebuild trees by backfilling).
+	indexMeta []IndexMeta
+	// indexSize is the summed in-memory size estimate of the secondary
+	// indexes at publish time, for lock-free Stats.
+	indexSize int
+}
+
 // Collection is a single document collection. All methods are safe for
-// concurrent use.
+// concurrent use: writers serialize on an internal mutex, readers pin
+// immutable versions and never block (see doc.go, "Concurrency & isolation").
 type Collection struct {
 	name string
 
-	mu       sync.RWMutex
+	// mu serializes every mutation (and the journal append that precedes
+	// it, so log order equals apply order). Readers take it only to consult
+	// the shared index trees while planning an index scan, and for point
+	// _id lookups; plain collection scans never acquire it.
+	mu       sync.Mutex
 	records  []record
 	byID     map[string]int // idKey -> position in records
 	indexes  map[string]*index.Index
 	count    int
 	dataSize int
 	tombs    int
+	// shared marks that the backing array of records is referenced by the
+	// published version: the next in-place slot mutation must copy first.
+	// Appends are exempt (they only touch slots past every published
+	// length).
+	shared bool
+	// indexesChanged makes the next publish rebuild the version's index
+	// metadata; steady-state writes reuse the previous slice.
+	indexesChanged bool
+
+	// current is the published version readers pin. It is never nil.
+	current atomic.Pointer[version]
 
 	// journal, when attached, receives every mutation before it is applied;
 	// lastLSN is the sequence number of the newest journaled mutation (see
@@ -60,7 +122,7 @@ type Collection struct {
 	journal Journal
 	lastLSN int64
 
-	// stats (atomic: bumped under read locks)
+	// stats (atomic: bumped lock-free by readers)
 	scans        atomic.Int64 // collection scans performed
 	indexScans   atomic.Int64 // index scans performed
 	docsExamined atomic.Int64 // documents examined by read cursors
@@ -68,15 +130,73 @@ type Collection struct {
 
 // NewCollection creates an empty collection.
 func NewCollection(name string) *Collection {
-	return &Collection{
+	c := &Collection{
 		name:    name,
 		byID:    make(map[string]int),
 		indexes: make(map[string]*index.Index),
 	}
+	c.current.Store(&version{seq: 1})
+	return c
 }
 
 // Name returns the collection name.
 func (c *Collection) Name() string { return c.name }
+
+// publishLocked makes the writer's current state the published version. It
+// must be called before the write mutex is released by every path that
+// mutated collection state or advanced the journal watermark — including
+// apply-error paths, whose logged LSN must still reach checkpoints. The
+// atomic store has release semantics, so a reader that pins the new version
+// observes every record and document written before this call.
+func (c *Collection) publishLocked() {
+	prev := c.current.Load()
+	v := &version{
+		seq:       prev.seq + 1,
+		records:   c.records,
+		count:     c.count,
+		dataSize:  c.dataSize,
+		tombs:     c.tombs,
+		lastLSN:   c.lastLSN,
+		indexMeta: prev.indexMeta,
+	}
+	if c.indexesChanged {
+		c.indexesChanged = false
+		if len(c.indexes) == 0 {
+			v.indexMeta = nil
+		} else {
+			names := make([]string, 0, len(c.indexes))
+			for name := range c.indexes {
+				names = append(names, name)
+			}
+			sort.Strings(names)
+			v.indexMeta = make([]IndexMeta, 0, len(names))
+			for _, name := range names {
+				ix := c.indexes[name]
+				v.indexMeta = append(v.indexMeta, IndexMeta{Spec: ix.Spec().Doc(), Unique: ix.Unique()})
+			}
+		}
+	}
+	for _, ix := range c.indexes {
+		v.indexSize += ix.SizeBytes()
+	}
+	c.current.Store(v)
+	c.shared = true
+}
+
+// ensureOwnedLocked makes the writer's record slice safe to mutate in place:
+// when its backing array is shared with the published version the slice is
+// copied first (copy-on-write). Appending never needs this — only update and
+// delete paths that rewrite existing slots do. Callers must re-derive any
+// *record pointers taken before the call, since the copy relocates slots.
+func (c *Collection) ensureOwnedLocked() {
+	if !c.shared {
+		return
+	}
+	cp := make([]record, len(c.records), cap(c.records))
+	copy(cp, c.records)
+	c.records = cp
+	c.shared = false
+}
 
 // idKey derives the map key for an _id value.
 func idKey(id any) string {
@@ -88,7 +208,7 @@ func idKey(id any) string {
 // Insert adds a document to the collection. When the document has no _id an
 // ObjectID is assigned (mirroring the behaviour described in §2.1). The
 // stored document is the one passed in; callers must not mutate it afterwards
-// except through Update.
+// (updates never mutate it either — they install clones).
 func (c *Collection) Insert(doc *bson.Doc) (any, error) {
 	c.mu.Lock()
 	commit, err := c.logLocked([]WriteOp{InsertWriteOp(doc)}, true)
@@ -97,6 +217,7 @@ func (c *Collection) Insert(doc *bson.Doc) (any, error) {
 		return nil, err
 	}
 	id, err := c.insertLocked(doc)
+	c.publishLocked()
 	c.mu.Unlock()
 	// The commit is resolved (and its post-commit hook notified) even when
 	// the apply failed: the record is in the log either way, and the
@@ -147,6 +268,9 @@ func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
 			return nil, err
 		}
 	}
+	// Appending is safe even while the backing array is shared with the
+	// published version: the write lands at an index no pinned reader
+	// accesses (see the version invariants).
 	c.records = append(c.records, record{idKey: key, doc: doc, size: size})
 	c.byID[key] = len(c.records) - 1
 	c.count++
@@ -164,10 +288,9 @@ func (c *Collection) InsertMany(docs []*bson.Doc) ([]any, error) {
 }
 
 // reserveLocked grows the record slice capacity ahead of a batch of n
-// inserts so the batch appends without repeated reallocation (each
-// reallocation also freezes open cursor snapshots earlier than necessary).
-// Growth is at least geometric so repeated batches keep the amortized O(1)
-// append cost instead of copying the whole array per batch.
+// inserts so the batch appends without repeated reallocation. Growth is at
+// least geometric so repeated batches keep the amortized O(1) append cost
+// instead of copying the whole array per batch.
 func (c *Collection) reserveLocked(n int) {
 	if n <= 0 || cap(c.records)-len(c.records) >= n {
 		return
@@ -179,12 +302,15 @@ func (c *Collection) reserveLocked(n int) {
 	grown := make([]record, len(c.records), newCap)
 	copy(grown, c.records)
 	c.records = grown
+	c.shared = false
 }
 
-// FindID returns the document with the given _id, or nil when absent.
+// FindID returns the document with the given _id, or nil when absent. The
+// point lookup goes through the writer-owned _id map, so it briefly takes
+// the write mutex; the returned document is immutable (updates replace it).
 func (c *Collection) FindID(id any) *bson.Doc {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	pos, ok := c.byID[idKey(bson.Normalize(id))]
 	if !ok || c.records[pos].deleted {
 		return nil
@@ -192,34 +318,22 @@ func (c *Collection) FindID(id any) *bson.Doc {
 	return c.records[pos].doc
 }
 
-// Count returns the number of live documents.
+// Count returns the number of live documents in the published version.
 func (c *Collection) Count() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.count
+	return c.current.Load().count
 }
 
 // DataSize returns the total encoded size of live documents in bytes.
 func (c *Collection) DataSize() int {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.dataSize
+	return c.current.Load().dataSize
 }
 
 // Scan invokes fn for every live document in insertion order until fn
-// returns false.
+// returns false. The scan runs over a pinned snapshot and never blocks (or
+// is blocked by) writers; documents committed after the call starts are not
+// seen.
 func (c *Collection) Scan(fn func(*bson.Doc) bool) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	c.scans.Add(1)
-	for i := range c.records {
-		if c.records[i].deleted {
-			continue
-		}
-		if !fn(c.records[i].doc) {
-			return
-		}
-	}
+	c.Snapshot().Scan(fn)
 }
 
 // Drop removes every document and secondary index. With a journal attached
@@ -236,11 +350,16 @@ func (c *Collection) Drop() {
 	c.count = 0
 	c.dataSize = 0
 	c.tombs = 0
+	c.shared = false
+	c.indexesChanged = true
+	c.publishLocked()
 	c.mu.Unlock()
 	_ = waitCommit(commit, false)
 }
 
-// compactLocked rewrites the record slice without tombstones.
+// compactLocked rewrites the record slice without tombstones. The rewrite
+// lands in a fresh array, so versions pinned before the compaction keep
+// scanning their own frozen records.
 func (c *Collection) compactLocked() {
 	if c.tombs == 0 {
 		return
@@ -257,6 +376,7 @@ func (c *Collection) compactLocked() {
 	c.records = kept
 	c.byID = byID
 	c.tombs = 0
+	c.shared = false
 }
 
 // Stats summarizes the collection, mirroring collStats.
@@ -274,24 +394,23 @@ type Stats struct {
 	DocsExamined int64
 }
 
-// Stats returns current collection statistics.
+// Stats returns current collection statistics. Everything is read from the
+// published version and atomic counters, so Stats never contends with
+// writers.
 func (c *Collection) Stats() Stats {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	v := c.current.Load()
 	s := Stats{
-		Name:          c.name,
-		Count:         c.count,
-		DataSizeBytes: c.dataSize,
-		IndexCount:    len(c.indexes),
-		CollScans:     c.scans.Load(),
-		IndexScans:    c.indexScans.Load(),
-		DocsExamined:  c.docsExamined.Load(),
+		Name:           c.name,
+		Count:          v.count,
+		DataSizeBytes:  v.dataSize,
+		IndexCount:     len(v.indexMeta),
+		IndexSizeBytes: v.indexSize,
+		CollScans:      c.scans.Load(),
+		IndexScans:     c.indexScans.Load(),
+		DocsExamined:   c.docsExamined.Load(),
 	}
-	if c.count > 0 {
-		s.AvgObjSizeBytes = c.dataSize / c.count
-	}
-	for _, ix := range c.indexes {
-		s.IndexSizeBytes += ix.SizeBytes()
+	if v.count > 0 {
+		s.AvgObjSizeBytes = v.dataSize / v.count
 	}
 	return s
 }

@@ -6,9 +6,9 @@ import (
 )
 
 // DefaultBatchSize is the number of documents a streaming cursor pulls from
-// the collection per lock acquisition when FindOptions.BatchSize is zero.
-// It mirrors the role of the wire protocol's default batch size: large enough
-// to amortize locking, small enough to bound per-batch memory.
+// its snapshot per fill when FindOptions.BatchSize is zero. It mirrors the
+// role of the wire protocol's default batch size: large enough to amortize
+// per-batch bookkeeping, small enough to bound per-batch memory.
 const DefaultBatchSize = 256
 
 // Cursor streams the results of a query in batches instead of materializing
@@ -17,21 +17,22 @@ const DefaultBatchSize = 256
 // written against (cursor.hasNext() / cursor.next() in Figure 4.7) alongside
 // Go-style TryNext/NextBatch accessors.
 //
-// A cursor opened against a collection captures a snapshot of the record
-// array at creation: documents inserted afterwards are never seen, deletions
-// are seen as long as the snapshot still shares the live record array, and a
-// rewrite of that array (slice growth on insert, or compaction) freezes the
-// snapshot at its pre-rewrite state. Each batch is read under the
-// collection's read lock, so batches are internally consistent; the scan as
-// a whole is not a point-in-time snapshot of document contents (the same
-// non-isolated semantics real cursors have).
+// A cursor opened against a collection pins one immutable Snapshot for its
+// whole lifetime and provides true point-in-time isolation: the drained
+// result is exactly the set — and the contents — of the documents committed
+// when the cursor opened. Inserts, updates and deletes committed after the
+// open are invisible, compaction and record-array growth never perturb an
+// open scan, and no batch ever takes a collection lock, so scans proceed at
+// full speed under sustained bulk-write load. (Before the MVCC engine,
+// cursors froze at whatever state the record array happened to be rewritten
+// into — deletes were visible until a growth or compaction rewrote the
+// array; that anomaly is gone.)
 //
 // Cursors are not safe for concurrent use by multiple goroutines.
 type Cursor struct {
-	// Streaming state (coll == nil for slice-backed cursors).
-	coll    *Collection
-	snap    []record
-	order   []int // index-scan positions into snap; nil = sequential scan
+	// Streaming state (snap == nil for slice-backed cursors).
+	snap    *Snapshot
+	order   []int // index-scan positions into the snapshot; nil = sequential scan
 	next    int
 	matcher *query.Matcher
 	proj    *query.Projection
@@ -73,6 +74,10 @@ func NewCursor(docs []*bson.Doc) *Cursor {
 // BatchSize returns the cursor's batch size; <= 0 means unbounded.
 func (cur *Cursor) BatchSize() int { return cur.batchSize }
 
+// Snapshot returns the snapshot the cursor is pinned to, or nil for a
+// slice-backed cursor over pre-materialized results.
+func (cur *Cursor) Snapshot() *Snapshot { return cur.snap }
+
 // Plan returns the execution plan observed so far. After the cursor is
 // exhausted it matches the plan FindWithPlan would have returned.
 func (cur *Cursor) Plan() Plan { return cur.plan }
@@ -87,7 +92,6 @@ func (cur *Cursor) Err() error { return nil }
 func (cur *Cursor) Close() error {
 	cur.closed = true
 	cur.done = true
-	cur.coll = nil
 	cur.snap = nil
 	cur.order = nil
 	cur.rest = nil
@@ -159,15 +163,16 @@ func (cur *Cursor) All() ([]*bson.Doc, error) {
 	return out, err
 }
 
-// fill pulls the next batch into cur.buf. For collection-backed cursors the
-// whole batch is produced under one read-lock acquisition.
+// fill pulls the next batch into cur.buf. Snapshot-backed cursors scan their
+// pinned immutable version, so the fill takes no locks at all and a batch
+// can never observe a concurrent writer's partial state.
 func (cur *Cursor) fill() {
 	cur.buf = cur.buf[:0]
 	cur.pos = 0
 	if cur.done || cur.closed {
 		return
 	}
-	if cur.coll == nil {
+	if cur.snap == nil {
 		n := len(cur.rest)
 		if cur.batchSize > 0 && n > cur.batchSize {
 			n = cur.batchSize
@@ -181,9 +186,8 @@ func (cur *Cursor) fill() {
 		return
 	}
 
-	c := cur.coll
+	recs := cur.snap.v.records
 	examinedBefore := cur.plan.DocsExamined
-	c.mu.RLock()
 	for !cur.done && (cur.batchSize <= 0 || len(cur.buf) < cur.batchSize) {
 		var r *record
 		if cur.order != nil {
@@ -191,15 +195,20 @@ func (cur *Cursor) fill() {
 				cur.done = true
 				break
 			}
-			r = &cur.snap[cur.order[cur.next]]
+			pos := cur.order[cur.next]
+			cur.next++
+			if pos < 0 || pos >= len(recs) {
+				continue
+			}
+			r = &recs[pos]
 		} else {
-			if cur.next >= len(cur.snap) {
+			if cur.next >= len(recs) {
 				cur.done = true
 				break
 			}
-			r = &cur.snap[cur.next]
+			r = &recs[cur.next]
+			cur.next++
 		}
-		cur.next++
 		if r.deleted {
 			continue
 		}
@@ -224,18 +233,42 @@ func (cur *Cursor) fill() {
 			}
 		}
 	}
-	c.mu.RUnlock()
-	c.docsExamined.Add(int64(cur.plan.DocsExamined - examinedBefore))
+	cur.snap.coll.docsExamined.Add(int64(cur.plan.DocsExamined - examinedBefore))
 	if len(cur.buf) == 0 {
 		cur.done = true
 	}
 }
 
+// openScan pins the snapshot a cursor will read and plans its access path.
+// Queries that cannot use an index — no filter constraints, no secondary
+// indexes at pin time, no hint — pin the current version with a single
+// atomic load and never touch the writer mutex. Queries that consult an
+// index instead plan under the writer mutex: inside it the shared index
+// trees and the published version are guaranteed to agree (writers publish
+// before unlocking), so the position list is computed against exactly the
+// pinned records and index scans get the same point-in-time isolation as
+// collection scans.
+func (c *Collection) openScan(filter *bson.Doc, opts FindOptions) (*Snapshot, []int, string, error) {
+	snap := c.Snapshot()
+	if opts.Hint == "" && (len(snap.v.indexMeta) == 0 || filter == nil || filter.Len() == 0) {
+		return snap, nil, "", nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	snap = c.Snapshot() // re-pin under the lock so records match the trees
+	order, indexUsed, err := c.planLocked(filter, opts)
+	if err != nil {
+		return nil, nil, "", err
+	}
+	return snap, order, indexUsed, nil
+}
+
 // FindCursor opens a streaming cursor over the documents matching filter.
-// Queries without a sort stream directly from the collection (or index) scan
-// in batches of opts.BatchSize documents; queries with a sort are blocking
-// and materialize their result before the first batch, exactly as an
-// in-memory sort must.
+// The cursor pins one snapshot for its whole lifetime (see Cursor). Queries
+// without a sort stream directly from the snapshot (or index) scan in
+// batches of opts.BatchSize documents; queries with a sort are blocking and
+// materialize their result before the first batch, exactly as an in-memory
+// sort must.
 func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, error) {
 	matcher, err := query.Compile(filter)
 	if err != nil {
@@ -246,10 +279,10 @@ func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, er
 		batchSize = DefaultBatchSize
 	}
 
-	c.mu.RLock()
-	order, indexUsed := c.planLocked(filter, opts)
-	snap := c.records
-	c.mu.RUnlock()
+	snap, order, indexUsed, err := c.openScan(filter, opts)
+	if err != nil {
+		return nil, err
+	}
 	if order == nil {
 		c.scans.Add(1)
 	} else {
@@ -257,18 +290,24 @@ func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, er
 	}
 
 	cur := &Cursor{
-		coll:      c,
 		snap:      snap,
 		order:     order,
 		matcher:   matcher,
 		batchSize: batchSize,
 		limitLeft: -1,
-		plan:      Plan{Collection: c.name, IndexUsed: indexUsed},
+		plan: Plan{
+			Collection:      c.name,
+			IndexUsed:       indexUsed,
+			SnapshotVersion: snap.Version(),
+			Isolation:       IsolationSnapshot,
+		},
 	}
 
 	if len(opts.Sort) > 0 {
 		// Blocking sort: drain the raw scan, order it, then serve the result
-		// from a slice-backed cursor that retains the scan's plan counters.
+		// from a slice-backed cursor that retains the scan's plan counters
+		// (snapshot version included: the sorted result is exactly the
+		// pinned version's matching set).
 		cur.batchSize = -1
 		cur.fill()
 		docs := append([]*bson.Doc(nil), cur.buf...)

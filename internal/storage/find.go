@@ -13,7 +13,9 @@ type FindOptions struct {
 	Projection *query.Projection
 	Limit      int // 0 means no limit
 	Skip       int
-	// Hint forces the named index; empty lets the planner choose.
+	// Hint forces the named index; empty lets the planner choose. Naming an
+	// index that does not exist fails the query with ErrUnknownIndex rather
+	// than silently falling back to a collection scan.
 	Hint string
 	// BatchSize is the number of documents a FindCursor pulls per batch:
 	// 0 uses DefaultBatchSize, negative values disable batching so the whole
@@ -21,6 +23,24 @@ type FindOptions struct {
 	// relies on). Slice-returning APIs ignore it.
 	BatchSize int
 }
+
+// ErrUnknownIndex is returned when FindOptions.Hint names an index that does
+// not exist on the collection. It surfaces verbatim through mongod, the
+// query router and the wire protocol, so a bad hint is a query error at
+// every layer instead of a silent collection scan.
+type ErrUnknownIndex struct {
+	Collection string
+	Hint       string
+}
+
+func (e *ErrUnknownIndex) Error() string {
+	return fmt.Sprintf("storage: hint %q: no index with that name on collection %q", e.Hint, e.Collection)
+}
+
+// IsolationSnapshot is the Plan.Isolation value of version-pinned scans: the
+// result is a point-in-time view of one committed version. It is the only
+// isolation level collection-backed cursors run at.
+const IsolationSnapshot = "snapshot"
 
 // Plan describes how a query was (or would be) executed; it is the
 // explain() analogue.
@@ -30,6 +50,13 @@ type Plan struct {
 	DocsExamined int
 	DocsReturned int
 	SortInMemory bool
+	// SnapshotVersion is the collection version the scan pinned: all
+	// documents the query returned belong to exactly this committed state.
+	// 0 for cursors over pre-materialized slices, which have no version.
+	SnapshotVersion int64
+	// Isolation is the read isolation of the scan: IsolationSnapshot for
+	// version-pinned scans, empty for pre-materialized results.
+	Isolation string
 }
 
 // String renders the plan compactly.
@@ -38,7 +65,11 @@ func (p Plan) String() string {
 	if p.IndexUsed != "" {
 		src = "IXSCAN " + p.IndexUsed
 	}
-	return fmt.Sprintf("%s on %s examined=%d returned=%d", src, p.Collection, p.DocsExamined, p.DocsReturned)
+	s := fmt.Sprintf("%s on %s examined=%d returned=%d", src, p.Collection, p.DocsExamined, p.DocsReturned)
+	if p.SnapshotVersion > 0 {
+		s += fmt.Sprintf(" snapshot=%d", p.SnapshotVersion)
+	}
+	return s
 }
 
 // Find returns the documents matching filter, honouring the options.
@@ -79,7 +110,7 @@ func (c *Collection) CountDocs(filter *bson.Doc) (int, error) {
 // FindWithPlan is Find but also returns the execution plan, which the
 // benchmark harness uses to verify index usage and document-examined counts.
 // It is a thin wrapper over FindCursor with batching disabled, so the whole
-// scan happens under a single read-lock acquisition as it always has.
+// result materializes from one pinned snapshot.
 func (c *Collection) FindWithPlan(filter *bson.Doc, opts FindOptions) ([]*bson.Doc, Plan, error) {
 	opts.BatchSize = -1
 	cur, err := c.FindCursor(filter, opts)
@@ -92,14 +123,20 @@ func (c *Collection) FindWithPlan(filter *bson.Doc, opts FindOptions) ([]*bson.D
 
 // planLocked chooses an access path for the filter: either nil (collection
 // scan) or the ordered record positions produced by the most selective usable
-// index. The caller holds at least a read lock.
-func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, string) {
+// index. The caller holds the write mutex, so the shared index trees agree
+// with both the writer state and the published version.
+func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, string, error) {
+	if opts.Hint != "" {
+		if _, ok := c.indexes[opts.Hint]; !ok {
+			return nil, "", &ErrUnknownIndex{Collection: c.name, Hint: opts.Hint}
+		}
+	}
 	if len(c.indexes) == 0 || filter == nil || filter.Len() == 0 {
-		return nil, ""
+		return nil, "", nil
 	}
 	constraints := query.FieldConstraints(filter)
 	if len(constraints) == 0 && opts.Hint == "" {
-		return nil, ""
+		return nil, "", nil
 	}
 	var best *indexChoice
 	for name, ix := range c.indexes {
@@ -109,8 +146,9 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 		prefix := ix.PrefixMatches(constraints)
 		if prefix == 0 {
 			if opts.Hint == name {
-				// Honour the hint even if it cannot narrow the scan.
-				return nil, ""
+				// The hinted index exists but cannot narrow this filter;
+				// honour the hint by scanning the collection.
+				return nil, "", nil
 			}
 			continue
 		}
@@ -121,7 +159,7 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 		}
 	}
 	if best == nil {
-		return nil, ""
+		return nil, "", nil
 	}
 	ix := c.indexes[best.name]
 	// A non-nil (possibly empty) slice signals that an index narrowed the
@@ -134,9 +172,9 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 		return true
 	})
 	if !ok {
-		return nil, ""
+		return nil, "", nil
 	}
-	return positions, best.name
+	return positions, best.name, nil
 }
 
 type indexChoice struct {

@@ -14,7 +14,9 @@ import (
 // (before the backfill, under the same lock that orders writes) so recovery
 // rebuilds the index and replayed writes see the same unique-key
 // enforcement; a backfill failure replays identically, so the logged record
-// is deterministic either way.
+// is deterministic either way. The backfill runs under the write mutex but
+// never blocks snapshot readers: collection scans and already-open cursors
+// proceed against the published version while the tree builds.
 func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, error) {
 	c.mu.Lock()
 	name := spec.Name()
@@ -34,15 +36,19 @@ func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, er
 			continue
 		}
 		if err := ix.Insert(r.doc, r.doc.ID()); err != nil {
+			// The record is logged; publish the advanced watermark and
+			// resolve the commit so the change-stream frontier sees its LSN
+			// (a replayed backfill fails identically, so recovery stays
+			// deterministic).
+			c.publishLocked()
 			c.mu.Unlock()
-			// The record is logged; resolve the commit so the
-			// change-stream frontier sees its LSN (a replayed backfill
-			// fails identically, so recovery stays deterministic).
 			_ = waitCommit(commit, false)
 			return nil, fmt.Errorf("storage: building index %s: %w", name, err)
 		}
 	}
 	c.indexes[name] = ix
+	c.indexesChanged = true
+	c.publishLocked()
 	c.mu.Unlock()
 	return ix, waitCommit(commit, false)
 }
@@ -71,6 +77,8 @@ func (c *Collection) DropIndex(name string) bool {
 		return false
 	}
 	delete(c.indexes, name)
+	c.indexesChanged = true
+	c.publishLocked()
 	c.mu.Unlock()
 	_ = waitCommit(commit, false)
 	return true
@@ -78,15 +86,15 @@ func (c *Collection) DropIndex(name string) bool {
 
 // Index returns the named index, or nil.
 func (c *Collection) Index(name string) *index.Index {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	return c.indexes[name]
 }
 
 // Indexes returns the collection's secondary indexes sorted by name.
 func (c *Collection) Indexes() []*index.Index {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	out := make([]*index.Index, 0, len(c.indexes))
 	for _, ix := range c.indexes {
 		out = append(out, ix)

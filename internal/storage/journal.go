@@ -59,14 +59,13 @@ func (c *Collection) SetJournal(j Journal) {
 	c.journal = j
 }
 
-// LastLSN returns the log sequence number of the last journaled mutation,
-// 0 when the collection was never journaled. A snapshot taken under the same
-// lock acquisition (Collection.Snapshot) pairs the data with this number,
-// which is what makes fuzzy checkpoints consistent per collection.
+// LastLSN returns the log sequence number of the last journaled mutation
+// reflected in the published version, 0 when the collection was never
+// journaled. A pinned Snapshot pairs its record data with the same number
+// (Snapshot.LastLSN), captured in one version, which is what makes
+// checkpoints consistent per collection.
 func (c *Collection) LastLSN() int64 {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	return c.lastLSN
+	return c.current.Load().lastLSN
 }
 
 // SetReplayLSN records that the collection's state reflects the log up to
@@ -77,6 +76,7 @@ func (c *Collection) SetReplayLSN(lsn int64) {
 	defer c.mu.Unlock()
 	if lsn > c.lastLSN {
 		c.lastLSN = lsn
+		c.publishLocked()
 	}
 }
 

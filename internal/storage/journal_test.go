@@ -205,10 +205,11 @@ func TestSnapshotConsistentUnderConcurrentWrites(t *testing.T) {
 	}
 	for round := 0; round < 50; round++ {
 		var buf bytes.Buffer
-		info, err := c.Snapshot(&buf)
-		if err != nil {
+		snap := c.Snapshot()
+		if err := snap.WriteData(&buf); err != nil {
 			t.Fatalf("snapshot: %v", err)
 		}
+		info := snap.Info()
 		restored := NewCollection("r")
 		if err := restored.ReadSnapshot(&buf); err != nil {
 			t.Fatalf("round %d: snapshot does not load: %v", round, err)
@@ -229,7 +230,7 @@ func TestReadSnapshotRejectsCountMismatch(t *testing.T) {
 		}
 	}
 	var buf bytes.Buffer
-	if _, err := c.Snapshot(&buf); err != nil {
+	if err := c.WriteSnapshot(&buf); err != nil {
 		t.Fatal(err)
 	}
 	// Trailing documents beyond the header count must be rejected, not

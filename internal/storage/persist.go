@@ -13,7 +13,9 @@ import (
 // Snapshot persistence: a collection is written as a stream of
 // length-prefixed binary documents preceded by a small header. This is the
 // storage analogue of a data directory; the experiment harness uses it to
-// avoid regenerating datasets between runs.
+// avoid regenerating datasets between runs, and checkpoints stream it
+// through Snapshot.WriteData (see snapshot.go) so the disk write happens
+// entirely outside the write path's critical section.
 
 var snapshotMagic = [4]byte{'D', 'S', 'C', '1'}
 
@@ -21,14 +23,13 @@ var snapshotMagic = [4]byte{'D', 'S', 'C', '1'}
 type SnapshotInfo struct {
 	// Count is the number of documents written.
 	Count int
-	// LastLSN is the journal watermark of the collection at the moment of
-	// the snapshot, captured under the same lock acquisition as the data.
-	// Checkpoints pair it with the snapshot so recovery replays exactly the
-	// log records the snapshot does not already contain.
+	// LastLSN is the journal watermark of the snapshot's version: every
+	// mutation at or below it is contained in the data, every one above it
+	// is not. Checkpoints pair it with the snapshot so recovery replays
+	// exactly the log records the snapshot does not already contain.
 	LastLSN int64
-	// Indexes are the secondary index definitions live at the snapshot,
-	// captured under the same lock so they are exactly the indexes implied
-	// by the watermark. The snapshot stream itself carries only documents;
+	// Indexes are the secondary index definitions live at the snapshot's
+	// version. The snapshot stream itself carries only documents;
 	// checkpoints persist these definitions in their manifest and recovery
 	// rebuilds the trees by backfilling.
 	Indexes []IndexMeta
@@ -40,42 +41,10 @@ type IndexMeta struct {
 	Unique bool
 }
 
-// Snapshot writes every live document to w and reports what it captured.
-// The header count, the journal watermark and the document scan all happen
-// under one read-lock acquisition, so a concurrent write can never make the
-// header disagree with the records that follow it.
-func (c *Collection) Snapshot(w io.Writer) (SnapshotInfo, error) {
-	c.mu.RLock()
-	defer c.mu.RUnlock()
-	c.scans.Add(1)
-	info := SnapshotInfo{Count: c.count, LastLSN: c.lastLSN}
-	for _, ix := range c.indexes {
-		info.Indexes = append(info.Indexes, IndexMeta{Spec: ix.Spec().Doc(), Unique: ix.Unique()})
-	}
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(snapshotMagic[:]); err != nil {
-		return info, err
-	}
-	countBuf := make([]byte, 8)
-	binary.LittleEndian.PutUint64(countBuf, uint64(c.count))
-	if _, err := bw.Write(countBuf); err != nil {
-		return info, err
-	}
-	for i := range c.records {
-		if c.records[i].deleted {
-			continue
-		}
-		if _, err := bw.Write(bson.Marshal(c.records[i].doc)); err != nil {
-			return info, err
-		}
-	}
-	return info, bw.Flush()
-}
-
-// WriteSnapshot writes every live document to w.
+// WriteSnapshot writes every live document of the current committed version
+// to w. It is shorthand for Snapshot().WriteData(w).
 func (c *Collection) WriteSnapshot(w io.Writer) error {
-	_, err := c.Snapshot(w)
-	return err
+	return c.Snapshot().WriteData(w)
 }
 
 // ReadSnapshot loads documents from r into the collection, appending to its

@@ -2,6 +2,7 @@ package storage
 
 import (
 	"fmt"
+	"io"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -125,6 +126,214 @@ func TestStressParallelCRUD(t *testing.T) {
 	}
 	if len(docs) != c.Count() {
 		t.Fatalf("final Find returned %d docs, Count says %d", len(docs), c.Count())
+	}
+}
+
+// TestStressReadersDuringBulkWrite asserts the MVCC core guarantee under
+// load: a writer rewrites the whole collection's "epoch" field one bulk
+// batch at a time while readers drain full cursors — every drain must
+// observe exactly one epoch (one committed version), never a torn mix of
+// two batches, and always the full document count.
+func TestStressReadersDuringBulkWrite(t *testing.T) {
+	const (
+		docs    = 400
+		readers = 4
+		epochs  = 120
+	)
+	c := NewCollection("epochs")
+	ops := make([]WriteOp, docs)
+	for i := range ops {
+		ops[i] = InsertWriteOp(bson.D(bson.IDKey, i, "epoch", 0))
+	}
+	if res := c.BulkWrite(ops, BulkOptions{Ordered: true}); res.FirstError() != nil {
+		t.Fatal(res.FirstError())
+	}
+
+	var writerWG, readerWG sync.WaitGroup
+	stop := make(chan struct{})
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for k := 1; k <= epochs; k++ {
+			res := c.BulkWrite([]WriteOp{UpdateWriteOp(query.UpdateSpec{
+				Query:  bson.D(),
+				Update: bson.D("$set", bson.D("epoch", k)),
+				Multi:  true,
+			})}, BulkOptions{})
+			if err := res.FirstError(); err != nil {
+				t.Errorf("epoch %d: %v", k, err)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		readerWG.Add(1)
+		go func() {
+			defer readerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cur, err := c.FindCursor(nil, FindOptions{BatchSize: 16})
+				if err != nil {
+					t.Errorf("open: %v", err)
+					return
+				}
+				seen := -1
+				n := 0
+				for {
+					b := cur.NextBatch()
+					if len(b) == 0 {
+						break
+					}
+					for _, d := range b {
+						n++
+						e, _ := d.Get("epoch")
+						ei := int(bson.Normalize(e).(int64))
+						if seen == -1 {
+							seen = ei
+						} else if seen != ei {
+							t.Errorf("torn read: epochs %d and %d in one drain (snapshot %d)", seen, ei, cur.Plan().SnapshotVersion)
+							return
+						}
+					}
+				}
+				if n != docs {
+					t.Errorf("drained %d docs, want %d", n, docs)
+					return
+				}
+			}
+		}()
+	}
+	// The writer finishing shuts the readers down.
+	writerWG.Wait()
+	close(stop)
+	readerWG.Wait()
+}
+
+// TestStressReadersDuringEnsureIndex churns index creation/removal while
+// readers run the same filtered query; the document set never changes, so
+// every read — whether planned as an index scan or a collection scan —
+// must return exactly the same documents.
+func TestStressReadersDuringEnsureIndex(t *testing.T) {
+	const (
+		docs    = 300
+		readers = 3
+		rounds  = 60
+	)
+	c := NewCollection("ixchurn")
+	wantIDs := make(map[any]bool)
+	for i := 0; i < docs; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, i, "g", i%10, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+		if i%10 == 7 {
+			wantIDs[bson.Normalize(i)] = true
+		}
+	}
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for r := 0; r < rounds; r++ {
+			if _, err := c.EnsureIndexDoc(bson.D("g", 1), false); err != nil {
+				t.Errorf("ensure: %v", err)
+				return
+			}
+			if !c.DropIndex("g_1") {
+				t.Errorf("drop round %d: index missing", r)
+				return
+			}
+		}
+	}()
+
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				docs, err := c.Find(bson.D("g", 7), FindOptions{})
+				if err != nil {
+					t.Errorf("find: %v", err)
+					return
+				}
+				if len(docs) != len(wantIDs) {
+					t.Errorf("found %d docs, want %d", len(docs), len(wantIDs))
+					return
+				}
+				for _, d := range docs {
+					if !wantIDs[bson.Normalize(d.ID())] {
+						t.Errorf("unexpected doc %v", d.ID())
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// TestStressSnapshotStreamDuringWrites streams snapshot data to a counting
+// writer while bulk writes commit, asserting every streamed snapshot is
+// self-consistent (header count equals streamed documents) — the
+// reads-while-checkpointing path.
+func TestStressSnapshotStreamDuringWrites(t *testing.T) {
+	c := NewCollection("ckpt")
+	for i := 0; i < 200; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		for k := 0; k < 200; k++ {
+			id := fmt.Sprintf("w-%d", k)
+			if _, err := c.Insert(bson.D(bson.IDKey, id)); err != nil {
+				t.Errorf("insert: %v", err)
+				return
+			}
+			if k%3 == 0 {
+				if _, err := c.Delete(bson.D(bson.IDKey, id), false); err != nil {
+					t.Errorf("delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	for {
+		select {
+		case <-stop:
+			wg.Wait()
+			return
+		default:
+		}
+		snap := c.Snapshot()
+		restored := NewCollection("restored")
+		pr, pw := io.Pipe()
+		go func() {
+			pw.CloseWithError(snap.WriteData(pw))
+		}()
+		if err := restored.ReadSnapshot(pr); err != nil {
+			t.Fatalf("snapshot stream does not load: %v", err)
+		}
+		if restored.Count() != snap.Count() {
+			t.Fatalf("streamed %d docs, snapshot says %d", restored.Count(), snap.Count())
+		}
 	}
 }
 

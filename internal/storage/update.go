@@ -27,6 +27,7 @@ func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
 		return UpdateResult{}, err
 	}
 	res, err := c.updateLocked(spec, matcher)
+	c.publishLocked()
 	c.mu.Unlock()
 	// Resolve the commit even on an apply error: the record was logged and
 	// the change-stream frontier needs its LSN notified.
@@ -39,13 +40,19 @@ func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
 
 // updateLocked executes a pre-compiled update under the caller's write lock;
 // it is the shared implementation behind Update and BulkWrite.
+//
+// MVCC discipline: a modified document is never mutated in place — the
+// update applies to a clone, which is then installed into the (privately
+// owned) record slot. Readers pinned to older versions keep observing the
+// pre-update document through their own frozen record slice.
 func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher) (UpdateResult, error) {
 	var res UpdateResult
 
 	// Narrow the candidate set through an index when one matches the query,
 	// exactly as Find does; the denormalization algorithm issues one
-	// multi-update per dimension key and relies on this.
-	positions, _ := c.planLocked(spec.Query, FindOptions{})
+	// multi-update per dimension key and relies on this. The error is
+	// structurally impossible here (updates carry no hint).
+	positions, _, _ := c.planLocked(spec.Query, FindOptions{})
 	if positions == nil {
 		positions = make([]int, 0, len(c.records))
 		for i := range c.records {
@@ -58,25 +65,30 @@ func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher)
 			continue
 		}
 		res.Matched++
-		before := r.doc.Clone()
-		changed, err := query.ApplyUpdate(r.doc, spec.Update)
+		updated := r.doc.Clone()
+		changed, err := query.ApplyUpdate(updated, spec.Update)
 		if err != nil {
 			return res, err
 		}
 		if changed {
-			newSize := bson.EncodedSize(r.doc)
+			newSize := bson.EncodedSize(updated)
 			if newSize > bson.MaxDocumentSize {
-				// Restore the previous content before reporting the error.
-				*r.doc = *before
+				// Nothing was installed; the stored document is untouched.
 				return res, &ErrDocumentTooLarge{Size: newSize}
 			}
-			res.Modified++
+			// First slot rewrite of the batch copies the shared record
+			// array; the copy relocates slots, so re-derive the pointer.
+			c.ensureOwnedLocked()
+			r = &c.records[i]
+			old := r.doc
+			r.doc = updated
 			c.dataSize += newSize - r.size
 			r.size = newSize
-			id := r.doc.ID()
+			res.Modified++
+			id := updated.ID()
 			for _, ix := range c.indexes {
-				ix.Remove(before, id)
-				if err := ix.Insert(r.doc, id); err != nil {
+				ix.Remove(old, id)
+				if err := ix.Insert(updated, id); err != nil {
 					return res, err
 				}
 			}
@@ -154,20 +166,25 @@ func (c *Collection) Delete(filter *bson.Doc, multi bool) (int, error) {
 	}
 	removed := c.deleteLocked(matcher, multi)
 	c.maybeCompactLocked()
+	c.publishLocked()
 	c.mu.Unlock()
 	return removed, waitCommit(commit, false)
 }
 
 // deleteLocked removes matching documents under the caller's write lock. It
 // never compacts; callers decide when to pay for compaction so a bulk of
-// deletes triggers at most one rewrite.
+// deletes triggers at most one rewrite. Tombstoning rewrites record slots,
+// so the first removal of a batch takes the copy-on-write path; pinned
+// readers keep seeing the documents through their own frozen slices.
 func (c *Collection) deleteLocked(matcher *query.Matcher, multi bool) int {
 	removed := 0
-	for i := range c.records {
+	for i := 0; i < len(c.records); i++ {
 		r := &c.records[i]
 		if r.deleted || !matcher.Matches(r.doc) {
 			continue
 		}
+		c.ensureOwnedLocked()
+		r = &c.records[i]
 		r.deleted = true
 		delete(c.byID, r.idKey)
 		id := r.doc.ID()

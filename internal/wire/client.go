@@ -87,6 +87,18 @@ func (c *Client) Find(db, coll string, filter, sort *bson.Doc, limit int) ([]*bs
 	return resp.Docs, nil
 }
 
+// FindWithHint is Find forcing the named index through the wire protocol's
+// "hint" field. A hint naming no index on the collection fails the request
+// with the server's unknown-index error rather than silently degrading to a
+// collection scan.
+func (c *Client) FindWithHint(db, coll string, filter, sort *bson.Doc, hint string, limit int) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpFind, DB: db, Collection: coll, Filter: filter, Sort: sort, Hint: hint, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
 // Count counts matching documents.
 func (c *Client) Count(db, coll string, filter *bson.Doc) (int64, error) {
 	resp, err := c.Do(&Request{Op: OpCount, DB: db, Collection: coll, Filter: filter})

@@ -2,6 +2,7 @@ package wire
 
 import (
 	"fmt"
+	"strings"
 	"testing"
 	"time"
 
@@ -242,4 +243,105 @@ func TestWireConcurrentCursors(t *testing.T) {
 		}
 	}
 	_ = client
+}
+
+// TestWireGetMoreSnapshotDuringBulkLoad is the wire-level MVCC isolation
+// test: a cursor is opened, then bulkWrite batches (inserts, a whole-set
+// update, deletes) land between its getMores. Every batch the wire returns
+// must come from the cursor's pinned snapshot, so the reassembled result is
+// exactly the at-open document set with the at-open contents. No sleeps:
+// the interleaving is driven request-by-request over one connection.
+func TestWireGetMoreSnapshotDuringBulkLoad(t *testing.T) {
+	_, client := cursorTestServer(t, 200)
+
+	want, err := client.Find("db", "rows", nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != 200 {
+		t.Fatalf("plain find returned %d docs", len(want))
+	}
+
+	cur, err := client.FindCursor("db", "rows", nil, nil, 0, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*bson.Doc, 0, 200)
+	batches := 0
+	for {
+		d, ok := cur.Next()
+		if !ok {
+			break
+		}
+		got = append(got, d)
+		// After each full client batch, mutate the collection through the
+		// same wire connection before the next getMore is issued.
+		if len(got)%30 == 0 {
+			batches++
+			ops := []*bson.Doc{
+				BulkInsertOp(bson.D(bson.IDKey, 10000+batches, "g", 1, "v", -1)),
+				BulkUpdateOp(bson.D(), bson.D("$set", bson.D("v", 777777)), true, false),
+				BulkDeleteOp(bson.D(bson.IDKey, batches), false),
+			}
+			if _, err := client.BulkWrite("db", "rows", ops, false); err != nil {
+				t.Fatalf("bulk between getMores: %v", err)
+			}
+		}
+	}
+	if err := cur.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("cursor returned %d docs across bulk loads, want the %d at-open docs", len(got), len(want))
+	}
+	for i := range got {
+		if !got[i].Equal(want[i]) {
+			t.Fatalf("doc %d differs from at-open state:\n got  %s\n want %s", i, got[i], want[i])
+		}
+	}
+	// A fresh find observes the mutations instead.
+	after, err := client.Find("db", "rows", bson.D("v", 777777), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(after) == 0 {
+		t.Fatalf("post-load find saw no updated docs")
+	}
+}
+
+// TestWireFindHint drives the "hint" field end to end: an unknown hint is a
+// request error carrying the storage engine's message, a real hint still
+// answers the query.
+func TestWireFindHint(t *testing.T) {
+	srv, client := cursorTestServer(t, 10)
+
+	if _, err := client.FindWithHint("db", "rows", bson.D("g", 1), nil, "nope_1", 0); err == nil {
+		t.Fatalf("unknown hint must fail the find")
+	} else if !strings.Contains(err.Error(), "no index with that name") {
+		t.Fatalf("unknown hint error = %v", err)
+	}
+
+	if err := client.EnsureIndex("db", "rows", bson.D("g", 1), false); err != nil {
+		t.Fatal(err)
+	}
+	docs, err := client.FindWithHint("db", "rows", bson.D("g", 1), nil, "g_1", 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 { // 10 docs, g = i%5: i = 1, 6
+		t.Fatalf("hinted find returned %d docs, want 2", len(docs))
+	}
+
+	// Driver-style key-specification hints normalize to the index name; a
+	// hint of a nonsense type is rejected, never silently dropped.
+	req := decodeRequest(bson.D("op", OpFind, "db", "db", "coll", "rows",
+		"filter", bson.D("g", 1), "hint", bson.D("g", 1)))
+	if resp := srv.Handle(req); !resp.OK || len(resp.Docs) != 2 {
+		t.Fatalf("doc-form hint: ok=%v err=%q n=%d", resp.OK, resp.Error, len(resp.Docs))
+	}
+	req = decodeRequest(bson.D("op", OpFind, "db", "db", "coll", "rows",
+		"filter", bson.D("g", 1), "hint", 42))
+	if resp := srv.Handle(req); resp.OK || !strings.Contains(resp.Error, "no index with that name") {
+		t.Fatalf("numeric hint must be rejected, got ok=%v err=%q", resp.OK, resp.Error)
+	}
 }

@@ -16,8 +16,30 @@
 package wire
 
 import (
+	"fmt"
+
 	"docstore/internal/bson"
+	"docstore/internal/index"
 )
+
+// HintString normalizes a request's "hint" value to an index name. Strings
+// pass through; a key-specification document ({"g": 1}, the form real
+// drivers send) maps to its conventional index name. Anything else renders
+// to a string that names no index, so the server rejects it with its
+// unknown-index error instead of silently ignoring the hint.
+func HintString(v any) string {
+	switch h := v.(type) {
+	case string:
+		return h
+	case *bson.Doc:
+		if spec, err := index.ParseSpec(h); err == nil {
+			return spec.Name()
+		}
+		return h.ToJSON()
+	default:
+		return fmt.Sprintf("%v", v)
+	}
+}
 
 // Op names understood by the server.
 const (
@@ -70,8 +92,12 @@ type Request struct {
 	Sort       *bson.Doc
 	Projection *bson.Doc
 	Keys       *bson.Doc // ensureIndex specification
-	Limit      int
-	Skip       int
+	// Hint forces the named index on a find. A hint naming no index fails
+	// the request with the storage engine's unknown-index error instead of
+	// silently falling back to a collection scan.
+	Hint  string
+	Limit int
+	Skip  int
 	// BatchSize > 0 turns a find/aggregate into a cursor request: the
 	// response carries the first batch plus a CursorID to getMore against.
 	// It also sets the batch size of a getMore.
@@ -131,6 +157,9 @@ func (r *Request) encode() *bson.Doc {
 	}
 	if r.Keys != nil {
 		d.Set("keys", r.Keys)
+	}
+	if r.Hint != "" {
+		d.Set("hint", r.Hint)
 	}
 	if r.Limit != 0 {
 		d.Set("limit", r.Limit)
@@ -206,6 +235,9 @@ func decodeRequest(d *bson.Doc) *Request {
 	}
 	if v, ok := d.Get("keys"); ok {
 		r.Keys, _ = v.(*bson.Doc)
+	}
+	if v, ok := d.Get("hint"); ok {
+		r.Hint = HintString(v)
 	}
 	if v, ok := d.Get("limit"); ok {
 		if n, isNum := bson.AsInt(v); isNum {

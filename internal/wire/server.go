@@ -383,7 +383,7 @@ func (s *Server) Handle(req *Request) *Response {
 			Result: encodeBulkResult(res),
 		}
 	case OpFind:
-		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip}
+		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip, Hint: req.Hint}
 		if req.Sort != nil {
 			sortSpec, err := query.ParseSort(req.Sort)
 			if err != nil {
