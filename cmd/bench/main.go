@@ -32,7 +32,31 @@ func main() {
 	figure := flag.String("figure", "", "render only one figure (4.9, 4.10, 4.11)")
 	ablation := flag.String("ablation", "", "run one ablation instead of the suite (shardkey, index, scatter)")
 	extended := flag.Bool("extended", false, "also run the future-work experiments 7/8 (denormalized model on the sharded cluster)")
+	sweep := flag.Bool("sweep", false, "run the write-concern latency sweep instead of the experiment suite")
+	sweepThreads := flag.String("sweep-threads", "1,4", "sweep: comma-separated client thread counts")
+	sweepMembers := flag.String("sweep-members", "1,3", "sweep: comma-separated replica set sizes")
+	sweepWC := flag.String("sweep-wc", "w1,majority,majority+j", "sweep: comma-separated write concerns (w<N>, majority, optional +j)")
+	sweepShards := flag.String("sweep-shards", "1", "sweep: comma-separated shard counts (replica set per shard)")
+	sweepRequests := flag.Int("sweep-requests", 400, "sweep: acknowledged writes measured per cell")
 	flag.Parse()
+
+	if *sweep {
+		cfg := sweepConfig{requests: *sweepRequests, concerns: splitTrim(*sweepWC)}
+		var err error
+		if cfg.threads, err = parseIntList("sweep-threads", *sweepThreads); err != nil {
+			fatal(err)
+		}
+		if cfg.members, err = parseIntList("sweep-members", *sweepMembers); err != nil {
+			fatal(err)
+		}
+		if cfg.shards, err = parseIntList("sweep-shards", *sweepShards); err != nil {
+			fatal(err)
+		}
+		if err := runSweep(cfg); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	small := tpcds.ScaleSmall.WithDivisor(*divisor)
 	large := tpcds.ScaleLarge.WithDivisor(*divisor)
@@ -132,6 +156,17 @@ func runAblation(name string, scale tpcds.Scale, cfg core.Config) {
 	default:
 		fatal(fmt.Errorf("unknown ablation %q (use shardkey, index or scatter)", name))
 	}
+}
+
+func splitTrim(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }
 
 func fatal(err error) {

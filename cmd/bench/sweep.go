@@ -1,0 +1,210 @@
+package main
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/mongos"
+	"docstore/internal/replset"
+	"docstore/internal/sharding"
+	"docstore/internal/storage"
+	"docstore/internal/wal"
+)
+
+// The write-concern sweep measures acknowledged-write latency across the
+// {threads} x {replica set size} x {write concern} x {shards} grid, printing
+// one `go test -bench`-formatted line per cell with mean, p50, p99 and p999
+// latencies as custom metrics, so cmd/benchjson folds the sweep into the
+// same JSON summaries and regression comparisons as the test benchmarks:
+//
+//	bench -sweep -sweep-threads 1,4 -sweep-members 1,3 \
+//	      -sweep-wc w1,majority,majority+j -sweep-shards 1 | \
+//	    benchjson -out BENCH.json
+type sweepConfig struct {
+	threads  []int
+	members  []int
+	concerns []string
+	shards   []int
+	requests int
+}
+
+func runSweep(cfg sweepConfig) error {
+	for _, s := range cfg.shards {
+		for _, m := range cfg.members {
+			for _, wcName := range cfg.concerns {
+				wc, err := parseSweepConcern(wcName)
+				if err != nil {
+					return err
+				}
+				if wc.W > m {
+					fmt.Fprintf(os.Stderr, "bench: skipping wc=%s at %d member(s): quorum unreachable by construction\n", wcName, m)
+					continue
+				}
+				for _, t := range cfg.threads {
+					lat, err := runSweepCell(t, m, s, wc, cfg.requests)
+					if err != nil {
+						return fmt.Errorf("cell t%d/m%d/wc%s/s%d: %w", t, m, wcName, s, err)
+					}
+					printSweepLine(t, m, wcName, s, lat)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// runSweepCell builds s replica sets of m members each (WAL-backed oplogs,
+// so j:true measures a real fsync), fans requests across t writer
+// goroutines, and returns every request's acknowledged latency.
+func runSweepCell(threads, members, shards int, wc storage.WriteConcern, requests int) ([]time.Duration, error) {
+	sets := make([]*replset.ReplicaSet, shards)
+	for si := range sets {
+		ms := make([]*mongod.Server, members)
+		for mi := range ms {
+			ms[mi] = mongod.NewServer(mongod.Options{Name: fmt.Sprintf("s%dm%d", si, mi)})
+		}
+		rs, err := replset.New(fmt.Sprintf("rs%d", si), ms...)
+		if err != nil {
+			return nil, err
+		}
+		dir, err := os.MkdirTemp("", "bench-oplog-")
+		if err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+		w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncGroupCommit})
+		if err != nil {
+			return nil, err
+		}
+		defer w.Close()
+		rs.AttachWAL(w)
+		rs.StartReplication()
+		defer rs.Close()
+		sets[si] = rs
+	}
+
+	write := func(id int) storage.BulkResult {
+		doc := bson.D(bson.IDKey, id, "k", id, "payload", "0123456789abcdef")
+		return sets[0].BulkWrite("bench", "writes", []storage.WriteOp{storage.InsertWriteOp(doc)},
+			storage.BulkOptions{Ordered: true, WriteConcern: wc})
+	}
+	if shards > 1 {
+		router := mongos.NewRouter(sharding.NewConfigServer(), mongos.Options{})
+		for si, rs := range sets {
+			router.AddReplicaShard(fmt.Sprintf("shard%d", si), rs)
+		}
+		if _, err := router.EnableSharding("bench", "writes", bson.D("k", 1), 1<<20); err != nil {
+			return nil, err
+		}
+		write = func(id int) storage.BulkResult {
+			doc := bson.D(bson.IDKey, id, "k", id, "payload", "0123456789abcdef")
+			return router.BulkWrite("bench", "writes", []storage.WriteOp{storage.InsertWriteOp(doc)},
+				storage.BulkOptions{Ordered: true, WriteConcern: wc})
+		}
+	}
+
+	perThread := requests / threads
+	if perThread == 0 {
+		perThread = 1
+	}
+	durations := make([][]time.Duration, threads)
+	errs := make(chan error, threads)
+	var wg sync.WaitGroup
+	for t := 0; t < threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			lat := make([]time.Duration, 0, perThread)
+			for j := 0; j < perThread; j++ {
+				id := t*perThread + j
+				start := time.Now()
+				res := write(id)
+				lat = append(lat, time.Since(start))
+				if err := res.FirstError(); err != nil {
+					errs <- fmt.Errorf("request %d: %w", id, err)
+					return
+				}
+			}
+			durations[t] = lat
+		}(t)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		return nil, err
+	}
+	var all []time.Duration
+	for _, lat := range durations {
+		all = append(all, lat...)
+	}
+	return all, nil
+}
+
+// parseSweepConcern decodes a sweep cell's concern name: w<N> or majority,
+// with an optional +j journal suffix (e.g. w1, majority, majority+j, w2+j).
+func parseSweepConcern(name string) (storage.WriteConcern, error) {
+	var wc storage.WriteConcern
+	base := name
+	if strings.HasSuffix(base, "+j") {
+		wc.Journal = true
+		base = strings.TrimSuffix(base, "+j")
+	}
+	switch {
+	case base == "majority":
+		wc.Majority = true
+	case strings.HasPrefix(base, "w"):
+		n, err := strconv.Atoi(base[1:])
+		if err != nil || n < 1 {
+			return wc, fmt.Errorf("bad write concern %q (want w<N>, majority, optionally +j)", name)
+		}
+		wc.W = n
+	default:
+		return wc, fmt.Errorf("bad write concern %q (want w<N>, majority, optionally +j)", name)
+	}
+	return wc, nil
+}
+
+func printSweepLine(threads, members int, wcName string, shards int, lat []time.Duration) {
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	var sum time.Duration
+	for _, d := range lat {
+		sum += d
+	}
+	mean := float64(sum.Nanoseconds()) / float64(len(lat))
+	fmt.Printf("BenchmarkWriteConcernSweep/t%d/m%d/wc%s/s%d \t%d\t%.0f ns/op\t%.0f p50-ns/op\t%.0f p99-ns/op\t%.0f p999-ns/op\n",
+		threads, members, wcName, shards, len(lat), mean,
+		percentile(lat, 0.50), percentile(lat, 0.99), percentile(lat, 0.999))
+}
+
+// percentile reads the q-quantile from an ascending latency slice.
+func percentile(sorted []time.Duration, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)))
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return float64(sorted[i].Nanoseconds())
+}
+
+// parseIntList splits a comma-separated list of positive integers.
+func parseIntList(flagName, s string) ([]int, error) {
+	parts := strings.Split(s, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		n, err := strconv.Atoi(strings.TrimSpace(p))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("-%s: bad entry %q (want positive integers)", flagName, p)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -80,11 +80,12 @@ func parseBench(r io.Reader) (*Summary, error) {
 }
 
 // compare warns about benchmarks whose B/op or ns/op grew beyond threshold
-// times the baseline and returns the number of regressions. B/op is the
-// stable signal (allocation profiles barely jitter); ns/op is noisier —
-// especially at -benchtime=1x — which is why the comparison is fail-soft by
-// default.
-func compare(w io.Writer, baseline, current *Summary, threshold float64) int {
+// times the baseline — and, when p99Threshold > 0, whose p99-ns/op tail
+// metric (emitted by the write-concern sweep) did the same — and returns the
+// number of regressions. B/op is the stable signal (allocation profiles
+// barely jitter); ns/op and the latency percentiles are noisier — especially
+// at -benchtime=1x — which is why the comparison is fail-soft by default.
+func compare(w io.Writer, baseline, current *Summary, threshold, p99Threshold float64) int {
 	names := make([]string, 0, len(current.Benchmarks))
 	for name := range current.Benchmarks {
 		names = append(names, name)
@@ -111,6 +112,13 @@ func compare(w io.Writer, baseline, current *Summary, threshold float64) int {
 					name, ratio, base.NsPerOp, cur.NsPerOp)
 			}
 		}
+		if baseP99 := base.Metrics["p99-ns/op"]; p99Threshold > 0 && baseP99 > 0 {
+			if ratio := cur.Metrics["p99-ns/op"] / baseP99; ratio > p99Threshold {
+				regressions++
+				fmt.Fprintf(w, "WARN: %s p99-ns/op regressed %.2fx (%.0f -> %.0f)\n",
+					name, ratio, baseP99, cur.Metrics["p99-ns/op"])
+			}
+		}
 	}
 	return regressions
 }
@@ -120,6 +128,7 @@ func run() error {
 	out := flag.String("out", "", "JSON summary to write")
 	baselinePath := flag.String("baseline", "", "previous JSON summary to compare against")
 	threshold := flag.Float64("threshold", 2.0, "warn when B/op or ns/op exceeds threshold x baseline")
+	p99Threshold := flag.Float64("p99-threshold", 0, "also warn when the p99-ns/op tail metric exceeds this x baseline (0 = off)")
 	strict := flag.Bool("strict", false, "exit non-zero on regressions instead of warning")
 	flag.Parse()
 
@@ -158,7 +167,7 @@ func run() error {
 		if err := json.Unmarshal(data, baseline); err != nil {
 			return fmt.Errorf("parsing baseline: %w", err)
 		}
-		if n := compare(os.Stdout, baseline, sum, *threshold); n > 0 {
+		if n := compare(os.Stdout, baseline, sum, *threshold, *p99Threshold); n > 0 {
 			fmt.Printf("%d B/op or ns/op regression(s) above %.1fx against %s\n", n, *threshold, *baselinePath)
 			if *strict {
 				return fmt.Errorf("benchmark regressions in strict mode")

@@ -53,7 +53,7 @@ func TestCompareFlagsBigBOpRegressions(t *testing.T) {
 		"D": {BytesPerOp: 1},     // new benchmark
 	}}
 	var buf strings.Builder
-	if n := compare(&buf, baseline, current, 2.0); n != 1 {
+	if n := compare(&buf, baseline, current, 2.0, 0); n != 1 {
 		t.Fatalf("regressions = %d, output:\n%s", n, buf.String())
 	}
 	if !strings.Contains(buf.String(), "B B/op regressed 2.50x") {
@@ -73,7 +73,7 @@ func TestCompareFlagsBigNsOpRegressions(t *testing.T) {
 		"C": {NsPerOp: 2500, BytesPerOp: 1500}, // both regress: counted twice
 	}}
 	var buf strings.Builder
-	if n := compare(&buf, baseline, current, 2.0); n != 3 {
+	if n := compare(&buf, baseline, current, 2.0, 0); n != 3 {
 		t.Fatalf("regressions = %d, output:\n%s", n, buf.String())
 	}
 	out := buf.String()
@@ -82,5 +82,27 @@ func TestCompareFlagsBigNsOpRegressions(t *testing.T) {
 	}
 	if !strings.Contains(out, "C B/op regressed 3.00x") || !strings.Contains(out, "C ns/op regressed 2.50x") {
 		t.Fatalf("missing double warning: %q", out)
+	}
+}
+
+func TestCompareFlagsP99Regressions(t *testing.T) {
+	baseline := &Summary{Benchmarks: map[string]Bench{
+		"Sweep/t1/m3/wcmajority/s1": {NsPerOp: 1000, Metrics: map[string]float64{"p99-ns/op": 5000}},
+		"Sweep/t1/m3/wcw1/s1":       {NsPerOp: 1000, Metrics: map[string]float64{"p99-ns/op": 4000}},
+	}}
+	current := &Summary{Benchmarks: map[string]Bench{
+		"Sweep/t1/m3/wcmajority/s1": {NsPerOp: 1100, Metrics: map[string]float64{"p99-ns/op": 15000}}, // 3x tail blowup
+		"Sweep/t1/m3/wcw1/s1":       {NsPerOp: 1100, Metrics: map[string]float64{"p99-ns/op": 6000}},  // 1.5x: fine
+	}}
+	var buf strings.Builder
+	// Disabled by default: the tail metric is only checked when asked for.
+	if n := compare(&buf, baseline, current, 2.0, 0); n != 0 {
+		t.Fatalf("p99 checked while disabled: %d regressions, output:\n%s", n, buf.String())
+	}
+	if n := compare(&buf, baseline, current, 2.0, 2.0); n != 1 {
+		t.Fatalf("regressions = %d, output:\n%s", n, buf.String())
+	}
+	if !strings.Contains(buf.String(), "wcmajority/s1 p99-ns/op regressed 3.00x") {
+		t.Fatalf("warning output: %q", buf.String())
 	}
 }

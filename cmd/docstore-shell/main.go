@@ -8,7 +8,11 @@
 // Without -eval it reads one JSON request per line from standard input. The
 // "db" field may be omitted from requests when -db is given. Write requests
 // accept a "j": true field (writeConcern {j: true}): the server then
-// acknowledges only after the write's WAL record is fsynced. Find requests
+// acknowledges only after the write's WAL record is fsynced. They also accept
+// a full "writeConcern" document ({"w": 2, "wtimeout": 500} or
+// {"w": "majority", "j": true}) against a docstored running with -replicas;
+// an unsatisfied concern comes back as a writeConcernError inside the result
+// document, with the count of members the write did reach. Find requests
 // accept a "hint": "index_name" field forcing the named index; a hint that
 // names no index fails the request instead of silently scanning.
 //
@@ -176,5 +180,14 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	req.Unique = bson.Truthy(doc.GetOr("unique", false))
 	req.Ordered = bson.Truthy(doc.GetOr("ordered", false))
 	req.Journaled = bson.Truthy(doc.GetOr("j", false))
+	if v, ok := doc.Get("writeConcern"); ok {
+		// Pass the document through untouched: the server owns validation and
+		// a malformed concern must fail there, not be silently dropped here.
+		if wcDoc, isDoc := v.(*bson.Doc); isDoc {
+			req.WriteConcern = wcDoc
+		} else {
+			return nil, fmt.Errorf("writeConcern must be a document, got %T", v)
+		}
+	}
 	return client.Do(req)
 }

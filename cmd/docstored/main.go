@@ -23,6 +23,20 @@
 // that falls further behind is invalidated (it resumes from its last token)
 // rather than ever stalling the write path.
 //
+// With -replicas N (N > 1) the process runs an in-process replica set: the
+// primary is this server (durable when -data-dir is set) and the N-1
+// secondaries are volatile members fed from a replicated oplog. Writes may
+// then carry a writeConcern ({w: 1|N|"majority", j, wtimeout}) and block
+// until that many members applied them; -write-concern sets the default for
+// writes that carry none ("1", "majority", "2+j", ...). On a durable server
+// the oplog lives in its own WAL under <data-dir>/oplog, so a restarted
+// process reloads it and the secondaries rebuild themselves by replay:
+//
+//	docstored -data-dir /var/lib/docstore -replicas 3 -write-concern majority
+//
+// Without -replicas, a write concern of w > 1 is refused — there is nothing
+// to replicate to — while {w: 1} and {j: true} behave as before.
+//
 // Clients connect with the wire.Client API or cmd/docstore-shell.
 package main
 
@@ -31,11 +45,14 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"sync"
 	"syscall"
 	"time"
 
 	"docstore/internal/mongod"
+	"docstore/internal/replset"
+	"docstore/internal/storage"
 	"docstore/internal/wal"
 	"docstore/internal/wire"
 )
@@ -51,7 +68,28 @@ func main() {
 	walSegmentMB := flag.Int64("wal-segment-mb", 0, "WAL segment rotation size in MiB (0 = default)")
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "interval between automatic checkpoints (0 = only the shutdown checkpoint)")
 	changeStreamBuffer := flag.Int("changestream-buffer", 0, "per-watcher change stream event buffer; a watcher that falls this far behind is invalidated and must resume from its token (0 = default)")
+	replicas := flag.Int("replicas", 1, "replica set size: this server as primary plus N-1 in-memory secondaries; writes may then use writeConcern w > 1")
+	writeConcern := flag.String("write-concern", "1", "default write concern for writes that carry none: a member count or \"majority\", optionally +j (e.g. 1, majority, 2+j)")
 	flag.Parse()
+
+	defaultWC, err := storage.ParseWriteConcernString(*writeConcern)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
+		os.Exit(1)
+	}
+	if *replicas < 1 {
+		fmt.Fprintf(os.Stderr, "docstored: -replicas must be >= 1\n")
+		os.Exit(1)
+	}
+	if defaultWC.W > *replicas {
+		fmt.Fprintf(os.Stderr, "docstored: -write-concern %s cannot be satisfied by %d replica(s)\n", *writeConcern, *replicas)
+		os.Exit(1)
+	}
+	if (defaultWC == storage.WriteConcern{W: 1}) {
+		// A plain {w: 1} is the built-in default; normalizing it to the zero
+		// concern keeps the standalone fast path for writes that carry none.
+		defaultWC = storage.WriteConcern{}
+	}
 
 	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30})
 	durable := *dataDir != ""
@@ -76,8 +114,59 @@ func main() {
 			*dataDir, stats.CheckpointLSN, stats.CollectionsLoaded, stats.RecordsReplayed)
 	}
 
+	var rs *replset.ReplicaSet
+	var oplogWAL *wal.WAL
+	if *replicas > 1 {
+		members := []*mongod.Server{backend}
+		for i := 1; i < *replicas; i++ {
+			members = append(members, mongod.NewServer(mongod.Options{Name: fmt.Sprintf("%s-sec%d", *name, i)}))
+		}
+		rs, err = replset.New(*name, members...)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
+			os.Exit(1)
+		}
+		if durable {
+			// The oplog has its own WAL beside the primary's: reload it so
+			// replication resumes where the last process stopped. The primary
+			// already rebuilt its state through its own recovery, so it is
+			// marked caught up; the volatile secondaries replay from zero.
+			oplogDir := filepath.Join(*dataDir, "oplog")
+			n, err := rs.LoadOplogFromWAL(oplogDir)
+			if err != nil && !os.IsNotExist(err) {
+				fmt.Fprintf(os.Stderr, "docstored: reloading oplog: %v\n", err)
+				os.Exit(1)
+			}
+			if n > 0 {
+				entries := rs.Oplog()
+				rs.MarkApplied(backend.Name(), entries[len(entries)-1].Seq())
+				fmt.Printf("docstored: reloaded %d oplog entries from %s\n", n, oplogDir)
+			}
+			policy, _ := wal.ParseSyncPolicy(*walSync)
+			oplogWAL, err = wal.Open(wal.Options{
+				Dir:                 oplogDir,
+				Sync:                policy,
+				GroupCommitInterval: *walGroupInterval,
+				SegmentMaxBytes:     *walSegmentMB << 20,
+			})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docstored: opening oplog wal: %v\n", err)
+				os.Exit(1)
+			}
+			rs.AttachWAL(oplogWAL)
+		}
+		rs.SetDefaultWriteConcern(defaultWC)
+		rs.StartReplication()
+		fmt.Printf("docstored: replica set %q with %d members, default write concern {w: %s}\n",
+			*name, *replicas, defaultWC.WString())
+	}
+
 	srv := wire.NewServer(backend)
 	srv.SetCursorTimeout(*cursorTimeout)
+	if rs != nil {
+		srv.SetReplicaSet(rs)
+	}
+	srv.SetDefaultWriteConcern(defaultWC)
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
@@ -121,6 +210,16 @@ func main() {
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "docstored: close: %v\n", err)
 		os.Exit(1)
+	}
+	if rs != nil {
+		// Fails any write still waiting on a quorum and stops the appliers
+		// before the logs underneath them close.
+		rs.Close()
+	}
+	if oplogWAL != nil {
+		if err := oplogWAL.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: closing oplog wal: %v\n", err)
+		}
 	}
 	if durable {
 		// A shutdown checkpoint makes the next startup a snapshot load

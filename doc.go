@@ -257,4 +257,52 @@
 //     the exchange, driver.WatchStore abstracts over both deployments,
 //     and docstore-shell passes watch/getMore/resumeAfter straight
 //     through.
+//
+// # Replication & write concern
+//
+// internal/replset replicates the primary's writes to secondaries through a
+// replicated oplog, and the write concern decides how many members must have
+// applied a write before it is acknowledged:
+//
+//   - Concern: storage.WriteConcern carries {w: 1|N|"majority", j: bool,
+//     wtimeout: ms}, parsed by storage.ParseWriteConcern with strict
+//     type-checking — a malformed or misspelled concern fails the request
+//     rather than silently weakening to w: 1 (FuzzWriteConcernDecode pins
+//     this down). It rides storage.BulkOptions through every write layer:
+//     wire insert/insertMany/update/delete/bulkWrite accept a writeConcern
+//     document, mongos fans it out per shard, and replset enforces it.
+//   - Acknowledgement: the primary appends the batch to the oplog and, while
+//     still holding the replica set lock, registers a quorum waiter keyed on
+//     the entry's LSN — so an election that truncates the entry finds and
+//     fails the waiter, never leaving it stranded. Appliers advance each
+//     member's watermark and wake waiters as the count reaches w. {j: true}
+//     additionally waits on the oplog WAL's group-commit fsync, making the
+//     acknowledgement mean "durable on disk and applied on w members".
+//   - Failure: an unsatisfied concern returns storage.WriteConcernError with
+//     the replicated-so-far count and a reason — "wtimeout" (the wait
+//     expired), "quorum unreachable" (too many members down for w to ever be
+//     reached), "rolled back" (an election truncated the entry), or "replica
+//     set closed". The write itself may still exist on the primary: the
+//     error reports unacknowledged, not undone, exactly like MongoDB's
+//     writeConcernError.
+//   - Elections: StepDown elects the most-caught-up live member and
+//     truncates the oplog to its watermark. A majority-acknowledged entry
+//     was applied by floor(n/2)+1 members, and any live majority contains at
+//     least one of them, so the elected tip is at or past the entry — which
+//     is why w: "majority" acknowledged writes survive any primary kill plus
+//     re-election. A deposed primary carrying rolled-back entries rejoins
+//     stale-epoched: it is wiped and rebuilt by full oplog replay. The
+//     fault-injection suite (internal/replset fault_test.go,
+//     failover_test.go) kills and restarts members mid-bulk-write and
+//     mid-change-stream tail under -race and asserts no acknowledged write
+//     is lost, none applies twice, and the surviving set equals the
+//     acknowledged set at the storage, mongod and mongos layers.
+//   - Deployment: docstored -replicas N runs an in-process replica set with
+//     the durable server as primary; -write-concern sets the default for
+//     writes that carry none ("majority", "2+j", ...). On a durable server
+//     the oplog has its own WAL under <data-dir>/oplog and is reloaded on
+//     restart. cmd/bench -sweep measures acknowledged-write latency
+//     (p50/p99/p999 per cell) across threads x members x writeConcern x
+//     shards, and benchjson -p99-threshold turns tail regressions into CI
+//     warnings.
 package docstore

@@ -6,8 +6,6 @@ import (
 	"sync"
 
 	"docstore/internal/bson"
-	"docstore/internal/mongod"
-	"docstore/internal/query"
 	"docstore/internal/sharding"
 	"docstore/internal/storage"
 )
@@ -75,9 +73,14 @@ func (r *Router) BulkWrite(db, coll string, ops []storage.WriteOp, opts storage.
 	}
 	meta := r.config.Metadata(namespace(db, coll))
 	if meta == nil {
+		names := r.ShardNames()
+		if len(names) == 0 {
+			res.DurabilityErr = fmt.Errorf("mongos: no shards registered")
+			return res
+		}
 		r.remoteCall()
 		r.recordRouting(true, 0)
-		return r.PrimaryShard().Database(db).BulkWrite(coll, ops, opts)
+		return r.shardBulkWrite(names[0], db, coll, ops, opts)
 	}
 	if opts.Ordered {
 		res = r.bulkOrdered(db, coll, meta, ops, opts)
@@ -123,7 +126,7 @@ func (r *Router) bulkUnordered(db, coll string, meta *sharding.CollectionMetadat
 		go func(si int, sb *subBatch) {
 			defer wg.Done()
 			r.remoteCall()
-			results[si] = r.Shard(sb.shard).Database(db).BulkWrite(coll, sb.ops, opts)
+			results[si] = r.shardBulkWrite(sb.shard, db, coll, sb.ops, opts)
 			recordInserts(meta, sb.ops[:results[si].Attempted])
 		}(si, sb)
 	}
@@ -132,7 +135,7 @@ func (r *Router) bulkUnordered(db, coll string, meta *sharding.CollectionMetadat
 		res.Merge(results[si], sb.indices, len(ops))
 	}
 	for _, i := range scalars {
-		r.applyScalar(db, coll, &ops[i], i, &res, len(ops), opts.Journaled)
+		r.applyScalar(db, coll, &ops[i], i, &res, len(ops), opts)
 	}
 	// The grouped dispatch is one logical routed operation; scalar ops
 	// already record themselves inside Update/Delete.
@@ -153,7 +156,7 @@ func (r *Router) bulkOrdered(db, coll string, meta *sharding.CollectionMetadata,
 	for i < len(ops) {
 		if len(targets) != 1 {
 			targeted = false
-			err := r.applyScalar(db, coll, &ops[i], i, &res, len(ops), opts.Journaled)
+			err := r.applyScalar(db, coll, &ops[i], i, &res, len(ops), opts)
 			i++
 			if err != nil {
 				break
@@ -178,7 +181,7 @@ func (r *Router) bulkOrdered(db, coll string, meta *sharding.CollectionMetadata,
 		}
 		r.remoteCall()
 		runs++
-		subRes := r.Shard(shard).Database(db).BulkWrite(coll, ops[i:j], opts)
+		subRes := r.shardBulkWrite(shard, db, coll, ops[i:j], opts)
 		recordInserts(meta, ops[i:i+subRes.Attempted])
 		res.Merge(subRes, indices, len(ops))
 		if len(res.Errors) > 0 {
@@ -196,21 +199,16 @@ func (r *Router) bulkOrdered(db, coll string, meta *sharding.CollectionMetadata,
 
 // applyScalar executes one multi-shard op through the router's scalar
 // update/delete semantics (sequential shard visits, first-match stop for
-// non-multi ops) and folds the outcome into res. When the batch carries
-// {j: true}, the per-shard calls go through one-op journaled sub-batches
-// instead of the plain scalar paths — which cannot carry a writeConcern —
-// so the escalation reaches every shard the broadcast touches.
-func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *storage.BulkResult, total int, journaled bool) error {
+// non-multi ops) and folds the outcome into res. When the batch carries an
+// acknowledgement contract ({j: true} or a write concern), the per-shard
+// calls go through one-op sub-batches instead of the plain scalar paths —
+// which cannot carry a writeConcern — so the contract reaches every shard
+// the broadcast touches.
+func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *storage.BulkResult, total int, opts storage.BulkOptions) error {
 	res.Attempted++
 	switch op.Kind {
 	case storage.UpdateOp:
-		var ur storage.UpdateResult
-		var err error
-		if journaled {
-			ur, err = r.journaledUpdate(db, coll, op.Update)
-		} else {
-			ur, err = r.Update(db, coll, op.Update)
-		}
+		ur, err := r.UpdateWithOptions(db, coll, op.Update, opts)
 		res.Matched += ur.Matched
 		res.Modified += ur.Modified
 		if ur.UpsertedID != nil {
@@ -225,13 +223,7 @@ func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *s
 			return err
 		}
 	case storage.DeleteOp:
-		var n int
-		var err error
-		if journaled {
-			n, err = r.journaledDelete(db, coll, op.Filter, op.Multi)
-		} else {
-			n, err = r.Delete(db, coll, op.Filter, op.Multi)
-		}
+		n, err := r.DeleteWithOptions(db, coll, op.Filter, op.Multi, opts)
 		res.Deleted += n
 		if err != nil {
 			res.Errors = append(res.Errors, storage.BulkError{Index: i, Err: err})
@@ -245,27 +237,4 @@ func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *s
 		return err
 	}
 	return nil
-}
-
-// journaledUpdate is Router.Update with each shard visit escalated to a
-// one-op journaled sub-batch, so the write is fsynced before acknowledgement.
-func (r *Router) journaledUpdate(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
-	return r.updateShards(db, coll, spec, func(d *mongod.Database) (storage.UpdateResult, error) {
-		sub := d.BulkWrite(coll, []storage.WriteOp{storage.UpdateWriteOp(spec)},
-			storage.BulkOptions{Ordered: true, Journaled: true})
-		res := storage.UpdateResult{Matched: sub.Matched, Modified: sub.Modified}
-		if len(sub.UpsertedIDs) > 0 {
-			res.UpsertedID = sub.UpsertedIDs[0]
-		}
-		return res, sub.FirstError()
-	})
-}
-
-// journaledDelete is Router.Delete with per-shard journaled acknowledgement.
-func (r *Router) journaledDelete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
-	return r.deleteShards(db, coll, filter, multi, func(d *mongod.Database) (int, error) {
-		sub := d.BulkWrite(coll, []storage.WriteOp{storage.DeleteWriteOp(filter, multi)},
-			storage.BulkOptions{Ordered: true, Journaled: true})
-		return sub.Deleted, sub.FirstError()
-	})
 }

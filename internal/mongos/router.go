@@ -8,6 +8,7 @@
 package mongos
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 	"time"
@@ -40,20 +41,35 @@ type RoutingStats struct {
 	DocsMerged       int64
 }
 
+// ReplicaShard is a shard backed by a replica set instead of a single
+// server: writes route through its quorum-aware bulk path so per-request
+// write concerns survive the scatter, while reads keep hitting the primary.
+// *replset.ReplicaSet implements it.
+type ReplicaShard interface {
+	BulkWrite(db, coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
+	Primary() *mongod.Server
+}
+
 // Router is the query router (mongos).
 type Router struct {
 	config *sharding.ConfigServer
 	opts   Options
 
-	mu     sync.RWMutex
-	shards map[string]*mongod.Server
-	order  []string // shard names in registration order; order[0] is the primary shard
-	stats  RoutingStats
+	mu       sync.RWMutex
+	shards   map[string]*mongod.Server
+	replicas map[string]ReplicaShard // shard name -> replica set, when the shard is replicated
+	order    []string                // shard names in registration order; order[0] is the primary shard
+	stats    RoutingStats
 }
 
 // NewRouter creates a router over a config server.
 func NewRouter(config *sharding.ConfigServer, opts Options) *Router {
-	return &Router{config: config, opts: opts, shards: make(map[string]*mongod.Server)}
+	return &Router{
+		config:   config,
+		opts:     opts,
+		shards:   make(map[string]*mongod.Server),
+		replicas: make(map[string]ReplicaShard),
+	}
 }
 
 // AddShard registers a shard server with the router and the config server.
@@ -65,6 +81,36 @@ func (r *Router) AddShard(name string, server *mongod.Server) {
 	}
 	r.mu.Unlock()
 	r.config.AddShard(name)
+}
+
+// AddReplicaShard registers a replica-set-backed shard: reads and index
+// builds target the set's primary (the registered shard server), while every
+// write dispatches through the set's BulkWrite so acknowledgement honours
+// the request's write concern across the set's members. Note the primary is
+// captured at registration — a post-failover Router must be told about the
+// new primary by re-registering.
+func (r *Router) AddReplicaShard(name string, rs ReplicaShard) {
+	r.AddShard(name, rs.Primary())
+	r.mu.Lock()
+	r.replicas[name] = rs
+	r.mu.Unlock()
+}
+
+// replica returns the replica set backing a shard, nil for plain shards.
+func (r *Router) replica(name string) ReplicaShard {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return r.replicas[name]
+}
+
+// shardBulkWrite dispatches one sub-batch to a shard, through the replica
+// set when the shard is replicated so the write concern gates the
+// acknowledgement, directly to the shard server otherwise.
+func (r *Router) shardBulkWrite(name, db, coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	if rep := r.replica(name); rep != nil {
+		return rep.BulkWrite(db, coll, ops, opts)
+	}
+	return r.Shard(name).Database(db).BulkWrite(coll, ops, opts)
 }
 
 // Shard returns the named shard server, or nil.
@@ -153,16 +199,32 @@ func (r *Router) EnableSharding(db, coll string, keySpec *bson.Doc, chunkSizeByt
 }
 
 // Insert routes a document insert. Sharded collections route by shard key;
-// unsharded collections go to the primary shard.
+// unsharded collections go to the primary shard. On a replica-backed shard
+// the insert dispatches through the set so the shard's default write
+// concern applies; use BulkWrite with an explicit WriteConcern to override
+// per request.
 func (r *Router) Insert(db, coll string, doc *bson.Doc) (any, error) {
 	meta := r.config.Metadata(namespace(db, coll))
+	var shardName string
 	if meta == nil {
-		r.remoteCall()
-		return r.PrimaryShard().Database(db).Insert(coll, doc)
+		names := r.ShardNames()
+		if len(names) == 0 {
+			return nil, fmt.Errorf("mongos: no shards registered")
+		}
+		shardName = names[0]
+	} else {
+		routing := meta.Key.ValueOf(doc)
+		shardName = meta.RecordInsert(routing, bson.EncodedSize(doc))
 	}
-	routing := meta.Key.ValueOf(doc)
-	shardName := meta.RecordInsert(routing, bson.EncodedSize(doc))
 	r.remoteCall()
+	if rep := r.replica(shardName); rep != nil {
+		res := rep.BulkWrite(db, coll, []storage.WriteOp{storage.InsertWriteOp(doc)}, storage.BulkOptions{Ordered: true})
+		var id any
+		if len(res.InsertedIDs) > 0 {
+			id = res.InsertedIDs[0]
+		}
+		return id, res.FirstError()
+	}
 	return r.Shard(shardName).Database(db).Insert(coll, doc)
 }
 
@@ -250,15 +312,15 @@ func (r *Router) Count(db, coll string, filter *bson.Doc) (int, error) {
 
 // updateShards visits the shards targeted by spec.Query in order, applying
 // perShard on each, accumulating the result and honouring the non-multi
-// first-match stop. The plain scalar path and the journaled bulk fallback
-// differ only in the per-shard call, so both route through here.
-func (r *Router) updateShards(db, coll string, spec query.UpdateSpec, perShard func(*mongod.Database) (storage.UpdateResult, error)) (storage.UpdateResult, error) {
+// first-match stop. The plain scalar path and the write-concern bulk
+// fallback differ only in the per-shard call, so both route through here.
+func (r *Router) updateShards(db, coll string, spec query.UpdateSpec, perShard func(shard string) (storage.UpdateResult, error)) (storage.UpdateResult, error) {
 	meta := r.config.Metadata(namespace(db, coll))
 	targets, targeted := r.targetShards(meta, spec.Query)
 	var total storage.UpdateResult
 	for _, name := range targets {
 		r.remoteCall()
-		res, err := perShard(r.Shard(name).Database(db))
+		res, err := perShard(name)
 		total.Matched += res.Matched
 		total.Modified += res.Modified
 		if res.UpsertedID != nil {
@@ -277,19 +339,36 @@ func (r *Router) updateShards(db, coll string, spec query.UpdateSpec, perShard f
 
 // Update routes an update to the shards owning matching documents.
 func (r *Router) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
-	return r.updateShards(db, coll, spec, func(d *mongod.Database) (storage.UpdateResult, error) {
-		return d.Update(coll, spec)
+	return r.UpdateWithOptions(db, coll, spec, storage.BulkOptions{})
+}
+
+// UpdateWithOptions is Update carrying an acknowledgement contract: each
+// shard visit that needs one (a journal escalation, a write concern, or a
+// replica-backed shard) dispatches as a one-op bulk so the contract reaches
+// every shard the routing touches; plain visits keep the scalar fast path.
+func (r *Router) UpdateWithOptions(db, coll string, spec query.UpdateSpec, opts storage.BulkOptions) (storage.UpdateResult, error) {
+	return r.updateShards(db, coll, spec, func(shard string) (storage.UpdateResult, error) {
+		if r.replica(shard) == nil && !opts.Journaled && opts.WriteConcern.IsZero() {
+			return r.Shard(shard).Database(db).Update(coll, spec)
+		}
+		sub := r.shardBulkWrite(shard, db, coll, []storage.WriteOp{storage.UpdateWriteOp(spec)},
+			storage.BulkOptions{Ordered: true, Journaled: opts.Journaled, WriteConcern: opts.WriteConcern})
+		res := storage.UpdateResult{Matched: sub.Matched, Modified: sub.Modified}
+		if len(sub.UpsertedIDs) > 0 {
+			res.UpsertedID = sub.UpsertedIDs[0]
+		}
+		return res, sub.FirstError()
 	})
 }
 
 // deleteShards is updateShards for deletes.
-func (r *Router) deleteShards(db, coll string, filter *bson.Doc, multi bool, perShard func(*mongod.Database) (int, error)) (int, error) {
+func (r *Router) deleteShards(db, coll string, filter *bson.Doc, multi bool, perShard func(shard string) (int, error)) (int, error) {
 	meta := r.config.Metadata(namespace(db, coll))
 	targets, targeted := r.targetShards(meta, filter)
 	removed := 0
 	for _, name := range targets {
 		r.remoteCall()
-		n, err := perShard(r.Shard(name).Database(db))
+		n, err := perShard(name)
 		removed += n
 		if err != nil {
 			return removed, err
@@ -304,8 +383,19 @@ func (r *Router) deleteShards(db, coll string, filter *bson.Doc, multi bool, per
 
 // Delete routes a delete to the shards owning matching documents.
 func (r *Router) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
-	return r.deleteShards(db, coll, filter, multi, func(d *mongod.Database) (int, error) {
-		return d.Delete(coll, filter, multi)
+	return r.DeleteWithOptions(db, coll, filter, multi, storage.BulkOptions{})
+}
+
+// DeleteWithOptions is Delete with per-shard acknowledgement semantics; see
+// UpdateWithOptions.
+func (r *Router) DeleteWithOptions(db, coll string, filter *bson.Doc, multi bool, opts storage.BulkOptions) (int, error) {
+	return r.deleteShards(db, coll, filter, multi, func(shard string) (int, error) {
+		if r.replica(shard) == nil && !opts.Journaled && opts.WriteConcern.IsZero() {
+			return r.Shard(shard).Database(db).Delete(coll, filter, multi)
+		}
+		sub := r.shardBulkWrite(shard, db, coll, []storage.WriteOp{storage.DeleteWriteOp(filter, multi)},
+			storage.BulkOptions{Ordered: true, Journaled: opts.Journaled, WriteConcern: opts.WriteConcern})
+		return sub.Deleted, sub.FirstError()
 	})
 }
 

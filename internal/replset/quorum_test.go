@@ -1,0 +1,269 @@
+package replset
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/storage"
+)
+
+// No test in this package may sleep to "give replication time": CI greps for
+// wall-clock sleeps in replset tests and fails the build. Timeout expiry is driven
+// through the injected wtimeout timer, and ordering through channels and the
+// set's own blocking calls (AwaitReplication, Sync, quorum-blocked writes).
+
+func insertOp(pairs ...any) storage.WriteOp {
+	return storage.InsertWriteOp(bson.D(pairs...))
+}
+
+func wcErr(t *testing.T, err error) *storage.WriteConcernError {
+	t.Helper()
+	var wce *storage.WriteConcernError
+	if !errors.As(err, &wce) {
+		t.Fatalf("error %v (%T) is not a WriteConcernError", err, err)
+	}
+	return wce
+}
+
+func TestAwaitReplicationWTimeout(t *testing.T) {
+	rs := newTestSet(t, 3) // appliers off: nothing will ever ack beyond the primary
+
+	timerCh := make(chan time.Time)
+	var gotTimeout time.Duration
+	rs.SetWTimeoutTimer(func(d time.Duration) (<-chan time.Time, func() bool) {
+		gotTimeout = d
+		return timerCh, func() bool { return false }
+	})
+
+	resCh := make(chan storage.BulkResult, 1)
+	go func() {
+		resCh <- rs.BulkWrite("db", "c", []storage.WriteOp{insertOp("_id", 1)}, storage.BulkOptions{
+			Ordered:      true,
+			WriteConcern: storage.WriteConcern{Majority: true, WTimeout: 50 * time.Millisecond},
+		})
+	}()
+
+	// The unbuffered send cannot complete until the writer's select is
+	// receiving, i.e. the waiter is registered and blocked on the deadline.
+	timerCh <- time.Time{}
+	res := <-resCh
+
+	wce := wcErr(t, res.DurabilityErr)
+	if wce.Reason != "wtimeout" || wce.W != "majority" || wce.Replicated != 1 {
+		t.Fatalf("got %+v, want wtimeout on majority with 1 replica", wce)
+	}
+	if gotTimeout != 50*time.Millisecond {
+		t.Fatalf("timer received %v, want the concern's 50ms", gotTimeout)
+	}
+	// The write itself applied on the primary and stays in the oplog.
+	if rs.Primary().Database("db").Collection("c").FindID(int64(1)) == nil {
+		t.Fatal("timed-out write missing from primary")
+	}
+	if rs.OplogLength() != 1 {
+		t.Fatalf("oplog length = %d, want 1", rs.OplogLength())
+	}
+}
+
+func TestQuorumWriteBlocksUntilApplied(t *testing.T) {
+	rs := newTestSet(t, 3)
+	rs.StartReplication()
+	defer rs.Close()
+
+	res := rs.BulkWrite("db", "c", []storage.WriteOp{insertOp("_id", 1), insertOp("_id", 2)}, storage.BulkOptions{
+		Ordered:      true,
+		WriteConcern: storage.WriteConcern{W: 3},
+	})
+	if res.DurabilityErr != nil {
+		t.Fatalf("w:3 write failed: %v", res.DurabilityErr)
+	}
+	// w:3 returns only after every member applied — no syncing needed here.
+	for _, m := range rs.Members() {
+		if got := m.Database("db").Collection("c").Count(); got != 2 {
+			t.Fatalf("member %s has %d docs at ack time, want 2", m.Name(), got)
+		}
+	}
+}
+
+func TestDefaultWriteConcernAppliesToScalarWrites(t *testing.T) {
+	rs := newTestSet(t, 3)
+	rs.SetDefaultWriteConcern(storage.WriteConcern{Majority: true})
+	rs.StartReplication()
+	defer rs.Close()
+
+	if _, err := rs.Insert("db", "c", bson.D("_id", 1)); err != nil {
+		t.Fatalf("insert at default majority: %v", err)
+	}
+	applied := 0
+	for _, m := range rs.Members() {
+		if m.Database("db").Collection("c").Count() == 1 {
+			applied++
+		}
+	}
+	if applied < 2 {
+		t.Fatalf("majority-acked insert visible on %d member(s), want >= 2", applied)
+	}
+}
+
+func TestKillMakesQuorumUnreachable(t *testing.T) {
+	rs := newTestSet(t, 3)
+	rs.StartReplication()
+	defer rs.Close()
+
+	if err := rs.Kill("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.Kill("C"); err != nil {
+		t.Fatal(err)
+	}
+	res := rs.BulkWrite("db", "c", []storage.WriteOp{insertOp("_id", 1)}, storage.BulkOptions{
+		WriteConcern: storage.WriteConcern{Majority: true},
+	})
+	wce := wcErr(t, res.DurabilityErr)
+	if wce.Reason != "quorum unreachable" || wce.Replicated != 1 {
+		t.Fatalf("got %+v, want immediate quorum-unreachable with 1 replica", wce)
+	}
+
+	// Reviving one member makes the majority reachable again; the pending
+	// entry replicates and a fresh wait on the same LSN succeeds.
+	if err := rs.Restart("B"); err != nil {
+		t.Fatal(err)
+	}
+	if err := rs.AwaitReplication(res.LastLSN, storage.WriteConcern{Majority: true}); err != nil {
+		t.Fatalf("await after restart: %v", err)
+	}
+	if !rs.Alive("B") || rs.Alive("C") {
+		t.Fatal("liveness flags wrong after kill/restart")
+	}
+}
+
+func TestPrimaryDownFailsWrites(t *testing.T) {
+	rs := newTestSet(t, 3)
+	if err := rs.Kill(rs.Primary().Name()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Insert("db", "c", bson.D("_id", 1)); !errors.Is(err, ErrPrimaryDown) {
+		t.Fatalf("insert on killed primary: %v, want ErrPrimaryDown", err)
+	}
+	if err := rs.Restart(rs.Primary().Name()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Insert("db", "c", bson.D("_id", 1)); err != nil {
+		t.Fatalf("insert after restart: %v", err)
+	}
+}
+
+func TestElectionRollsBackWaiter(t *testing.T) {
+	rs := newTestSet(t, 3) // appliers off: the entry can never reach w:2
+
+	registered := make(chan struct{})
+	rs.SetWTimeoutTimer(func(time.Duration) (<-chan time.Time, func() bool) {
+		close(registered) // the waiter is in the map before the timer is built
+		return nil, func() bool { return false }
+	})
+
+	resCh := make(chan storage.BulkResult, 1)
+	go func() {
+		resCh <- rs.BulkWrite("db", "c", []storage.WriteOp{insertOp("_id", 1)}, storage.BulkOptions{
+			WriteConcern: storage.WriteConcern{W: 2},
+		})
+	}()
+	<-registered
+
+	// Crash the primary and elect a successor. No secondary applied anything,
+	// so the new primary's log tip is 0 and the waiter's entry is discarded.
+	old := rs.Primary().Name()
+	if err := rs.Kill(old); err != nil {
+		t.Fatal(err)
+	}
+	next := rs.StepDown()
+	if next.Name() == old {
+		t.Fatalf("step down re-elected the killed primary %s", old)
+	}
+
+	res := <-resCh
+	wce := wcErr(t, res.DurabilityErr)
+	if wce.Reason != "rolled back" || wce.Replicated != 0 {
+		t.Fatalf("got %+v, want rolled-back with 0 surviving replicas", wce)
+	}
+	if rs.OplogLength() != 0 {
+		t.Fatalf("oplog length = %d after rollback, want 0", rs.OplogLength())
+	}
+}
+
+func TestCloseFailsOutstandingWaiters(t *testing.T) {
+	rs := newTestSet(t, 3)
+
+	registered := make(chan struct{})
+	rs.SetWTimeoutTimer(func(time.Duration) (<-chan time.Time, func() bool) {
+		close(registered)
+		return nil, func() bool { return false }
+	})
+
+	resCh := make(chan storage.BulkResult, 1)
+	go func() {
+		resCh <- rs.BulkWrite("db", "c", []storage.WriteOp{insertOp("_id", 1)}, storage.BulkOptions{
+			WriteConcern: storage.WriteConcern{Majority: true},
+		})
+	}()
+	<-registered
+	rs.Close()
+
+	res := <-resCh
+	wce := wcErr(t, res.DurabilityErr)
+	if wce.Reason != "replica set closed" {
+		t.Fatalf("got %+v, want replica-set-closed", wce)
+	}
+}
+
+// TestStepDownRollbackResync drives the full rollback/resync cycle in legacy
+// (Sync-driven) mode: entries past the new primary's watermark are truncated,
+// and the deposed primary — whose state includes discarded writes — is wiped
+// and rebuilt from the surviving log when it rejoins.
+func TestStepDownRollbackResync(t *testing.T) {
+	rs := newTestSet(t, 3)
+	for i := 1; i <= 5; i++ {
+		if _, err := rs.Insert("db", "c", bson.D("_id", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Two more writes reach only the primary before it crashes.
+	for i := 6; i <= 7; i++ {
+		if _, err := rs.Insert("db", "c", bson.D("_id", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	old := rs.Primary().Name()
+	if err := rs.Kill(old); err != nil {
+		t.Fatal(err)
+	}
+	next := rs.StepDown()
+	if next.Name() == old {
+		t.Fatal("step down kept the killed primary")
+	}
+	if rs.OplogLength() != 5 {
+		t.Fatalf("oplog length = %d after election, want 5 (unreplicated tail truncated)", rs.OplogLength())
+	}
+
+	if err := rs.Restart(old); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rs.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range rs.Members() {
+		coll := m.Database("db").Collection("c")
+		if coll.Count() != 5 {
+			t.Fatalf("member %s has %d docs after resync, want 5", m.Name(), coll.Count())
+		}
+		for i := 6; i <= 7; i++ {
+			if coll.FindID(int64(i)) != nil {
+				t.Fatalf("rolled-back doc %d survived on member %s", i, m.Name())
+			}
+		}
+	}
+}

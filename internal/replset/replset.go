@@ -52,13 +52,26 @@ type ReplicaSet struct {
 	name string
 
 	mu          sync.Mutex
+	replCond    *sync.Cond // signals oplog growth, applier progress, liveness flips
 	members     []*mongod.Server
 	primary     int
 	oplog       []OplogEntry
 	wal         *wal.WAL         // nil: volatile oplog with in-memory seqs
 	applied     map[string]int64 // member name -> last applied seq
+	applying    map[string]int64 // member name -> seq its applier holds outside the lock (0: none)
 	nextSeq     int64
 	chainedRead int // round-robin cursor for ReadNearest
+
+	// Quorum replication state; the machinery lives in quorum.go.
+	replicating bool
+	closed      bool
+	down        map[string]bool // member name -> killed by fault injection
+	epoch       int64
+	memberEpoch map[string]int64 // member name -> rollback epoch its state belongs to
+	waiters     map[*quorumWaiter]struct{}
+	defaultWC   storage.WriteConcern
+	wcTimer     func(time.Duration) (<-chan time.Time, func() bool)
+	appliers    sync.WaitGroup
 }
 
 // New creates a replica set with the given member servers; the first member
@@ -67,7 +80,17 @@ func New(name string, members ...*mongod.Server) (*ReplicaSet, error) {
 	if len(members) == 0 {
 		return nil, fmt.Errorf("replset: at least one member is required")
 	}
-	rs := &ReplicaSet{name: name, members: members, applied: make(map[string]int64)}
+	rs := &ReplicaSet{
+		name:        name,
+		members:     members,
+		applied:     make(map[string]int64),
+		applying:    make(map[string]int64),
+		down:        make(map[string]bool),
+		memberEpoch: make(map[string]int64),
+		waiters:     make(map[*quorumWaiter]struct{}),
+		wcTimer:     defaultWCTimer,
+	}
+	rs.replCond = sync.NewCond(&rs.mu)
 	for _, m := range members {
 		rs.applied[m.Name()] = 0
 	}
@@ -106,6 +129,7 @@ func (rs *ReplicaSet) LoadOplogFromWAL(dir string) (int, error) {
 	}
 	for name := range rs.applied {
 		rs.applied[name] = 0
+		rs.memberEpoch[name] = rs.epoch
 	}
 	return len(rs.oplog), nil
 }
@@ -160,82 +184,33 @@ func (rs *ReplicaSet) Oplog() []OplogEntry {
 // in the durable log in the opposite order they executed, which is what
 // makes replaying the log (on a secondary or after a restart) converge to
 // the primary's state. Writes through the set are serialized as a result.
+// Acknowledgement honours the set's default write concern (w: 1 unless
+// SetDefaultWriteConcern raised it); BulkWrite takes an explicit concern.
 func (rs *ReplicaSet) Insert(db, coll string, doc *bson.Doc) (any, error) {
-	rs.mu.Lock()
-	primary := rs.members[rs.primary]
-	id, err := primary.Database(db).Insert(coll, doc)
-	if err != nil {
-		rs.mu.Unlock()
-		return nil, err
+	res := rs.BulkWrite(db, coll, []storage.WriteOp{storage.InsertWriteOp(doc)}, storage.BulkOptions{Ordered: true})
+	var id any
+	if len(res.InsertedIDs) > 0 {
+		id = res.InsertedIDs[0]
 	}
-	commit, err := rs.appendOplogLocked(&wal.Record{
-		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: true,
-		Ops: []storage.WriteOp{storage.InsertWriteOp(doc.Clone())},
-	})
-	rs.mu.Unlock()
-	if err != nil {
-		return id, err
-	}
-	return id, waitOplog(commit)
+	return id, res.FirstError()
 }
 
 // Update writes through the primary and appends an oplog entry; see Insert
-// for the ordering contract.
+// for the ordering and acknowledgement contract.
 func (rs *ReplicaSet) Update(db, coll string, spec query.UpdateSpec) (storage.UpdateResult, error) {
-	rs.mu.Lock()
-	primary := rs.members[rs.primary]
-	res, err := primary.Database(db).Update(coll, spec)
-	if err != nil {
-		rs.mu.Unlock()
-		return res, err
+	res := rs.BulkWrite(db, coll, []storage.WriteOp{storage.UpdateWriteOp(spec)}, storage.BulkOptions{Ordered: true})
+	ur := storage.UpdateResult{Matched: res.Matched, Modified: res.Modified}
+	if len(res.UpsertedIDs) > 0 {
+		ur.UpsertedID = res.UpsertedIDs[0]
 	}
-	var op storage.WriteOp
-	if res.UpsertedID != nil {
-		// The upsert inserted a document whose generated _id only the
-		// primary knows; log the post-image as an insert so every member
-		// (and a WAL replay) materializes the identical document instead of
-		// re-running the upsert and generating its own _id.
-		if doc := primary.Database(db).Collection(coll).FindID(res.UpsertedID); doc != nil {
-			op = storage.InsertWriteOp(doc.Clone())
-		}
-	}
-	if op.Doc == nil {
-		logged := query.UpdateSpec{
-			Query: cloneOrNil(spec.Query), Update: cloneOrNil(spec.Update),
-			Upsert: spec.Upsert, Multi: spec.Multi,
-		}
-		op = storage.UpdateWriteOp(logged)
-	}
-	commit, err := rs.appendOplogLocked(&wal.Record{
-		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: true,
-		Ops: []storage.WriteOp{op},
-	})
-	rs.mu.Unlock()
-	if err != nil {
-		return res, err
-	}
-	return res, waitOplog(commit)
+	return ur, res.FirstError()
 }
 
 // Delete writes through the primary and appends an oplog entry; see Insert
-// for the ordering contract.
+// for the ordering and acknowledgement contract.
 func (rs *ReplicaSet) Delete(db, coll string, filter *bson.Doc, multi bool) (int, error) {
-	rs.mu.Lock()
-	primary := rs.members[rs.primary]
-	n, err := primary.Database(db).Delete(coll, filter, multi)
-	if err != nil {
-		rs.mu.Unlock()
-		return n, err
-	}
-	commit, err := rs.appendOplogLocked(&wal.Record{
-		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: true,
-		Ops: []storage.WriteOp{storage.DeleteWriteOp(cloneOrNil(filter), multi)},
-	})
-	rs.mu.Unlock()
-	if err != nil {
-		return n, err
-	}
-	return n, waitOplog(commit)
+	res := rs.BulkWrite(db, coll, []storage.WriteOp{storage.DeleteWriteOp(filter, multi)}, storage.BulkOptions{Ordered: true})
+	return res.Deleted, res.FirstError()
 }
 
 func cloneOrNil(d *bson.Doc) *bson.Doc {
@@ -266,15 +241,17 @@ func (rs *ReplicaSet) appendOplogLocked(rec *wal.Record) (*wal.Commit, error) {
 	rs.oplog = append(rs.oplog, OplogEntry{At: time.Now(), Record: rec})
 	primaryName := rs.members[rs.primary].Name()
 	rs.applied[primaryName] = rec.LSN
+	rs.replCond.Broadcast() // wake appliers blocked on an empty tail
 	return commit, nil
 }
 
-// waitOplog resolves a durable-oplog commit after rs.mu is released.
-func waitOplog(commit *wal.Commit) error {
+// waitOplog resolves a durable-oplog commit after rs.mu is released;
+// journaled escalates the wait to a completed fsync ({j: true}).
+func waitOplog(commit *wal.Commit, journaled bool) error {
 	if commit == nil {
 		return nil
 	}
-	return commit.Wait(false)
+	return commit.Wait(journaled)
 }
 
 // Sync applies pending oplog entries to every secondary, bringing the set to
@@ -293,12 +270,25 @@ func (rs *ReplicaSet) ApplyAll() (int, error) {
 
 func (rs *ReplicaSet) sync(includePrimary bool) (int, error) {
 	rs.mu.Lock()
+	if rs.replicating {
+		// The background appliers own entry application; replaying here too
+		// would race them into double applies. Syncing degenerates to waiting
+		// for every live member to reach the oplog tip.
+		rs.waitCaughtUpLocked()
+		rs.mu.Unlock()
+		return 0, nil
+	}
 	oplog := append([]OplogEntry(nil), rs.oplog...)
 	members := append([]*mongod.Server(nil), rs.members...)
 	primaryIdx := rs.primary
+	epoch := rs.epoch
 	applied := make(map[string]int64, len(rs.applied))
 	for k, v := range rs.applied {
 		applied[k] = v
+	}
+	stale := make(map[string]bool, len(members))
+	for _, m := range members {
+		stale[m.Name()] = rs.memberEpoch[m.Name()] != epoch
 	}
 	rs.mu.Unlock()
 
@@ -307,20 +297,32 @@ func (rs *ReplicaSet) sync(includePrimary bool) (int, error) {
 		if i == primaryIdx && !includePrimary {
 			continue
 		}
-		last := applied[m.Name()]
+		name := m.Name()
+		if stale[name] {
+			// An election rolled back entries this member had applied; its
+			// state is not a prefix of the surviving log, so rebuild it from
+			// scratch by full replay.
+			wipeMember(m)
+			applied[name] = 0
+			rs.mu.Lock()
+			rs.applied[name] = 0
+			rs.memberEpoch[name] = epoch
+			rs.mu.Unlock()
+		}
+		last := applied[name]
 		for _, e := range oplog {
 			if e.Seq() <= last {
 				continue
 			}
 			if err := applyEntry(m, e); err != nil {
-				return total, fmt.Errorf("replset: applying op %d to %s: %w", e.Seq(), m.Name(), err)
+				return total, fmt.Errorf("replset: applying op %d to %s: %w", e.Seq(), name, err)
 			}
 			last = e.Seq()
 			total++
 		}
 		rs.mu.Lock()
-		if last > rs.applied[m.Name()] {
-			rs.applied[m.Name()] = last
+		if last > rs.applied[name] {
+			rs.applied[name] = last
 		}
 		rs.mu.Unlock()
 	}
@@ -335,7 +337,11 @@ func applyEntry(m *mongod.Server, e OplogEntry) error {
 	switch rec.Kind {
 	case wal.KindBatch:
 		res := m.Database(rec.DB).BulkWrite(rec.Coll, rec.Ops, storage.BulkOptions{Ordered: rec.Ordered})
-		return res.FirstError()
+		// Per-op failures are not apply errors: the record replays the exact
+		// batch the primary ran, so an op that failed there (duplicate _id,
+		// malformed spec) fails identically here — same outcome, converged
+		// state. Only infrastructure failures abort the replay.
+		return res.DurabilityErr
 	case wal.KindClear:
 		m.Database(rec.DB).Collection(rec.Coll).Drop()
 		return nil
@@ -362,13 +368,28 @@ func (rs *ReplicaSet) ReplicationLag() map[string]int64 {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
 	out := make(map[string]int64)
+	tip := rs.tipLocked()
 	for i, m := range rs.members {
 		if i == rs.primary {
 			continue
 		}
-		out[m.Name()] = rs.nextSeq - rs.applied[m.Name()]
+		lag := tip - rs.applied[m.Name()]
+		if lag < 0 {
+			lag = 0 // rolled-back member awaiting resync
+		}
+		out[m.Name()] = lag
 	}
 	return out
+}
+
+// tipLocked returns the sequence number of the newest retained oplog entry,
+// zero when the log is empty. Post-election it can trail nextSeq: a durable
+// log never reuses LSNs, so rolled-back sequence numbers stay burned.
+func (rs *ReplicaSet) tipLocked() int64 {
+	if n := len(rs.oplog); n > 0 {
+		return rs.oplog[n-1].Seq()
+	}
+	return 0
 }
 
 // Find reads from a member chosen by the read preference.
@@ -396,20 +417,36 @@ func (rs *ReplicaSet) pickMember(pref ReadPreference) *mongod.Server {
 		return rs.members[rs.primary]
 	case ReadSecondary:
 		for i, m := range rs.members {
-			if i != rs.primary {
+			if i != rs.primary && !rs.down[m.Name()] {
 				return m
 			}
 		}
 		return rs.members[rs.primary]
 	default:
-		rs.chainedRead++
-		return rs.members[rs.chainedRead%len(rs.members)]
+		for range rs.members {
+			rs.chainedRead++
+			if m := rs.members[rs.chainedRead%len(rs.members)]; !rs.down[m.Name()] {
+				return m
+			}
+		}
+		return rs.members[rs.primary]
 	}
 }
 
-// StepDown demotes the current primary and elects the secondary with the
-// most applied oplog entries, returning the new primary. With a single
-// member the primary is retained.
+// StepDown demotes the current primary and elects the live secondary with
+// the most applied oplog entries, returning the new primary. With a single
+// member, or when every secondary is down, the primary is retained.
+//
+// Election is where replication history can fork: entries the old primary
+// acknowledged at w:1 may exist on no other member, and the new primary's
+// log must win. StepDown therefore rolls the oplog back to the new
+// primary's last applied sequence — discarded entries fail their pending
+// quorum waits with a "rolled back" WriteConcernError, and any member whose
+// state includes a discarded entry is marked for resync (wipe plus full
+// replay) by bumping the rollback epoch. A write acknowledged at
+// w:majority can never be rolled back: the elected member is the most
+// caught-up live member, and a majority ack puts the entry on at least one
+// member of every majority.
 func (rs *ReplicaSet) StepDown() *mongod.Server {
 	rs.mu.Lock()
 	defer rs.mu.Unlock()
@@ -418,15 +455,52 @@ func (rs *ReplicaSet) StepDown() *mongod.Server {
 	}
 	best, bestApplied := -1, int64(-1)
 	for i, m := range rs.members {
-		if i == rs.primary {
+		if i == rs.primary || rs.down[m.Name()] {
 			continue
 		}
 		if a := rs.applied[m.Name()]; a > bestApplied {
 			best, bestApplied = i, a
 		}
 	}
-	if best >= 0 {
-		rs.primary = best
+	if best < 0 {
+		return rs.members[rs.primary] // no live secondary to promote
 	}
+	rs.primary = best
+	rs.rollbackLocked(bestApplied)
+	rs.replCond.Broadcast()
 	return rs.members[rs.primary]
+}
+
+// rollbackLocked truncates the oplog to the newly elected primary's applied
+// watermark, fast-forwards the rollback epoch of members whose state is a
+// prefix of the surviving log, and fails quorum waiters on discarded
+// entries. Members left on the old epoch (they applied a discarded entry,
+// or are mid-apply of one) are rebuilt by wipe-and-replay before they count
+// toward any quorum again.
+func (rs *ReplicaSet) rollbackLocked(tip int64) {
+	cut := len(rs.oplog)
+	for cut > 0 && rs.oplog[cut-1].Seq() > tip {
+		cut--
+	}
+	if cut == len(rs.oplog) {
+		return // nothing beyond the new primary: every member holds a prefix
+	}
+	rs.oplog = rs.oplog[:cut]
+	if rs.wal == nil {
+		rs.nextSeq = tip // volatile sequences are reusable; durable LSNs are not
+	}
+	rs.epoch++
+	for _, m := range rs.members {
+		name := m.Name()
+		if rs.applied[name] <= tip && rs.applying[name] <= tip {
+			rs.memberEpoch[name] = rs.epoch
+		}
+	}
+	for w := range rs.waiters {
+		if w.lsn > tip {
+			w.err = &storage.WriteConcernError{W: w.wstr, Replicated: 0, Reason: "rolled back"}
+			close(w.done)
+			delete(rs.waiters, w)
+		}
+	}
 }

@@ -78,6 +78,19 @@ type BulkOptions struct {
 	// fsynced, even under sync policies that would otherwise acknowledge
 	// earlier. Without a journal it has no effect.
 	Journaled bool
+	// WriteConcern is the full acknowledgement contract. The storage engine
+	// itself honours only its Journal flag (equivalent to Journaled); the
+	// replication layers read W/Majority/WTimeout to gate acknowledgement on
+	// member quorum and surface it through mongos scatter and the wire
+	// protocol.
+	WriteConcern WriteConcern
+}
+
+// journalAck reports whether the batch must be fsynced before
+// acknowledgement, folding the legacy Journaled flag and the write concern's
+// j escalation together.
+func (o BulkOptions) journalAck() bool {
+	return o.Journaled || o.WriteConcern.Journal
 }
 
 // BulkError attributes one failure to the operation that caused it.
@@ -111,11 +124,16 @@ type BulkResult struct {
 	UpsertedIDs []any
 	// Errors lists per-op failures in ascending Index order.
 	Errors []BulkError
-	// DurabilityErr is a batch-level journaling failure: the batch could not
-	// be logged (nothing was applied), or — after apply — the log record
-	// could not be made durable. It is separate from Errors because it is
-	// not attributable to one op.
+	// DurabilityErr is a batch-level acknowledgement failure: the batch could
+	// not be logged (nothing was applied), the log record could not be made
+	// durable after apply, or — through the replication layers — the write
+	// concern's member quorum was not reached (a *WriteConcernError). It is
+	// separate from Errors because it is not attributable to one op.
 	DurabilityErr error
+	// LastLSN is the journal sequence number of the batch's log record, zero
+	// when the collection has no journal attached. The replication layers key
+	// their quorum waits on it.
+	LastLSN int64
 }
 
 // FirstError returns the lowest-index failure, a batch-level durability
@@ -252,7 +270,10 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 	c.maybeCompactLocked()
 	c.publishLocked()
 	c.mu.Unlock()
-	res.DurabilityErr = waitCommit(commit, opts.Journaled)
+	if commit != nil {
+		res.LastLSN = commit.LSN()
+	}
+	res.DurabilityErr = waitCommit(commit, opts.journalAck())
 	return res
 }
 

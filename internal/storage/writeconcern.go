@@ -1,0 +1,213 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+	"time"
+
+	"docstore/internal/bson"
+)
+
+// WriteConcern is the acknowledgement contract of a write: how many replica
+// set members must have applied it (W, or Majority), whether its log record
+// must be fsynced first (Journal), and how long the acknowledgement may wait
+// for replication before failing with a WriteConcernError (WTimeout; zero
+// waits indefinitely). The zero value is the default concern: primary-only
+// acknowledgement (w: 1) under the journal's ambient sync policy.
+type WriteConcern struct {
+	// W is the number of members (primary included) that must have applied
+	// the write before it is acknowledged. Zero means unset, which reads as
+	// w: 1. Ignored when Majority is set.
+	W int
+	// Majority acknowledges after floor(members/2)+1 members have applied.
+	Majority bool
+	// Journal is the {j: true} escalation: the write's log record is fsynced
+	// before acknowledgement.
+	Journal bool
+	// WTimeout bounds the replication wait; on expiry the write (which has
+	// already applied on the primary) fails acknowledgement with a
+	// WriteConcernError carrying the replicated count.
+	WTimeout time.Duration
+}
+
+// IsZero reports whether the concern is entirely unset, i.e. the default
+// primary-only acknowledgement with no journal escalation.
+func (wc WriteConcern) IsZero() bool {
+	return wc.W == 0 && !wc.Majority && !wc.Journal && wc.WTimeout == 0
+}
+
+// NeedAck resolves the concern to the member count that must acknowledge,
+// given the replica set size.
+func (wc WriteConcern) NeedAck(members int) int {
+	if wc.Majority {
+		return members/2 + 1
+	}
+	if wc.W > 0 {
+		return wc.W
+	}
+	return 1
+}
+
+// WString renders the w value the way clients wrote it ("majority" or a
+// number), for error messages and the Doc round trip.
+func (wc WriteConcern) WString() string {
+	if wc.Majority {
+		return "majority"
+	}
+	if wc.W > 0 {
+		return fmt.Sprintf("%d", wc.W)
+	}
+	return "1"
+}
+
+// Doc renders the concern as the wire document {w, j, wtimeout} that
+// ParseWriteConcern accepts. Unset fields are omitted; a zero concern renders
+// as an empty document.
+func (wc WriteConcern) Doc() *bson.Doc {
+	d := bson.NewDoc(3)
+	if wc.Majority {
+		d.Set("w", "majority")
+	} else if wc.W > 0 {
+		d.Set("w", int64(wc.W))
+	}
+	if wc.Journal {
+		d.Set("j", true)
+	}
+	if wc.WTimeout > 0 {
+		d.Set("wtimeout", wc.WTimeout.Milliseconds())
+	}
+	return d
+}
+
+// ErrInvalidWriteConcern rejects a malformed writeConcern document with the
+// field and reason, so a garbage concern ({w: 1.5}, {w: {}}, negative
+// wtimeout) fails the request instead of silently defaulting to w: 1.
+type ErrInvalidWriteConcern struct {
+	Field  string
+	Reason string
+}
+
+func (e *ErrInvalidWriteConcern) Error() string {
+	return fmt.Sprintf("invalid writeConcern: %s %s", e.Field, e.Reason)
+}
+
+// Parser bounds: a w beyond any deployable member count or a wtimeout beyond
+// ~24 days is a client bug, and unbounded values would overflow the int / the
+// millisecond-to-Duration conversion.
+const (
+	maxW          = 1 << 20
+	maxWTimeoutMS = int64(2_000_000_000)
+)
+
+// ParseWriteConcern decodes a writeConcern document ({w: 1|N|"majority",
+// j: bool, wtimeout: ms}). A nil document yields the zero (default) concern.
+// Every field is type-checked: w must be "majority" or an integral number
+// >= 1, j must be a boolean, wtimeout must be a non-negative integral number
+// of milliseconds, and unknown fields are rejected — never ignored — so a
+// misspelled concern cannot weaken a write silently.
+func ParseWriteConcern(d *bson.Doc) (WriteConcern, error) {
+	var wc WriteConcern
+	if d == nil {
+		return wc, nil
+	}
+	for _, f := range d.Fields() {
+		switch f.Key {
+		case "w":
+			switch v := f.Value.(type) {
+			case string:
+				if v != "majority" {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "w", Reason: fmt.Sprintf("must be a member count or \"majority\", got %q", v)}
+				}
+				wc.Majority = true
+			case int64:
+				if v < 1 || v > maxW {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "w", Reason: fmt.Sprintf("must be between 1 and %d, got %d", maxW, v)}
+				}
+				wc.W = int(v)
+			case float64:
+				if v != math.Trunc(v) || math.IsNaN(v) || math.IsInf(v, 0) {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "w", Reason: fmt.Sprintf("must be an integer, got %v", v)}
+				}
+				if v < 1 || v > maxW {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "w", Reason: fmt.Sprintf("must be between 1 and %d, got %v", maxW, v)}
+				}
+				wc.W = int(v)
+			default:
+				return WriteConcern{}, &ErrInvalidWriteConcern{Field: "w", Reason: fmt.Sprintf("must be a number or \"majority\", got %T", f.Value)}
+			}
+		case "j":
+			b, ok := f.Value.(bool)
+			if !ok {
+				return WriteConcern{}, &ErrInvalidWriteConcern{Field: "j", Reason: fmt.Sprintf("must be a boolean, got %T", f.Value)}
+			}
+			wc.Journal = b
+		case "wtimeout":
+			switch v := f.Value.(type) {
+			case int64:
+				if v < 0 || v > maxWTimeoutMS {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "wtimeout", Reason: fmt.Sprintf("must be between 0 and %d milliseconds, got %d", maxWTimeoutMS, v)}
+				}
+				wc.WTimeout = time.Duration(v) * time.Millisecond
+			case float64:
+				if v != math.Trunc(v) || math.IsNaN(v) || math.IsInf(v, 0) {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "wtimeout", Reason: fmt.Sprintf("must be an integer, got %v", v)}
+				}
+				if v < 0 || v > float64(maxWTimeoutMS) {
+					return WriteConcern{}, &ErrInvalidWriteConcern{Field: "wtimeout", Reason: fmt.Sprintf("must be between 0 and %d milliseconds, got %v", maxWTimeoutMS, v)}
+				}
+				wc.WTimeout = time.Duration(v) * time.Millisecond
+			default:
+				return WriteConcern{}, &ErrInvalidWriteConcern{Field: "wtimeout", Reason: fmt.Sprintf("must be a number of milliseconds, got %T", f.Value)}
+			}
+		default:
+			return WriteConcern{}, &ErrInvalidWriteConcern{Field: f.Key, Reason: "is not a writeConcern field"}
+		}
+	}
+	return wc, nil
+}
+
+// ParseWriteConcernString decodes the command-line form of a concern:
+// "<N>" or "majority", with an optional "+j" journal suffix ("1",
+// "majority", "2+j", "majority+j"). It is the flag-value counterpart of
+// ParseWriteConcern for docstored and the shell.
+func ParseWriteConcernString(s string) (WriteConcern, error) {
+	var wc WriteConcern
+	base := s
+	if strings.HasSuffix(base, "+j") {
+		wc.Journal = true
+		base = strings.TrimSuffix(base, "+j")
+	}
+	if base == "majority" {
+		wc.Majority = true
+		return wc, nil
+	}
+	n, err := strconv.Atoi(base)
+	if err != nil || n < 1 || n > maxW {
+		return WriteConcern{}, fmt.Errorf("invalid write concern %q (want a member count or \"majority\", optionally +j)", s)
+	}
+	wc.W = n
+	return wc, nil
+}
+
+// WriteConcernError reports a write that applied on the primary but could not
+// be acknowledged at its requested write concern: the replication wait timed
+// out, quorum became unreachable (too many members down), or the entry was
+// rolled back by an election. Replicated is how many members are known to
+// have applied the write, primary included — the caller can tell a write that
+// is merely slow to spread from one that cannot spread at all.
+type WriteConcernError struct {
+	// W is the requested concern's w value ("majority" or a count).
+	W string
+	// Replicated is the number of members that had applied the write when the
+	// acknowledgement failed.
+	Replicated int
+	// Reason distinguishes the failure: "wtimeout", "quorum unreachable",
+	// "rolled back", or "replica set closed".
+	Reason string
+}
+
+func (e *WriteConcernError) Error() string {
+	return fmt.Sprintf("write concern {w: %s} not satisfied (%s): replicated to %d member(s)", e.W, e.Reason, e.Replicated)
+}

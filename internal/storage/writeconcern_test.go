@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+)
+
+func TestParseWriteConcern(t *testing.T) {
+	cases := []struct {
+		name string
+		in   *bson.Doc
+		want WriteConcern
+	}{
+		{"nil is default", nil, WriteConcern{}},
+		{"empty is default", bson.D(), WriteConcern{}},
+		{"w1", bson.D("w", 1), WriteConcern{W: 1}},
+		{"w3", bson.D("w", 3), WriteConcern{W: 3}},
+		{"majority", bson.D("w", "majority"), WriteConcern{Majority: true}},
+		{"integral float w", bson.D("w", 2.0), WriteConcern{W: 2}},
+		{"j", bson.D("j", true), WriteConcern{Journal: true}},
+		{"j false", bson.D("j", false), WriteConcern{}},
+		{"wtimeout", bson.D("w", "majority", "wtimeout", 250), WriteConcern{Majority: true, WTimeout: 250 * time.Millisecond}},
+		{"full", bson.D("w", 2, "j", true, "wtimeout", 1000), WriteConcern{W: 2, Journal: true, WTimeout: time.Second}},
+	}
+	for _, tc := range cases {
+		got, err := ParseWriteConcern(tc.in)
+		if err != nil {
+			t.Fatalf("%s: unexpected error %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Fatalf("%s: got %+v, want %+v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func TestParseWriteConcernRejectsGarbage(t *testing.T) {
+	cases := []struct {
+		name  string
+		in    *bson.Doc
+		field string
+	}{
+		{"fractional w", bson.D("w", 1.5), "w"},
+		{"zero w", bson.D("w", 0), "w"},
+		{"negative w", bson.D("w", -1), "w"},
+		{"doc w", bson.D("w", bson.D("n", 1)), "w"},
+		{"bool w", bson.D("w", true), "w"},
+		{"bad string w", bson.D("w", "most"), "w"},
+		{"numeric j", bson.D("j", 1), "j"},
+		{"string j", bson.D("j", "true"), "j"},
+		{"negative wtimeout", bson.D("wtimeout", -100), "wtimeout"},
+		{"fractional wtimeout", bson.D("wtimeout", 0.5), "wtimeout"},
+		{"string wtimeout", bson.D("wtimeout", "1s"), "wtimeout"},
+		{"unknown field", bson.D("fsync", true), "fsync"},
+	}
+	for _, tc := range cases {
+		_, err := ParseWriteConcern(tc.in)
+		if err == nil {
+			t.Fatalf("%s: %s parsed without error", tc.name, tc.in)
+		}
+		var inv *ErrInvalidWriteConcern
+		if !errors.As(err, &inv) {
+			t.Fatalf("%s: error %v is not ErrInvalidWriteConcern", tc.name, err)
+		}
+		if inv.Field != tc.field {
+			t.Fatalf("%s: error names field %q, want %q", tc.name, inv.Field, tc.field)
+		}
+	}
+}
+
+func TestWriteConcernNeedAck(t *testing.T) {
+	cases := []struct {
+		wc      WriteConcern
+		members int
+		want    int
+	}{
+		{WriteConcern{}, 3, 1},
+		{WriteConcern{W: 1}, 3, 1},
+		{WriteConcern{W: 3}, 3, 3},
+		{WriteConcern{Majority: true}, 1, 1},
+		{WriteConcern{Majority: true}, 2, 2},
+		{WriteConcern{Majority: true}, 3, 2},
+		{WriteConcern{Majority: true}, 4, 3},
+		{WriteConcern{Majority: true}, 5, 3},
+		{WriteConcern{Journal: true}, 3, 1},
+	}
+	for _, tc := range cases {
+		if got := tc.wc.NeedAck(tc.members); got != tc.want {
+			t.Fatalf("NeedAck(%+v, %d) = %d, want %d", tc.wc, tc.members, got, tc.want)
+		}
+	}
+}
+
+func TestWriteConcernDocRoundTrip(t *testing.T) {
+	for _, wc := range []WriteConcern{
+		{},
+		{W: 2},
+		{Majority: true, Journal: true},
+		{W: 1, WTimeout: 500 * time.Millisecond},
+	} {
+		got, err := ParseWriteConcern(wc.Doc())
+		if err != nil {
+			t.Fatalf("round trip of %+v: %v", wc, err)
+		}
+		if got != wc {
+			t.Fatalf("round trip of %+v yielded %+v", wc, got)
+		}
+	}
+}
+
+func TestWriteConcernErrorMessage(t *testing.T) {
+	err := &WriteConcernError{W: "majority", Replicated: 1, Reason: "wtimeout"}
+	want := "write concern {w: majority} not satisfied (wtimeout): replicated to 1 member(s)"
+	if err.Error() != want {
+		t.Fatalf("Error() = %q, want %q", err.Error(), want)
+	}
+}
+
+// FuzzWriteConcernDecode feeds arbitrary JSON documents through the
+// writeConcern parser: it must never panic, and must either return a valid
+// concern or a structured *ErrInvalidWriteConcern — silently defaulting a
+// malformed concern would weaken writes without telling the client.
+func FuzzWriteConcernDecode(f *testing.F) {
+	seeds := []string{
+		`{"w": 1}`,
+		`{"w": "majority", "j": true, "wtimeout": 100}`,
+		`{"w": 1.5}`,
+		`{"w": {}}`,
+		`{"w": []}`,
+		`{"w": null}`,
+		`{"w": -3}`,
+		`{"w": 1e309}`,
+		`{"j": "yes"}`,
+		`{"wtimeout": -1}`,
+		`{"wtimeout": 2147483648.5}`,
+		`{"writeConcern": {"w": 1}}`,
+		`{}`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, raw string) {
+		doc, err := bson.FromJSON([]byte(raw))
+		if err != nil {
+			return // not a document; the wire layer already rejected it
+		}
+		wc, perr := ParseWriteConcern(doc)
+		if perr != nil {
+			var inv *ErrInvalidWriteConcern
+			if !errors.As(perr, &inv) {
+				t.Fatalf("parse error %v is not ErrInvalidWriteConcern", perr)
+			}
+			return
+		}
+		if wc.W < 0 || wc.WTimeout < 0 {
+			t.Fatalf("accepted concern has negative fields: %+v from %q", wc, raw)
+		}
+		// An accepted concern must round-trip through its own document form.
+		back, rerr := ParseWriteConcern(wc.Doc())
+		if rerr != nil || back != wc {
+			t.Fatalf("round trip of accepted %+v failed: %+v, %v", wc, back, rerr)
+		}
+	})
+}

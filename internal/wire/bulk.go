@@ -156,7 +156,16 @@ func decodeBulkWriteResult(d *bson.Doc) *BulkWriteResult {
 // with BulkInsertOp/BulkUpdateOp/BulkDeleteOp. Per-op failures come back in
 // the result's WriteErrors, not as a transport error.
 func (c *Client) BulkWrite(db, coll string, ops []*bson.Doc, ordered bool) (*BulkWriteResult, error) {
-	resp, err := c.Do(&Request{Op: OpBulkWrite, DB: db, Collection: coll, Docs: ops, Ordered: ordered})
+	return c.BulkWriteWC(db, coll, ops, ordered, nil)
+}
+
+// BulkWriteWC is BulkWrite at an explicit write concern document
+// ({w, j, wtimeout}); nil uses the server's default. A quorum failure
+// (wtimeout, unreachable members, rollback) surfaces in the result's
+// WriteConcernError while the counters report what did apply on the
+// primary.
+func (c *Client) BulkWriteWC(db, coll string, ops []*bson.Doc, ordered bool, wc *bson.Doc) (*BulkWriteResult, error) {
+	resp, err := c.Do(&Request{Op: OpBulkWrite, DB: db, Collection: coll, Docs: ops, Ordered: ordered, WriteConcern: wc})
 	if err != nil {
 		return nil, err
 	}

@@ -69,6 +69,14 @@ func (c *Client) Insert(db, coll string, doc *bson.Doc) error {
 	return err
 }
 
+// InsertWC is Insert at an explicit write concern, e.g.
+// bson.D("w", "majority", "wtimeout", 1000). The server fails the request
+// when the concern is malformed or cannot be satisfied in time.
+func (c *Client) InsertWC(db, coll string, doc *bson.Doc, wc *bson.Doc) error {
+	_, err := c.Do(&Request{Op: OpInsert, DB: db, Collection: coll, Doc: doc, WriteConcern: wc})
+	return err
+}
+
 // InsertMany inserts a batch of documents.
 func (c *Client) InsertMany(db, coll string, docs []*bson.Doc) (int64, error) {
 	resp, err := c.Do(&Request{Op: OpInsertMany, DB: db, Collection: coll, Docs: docs})

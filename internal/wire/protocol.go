@@ -114,6 +114,17 @@ type Request struct {
 	// applies to insert, insertMany, update, delete and bulkWrite, and is a
 	// no-op against a server running without a WAL (-data-dir unset).
 	Journaled bool
+	// WriteConcern is the full acknowledgement contract of a write request:
+	// {w: 1|N|"majority", j: bool, wtimeout: ms}. It applies to insert,
+	// insertMany, update, delete and bulkWrite. The server validates it with
+	// storage.ParseWriteConcern — malformed concerns fail the request rather
+	// than silently weakening it — and w > 1 is refused by a standalone
+	// server (no replica set attached). Nil uses the server's default.
+	WriteConcern *bson.Doc
+	// invalidWC records that the wire carried a "writeConcern" key that was
+	// not a document; Handle rejects the request. decodeRequest cannot
+	// return an error, so the rejection is deferred.
+	invalidWC bool
 	// ResumeAfter is a watch request's resume token: the stream replays
 	// history strictly after it before tailing live.
 	ResumeAfter string
@@ -187,6 +198,9 @@ func (r *Request) encode() *bson.Doc {
 	}
 	if r.Journaled {
 		d.Set("j", true)
+	}
+	if r.WriteConcern != nil {
+		d.Set("writeConcern", r.WriteConcern)
 	}
 	if r.ResumeAfter != "" {
 		d.Set("resumeAfter", r.ResumeAfter)
@@ -265,6 +279,13 @@ func decodeRequest(d *bson.Doc) *Request {
 	if v, ok := d.Get("maxTimeMS"); ok {
 		if n, isNum := bson.AsInt(v); isNum {
 			r.MaxTimeMS = int(n)
+		}
+	}
+	if v, ok := d.Get("writeConcern"); ok {
+		if wcDoc, isDoc := v.(*bson.Doc); isDoc {
+			r.WriteConcern = wcDoc
+		} else {
+			r.invalidWC = true
 		}
 	}
 	r.Multi = bson.Truthy(d.GetOr("multi", false))

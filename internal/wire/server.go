@@ -33,9 +33,22 @@ const DefaultAwaitDataTimeout = time.Second
 // and keep the whole server materializing events forever.
 const TailableCursorTimeoutMultiple = 6
 
+// ReplicatedBackend is the write path of a replica set: every write becomes
+// one logged batch whose acknowledgement honours its write concern.
+// *replset.ReplicaSet implements it; the wire package only needs this slice
+// of it, which keeps the dependency arrow pointing at storage types.
+type ReplicatedBackend interface {
+	BulkWrite(db, coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
+}
+
 // Server serves the wire protocol for a mongod.Server over TCP.
 type Server struct {
 	backend *mongod.Server
+	// repl, when set, receives every write so acknowledgement can wait on
+	// replica quorum; reads keep hitting backend (the primary).
+	repl ReplicatedBackend
+	// defaultWC applies to write requests that carry no writeConcern.
+	defaultWC storage.WriteConcern
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -89,6 +102,16 @@ func (s *Server) SetCursorTimeout(d time.Duration) {
 		s.cursorTimeout = d
 	}
 }
+
+// SetReplicaSet routes writes through a replicated backend so their
+// acknowledgement can wait on member quorum. backend should be the set's
+// primary (reads are served from it directly). Call before the server
+// starts handling requests.
+func (s *Server) SetReplicaSet(r ReplicatedBackend) { s.repl = r }
+
+// SetDefaultWriteConcern sets the concern applied to write requests that do
+// not carry one. Call before the server starts handling requests.
+func (s *Server) SetDefaultWriteConcern(wc storage.WriteConcern) { s.defaultWC = wc }
 
 // NewServer wraps a document store server.
 func NewServer(backend *mongod.Server) *Server {
@@ -336,31 +359,43 @@ func (s *Server) Handle(req *Request) *Response {
 		if req.Doc == nil {
 			return &Response{Error: "doc is required"}
 		}
-		if req.Journaled {
-			_, err := journaledBatch(db, req.Collection, []storage.WriteOp{storage.InsertWriteOp(req.Doc)})
-			if err != nil {
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp
+		}
+		if s.repl == nil && wc.IsZero() && !req.Journaled {
+			if _, err := db.Insert(req.Collection, req.Doc); err != nil {
 				return &Response{Error: err.Error()}
 			}
 			return &Response{OK: true, N: 1}
 		}
-		if _, err := db.Insert(req.Collection, req.Doc); err != nil {
+		res := s.execBatch(req, []storage.WriteOp{storage.InsertWriteOp(req.Doc)}, true, wc)
+		if err := res.FirstError(); err != nil {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true, N: 1}
 	case OpInsertMany:
-		if req.Journaled {
-			res, err := journaledBatch(db, req.Collection, storage.InsertOps(req.Docs))
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp
+		}
+		if s.repl == nil && wc.IsZero() && !req.Journaled {
+			ids, err := db.InsertMany(req.Collection, req.Docs)
 			if err != nil {
-				return &Response{Error: err.Error(), N: int64(res.Inserted)}
+				return &Response{Error: err.Error(), N: int64(len(ids))}
 			}
-			return &Response{OK: true, N: int64(res.Inserted)}
+			return &Response{OK: true, N: int64(len(ids))}
 		}
-		ids, err := db.InsertMany(req.Collection, req.Docs)
-		if err != nil {
-			return &Response{Error: err.Error(), N: int64(len(ids))}
+		res := s.execBatch(req, storage.InsertOps(req.Docs), true, wc)
+		if err := res.FirstError(); err != nil {
+			return &Response{Error: err.Error(), N: int64(res.Inserted)}
 		}
-		return &Response{OK: true, N: int64(len(ids))}
+		return &Response{OK: true, N: int64(res.Inserted)}
 	case OpBulkWrite:
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp
+		}
 		ops := make([]storage.WriteOp, len(req.Docs))
 		for i, opDoc := range req.Docs {
 			op, err := decodeWriteOp(opDoc)
@@ -369,7 +404,7 @@ func (s *Server) Handle(req *Request) *Response {
 			}
 			ops[i] = op
 		}
-		res := db.BulkWrite(req.Collection, ops, storage.BulkOptions{Ordered: req.Ordered, Journaled: req.Journaled})
+		res := s.execBatch(req, ops, req.Ordered, wc)
 		if res.DurabilityErr != nil && res.Attempted == 0 {
 			// The batch could not even be journaled, so nothing was applied:
 			// that is a failed request, not a result. A post-apply
@@ -421,31 +456,39 @@ func (s *Server) Handle(req *Request) *Response {
 		spec := query.UpdateSpec{
 			Query: req.Filter, Update: req.Update, Upsert: req.Upsert, Multi: req.Multi,
 		}
-		if req.Journaled {
-			res, err := journaledBatch(db, req.Collection, []storage.WriteOp{storage.UpdateWriteOp(spec)})
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp
+		}
+		if s.repl == nil && wc.IsZero() && !req.Journaled {
+			res, err := db.Update(req.Collection, spec)
 			if err != nil {
 				return &Response{Error: err.Error()}
 			}
 			return &Response{OK: true, N: int64(res.Modified)}
 		}
-		res, err := db.Update(req.Collection, spec)
-		if err != nil {
+		res := s.execBatch(req, []storage.WriteOp{storage.UpdateWriteOp(spec)}, true, wc)
+		if err := res.FirstError(); err != nil {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true, N: int64(res.Modified)}
 	case OpDelete:
-		if req.Journaled {
-			res, err := journaledBatch(db, req.Collection, []storage.WriteOp{storage.DeleteWriteOp(req.Filter, req.Multi)})
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp
+		}
+		if s.repl == nil && wc.IsZero() && !req.Journaled {
+			n, err := db.Delete(req.Collection, req.Filter, req.Multi)
 			if err != nil {
 				return &Response{Error: err.Error()}
 			}
-			return &Response{OK: true, N: int64(res.Deleted)}
+			return &Response{OK: true, N: int64(n)}
 		}
-		n, err := db.Delete(req.Collection, req.Filter, req.Multi)
-		if err != nil {
+		res := s.execBatch(req, []storage.WriteOp{storage.DeleteWriteOp(req.Filter, req.Multi)}, true, wc)
+		if err := res.FirstError(); err != nil {
 			return &Response{Error: err.Error()}
 		}
-		return &Response{OK: true, N: int64(n)}
+		return &Response{OK: true, N: int64(res.Deleted)}
 	case OpAggregate:
 		if req.BatchSize > 0 {
 			it, err := db.AggregateCursor(req.Collection, req.Docs)
@@ -616,10 +659,38 @@ func boolToN(b bool) int64 {
 	return 0
 }
 
-// journaledBatch runs scalar write ops as one ordered journaled batch: the
-// shared escalation path behind every {j: true} insert/insertMany/update/
-// delete request, so the four ops cannot drift in how they acknowledge.
-func journaledBatch(db *mongod.Database, coll string, ops []storage.WriteOp) (storage.BulkResult, error) {
-	res := db.BulkWrite(coll, ops, storage.BulkOptions{Ordered: true, Journaled: true})
-	return res, res.FirstError()
+// writeConcernFor validates and resolves a write request's concern: parse
+// failures (garbage types, unknown fields, a non-document writeConcern)
+// reject the request, an absent concern falls back to the server default,
+// and w > 1 is refused outright on a standalone server — there is no second
+// member that could ever acknowledge, so accepting it would hang or lie.
+// {w: "majority"} is one member on a standalone and passes.
+func (s *Server) writeConcernFor(req *Request) (storage.WriteConcern, *Response) {
+	if req.invalidWC {
+		return storage.WriteConcern{}, &Response{Error: "invalid writeConcern: must be a document"}
+	}
+	wc, err := storage.ParseWriteConcern(req.WriteConcern)
+	if err != nil {
+		return storage.WriteConcern{}, &Response{Error: err.Error()}
+	}
+	if wc.IsZero() {
+		wc = s.defaultWC
+	}
+	if s.repl == nil && wc.W > 1 {
+		return storage.WriteConcern{}, &Response{Error: fmt.Sprintf("writeConcern {w: %d} requires a replica set; this server is standalone", wc.W)}
+	}
+	return wc, nil
+}
+
+// execBatch is the single write path behind every insert/insertMany/update/
+// delete/bulkWrite request that carries an acknowledgement contract: one
+// logged batch, routed through the replica set when one is attached so the
+// response can wait on quorum, so the five ops cannot drift in how they
+// acknowledge.
+func (s *Server) execBatch(req *Request, ops []storage.WriteOp, ordered bool, wc storage.WriteConcern) storage.BulkResult {
+	opts := storage.BulkOptions{Ordered: ordered, Journaled: req.Journaled, WriteConcern: wc}
+	if s.repl != nil {
+		return s.repl.BulkWrite(req.DB, req.Collection, ops, opts)
+	}
+	return s.backend.Database(req.DB).BulkWrite(req.Collection, ops, opts)
 }
