@@ -33,12 +33,22 @@ func main() {
 	ablation := flag.String("ablation", "", "run one ablation instead of the suite (shardkey, index, scatter)")
 	extended := flag.Bool("extended", false, "also run the future-work experiments 7/8 (denormalized model on the sharded cluster)")
 	sweep := flag.Bool("sweep", false, "run the write-concern latency sweep instead of the experiment suite")
+	updateStream := flag.Bool("update-stream", false, "run the single-doc update-stream benchmark instead of the experiment suite")
+	streamDocs := flag.Int("stream-docs", 100_000, "update-stream: collection size the stream mutates")
+	streamOps := flag.Int("stream-ops", 5000, "update-stream: single-doc updates measured per variant")
 	sweepThreads := flag.String("sweep-threads", "1,4", "sweep: comma-separated client thread counts")
 	sweepMembers := flag.String("sweep-members", "1,3", "sweep: comma-separated replica set sizes")
 	sweepWC := flag.String("sweep-wc", "w1,majority,majority+j", "sweep: comma-separated write concerns (w<N>, majority, optional +j)")
 	sweepShards := flag.String("sweep-shards", "1", "sweep: comma-separated shard counts (replica set per shard)")
 	sweepRequests := flag.Int("sweep-requests", 400, "sweep: acknowledged writes measured per cell")
 	flag.Parse()
+
+	if *updateStream {
+		if err := runUpdateStream(updateStreamConfig{docs: *streamDocs, ops: *streamOps}); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	if *sweep {
 		cfg := sweepConfig{requests: *sweepRequests, concerns: splitTrim(*sweepWC)}

@@ -25,6 +25,11 @@
 //
 // and "resumeAfter" resumes a watch from a previous response's resumeToken
 // (every event's _id is its own token).
+//
+// {"op":"stats"} returns serverStatus including the MVCC engine gauges
+// ("engine": live versions, oldest pin age, retained/COW/reclaimed bytes)
+// and the "openCursors" list (cursor id, namespace, kind, idle ms) — enough
+// to spot which abandoned cursor is retaining memory and killCursors it.
 package main
 
 import (

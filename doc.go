@@ -35,8 +35,9 @@
 //     k-way merge (one prefetching goroutine per shard when
 //     Options.Parallel is set); Router.AggregateCursor streams the shard
 //     prefix of a pipeline into the router-side merge pipeline.
-//   - driver.CursorStore is the deployment-independent cursor interface,
-//     implemented by both the stand-alone and the sharded adapters.
+//   - driver.Store is the deployment-independent interface (cursors
+//     included), implemented by both the stand-alone and the sharded
+//     adapters; driver.Capabilities reports what a store supports.
 //   - the wire protocol carries cursor batching through batchSize/cursorId:
 //     a find or aggregate with batchSize > 0 returns one batch plus a
 //     cursor id, getMore pages through the rest, killCursors releases a
@@ -71,8 +72,13 @@
 //     goroutines; ordered batches dispatch maximal contiguous same-shard
 //     runs sequentially, as the real mongos does. Broadcast updates/deletes
 //     fall back to the scalar routing path in place.
-//   - driver.BulkStore is the deployment-independent bulk interface,
-//     implemented by both adapters.
+//   - bulk writes are part of the one driver.Store interface, implemented
+//     by both adapters (the former CursorStore/BulkStore/WatchStore
+//     ladder survives as deprecated aliases; discover support with
+//     driver.Capabilities instead of type assertions).
+//   - scalar Update/UpdateOne/UpdateMany/Delete/DeleteID are thin wrappers
+//     over BulkWrite, so COW accounting, journaling and write-concern
+//     threading have exactly one mutation code path.
 //   - the wire protocol's bulkWrite op carries the batch ("docs", one op
 //     document each), the ordered flag and a result document with counters,
 //     aligned insertedIds and the writeErrors array; wire.Client.BulkWrite
@@ -95,10 +101,12 @@
 //     version (records, counters, journal watermark, index definitions)
 //     published through an atomic pointer. storage.Collection.Snapshot pins
 //     the current version with one atomic load; the returned
-//     storage.Snapshot serves Count/Docs/Scan/WriteData/LastLSN lock-free
-//     and stays frozen no matter what commits afterwards. Snapshots need no
-//     release — the garbage collector reclaims superseded versions when the
-//     last pin goes away.
+//     storage.Snapshot serves Count/Docs/Scan/FindID/WriteData/LastLSN
+//     lock-free and stays frozen no matter what commits afterwards. Release
+//     (idempotent; Cursor.Close does it for you) drops the pin so the
+//     engine can recycle what the snapshot retained; a leaked snapshot
+//     degrades recycling but never correctness — Go's GC still reclaims
+//     the versions it pinned.
 //   - Writer serialization: writers (Insert, Update, Delete, BulkWrite,
 //     EnsureIndex, Drop...) serialize on one per-collection mutex, exactly
 //     as before; the WAL append still happens under that mutex, so journal
@@ -106,18 +114,20 @@
 //     A batch mutates the writer's working state and publishes the new
 //     version as its last step, so readers observe whole batches or
 //     nothing — never a half-applied bulk.
-//   - Copy-on-write: inserts append to the shared record array (appends
-//     only touch slots beyond every published length, which no reader
-//     accesses); the first update or delete of a batch copies the array
-//     once — O(collection) per mutating batch, amortized across the batch
-//     (the ROADMAP's pin-tracking/paged-records item is the follow-on for
-//     single-document write streams); updates install modified clones
-//     instead of mutating stored documents. Compaction rewrites into a fresh array. An open cursor is
-//     therefore isolated from inserts, updates, deletes, compaction, index
-//     churn and even Drop — the pre-MVCC anomaly where deletes leaked into
-//     open cursors until an array rewrite froze them is gone, and tests
-//     assert a cursor drained across interleaved writes returns exactly
-//     the at-open document set with at-open contents.
+//   - Copy-on-write: records live in fixed 256-record pages behind a
+//     pointer spine, so a mutating batch copies only the pages it touches —
+//     O(touched pages), not O(collection). Inserts append to slots beyond
+//     every published length, which no reader accesses, so they copy
+//     nothing; updates install modified clones instead of mutating stored
+//     documents; a bare {_id: x} filter plans through the id map, making a
+//     single-document update one page copy plus one map lookup
+//     (BenchmarkSingleDocUpdateStream). Compaction rewrites into fresh
+//     pages. An open cursor is therefore isolated from inserts, updates,
+//     deletes, compaction, index churn and even Drop — the pre-MVCC
+//     anomaly where deletes leaked into open cursors until an array
+//     rewrite froze them is gone, and tests assert a cursor drained
+//     across interleaved writes returns exactly the at-open document set
+//     with at-open contents.
 //   - Memory model: publishing is an atomic pointer store with release
 //     semantics and pinning is an acquire load, so a reader that sees a
 //     version sees every record and document written before its publish;
@@ -143,6 +153,43 @@
 //     replication. BenchmarkConcurrentScanUnderWrites measures the win: at
 //     8 readers + 1 bulk writer the reader throughput is ~49x the locked
 //     engine's.
+//
+// # MVCC memory management
+//
+// Versions are cheap to publish but not free to keep; this section is how
+// the engine bounds what old versions cost and how to see who is paying.
+//
+//   - Page size: 256 records per page (storage's pageSize). Small enough
+//     that a point write duplicates ~one page of record headers plus the
+//     one replaced document; large enough that the spine (one pointer per
+//     page) stays thousands of times smaller than the record data it
+//     indexes. Record positions are stable across copies, so index
+//     position lists and the id map survive page replacement.
+//   - Pin tracking: Snapshot/Cursor pin the version they read (one atomic
+//     add through a pin gate that closes the load-then-pin window);
+//     Release/Close unpin. Every publish prunes unpinned superseded
+//     versions immediately, so the live-version list is "current + one
+//     entry per distinct pinned state", not one per write. Writers skip
+//     nothing a pin can observe: a page is recycled only once it is
+//     strictly below every pinned version's sequence.
+//   - GC thresholds: retired pages recycle into a bounded free list
+//     (overflow falls to Go's GC — degradation, never corruption); each
+//     publish also walks a few spine slots (gcPagesPerBatch) and nils out
+//     fully tombstoned pages, so tombstone runs are reclaimed
+//     incrementally without a stop-the-world sweep. Deletes drop their
+//     document reference at tombstone time; Collection.GC forces a full
+//     pass. Tombstone-majority collections still compact as before.
+//   - Gauges: storage.EngineStats reports live versions, pinned
+//     snapshots, oldest-pin age, retained bytes, COW bytes copied vs
+//     shared (their ratio is the paging win), reclaimed bytes and page
+//     churn. They aggregate through mongod.ServerStatus.Engine (also as
+//     metrics gauges via Server.EngineGauges), every bulk write's profile
+//     entry carries its COWBytesCopied, and wire stats exposes the
+//     "engine" subdocument plus an "openCursors" list (cursor id,
+//     namespace, kind, idle ms) — so docstore-shell can show which cursor
+//     is retaining memory: the stuck cursor on the namespace whose gauges
+//     report an old pin. TestStuckCursorRetentionGauges drives exactly
+//     that diagnosis loop.
 //
 // # Durability & recovery
 //
@@ -254,7 +301,8 @@
 //     (wire.TailableCursorTimeoutMultiple — polling keeps them alive
 //     forever, an abandoned one still ages out), and killCursors tears
 //     the subscription down, even mid-getMore. wire.Client.Watch wraps
-//     the exchange, driver.WatchStore abstracts over both deployments,
+//     the exchange, driver.Store.Watch abstracts over both deployments
+//     (driver.Capabilities reports whether the deployment can watch),
 //     and docstore-shell passes watch/getMore/resumeAfter straight
 //     through.
 //

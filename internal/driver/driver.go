@@ -21,67 +21,25 @@ import (
 // storage cursors and by the query router's shard-merge cursors alike.
 type Cursor = aggregate.Iterator
 
-// CursorStore is implemented by deployments that can stream results in
-// cursor batches instead of materializing them. Both deployment adapters of
-// this package implement it; algorithms that can stream should type-assert
-// from Store to CursorStore and fall back to the slice APIs otherwise.
-type CursorStore interface {
-	Store
-	// FindCursor streams documents matching filter; batch size comes from
-	// opts.BatchSize (zero = storage.DefaultBatchSize).
-	FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error)
-	// AggregateCursor streams the results of an aggregation pipeline.
-	AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error)
-}
-
-// BulkStore is implemented by deployments that can execute a mixed batch of
-// writes in one round trip per target server. Both deployment adapters of
-// this package implement it; loaders that can batch should type-assert from
-// Store to BulkStore and fall back to the scalar APIs otherwise.
-type BulkStore interface {
-	Store
-	// BulkWrite executes a mixed batch of inserts/updates/deletes with
-	// per-op error attribution; opts selects ordered or unordered mode and
-	// the writeConcern (opts.Journaled is {j: true}: against a durable
-	// deployment the batch is acknowledged only once its write-ahead-log
-	// record is fsynced — the sharded adapter propagates it to every
-	// per-shard sub-batch).
-	BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
-}
-
-// WatchStore is implemented by deployments that can open change streams:
-// live, resumable feeds of committed writes. Both deployment adapters
-// implement it — the stand-alone adapter over the server's WAL tail, the
-// sharded adapter as a cluster-wide merge of per-shard streams with a
-// composite resume token. Reactive consumers (cache invalidation, search
-// indexing) type-assert from Store to WatchStore and fall back to polling
-// otherwise.
-type WatchStore interface {
-	Store
-	// Watch opens a change stream over a collection (coll == "" watches
-	// the whole database). pipeline is an optional list of $match stages
-	// evaluated per event; resumeAfter, when non-empty, is a token from a
-	// previous stream's ResumeToken — the deployment-matching format
-	// (per-server token stand-alone, composite token sharded). Requires
-	// durability on the underlying server(s).
-	Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error)
-}
-
-var (
-	_ CursorStore = (*Standalone)(nil)
-	_ CursorStore = (*Sharded)(nil)
-	_ BulkStore   = (*Standalone)(nil)
-	_ BulkStore   = (*Sharded)(nil)
-	_ WatchStore  = (*Standalone)(nil)
-	_ WatchStore  = (*Sharded)(nil)
-)
-
-// Store is the operation set the algorithms need from a deployment.
+// Store is the full operation set the algorithms need from a deployment:
+// slice and cursor reads, scalar and bulk writes, aggregation, change
+// streams, and index/collection management. Both deployment adapters
+// implement every method; what may vary at runtime is whether a capability
+// is usable (change streams require durability on the underlying servers),
+// which Capabilities reports without a single type assertion.
+//
+// Historical note: this interface used to be a ladder — a minimal Store plus
+// CursorStore/BulkStore/WatchStore extensions that callers discovered by
+// type-asserting. The ladder collapsed into this one interface; the old
+// names remain as deprecated aliases for one release.
 type Store interface {
 	// Name identifies the deployment ("stand-alone" or "sharded").
 	Name() string
 	// Find returns documents matching filter.
 	Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error)
+	// FindCursor streams documents matching filter; batch size comes from
+	// opts.BatchSize (zero = storage.DefaultBatchSize).
+	FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error)
 	// Insert adds one document.
 	Insert(coll string, doc *bson.Doc) (any, error)
 	// InsertMany adds a batch of documents, returning the inserted ids in
@@ -89,13 +47,31 @@ type Store interface {
 	// on a mid-batch failure the stand-alone adapter stops at the failing
 	// document (ordered) while the sharded adapter still attempts the
 	// remaining per-shard sub-batches in parallel (unordered) — callers that
-	// need an exact partial-state guarantee on error should use BulkStore
+	// need an exact partial-state guarantee on error should use BulkWrite
 	// with an explicit ordered mode.
 	InsertMany(coll string, docs []*bson.Doc) ([]any, error)
+	// BulkWrite executes a mixed batch of inserts/updates/deletes with
+	// per-op error attribution; opts selects ordered or unordered mode and
+	// the writeConcern (opts.Journaled is {j: true}: against a durable
+	// deployment the batch is acknowledged only once its write-ahead-log
+	// record is fsynced — the sharded adapter propagates it to every
+	// per-shard sub-batch).
+	BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
 	// Update applies an update specification (query, update, upsert, multi).
 	Update(coll string, spec query.UpdateSpec) (storage.UpdateResult, error)
 	// Aggregate runs an aggregation pipeline.
 	Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error)
+	// AggregateCursor streams the results of an aggregation pipeline.
+	AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error)
+	// Watch opens a change stream over a collection (coll == "" watches
+	// the whole database): a live, resumable feed of committed writes.
+	// pipeline is an optional list of $match stages evaluated per event;
+	// resumeAfter, when non-empty, is a token from a previous stream's
+	// ResumeToken — the deployment-matching format (per-server token
+	// stand-alone, composite token sharded). Requires durability on the
+	// underlying server(s); Capabilities reports whether it is available
+	// without opening one.
+	Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error)
 	// Count returns the number of documents matching filter.
 	Count(coll string, filter *bson.Doc) (int, error)
 	// EnsureIndex creates an index.
@@ -105,6 +81,81 @@ type Store interface {
 	// DataSizeBytes returns the total stored size of a collection across the
 	// deployment, used for selectivity and working-set reporting.
 	DataSizeBytes(coll string) int64
+}
+
+// CursorStore is the streaming-reads facet of the old interface ladder.
+//
+// Deprecated: every Store streams; use Store and driver.Capabilities.
+type CursorStore = Store
+
+// BulkStore is the bulk-writes facet of the old interface ladder.
+//
+// Deprecated: every Store bulk-writes; use Store and driver.Capabilities.
+type BulkStore = Store
+
+// WatchStore is the change-streams facet of the old interface ladder.
+//
+// Deprecated: use Store and check driver.Capabilities(s).Watch.
+type WatchStore = Store
+
+var (
+	_ Store = (*Standalone)(nil)
+	_ Store = (*Sharded)(nil)
+)
+
+// CapabilitySet reports which optional behaviours of a Store are usable
+// right now against its deployment. Interface satisfaction alone cannot say
+// this — every Store has a Watch method, but change streams only work when
+// the underlying servers run durable — so capability discovery is a runtime
+// question, answered here, instead of a compile-time type-assertion ladder.
+type CapabilitySet struct {
+	// Cursors: FindCursor/AggregateCursor stream in batches.
+	Cursors bool
+	// Bulk: BulkWrite executes mixed batches with per-op attribution.
+	Bulk bool
+	// Watch: change streams can be opened (requires durability on every
+	// underlying server of the deployment).
+	Watch bool
+}
+
+// String renders the set compactly, e.g. "cursors,bulk" or "none".
+func (c CapabilitySet) String() string {
+	s := ""
+	for _, f := range []struct {
+		on   bool
+		name string
+	}{{c.Cursors, "cursors"}, {c.Bulk, "bulk"}, {c.Watch, "watch"}} {
+		if !f.on {
+			continue
+		}
+		if s != "" {
+			s += ","
+		}
+		s += f.name
+	}
+	if s == "" {
+		return "none"
+	}
+	return s
+}
+
+// CapabilityReporter is implemented by stores that can report their own
+// capability set; both adapters of this package do. Stores without it are
+// assumed fully capable (they implement every Store method, after all) —
+// the report exists to catch the cases where a method would fail at runtime.
+type CapabilityReporter interface {
+	Capabilities() CapabilitySet
+}
+
+// Capabilities reports what the store supports against its current
+// deployment. It replaces the CursorStore/BulkStore/WatchStore
+// type-assertion ladder: instead of asking "does this value have the
+// method", callers ask "will the method work".
+func Capabilities(s Store) CapabilitySet {
+	if r, ok := s.(CapabilityReporter); ok {
+		return r.Capabilities()
+	}
+	return CapabilitySet{Cursors: true, Bulk: true, Watch: true}
 }
 
 // Standalone adapts a database on a single server to the Store interface.
@@ -117,6 +168,12 @@ func NewStandalone(db *mongod.Database) *Standalone { return &Standalone{DB: db}
 
 // Name implements Store.
 func (s *Standalone) Name() string { return "stand-alone" }
+
+// Capabilities implements CapabilityReporter: cursors and bulk writes are
+// native; change streams require the server to run durable.
+func (s *Standalone) Capabilities() CapabilitySet {
+	return CapabilitySet{Cursors: true, Bulk: true, Watch: s.DB.Server().DurabilityEnabled()}
+}
 
 // Find implements Store.
 func (s *Standalone) Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
@@ -131,7 +188,7 @@ func (s *Standalone) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
 	return s.DB.InsertMany(coll, docs)
 }
 
-// BulkWrite implements BulkStore.
+// BulkWrite implements Store.
 func (s *Standalone) BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
 	return s.DB.BulkWrite(coll, ops, opts)
 }
@@ -146,7 +203,7 @@ func (s *Standalone) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, er
 	return s.DB.Aggregate(coll, stages)
 }
 
-// FindCursor implements CursorStore.
+// FindCursor implements Store.
 func (s *Standalone) FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error) {
 	cur, err := s.DB.FindCursor(coll, filter, opts)
 	if err != nil {
@@ -155,12 +212,12 @@ func (s *Standalone) FindCursor(coll string, filter *bson.Doc, opts storage.Find
 	return mongod.Iter(cur), nil
 }
 
-// AggregateCursor implements CursorStore.
+// AggregateCursor implements Store.
 func (s *Standalone) AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error) {
 	return s.DB.AggregateCursor(coll, stages)
 }
 
-// Watch implements WatchStore.
+// Watch implements Store.
 func (s *Standalone) Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error) {
 	return s.DB.Server().Watch(s.DB.Name(), coll, mongod.WatchOptions{Pipeline: pipeline, ResumeAfter: resumeAfter})
 }
@@ -198,6 +255,25 @@ func NewSharded(router *mongos.Router, dbName string) *Sharded {
 // Name implements Store.
 func (s *Sharded) Name() string { return "sharded" }
 
+// Capabilities implements CapabilityReporter: a cluster-wide change stream
+// needs every shard durable (the merge has no token for a shard that cannot
+// produce events).
+func (s *Sharded) Capabilities() CapabilitySet {
+	c := CapabilitySet{Cursors: true, Bulk: true, Watch: true}
+	names := s.Router.ShardNames()
+	if len(names) == 0 {
+		c.Watch = false
+		return c
+	}
+	for _, name := range names {
+		if !s.Router.Shard(name).DurabilityEnabled() {
+			c.Watch = false
+			break
+		}
+	}
+	return c
+}
+
 // Find implements Store.
 func (s *Sharded) Find(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, error) {
 	return s.Router.Find(s.DBName, coll, filter, opts)
@@ -213,7 +289,7 @@ func (s *Sharded) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
 	return s.Router.InsertMany(s.DBName, coll, docs)
 }
 
-// BulkWrite implements BulkStore.
+// BulkWrite implements Store.
 func (s *Sharded) BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
 	return s.Router.BulkWrite(s.DBName, coll, ops, opts)
 }
@@ -228,7 +304,7 @@ func (s *Sharded) Aggregate(coll string, stages []*bson.Doc) ([]*bson.Doc, error
 	return s.Router.Aggregate(s.DBName, coll, stages)
 }
 
-// FindCursor implements CursorStore.
+// FindCursor implements Store.
 func (s *Sharded) FindCursor(coll string, filter *bson.Doc, opts storage.FindOptions) (Cursor, error) {
 	cur, err := s.Router.FindCursor(s.DBName, coll, filter, opts)
 	if err != nil {
@@ -237,12 +313,12 @@ func (s *Sharded) FindCursor(coll string, filter *bson.Doc, opts storage.FindOpt
 	return cur, nil
 }
 
-// AggregateCursor implements CursorStore.
+// AggregateCursor implements Store.
 func (s *Sharded) AggregateCursor(coll string, stages []*bson.Doc) (Cursor, error) {
 	return s.Router.AggregateCursor(s.DBName, coll, stages)
 }
 
-// Watch implements WatchStore.
+// Watch implements Store.
 func (s *Sharded) Watch(coll string, pipeline []*bson.Doc, resumeAfter string) (changestream.Stream, error) {
 	return s.Router.Watch(s.DBName, coll, pipeline, resumeAfter)
 }

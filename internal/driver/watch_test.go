@@ -44,11 +44,10 @@ func TestWatchStoreBothAdapters(t *testing.T) {
 	}
 	for _, store := range stores {
 		t.Run(store.Name(), func(t *testing.T) {
-			ws, ok := store.(WatchStore)
-			if !ok {
-				t.Fatalf("%s does not implement WatchStore", store.Name())
+			if caps := Capabilities(store); !caps.Watch {
+				t.Fatalf("%s reports no watch capability (%s) despite durable servers", store.Name(), caps)
 			}
-			stream, err := ws.Watch("rows", []*bson.Doc{
+			stream, err := store.Watch("rows", []*bson.Doc{
 				bson.D("$match", bson.D("operationType", "insert")),
 			}, "")
 			if err != nil {

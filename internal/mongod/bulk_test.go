@@ -38,6 +38,24 @@ func TestDatabaseBulkWriteProfilingAndCounters(t *testing.T) {
 	if e.Op != "bulkWrite" || e.Collection != "c" || e.BatchOps != 4 || e.BatchErrors != 1 {
 		t.Fatalf("profile entry = %+v", e)
 	}
+	// The update above touched a record its own batch inserted — a page the
+	// batch already owned — so no COW cost is attributed.
+	if e.COWBytesCopied != 0 {
+		t.Fatalf("profile entry COWBytesCopied = %d for a self-inserted update, want 0", e.COWBytesCopied)
+	}
+
+	// A second batch mutating the now-published record pays a page copy,
+	// and its profile entry carries the attributed COW cost.
+	res = db.BulkWrite("c", []storage.WriteOp{
+		storage.UpdateWriteOp(query.UpdateSpec{Query: bson.D(bson.IDKey, 1), Update: bson.D("$set", bson.D("v", 3))}),
+	}, storage.BulkOptions{})
+	if err := res.FirstError(); err != nil {
+		t.Fatal(err)
+	}
+	cowEntries := s.Profile()
+	if got := cowEntries[len(cowEntries)-1].COWBytesCopied; got <= 0 {
+		t.Fatalf("profile entry COWBytesCopied = %d after updating a published record, want > 0", got)
+	}
 
 	// InsertMany rides the same path: one more batch entry, not 10.
 	docs := make([]*bson.Doc, 10)
@@ -48,7 +66,7 @@ func TestDatabaseBulkWriteProfilingAndCounters(t *testing.T) {
 		t.Fatal(err)
 	}
 	entries = s.Profile()
-	if len(entries) != 2 || entries[1].BatchOps != 10 || entries[1].BatchErrors != 0 {
+	if len(entries) != 3 || entries[2].BatchOps != 10 || entries[2].BatchErrors != 0 {
 		t.Fatalf("profile after InsertMany = %+v", entries)
 	}
 	if got := s.Counters().Insert; got != 12 {

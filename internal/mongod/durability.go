@@ -574,6 +574,7 @@ func (s *Server) ChangeStreams() *changestream.Broker {
 // consistent with the streamed data by construction.
 func writeCollectionSnapshot(path string, coll *storage.Collection) (storage.SnapshotInfo, error) {
 	snap := coll.Snapshot()
+	defer snap.Release()
 	info := snap.Info()
 	f, err := os.Create(path)
 	if err != nil {

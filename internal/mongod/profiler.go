@@ -19,6 +19,11 @@ type ProfileEntry struct {
 	// carried and how many of them failed. Both are zero for scalar ops.
 	BatchOps    int
 	BatchErrors int
+	// COWBytesCopied is the record data the batch's page copies duplicated:
+	// the copy-on-write cost this write paid so concurrent snapshots keep
+	// their view. Zero for reads and for writes that only touched pages the
+	// batch already owned.
+	COWBytesCopied int64
 	// PlanSummary, DocsExamined, SnapshotVersion and Isolation describe a
 	// profiled query's execution: the access path, the work it did, and the
 	// storage version its scan was pinned to (see storage.Plan). They are
@@ -59,10 +64,13 @@ func (db *Database) profile(op, coll string) func() {
 // per-op failure count the batch produced.
 func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int) {
 	start := db.server.clockTime()
+	c := db.Collection(coll)
+	cowStart := c.COWBytesCopied()
 	return func(batchErrors int) {
 		db.record(ProfileEntry{
 			Op: "bulkWrite", Collection: coll, At: start,
 			BatchOps: batchOps, BatchErrors: batchErrors,
+			COWBytesCopied: c.COWBytesCopied() - cowStart,
 		})
 	}
 }

@@ -15,6 +15,7 @@ import (
 	"docstore/internal/aggregate"
 	"docstore/internal/bson"
 	"docstore/internal/index"
+	"docstore/internal/metrics"
 	"docstore/internal/query"
 	"docstore/internal/storage"
 	"docstore/internal/wal"
@@ -220,6 +221,10 @@ type ServerStatus struct {
 	// RAMPressure is working set / RAM; above 1.0 the thesis predicts the
 	// working set no longer fits and reads hit "disk".
 	RAMPressure float64
+	// Engine aggregates the MVCC engine's memory-economics gauges across
+	// every collection: live versions, pin retention, copy-on-write traffic
+	// and reclamation (see storage.EngineStats).
+	Engine storage.EngineStats
 }
 
 // Status computes the current server status.
@@ -246,6 +251,7 @@ func (s *Server) Status() ServerStatus {
 			st.Documents += cs.Count
 			st.DataSizeBytes += int64(cs.DataSizeBytes)
 			st.IndexSizeBytes += int64(cs.IndexSizeBytes)
+			st.Engine.Add(coll.EngineStats())
 		}
 	}
 	st.WorkingSetBytes = st.DataSizeBytes + st.IndexSizeBytes
@@ -253,6 +259,25 @@ func (s *Server) Status() ServerStatus {
 		st.RAMPressure = float64(st.WorkingSetBytes) / float64(st.RAMBytes)
 	}
 	return st
+}
+
+// EngineGauges renders the server's aggregated MVCC engine gauges as a
+// metrics gauge set — the form the reporting and shell layers print. The
+// gauge names mirror the serverStatus engine subdocument.
+func (s *Server) EngineGauges() *metrics.GaugeSet {
+	e := s.Status().Engine
+	g := metrics.NewGaugeSet()
+	g.Set("engine.liveVersions", int64(e.LiveVersions), "")
+	g.Set("engine.pinnedSnapshots", int64(e.PinnedSnapshots), "")
+	g.Set("engine.oldestPinAge", int64(e.OldestPinAge), "ns")
+	g.Set("engine.retainedBytes", e.RetainedBytes, "bytes")
+	g.Set("engine.pages", int64(e.Pages), "")
+	g.Set("engine.cowBytesCopied", e.COWBytesCopied, "bytes")
+	g.Set("engine.cowBytesShared", e.COWBytesShared, "bytes")
+	g.Set("engine.reclaimedBytes", e.ReclaimedBytes, "bytes")
+	g.Set("engine.pagesCopied", e.PagesCopied, "")
+	g.Set("engine.pagesRecycled", e.PagesRecycled, "")
+	return g
 }
 
 // countOps bumps the write counters once for a whole bulk batch, mirroring
@@ -520,7 +545,9 @@ func (e *dbEnv) ReadCollection(name string) ([]*bson.Doc, error) {
 	}
 	// $lookup and other pipeline side-reads pin one immutable snapshot per
 	// read: lock-free, and never a half-applied bulk batch.
-	return e.db.Collection(name).Snapshot().Docs(), nil
+	snap := e.db.Collection(name).Snapshot()
+	defer snap.Release()
+	return snap.Docs(), nil
 }
 
 func (e *dbEnv) WriteCollection(name string, docs []*bson.Doc) error {

@@ -230,7 +230,7 @@ func (r *Router) applyScalar(db, coll string, op *storage.WriteOp, i int, res *s
 			return err
 		}
 	default:
-		// Mirror the storage engine so both BulkStore adapters reject the
+		// Mirror the storage engine so both Store adapters reject the
 		// same malformed op the same way.
 		err := fmt.Errorf("mongos: unknown bulk op kind %d", int(op.Kind))
 		res.Errors = append(res.Errors, storage.BulkError{Index: i, Err: err})

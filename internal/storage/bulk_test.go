@@ -182,8 +182,8 @@ func TestBulkWriteAmortizedMaintenance(t *testing.T) {
 	if res.Inserted != 500 {
 		t.Fatalf("inserted %d", res.Inserted)
 	}
-	if cap(c.records) < 500 {
-		t.Fatalf("records capacity %d not reserved", cap(c.records))
+	if got := cap(c.pages) * pageSize; got < 500 {
+		t.Fatalf("record capacity %d not reserved", got)
 	}
 	// A follow-up batch grows geometrically (at least doubling), so repeated
 	// InsertMany batches do not copy the whole array once per batch.
@@ -194,8 +194,8 @@ func TestBulkWriteAmortizedMaintenance(t *testing.T) {
 	if res := c.BulkWrite(InsertOps(more), BulkOptions{}); res.Inserted != 100 {
 		t.Fatalf("second batch inserted %d", res.Inserted)
 	}
-	if got, want := cap(c.records), 1000; got < want {
-		t.Fatalf("records capacity %d after second reserve, want >= %d (geometric growth)", got, want)
+	if got, want := cap(c.pages)*pageSize, 1000; got < want {
+		t.Fatalf("record capacity %d after second reserve, want >= %d (geometric growth)", got, want)
 	}
 
 	// Delete 400 of 600 in one bulk: tombstones exceed half the records, so
@@ -209,7 +209,7 @@ func TestBulkWriteAmortizedMaintenance(t *testing.T) {
 		t.Fatalf("deleted %d", res.Deleted)
 	}
 	c.mu.Lock()
-	records, tombs := len(c.records), c.tombs
+	records, tombs := c.length, c.tombs
 	c.mu.Unlock()
 	if tombs != 0 || records != 200 {
 		t.Fatalf("post-bulk compaction: records=%d tombs=%d", records, tombs)

@@ -1,15 +1,17 @@
 // Package storage implements the collection storage engine: document
 // storage with a primary _id index, secondary indexes, a query planner that
 // chooses between collection scans and index scans, update/delete execution,
-// multi-version concurrency control with copy-on-write snapshots, and
+// multi-version concurrency control with paged copy-on-write snapshots, and
 // snapshot persistence.
 package storage
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"docstore/internal/bson"
 	"docstore/internal/index"
@@ -37,7 +39,9 @@ func (e *ErrDuplicateID) Error() string {
 // record is one stored document slot. Deleted slots remain as tombstones
 // until the collection compacts, which keeps scans in insertion order and —
 // more importantly under MVCC — keeps record positions stable, so the _id
-// map and index position lists survive deletes without rebuilds.
+// map and index position lists survive deletes without rebuilds. A
+// tombstone drops its document reference: pinned versions keep the document
+// alive through their own pages, and once they release, the memory goes.
 type record struct {
 	idKey   string
 	doc     *bson.Doc
@@ -51,12 +55,13 @@ type record struct {
 // swap; readers pin a version with one atomic load and then scan it without
 // any lock. Once published, a version never changes:
 //
-//   - records[0:len(records)] is frozen. Writers that must modify an
-//     existing slot (update, delete) copy the slice first
-//     (Collection.ensureOwnedLocked); writers that only append may share
-//     the backing array, because appends write exclusively at indexes >=
-//     the published length, which no reader of this version ever accesses.
-//   - every *bson.Doc reachable from records is frozen. Updates install a
+//   - every record at positions [0, length) is frozen. Writers that must
+//     modify an existing slot (update, delete) copy the page holding it
+//     first (Collection.ownSlotLocked) — O(touched pages), not
+//     O(collection); writers that only append may share pages and spine,
+//     because appends write exclusively at positions >= the published
+//     length, which no reader of this version ever accesses.
+//   - every *bson.Doc reachable from the pages is frozen. Updates install a
 //     modified clone instead of mutating the stored document, so a pinned
 //     version observes point-in-time document contents, not just a
 //     point-in-time membership set.
@@ -67,13 +72,26 @@ type version struct {
 	// seq is the monotonically increasing version number, starting at 1 for
 	// a fresh collection; Plan.SnapshotVersion and Snapshot.Version surface
 	// it through explain and the profiler.
-	seq      int64
-	records  []record
-	count    int
-	dataSize int
-	tombs    int
+	seq    int64
+	pages  []*page
+	length int // record positions in use: [0, length)
+	// pins counts the snapshots currently pinning this version; the engine
+	// GC recycles retired pages only below the oldest pinned version.
+	pins atomic.Int64
+	// publishedAt feeds the oldest-pin-age gauge: how long a stuck cursor
+	// has been retaining this version.
+	publishedAt time.Time
+	count       int
+	dataSize    int
+	tombs       int
+	// idMap is the version-owned _id index: idKey -> position, frozen at its
+	// last rebuild. Positions appended after the rebuild — [idMapLen,
+	// length) — are covered by a bounded tail scan instead, so point lookups
+	// never touch the writer mutex (see Snapshot.FindID).
+	idMap    map[string]int
+	idMapLen int
 	// lastLSN is the journal watermark as of this version: the LSN of the
-	// newest mutation folded into records. Checkpoints pair it with the
+	// newest mutation folded into the records. Checkpoints pair it with the
 	// snapshot data so recovery replays exactly the records the snapshot
 	// does not already contain.
 	lastLSN int64
@@ -89,26 +107,38 @@ type version struct {
 
 // Collection is a single document collection. All methods are safe for
 // concurrent use: writers serialize on an internal mutex, readers pin
-// immutable versions and never block (see doc.go, "Concurrency & isolation").
+// immutable versions and never block (see doc.go, "Concurrency & isolation"
+// and "MVCC memory management").
 type Collection struct {
 	name string
 
 	// mu serializes every mutation (and the journal append that precedes
 	// it, so log order equals apply order). Readers take it only to consult
-	// the shared index trees while planning an index scan, and for point
-	// _id lookups; plain collection scans never acquire it.
-	mu       sync.Mutex
-	records  []record
-	byID     map[string]int // idKey -> position in records
+	// the shared index trees while planning an index scan; plain collection
+	// scans and _id point lookups never acquire it.
+	mu sync.Mutex
+	// pages/length are the writer's record store: a spine of page pointers
+	// over fixed-size record pages (see page.go).
+	pages    []*page
+	length   int
+	byID     map[string]int // idKey -> position; exact, writer-owned
 	indexes  map[string]*index.Index
 	count    int
 	dataSize int
 	tombs    int
-	// shared marks that the backing array of records is referenced by the
-	// published version: the next in-place slot mutation must copy first.
-	// Appends are exempt (they only touch slots past every published
-	// length).
-	shared bool
+	// writeSeq identifies the current write batch: pages whose ownerSeq
+	// equals it are private to the batch and mutable in place. publishLocked
+	// advances it, disowning every page at once.
+	writeSeq int64
+	// pubLen is the published version's length: slots at or past it are
+	// batch-local and mutable without copying.
+	pubLen int
+	// spineShared marks the spine's backing array as referenced by the
+	// published version: the next in-place spine-slot rewrite copies first.
+	spineShared bool
+	// idMapStale forces the next publish to rebuild the version id map from
+	// byID (set by compaction and drops, which move positions).
+	idMapStale bool
 	// indexesChanged makes the next publish rebuild the version's index
 	// metadata; steady-state writes reuse the previous slice.
 	indexesChanged bool
@@ -116,26 +146,52 @@ type Collection struct {
 	// current is the published version readers pin. It is never nil.
 	current atomic.Pointer[version]
 
+	// pinGate counts readers between loading current and registering their
+	// pin; the GC recycles pages only while it is zero, closing the race
+	// between pinning and retirement (see Snapshot).
+	pinGate atomic.Int64
+
+	// Engine GC state (all guarded by mu): tracked live versions, retired
+	// pages/spines awaiting recycling, free lists, the incremental
+	// tombstone-GC cursor, and the floor below which recycling is forbidden
+	// because a pinned version was dropped from tracking.
+	live            []*version
+	retired         []retiredPage
+	freePages       []*page
+	freeSpines      [][]*page
+	gcCursor        int
+	untrackedPinSeq int64
+
 	// journal, when attached, receives every mutation before it is applied;
 	// lastLSN is the sequence number of the newest journaled mutation (see
 	// journal.go).
 	journal Journal
 	lastLSN int64
 
-	// stats (atomic: bumped lock-free by readers)
-	scans        atomic.Int64 // collection scans performed
-	indexScans   atomic.Int64 // index scans performed
-	docsExamined atomic.Int64 // documents examined by read cursors
+	// stats (atomic: bumped lock-free by readers and by the writer without
+	// extending its critical section)
+	scans          atomic.Int64 // collection scans performed
+	indexScans     atomic.Int64 // index scans performed
+	docsExamined   atomic.Int64 // documents examined by read cursors
+	cowBytesCopied atomic.Int64 // record bytes duplicated by COW page copies
+	cowBytesShared atomic.Int64 // record bytes shared instead of copied
+	reclaimedBytes atomic.Int64 // bytes whose last pinned reference was recycled
+	pagesCopied    atomic.Int64
+	pagesRecycled  atomic.Int64
 }
 
 // NewCollection creates an empty collection.
 func NewCollection(name string) *Collection {
 	c := &Collection{
-		name:    name,
-		byID:    make(map[string]int),
-		indexes: make(map[string]*index.Index),
+		name:            name,
+		byID:            make(map[string]int),
+		indexes:         make(map[string]*index.Index),
+		writeSeq:        1,
+		untrackedPinSeq: math.MaxInt64,
 	}
-	c.current.Store(&version{seq: 1})
+	v := &version{seq: 1, publishedAt: time.Now()}
+	c.current.Store(v)
+	c.live = append(c.live, v)
 	return c
 }
 
@@ -151,13 +207,27 @@ func (c *Collection) Name() string { return c.name }
 func (c *Collection) publishLocked() {
 	prev := c.current.Load()
 	v := &version{
-		seq:       prev.seq + 1,
-		records:   c.records,
-		count:     c.count,
-		dataSize:  c.dataSize,
-		tombs:     c.tombs,
-		lastLSN:   c.lastLSN,
-		indexMeta: prev.indexMeta,
+		seq:         prev.seq + 1,
+		pages:       c.pages,
+		length:      c.length,
+		publishedAt: time.Now(),
+		count:       c.count,
+		dataSize:    c.dataSize,
+		tombs:       c.tombs,
+		lastLSN:     c.lastLSN,
+		indexMeta:   prev.indexMeta,
+	}
+	if c.idMapStale || c.length-prev.idMapLen > idMapRebuildLimit(prev.idMapLen) {
+		c.idMapStale = false
+		m := make(map[string]int, len(c.byID))
+		for k, pos := range c.byID {
+			m[k] = pos
+		}
+		v.idMap = m
+		v.idMapLen = c.length
+	} else {
+		v.idMap = prev.idMap
+		v.idMapLen = prev.idMapLen
 	}
 	if c.indexesChanged {
 		c.indexesChanged = false
@@ -180,22 +250,11 @@ func (c *Collection) publishLocked() {
 		v.indexSize += ix.SizeBytes()
 	}
 	c.current.Store(v)
-	c.shared = true
-}
-
-// ensureOwnedLocked makes the writer's record slice safe to mutate in place:
-// when its backing array is shared with the published version the slice is
-// copied first (copy-on-write). Appending never needs this — only update and
-// delete paths that rewrite existing slots do. Callers must re-derive any
-// *record pointers taken before the call, since the copy relocates slots.
-func (c *Collection) ensureOwnedLocked() {
-	if !c.shared {
-		return
-	}
-	cp := make([]record, len(c.records), cap(c.records))
-	copy(cp, c.records)
-	c.records = cp
-	c.shared = false
+	c.spineShared = true
+	c.pubLen = c.length
+	c.writeSeq++
+	c.live = append(c.live, v)
+	c.gcLocked()
 }
 
 // idKey derives the map key for an _id value.
@@ -268,11 +327,12 @@ func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
 			return nil, err
 		}
 	}
-	// Appending is safe even while the backing array is shared with the
-	// published version: the write lands at an index no pinned reader
-	// accesses (see the version invariants).
-	c.records = append(c.records, record{idKey: key, doc: doc, size: size})
-	c.byID[key] = len(c.records) - 1
+	// Appending is safe even into pages shared with the published version:
+	// the write lands at a position no pinned reader accesses (see the
+	// version invariants).
+	pos := c.length
+	*c.appendSlotLocked() = record{idKey: key, doc: doc, size: size}
+	c.byID[key] = pos
 	c.count++
 	c.dataSize += size
 	return id, nil
@@ -287,35 +347,34 @@ func (c *Collection) InsertMany(docs []*bson.Doc) ([]any, error) {
 	return res.CompactInsertedIDs(), res.FirstError()
 }
 
-// reserveLocked grows the record slice capacity ahead of a batch of n
-// inserts so the batch appends without repeated reallocation. Growth is at
-// least geometric so repeated batches keep the amortized O(1) append cost
-// instead of copying the whole array per batch.
+// reserveLocked grows the spine capacity ahead of a batch of n inserts so
+// the batch appends pages without repeated spine reallocation. Growth is at
+// least geometric so repeated batches keep the amortized O(1) append cost.
 func (c *Collection) reserveLocked(n int) {
-	if n <= 0 || cap(c.records)-len(c.records) >= n {
+	if n <= 0 {
 		return
 	}
-	newCap := len(c.records) + n
-	if doubled := 2 * cap(c.records); doubled > newCap {
-		newCap = doubled
+	needPages := (c.length + n + pageMask) >> pageShift
+	if needPages <= cap(c.pages) {
+		return
 	}
-	grown := make([]record, len(c.records), newCap)
-	copy(grown, c.records)
-	c.records = grown
-	c.shared = false
+	if doubled := 2 * cap(c.pages); doubled > needPages {
+		needPages = doubled
+	}
+	grown := make([]*page, len(c.pages), needPages)
+	copy(grown, c.pages)
+	c.pages = grown
+	c.spineShared = false
 }
 
 // FindID returns the document with the given _id, or nil when absent. The
-// point lookup goes through the writer-owned _id map, so it briefly takes
-// the write mutex; the returned document is immutable (updates replace it).
+// lookup runs against the pinned snapshot's version-owned id map plus a
+// bounded tail scan, so it never takes the writer mutex; the returned
+// document is immutable (updates replace it).
 func (c *Collection) FindID(id any) *bson.Doc {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	pos, ok := c.byID[idKey(bson.Normalize(id))]
-	if !ok || c.records[pos].deleted {
-		return nil
-	}
-	return c.records[pos].doc
+	s := c.Snapshot()
+	defer s.Release()
+	return s.FindID(id)
 }
 
 // Count returns the number of live documents in the published version.
@@ -333,7 +392,9 @@ func (c *Collection) DataSize() int {
 // is blocked by) writers; documents committed after the call starts are not
 // seen.
 func (c *Collection) Scan(fn func(*bson.Doc) bool) {
-	c.Snapshot().Scan(fn)
+	s := c.Snapshot()
+	defer s.Release()
+	s.Scan(fn)
 }
 
 // Drop removes every document and secondary index. With a journal attached
@@ -344,39 +405,73 @@ func (c *Collection) Scan(fn func(*bson.Doc) bool) {
 func (c *Collection) Drop() {
 	c.mu.Lock()
 	commit, _ := c.logClearLocked()
-	c.records = nil
+	c.retireAllPagesLocked()
+	c.pages = nil
+	c.length = 0
 	c.byID = make(map[string]int)
 	c.indexes = make(map[string]*index.Index)
 	c.count = 0
 	c.dataSize = 0
 	c.tombs = 0
-	c.shared = false
+	c.spineShared = false
+	c.idMapStale = true
 	c.indexesChanged = true
 	c.publishLocked()
 	c.mu.Unlock()
 	_ = waitCommit(commit, false)
 }
 
-// compactLocked rewrites the record slice without tombstones. The rewrite
-// lands in a fresh array, so versions pinned before the compaction keep
-// scanning their own frozen records.
+// retireAllPagesLocked parks the writer's whole page set for recycling; the
+// published versions that reference it keep it alive until they unpin.
+func (c *Collection) retireAllPagesLocked() {
+	for pi, p := range c.pages {
+		if p == nil {
+			continue
+		}
+		limit := c.length - (pi << pageShift)
+		if limit <= 0 {
+			break
+		}
+		c.retirePageLocked(p, pageLiveBytes(p, limit))
+	}
+}
+
+// compactLocked rewrites the record store without tombstones. The rewrite
+// lands in fresh pages, so versions pinned before the compaction keep
+// scanning their own frozen records; positions move, so the version id map
+// is rebuilt at the next publish.
 func (c *Collection) compactLocked() {
 	if c.tombs == 0 {
 		return
 	}
-	kept := make([]record, 0, c.count)
+	c.retireAllPagesLocked()
+	oldPages, oldLen := c.pages, c.length
+	c.pages = make([]*page, 0, (c.count+pageMask)>>pageShift)
+	c.length = 0
+	c.spineShared = false
 	byID := make(map[string]int, c.count)
-	for _, r := range c.records {
-		if r.deleted {
+	for pi, base := 0, 0; base < oldLen; pi, base = pi+1, base+pageSize {
+		p := oldPages[pi]
+		if p == nil {
 			continue
 		}
-		byID[r.idKey] = len(kept)
-		kept = append(kept, r)
+		end := oldLen - base
+		if end > pageSize {
+			end = pageSize
+		}
+		for off := 0; off < end; off++ {
+			r := &p.recs[off]
+			if r.deleted {
+				continue
+			}
+			byID[r.idKey] = c.length
+			*c.appendSlotLocked() = record{idKey: r.idKey, doc: r.doc, size: r.size}
+		}
 	}
-	c.records = kept
 	c.byID = byID
 	c.tombs = 0
-	c.shared = false
+	c.idMapStale = true
+	c.gcCursor = 0
 }
 
 // Stats summarizes the collection, mirroring collStats.

@@ -88,10 +88,16 @@ func (cur *Cursor) Plan() Plan { return cur.plan }
 func (cur *Cursor) Err() error { return nil }
 
 // Close releases the cursor's snapshot and buffers. It is safe to call more
-// than once and after exhaustion.
+// than once and after exhaustion. Releasing the snapshot unpins its version,
+// letting the engine recycle the pages the cursor was retaining (see
+// EngineStats) — a cursor held open is exactly the "stuck cursor" the
+// oldest-pin-age gauge measures.
 func (cur *Cursor) Close() error {
 	cur.closed = true
 	cur.done = true
+	if cur.snap != nil {
+		cur.snap.Release()
+	}
 	cur.snap = nil
 	cur.order = nil
 	cur.rest = nil
@@ -106,6 +112,11 @@ func (cur *Cursor) Close() error {
 func (cur *Cursor) HasNext() bool {
 	for cur.pos >= len(cur.buf) {
 		if cur.done || cur.closed {
+			// Exhausted: unpin the snapshot eagerly instead of waiting for
+			// Close, so a drained-but-unclosed cursor retains nothing.
+			if cur.snap != nil {
+				cur.snap.Release()
+			}
 			cur.finishOnce()
 			return false
 		}
@@ -186,7 +197,7 @@ func (cur *Cursor) fill() {
 		return
 	}
 
-	recs := cur.snap.v.records
+	v := cur.snap.v
 	examinedBefore := cur.plan.DocsExamined
 	for !cur.done && (cur.batchSize <= 0 || len(cur.buf) < cur.batchSize) {
 		var r *record
@@ -197,19 +208,19 @@ func (cur *Cursor) fill() {
 			}
 			pos := cur.order[cur.next]
 			cur.next++
-			if pos < 0 || pos >= len(recs) {
+			if pos < 0 || pos >= v.length {
 				continue
 			}
-			r = &recs[pos]
+			r = v.record(pos)
 		} else {
-			if cur.next >= len(recs) {
+			if cur.next >= v.length {
 				cur.done = true
 				break
 			}
-			r = &recs[cur.next]
+			r = v.record(cur.next)
 			cur.next++
 		}
-		if r.deleted {
+		if r == nil || r.deleted {
 			continue
 		}
 		cur.plan.DocsExamined++
@@ -253,11 +264,13 @@ func (c *Collection) openScan(filter *bson.Doc, opts FindOptions) (*Snapshot, []
 	if opts.Hint == "" && (len(snap.v.indexMeta) == 0 || filter == nil || filter.Len() == 0) {
 		return snap, nil, "", nil
 	}
+	snap.Release() // re-pinned under the lock below so records match the trees
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	snap = c.Snapshot() // re-pin under the lock so records match the trees
+	snap = c.Snapshot()
 	order, indexUsed, err := c.planLocked(filter, opts)
 	if err != nil {
+		snap.Release()
 		return nil, nil, "", err
 	}
 	return snap, order, indexUsed, nil
@@ -312,6 +325,7 @@ func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, er
 		cur.fill()
 		docs := append([]*bson.Doc(nil), cur.buf...)
 		plan := cur.plan
+		cur.Close() // the drain is done; unpin the scan's snapshot
 		plan.SortInMemory = true
 		plan.DocsReturned = 0
 		opts.Sort.Apply(docs)

@@ -121,6 +121,10 @@ func (c *Collection) FindWithPlan(filter *bson.Doc, opts FindOptions) ([]*bson.D
 	return docs, cur.Plan(), err
 }
 
+// idIndexName is the pseudo-index name a plan reports when the built-in id
+// map served it, mirroring the real server's implicit _id_ index.
+const idIndexName = "_id_"
+
 // planLocked chooses an access path for the filter: either nil (collection
 // scan) or the ordered record positions produced by the most selective usable
 // index. The caller holds the write mutex, so the shared index trees agree
@@ -131,7 +135,24 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 			return nil, "", &ErrUnknownIndex{Collection: c.name, Hint: opts.Hint}
 		}
 	}
-	if len(c.indexes) == 0 || filter == nil || filter.Len() == 0 {
+	if filter == nil || filter.Len() == 0 {
+		return nil, "", nil
+	}
+	// A bare _id equality is served straight from the id map — the access
+	// path of a single-document update stream. The position is a candidate
+	// like any index result: the caller's matcher re-verifies it, so the
+	// fast path can never widen or narrow the result set.
+	if opts.Hint == "" && filter.Len() == 1 {
+		if idv, ok := filter.Get(bson.IDKey); ok {
+			if _, isDoc := idv.(*bson.Doc); !isDoc {
+				if pos, exists := c.byID[idKey(bson.Normalize(idv))]; exists {
+					return []int{pos}, idIndexName, nil
+				}
+				return []int{}, idIndexName, nil
+			}
+		}
+	}
+	if len(c.indexes) == 0 {
 		return nil, "", nil
 	}
 	constraints := query.FieldConstraints(filter)

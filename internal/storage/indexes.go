@@ -30,9 +30,9 @@ func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, er
 		return nil, err
 	}
 	ix := index.New(name, spec, unique)
-	for i := range c.records {
-		r := &c.records[i]
-		if r.deleted {
+	for i := 0; i < c.length; i++ {
+		r := c.writerRecord(i)
+		if r == nil || r.deleted {
 			continue
 		}
 		if err := ix.Insert(r.doc, r.doc.ID()); err != nil {

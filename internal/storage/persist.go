@@ -42,9 +42,11 @@ type IndexMeta struct {
 }
 
 // WriteSnapshot writes every live document of the current committed version
-// to w. It is shorthand for Snapshot().WriteData(w).
+// to w. It pins a snapshot for the duration of the write and releases it.
 func (c *Collection) WriteSnapshot(w io.Writer) error {
-	return c.Snapshot().WriteData(w)
+	s := c.Snapshot()
+	defer s.Release()
+	return s.WriteData(w)
 }
 
 // ReadSnapshot loads documents from r into the collection, appending to its

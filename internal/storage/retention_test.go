@@ -1,0 +1,202 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/query"
+)
+
+// TestStuckCursorRetentionGauges is the stuck-cursor scenario the engine
+// gauges exist for: a client opens a cursor and stops draining it, a write
+// stream keeps publishing new versions, and the pinned snapshot silently
+// retains the superseded state. The gauges must make that retention visible
+// while the cursor lives, and the engine must reclaim the memory once the
+// cursor dies.
+func TestStuckCursorRetentionGauges(t *testing.T) {
+	c := NewCollection("events")
+	const docs = 2000
+	for i := 0; i < docs; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, fmt.Sprintf("doc-%d", i), "v", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The stuck cursor: opened, partially drained, never closed.
+	cur, err := c.FindCursor(nil, FindOptions{BatchSize: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cur.HasNext() {
+		t.Fatal("cursor empty")
+	}
+	if doc := cur.Next(); doc == nil {
+		t.Fatal("cursor returned no first document")
+	}
+
+	// A single-doc update stream: every batch publishes a fresh version the
+	// cursor's pin cannot observe but does keep alive.
+	const updates = 10000
+	for i := 1; i <= updates; i++ {
+		spec := query.UpdateSpec{
+			Query:  bson.D(bson.IDKey, "doc-0"),
+			Update: bson.D("$set", bson.D("v", i)),
+		}
+		res, err := c.Update(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Modified != 1 {
+			t.Fatalf("update %d modified %d docs, want 1", i, res.Modified)
+		}
+	}
+
+	st := c.EngineStats()
+	if st.LiveVersions < 2 {
+		t.Fatalf("LiveVersions = %d with a stuck cursor, want >= 2", st.LiveVersions)
+	}
+	if st.PinnedSnapshots < 1 {
+		t.Fatalf("PinnedSnapshots = %d with a stuck cursor, want >= 1", st.PinnedSnapshots)
+	}
+	if st.OldestPinAge <= 0 {
+		t.Fatalf("OldestPinAge = %v, want > 0: the pin predates %d published versions", st.OldestPinAge, updates)
+	}
+	if st.RetainedBytes <= 0 {
+		t.Fatalf("RetainedBytes = %d, want > 0: the pinned version holds %d docs", st.RetainedBytes, docs)
+	}
+	if st.COWBytesCopied <= 0 || st.PagesCopied <= 0 {
+		t.Fatalf("COWBytesCopied = %d, PagesCopied = %d after %d COW updates, want both > 0",
+			st.COWBytesCopied, st.PagesCopied, updates)
+	}
+	// The paging win: each update copied one page, not the collection. With
+	// docs spanning several pages, shared must dominate copied per batch.
+	if st.COWBytesShared <= st.COWBytesCopied {
+		t.Fatalf("COWBytesShared = %d <= COWBytesCopied = %d: page COW should share the untouched pages",
+			st.COWBytesShared, st.COWBytesCopied)
+	}
+
+	// The cursor dies; a full GC pass must reclaim the retained versions.
+	cur.Close()
+	c.GC()
+
+	st = c.EngineStats()
+	if st.LiveVersions != 1 {
+		t.Fatalf("LiveVersions = %d after cursor close + GC, want 1", st.LiveVersions)
+	}
+	if st.PinnedSnapshots != 0 {
+		t.Fatalf("PinnedSnapshots = %d after cursor close, want 0", st.PinnedSnapshots)
+	}
+	if st.OldestPinAge != 0 || st.RetainedBytes != 0 {
+		t.Fatalf("OldestPinAge = %v, RetainedBytes = %d after cursor close, want both zero",
+			st.OldestPinAge, st.RetainedBytes)
+	}
+	if st.ReclaimedBytes <= 0 || st.PagesRecycled <= 0 {
+		t.Fatalf("ReclaimedBytes = %d, PagesRecycled = %d after GC, want both > 0",
+			st.ReclaimedBytes, st.PagesRecycled)
+	}
+	c.mu.Lock()
+	retired := len(c.retired)
+	c.mu.Unlock()
+	if retired != 0 {
+		t.Fatalf("%d retired pages left after unpinned GC, want 0", retired)
+	}
+
+	// The collection itself is unharmed: the update stream's final value is
+	// what a fresh read sees.
+	doc := c.FindID("doc-0")
+	if doc == nil {
+		t.Fatal("doc-0 missing after update stream")
+	}
+	if v, _ := doc.Get("v"); v != int64(updates) && v != updates {
+		t.Fatalf("doc-0 v = %v after %d updates, want %d", v, updates, updates)
+	}
+}
+
+// TestStressPageBoundaryCOW hammers the records straddling page boundaries
+// with concurrent single-doc updates while readers scan and point-read the
+// collection. Each update sets two fields to the same value in one batch, so
+// any torn read — a scan observing a half-applied update across a page copy —
+// shows up as a mismatch. Run under -race in CI.
+func TestStressPageBoundaryCOW(t *testing.T) {
+	c := NewCollection("boundary")
+	const docs = 4*pageSize + 6 // a bit over four pages
+	for i := 0; i < docs; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, fmt.Sprintf("doc-%d", i), "v", 0, "check", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The positions on either side of every page edge, plus the first and
+	// last record.
+	var targets []string
+	for pi := 1; pi <= 4; pi++ {
+		edge := pi * pageSize
+		targets = append(targets, fmt.Sprintf("doc-%d", edge-1), fmt.Sprintf("doc-%d", edge))
+	}
+	targets = append(targets, "doc-0", fmt.Sprintf("doc-%d", docs-1))
+
+	const (
+		writers        = 4
+		readers        = 4
+		opsPerWriter   = 200
+		scansPerReader = 60
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 1; i <= opsPerWriter; i++ {
+				id := targets[(w+i)%len(targets)]
+				n := w*opsPerWriter + i
+				spec := query.UpdateSpec{
+					Query:  bson.D(bson.IDKey, id),
+					Update: bson.D("$set", bson.D("v", n, "check", n)),
+				}
+				if _, err := c.Update(spec); err != nil {
+					t.Errorf("update %s: %v", id, err)
+					return
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			for i := 0; i < scansPerReader; i++ {
+				if i%2 == 0 {
+					s := c.Snapshot()
+					seen := 0
+					s.Scan(func(doc *bson.Doc) bool {
+						seen++
+						v, _ := doc.Get("v")
+						chk, _ := doc.Get("check")
+						if v != chk {
+							t.Errorf("torn read: v = %v, check = %v", v, chk)
+						}
+						return true
+					})
+					s.Release()
+					if seen != docs {
+						t.Errorf("scan saw %d docs, want %d", seen, docs)
+					}
+					continue
+				}
+				id := targets[(r+i)%len(targets)]
+				doc := c.FindID(id)
+				if doc == nil {
+					t.Errorf("findID %s: missing", id)
+					continue
+				}
+				v, _ := doc.Get("v")
+				chk, _ := doc.Get("check")
+				if v != chk {
+					t.Errorf("torn point read %s: v = %v, check = %v", id, v, chk)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}

@@ -4,29 +4,62 @@ import (
 	"bufio"
 	"encoding/binary"
 	"io"
+	"sync/atomic"
 
 	"docstore/internal/bson"
 )
 
 // Snapshot is a pinned, immutable point-in-time view of a collection: the
-// read-side handle of the MVCC engine. Pinning costs one atomic load and no
-// locks; holding a snapshot never blocks writers, and concurrent commits,
-// compactions and drops are invisible to it. Everything reachable through a
-// snapshot — the record set, the document contents, the counters, the
-// journal watermark and the index definitions — describes the single
-// committed version that was current when the snapshot was taken.
+// read-side handle of the MVCC engine. Pinning costs two atomic adds and an
+// atomic load, and no locks; holding a snapshot never blocks writers, and
+// concurrent commits, compactions and drops are invisible to it. Everything
+// reachable through a snapshot — the record set, the document contents, the
+// counters, the journal watermark and the index definitions — describes the
+// single committed version that was current when the snapshot was taken.
 //
-// Snapshots are cheap, need no explicit release (the garbage collector
-// reclaims superseded versions once the last snapshot pinning them goes
-// away), and are safe for concurrent use by multiple goroutines.
+// Snapshots are registered with the engine's pin tracking: while one is
+// held, the version it pins (and every page reachable from it) is exempt
+// from page recycling, and the engine gauges report the retention (live
+// versions, oldest-pin age — see EngineStats). Call Release (or Close) when
+// done; Release is idempotent and safe to call concurrently. A snapshot that
+// is never released does not corrupt anything and its memory is still
+// reclaimed by Go's garbage collector once unreachable — the engine merely
+// loses the ability to recycle the pages it covered and the gauges keep
+// counting it until its version falls out of tracking.
 type Snapshot struct {
-	coll *Collection
-	v    *version
+	coll     *Collection
+	v        *version
+	released atomic.Bool
 }
 
-// Snapshot pins the collection's current committed version.
+// Snapshot pins the collection's current committed version. The pin gate
+// makes the pin race-free against page recycling: the GC recycles only while
+// no reader sits between loading the current version and registering the
+// pin.
 func (c *Collection) Snapshot() *Snapshot {
-	return &Snapshot{coll: c, v: c.current.Load()}
+	c.pinGate.Add(1)
+	v := c.current.Load()
+	v.pins.Add(1)
+	c.pinGate.Add(-1)
+	return &Snapshot{coll: c, v: v}
+}
+
+// Release unpins the snapshot, allowing the engine to recycle the pages its
+// version retained once no other snapshot covers them. It is idempotent and
+// safe for concurrent use; reads through an already-released snapshot remain
+// memory-safe (the version is immutable and garbage-collected), but may
+// observe recycled pages, so release only after the last read.
+func (s *Snapshot) Release() {
+	if s.released.Swap(true) {
+		return
+	}
+	s.v.pins.Add(-1)
+}
+
+// Close releases the snapshot; it exists so snapshots satisfy io.Closer.
+func (s *Snapshot) Close() error {
+	s.Release()
+	return nil
 }
 
 // Collection returns the name of the collection the snapshot was taken from.
@@ -61,17 +94,49 @@ func (s *Snapshot) Info() SnapshotInfo {
 	return SnapshotInfo{Count: s.v.count, LastLSN: s.v.lastLSN, Indexes: s.Indexes()}
 }
 
+// FindID returns the document with the given _id in the snapshot, or nil.
+// The lookup consults the version-owned id map and then scans the bounded
+// tail the map does not cover yet ([idMapLen, length)); it takes no locks.
+func (s *Snapshot) FindID(id any) *bson.Doc {
+	key := idKey(bson.Normalize(id))
+	v := s.v
+	if pos, ok := v.idMap[key]; ok && pos < v.length {
+		if r := v.record(pos); r != nil && !r.deleted && r.idKey == key {
+			return r.doc
+		}
+	}
+	// The map may miss a document inserted (or re-inserted after a delete)
+	// since its last rebuild; those all live past the rebuild watermark.
+	for pos := v.idMapLen; pos < v.length; pos++ {
+		if r := v.record(pos); r != nil && !r.deleted && r.idKey == key {
+			return r.doc
+		}
+	}
+	return nil
+}
+
 // Scan invokes fn for every live document in insertion order until fn
-// returns false. It is entirely lock-free.
+// returns false. It is entirely lock-free. Pages the engine GC reclaimed
+// (every slot tombstoned) are skipped wholesale.
 func (s *Snapshot) Scan(fn func(*bson.Doc) bool) {
 	s.coll.scans.Add(1)
-	recs := s.v.records
-	for i := range recs {
-		if recs[i].deleted {
+	v := s.v
+	for pi, base := 0, 0; base < v.length; pi, base = pi+1, base+pageSize {
+		p := v.pages[pi]
+		if p == nil {
 			continue
 		}
-		if !fn(recs[i].doc) {
-			return
+		end := v.length - base
+		if end > pageSize {
+			end = pageSize
+		}
+		for off := 0; off < end; off++ {
+			if p.recs[off].deleted {
+				continue
+			}
+			if !fn(p.recs[off].doc) {
+				return
+			}
 		}
 	}
 }
@@ -95,7 +160,6 @@ func (s *Snapshot) Docs() []*bson.Doc {
 // the disk write takes or how many writes commit meanwhile; checkpoints use
 // exactly this to stream collections without stalling the write path.
 func (s *Snapshot) WriteData(w io.Writer) error {
-	s.coll.scans.Add(1)
 	bw := bufio.NewWriter(w)
 	if _, err := bw.Write(snapshotMagic[:]); err != nil {
 		return err
@@ -105,14 +169,13 @@ func (s *Snapshot) WriteData(w io.Writer) error {
 	if _, err := bw.Write(countBuf); err != nil {
 		return err
 	}
-	recs := s.v.records
-	for i := range recs {
-		if recs[i].deleted {
-			continue
-		}
-		if _, err := bw.Write(bson.Marshal(recs[i].doc)); err != nil {
-			return err
-		}
+	var err error
+	s.Scan(func(d *bson.Doc) bool {
+		_, err = bw.Write(bson.Marshal(d))
+		return err == nil
+	})
+	if err != nil {
+		return err
 	}
 	return bw.Flush()
 }

@@ -14,37 +14,27 @@ type UpdateResult struct {
 }
 
 // Update applies an update specification: the four-parameter form (query,
-// update, upsert, multi) used throughout the thesis' algorithms.
+// update, upsert, multi) used throughout the thesis' algorithms. It is a
+// thin wrapper over BulkWrite — the engine has exactly one mutation code
+// path for journaling, COW page accounting and write-concern threading.
 func (c *Collection) Update(spec query.UpdateSpec) (UpdateResult, error) {
-	matcher, err := query.Compile(spec.Query)
-	if err != nil {
-		return UpdateResult{}, err
+	res := c.BulkWrite([]WriteOp{UpdateWriteOp(spec)}, BulkOptions{Ordered: true})
+	ur := UpdateResult{Matched: res.Matched, Modified: res.Modified}
+	if len(res.UpsertedIDs) > 0 {
+		ur.UpsertedID = res.UpsertedIDs[0]
 	}
-	c.mu.Lock()
-	commit, err := c.logLocked([]WriteOp{UpdateWriteOp(spec)}, true)
-	if err != nil {
-		c.mu.Unlock()
-		return UpdateResult{}, err
-	}
-	res, err := c.updateLocked(spec, matcher)
-	c.publishLocked()
-	c.mu.Unlock()
-	// Resolve the commit even on an apply error: the record was logged and
-	// the change-stream frontier needs its LSN notified.
-	werr := waitCommit(commit, false)
-	if err != nil {
-		return res, err
-	}
-	return res, werr
+	return ur, res.FirstError()
 }
 
 // updateLocked executes a pre-compiled update under the caller's write lock;
-// it is the shared implementation behind Update and BulkWrite.
+// it is the single implementation behind every update entry point (all of
+// which funnel through BulkWrite).
 //
 // MVCC discipline: a modified document is never mutated in place — the
-// update applies to a clone, which is then installed into the (privately
-// owned) record slot. Readers pinned to older versions keep observing the
-// pre-update document through their own frozen record slice.
+// update applies to a clone, which is then installed into the privately
+// owned page slot. Readers pinned to older versions keep observing the
+// pre-update document through their own frozen pages. Only the touched
+// pages are copied (ownSlotLocked), not the whole record store.
 func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher) (UpdateResult, error) {
 	var res UpdateResult
 
@@ -54,14 +44,14 @@ func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher)
 	// structurally impossible here (updates carry no hint).
 	positions, _, _ := c.planLocked(spec.Query, FindOptions{})
 	if positions == nil {
-		positions = make([]int, 0, len(c.records))
-		for i := range c.records {
+		positions = make([]int, 0, c.length)
+		for i := 0; i < c.length; i++ {
 			positions = append(positions, i)
 		}
 	}
 	for _, i := range positions {
-		r := &c.records[i]
-		if r.deleted || !matcher.Matches(r.doc) {
+		r := c.writerRecord(i)
+		if r == nil || r.deleted || !matcher.Matches(r.doc) {
 			continue
 		}
 		res.Matched++
@@ -76,10 +66,9 @@ func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher)
 				// Nothing was installed; the stored document is untouched.
 				return res, &ErrDocumentTooLarge{Size: newSize}
 			}
-			// First slot rewrite of the batch copies the shared record
-			// array; the copy relocates slots, so re-derive the pointer.
-			c.ensureOwnedLocked()
-			r = &c.records[i]
+			// First rewrite of this page in the batch copies it; the copy
+			// relocates the slot, so re-derive the pointer.
+			r = c.ownSlotLocked(i)
 			old := r.doc
 			r.doc = updated
 			c.dataSize += newSize - r.size
@@ -152,49 +141,42 @@ func (c *Collection) ReplaceContents(docs []*bson.Doc) error {
 }
 
 // Delete removes documents matching the filter. When multi is false only the
-// first match is removed. It returns the number of documents removed.
+// first match is removed. It returns the number of documents removed. Like
+// Update, it is a thin wrapper over BulkWrite.
 func (c *Collection) Delete(filter *bson.Doc, multi bool) (int, error) {
-	matcher, err := query.Compile(filter)
-	if err != nil {
-		return 0, err
-	}
-	c.mu.Lock()
-	commit, err := c.logLocked([]WriteOp{DeleteWriteOp(filter, multi)}, true)
-	if err != nil {
-		c.mu.Unlock()
-		return 0, err
-	}
-	removed := c.deleteLocked(matcher, multi)
-	c.maybeCompactLocked()
-	c.publishLocked()
-	c.mu.Unlock()
-	return removed, waitCommit(commit, false)
+	res := c.BulkWrite([]WriteOp{DeleteWriteOp(filter, multi)}, BulkOptions{Ordered: true})
+	return res.Deleted, res.FirstError()
 }
 
 // deleteLocked removes matching documents under the caller's write lock. It
 // never compacts; callers decide when to pay for compaction so a bulk of
 // deletes triggers at most one rewrite. Tombstoning rewrites record slots,
-// so the first removal of a batch takes the copy-on-write path; pinned
-// readers keep seeing the documents through their own frozen slices.
+// so the first removal in a page takes the copy-on-write path for that page;
+// pinned readers keep seeing the documents through their own frozen pages.
+// The tombstone drops its document reference — once no pinned version covers
+// the page, the document's memory is gone, and a fully tombstoned page is
+// nilled out of the spine by the incremental GC.
 func (c *Collection) deleteLocked(matcher *query.Matcher, multi bool) int {
 	removed := 0
-	for i := 0; i < len(c.records); i++ {
-		r := &c.records[i]
-		if r.deleted || !matcher.Matches(r.doc) {
+	for i := 0; i < c.length; i++ {
+		r := c.writerRecord(i)
+		if r == nil || r.deleted || !matcher.Matches(r.doc) {
 			continue
 		}
-		c.ensureOwnedLocked()
-		r = &c.records[i]
-		r.deleted = true
+		doc := r.doc
+		r = c.ownSlotLocked(i)
 		delete(c.byID, r.idKey)
-		id := r.doc.ID()
+		id := doc.ID()
 		for _, ix := range c.indexes {
-			ix.Remove(r.doc, id)
+			ix.Remove(doc, id)
 		}
 		c.count--
 		c.dataSize -= r.size
 		c.tombs++
 		removed++
+		r.deleted = true
+		r.doc = nil
+		c.pages[i>>pageShift].tombs++
 		if !multi {
 			break
 		}
@@ -202,9 +184,9 @@ func (c *Collection) deleteLocked(matcher *query.Matcher, multi bool) int {
 	return removed
 }
 
-// maybeCompactLocked rewrites the record array when tombstones dominate it.
+// maybeCompactLocked rewrites the record store when tombstones dominate it.
 func (c *Collection) maybeCompactLocked() {
-	if c.tombs > len(c.records)/2 && c.tombs > 64 {
+	if c.tombs > c.length/2 && c.tombs > 64 {
 		c.compactLocked()
 	}
 }

@@ -4,6 +4,7 @@ import (
 	"bufio"
 	"fmt"
 	"net"
+	"sort"
 	"sync"
 	"time"
 
@@ -75,8 +76,12 @@ type Server struct {
 // either a result iterator (find/aggregate) or a tailable change-stream
 // subscription.
 type openCursor struct {
-	it       aggregate.Iterator
-	sub      *changestream.Subscription
+	it  aggregate.Iterator
+	sub *changestream.Subscription
+	// ns is the cursor's target namespace ("db.collection"): serverStatus
+	// reports it so an operator can tell WHICH cursor is pinning a snapshot
+	// and retaining superseded MVCC versions.
+	ns       string
 	lastUsed time.Time
 	// inUse marks a change-stream cursor with a getMore in flight (the
 	// awaitData wait happens outside cursorMu): concurrent getMores are
@@ -204,6 +209,36 @@ func (s *Server) OpenCursors() int {
 	return len(s.cursors)
 }
 
+// cursorStats renders every open server-side cursor for serverStatus: its
+// id, target namespace, idle age and kind. Each open result cursor pins a
+// storage snapshot, so this list is the set of suspects when the engine
+// gauges show a version being retained.
+func (s *Server) cursorStats() []any {
+	now := s.now()
+	s.cursorMu.Lock()
+	ids := make([]int64, 0, len(s.cursors))
+	for id := range s.cursors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]any, 0, len(ids))
+	for _, id := range ids {
+		oc := s.cursors[id]
+		kind := "result"
+		if oc.sub != nil {
+			kind = "changeStream"
+		}
+		out = append(out, bson.D(
+			"cursorId", id,
+			"ns", oc.ns,
+			"kind", kind,
+			"idleMS", now.Sub(oc.lastUsed).Milliseconds(),
+		))
+	}
+	s.cursorMu.Unlock()
+	return out
+}
+
 // pullBatch reads up to n documents from the iterator.
 func pullBatch(it aggregate.Iterator, n int) ([]*bson.Doc, error) {
 	docs := make([]*bson.Doc, 0, n)
@@ -219,7 +254,7 @@ func pullBatch(it aggregate.Iterator, n int) ([]*bson.Doc, error) {
 
 // cursorResponse serves the first batch of a cursor request and registers
 // the cursor when it may have more to give.
-func (s *Server) cursorResponse(it aggregate.Iterator, batchSize int) *Response {
+func (s *Server) cursorResponse(ns string, it aggregate.Iterator, batchSize int) *Response {
 	docs, err := pullBatch(it, batchSize)
 	if err != nil {
 		it.Close()
@@ -227,7 +262,7 @@ func (s *Server) cursorResponse(it aggregate.Iterator, batchSize int) *Response 
 	}
 	resp := &Response{OK: true, Docs: docs, N: int64(len(docs))}
 	if len(docs) == batchSize {
-		resp.CursorID = s.registerCursor(&openCursor{it: it})
+		resp.CursorID = s.registerCursor(&openCursor{it: it, ns: ns})
 	} else {
 		it.Close()
 	}
@@ -439,7 +474,7 @@ func (s *Server) Handle(req *Request) *Response {
 			if err != nil {
 				return &Response{Error: err.Error()}
 			}
-			return s.cursorResponse(mongod.Iter(cur), req.BatchSize)
+			return s.cursorResponse(req.DB+"."+req.Collection, mongod.Iter(cur), req.BatchSize)
 		}
 		docs, err := db.Find(req.Collection, req.Filter, opts)
 		if err != nil {
@@ -495,7 +530,7 @@ func (s *Server) Handle(req *Request) *Response {
 			if err != nil {
 				return &Response{Error: err.Error()}
 			}
-			return s.cursorResponse(it, req.BatchSize)
+			return s.cursorResponse(req.DB+"."+req.Collection, it, req.BatchSize)
 		}
 		docs, err := db.Aggregate(req.Collection, req.Docs)
 		if err != nil {
@@ -522,7 +557,7 @@ func (s *Server) Handle(req *Request) *Response {
 			sub.Close()
 			return &Response{Error: err.Error()}
 		}
-		id := s.registerCursor(&openCursor{sub: sub})
+		id := s.registerCursor(&openCursor{sub: sub, ns: req.DB + "." + req.Collection})
 		return &Response{OK: true, Docs: docs, N: int64(len(docs)), CursorID: id, ResumeToken: sub.ResumeToken()}
 	case OpGetMore:
 		oc, ok := s.getMoreCursor(req.CursorID)
@@ -603,6 +638,25 @@ func (s *Server) Handle(req *Request) *Response {
 				"slowConsumers", cs.SlowConsumers,
 			))
 		}
+		// The MVCC engine's memory-economics gauges, plus every open
+		// server-side cursor with its namespace and idle age: together they
+		// answer "which cursor is retaining memory" — a cursor on the
+		// namespace whose gauges show old pins and retained bytes is the
+		// one holding superseded versions alive.
+		doc.Set("engine", bson.D(
+			"liveVersions", st.Engine.LiveVersions,
+			"pinnedSnapshots", st.Engine.PinnedSnapshots,
+			"oldestPinAgeMS", st.Engine.OldestPinAge.Milliseconds(),
+			"retainedBytes", st.Engine.RetainedBytes,
+			"pages", st.Engine.Pages,
+			"pageSizeRecords", st.Engine.PageSizeRecords,
+			"cowBytesCopied", st.Engine.COWBytesCopied,
+			"cowBytesShared", st.Engine.COWBytesShared,
+			"reclaimedBytes", st.Engine.ReclaimedBytes,
+			"pagesCopied", st.Engine.PagesCopied,
+			"pagesRecycled", st.Engine.PagesRecycled,
+		))
+		doc.Set("openCursors", s.cursorStats())
 		return &Response{OK: true, Docs: []*bson.Doc{doc}, N: 1}
 	default:
 		return &Response{Error: fmt.Sprintf("unknown op %q", req.Op)}
