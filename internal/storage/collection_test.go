@@ -667,6 +667,75 @@ func TestIndexChoicePrefersPointOverRange(t *testing.T) {
 	}
 }
 
+// TestBareIDFindFastPathWithoutSecondaryIndexes pins the cursor-layer _id
+// fast path: a bare {_id: x} find must be a point lookup through the pinned
+// snapshot's id map even when the collection has no secondary indexes (the
+// shape where openScan used to short-circuit into a full collection scan).
+func TestBareIDFindFastPathWithoutSecondaryIndexes(t *testing.T) {
+	c := NewCollection("t")
+	for i := 0; i < 100; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, i, "a", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	docs, plan, err := c.FindWithPlan(bson.D(bson.IDKey, 42), FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 {
+		t.Fatalf("got %d docs, want 1", len(docs))
+	}
+	if a, _ := docs[0].Get("a"); a != int64(42) && a != 42 {
+		t.Fatalf("doc a = %v, want 42", a)
+	}
+	if plan.IndexUsed != idIndexName {
+		t.Fatalf("IndexUsed = %q, want %q", plan.IndexUsed, idIndexName)
+	}
+	if plan.DocsExamined != 1 {
+		t.Fatalf("DocsExamined = %d, want 1", plan.DocsExamined)
+	}
+
+	// A missing _id examines nothing.
+	docs, plan, err = c.FindWithPlan(bson.D(bson.IDKey, 4242), FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 0 || plan.IndexUsed != idIndexName || plan.DocsExamined != 0 {
+		t.Fatalf("miss: %d docs via %q, examined %d; want 0 via %q examining 0",
+			len(docs), plan.IndexUsed, plan.DocsExamined, idIndexName)
+	}
+
+	// An operator document on _id is not a point lookup; it scans.
+	docs, plan, err = c.FindWithPlan(bson.D(bson.IDKey, bson.D("$gte", 98)), FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 2 || plan.IndexUsed != "" {
+		t.Fatalf("range: %d docs via %q, want 2 via COLLSCAN", len(docs), plan.IndexUsed)
+	}
+
+	// The fast path survives the stale-id-map shape: a delete + reinsert
+	// leaves the map pointing at the tombstone while the live document sits
+	// in the uncovered tail.
+	if ok, err := c.DeleteID(42); err != nil || !ok {
+		t.Fatalf("DeleteID(42) = %v, %v", ok, err)
+	}
+	if _, err := c.Insert(bson.D(bson.IDKey, 42, "a", 999)); err != nil {
+		t.Fatal(err)
+	}
+	docs, plan, err = c.FindWithPlan(bson.D(bson.IDKey, 42), FindOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(docs) != 1 || plan.IndexUsed != idIndexName {
+		t.Fatalf("reinsert: %d docs via %q, want 1 via %q", len(docs), plan.IndexUsed, idIndexName)
+	}
+	if a, _ := docs[0].Get("a"); a != int64(999) && a != 999 {
+		t.Fatalf("reinserted doc a = %v, want 999", a)
+	}
+}
+
 func TestIndexPlannerFallsBackToCollScanWithoutConstraints(t *testing.T) {
 	c := NewCollection("t")
 	for i := 0; i < 10; i++ {

@@ -253,15 +253,34 @@ func (cur *Cursor) fill() {
 // openScan pins the snapshot a cursor will read and plans its access path.
 // Queries that cannot use an index — no filter constraints, no secondary
 // indexes at pin time, no hint — pin the current version with a single
-// atomic load and never touch the writer mutex. Queries that consult an
-// index instead plan under the writer mutex: inside it the shared index
-// trees and the published version are guaranteed to agree (writers publish
-// before unlocking), so the position list is computed against exactly the
-// pinned records and index scans get the same point-in-time isolation as
+// atomic load and never touch the writer mutex, and a bare _id equality is
+// served straight from the pinned version's own id map, also lock-free
+// (whether or not secondary indexes exist — no secondary index can beat the
+// implicit _id_ point lookup). Queries that consult a secondary index
+// instead plan under the writer mutex: inside it the shared index trees and
+// the published version are guaranteed to agree (writers publish before
+// unlocking), so the position list is computed against exactly the pinned
+// records and index scans get the same point-in-time isolation as
 // collection scans.
 func (c *Collection) openScan(filter *bson.Doc, opts FindOptions) (*Snapshot, []int, string, error) {
 	snap := c.Snapshot()
-	if opts.Hint == "" && (len(snap.v.indexMeta) == 0 || filter == nil || filter.Len() == 0) {
+	if opts.Hint == "" && (filter == nil || filter.Len() == 0) {
+		return snap, nil, "", nil
+	}
+	if opts.Hint == "" && filter.Len() == 1 {
+		if idv, ok := filter.Get(bson.IDKey); ok {
+			if _, isDoc := idv.(*bson.Doc); !isDoc {
+				// The position is a candidate like any index result: the
+				// cursor's matcher re-verifies it, so this can never widen or
+				// narrow the result set.
+				if pos := snap.v.idPos(idKey(bson.Normalize(idv))); pos >= 0 {
+					return snap, []int{pos}, idIndexName, nil
+				}
+				return snap, []int{}, idIndexName, nil
+			}
+		}
+	}
+	if opts.Hint == "" && len(snap.v.indexMeta) == 0 {
 		return snap, nil, "", nil
 	}
 	snap.Release() // re-pinned under the lock below so records match the trees

@@ -236,65 +236,76 @@ func (c *Collection) appendSlotLocked() *record {
 func (c *Collection) gcLocked() {
 	cur := c.current.Load()
 
-	// Prune the live-version list and find the oldest pinned version.
-	minPinned := int64(math.MaxInt64)
-	keep := c.live[:0]
-	for _, v := range c.live {
-		if v != cur && v.pins.Load() <= 0 {
-			continue
-		}
-		if v != cur && v.seq < minPinned {
-			minPinned = v.seq
-		}
-		keep = append(keep, v)
-	}
-	for i := len(keep); i < len(c.live); i++ {
-		c.live[i] = nil
-	}
-	c.live = keep
-	if len(c.live) > maxTrackedVersions {
-		// A long-lived (or leaked) pin backlog: stop tracking the oldest
-		// versions. Pages they reference must never be recycled, so remember
-		// the oldest untracked seq as a permanent recycling floor.
-		drop := len(c.live) - maxTrackedVersions
-		for _, v := range c.live[:drop] {
-			if v != cur && v.seq < c.untrackedPinSeq {
-				c.untrackedPinSeq = v.seq
-			}
-		}
-		c.live = append(c.live[:0], c.live[drop:]...)
-	}
-	if c.untrackedPinSeq < minPinned {
-		minPinned = c.untrackedPinSeq
-	}
-
-	// Recycle retired pages below every pin. The pin gate closes the window
-	// where a reader has loaded the current pointer but not yet registered
-	// its pin: while any reader is inside it, recycling waits for the next
-	// batch.
-	if len(c.retired) > 0 && c.pinGate.Load() == 0 {
-		keepR := c.retired[:0]
-		for _, e := range c.retired {
-			if e.seq >= minPinned {
-				keepR = append(keepR, e)
+	// The pin gate closes the window where a reader has loaded the current
+	// pointer but not yet registered its pin: a version that the reader is
+	// about to pin still shows zero pins, so while any reader is inside the
+	// gate, BOTH the live-list prune and page recycling wait for a later
+	// batch. (Pruning alone would already be unsafe: once a version is
+	// dropped from tracking, the next GC computes minPinned without it and
+	// recycles pages its late-registered pin still reads.) Once the gate is
+	// observed closed here — under mu, after the writer published — every
+	// in-flight pin is registered and pins.Load() is trustworthy; readers
+	// that enter the gate afterwards can only pin cur, which is never pruned
+	// and references no retired page.
+	if c.pinGate.Load() == 0 {
+		// Prune the live-version list and find the oldest pinned version.
+		minPinned := int64(math.MaxInt64)
+		keep := c.live[:0]
+		for _, v := range c.live {
+			if v != cur && v.pins.Load() <= 0 {
 				continue
 			}
-			c.reclaimedBytes.Add(e.bytes)
-			if e.p != nil {
-				c.pagesRecycled.Add(1)
-				if len(c.freePages) < maxFreePages {
-					*e.p = page{} // drop document references before reuse
-					c.freePages = append(c.freePages, e.p)
-				}
-			} else if len(c.freeSpines) < maxFreeSpines {
-				clear(e.spine)
-				c.freeSpines = append(c.freeSpines, e.spine[:0])
+			if v != cur && v.seq < minPinned {
+				minPinned = v.seq
 			}
+			keep = append(keep, v)
 		}
-		for i := len(keepR); i < len(c.retired); i++ {
-			c.retired[i] = retiredPage{}
+		for i := len(keep); i < len(c.live); i++ {
+			c.live[i] = nil
 		}
-		c.retired = keepR
+		c.live = keep
+		if len(c.live) > maxTrackedVersions {
+			// A long-lived (or leaked) pin backlog: stop tracking the oldest
+			// versions. Pages they reference must never be recycled, so
+			// remember the oldest untracked seq as a permanent recycling
+			// floor.
+			drop := len(c.live) - maxTrackedVersions
+			for _, v := range c.live[:drop] {
+				if v != cur && v.seq < c.untrackedPinSeq {
+					c.untrackedPinSeq = v.seq
+				}
+			}
+			c.live = append(c.live[:0], c.live[drop:]...)
+		}
+		if c.untrackedPinSeq < minPinned {
+			minPinned = c.untrackedPinSeq
+		}
+
+		// Recycle retired pages below every pin.
+		if len(c.retired) > 0 {
+			keepR := c.retired[:0]
+			for _, e := range c.retired {
+				if e.seq >= minPinned {
+					keepR = append(keepR, e)
+					continue
+				}
+				c.reclaimedBytes.Add(e.bytes)
+				if e.p != nil {
+					c.pagesRecycled.Add(1)
+					if len(c.freePages) < maxFreePages {
+						*e.p = page{} // drop document references before reuse
+						c.freePages = append(c.freePages, e.p)
+					}
+				} else if len(c.freeSpines) < maxFreeSpines {
+					clear(e.spine)
+					c.freeSpines = append(c.freeSpines, e.spine[:0])
+				}
+			}
+			for i := len(keepR); i < len(c.retired); i++ {
+				c.retired[i] = retiredPage{}
+			}
+			c.retired = keepR
+		}
 	}
 
 	// Incremental tombstone-run GC: walk a few pages per batch and nil out

@@ -200,3 +200,87 @@ func TestStressPageBoundaryCOW(t *testing.T) {
 	}
 	wg.Wait()
 }
+
+// TestGCPruneHonorsPinGate reproduces the reader-vs-GC race the pin gate
+// exists for, deterministically: a reader stalls between loading the current
+// version and registering its pin (the two steps of Snapshot) while writers
+// publish past it. The GC must neither drop the stalled reader's version
+// from tracking nor recycle pages while the gate is open — pruning it would
+// let a later GC compute the pin floor without the late-registered pin and
+// hand pages the snapshot still reads to the free list.
+func TestGCPruneHonorsPinGate(t *testing.T) {
+	c := NewCollection("gate")
+	const docs = 3 * pageSize
+	for i := 0; i < docs; i++ {
+		if _, err := c.Insert(bson.D(bson.IDKey, fmt.Sprintf("doc-%d", i), "v", 0)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// The stalled reader: inside the gate, current loaded, pin not yet
+	// registered.
+	c.pinGate.Add(1)
+	old := c.current.Load()
+
+	// Writers publish past it; every publish runs gcLocked, and the stalled
+	// reader's version shows zero pins throughout.
+	for i := 1; i <= 50; i++ {
+		spec := query.UpdateSpec{
+			Query:  bson.D(bson.IDKey, "doc-0"),
+			Update: bson.D("$set", bson.D("v", i)),
+		}
+		if _, err := c.Update(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	c.mu.Lock()
+	tracked := false
+	for _, v := range c.live {
+		if v == old {
+			tracked = true
+			break
+		}
+	}
+	c.mu.Unlock()
+	if !tracked {
+		t.Fatal("zero-pin version was pruned from tracking while a reader was inside the pin gate")
+	}
+
+	// The reader resumes: pin registered, gate left.
+	old.pins.Add(1)
+	c.pinGate.Add(-1)
+	snap := &Snapshot{coll: c, v: old}
+
+	// With the gate closed, rewrite every page and run a full GC with the
+	// late-registered pin now the oldest: the pages it reads must survive
+	// recycling.
+	for i := 0; i < docs; i++ {
+		spec := query.UpdateSpec{
+			Query:  bson.D(bson.IDKey, fmt.Sprintf("doc-%d", i)),
+			Update: bson.D("$set", bson.D("v", -1)),
+		}
+		if _, err := c.Update(spec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c.GC()
+
+	for i := 0; i < docs; i++ {
+		doc := snap.FindID(fmt.Sprintf("doc-%d", i))
+		if doc == nil {
+			t.Fatalf("doc-%d vanished from the pinned snapshot", i)
+		}
+		if v, _ := doc.Get("v"); v != int64(0) && v != 0 {
+			t.Fatalf("doc-%d v = %v through the pinned snapshot, want the pre-update 0", i, v)
+		}
+	}
+
+	snap.Release()
+	c.GC()
+	st := c.EngineStats()
+	if st.LiveVersions != 1 || st.PinnedSnapshots != 0 {
+		t.Fatalf("LiveVersions = %d, PinnedSnapshots = %d after release + GC, want 1 and 0",
+			st.LiveVersions, st.PinnedSnapshots)
+	}
+}

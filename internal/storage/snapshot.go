@@ -94,25 +94,34 @@ func (s *Snapshot) Info() SnapshotInfo {
 	return SnapshotInfo{Count: s.v.count, LastLSN: s.v.lastLSN, Indexes: s.Indexes()}
 }
 
-// FindID returns the document with the given _id in the snapshot, or nil.
-// The lookup consults the version-owned id map and then scans the bounded
-// tail the map does not cover yet ([idMapLen, length)); it takes no locks.
-func (s *Snapshot) FindID(id any) *bson.Doc {
-	key := idKey(bson.Normalize(id))
-	v := s.v
+// idPos returns the record position of the live document with the given id
+// key, or -1. The lookup consults the version-owned id map and then scans the
+// bounded tail the map does not cover yet ([idMapLen, length)); it takes no
+// locks.
+func (v *version) idPos(key string) int {
 	if pos, ok := v.idMap[key]; ok && pos < v.length {
 		if r := v.record(pos); r != nil && !r.deleted && r.idKey == key {
-			return r.doc
+			return pos
 		}
 	}
 	// The map may miss a document inserted (or re-inserted after a delete)
 	// since its last rebuild; those all live past the rebuild watermark.
 	for pos := v.idMapLen; pos < v.length; pos++ {
 		if r := v.record(pos); r != nil && !r.deleted && r.idKey == key {
-			return r.doc
+			return pos
 		}
 	}
-	return nil
+	return -1
+}
+
+// FindID returns the document with the given _id in the snapshot, or nil; it
+// takes no locks (see version.idPos).
+func (s *Snapshot) FindID(id any) *bson.Doc {
+	pos := s.v.idPos(idKey(bson.Normalize(id)))
+	if pos < 0 {
+		return nil
+	}
+	return s.v.record(pos).doc
 }
 
 // Scan invokes fn for every live document in insertion order until fn
