@@ -3,13 +3,13 @@ package main
 import (
 	"fmt"
 	"os"
-	"sort"
 	"strconv"
 	"strings"
 	"sync"
 	"time"
 
 	"docstore/internal/bson"
+	"docstore/internal/metrics"
 	"docstore/internal/mongod"
 	"docstore/internal/mongos"
 	"docstore/internal/replset"
@@ -48,11 +48,11 @@ func runSweep(cfg sweepConfig) error {
 					continue
 				}
 				for _, t := range cfg.threads {
-					lat, err := runSweepCell(t, m, s, wc, cfg.requests)
+					snap, err := runSweepCell(t, m, s, wc, cfg.requests)
 					if err != nil {
 						return fmt.Errorf("cell t%d/m%d/wc%s/s%d: %w", t, m, wcName, s, err)
 					}
-					printSweepLine(t, m, wcName, s, lat)
+					printSweepLine(t, m, wcName, s, snap)
 				}
 			}
 		}
@@ -62,8 +62,12 @@ func runSweep(cfg sweepConfig) error {
 
 // runSweepCell builds s replica sets of m members each (WAL-backed oplogs,
 // so j:true measures a real fsync), fans requests across t writer
-// goroutines, and returns every request's acknowledged latency.
-func runSweepCell(threads, members, shards int, wc storage.WriteConcern, requests int) ([]time.Duration, error) {
+// goroutines, and returns the acknowledged-latency histogram: all writers
+// record into one lock-free metrics.Histogram — the same structure the
+// server's /metrics endpoint exports — so the harness and production agree
+// on how percentiles are computed.
+func runSweepCell(threads, members, shards int, wc storage.WriteConcern, requests int) (metrics.HistogramSnapshot, error) {
+	var none metrics.HistogramSnapshot
 	sets := make([]*replset.ReplicaSet, shards)
 	for si := range sets {
 		ms := make([]*mongod.Server, members)
@@ -72,16 +76,16 @@ func runSweepCell(threads, members, shards int, wc storage.WriteConcern, request
 		}
 		rs, err := replset.New(fmt.Sprintf("rs%d", si), ms...)
 		if err != nil {
-			return nil, err
+			return none, err
 		}
 		dir, err := os.MkdirTemp("", "bench-oplog-")
 		if err != nil {
-			return nil, err
+			return none, err
 		}
 		defer os.RemoveAll(dir)
 		w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncGroupCommit})
 		if err != nil {
-			return nil, err
+			return none, err
 		}
 		defer w.Close()
 		rs.AttachWAL(w)
@@ -101,7 +105,7 @@ func runSweepCell(threads, members, shards int, wc storage.WriteConcern, request
 			router.AddReplicaShard(fmt.Sprintf("shard%d", si), rs)
 		}
 		if _, err := router.EnableSharding("bench", "writes", bson.D("k", 1), 1<<20); err != nil {
-			return nil, err
+			return none, err
 		}
 		write = func(id int) storage.BulkResult {
 			doc := bson.D(bson.IDKey, id, "k", id, "payload", "0123456789abcdef")
@@ -114,37 +118,31 @@ func runSweepCell(threads, members, shards int, wc storage.WriteConcern, request
 	if perThread == 0 {
 		perThread = 1
 	}
-	durations := make([][]time.Duration, threads)
+	var hist metrics.Histogram
 	errs := make(chan error, threads)
 	var wg sync.WaitGroup
 	for t := 0; t < threads; t++ {
 		wg.Add(1)
 		go func(t int) {
 			defer wg.Done()
-			lat := make([]time.Duration, 0, perThread)
 			for j := 0; j < perThread; j++ {
 				id := t*perThread + j
 				start := time.Now()
 				res := write(id)
-				lat = append(lat, time.Since(start))
+				hist.Observe(time.Since(start))
 				if err := res.FirstError(); err != nil {
 					errs <- fmt.Errorf("request %d: %w", id, err)
 					return
 				}
 			}
-			durations[t] = lat
 		}(t)
 	}
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		return nil, err
+		return none, err
 	}
-	var all []time.Duration
-	for _, lat := range durations {
-		all = append(all, lat...)
-	}
-	return all, nil
+	return hist.Snapshot(), nil
 }
 
 // parseSweepConcern decodes a sweep cell's concern name: w<N> or majority,
@@ -171,28 +169,11 @@ func parseSweepConcern(name string) (storage.WriteConcern, error) {
 	return wc, nil
 }
 
-func printSweepLine(threads, members int, wcName string, shards int, lat []time.Duration) {
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	var sum time.Duration
-	for _, d := range lat {
-		sum += d
-	}
-	mean := float64(sum.Nanoseconds()) / float64(len(lat))
-	fmt.Printf("BenchmarkWriteConcernSweep/t%d/m%d/wc%s/s%d \t%d\t%.0f ns/op\t%.0f p50-ns/op\t%.0f p99-ns/op\t%.0f p999-ns/op\n",
-		threads, members, wcName, shards, len(lat), mean,
-		percentile(lat, 0.50), percentile(lat, 0.99), percentile(lat, 0.999))
-}
-
-// percentile reads the q-quantile from an ascending latency slice.
-func percentile(sorted []time.Duration, q float64) float64 {
-	if len(sorted) == 0 {
-		return 0
-	}
-	i := int(q * float64(len(sorted)))
-	if i >= len(sorted) {
-		i = len(sorted) - 1
-	}
-	return float64(sorted[i].Nanoseconds())
+func printSweepLine(threads, members int, wcName string, shards int, snap metrics.HistogramSnapshot) {
+	fmt.Printf("BenchmarkWriteConcernSweep/t%d/m%d/wc%s/s%d \t%d\t%d ns/op\t%d p50-ns/op\t%d p99-ns/op\t%d p999-ns/op\n",
+		threads, members, wcName, shards, snap.Count,
+		snap.Mean().Nanoseconds(),
+		snap.P50().Nanoseconds(), snap.P99().Nanoseconds(), snap.P999().Nanoseconds())
 }
 
 // parseIntList splits a comma-separated list of positive integers.

@@ -2,10 +2,10 @@ package main
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"docstore/internal/bson"
+	"docstore/internal/metrics"
 	"docstore/internal/mongod"
 	"docstore/internal/query"
 	"docstore/internal/replset"
@@ -61,17 +61,17 @@ func updateStreamStandalone(cfg updateStreamConfig) error {
 	if res := c.BulkWrite(updateStreamSeed(cfg.docs), storage.BulkOptions{}); res.FirstError() != nil {
 		return fmt.Errorf("seeding %d docs: %w", cfg.docs, res.FirstError())
 	}
-	lat := make([]time.Duration, 0, cfg.ops)
+	var hist metrics.Histogram
 	for i := 0; i < cfg.ops; i++ {
 		start := time.Now()
 		res := c.BulkWrite(updateStreamOp(i, cfg.docs), storage.BulkOptions{})
-		lat = append(lat, time.Since(start))
+		hist.Observe(time.Since(start))
 		if err := res.FirstError(); err != nil {
 			return fmt.Errorf("update %d: %w", i, err)
 		}
 	}
 	st := c.EngineStats()
-	printUpdateStreamLine(fmt.Sprintf("BenchmarkUpdateStreamStandalone/docs%d", cfg.docs), lat, &st)
+	printUpdateStreamLine(fmt.Sprintf("BenchmarkUpdateStreamStandalone/docs%d", cfg.docs), hist.Snapshot(), &st)
 	return nil
 }
 
@@ -92,31 +92,25 @@ func updateStreamReplSet(cfg updateStreamConfig) error {
 		storage.BulkOptions{WriteConcern: wc}); res.FirstError() != nil {
 		return fmt.Errorf("seeding %d docs: %w", cfg.docs, res.FirstError())
 	}
-	lat := make([]time.Duration, 0, cfg.ops)
+	var hist metrics.Histogram
 	for i := 0; i < cfg.ops; i++ {
 		start := time.Now()
 		res := rs.BulkWrite("bench", "stream", updateStreamOp(i, cfg.docs), storage.BulkOptions{WriteConcern: wc})
-		lat = append(lat, time.Since(start))
+		hist.Observe(time.Since(start))
 		if err := res.FirstError(); err != nil {
 			return fmt.Errorf("update %d: %w", i, err)
 		}
 	}
 	// The primary's engine gauges carry the apply path's COW economics.
 	st := rs.Primary().Status().Engine
-	printUpdateStreamLine(fmt.Sprintf("BenchmarkUpdateStreamReplSetApply/m3/docs%d", cfg.docs), lat, &st)
+	printUpdateStreamLine(fmt.Sprintf("BenchmarkUpdateStreamReplSetApply/m3/docs%d", cfg.docs), hist.Snapshot(), &st)
 	return nil
 }
 
-func printUpdateStreamLine(name string, lat []time.Duration, st *storage.EngineStats) {
-	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
-	var sum time.Duration
-	for _, d := range lat {
-		sum += d
-	}
-	mean := float64(sum.Nanoseconds()) / float64(len(lat))
-	fmt.Printf("%s \t%d\t%.0f ns/op\t%.0f p50-ns/op\t%.0f p99-ns/op\t%.0f cow-copied-B/op\t%.0f reclaimed-B/op\n",
-		name, len(lat), mean,
-		percentile(lat, 0.50), percentile(lat, 0.99),
-		float64(st.COWBytesCopied)/float64(len(lat)),
-		float64(st.ReclaimedBytes)/float64(len(lat)))
+func printUpdateStreamLine(name string, snap metrics.HistogramSnapshot, st *storage.EngineStats) {
+	fmt.Printf("%s \t%d\t%d ns/op\t%d p50-ns/op\t%d p99-ns/op\t%.0f cow-copied-B/op\t%.0f reclaimed-B/op\n",
+		name, snap.Count, snap.Mean().Nanoseconds(),
+		snap.P50().Nanoseconds(), snap.P99().Nanoseconds(),
+		float64(st.COWBytesCopied)/float64(snap.Count),
+		float64(st.ReclaimedBytes)/float64(snap.Count))
 }

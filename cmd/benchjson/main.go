@@ -79,9 +79,15 @@ func parseBench(r io.Reader) (*Summary, error) {
 	return sum, scanner.Err()
 }
 
+// tailMetrics are the histogram-backed latency percentiles emitted by
+// cmd/bench (the write-concern sweep and the update-stream mode), compared
+// when -p99-threshold is set. p50 catches a shifted body that tail noise
+// would mask; p999 catches tail collapse the median would mask.
+var tailMetrics = []string{"p50-ns/op", "p99-ns/op", "p999-ns/op"}
+
 // compare warns about benchmarks whose B/op or ns/op grew beyond threshold
-// times the baseline — and, when p99Threshold > 0, whose p99-ns/op tail
-// metric (emitted by the write-concern sweep) did the same — and returns the
+// times the baseline — and, when p99Threshold > 0, whose latency-percentile
+// tail metrics (emitted by cmd/bench) did the same — and returns the
 // number of regressions. B/op is the stable signal (allocation profiles
 // barely jitter); ns/op and the latency percentiles are noisier — especially
 // at -benchtime=1x — which is why the comparison is fail-soft by default.
@@ -112,11 +118,17 @@ func compare(w io.Writer, baseline, current *Summary, threshold, p99Threshold fl
 					name, ratio, base.NsPerOp, cur.NsPerOp)
 			}
 		}
-		if baseP99 := base.Metrics["p99-ns/op"]; p99Threshold > 0 && baseP99 > 0 {
-			if ratio := cur.Metrics["p99-ns/op"] / baseP99; ratio > p99Threshold {
-				regressions++
-				fmt.Fprintf(w, "WARN: %s p99-ns/op regressed %.2fx (%.0f -> %.0f)\n",
-					name, ratio, baseP99, cur.Metrics["p99-ns/op"])
+		if p99Threshold > 0 {
+			for _, metric := range tailMetrics {
+				baseTail := base.Metrics[metric]
+				if baseTail <= 0 {
+					continue
+				}
+				if ratio := cur.Metrics[metric] / baseTail; ratio > p99Threshold {
+					regressions++
+					fmt.Fprintf(w, "WARN: %s %s regressed %.2fx (%.0f -> %.0f)\n",
+						name, metric, ratio, baseTail, cur.Metrics[metric])
+				}
 			}
 		}
 	}
@@ -128,7 +140,7 @@ func run() error {
 	out := flag.String("out", "", "JSON summary to write")
 	baselinePath := flag.String("baseline", "", "previous JSON summary to compare against")
 	threshold := flag.Float64("threshold", 2.0, "warn when B/op or ns/op exceeds threshold x baseline")
-	p99Threshold := flag.Float64("p99-threshold", 0, "also warn when the p99-ns/op tail metric exceeds this x baseline (0 = off)")
+	p99Threshold := flag.Float64("p99-threshold", 0, "also warn when a latency percentile metric (p50/p99/p999-ns/op) exceeds this x baseline (0 = off)")
 	strict := flag.Bool("strict", false, "exit non-zero on regressions instead of warning")
 	flag.Parse()
 

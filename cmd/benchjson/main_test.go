@@ -106,3 +106,24 @@ func TestCompareFlagsP99Regressions(t *testing.T) {
 		t.Fatalf("warning output: %q", buf.String())
 	}
 }
+
+func TestCompareFlagsAllTailPercentiles(t *testing.T) {
+	baseline := &Summary{Benchmarks: map[string]Bench{
+		"Sweep": {Metrics: map[string]float64{"p50-ns/op": 1000, "p99-ns/op": 5000, "p999-ns/op": 9000}},
+	}}
+	current := &Summary{Benchmarks: map[string]Bench{
+		// p50 and p999 regress past 2x; p99 stays inside the band.
+		"Sweep": {Metrics: map[string]float64{"p50-ns/op": 2500, "p99-ns/op": 9000, "p999-ns/op": 27000}},
+	}}
+	var buf strings.Builder
+	if n := compare(&buf, baseline, current, 2.0, 2.0); n != 2 {
+		t.Fatalf("regressions = %d, output:\n%s", n, buf.String())
+	}
+	out := buf.String()
+	if !strings.Contains(out, "Sweep p50-ns/op regressed 2.50x") {
+		t.Fatalf("missing p50 warning: %q", out)
+	}
+	if !strings.Contains(out, "Sweep p999-ns/op regressed 3.00x") {
+		t.Fatalf("missing p999 warning: %q", out)
+	}
+}

@@ -30,6 +30,19 @@
 // ("engine": live versions, oldest pin age, retained/COW/reclaimed bytes)
 // and the "openCursors" list (cursor id, namespace, kind, idle ms) — enough
 // to spot which abandoned cursor is retaining memory and killCursors it.
+//
+// When the server traces (docstored does by default; tune with
+// -trace-sample/-trace-ring/-profile-slowms), the introspection ops need no
+// "db" and return span trees — each document carries traceId, spanId, name,
+// startUnixNano, durationUS, attrs and children:
+//
+//	{"op":"currentOp"}              in-flight operations, oldest first
+//	{"op":"getTraces","limit":5}    completed traces, most recent first
+//
+// A write's tree shows where its latency went — the mongos shard fan-out,
+// the storage apply, the WAL group-commit wait ("wal.commitWait") and, for
+// w > 1, the replica quorum wait ("replset.quorumWait"). Slow operations
+// (past -profile-slowms) are always retained regardless of the sample rate.
 package main
 
 import (

@@ -37,12 +37,26 @@
 // Without -replicas, a write concern of w > 1 is refused — there is nothing
 // to replicate to — while {w: 1} and {j: true} behave as before.
 //
+// Observability: every request is traced into a span tree (wire → router →
+// mongod → storage → WAL/quorum waits) queryable over the wire with
+// {"op":"currentOp"} (in flight) and {"op":"getTraces"} (completed).
+// -trace-sample sets the fraction retained, -trace-ring the retention ring
+// size, and -profile-slowms the slow-op threshold that both admits
+// operations to the profiler ring and force-retains their traces. With
+// -metrics-addr the process serves Prometheus-style counters, latency
+// histograms and engine gauges on /metrics and the Go profiler on
+// /debug/pprof:
+//
+//	docstored -metrics-addr 127.0.0.1:9216 -trace-sample 0.05 -profile-slowms 50
+//
 // Clients connect with the wire.Client API or cmd/docstore-shell.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers the /debug/pprof handlers on DefaultServeMux
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -50,9 +64,11 @@ import (
 	"syscall"
 	"time"
 
+	"docstore/internal/metrics"
 	"docstore/internal/mongod"
 	"docstore/internal/replset"
 	"docstore/internal/storage"
+	"docstore/internal/trace"
 	"docstore/internal/wal"
 	"docstore/internal/wire"
 )
@@ -70,6 +86,10 @@ func main() {
 	changeStreamBuffer := flag.Int("changestream-buffer", 0, "per-watcher change stream event buffer; a watcher that falls this far behind is invalidated and must resume from its token (0 = default)")
 	replicas := flag.Int("replicas", 1, "replica set size: this server as primary plus N-1 in-memory secondaries; writes may then use writeConcern w > 1")
 	writeConcern := flag.String("write-concern", "1", "default write concern for writes that carry none: a member count or \"majority\", optionally +j (e.g. 1, majority, 2+j)")
+	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof (empty = off)")
+	traceSample := flag.Float64("trace-sample", 0.01, "fraction of requests whose span trees are retained for getTraces; slow requests are always retained")
+	traceRing := flag.Int("trace-ring", trace.DefaultRingSize, "completed traces kept in memory for getTraces (oldest evicted first)")
+	profileSlowMS := flag.Int("profile-slowms", 100, "slow-op threshold in milliseconds: operations at or above it enter the profiler ring and force trace retention")
 	flag.Parse()
 
 	defaultWC, err := storage.ParseWriteConcernString(*writeConcern)
@@ -91,7 +111,8 @@ func main() {
 		defaultWC = storage.WriteConcern{}
 	}
 
-	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30})
+	slowThreshold := time.Duration(*profileSlowMS) * time.Millisecond
+	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30, SlowOpThreshold: slowThreshold})
 	durable := *dataDir != ""
 	if durable {
 		policy, err := wal.ParseSyncPolicy(*walSync)
@@ -167,12 +188,31 @@ func main() {
 		srv.SetReplicaSet(rs)
 	}
 	srv.SetDefaultWriteConcern(defaultWC)
+	srv.SetTracer(trace.New(trace.Options{
+		SampleRate:    *traceSample,
+		SlowThreshold: slowThreshold,
+		RingSize:      *traceRing,
+	}))
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
 		os.Exit(1)
 	}
 	fmt.Printf("docstored %q listening on %s\n", *name, bound)
+
+	var metricsSrv *http.Server
+	if *metricsAddr != "" {
+		// The pprof import registered its handlers on DefaultServeMux; mount
+		// /metrics beside them so one listener serves both.
+		http.Handle("/metrics", metrics.Handler(srv.Metrics(), backend.Metrics()))
+		metricsSrv = &http.Server{Addr: *metricsAddr, Handler: http.DefaultServeMux}
+		go func() {
+			if err := metricsSrv.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+				fmt.Fprintf(os.Stderr, "docstored: metrics listener: %v\n", err)
+			}
+		}()
+		fmt.Printf("docstored: serving /metrics and /debug/pprof on %s\n", *metricsAddr)
+	}
 
 	stopCheckpoints := make(chan struct{})
 	var checkpointLoop sync.WaitGroup
@@ -207,6 +247,9 @@ func main() {
 	// below would otherwise be refused as already-in-progress, and closing
 	// the WAL under a running checkpoint would fail its pruning.
 	checkpointLoop.Wait()
+	if metricsSrv != nil {
+		metricsSrv.Close()
+	}
 	if err := srv.Close(); err != nil {
 		fmt.Fprintf(os.Stderr, "docstored: close: %v\n", err)
 		os.Exit(1)

@@ -353,4 +353,53 @@
 //     (p50/p99/p999 per cell) across threads x members x writeConcern x
 //     shards, and benchjson -p99-threshold turns tail regressions into CI
 //     warnings.
+//
+// # Observability
+//
+// internal/trace and internal/metrics make every request's cost visible:
+// span trees answer "where did THIS operation spend its time", histograms
+// answer "what does this operation usually cost", and docstored serves both
+// live.
+//
+//   - Span model: the wire handler roots one span per request
+//     ("wire.<op>"); each layer attaches children as the request descends —
+//     "mongos.shard" (per-shard fan-out, shard name attr),
+//     "mongod.bulkWrite"/"mongod.find" (db/collection attrs),
+//     "storage.bulkWrite" + "storage.apply" (ops, COW bytes copied, LSN),
+//     "storage.plan" (chosen index, snapshot version), "wal.commitWait"
+//     (the group-commit fsync wait), and "replset.oplogCommitWait" /
+//     "replset.quorumWait" (w/need attrs) for replicated writes. The span
+//     rides the existing storage.BulkOptions/FindOptions structs, so no
+//     call signature changed; a nil tracer (or span) makes every
+//     instrumentation call a no-op, which is why disabled tracing is free.
+//   - Sampling: trace.Options.SampleRate decides at root creation (one
+//     atomic splitmix64 step) whether a trace is retained; any trace whose
+//     root duration reaches SlowThreshold is retained regardless — tail
+//     retention, so slow outliers are always captured even at 1% sampling.
+//     Completed traces live in a bounded ring (RingSize, oldest evicted);
+//     every in-flight request is tracked regardless of sampling.
+//   - Querying: the wire ops {"op": "currentOp"} (in-flight span trees,
+//     oldest first) and {"op": "getTraces"} (completed trees, most recent
+//     first, "limit" caps) render the trees as documents: traceId, spanId,
+//     name, startUnixNano, durationUS, attrs, children. Introspection
+//     requests are themselves never traced, so currentOp does not list
+//     itself and reading the ring does not churn it.
+//     wire.Client.CurrentOp/Traces and docstore-shell drive them.
+//   - Metrics: internal/metrics provides lock-free log-bucketed latency
+//     histograms (4 sub-buckets per power-of-two octave, ~12.5% bucket
+//     error, mergeable by addition — the structure cmd/bench's percentile
+//     harness also records into) and monotonic counters in a registry that
+//     renders Prometheus text exposition. The mongod layer always records
+//     docstore_mongod_ops_total{op} and
+//     docstore_mongod_op_duration_seconds{op} (the profiler ring is gated
+//     by -profile-slowms; the histograms are not), the wire layer records
+//     docstore_wire_requests_total{op}, docstore_wire_request_errors_total
+//     {op} and docstore_wire_request_duration_seconds{op}, and the MVCC
+//     engine gauges plus tracer activity export as docstore_engine_* and
+//     docstore_trace_* gauges.
+//   - Endpoint: docstored -metrics-addr serves /metrics (both registries
+//     merged) and net/http/pprof's /debug/pprof on one listener;
+//     -trace-sample, -trace-ring and -profile-slowms tune the tracer. The
+//     mongod profiler keeps the most recent entries in a fixed O(1) ring
+//     (overwrite, no reslicing) rather than an appended slice.
 package docstore

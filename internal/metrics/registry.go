@@ -1,0 +1,251 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonic event counter.
+type Counter struct {
+	n atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.n.Add(1) }
+
+// Add adds delta (negative deltas are ignored — counters are monotonic).
+func (c *Counter) Add(delta int64) {
+	if delta > 0 {
+		c.n.Add(delta)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.n.Load() }
+
+// Registry names and exports counters, histograms, and gauge sources in
+// Prometheus text exposition format. Each server layer owns one (the wire
+// server and the mongod server each register their op families eagerly at
+// construction, so a scrape sees every family even before traffic).
+//
+// Registration takes a lock; the returned Counter/Histogram handles are
+// lock-free, so hot paths resolve their series once and hold the handle.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*series[*Counter]
+	hists    map[string]*series[*Histogram]
+	gauges   []gaugeSource
+}
+
+type series[T any] struct {
+	name   string
+	labels string // rendered {k="v",...} or ""
+	help   string
+	val    T
+}
+
+type gaugeSource struct {
+	prefix string
+	fn     func() []Gauge
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*series[*Counter]),
+		hists:    make(map[string]*series[*Histogram]),
+	}
+}
+
+// renderLabels formats label pairs ("k1", "v1", "k2", "v2", ...) sorted by
+// key so the same series is always the same map key.
+func renderLabels(labels []string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	type kv struct{ k, v string }
+	pairs := make([]kv, 0, len(labels)/2)
+	for i := 0; i+1 < len(labels); i += 2 {
+		pairs = append(pairs, kv{labels[i], labels[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// Counter returns (registering on first use) the counter series for the
+// metric family name and label pairs.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.counters[key]
+	if !ok {
+		s = &series[*Counter]{name: name, labels: renderLabels(labels), help: help, val: &Counter{}}
+		r.counters[key] = s
+	}
+	return s.val
+}
+
+// Histogram returns (registering on first use) the histogram series for the
+// metric family name and label pairs.
+func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	key := name + renderLabels(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s, ok := r.hists[key]
+	if !ok {
+		s = &series[*Histogram]{name: name, labels: renderLabels(labels), help: help, val: &Histogram{}}
+		r.hists[key] = s
+	}
+	return s.val
+}
+
+// AddGaugeSource registers a callback polled at exposition time. Gauge
+// names are mangled into Prometheus form: prefix + "_" + name with dots
+// replaced by underscores (e.g. engine.liveVersions under prefix
+// "docstore" exports as docstore_engine_liveVersions).
+func (r *Registry) AddGaugeSource(prefix string, fn func() []Gauge) {
+	r.mu.Lock()
+	r.gauges = append(r.gauges, gaugeSource{prefix: prefix, fn: fn})
+	r.mu.Unlock()
+}
+
+// promName mangles a dotted camelCase gauge name ("engine.liveVersions")
+// into a snake_case Prometheus metric name ("engine_live_versions").
+func promName(prefix, name string) string {
+	var b strings.Builder
+	b.Grow(len(prefix) + len(name) + 8)
+	if prefix != "" {
+		b.WriteString(prefix)
+		b.WriteByte('_')
+	}
+	for i := 0; i < len(name); i++ {
+		c := name[i]
+		switch {
+		case c == '.' || c == '-':
+			b.WriteByte('_')
+		case c >= 'A' && c <= 'Z':
+			if i > 0 && name[i-1] != '.' && name[i-1] != '-' {
+				b.WriteByte('_')
+			}
+			b.WriteByte(c + ('a' - 'A'))
+		default:
+			b.WriteByte(c)
+		}
+	}
+	return b.String()
+}
+
+// expositionBounds picks the subset of histogram bucket bounds exported as
+// `le` labels: one bound per octave keeps the scrape small while the full
+// resolution stays available in-process.
+var expositionBounds = func() []int64 {
+	var bounds []int64
+	for v := int64(1); v > 0 && v < int64(time.Hour); v *= 2 {
+		bounds = append(bounds, v)
+	}
+	return bounds
+}()
+
+// WritePrometheus renders every registered series in Prometheus text
+// exposition format. Durations export in seconds per convention.
+func (r *Registry) WritePrometheus(w io.Writer) {
+	r.mu.Lock()
+	counters := make([]*series[*Counter], 0, len(r.counters))
+	for _, s := range r.counters {
+		counters = append(counters, s)
+	}
+	hists := make([]*series[*Histogram], 0, len(r.hists))
+	for _, s := range r.hists {
+		hists = append(hists, s)
+	}
+	sources := append([]gaugeSource(nil), r.gauges...)
+	r.mu.Unlock()
+
+	sort.Slice(counters, func(i, j int) bool {
+		return counters[i].name+counters[i].labels < counters[j].name+counters[j].labels
+	})
+	sort.Slice(hists, func(i, j int) bool {
+		return hists[i].name+hists[i].labels < hists[j].name+hists[j].labels
+	})
+
+	lastFamily := ""
+	for _, s := range counters {
+		if s.name != lastFamily {
+			if s.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
+			lastFamily = s.name
+		}
+		fmt.Fprintf(w, "%s%s %d\n", s.name, s.labels, s.val.Value())
+	}
+
+	lastFamily = ""
+	for _, s := range hists {
+		if s.name != lastFamily {
+			if s.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help)
+			}
+			fmt.Fprintf(w, "# TYPE %s histogram\n", s.name)
+			lastFamily = s.name
+		}
+		snap := s.val.Snapshot()
+		labelPrefix := "{"
+		if s.labels != "" {
+			labelPrefix = s.labels[:len(s.labels)-1] + ","
+		}
+		var cum int64
+		bi := 0
+		for _, bound := range expositionBounds {
+			// Octave alignment means a bucket starting below a power-of-two
+			// bound lies entirely at or below it, so strict < is exact.
+			for bi < numBuckets && bucketLower(bi) < bound {
+				cum += snap.Counts[bi]
+				bi++
+			}
+			fmt.Fprintf(w, "%s_bucket%sle=\"%g\"} %d\n", s.name, labelPrefix, float64(bound)/1e9, cum)
+		}
+		fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", s.name, labelPrefix, snap.Count)
+		fmt.Fprintf(w, "%s_sum%s %g\n", s.name, s.labels, float64(snap.Sum)/1e9)
+		fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, snap.Count)
+	}
+
+	for _, src := range sources {
+		gauges := src.fn()
+		sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+		for _, g := range gauges {
+			name := promName(src.prefix, g.Name)
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			fmt.Fprintf(w, "%s %d\n", name, g.Value)
+		}
+	}
+}
+
+// Handler serves the registries' merged exposition as an http.Handler for
+// docstored's -metrics-addr listener.
+func Handler(regs ...*Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		for _, r := range regs {
+			if r != nil {
+				r.WritePrometheus(w)
+			}
+		}
+	})
+}

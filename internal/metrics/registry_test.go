@@ -1,0 +1,160 @@
+package metrics
+
+import (
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRegistryCountersAndLabels(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("docstore_wire_requests_total", "wire requests", "op", "insert")
+	b := r.Counter("docstore_wire_requests_total", "wire requests", "op", "find")
+	again := r.Counter("docstore_wire_requests_total", "wire requests", "op", "insert")
+	if a != again {
+		t.Fatalf("same name+labels returned distinct counters")
+	}
+	if a == b {
+		t.Fatalf("distinct labels share a counter")
+	}
+	a.Inc()
+	a.Add(2)
+	a.Add(-5) // ignored: monotonic
+	b.Inc()
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE docstore_wire_requests_total counter",
+		`docstore_wire_requests_total{op="insert"} 3`,
+		`docstore_wire_requests_total{op="find"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// TYPE line appears once per family, not per series.
+	if strings.Count(out, "# TYPE docstore_wire_requests_total") != 1 {
+		t.Fatalf("family TYPE line duplicated:\n%s", out)
+	}
+}
+
+func TestRegistryHistogramExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("docstore_wire_request_duration_seconds", "request latency", "op", "find")
+	h.Observe(500 * time.Microsecond)
+	h.Observe(2 * time.Millisecond)
+	h.Observe(2 * time.Millisecond)
+
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	if !strings.Contains(out, "# TYPE docstore_wire_request_duration_seconds histogram") {
+		t.Fatalf("missing histogram TYPE:\n%s", out)
+	}
+	if !strings.Contains(out, `docstore_wire_request_duration_seconds_bucket{op="find",le="+Inf"} 3`) {
+		t.Fatalf("missing +Inf bucket:\n%s", out)
+	}
+	if !strings.Contains(out, `docstore_wire_request_duration_seconds_count{op="find"} 3`) {
+		t.Fatalf("missing _count:\n%s", out)
+	}
+	// Cumulative bucket counts must be non-decreasing across le bounds.
+	var prev int64 = -1
+	for _, line := range strings.Split(out, "\n") {
+		if !strings.HasPrefix(line, "docstore_wire_request_duration_seconds_bucket") {
+			continue
+		}
+		var n int64
+		fields := strings.Fields(line)
+		if len(fields) != 2 {
+			t.Fatalf("bad bucket line %q", line)
+		}
+		for _, ch := range fields[1] {
+			n = n*10 + int64(ch-'0')
+		}
+		if n < prev {
+			t.Fatalf("cumulative buckets decreased at %q:\n%s", line, out)
+		}
+		prev = n
+	}
+	// _sum is in seconds.
+	if !strings.Contains(out, "docstore_wire_request_duration_seconds_sum") {
+		t.Fatalf("missing _sum:\n%s", out)
+	}
+}
+
+func TestRegistryGaugeSourceMangling(t *testing.T) {
+	r := NewRegistry()
+	r.AddGaugeSource("docstore", func() []Gauge {
+		return []Gauge{
+			{Name: "engine.liveVersions", Value: 7},
+			{Name: "engine.retainedBytes", Value: 1024, Unit: "bytes"},
+		}
+	})
+	var buf strings.Builder
+	r.WritePrometheus(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE docstore_engine_live_versions gauge",
+		"docstore_engine_live_versions 7",
+		"docstore_engine_retained_bytes 1024",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHandlerServesMergedRegistries(t *testing.T) {
+	wireReg, mongodReg := NewRegistry(), NewRegistry()
+	wireReg.Counter("docstore_wire_requests_total", "", "op", "ping").Inc()
+	mongodReg.Counter("docstore_mongod_ops_total", "", "op", "insert").Inc()
+
+	srv := httptest.NewServer(Handler(wireReg, mongodReg, nil))
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL)
+	if err != nil {
+		t.Fatalf("scrape: %v", err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	out := string(body)
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	if !strings.Contains(out, "docstore_wire_requests_total") || !strings.Contains(out, "docstore_mongod_ops_total") {
+		t.Fatalf("merged exposition incomplete:\n%s", out)
+	}
+}
+
+func TestRegistryConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ops := []string{"insert", "find", "update"}
+			for i := 0; i < 500; i++ {
+				op := ops[i%len(ops)]
+				r.Counter("docstore_mongod_ops_total", "", "op", op).Inc()
+				r.Histogram("docstore_mongod_op_duration_seconds", "", "op", op).Observe(time.Duration(i) * time.Microsecond)
+				if i%100 == 0 {
+					var buf strings.Builder
+					r.WritePrometheus(&buf)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("docstore_mongod_ops_total", "", "op", "insert").Value(); got != 8*167 {
+		t.Fatalf("insert counter = %d, want %d", got, 8*167)
+	}
+}

@@ -34,10 +34,42 @@ type ProfileEntry struct {
 	Isolation       string
 }
 
-// profiler collects operation timings above the configured threshold.
+// profileCap bounds the profiler's memory: the ring keeps the most recent
+// profileCap entries.
+const profileCap = 10000
+
+// profiler collects operation timings above the configured threshold in a
+// fixed-capacity ring: entries append until the ring is full, then each new
+// entry overwrites the oldest in place — O(1) per record, where the old
+// append-and-reslice scheme paid an O(n) memmove every record once full.
+// The backing array grows with use (append until profileCap) rather than
+// being preallocated, so an idle server pays nothing.
 type profiler struct {
 	mu      sync.Mutex
 	entries []ProfileEntry
+	// head indexes the oldest entry once the ring is full (len == cap);
+	// before that it stays 0 and entries is already in insertion order.
+	head int
+}
+
+// record appends one entry, overwriting the oldest when full. The caller
+// holds p.mu.
+func (p *profiler) record(entry ProfileEntry) {
+	if len(p.entries) < profileCap {
+		p.entries = append(p.entries, entry)
+		return
+	}
+	p.entries[p.head] = entry
+	p.head = (p.head + 1) % profileCap
+}
+
+// snapshot copies the ring in insertion order (oldest first). The caller
+// holds p.mu.
+func (p *profiler) snapshot() []ProfileEntry {
+	out := make([]ProfileEntry, 0, len(p.entries))
+	out = append(out, p.entries[p.head:]...)
+	out = append(out, p.entries[:p.head]...)
+	return out
 }
 
 // clock returns the server's profiling clock: the wall clock unless a test
@@ -89,10 +121,14 @@ func (db *Database) recordPlan(op, coll string, start time.Time, plan storage.Pl
 	})
 }
 
-// record stamps the entry's duration and appends it when the elapsed time
+// record stamps the entry's duration, feeds the always-on per-op latency
+// histogram, and keeps the entry in the profile ring when the elapsed time
 // clears the server's slow-op threshold. entry.At must hold the start time.
 func (db *Database) record(entry ProfileEntry) {
 	elapsed := db.server.clockTime().Sub(entry.At)
+	// Every op lands in its histogram regardless of the slow-op threshold —
+	// the threshold gates only what the bounded profile ring retains.
+	db.server.om.observe(entry.Op, elapsed)
 	if elapsed < db.server.opts.SlowOpThreshold {
 		return
 	}
@@ -100,24 +136,21 @@ func (db *Database) record(entry ProfileEntry) {
 	entry.Duration = elapsed
 	p := &db.server.profiler
 	p.mu.Lock()
-	p.entries = append(p.entries, entry)
-	// Bound memory: keep the most recent 10k entries.
-	if len(p.entries) > 10000 {
-		p.entries = p.entries[len(p.entries)-10000:]
-	}
+	p.record(entry)
 	p.mu.Unlock()
 }
 
-// Profile returns a copy of the recorded profile entries.
+// Profile returns a copy of the recorded profile entries, oldest first.
 func (s *Server) Profile() []ProfileEntry {
 	s.profiler.mu.Lock()
 	defer s.profiler.mu.Unlock()
-	return append([]ProfileEntry(nil), s.profiler.entries...)
+	return s.profiler.snapshot()
 }
 
 // ResetProfile clears the recorded profile entries.
 func (s *Server) ResetProfile() {
 	s.profiler.mu.Lock()
 	s.profiler.entries = nil
+	s.profiler.head = 0
 	s.profiler.mu.Unlock()
 }

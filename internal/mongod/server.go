@@ -44,6 +44,10 @@ type Server struct {
 
 	counters OpCounters
 	profiler profiler
+	// om holds the always-on per-op counters and latency histograms the
+	// /metrics endpoint exports (see metrics.go). Built at construction;
+	// recording is lock-free.
+	om opMetrics
 
 	// clock, when non-nil, replaces the wall clock for profiling. Tests
 	// inject one (before the server serves operations) so duration
@@ -70,7 +74,11 @@ func NewServer(opts Options) *Server {
 	if opts.Name == "" {
 		opts.Name = "mongod"
 	}
-	return &Server{opts: opts, dbs: make(map[string]*Database)}
+	s := &Server{opts: opts, dbs: make(map[string]*Database), om: newOpMetrics()}
+	s.om.registry.AddGaugeSource("docstore", func() []metrics.Gauge {
+		return s.EngineGauges().Snapshot()
+	})
+	return s
 }
 
 // Name returns the server name.
@@ -450,9 +458,15 @@ func (db *Database) InsertMany(coll string, docs []*bson.Doc) ([]any, error) {
 // opcounters count each attempted op under its own kind — ops an ordered
 // batch never reached are not counted.
 func (db *Database) BulkWrite(coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	span := opts.Trace.Child("mongod.bulkWrite")
+	span.SetAttr("db", db.name)
+	span.SetAttr("collection", coll)
+	span.SetAttr("ops", len(ops))
+	opts.Trace = span
 	stop := db.profileBulk(coll, len(ops))
 	res := db.Collection(coll).BulkWrite(ops, opts)
 	stop(len(res.Errors))
+	span.Finish()
 	var inserts, updates, deletes int64
 	for i := range ops[:res.Attempted] {
 		switch ops[i].Kind {
@@ -480,9 +494,15 @@ func (db *Database) Find(coll string, filter *bson.Doc, opts storage.FindOptions
 // isolation level of the scan.
 func (db *Database) FindWithPlan(coll string, filter *bson.Doc, opts storage.FindOptions) ([]*bson.Doc, storage.Plan, error) {
 	db.server.countOp("query")
+	span := opts.Trace.Child("mongod.find")
+	span.SetAttr("db", db.name)
+	span.SetAttr("collection", coll)
+	opts.Trace = span
 	start := db.server.clockTime()
 	docs, plan, err := db.Collection(coll).FindWithPlan(filter, opts)
 	db.recordPlan("find", coll, start, plan)
+	span.SetAttr("docsExamined", plan.DocsExamined)
+	span.Finish()
 	return docs, plan, err
 }
 

@@ -107,10 +107,21 @@ func (r *Router) replica(name string) ReplicaShard {
 // set when the shard is replicated so the write concern gates the
 // acknowledgement, directly to the shard server otherwise.
 func (r *Router) shardBulkWrite(name, db, coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult {
+	// Every per-shard dispatch gets its own child span — unordered batches
+	// fan out in parallel goroutines, so a traced scatter shows one
+	// mongos.shard span per shard under the same parent.
+	span := opts.Trace.Child("mongos.shard")
+	span.SetAttr("shard", name)
+	span.SetAttr("ops", len(ops))
+	opts.Trace = span
+	var res storage.BulkResult
 	if rep := r.replica(name); rep != nil {
-		return rep.BulkWrite(db, coll, ops, opts)
+		res = rep.BulkWrite(db, coll, ops, opts)
+	} else {
+		res = r.Shard(name).Database(db).BulkWrite(coll, ops, opts)
 	}
-	return r.Shard(name).Database(db).BulkWrite(coll, ops, opts)
+	span.Finish()
+	return res
 }
 
 // Shard returns the named shard server, or nil.

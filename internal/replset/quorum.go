@@ -202,7 +202,10 @@ func (rs *ReplicaSet) BulkWrite(db, coll string, ops []storage.WriteOp, opts sto
 		rs.mu.Unlock()
 		return storage.BulkResult{DurabilityErr: ErrPrimaryDown}
 	}
-	res := primary.Database(db).BulkWrite(coll, ops, storage.BulkOptions{Ordered: opts.Ordered, Journaled: wc.Journal})
+	// The parent span rides down to the primary's mongod and storage layers
+	// through the options; the oplog and quorum waits below attach their own
+	// children so a trace shows where a w>1 write spent its time.
+	res := primary.Database(db).BulkWrite(coll, ops, storage.BulkOptions{Ordered: opts.Ordered, Journaled: wc.Journal, Trace: opts.Trace})
 	rec := &wal.Record{
 		Kind: wal.KindBatch, DB: db, Coll: coll, Ordered: opts.Ordered,
 		Ops: loggedOps(primary, db, coll, ops, &res),
@@ -230,15 +233,22 @@ func (rs *ReplicaSet) BulkWrite(db, coll string, ops []storage.WriteOp, opts sto
 	}
 	rs.mu.Unlock()
 	res.LastLSN = lsn // the oplog LSN, which quorum waits key on
+	oplogSpan := opts.Trace.Child("replset.oplogCommitWait")
+	oplogSpan.SetAttr("lsn", lsn)
 	if derr := waitOplog(commit, wc.Journal); derr != nil && res.DurabilityErr == nil {
 		res.DurabilityErr = derr
 	}
+	oplogSpan.Finish()
 	if w != nil {
+		quorumSpan := opts.Trace.Child("replset.quorumWait")
+		quorumSpan.SetAttr("w", wc.WString())
+		quorumSpan.SetAttr("need", w.need)
 		// Always drain the waiter — it must leave rs.waiters even when the
 		// batch already failed at the durability layer.
 		if qerr := rs.waitQuorum(w, lsn, wc, timer); qerr != nil && res.DurabilityErr == nil {
 			res.DurabilityErr = qerr
 		}
+		quorumSpan.Finish()
 	}
 	return res
 }

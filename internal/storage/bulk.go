@@ -5,6 +5,7 @@ import (
 
 	"docstore/internal/bson"
 	"docstore/internal/query"
+	"docstore/internal/trace"
 )
 
 // WriteOpKind discriminates the operation a WriteOp carries.
@@ -84,6 +85,11 @@ type BulkOptions struct {
 	// member quorum and surface it through mongos scatter and the wire
 	// protocol.
 	WriteConcern WriteConcern
+	// Trace is the parent span of the request this batch belongs to. Every
+	// layer the options pass through (wire, mongos, replset, mongod,
+	// storage) attaches its own child spans under it. Nil (the default)
+	// disables tracing for the batch — span methods are no-ops on nil.
+	Trace *trace.Span
 }
 
 // journalAck reports whether the batch must be fsynced before
@@ -212,6 +218,13 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 	if len(ops) == 0 {
 		return res
 	}
+	span := opts.Trace.Child("storage.bulkWrite")
+	span.SetAttr("collection", c.name)
+	span.SetAttr("ops", len(ops))
+	var cowBefore int64
+	if span != nil {
+		cowBefore = c.COWBytesCopied()
+	}
 
 	// Phase 1 (no lock): validate shapes and compile matchers.
 	prep := make([]preparedOp, len(ops))
@@ -250,10 +263,13 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 	// batch does before releasing the lock; the durability wait happens
 	// after the lock is released so concurrent batches can share one
 	// group-commit fsync.
+	applySpan := span.Child("storage.apply")
 	c.mu.Lock()
 	commit, err := c.logLocked(ops, opts.Ordered)
 	if err != nil {
 		c.mu.Unlock()
+		applySpan.Finish()
+		span.Finish()
 		res.DurabilityErr = err
 		return res
 	}
@@ -270,10 +286,21 @@ func (c *Collection) BulkWrite(ops []WriteOp, opts BulkOptions) BulkResult {
 	c.maybeCompactLocked()
 	c.publishLocked()
 	c.mu.Unlock()
+	applySpan.Finish()
 	if commit != nil {
 		res.LastLSN = commit.LSN()
 	}
+	var walSpan *trace.Span
+	if commit != nil {
+		walSpan = span.Child("wal.commitWait")
+	}
 	res.DurabilityErr = waitCommit(commit, opts.journalAck())
+	walSpan.Finish()
+	if span != nil {
+		span.SetAttr("cowBytesCopied", c.COWBytesCopied()-cowBefore)
+		span.SetAttr("lsn", res.LastLSN)
+	}
+	span.Finish()
 	return res
 }
 

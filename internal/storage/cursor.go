@@ -311,9 +311,20 @@ func (c *Collection) FindCursor(filter *bson.Doc, opts FindOptions) (*Cursor, er
 		batchSize = DefaultBatchSize
 	}
 
+	// The plan span covers the snapshot pin and access-path choice — the
+	// part of a query that may contend on the writer mutex; the batch fills
+	// that follow are lock-free and belong to the caller's drain time.
+	planSpan := opts.Trace.Child("storage.plan")
 	snap, order, indexUsed, err := c.openScan(filter, opts)
 	if err != nil {
+		planSpan.Finish()
 		return nil, err
+	}
+	if planSpan != nil {
+		planSpan.SetAttr("collection", c.name)
+		planSpan.SetAttr("index", indexUsed)
+		planSpan.SetAttr("snapshotVersion", snap.Version())
+		planSpan.Finish()
 	}
 	if order == nil {
 		c.scans.Add(1)

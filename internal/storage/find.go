@@ -5,6 +5,7 @@ import (
 
 	"docstore/internal/bson"
 	"docstore/internal/query"
+	"docstore/internal/trace"
 )
 
 // FindOptions modifies a Find call.
@@ -22,6 +23,10 @@ type FindOptions struct {
 	// result is produced in one batch (the materializing behaviour Find
 	// relies on). Slice-returning APIs ignore it.
 	BatchSize int
+	// Trace is the parent span of the request this query belongs to; the
+	// engine attaches a storage.plan child recording the snapshot pin and
+	// chosen access path under it. Nil disables tracing for the query.
+	Trace *trace.Span
 }
 
 // ErrUnknownIndex is returned when FindOptions.Hint names an index that does

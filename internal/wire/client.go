@@ -369,6 +369,26 @@ func (c *Client) Drop(db, coll string) error {
 	return err
 }
 
+// CurrentOp lists the server's in-flight operations as span-tree documents,
+// oldest first (empty when the server has no tracer). limit <= 0 returns all.
+func (c *Client) CurrentOp(limit int) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpCurrentOp, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// Traces returns up to limit completed trace trees, most recent first
+// (limit <= 0 drains the server's whole retention ring).
+func (c *Client) Traces(limit int) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpGetTraces, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
 // Stats returns the server status summary document.
 func (c *Client) Stats(db string) (*bson.Doc, error) {
 	resp, err := c.Do(&Request{Op: OpStats, DB: db})

@@ -20,6 +20,7 @@ import (
 
 	"docstore/internal/bson"
 	"docstore/internal/index"
+	"docstore/internal/trace"
 )
 
 // HintString normalizes a request's "hint" value to an index name. Strings
@@ -77,6 +78,18 @@ const (
 	// cursor waits up to "maxTimeMS" for the first event (awaitData) and
 	// never exhausts the cursor; killCursors tears the stream down.
 	OpWatch = "watch"
+	// OpCurrentOp lists the requests in flight right now as span-tree
+	// documents (oldest first), with elapsed-so-far durations — the
+	// currentOp analogue. Requires the server to run with tracing enabled
+	// (docstored -trace-sample); without a tracer it returns an empty list.
+	// "limit" caps the listing. Introspection requests themselves are not
+	// traced, so the listing never contains the currentOp that produced it.
+	OpCurrentOp = "currentOp"
+	// OpGetTraces returns completed span trees from the tracer's bounded
+	// retention ring, most recent first: requests that were sampled at start
+	// plus every request slower than the server's slow threshold. "limit"
+	// caps the count (0 returns the whole ring).
+	OpGetTraces = "getTraces"
 )
 
 // Request is one client request. It is encoded as a flat document so that
@@ -132,6 +145,9 @@ type Request struct {
 	// for the first event before returning an empty batch (awaitData).
 	// Zero uses the server's default wait.
 	MaxTimeMS int
+	// span is the request's root trace span, attached server-side by Handle
+	// when tracing is on. It never travels on the wire.
+	span *trace.Span
 }
 
 // encode renders the request as a document.

@@ -14,6 +14,7 @@ import (
 	"docstore/internal/mongod"
 	"docstore/internal/query"
 	"docstore/internal/storage"
+	"docstore/internal/trace"
 )
 
 // DefaultCursorTimeout is how long an idle server-side cursor survives
@@ -50,6 +51,11 @@ type Server struct {
 	repl ReplicatedBackend
 	// defaultWC applies to write requests that carry no writeConcern.
 	defaultWC storage.WriteConcern
+	// tracer, when set, roots a span tree on every traced request; nil keeps
+	// tracing off for free (see internal/trace).
+	tracer *trace.Tracer
+	// wm holds the per-op wire request counters and latency histograms.
+	wm wireMetrics
 
 	mu       sync.Mutex
 	listener net.Listener
@@ -126,6 +132,7 @@ func NewServer(backend *mongod.Server) *Server {
 		cursors:       make(map[int64]*openCursor),
 		cursorTimeout: DefaultCursorTimeout,
 		now:           time.Now,
+		wm:            newWireMetrics(),
 	}
 }
 
@@ -382,7 +389,44 @@ func (s *Server) serveConn(conn net.Conn) {
 
 // Handle executes one request against the backend. It is exported so tests
 // and in-process callers can drive the protocol without a socket.
+//
+// Handle owns the request's observability: it roots the trace span the
+// lower layers hang their children off (carried down via the options
+// structs, never on the wire) and records the per-op request counter,
+// error counter and latency histogram.
 func (s *Server) Handle(req *Request) *Response {
+	start := s.now()
+	if s.tracer != nil && traced(req.Op) {
+		span := s.tracer.StartSpan("wire." + req.Op)
+		span.SetAttr("db", req.DB)
+		if req.Collection != "" {
+			span.SetAttr("collection", req.Collection)
+		}
+		req.span = span
+	}
+	resp := s.handle(req)
+	if req.span != nil {
+		if resp.Error != "" {
+			req.span.SetAttr("error", resp.Error)
+		} else {
+			req.span.SetAttr("n", resp.N)
+		}
+		req.span.Finish()
+	}
+	s.wm.observe(req.Op, s.now().Sub(start), resp.Error != "")
+	return resp
+}
+
+func (s *Server) handle(req *Request) *Response {
+	switch req.Op {
+	case OpCurrentOp:
+		// Introspection ops need no db and are never themselves traced, so a
+		// currentOp listing shows real work, not the observer.
+		return &Response{OK: true, Docs: viewDocs(s.tracer.CurrentOps(), int(req.Limit)), N: int64(s.tracer.Stats().InFlight)}
+	case OpGetTraces:
+		docs := viewDocs(s.tracer.Traces(int(req.Limit)), 0)
+		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	}
 	if req.DB == "" && req.Op != OpPing {
 		return &Response{Error: "db is required"}
 	}
@@ -453,7 +497,7 @@ func (s *Server) Handle(req *Request) *Response {
 			Result: encodeBulkResult(res),
 		}
 	case OpFind:
-		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip, Hint: req.Hint}
+		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip, Hint: req.Hint, Trace: req.span}
 		if req.Sort != nil {
 			sortSpec, err := query.ParseSort(req.Sort)
 			if err != nil {
@@ -742,7 +786,7 @@ func (s *Server) writeConcernFor(req *Request) (storage.WriteConcern, *Response)
 // response can wait on quorum, so the five ops cannot drift in how they
 // acknowledge.
 func (s *Server) execBatch(req *Request, ops []storage.WriteOp, ordered bool, wc storage.WriteConcern) storage.BulkResult {
-	opts := storage.BulkOptions{Ordered: ordered, Journaled: req.Journaled, WriteConcern: wc}
+	opts := storage.BulkOptions{Ordered: ordered, Journaled: req.Journaled, WriteConcern: wc, Trace: req.span}
 	if s.repl != nil {
 		return s.repl.BulkWrite(req.DB, req.Collection, ops, opts)
 	}
