@@ -48,11 +48,12 @@ func runSweep(cfg sweepConfig) error {
 					continue
 				}
 				for _, t := range cfg.threads {
-					snap, err := runSweepCell(t, m, s, wc, cfg.requests)
+					snap, serverSnap, err := runSweepCell(t, m, s, wc, cfg.requests)
 					if err != nil {
 						return fmt.Errorf("cell t%d/m%d/wc%s/s%d: %w", t, m, wcName, s, err)
 					}
 					printSweepLine(t, m, wcName, s, snap)
+					printSweepServerLine(t, m, wcName, s, serverSnap)
 				}
 			}
 		}
@@ -62,11 +63,15 @@ func runSweep(cfg sweepConfig) error {
 
 // runSweepCell builds s replica sets of m members each (WAL-backed oplogs,
 // so j:true measures a real fsync), fans requests across t writer
-// goroutines, and returns the acknowledged-latency histogram: all writers
-// record into one lock-free metrics.Histogram — the same structure the
-// server's /metrics endpoint exports — so the harness and production agree
-// on how percentiles are computed.
-func runSweepCell(threads, members, shards int, wc storage.WriteConcern, requests int) (metrics.HistogramSnapshot, error) {
+// goroutines, and returns two latency histograms: the client-observed
+// acknowledged latency (all writers record into one lock-free
+// metrics.Histogram — the same structure the server's /metrics endpoint
+// exports, so harness and production agree on percentile math) and the
+// server-side per-namespace execution latency, read back from each shard
+// primary's labeled {collection, op, shard} histogram and merged. The gap
+// between the two is the cell's acknowledgement overhead (replication and
+// quorum wait), attributed to the bench.writes namespace.
+func runSweepCell(threads, members, shards int, wc storage.WriteConcern, requests int) (metrics.HistogramSnapshot, metrics.HistogramSnapshot, error) {
 	var none metrics.HistogramSnapshot
 	sets := make([]*replset.ReplicaSet, shards)
 	for si := range sets {
@@ -76,16 +81,16 @@ func runSweepCell(threads, members, shards int, wc storage.WriteConcern, request
 		}
 		rs, err := replset.New(fmt.Sprintf("rs%d", si), ms...)
 		if err != nil {
-			return none, err
+			return none, none, err
 		}
 		dir, err := os.MkdirTemp("", "bench-oplog-")
 		if err != nil {
-			return none, err
+			return none, none, err
 		}
 		defer os.RemoveAll(dir)
 		w, err := wal.Open(wal.Options{Dir: dir, Sync: wal.SyncGroupCommit})
 		if err != nil {
-			return none, err
+			return none, none, err
 		}
 		defer w.Close()
 		rs.AttachWAL(w)
@@ -105,7 +110,7 @@ func runSweepCell(threads, members, shards int, wc storage.WriteConcern, request
 			router.AddReplicaShard(fmt.Sprintf("shard%d", si), rs)
 		}
 		if _, err := router.EnableSharding("bench", "writes", bson.D("k", 1), 1<<20); err != nil {
-			return none, err
+			return none, none, err
 		}
 		write = func(id int) storage.BulkResult {
 			doc := bson.D(bson.IDKey, id, "k", id, "payload", "0123456789abcdef")
@@ -140,9 +145,15 @@ func runSweepCell(threads, members, shards int, wc storage.WriteConcern, request
 	wg.Wait()
 	close(errs)
 	for err := range errs {
-		return none, err
+		return none, none, err
 	}
-	return hist.Snapshot(), nil
+	// The server-side view of the same cell: every shard primary recorded
+	// its bulkWrite executions into the labeled bench.writes series.
+	var serverSnap metrics.HistogramSnapshot
+	for _, rs := range sets {
+		serverSnap.Merge(rs.Primary().CollectionOpDurations("bench.writes", "bulkWrite"))
+	}
+	return hist.Snapshot(), serverSnap, nil
 }
 
 // parseSweepConcern decodes a sweep cell's concern name: w<N> or majority,
@@ -171,6 +182,16 @@ func parseSweepConcern(name string) (storage.WriteConcern, error) {
 
 func printSweepLine(threads, members int, wcName string, shards int, snap metrics.HistogramSnapshot) {
 	fmt.Printf("BenchmarkWriteConcernSweep/t%d/m%d/wc%s/s%d \t%d\t%d ns/op\t%d p50-ns/op\t%d p99-ns/op\t%d p999-ns/op\n",
+		threads, members, wcName, shards, snap.Count,
+		snap.Mean().Nanoseconds(),
+		snap.P50().Nanoseconds(), snap.P99().Nanoseconds(), snap.P999().Nanoseconds())
+}
+
+// printSweepServerLine emits the cell's server-side per-namespace latency as
+// its own benchmark series, so benchjson attributes execution time to the
+// bench.writes namespace separately from the acknowledged latency above.
+func printSweepServerLine(threads, members int, wcName string, shards int, snap metrics.HistogramSnapshot) {
+	fmt.Printf("BenchmarkWriteConcernSweepNS/bench.writes/t%d/m%d/wc%s/s%d \t%d\t%d ns/op\t%d p50-ns/op\t%d p99-ns/op\t%d p999-ns/op\n",
 		threads, members, wcName, shards, snap.Count,
 		snap.Mean().Nanoseconds(),
 		snap.P50().Nanoseconds(), snap.P99().Nanoseconds(), snap.P999().Nanoseconds())

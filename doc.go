@@ -397,6 +397,48 @@
 //     {op} and docstore_wire_request_duration_seconds{op}, and the MVCC
 //     engine gauges plus tracer activity export as docstore_engine_* and
 //     docstore_trace_* gauges.
+//   - Labeled families: the mongod layer also records every operation into
+//     docstore_mongod_collection_ops_total and
+//     docstore_mongod_collection_op_duration_seconds, keyed by the bounded
+//     label schema {collection="db.coll", op, shard=<server name>}. A
+//     CounterVec/HistogramVec materializes at most maxSeries label sets
+//     (metrics.DefaultMaxSeries = 128); past the cap, unseen sets share one
+//     {...="other"} overflow series and a <family>_dropped_label_sets gauge
+//     counts the refusals — a hostile stream of generated collection names
+//     cannot explode the registry. Label values and HELP text are escaped
+//     per the Prometheus text format (\n, \", \\).
+//   - Exemplars: histogram buckets retain the most recent traced
+//     observation as an OpenMetrics exemplar — rendered as
+//     `... # {trace_id="..."} <value>` in the exposition and queryable as
+//     documents with the wire op {"op": "getExemplars", "metric": <family>}.
+//     An exemplar is recorded only when the request's trace was sampled at
+//     start, so every exemplar's trace ID resolves through getTraces; a tail
+//     bucket therefore links a latency outlier directly to the span tree
+//     that produced it.
+//   - Trace export: docstored -trace-export streams every retained trace out
+//     of the process as OTLP-shaped JSON (resourceSpans → scopeSpans →
+//     spans; 32-hex trace IDs, span/parent IDs, unix-nano timestamps,
+//     attributes) with no external dependencies. An http(s):// value POSTs
+//     one payload per trace to a collector with retry/backoff (4xx is
+//     permanent, 5xx retried); any other value appends NDJSON to that file.
+//     The export queue is bounded and non-blocking: a saturated sink drops
+//     traces and counts them on the docstore_trace_exporter_{exported,
+//     dropped,failed} gauges instead of ever stalling request handling.
+//   - Filtered introspection: currentOp and getTraces accept "opName" (root
+//     span name prefix) and "minDurationUS" filters, applied over the whole
+//     ring before "limit" — "the five slowest inserts" does not depend on
+//     what else sits at the head of the ring.
+//   - Cluster health: serverStatus and /metrics surface replication lag per
+//     member (docstore_replset_member_{lag,applied,apply_age_ns}, labeled
+//     {member, set}; the serverStatus "repl" section carries the same as
+//     member documents, aggregated across shards behind a mongos), WAL fsync
+//     latency and group-commit batch-size histograms
+//     (docstore_wal_fsync_duration_seconds, from the WAL's own histograms
+//     attached to the registry — rotation/shutdown fsyncs excluded), per
+//     watcher change-stream buffer depth (serverStatus
+//     changeStreams.watcherDepths and docstore_changestream_* gauges), and
+//     per-shard router dispatch state
+//     (docstore_mongos_shard_{in_flight,calls_total,errors_total}).
 //   - Endpoint: docstored -metrics-addr serves /metrics (both registries
 //     merged) and net/http/pprof's /debug/pprof on one listener;
 //     -trace-sample, -trace-ring and -profile-slowms tune the tracer. The

@@ -33,6 +33,7 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -83,6 +84,13 @@ type Stats struct {
 	EventsDelivered int64
 	// SlowConsumers counts watchers invalidated by buffer overflow.
 	SlowConsumers int64
+	// BufferedEvents is the total number of events currently sitting in
+	// watcher buffers (delivered but not yet consumed).
+	BufferedEvents int64
+	// MaxBufferDepth is the deepest single watcher buffer right now: the
+	// early-warning signal that some consumer is heading toward
+	// slow-consumer invalidation.
+	MaxBufferDepth int
 }
 
 // Broker is the subscription manager tailing one server's WAL.
@@ -156,13 +164,53 @@ func (b *Broker) WantsEvents(db, coll string) bool {
 func (b *Broker) Stats() Stats {
 	b.mu.Lock()
 	watchers := len(b.subs)
+	var buffered int64
+	maxDepth := 0
+	for _, sub := range b.subs {
+		depth := len(sub.ch)
+		buffered += int64(depth)
+		if depth > maxDepth {
+			maxDepth = depth
+		}
+	}
 	b.mu.Unlock()
 	return Stats{
 		Watchers:         watchers,
 		RecordsPublished: b.records.Load(),
 		EventsDelivered:  b.delivered.Load(),
 		SlowConsumers:    b.dropped.Load(),
+		BufferedEvents:   buffered,
+		MaxBufferDepth:   maxDepth,
 	}
+}
+
+// WatcherDepth describes one live watcher's buffer occupancy.
+type WatcherDepth struct {
+	// ID is the subscription's broker-assigned identifier.
+	ID int64
+	// DB and Coll are the watcher's scope ("" = wider scope).
+	DB, Coll string
+	// Buffered is how many delivered events await consumption; Capacity is
+	// the buffer bound that, once hit, invalidates the watcher.
+	Buffered, Capacity int
+}
+
+// WatcherDepths snapshots every live watcher's buffer depth, ordered by
+// subscription ID (attach order). serverStatus surfaces it so an operator
+// can see which change-stream consumer is falling behind before the broker
+// cuts it off.
+func (b *Broker) WatcherDepths() []WatcherDepth {
+	b.mu.Lock()
+	out := make([]WatcherDepth, 0, len(b.subs))
+	for _, sub := range b.subs {
+		out = append(out, WatcherDepth{
+			ID: sub.id, DB: sub.scopeDB, Coll: sub.scopeColl,
+			Buffered: len(sub.ch), Capacity: cap(sub.ch),
+		})
+	}
+	b.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
 }
 
 // Publish hands the broker one applied record's events. Every consumed LSN

@@ -1,0 +1,61 @@
+package changestream
+
+import "testing"
+
+// TestWatcherDepthsAndBufferedStats pins the per-watcher buffer-depth
+// surface: depths list every live watcher with its scope and occupancy in
+// attach order, Stats aggregates them into BufferedEvents/MaxBufferDepth,
+// and consuming or closing a watcher is reflected immediately.
+func TestWatcherDepthsAndBufferedStats(t *testing.T) {
+	w := testWAL(t, 0)
+	b := NewBroker(w)
+	sub1, err := b.Subscribe(SubscribeOptions{DB: "db", Coll: "c", BufferSize: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub1.Close()
+	sub2, err := b.Subscribe(SubscribeOptions{BufferSize: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sub2.Close()
+
+	for i := 0; i < 3; i++ {
+		rec := appendInsert(t, w, i)
+		b.Publish(rec.LSN, EventsFromRecord(rec, false))
+	}
+
+	depths := b.WatcherDepths()
+	if len(depths) != 2 {
+		t.Fatalf("watcher depths = %d entries, want 2", len(depths))
+	}
+	if depths[0].ID >= depths[1].ID {
+		t.Fatalf("depths not in attach order: %+v", depths)
+	}
+	if depths[0].DB != "db" || depths[0].Coll != "c" || depths[0].Buffered != 3 || depths[0].Capacity != 4 {
+		t.Fatalf("watcher 1 depth = %+v, want db/c 3/4", depths[0])
+	}
+	if depths[1].DB != "" || depths[1].Buffered != 3 || depths[1].Capacity != 8 {
+		t.Fatalf("watcher 2 depth = %+v, want server-wide 3/8", depths[1])
+	}
+	st := b.Stats()
+	if st.BufferedEvents != 6 || st.MaxBufferDepth != 3 {
+		t.Fatalf("stats buffered=%d max=%d, want 6/3", st.BufferedEvents, st.MaxBufferDepth)
+	}
+
+	// Consuming drains the depth; closing removes the watcher entirely.
+	if _, err := sub1.Next(0); err != nil {
+		t.Fatal(err)
+	}
+	if d := b.WatcherDepths(); d[0].Buffered != 2 {
+		t.Fatalf("watcher 1 depth after consume = %d, want 2", d[0].Buffered)
+	}
+	sub2.Close()
+	depths = b.WatcherDepths()
+	if len(depths) != 1 || depths[0].Capacity != 4 {
+		t.Fatalf("depths after close = %+v, want only watcher 1", depths)
+	}
+	if st := b.Stats(); st.BufferedEvents != 2 || st.MaxBufferDepth != 2 {
+		t.Fatalf("stats after drain/close: %+v", st)
+	}
+}

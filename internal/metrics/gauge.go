@@ -19,6 +19,11 @@ type Gauge struct {
 	// Unit selects the rendering: "" (plain count), "bytes"
 	// (FormatBytes), or "ns" (a duration in nanoseconds, FormatDuration).
 	Unit string
+	// Labels are optional label pairs ("member", "rs0-sec1", ...): gauges
+	// sharing a Name but differing in Labels render as one Prometheus
+	// family with per-label-set samples (replication lag per member,
+	// in-flight calls per shard).
+	Labels []string
 }
 
 // Format renders the gauge value in its unit.

@@ -1,0 +1,168 @@
+package metrics
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// DefaultMaxSeries bounds how many distinct label sets a labeled family
+// (CounterVec/HistogramVec) will materialize before routing new sets to its
+// overflow series. The bound is what keeps a hostile namespace stream —
+// a client inserting into millions of generated collection names — from
+// exploding the registry: past the cap, every unseen label set shares one
+// {...="other"} series and only a drop counter grows.
+const DefaultMaxSeries = 128
+
+// maxVecLabels is the most label keys a vec supports. The bounded label
+// schema this package exports is {collection, shard, op}; four leaves head
+// room without making the lookup key heap-allocated.
+const maxVecLabels = 4
+
+// labelKey is the comparable, allocation-free lookup key for one label set.
+type labelKey [maxVecLabels]string
+
+// overflowValue is the label value every dimension of the overflow series
+// carries once the cardinality cap is hit.
+const overflowValue = "other"
+
+// vec is the shared machinery of CounterVec and HistogramVec: a bounded map
+// from label values to registered series. Lookups on the hot path take one
+// RWMutex read lock and one map read, with no allocation; the first
+// observation of a new label set takes the write lock and registers the
+// series (or, past the cap, falls through to the overflow series).
+type vec[T any] struct {
+	name string
+	keys []string
+	max  int
+	make func(values []string) T
+
+	mu       sync.RWMutex
+	series   map[labelKey]T
+	overflow T
+	// droppedKeys tracks which refused label sets were already counted, so
+	// droppedSets approximates "distinct label sets dropped" rather than
+	// "observations dropped". It is itself bounded by max: once full, an
+	// unseen refused set increments the counter every time it appears, so
+	// past 2*max distinct sets the gauge becomes an upper bound.
+	droppedKeys map[labelKey]struct{}
+	droppedSets atomic.Int64
+}
+
+func newVec[T any](r *Registry, name string, keys []string, max int, mk func(values []string) T) *vec[T] {
+	if len(keys) == 0 || len(keys) > maxVecLabels {
+		panic("metrics: labeled families take between 1 and 4 label keys")
+	}
+	if max <= 0 {
+		max = DefaultMaxSeries
+	}
+	v := &vec[T]{
+		name:        name,
+		keys:        keys,
+		max:         max,
+		make:        mk,
+		series:      make(map[labelKey]T),
+		droppedKeys: make(map[labelKey]struct{}),
+	}
+	// The overflow series registers eagerly so a scrape sees the family
+	// (and its escape hatch) before any traffic, and the cap-hit path never
+	// registers anything.
+	over := make([]string, len(keys))
+	for i := range over {
+		over[i] = overflowValue
+	}
+	v.overflow = mk(over)
+	r.AddGaugeSource("", func() []Gauge {
+		return []Gauge{{Name: name + "_dropped_label_sets", Value: v.droppedSets.Load()}}
+	})
+	return v
+}
+
+func (v *vec[T]) key(values []string) labelKey {
+	var k labelKey
+	copy(k[:], values)
+	return k
+}
+
+// with resolves the series for the label values (which must align with the
+// vec's keys), registering it on first use or returning the overflow series
+// once the cardinality cap is reached.
+func (v *vec[T]) with(values []string) T {
+	if len(values) != len(v.keys) {
+		return v.overflow
+	}
+	k := v.key(values)
+	v.mu.RLock()
+	s, ok := v.series[k]
+	v.mu.RUnlock()
+	if ok {
+		return s
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if s, ok := v.series[k]; ok {
+		return s
+	}
+	if len(v.series) >= v.max {
+		if _, seen := v.droppedKeys[k]; !seen {
+			v.droppedSets.Add(1)
+			if len(v.droppedKeys) < v.max {
+				v.droppedKeys[k] = struct{}{}
+			}
+		}
+		return v.overflow
+	}
+	s = v.make(append([]string(nil), values...))
+	v.series[k] = s
+	return s
+}
+
+// Dropped returns how many distinct label sets were refused by the
+// cardinality cap (an upper bound once the tracking set itself fills).
+func (v *vec[T]) Dropped() int64 { return v.droppedSets.Load() }
+
+// Len returns how many label sets the vec materialized (overflow excluded).
+func (v *vec[T]) Len() int {
+	v.mu.RLock()
+	defer v.mu.RUnlock()
+	return len(v.series)
+}
+
+// CounterVec is a counter family keyed by a bounded set of label values.
+type CounterVec struct{ *vec[*Counter] }
+
+// CounterVec registers (or panics on key-shape reuse) a labeled counter
+// family on the registry. maxSeries <= 0 uses DefaultMaxSeries.
+func (r *Registry) CounterVec(name, help string, maxSeries int, keys ...string) *CounterVec {
+	ks := append([]string(nil), keys...)
+	return &CounterVec{newVec(r, name, ks, maxSeries, func(values []string) *Counter {
+		return r.Counter(name, help, pairs(ks, values)...)
+	})}
+}
+
+// With returns the counter for the label values, in key order.
+func (cv *CounterVec) With(values ...string) *Counter { return cv.with(values) }
+
+// HistogramVec is a histogram family keyed by a bounded set of label values.
+type HistogramVec struct{ *vec[*Histogram] }
+
+// HistogramVec registers a labeled histogram family on the registry.
+// maxSeries <= 0 uses DefaultMaxSeries.
+func (r *Registry) HistogramVec(name, help string, maxSeries int, keys ...string) *HistogramVec {
+	ks := append([]string(nil), keys...)
+	return &HistogramVec{newVec(r, name, ks, maxSeries, func(values []string) *Histogram {
+		return r.Histogram(name, help, pairs(ks, values)...)
+	})}
+}
+
+// With returns the histogram for the label values, in key order.
+func (hv *HistogramVec) With(values ...string) *Histogram { return hv.with(values) }
+
+// pairs interleaves keys and values into the flat label-pair form the
+// registry's registration methods take.
+func pairs(keys, values []string) []string {
+	out := make([]string, 0, 2*len(keys))
+	for i, k := range keys {
+		out = append(out, k, values[i])
+	}
+	return out
+}

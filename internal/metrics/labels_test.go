@@ -1,0 +1,391 @@
+package metrics
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterVecCardinalityOverflow(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("test_ops_total", "ops", 3, "collection", "op", "shard")
+
+	for i := 0; i < 3; i++ {
+		cv.With(fmt.Sprintf("coll%d", i), "insert", "s0").Inc()
+	}
+	if got := cv.Len(); got != 3 {
+		t.Fatalf("materialized series = %d, want 3", got)
+	}
+
+	// Past the cap every unseen label set routes to the overflow series.
+	over1 := cv.With("hostile-1", "insert", "s0")
+	over2 := cv.With("hostile-2", "insert", "s0")
+	if over1 != over2 {
+		t.Fatalf("overflow observations landed in different series")
+	}
+	over1.Inc()
+	over2.Inc()
+	if got := cv.Len(); got != 3 {
+		t.Fatalf("cap breached: %d series materialized", got)
+	}
+	if got := cv.Dropped(); got != 2 {
+		t.Fatalf("dropped label sets = %d, want 2", got)
+	}
+	// Re-observing an already-counted dropped set must not re-count it.
+	cv.With("hostile-1", "insert", "s0").Inc()
+	if got := cv.Dropped(); got != 2 {
+		t.Fatalf("dropped label sets after repeat = %d, want 2", got)
+	}
+	// Pre-cap sets keep resolving to their own series.
+	if cv.With("coll0", "insert", "s0") == over1 {
+		t.Fatalf("in-cap series collapsed into overflow")
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `test_ops_total{collection="other",op="other",shard="other"} 3`) {
+		t.Fatalf("overflow series missing or wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "test_ops_total_dropped_label_sets 2") {
+		t.Fatalf("dropped-label-sets gauge missing:\n%s", out)
+	}
+}
+
+func TestHistogramVecOverflowSharesOneSeries(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("test_duration_seconds", "latency", 2, "collection", "op")
+	hv.With("a", "find").Observe(time.Millisecond)
+	hv.With("b", "find").Observe(time.Millisecond)
+	o1 := hv.With("c", "find")
+	o2 := hv.With("d", "find")
+	if o1 != o2 {
+		t.Fatalf("overflow histograms differ")
+	}
+	o1.Observe(time.Second)
+	if got := o1.Count(); got != 1 {
+		t.Fatalf("overflow count = %d, want 1", got)
+	}
+	if got := hv.Dropped(); got != 2 {
+		t.Fatalf("dropped = %d, want 2", got)
+	}
+}
+
+func TestExemplarEmittedInExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "latency")
+	h.ObserveExemplar(1500*time.Nanosecond, "00000000deadbeef")
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	found := false
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "_bucket") && strings.Contains(line, `# {trace_id="00000000deadbeef"} 1.5e-06`) {
+			found = true
+			// The exemplar must ride the bucket the value landed in: 1500ns
+			// is under the 2048ns bound.
+			if !strings.Contains(line, `le="2.048e-06"`) {
+				t.Fatalf("exemplar on wrong bucket line: %s", line)
+			}
+		}
+	}
+	if !found {
+		t.Fatalf("no exemplar in exposition:\n%s", out)
+	}
+	// An untraced observation in a higher bucket leaves no exemplar there.
+	h.Observe(time.Minute)
+	b.Reset()
+	r.WritePrometheus(&b)
+	if got := strings.Count(b.String(), "# {trace_id="); got != 1 {
+		t.Fatalf("exemplar count = %d, want 1", got)
+	}
+}
+
+func TestRegistryExemplarsQuery(t *testing.T) {
+	r := NewRegistry()
+	hv := r.HistogramVec("q_duration_seconds", "latency", 8, "collection", "op")
+	hv.With("orders", "bulkWrite").ObserveExemplar(3*time.Millisecond, "aaaa")
+	hv.With("users", "find").ObserveExemplar(9*time.Millisecond, "bbbb")
+	r.Histogram("other_seconds", "x").ObserveExemplar(time.Millisecond, "cccc")
+
+	all := r.Exemplars("q_duration_seconds")
+	if len(all) != 2 {
+		t.Fatalf("series with exemplars = %d, want 2", len(all))
+	}
+	for _, s := range all {
+		if s.Name != "q_duration_seconds" || len(s.Values) != 1 {
+			t.Fatalf("bad series %+v", s)
+		}
+	}
+	if got := len(r.Exemplars("")); got != 3 {
+		t.Fatalf("all-family exemplar series = %d, want 3", got)
+	}
+}
+
+// TestExemplarStress hammers one histogram with traced and untraced
+// observations from many goroutines while scrapers read exemplars,
+// snapshots and the full exposition. Run under -race (CI repeats it 3x):
+// the per-bucket atomic pointers must never yield a torn trace/value pair.
+func TestExemplarStress(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("stress_seconds", "latency")
+	const writers, perWriter = 8, 2000
+	var wg sync.WaitGroup
+	for wr := 0; wr < writers; wr++ {
+		wg.Add(1)
+		go func(wr int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				// Trace IDs encode their value so a reader can verify the
+				// pair was stored atomically.
+				v := time.Duration(1+(i%1000)) * time.Microsecond
+				h.ObserveExemplar(v, "t"+strconv.FormatInt(v.Nanoseconds(), 10))
+				h.Observe(v)
+			}
+		}(wr)
+	}
+	var rg sync.WaitGroup
+	for rd := 0; rd < 4; rd++ {
+		rg.Add(1)
+		go func() {
+			defer rg.Done()
+			for i := 0; i < 200; i++ {
+				for _, be := range h.Exemplars() {
+					want := "t" + strconv.FormatInt(be.Value, 10)
+					if be.TraceID != want {
+						t.Errorf("torn exemplar: trace %q for value %d", be.TraceID, be.Value)
+						return
+					}
+				}
+				var b strings.Builder
+				r.WritePrometheus(&b)
+				h.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	rg.Wait()
+	if got := h.Count(); got != writers*perWriter*2 {
+		t.Fatalf("count = %d, want %d", got, writers*perWriter*2)
+	}
+}
+
+// TestLabeledVecStress races registration, lookup and overflow across
+// goroutines under -race: the cap must hold exactly and lookups must never
+// observe a half-registered series.
+func TestLabeledVecStress(t *testing.T) {
+	r := NewRegistry()
+	cv := r.CounterVec("vec_stress_total", "x", 16, "collection", "op")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				cv.With(fmt.Sprintf("coll%d", i%40), "insert").Inc()
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := cv.Len(); got != 16 {
+		t.Fatalf("materialized = %d, want exactly the cap 16", got)
+	}
+	// Every observation landed either in a real series or the overflow;
+	// refused label sets all resolve to one shared overflow counter, so
+	// dedupe by handle before summing.
+	seen := make(map[*Counter]bool)
+	var total int64
+	for i := 0; i < 40; i++ {
+		c := cv.With(fmt.Sprintf("coll%d", i), "insert")
+		if !seen[c] {
+			seen[c] = true
+			total += c.Value()
+		}
+	}
+	if total != 8*500 {
+		t.Fatalf("counted %d observations, want %d", total, 8*500)
+	}
+}
+
+// parseExposition is a minimal spec-following parser for the round-trip
+// test: it unescapes HELP text and label values and returns sample lines as
+// (name, labels map, value).
+type parsedSample struct {
+	name   string
+	labels map[string]string
+	value  float64
+}
+
+func parseExposition(t *testing.T, text string) (help map[string]string, samples []parsedSample) {
+	t.Helper()
+	help = make(map[string]string)
+	for _, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			name, h, _ := strings.Cut(rest, " ")
+			help[name] = unescape(h, false)
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		// Strip any exemplar suffix first.
+		if i := strings.Index(line, " # "); i >= 0 {
+			line = line[:i]
+		}
+		name := line
+		labels := map[string]string{}
+		if i := strings.IndexByte(line, '{'); i >= 0 {
+			name = line[:i]
+			rest := line[i+1:]
+			for {
+				eq := strings.IndexByte(rest, '=')
+				if eq < 0 {
+					t.Fatalf("bad label section in %q", line)
+				}
+				key := rest[:eq]
+				rest = rest[eq+2:] // skip ="
+				val, n := scanQuoted(t, rest)
+				labels[key] = val
+				rest = rest[n:]
+				if strings.HasPrefix(rest, ",") {
+					rest = rest[1:]
+					continue
+				}
+				if strings.HasPrefix(rest, "} ") {
+					line = name + " " + rest[2:]
+					break
+				}
+				t.Fatalf("bad label terminator in %q", rest)
+			}
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			t.Fatalf("bad sample line %q", line)
+		}
+		v, err := strconv.ParseFloat(fields[len(fields)-1], 64)
+		if err != nil {
+			t.Fatalf("bad sample value in %q: %v", line, err)
+		}
+		samples = append(samples, parsedSample{name: name, labels: labels, value: v})
+	}
+	return help, samples
+}
+
+// scanQuoted reads an escaped label value up to its closing quote and
+// returns the unescaped value and how many input bytes it consumed
+// (closing quote included).
+func scanQuoted(t *testing.T, s string) (string, int) {
+	t.Helper()
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			i++
+			switch s[i] {
+			case 'n':
+				b.WriteByte('\n')
+			case '"', '\\':
+				b.WriteByte(s[i])
+			default:
+				t.Fatalf("unknown escape \\%c", s[i])
+			}
+		case '"':
+			return b.String(), i + 1
+		default:
+			b.WriteByte(s[i])
+		}
+	}
+	t.Fatalf("unterminated quoted value %q", s)
+	return "", 0
+}
+
+func unescape(s string, isLabel bool) string {
+	s = strings.ReplaceAll(s, `\n`, "\n")
+	if isLabel {
+		s = strings.ReplaceAll(s, `\"`, `"`)
+	}
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func TestPrometheusEscapingRoundTrip(t *testing.T) {
+	r := NewRegistry()
+	nastyValue := "line1\nline2 \"quoted\" back\\slash"
+	nastyHelp := "help with \\ and\nnewline"
+	r.Counter("rt_total", nastyHelp, "collection", nastyValue).Add(7)
+	r.Histogram("rt_seconds", nastyHelp, "op", nastyValue).Observe(time.Millisecond)
+	r.AddGaugeSource("", func() []Gauge {
+		return []Gauge{{Name: "rt_gauge", Value: 5, Labels: []string{"shard", nastyValue}}}
+	})
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	// No raw newline may survive inside any single exposition line.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Contains(line, "line1") && strings.Contains(line, "line2") {
+			// Good: both halves on one physical line means the newline was
+			// escaped.
+			continue
+		}
+		if strings.HasSuffix(line, "line1") {
+			t.Fatalf("unescaped newline split a sample line: %q", line)
+		}
+	}
+
+	help, samples := parseExposition(t, out)
+	if got := help["rt_total"]; got != nastyHelp {
+		t.Fatalf("HELP round-trip: got %q want %q", got, nastyHelp)
+	}
+	foundCounter, foundGauge, foundCount := false, false, false
+	for _, s := range samples {
+		switch s.name {
+		case "rt_total":
+			foundCounter = true
+			if s.labels["collection"] != nastyValue {
+				t.Fatalf("counter label round-trip: got %q", s.labels["collection"])
+			}
+			if s.value != 7 {
+				t.Fatalf("counter value = %v", s.value)
+			}
+		case "rt_gauge":
+			foundGauge = true
+			if s.labels["shard"] != nastyValue {
+				t.Fatalf("gauge label round-trip: got %q", s.labels["shard"])
+			}
+		case "rt_seconds_count":
+			foundCount = true
+			if s.labels["op"] != nastyValue {
+				t.Fatalf("histogram label round-trip: got %q", s.labels["op"])
+			}
+			if s.value != 1 {
+				t.Fatalf("histogram count = %v", s.value)
+			}
+		}
+	}
+	if !foundCounter || !foundGauge || !foundCount {
+		t.Fatalf("missing samples (counter=%v gauge=%v histCount=%v):\n%s",
+			foundCounter, foundGauge, foundCount, out)
+	}
+}
+
+func TestRawHistogramUnscaledExposition(t *testing.T) {
+	r := NewRegistry()
+	h := r.RawHistogram("batch_size", "records per group commit")
+	h.Observe(6) // a batch of 6 records, not 6ns
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	if !strings.Contains(out, `batch_size_bucket{le="8"} 1`) {
+		t.Fatalf("raw bucket bounds scaled:\n%s", out)
+	}
+	if !strings.Contains(out, "batch_size_sum 6\n") {
+		t.Fatalf("raw sum scaled:\n%s", out)
+	}
+}

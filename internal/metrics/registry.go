@@ -47,7 +47,12 @@ type series[T any] struct {
 	name   string
 	labels string // rendered {k="v",...} or ""
 	help   string
-	val    T
+	// unit selects histogram value scaling at exposition: "seconds" divides
+	// nanosecond observations by 1e9 (the Prometheus duration convention),
+	// "" exports raw values (e.g. group-commit batch sizes). Unused for
+	// counters.
+	unit string
+	val  T
 }
 
 type gaugeSource struct {
@@ -63,8 +68,55 @@ func NewRegistry() *Registry {
 	}
 }
 
+// escapeLabelValue escapes a label value per the Prometheus text exposition
+// spec: backslash, double quote and newline, in that order of precedence —
+// exactly those three, not Go quoting, so a parser following the spec
+// round-trips every value.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 8)
+	for i := 0; i < len(v); i++ {
+		switch v[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(v[i])
+		}
+	}
+	return b.String()
+}
+
+// escapeHelp escapes HELP text per the spec: backslash and newline only
+// (quotes are legal in help text).
+func escapeHelp(h string) string {
+	if !strings.ContainsAny(h, "\\\n") {
+		return h
+	}
+	var b strings.Builder
+	b.Grow(len(h) + 8)
+	for i := 0; i < len(h); i++ {
+		switch h[i] {
+		case '\\':
+			b.WriteString(`\\`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteByte(h[i])
+		}
+	}
+	return b.String()
+}
+
 // renderLabels formats label pairs ("k1", "v1", "k2", "v2", ...) sorted by
-// key so the same series is always the same map key.
+// key so the same series is always the same map key. Values are escaped per
+// the exposition spec.
 func renderLabels(labels []string) string {
 	if len(labels) == 0 {
 		return ""
@@ -81,7 +133,10 @@ func renderLabels(labels []string) string {
 		if i > 0 {
 			b.WriteByte(',')
 		}
-		fmt.Fprintf(&b, "%s=%q", p.k, p.v)
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabelValue(p.v))
+		b.WriteByte('"')
 	}
 	b.WriteByte('}')
 	return b.String()
@@ -102,14 +157,38 @@ func (r *Registry) Counter(name, help string, labels ...string) *Counter {
 }
 
 // Histogram returns (registering on first use) the histogram series for the
-// metric family name and label pairs.
+// metric family name and label pairs. Observations are durations; the
+// exposition exports them in seconds per convention.
 func (r *Registry) Histogram(name, help string, labels ...string) *Histogram {
+	return r.registerHistogram(name, help, "seconds", &Histogram{}, labels)
+}
+
+// RawHistogram is Histogram for non-duration values (batch sizes, counts):
+// the exposition exports bucket bounds and sums unscaled.
+func (r *Registry) RawHistogram(name, help string, labels ...string) *Histogram {
+	return r.registerHistogram(name, help, "", &Histogram{}, labels)
+}
+
+// RegisterHistogramSeries attaches an externally owned histogram (e.g. the
+// WAL's fsync-latency histogram, which lives in the wal package so the log
+// needs no registry) to the exposition under the given family name, unit
+// ("seconds" or "") and label pairs. Re-registering the same series replaces
+// the attached histogram — the durability subsystem re-registers on
+// re-enable.
+func (r *Registry) RegisterHistogramSeries(name, help, unit string, h *Histogram, labels ...string) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	key := name + renderLabels(labels)
+	r.hists[key] = &series[*Histogram]{name: name, labels: renderLabels(labels), help: help, unit: unit, val: h}
+}
+
+func (r *Registry) registerHistogram(name, help, unit string, h *Histogram, labels []string) *Histogram {
 	key := name + renderLabels(labels)
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	s, ok := r.hists[key]
 	if !ok {
-		s = &series[*Histogram]{name: name, labels: renderLabels(labels), help: help, val: &Histogram{}}
+		s = &series[*Histogram]{name: name, labels: renderLabels(labels), help: help, unit: unit, val: h}
 		r.hists[key] = s
 	}
 	return s.val
@@ -188,7 +267,7 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, s := range counters {
 		if s.name != lastFamily {
 			if s.help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help)
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help))
 			}
 			fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
 			lastFamily = s.name
@@ -200,10 +279,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	for _, s := range hists {
 		if s.name != lastFamily {
 			if s.help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", s.name, s.help)
+				fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help))
 			}
 			fmt.Fprintf(w, "# TYPE %s histogram\n", s.name)
 			lastFamily = s.name
+		}
+		scale := 1.0
+		if s.unit == "seconds" {
+			scale = 1e9
 		}
 		snap := s.val.Snapshot()
 		labelPrefix := "{"
@@ -215,26 +298,80 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 		for _, bound := range expositionBounds {
 			// Octave alignment means a bucket starting below a power-of-two
 			// bound lies entirely at or below it, so strict < is exact.
+			lo := bi
 			for bi < numBuckets && bucketLower(bi) < bound {
 				cum += snap.Counts[bi]
 				bi++
 			}
-			fmt.Fprintf(w, "%s_bucket%sle=\"%g\"} %d\n", s.name, labelPrefix, float64(bound)/1e9, cum)
+			fmt.Fprintf(w, "%s_bucket%sle=\"%g\"} %d", s.name, labelPrefix, float64(bound)/scale, cum)
+			// OpenMetrics exemplar syntax: the bucket's most recent traced
+			// observation, appended after the sample so a tail bucket links
+			// to the trace that landed in it.
+			if e := s.val.exemplarIn(lo, bi); e != nil {
+				fmt.Fprintf(w, " # {trace_id=\"%s\"} %g", escapeLabelValue(e.TraceID), float64(e.Value)/scale)
+			}
+			fmt.Fprintf(w, "\n")
 		}
 		fmt.Fprintf(w, "%s_bucket%sle=\"+Inf\"} %d\n", s.name, labelPrefix, snap.Count)
-		fmt.Fprintf(w, "%s_sum%s %g\n", s.name, s.labels, float64(snap.Sum)/1e9)
+		fmt.Fprintf(w, "%s_sum%s %g\n", s.name, s.labels, float64(snap.Sum)/scale)
 		fmt.Fprintf(w, "%s_count%s %d\n", s.name, s.labels, snap.Count)
 	}
 
+	lastFamily = ""
 	for _, src := range sources {
 		gauges := src.fn()
-		sort.Slice(gauges, func(i, j int) bool { return gauges[i].Name < gauges[j].Name })
+		sort.Slice(gauges, func(i, j int) bool {
+			if gauges[i].Name != gauges[j].Name {
+				return gauges[i].Name < gauges[j].Name
+			}
+			return renderLabels(gauges[i].Labels) < renderLabels(gauges[j].Labels)
+		})
 		for _, g := range gauges {
 			name := promName(src.prefix, g.Name)
-			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
-			fmt.Fprintf(w, "%s %d\n", name, g.Value)
+			// Labeled gauges (per-member replication lag, per-shard
+			// in-flight) share a family name; the TYPE line renders once.
+			if name != lastFamily {
+				fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+				lastFamily = name
+			}
+			fmt.Fprintf(w, "%s%s %d\n", name, renderLabels(g.Labels), g.Value)
 		}
 	}
+}
+
+// SeriesExemplars is one histogram series' retained exemplars, as served by
+// the wire getExemplars op: the family name, the rendered label set, and
+// per-bucket {trace ID, value} pairs.
+type SeriesExemplars struct {
+	Name   string
+	Labels string
+	Unit   string // "seconds" or "" (raw)
+	Values []BucketExemplar
+}
+
+// Exemplars collects the retained exemplars of every histogram series whose
+// family name matches (all families when name is ""), sorted by series.
+func (r *Registry) Exemplars(name string) []SeriesExemplars {
+	r.mu.Lock()
+	hists := make([]*series[*Histogram], 0, len(r.hists))
+	for _, s := range r.hists {
+		if name == "" || s.name == name {
+			hists = append(hists, s)
+		}
+	}
+	r.mu.Unlock()
+	sort.Slice(hists, func(i, j int) bool {
+		return hists[i].name+hists[i].labels < hists[j].name+hists[j].labels
+	})
+	out := make([]SeriesExemplars, 0, len(hists))
+	for _, s := range hists {
+		vals := s.val.Exemplars()
+		if len(vals) == 0 {
+			continue
+		}
+		out = append(out, SeriesExemplars{Name: s.name, Labels: s.labels, Unit: s.unit, Values: vals})
+	}
+	return out
 }
 
 // Handler serves the registries' merged exposition as an http.Handler for

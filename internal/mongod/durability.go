@@ -12,6 +12,7 @@ import (
 
 	"docstore/internal/bson"
 	"docstore/internal/changestream"
+	"docstore/internal/metrics"
 	"docstore/internal/storage"
 	"docstore/internal/wal"
 )
@@ -255,6 +256,23 @@ func (s *Server) EnableDurability(d Durability) (RecoveryStats, error) {
 			db.Collection(collName).SetJournal(&collJournal{w: w, broker: ds.broker, db: dbName, coll: collName})
 		}
 	}
+	// Export the durability-health signals through the server registry: the
+	// WAL owns its fsync/batch histograms (the wal package has no registry),
+	// so they are attached here; the change-stream buffer depths are polled
+	// at scrape time.
+	s.om.registry.RegisterHistogramSeries(metricWALFsyncDuration,
+		"write-path fsync latency", "seconds", w.FsyncHistogram())
+	s.om.registry.RegisterHistogramSeries(metricWALBatchSize,
+		"records made durable per write-path fsync (group-commit batch size)", "", w.BatchHistogram())
+	s.om.registry.AddGaugeSource("", func() []metrics.Gauge {
+		st := ds.broker.Stats()
+		return []metrics.Gauge{
+			{Name: "docstore_changestream_watchers", Value: int64(st.Watchers)},
+			{Name: "docstore_changestream_buffered_events", Value: st.BufferedEvents},
+			{Name: "docstore_changestream_max_buffer_depth", Value: int64(st.MaxBufferDepth)},
+			{Name: "docstore_changestream_slow_consumers_total", Value: st.SlowConsumers},
+		}
+	})
 	return stats, nil
 }
 
@@ -564,6 +582,17 @@ func (s *Server) ChangeStreams() *changestream.Broker {
 		return nil
 	}
 	return ds.broker
+}
+
+// WALHealth snapshots the WAL's durability-health histograms — fsync
+// latency and the group-commit batch size each fsync covered — along with
+// its append/sync counters. ok is false when durability is off.
+func (s *Server) WALHealth() (fsync, batch metrics.HistogramSnapshot, stats wal.Stats, ok bool) {
+	ds := s.durable.Load()
+	if ds == nil {
+		return fsync, batch, stats, false
+	}
+	return ds.wal.FsyncDurations(), ds.wal.BatchSizes(), ds.wal.Stats(), true
 }
 
 // writeCollectionSnapshot pins one immutable storage snapshot and streams it

@@ -32,6 +32,11 @@ type ProfileEntry struct {
 	DocsExamined    int
 	SnapshotVersion int64
 	Isolation       string
+	// TraceID links the entry to a retained trace: it is set only when the
+	// operation carried a span whose trace was sampled at start, so every
+	// non-empty TraceID resolves through getTraces. It also rides into the
+	// labeled latency histogram as the bucket's exemplar.
+	TraceID string
 }
 
 // profileCap bounds the profiler's memory: the ring keeps the most recent
@@ -42,8 +47,11 @@ const profileCap = 10000
 // fixed-capacity ring: entries append until the ring is full, then each new
 // entry overwrites the oldest in place — O(1) per record, where the old
 // append-and-reslice scheme paid an O(n) memmove every record once full.
-// The backing array grows with use (append until profileCap) rather than
-// being preallocated, so an idle server pays nothing.
+// With a non-zero slow-op threshold the backing array grows with use
+// (append until profileCap), so an idle server pays nothing; with a zero
+// threshold — every op retained, the ring certain to fill — NewServer
+// preallocates the full capacity so no append-doubling reallocation (a
+// multi-hundred-KB copy once the ring is large) lands mid-request.
 type profiler struct {
 	mu      sync.Mutex
 	entries []ProfileEntry
@@ -94,7 +102,7 @@ func (db *Database) profile(op, coll string) func() {
 // profileBulk starts timing a bulk write of the given batch size; the
 // returned function stops the timer and records the entry together with the
 // per-op failure count the batch produced.
-func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int) {
+func (db *Database) profileBulk(coll string, batchOps int, traceID string) func(batchErrors int) {
 	start := db.server.clockTime()
 	c := db.Collection(coll)
 	cowStart := c.COWBytesCopied()
@@ -103,6 +111,7 @@ func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int)
 			Op: "bulkWrite", Collection: coll, At: start,
 			BatchOps: batchOps, BatchErrors: batchErrors,
 			COWBytesCopied: c.COWBytesCopied() - cowStart,
+			TraceID:        traceID,
 		})
 	}
 }
@@ -111,13 +120,14 @@ func (db *Database) profileBulk(coll string, batchOps int) func(batchErrors int)
 // access path summary, the examined-document count, and the snapshot
 // version/isolation the scan was pinned to. Streamed queries call it when
 // their cursor finishes, so the duration spans the whole drain.
-func (db *Database) recordPlan(op, coll string, start time.Time, plan storage.Plan) {
+func (db *Database) recordPlan(op, coll string, start time.Time, plan storage.Plan, traceID string) {
 	db.record(ProfileEntry{
 		Op: op, Collection: coll, At: start,
 		PlanSummary:     plan.String(),
 		DocsExamined:    plan.DocsExamined,
 		SnapshotVersion: plan.SnapshotVersion,
 		Isolation:       plan.Isolation,
+		TraceID:         traceID,
 	})
 }
 
@@ -127,8 +137,10 @@ func (db *Database) recordPlan(op, coll string, start time.Time, plan storage.Pl
 func (db *Database) record(entry ProfileEntry) {
 	elapsed := db.server.clockTime().Sub(entry.At)
 	// Every op lands in its histogram regardless of the slow-op threshold —
-	// the threshold gates only what the bounded profile ring retains.
-	db.server.om.observe(entry.Op, elapsed)
+	// the threshold gates only what the bounded profile ring retains. The
+	// labeled families key on the full namespace; the entry's trace ID (set
+	// only for sampled traces) becomes the latency bucket's exemplar.
+	db.server.om.observeNS(entry.Op, db.name+"."+entry.Collection, entry.TraceID, elapsed)
 	if elapsed < db.server.opts.SlowOpThreshold {
 		return
 	}

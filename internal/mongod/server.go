@@ -74,7 +74,13 @@ func NewServer(opts Options) *Server {
 	if opts.Name == "" {
 		opts.Name = "mongod"
 	}
-	s := &Server{opts: opts, dbs: make(map[string]*Database), om: newOpMetrics()}
+	s := &Server{opts: opts, dbs: make(map[string]*Database), om: newOpMetrics(opts.Name)}
+	// A zero threshold retains every operation, so the profile ring is
+	// certain to reach its capacity; paying the full backing array here
+	// keeps the append-doubling reallocation out of the serving path.
+	if opts.SlowOpThreshold == 0 {
+		s.profiler.entries = make([]ProfileEntry, 0, profileCap)
+	}
 	s.om.registry.AddGaugeSource("docstore", func() []metrics.Gauge {
 		return s.EngineGauges().Snapshot()
 	})
@@ -463,7 +469,7 @@ func (db *Database) BulkWrite(coll string, ops []storage.WriteOp, opts storage.B
 	span.SetAttr("collection", coll)
 	span.SetAttr("ops", len(ops))
 	opts.Trace = span
-	stop := db.profileBulk(coll, len(ops))
+	stop := db.profileBulk(coll, len(ops), span.SampledTraceID())
 	res := db.Collection(coll).BulkWrite(ops, opts)
 	stop(len(res.Errors))
 	span.Finish()
@@ -500,7 +506,7 @@ func (db *Database) FindWithPlan(coll string, filter *bson.Doc, opts storage.Fin
 	opts.Trace = span
 	start := db.server.clockTime()
 	docs, plan, err := db.Collection(coll).FindWithPlan(filter, opts)
-	db.recordPlan("find", coll, start, plan)
+	db.recordPlan("find", coll, start, plan, span.SampledTraceID())
 	span.SetAttr("docsExamined", plan.DocsExamined)
 	span.Finish()
 	return docs, plan, err

@@ -1,0 +1,71 @@
+package mongos
+
+import (
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/storage"
+)
+
+// TestShardHealthCountsDispatches pins the per-shard dispatch counters: a
+// scattered bulk counts one call on every owning shard, a failing batch
+// counts an error on the shard that reported it, and nothing stays marked
+// in flight once the scatter returns.
+func TestShardHealthCountsDispatches(t *testing.T) {
+	r := newTestRouter(t, Options{})
+	if _, err := r.EnableSharding("db", "sales", bson.D("k", "hashed"), 0); err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]storage.WriteOp, 600)
+	for i := range ops {
+		ops[i] = storage.InsertWriteOp(bson.D(bson.IDKey, i, "k", i))
+	}
+	if res := r.BulkWrite("db", "sales", ops, storage.BulkOptions{}); res.FirstError() != nil {
+		t.Fatalf("errors: %v", res.Errors)
+	}
+
+	health := r.ShardHealth()
+	if len(health) != len(r.ShardNames()) {
+		t.Fatalf("health entries = %d, want one per shard", len(health))
+	}
+	for _, h := range health {
+		if h.Calls != 1 {
+			t.Fatalf("shard %s calls = %d, want 1 grouped dispatch", h.Shard, h.Calls)
+		}
+		if h.InFlight != 0 {
+			t.Fatalf("shard %s still marks %d in flight after return", h.Shard, h.InFlight)
+		}
+		if h.Errors != 0 {
+			t.Fatalf("shard %s errors = %d on a clean batch", h.Shard, h.Errors)
+		}
+	}
+
+	// A duplicate-id insert fails on exactly the shard owning the key.
+	res := r.BulkWrite("db", "sales", []storage.WriteOp{
+		storage.InsertWriteOp(bson.D(bson.IDKey, 0, "k", 0)),
+	}, storage.BulkOptions{})
+	if res.FirstError() == nil {
+		t.Fatalf("duplicate insert succeeded")
+	}
+	var errored int64
+	for _, h := range r.ShardHealth() {
+		errored += h.Errors
+		if h.InFlight != 0 {
+			t.Fatalf("shard %s in flight after failed dispatch", h.Shard)
+		}
+	}
+	if errored != 1 {
+		t.Fatalf("errored dispatches = %d, want 1", errored)
+	}
+
+	// Gauges render one labeled triple per shard.
+	gauges := r.HealthGauges()
+	if len(gauges) != 3*len(health) {
+		t.Fatalf("gauges = %d, want 3 per shard", len(gauges))
+	}
+	for _, g := range gauges {
+		if len(g.Labels) != 2 || g.Labels[0] != "shard" {
+			t.Fatalf("gauge labels = %v", g.Labels)
+		}
+	}
+}

@@ -60,6 +60,7 @@ type Router struct {
 	replicas map[string]ReplicaShard // shard name -> replica set, when the shard is replicated
 	order    []string                // shard names in registration order; order[0] is the primary shard
 	stats    RoutingStats
+	health   map[string]*shardCounters // shard name -> dispatch-health counters
 }
 
 // NewRouter creates a router over a config server.
@@ -69,6 +70,7 @@ func NewRouter(config *sharding.ConfigServer, opts Options) *Router {
 		opts:     opts,
 		shards:   make(map[string]*mongod.Server),
 		replicas: make(map[string]ReplicaShard),
+		health:   make(map[string]*shardCounters),
 	}
 }
 
@@ -78,6 +80,7 @@ func (r *Router) AddShard(name string, server *mongod.Server) {
 	if _, exists := r.shards[name]; !exists {
 		r.shards[name] = server
 		r.order = append(r.order, name)
+		r.health[name] = &shardCounters{}
 	}
 	r.mu.Unlock()
 	r.config.AddShard(name)
@@ -114,11 +117,22 @@ func (r *Router) shardBulkWrite(name, db, coll string, ops []storage.WriteOp, op
 	span.SetAttr("shard", name)
 	span.SetAttr("ops", len(ops))
 	opts.Trace = span
+	hc := r.healthFor(name)
+	if hc != nil {
+		hc.inFlight.Add(1)
+		hc.calls.Add(1)
+	}
 	var res storage.BulkResult
 	if rep := r.replica(name); rep != nil {
 		res = rep.BulkWrite(db, coll, ops, opts)
 	} else {
 		res = r.Shard(name).Database(db).BulkWrite(coll, ops, opts)
+	}
+	if hc != nil {
+		hc.inFlight.Add(-1)
+		if res.FirstError() != nil {
+			hc.errors.Add(1)
+		}
 	}
 	span.Finish()
 	return res

@@ -430,6 +430,7 @@ func (rs *ReplicaSet) applyLoop(m *mongod.Server) {
 		rs.applying[name] = 0
 		if rs.memberEpoch[name] == rs.epoch && rs.applied[name] < e.Seq() {
 			rs.applied[name] = e.Seq()
+			rs.lastApply[name] = rs.now()
 			rs.checkWaitersLocked()
 			rs.replCond.Broadcast()
 		}

@@ -51,14 +51,19 @@ func (e *OplogEntry) Seq() int64 { return e.Record.LSN }
 type ReplicaSet struct {
 	name string
 
+	// now is the set's clock (injectable in tests): it stamps oplog entries
+	// and the per-member apply timestamps behind the health gauges.
+	now func() time.Time
+
 	mu          sync.Mutex
 	replCond    *sync.Cond // signals oplog growth, applier progress, liveness flips
 	members     []*mongod.Server
 	primary     int
 	oplog       []OplogEntry
-	wal         *wal.WAL         // nil: volatile oplog with in-memory seqs
-	applied     map[string]int64 // member name -> last applied seq
-	applying    map[string]int64 // member name -> seq its applier holds outside the lock (0: none)
+	wal         *wal.WAL             // nil: volatile oplog with in-memory seqs
+	applied     map[string]int64     // member name -> last applied seq
+	applying    map[string]int64     // member name -> seq its applier holds outside the lock (0: none)
+	lastApply   map[string]time.Time // member name -> when applied last advanced
 	nextSeq     int64
 	chainedRead int // round-robin cursor for ReadNearest
 
@@ -82,9 +87,11 @@ func New(name string, members ...*mongod.Server) (*ReplicaSet, error) {
 	}
 	rs := &ReplicaSet{
 		name:        name,
+		now:         time.Now,
 		members:     members,
 		applied:     make(map[string]int64),
 		applying:    make(map[string]int64),
+		lastApply:   make(map[string]time.Time),
 		down:        make(map[string]bool),
 		memberEpoch: make(map[string]int64),
 		waiters:     make(map[*quorumWaiter]struct{}),
@@ -124,7 +131,7 @@ func (rs *ReplicaSet) LoadOplogFromWAL(dir string) (int, error) {
 	rs.oplog = rs.oplog[:0]
 	rs.nextSeq = 0
 	for _, rec := range records {
-		rs.oplog = append(rs.oplog, OplogEntry{At: time.Now(), Record: rec})
+		rs.oplog = append(rs.oplog, OplogEntry{At: rs.now(), Record: rec})
 		rs.nextSeq = rec.LSN
 	}
 	for name := range rs.applied {
@@ -238,9 +245,10 @@ func (rs *ReplicaSet) appendOplogLocked(rec *wal.Record) (*wal.Commit, error) {
 		rs.nextSeq++
 		rec.LSN = rs.nextSeq
 	}
-	rs.oplog = append(rs.oplog, OplogEntry{At: time.Now(), Record: rec})
+	rs.oplog = append(rs.oplog, OplogEntry{At: rs.now(), Record: rec})
 	primaryName := rs.members[rs.primary].Name()
 	rs.applied[primaryName] = rec.LSN
+	rs.lastApply[primaryName] = rs.now()
 	rs.replCond.Broadcast() // wake appliers blocked on an empty tail
 	return commit, nil
 }
@@ -323,6 +331,7 @@ func (rs *ReplicaSet) sync(includePrimary bool) (int, error) {
 		rs.mu.Lock()
 		if last > rs.applied[name] {
 			rs.applied[name] = last
+			rs.lastApply[name] = rs.now()
 		}
 		rs.mu.Unlock()
 	}

@@ -1,0 +1,425 @@
+// Span export: every trace the tracer retains can also be pushed to an
+// external collector through a pluggable sink. The encoding follows the
+// OTLP JSON data model (resourceSpans → scopeSpans → spans, attributes as
+// {key, value: {stringValue|intValue|...}} pairs, ids as lowercase hex)
+// without importing any OTLP library, so the NDJSON a FileSink writes — and
+// the request bodies an HTTPSink posts — are shaped like what an OTLP/HTTP
+// collector expects.
+//
+// Export is strictly off the request path: finishRoot enqueues the finished
+// view into a bounded queue and returns; a single drainer goroutine encodes
+// and hands batches to the sink. When the queue is full the trace is
+// dropped and counted — a slow collector can never stall or block a write.
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// DefaultExportQueue bounds the export queue when NewExporter is given no
+// size.
+const DefaultExportQueue = 256
+
+// Sink receives encoded trace exports. Export is called from the exporter's
+// single drainer goroutine, never concurrently.
+type Sink interface {
+	// Export delivers one OTLP-shaped JSON document (one complete trace).
+	Export(payload []byte) error
+	// Close releases the sink (flushes files, etc.).
+	Close() error
+}
+
+// ExporterStats reports export activity, surfaced as tracer gauges.
+type ExporterStats struct {
+	Exported int64 // traces handed to the sink successfully
+	Dropped  int64 // traces discarded because the queue was full
+	Failed   int64 // sink errors (after the sink's own retries)
+}
+
+// Exporter drains retained traces to a sink through a bounded non-blocking
+// queue. A nil *Exporter is valid and free: every method no-ops.
+type Exporter struct {
+	sink    Sink
+	service string
+	queue   chan View
+
+	exported atomic.Int64
+	dropped  atomic.Int64
+	failed   atomic.Int64
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pending int
+	closed  bool
+	wg      sync.WaitGroup
+}
+
+// NewExporter starts an exporter draining into sink. service names the
+// emitting process in the OTLP resource attributes ("docstored" typically);
+// queueSize <= 0 uses DefaultExportQueue.
+func NewExporter(sink Sink, service string, queueSize int) *Exporter {
+	if queueSize <= 0 {
+		queueSize = DefaultExportQueue
+	}
+	if service == "" {
+		service = "docstore"
+	}
+	e := &Exporter{sink: sink, service: service, queue: make(chan View, queueSize)}
+	e.cond = sync.NewCond(&e.mu)
+	e.wg.Add(1)
+	go e.run()
+	return e
+}
+
+// enqueue offers a finished trace to the queue without ever blocking.
+func (e *Exporter) enqueue(v View) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		e.dropped.Add(1)
+		return
+	}
+	select {
+	case e.queue <- v:
+		e.pending++
+		e.mu.Unlock()
+	default:
+		e.mu.Unlock()
+		e.dropped.Add(1)
+	}
+}
+
+func (e *Exporter) run() {
+	defer e.wg.Done()
+	for v := range e.queue {
+		payload := EncodeOTLP(&v, e.service)
+		err := e.sink.Export(payload)
+		e.mu.Lock()
+		e.pending--
+		if err != nil {
+			e.failed.Add(1)
+		} else {
+			e.exported.Add(1)
+		}
+		e.cond.Broadcast()
+		e.mu.Unlock()
+	}
+}
+
+// Flush blocks until every trace enqueued before the call has been handed
+// to the sink (or failed). Tests and shutdown paths synchronize on it
+// instead of sleeping.
+func (e *Exporter) Flush() {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	for e.pending > 0 {
+		e.cond.Wait()
+	}
+	e.mu.Unlock()
+}
+
+// Close drains the queue, stops the drainer and closes the sink. Traces
+// enqueued after Close are dropped and counted.
+func (e *Exporter) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	if e.closed {
+		e.mu.Unlock()
+		return nil
+	}
+	e.closed = true
+	e.mu.Unlock()
+	close(e.queue)
+	e.wg.Wait()
+	return e.sink.Close()
+}
+
+// Stats returns export counters.
+func (e *Exporter) Stats() ExporterStats {
+	if e == nil {
+		return ExporterStats{}
+	}
+	return ExporterStats{
+		Exported: e.exported.Load(),
+		Dropped:  e.dropped.Load(),
+		Failed:   e.failed.Load(),
+	}
+}
+
+// EncodeOTLP renders one finished trace as an OTLP-shaped JSON document.
+// Trace ids are zero-padded to the model's 16 bytes (32 hex digits), span
+// ids to 8 bytes; int64 values encode as strings, as OTLP JSON prescribes.
+func EncodeOTLP(v *View, service string) []byte {
+	spans := make([]otlpSpan, 0, 8)
+	spans = flattenSpans(spans, v, "")
+	doc := otlpExport{ResourceSpans: []otlpResourceSpans{{
+		Resource: otlpResource{Attributes: []otlpKV{strAttr("service.name", service)}},
+		ScopeSpans: []otlpScopeSpans{{
+			Scope: otlpScope{Name: "docstore/internal/trace"},
+			Spans: spans,
+		}},
+	}}}
+	payload, err := json.Marshal(doc)
+	if err != nil {
+		// The structs marshal by construction; a failure here is a
+		// programming error worth surfacing loudly in the payload itself.
+		return []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return payload
+}
+
+// flattenSpans appends the view and its subtree in depth-first order,
+// deriving each child's parentSpanId from the tree walk.
+func flattenSpans(out []otlpSpan, v *View, parent string) []otlpSpan {
+	start := v.Start.UnixNano()
+	end := start + v.Duration.Nanoseconds()
+	sp := otlpSpan{
+		TraceID:           pad32(v.TraceID),
+		SpanID:            v.SpanID,
+		ParentSpanID:      parent,
+		Name:              v.Name,
+		Kind:              otlpSpanKindInternal,
+		StartTimeUnixNano: strconv.FormatInt(start, 10),
+		EndTimeUnixNano:   strconv.FormatInt(end, 10),
+	}
+	for _, a := range v.Attrs {
+		sp.Attributes = append(sp.Attributes, attr(a.Key, a.Value))
+	}
+	out = append(out, sp)
+	for i := range v.Children {
+		out = flattenSpans(out, &v.Children[i], v.SpanID)
+	}
+	return out
+}
+
+// pad32 widens a 16-hex-digit trace id to the OTLP model's 32 hex digits.
+func pad32(id string) string {
+	if len(id) >= 32 {
+		return id
+	}
+	return "0000000000000000"[:32-len(id)] + id
+}
+
+// otlpSpanKindInternal is SPAN_KIND_INTERNAL in the OTLP enum.
+const otlpSpanKindInternal = 1
+
+type otlpExport struct {
+	ResourceSpans []otlpResourceSpans `json:"resourceSpans"`
+}
+
+type otlpResourceSpans struct {
+	Resource   otlpResource     `json:"resource"`
+	ScopeSpans []otlpScopeSpans `json:"scopeSpans"`
+}
+
+type otlpResource struct {
+	Attributes []otlpKV `json:"attributes"`
+}
+
+type otlpScopeSpans struct {
+	Scope otlpScope  `json:"scope"`
+	Spans []otlpSpan `json:"spans"`
+}
+
+type otlpScope struct {
+	Name string `json:"name"`
+}
+
+type otlpSpan struct {
+	TraceID           string   `json:"traceId"`
+	SpanID            string   `json:"spanId"`
+	ParentSpanID      string   `json:"parentSpanId,omitempty"`
+	Name              string   `json:"name"`
+	Kind              int      `json:"kind"`
+	StartTimeUnixNano string   `json:"startTimeUnixNano"`
+	EndTimeUnixNano   string   `json:"endTimeUnixNano"`
+	Attributes        []otlpKV `json:"attributes,omitempty"`
+}
+
+type otlpKV struct {
+	Key   string    `json:"key"`
+	Value otlpValue `json:"value"`
+}
+
+// otlpValue is the OTLP AnyValue one-of: exactly one field is set.
+type otlpValue struct {
+	StringValue *string  `json:"stringValue,omitempty"`
+	IntValue    *string  `json:"intValue,omitempty"`
+	DoubleValue *float64 `json:"doubleValue,omitempty"`
+	BoolValue   *bool    `json:"boolValue,omitempty"`
+}
+
+func strAttr(k, v string) otlpKV {
+	return otlpKV{Key: k, Value: otlpValue{StringValue: &v}}
+}
+
+func attr(k string, v any) otlpKV {
+	switch x := v.(type) {
+	case string:
+		return strAttr(k, x)
+	case bool:
+		b := x
+		return otlpKV{Key: k, Value: otlpValue{BoolValue: &b}}
+	case float64:
+		f := x
+		return otlpKV{Key: k, Value: otlpValue{DoubleValue: &f}}
+	case int:
+		s := strconv.FormatInt(int64(x), 10)
+		return otlpKV{Key: k, Value: otlpValue{IntValue: &s}}
+	case int64:
+		s := strconv.FormatInt(x, 10)
+		return otlpKV{Key: k, Value: otlpValue{IntValue: &s}}
+	default:
+		return strAttr(k, fmt.Sprintf("%v", v))
+	}
+}
+
+// MemorySink retains exported payloads in memory for tests.
+type MemorySink struct {
+	mu       sync.Mutex
+	payloads [][]byte
+}
+
+// Export appends a copy of the payload.
+func (m *MemorySink) Export(payload []byte) error {
+	m.mu.Lock()
+	m.payloads = append(m.payloads, append([]byte(nil), payload...))
+	m.mu.Unlock()
+	return nil
+}
+
+// Close is a no-op.
+func (m *MemorySink) Close() error { return nil }
+
+// Exports returns the retained payloads, oldest first.
+func (m *MemorySink) Exports() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([][]byte(nil), m.payloads...)
+}
+
+// FileSink appends exports to a file as NDJSON: one OTLP-shaped document
+// per line.
+type FileSink struct {
+	mu sync.Mutex
+	w  io.WriteCloser
+}
+
+// NewFileSink opens (appending) the NDJSON file at path.
+func NewFileSink(path string) (*FileSink, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &FileSink{w: f}, nil
+}
+
+// Export writes the payload and a newline.
+func (s *FileSink) Export(payload []byte) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, err := s.w.Write(payload); err != nil {
+		return err
+	}
+	_, err := s.w.Write([]byte{'\n'})
+	return err
+}
+
+// Close closes the file.
+func (s *FileSink) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.w.Close()
+}
+
+// HTTPSink POSTs each export to an OTLP-style collector endpoint with
+// bounded retry and exponential backoff. The sleep function is injectable
+// so tests exercise the retry schedule without wall-clock naps.
+type HTTPSink struct {
+	url     string
+	client  *http.Client
+	retries int
+	backoff time.Duration
+	sleep   func(time.Duration)
+}
+
+// HTTPSinkOptions tunes an HTTPSink; zero values select the defaults
+// (2 retries after the first attempt, 50ms initial backoff, doubling).
+type HTTPSinkOptions struct {
+	Client  *http.Client
+	Retries int
+	Backoff time.Duration
+	Sleep   func(time.Duration)
+}
+
+// NewHTTPSink builds a sink posting to url.
+func NewHTTPSink(url string, opts HTTPSinkOptions) *HTTPSink {
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 5 * time.Second}
+	}
+	if opts.Retries == 0 {
+		opts.Retries = 2
+	}
+	if opts.Backoff == 0 {
+		opts.Backoff = 50 * time.Millisecond
+	}
+	if opts.Sleep == nil {
+		opts.Sleep = time.Sleep
+	}
+	return &HTTPSink{
+		url:     url,
+		client:  opts.Client,
+		retries: opts.Retries,
+		backoff: opts.Backoff,
+		sleep:   opts.Sleep,
+	}
+}
+
+// Export posts the payload, retrying transient failures (transport errors
+// and 5xx responses) with exponential backoff. 4xx responses are permanent:
+// retrying a payload the collector rejects cannot succeed.
+func (s *HTTPSink) Export(payload []byte) error {
+	delay := s.backoff
+	var lastErr error
+	for attempt := 0; attempt <= s.retries; attempt++ {
+		if attempt > 0 {
+			s.sleep(delay)
+			delay *= 2
+		}
+		resp, err := s.client.Post(s.url, "application/json", bytes.NewReader(payload))
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode < 300:
+			return nil
+		case resp.StatusCode >= 400 && resp.StatusCode < 500:
+			return fmt.Errorf("trace export: collector rejected payload: %s", resp.Status)
+		default:
+			lastErr = fmt.Errorf("trace export: %s", resp.Status)
+		}
+	}
+	return lastErr
+}
+
+// Close is a no-op: the sink holds no resources beyond the shared client.
+func (s *HTTPSink) Close() error { return nil }

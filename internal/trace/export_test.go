@@ -1,0 +1,433 @@
+package trace
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// exportOne runs a sampled root with one child through tr and flushes the
+// exporter so the sink has received it.
+func exportOne(t *testing.T, tr *Tracer, clk *fakeClock, e *Exporter) *Span {
+	t.Helper()
+	root := tr.StartSpan("wire.insert")
+	root.SetAttr("collection", "orders")
+	child := root.Child("mongod.bulkWrite")
+	child.SetAttr("docs", 3)
+	clk.Advance(2 * time.Millisecond)
+	child.Finish()
+	clk.Advance(time.Millisecond)
+	root.Finish()
+	e.Flush()
+	return root
+}
+
+func TestExporterOTLPShape(t *testing.T) {
+	clk := newClock(time.Hour)
+	tr := New(Options{SampleRate: 1, Clock: clk.Now})
+	sink := &MemorySink{}
+	e := NewExporter(sink, "docstored-test", 16)
+	tr.SetExporter(e)
+
+	root := exportOne(t, tr, clk, e)
+
+	exports := sink.Exports()
+	if len(exports) != 1 {
+		t.Fatalf("exported %d payloads, want 1", len(exports))
+	}
+	var doc struct {
+		ResourceSpans []struct {
+			Resource struct {
+				Attributes []struct {
+					Key   string `json:"key"`
+					Value struct {
+						StringValue string `json:"stringValue"`
+					} `json:"value"`
+				} `json:"attributes"`
+			} `json:"resource"`
+			ScopeSpans []struct {
+				Scope struct {
+					Name string `json:"name"`
+				} `json:"scope"`
+				Spans []struct {
+					TraceID           string `json:"traceId"`
+					SpanID            string `json:"spanId"`
+					ParentSpanID      string `json:"parentSpanId"`
+					Name              string `json:"name"`
+					Kind              int    `json:"kind"`
+					StartTimeUnixNano string `json:"startTimeUnixNano"`
+					EndTimeUnixNano   string `json:"endTimeUnixNano"`
+					Attributes        []struct {
+						Key   string `json:"key"`
+						Value struct {
+							StringValue string `json:"stringValue"`
+							IntValue    string `json:"intValue"`
+						} `json:"value"`
+					} `json:"attributes"`
+				} `json:"spans"`
+			} `json:"scopeSpans"`
+		} `json:"resourceSpans"`
+	}
+	if err := json.Unmarshal(exports[0], &doc); err != nil {
+		t.Fatalf("payload is not valid JSON: %v\n%s", err, exports[0])
+	}
+	if len(doc.ResourceSpans) != 1 || len(doc.ResourceSpans[0].ScopeSpans) != 1 {
+		t.Fatalf("want 1 resourceSpans / 1 scopeSpans, got %s", exports[0])
+	}
+	res := doc.ResourceSpans[0]
+	if len(res.Resource.Attributes) == 0 ||
+		res.Resource.Attributes[0].Key != "service.name" ||
+		res.Resource.Attributes[0].Value.StringValue != "docstored-test" {
+		t.Fatalf("resource attributes missing service.name: %s", exports[0])
+	}
+	spans := res.ScopeSpans[0].Spans
+	if len(spans) != 2 {
+		t.Fatalf("flattened %d spans, want 2 (root + child)", len(spans))
+	}
+	rootSpan, childSpan := spans[0], spans[1]
+	if rootSpan.Name != "wire.insert" || childSpan.Name != "mongod.bulkWrite" {
+		t.Fatalf("span names = %q, %q", rootSpan.Name, childSpan.Name)
+	}
+	wantTrace := pad32(root.TraceID())
+	if len(wantTrace) != 32 {
+		t.Fatalf("padded trace id %q is not 32 hex digits", wantTrace)
+	}
+	if rootSpan.TraceID != wantTrace || childSpan.TraceID != wantTrace {
+		t.Fatalf("trace ids %q/%q, want %q", rootSpan.TraceID, childSpan.TraceID, wantTrace)
+	}
+	if rootSpan.ParentSpanID != "" {
+		t.Fatalf("root has parentSpanId %q, want none", rootSpan.ParentSpanID)
+	}
+	if childSpan.ParentSpanID != rootSpan.SpanID {
+		t.Fatalf("child parentSpanId %q, want root spanId %q", childSpan.ParentSpanID, rootSpan.SpanID)
+	}
+	if rootSpan.Kind != otlpSpanKindInternal {
+		t.Fatalf("span kind %d, want %d", rootSpan.Kind, otlpSpanKindInternal)
+	}
+	// Root spans 3ms; timestamps are decimal-string nanos per OTLP JSON.
+	if rootSpan.StartTimeUnixNano == "" || rootSpan.EndTimeUnixNano == "" {
+		t.Fatalf("missing timestamps: %+v", rootSpan)
+	}
+	var attrs = map[string]string{}
+	for _, a := range rootSpan.Attributes {
+		attrs[a.Key] = a.Value.StringValue
+	}
+	if attrs["collection"] != "orders" {
+		t.Fatalf("root attributes = %v, want collection=orders", attrs)
+	}
+	gotInt := ""
+	for _, a := range childSpan.Attributes {
+		if a.Key == "docs" {
+			gotInt = a.Value.IntValue
+		}
+	}
+	if gotInt != "3" {
+		t.Fatalf("child docs attribute = %q, want intValue \"3\"", gotInt)
+	}
+	if st := e.Stats(); st.Exported != 1 || st.Dropped != 0 || st.Failed != 0 {
+		t.Fatalf("stats = %+v, want 1 exported", st)
+	}
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestExporterOnlyRetainedTraces(t *testing.T) {
+	clk := newClock(0)
+	tr := New(Options{SampleRate: 0, Clock: clk.Now})
+	sink := &MemorySink{}
+	e := NewExporter(sink, "t", 16)
+	tr.SetExporter(e)
+
+	s := tr.StartSpan("wire.find")
+	clk.Advance(time.Millisecond)
+	s.Finish()
+	e.Flush()
+	if got := len(sink.Exports()); got != 0 {
+		t.Fatalf("unsampled trace exported %d payloads, want 0", got)
+	}
+	e.Close()
+}
+
+func TestExporterQueueOverflowDrops(t *testing.T) {
+	clk := newClock(0)
+	tr := New(Options{SampleRate: 1, Clock: clk.Now})
+	// A sink that blocks until released, so the queue backs up.
+	gate := make(chan struct{})
+	sink := &gateSink{gate: gate}
+	e := NewExporter(sink, "t", 2)
+	tr.SetExporter(e)
+
+	// One trace occupies the drainer, two fill the queue; the rest drop.
+	for i := 0; i < 8; i++ {
+		s := tr.StartSpan("op")
+		s.Finish()
+	}
+	// enqueue is synchronous, so drops are already counted.
+	if st := e.Stats(); st.Dropped == 0 {
+		t.Fatalf("stats = %+v, want drops with a full queue", st)
+	}
+	close(gate)
+	e.Flush()
+	st := e.Stats()
+	if st.Exported+st.Dropped != 8 || st.Exported < 1 {
+		t.Fatalf("stats = %+v, want exported+dropped == 8", st)
+	}
+	e.Close()
+}
+
+// gateSink blocks every Export until the gate closes.
+type gateSink struct {
+	gate  chan struct{}
+	count atomic.Int64
+}
+
+func (g *gateSink) Export([]byte) error { <-g.gate; g.count.Add(1); return nil }
+func (g *gateSink) Close() error        { return nil }
+
+func TestExporterEnqueueAfterCloseDrops(t *testing.T) {
+	clk := newClock(0)
+	tr := New(Options{SampleRate: 1, Clock: clk.Now})
+	sink := &MemorySink{}
+	e := NewExporter(sink, "t", 4)
+	tr.SetExporter(e)
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	s := tr.StartSpan("op")
+	s.Finish()
+	if st := e.Stats(); st.Dropped != 1 {
+		t.Fatalf("stats = %+v, want 1 drop after close", st)
+	}
+	// Double close is a no-op.
+	if err := e.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+}
+
+func TestNilExporterAndNilTracerAreFree(t *testing.T) {
+	var e *Exporter
+	e.enqueue(View{})
+	e.Flush()
+	if err := e.Close(); err != nil {
+		t.Fatalf("nil close: %v", err)
+	}
+	if st := e.Stats(); st != (ExporterStats{}) {
+		t.Fatalf("nil stats = %+v", st)
+	}
+	var tr *Tracer
+	tr.SetExporter(nil)
+	if tr.Exporter() != nil {
+		t.Fatal("nil tracer returned an exporter")
+	}
+	var s *Span
+	if s.SampledTraceID() != "" {
+		t.Fatal("nil span returned a sampled trace id")
+	}
+}
+
+func TestSampledTraceID(t *testing.T) {
+	clk := newClock(0)
+	always := New(Options{SampleRate: 1, Clock: clk.Now})
+	never := New(Options{SampleRate: 0, Clock: clk.Now})
+
+	s := always.StartSpan("op")
+	if got := s.SampledTraceID(); got != s.TraceID() {
+		t.Fatalf("sampled root SampledTraceID = %q, want %q", got, s.TraceID())
+	}
+	c := s.Child("inner")
+	if got := c.SampledTraceID(); got != s.TraceID() {
+		t.Fatalf("child of sampled root SampledTraceID = %q, want %q", got, s.TraceID())
+	}
+	u := never.StartSpan("op")
+	if got := u.SampledTraceID(); got != "" {
+		t.Fatalf("unsampled root SampledTraceID = %q, want empty", got)
+	}
+	if got := u.Child("inner").SampledTraceID(); got != "" {
+		t.Fatalf("child of unsampled root SampledTraceID = %q, want empty", got)
+	}
+}
+
+func TestFileSinkNDJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "spans.ndjson")
+	sink, err := NewFileSink(path)
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	clk := newClock(0)
+	tr := New(Options{SampleRate: 1, Clock: clk.Now})
+	e := NewExporter(sink, "t", 16)
+	tr.SetExporter(e)
+
+	for i := 0; i < 3; i++ {
+		s := tr.StartSpan("op")
+		clk.Advance(time.Millisecond)
+		s.Finish()
+	}
+	e.Flush()
+	if err := e.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read: %v", err)
+	}
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("file has %d lines, want 3:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		var doc map[string]any
+		if err := json.Unmarshal([]byte(line), &doc); err != nil {
+			t.Fatalf("line %d is not JSON: %v", i, err)
+		}
+		if _, ok := doc["resourceSpans"]; !ok {
+			t.Fatalf("line %d missing resourceSpans: %s", i, line)
+		}
+	}
+}
+
+func TestHTTPSinkRetriesThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) < 3 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusOK)
+	}))
+	defer srv.Close()
+
+	var slept []time.Duration
+	sink := NewHTTPSink(srv.URL, HTTPSinkOptions{
+		Client:  srv.Client(),
+		Retries: 3,
+		Backoff: 10 * time.Millisecond,
+		Sleep:   func(d time.Duration) { slept = append(slept, d) },
+	})
+	if err := sink.Export([]byte(`{"resourceSpans":[]}`)); err != nil {
+		t.Fatalf("export: %v", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server saw %d calls, want 3", calls.Load())
+	}
+	// Exponential: 10ms then 20ms before attempts 2 and 3.
+	want := []time.Duration{10 * time.Millisecond, 20 * time.Millisecond}
+	if len(slept) != len(want) || slept[0] != want[0] || slept[1] != want[1] {
+		t.Fatalf("backoff schedule %v, want %v", slept, want)
+	}
+}
+
+func TestHTTPSinkPermanentFailureNoRetry(t *testing.T) {
+	var calls atomic.Int64
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.WriteHeader(http.StatusBadRequest)
+	}))
+	defer srv.Close()
+	sink := NewHTTPSink(srv.URL, HTTPSinkOptions{
+		Client: srv.Client(),
+		Sleep:  func(time.Duration) { t.Fatal("slept on a permanent failure") },
+	})
+	err := sink.Export([]byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "rejected") {
+		t.Fatalf("err = %v, want rejection", err)
+	}
+	if calls.Load() != 1 {
+		t.Fatalf("server saw %d calls, want 1 (no retry on 4xx)", calls.Load())
+	}
+}
+
+func TestHTTPSinkExhaustsRetries(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer srv.Close()
+	sink := NewHTTPSink(srv.URL, HTTPSinkOptions{
+		Client:  srv.Client(),
+		Retries: 2,
+		Sleep:   func(time.Duration) {},
+	})
+	err := sink.Export([]byte(`{}`))
+	if err == nil || !strings.Contains(err.Error(), "500") {
+		t.Fatalf("err = %v, want 500 after exhausted retries", err)
+	}
+}
+
+func TestExporterCountsSinkFailures(t *testing.T) {
+	clk := newClock(0)
+	tr := New(Options{SampleRate: 1, Clock: clk.Now})
+	e := NewExporter(failSink{}, "t", 16)
+	tr.SetExporter(e)
+	s := tr.StartSpan("op")
+	s.Finish()
+	e.Flush()
+	if st := e.Stats(); st.Failed != 1 || st.Exported != 0 {
+		t.Fatalf("stats = %+v, want 1 failed", st)
+	}
+	e.Close()
+}
+
+type failSink struct{}
+
+func (failSink) Export([]byte) error { return errors.New("boom") }
+func (failSink) Close() error        { return nil }
+
+// TestExportStress hammers a tracer+exporter from many goroutines while the
+// stats and flush paths run concurrently; run under -race in CI.
+func TestExportStress(t *testing.T) {
+	clk := newClock(0)
+	tr := New(Options{SampleRate: 0.5, Clock: clk.Now, Seed: 99})
+	sink := &MemorySink{}
+	e := NewExporter(sink, "t", 32)
+	tr.SetExporter(e)
+
+	const workers = 8
+	const perWorker = 200
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func(w int) {
+			defer func() { done <- struct{}{} }()
+			for i := 0; i < perWorker; i++ {
+				s := tr.StartSpan(fmt.Sprintf("op-%d", w))
+				c := s.Child("inner")
+				c.SetAttr("i", i)
+				c.Finish()
+				s.Finish()
+			}
+		}(w)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.Stats()
+				e.Flush()
+			}
+		}
+	}()
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	close(stop)
+	e.Flush()
+	st := e.Stats()
+	if got := int64(len(sink.Exports())); got != st.Exported {
+		t.Fatalf("sink holds %d payloads, stats say %d exported", got, st.Exported)
+	}
+	if st.Exported+st.Dropped == 0 {
+		t.Fatal("no traces reached the exporter")
+	}
+	e.Close()
+}

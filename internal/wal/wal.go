@@ -19,6 +19,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"docstore/internal/metrics"
 )
 
 // SyncPolicy selects when appended records are fsynced.
@@ -109,6 +111,14 @@ type WAL struct {
 	appends atomic.Int64 // records appended
 	syncs   atomic.Int64 // fsyncs issued
 
+	// fsyncHist times each write-path fsync; batchHist records how many
+	// records each fsync made durable (the group-commit batch size). Both
+	// are owned here — the wal package stays dependency-light — and the
+	// durability layer attaches them to its metrics registry so /metrics
+	// exports them as docstore_wal_* families.
+	fsyncHist metrics.Histogram
+	batchHist metrics.Histogram
+
 	gc groupCommitter
 }
 
@@ -123,6 +133,22 @@ type Stats struct {
 func (w *WAL) Stats() Stats {
 	return Stats{Appends: w.appends.Load(), Syncs: w.syncs.Load()}
 }
+
+// FsyncHistogram returns the write-path fsync latency histogram. The WAL
+// owns the histogram; callers with a metrics registry attach it via
+// RegisterHistogramSeries so it appears on /metrics.
+func (w *WAL) FsyncHistogram() *metrics.Histogram { return &w.fsyncHist }
+
+// BatchHistogram returns the group-commit batch-size histogram: one
+// observation per write-path fsync, valued at the number of records that
+// fsync made durable. Values are raw counts, not durations.
+func (w *WAL) BatchHistogram() *metrics.Histogram { return &w.batchHist }
+
+// FsyncDurations snapshots the fsync latency histogram.
+func (w *WAL) FsyncDurations() metrics.HistogramSnapshot { return w.fsyncHist.Snapshot() }
+
+// BatchSizes snapshots the group-commit batch-size histogram.
+func (w *WAL) BatchSizes() metrics.HistogramSnapshot { return w.batchHist.Snapshot() }
 
 // Open opens (or creates) the log in opts.Dir. When existing segments are
 // found, the newest one is scanned and a torn tail — a partial or
@@ -330,11 +356,21 @@ func (w *WAL) flushAndSync() error {
 		return err
 	}
 	target := w.lastLSN
+	prevSynced := w.syncedLSN
 	f := w.f
 	w.mu.Unlock()
 
 	w.syncs.Add(1)
+	start := time.Now()
 	err := f.Sync()
+	w.fsyncHist.Observe(time.Since(start))
+	if batch := target - prevSynced; batch > 0 {
+		// How many records this fsync made durable: the group-commit batch.
+		// Concurrent fsyncs can both claim the same records (each observed
+		// its own prevSynced), which slightly overstates batches under
+		// contention — acceptable for a coalescing-health gauge.
+		w.batchHist.Observe(time.Duration(batch))
+	}
 
 	w.mu.Lock()
 	if err == nil && target > w.syncedLSN {

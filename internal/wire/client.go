@@ -389,6 +389,57 @@ func (c *Client) Traces(limit int) ([]*bson.Doc, error) {
 	return resp.Docs, nil
 }
 
+// TraceFilter narrows a currentOp/getTraces listing. The zero value keeps
+// everything.
+type TraceFilter struct {
+	// OpName keeps only traces whose root span name starts with the prefix
+	// ("wire.insert"; "wire.ins" also matches).
+	OpName string
+	// MinDuration keeps only traces at least this long (elapsed-so-far for
+	// in-flight ops). Sub-microsecond precision is lost on the wire.
+	MinDuration time.Duration
+	// Limit caps the result after filtering; <= 0 returns everything that
+	// matched.
+	Limit int
+}
+
+// CurrentOpFiltered lists in-flight operations matching the filter.
+func (c *Client) CurrentOpFiltered(f TraceFilter) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{
+		Op: OpCurrentOp, Limit: f.Limit,
+		OpName: f.OpName, MinDurationUS: f.MinDuration.Microseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// TracesFiltered returns completed trace trees matching the filter, most
+// recent first.
+func (c *Client) TracesFiltered(f TraceFilter) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{
+		Op: OpGetTraces, Limit: f.Limit,
+		OpName: f.OpName, MinDurationUS: f.MinDuration.Microseconds(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// Exemplars lists the server's retained latency-histogram exemplars: one
+// document per histogram series with a buckets array of {bucketLower,
+// traceId, value} entries. metric filters to one family name; "" returns
+// every family that has exemplars.
+func (c *Client) Exemplars(metric string) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpGetExemplars, Metric: metric})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
 // Stats returns the server status summary document.
 func (c *Client) Stats(db string) (*bson.Doc, error) {
 	resp, err := c.Do(&Request{Op: OpStats, DB: db})

@@ -89,7 +89,19 @@ const (
 	// retention ring, most recent first: requests that were sampled at start
 	// plus every request slower than the server's slow threshold. "limit"
 	// caps the count (0 returns the whole ring).
+	//
+	// Both currentOp and getTraces accept filters: "opName" keeps only
+	// traces whose root span name starts with the prefix ("wire.insert", or
+	// just "wire.ins"), "minDurationUS" keeps only traces at least that many
+	// microseconds long, and "limit" caps the result after filtering.
 	OpGetTraces = "getTraces"
+	// OpGetExemplars lists the labeled latency-histogram exemplars the
+	// server currently retains: per histogram series, each bucket's most
+	// recent sampled observation with the trace ID that produced it — the
+	// queryable form of the `# {trace_id="..."}` annotations on /metrics.
+	// "metric" filters to one metric family name; empty returns every
+	// family that has exemplars.
+	OpGetExemplars = "getExemplars"
 )
 
 // Request is one client request. It is encoded as a flat document so that
@@ -145,6 +157,15 @@ type Request struct {
 	// for the first event before returning an empty batch (awaitData).
 	// Zero uses the server's default wait.
 	MaxTimeMS int
+	// OpName filters currentOp/getTraces to traces whose root span name
+	// starts with this prefix ("wire.insert"; "wire.ins" also matches).
+	OpName string
+	// MinDurationUS filters currentOp/getTraces to traces at least this
+	// many microseconds long (elapsed-so-far for in-flight ops).
+	MinDurationUS int64
+	// Metric filters getExemplars to one metric family name; empty lists
+	// every family that has exemplars.
+	Metric string
 	// span is the request's root trace span, attached server-side by Handle
 	// when tracing is on. It never travels on the wire.
 	span *trace.Span
@@ -224,6 +245,15 @@ func (r *Request) encode() *bson.Doc {
 	if r.MaxTimeMS != 0 {
 		d.Set("maxTimeMS", r.MaxTimeMS)
 	}
+	if r.OpName != "" {
+		d.Set("opName", r.OpName)
+	}
+	if r.MinDurationUS != 0 {
+		d.Set("minDurationUS", r.MinDurationUS)
+	}
+	if r.Metric != "" {
+		d.Set("metric", r.Metric)
+	}
 	return d
 }
 
@@ -296,6 +326,17 @@ func decodeRequest(d *bson.Doc) *Request {
 		if n, isNum := bson.AsInt(v); isNum {
 			r.MaxTimeMS = int(n)
 		}
+	}
+	if v, ok := d.Get("opName"); ok {
+		r.OpName, _ = v.(string)
+	}
+	if v, ok := d.Get("minDurationUS"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.MinDurationUS = n
+		}
+	}
+	if v, ok := d.Get("metric"); ok {
+		r.Metric, _ = v.(string)
 	}
 	if v, ok := d.Get("writeConcern"); ok {
 		if wcDoc, isDoc := v.(*bson.Doc); isDoc {

@@ -43,6 +43,14 @@ type ReplicatedBackend interface {
 	BulkWrite(db, coll string, ops []storage.WriteOp, opts storage.BulkOptions) storage.BulkResult
 }
 
+// replHealthSource is the optional replication-health face of a replicated
+// backend: *replset.ReplicaSet implements it, and serverStatus includes a
+// per-member lag section when the attached backend does. An interface
+// assertion keeps wire from importing replset.
+type replHealthSource interface {
+	HealthDocs() []*bson.Doc
+}
+
 // Server serves the wire protocol for a mongod.Server over TCP.
 type Server struct {
 	backend *mongod.Server
@@ -413,7 +421,10 @@ func (s *Server) Handle(req *Request) *Response {
 		}
 		req.span.Finish()
 	}
-	s.wm.observe(req.Op, s.now().Sub(start), resp.Error != "")
+	// SampledTraceID is non-empty only for roots sampled at start — traces
+	// guaranteed to be retained — so every exemplar the histogram keeps
+	// resolves through getTraces.
+	s.wm.observe(req.Op, s.now().Sub(start), resp.Error != "", req.span.SampledTraceID())
 	return resp
 }
 
@@ -422,9 +433,25 @@ func (s *Server) handle(req *Request) *Response {
 	case OpCurrentOp:
 		// Introspection ops need no db and are never themselves traced, so a
 		// currentOp listing shows real work, not the observer.
-		return &Response{OK: true, Docs: viewDocs(s.tracer.CurrentOps(), int(req.Limit)), N: int64(s.tracer.Stats().InFlight)}
+		views := filterViews(s.tracer.CurrentOps(), req.OpName, time.Duration(req.MinDurationUS)*time.Microsecond)
+		return &Response{OK: true, Docs: viewDocs(views, int(req.Limit)), N: int64(len(views))}
 	case OpGetTraces:
-		docs := viewDocs(s.tracer.Traces(int(req.Limit)), 0)
+		// Filters run over the whole ring, then the limit applies — asking
+		// for the 5 slowest inserts must not depend on what else happens to
+		// sit at the head of the ring.
+		limit := int(req.Limit)
+		views := s.tracer.Traces(0)
+		if req.OpName == "" && req.MinDurationUS == 0 {
+			views = s.tracer.Traces(limit)
+		} else {
+			views = filterViews(views, req.OpName, time.Duration(req.MinDurationUS)*time.Microsecond)
+		}
+		docs := viewDocs(views, limit)
+		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
+	case OpGetExemplars:
+		series := s.backend.Metrics().Exemplars(req.Metric)
+		series = append(series, s.wm.registry.Exemplars(req.Metric)...)
+		docs := exemplarDocs(series)
 		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
 	}
 	if req.DB == "" && req.Op != OpPing {
@@ -675,12 +702,51 @@ func (s *Server) handle(req *Request) *Response {
 		)
 		if broker := s.backend.ChangeStreams(); broker != nil {
 			cs := broker.Stats()
-			doc.Set("changeStreams", bson.D(
+			csDoc := bson.D(
 				"watchers", cs.Watchers,
 				"recordsPublished", cs.RecordsPublished,
 				"eventsDelivered", cs.EventsDelivered,
 				"slowConsumers", cs.SlowConsumers,
+				"bufferedEvents", cs.BufferedEvents,
+				"maxBufferDepth", cs.MaxBufferDepth,
+			)
+			// Per-watcher buffer depths: which consumer is heading toward
+			// slow-consumer invalidation, and how close it is.
+			if depths := broker.WatcherDepths(); len(depths) > 0 {
+				arr := make([]any, len(depths))
+				for i, d := range depths {
+					arr[i] = bson.D(
+						"id", d.ID, "db", d.DB, "coll", d.Coll,
+						"buffered", d.Buffered, "capacity", d.Capacity,
+					)
+				}
+				csDoc.Set("watcherDepths", arr)
+			}
+			doc.Set("changeStreams", csDoc)
+		}
+		// Durability health: write-path fsync latency and the group-commit
+		// batch size distribution, present only when a WAL is attached.
+		if fsync, batch, walStats, ok := s.backend.WALHealth(); ok {
+			doc.Set("wal", bson.D(
+				"appends", walStats.Appends,
+				"syncs", walStats.Syncs,
+				"fsyncP50US", fsync.P50().Microseconds(),
+				"fsyncP99US", fsync.P99().Microseconds(),
+				"fsyncCount", fsync.Count,
+				"groupCommitMeanBatch", int64(batch.Mean()),
+				"groupCommitBatches", batch.Count,
 			))
+		}
+		// Replication health: per-member lag and apply recency, reached
+		// through an interface so wire does not import replset.
+		if hs, ok := s.repl.(replHealthSource); ok {
+			if members := hs.HealthDocs(); len(members) > 0 {
+				arr := make([]any, len(members))
+				for i, m := range members {
+					arr[i] = m
+				}
+				doc.Set("repl", bson.D("members", arr))
+			}
 		}
 		// The MVCC engine's memory-economics gauges, plus every open
 		// server-side cursor with its namespace and idle age: together they
