@@ -409,7 +409,10 @@
 //     per the Prometheus text format (\n, \", \\).
 //   - Exemplars: histogram buckets retain the most recent traced
 //     observation as an OpenMetrics exemplar — rendered as
-//     `... # {trace_id="..."} <value>` in the exposition and queryable as
+//     `... # {trace_id="..."} <value>`, but only when the scraper negotiates
+//     the OpenMetrics format (Accept: application/openmetrics-text on
+//     /metrics; the classic text format's parsers reject the suffix, so
+//     plain scrapes stay exemplar-free) — and queryable as
 //     documents with the wire op {"op": "getExemplars", "metric": <family>}.
 //     An exemplar is recorded only when the request's trace was sampled at
 //     start, so every exemplar's trace ID resolves through getTraces; a tail
@@ -438,7 +441,7 @@
 //     watcher change-stream buffer depth (serverStatus
 //     changeStreams.watcherDepths and docstore_changestream_* gauges), and
 //     per-shard router dispatch state
-//     (docstore_mongos_shard_{in_flight,calls_total,errors_total}).
+//     (docstore_mongos_shard_{in_flight,calls,errors}).
 //   - Endpoint: docstored -metrics-addr serves /metrics (both registries
 //     merged) and net/http/pprof's /debug/pprof on one listener;
 //     -trace-sample, -trace-ring and -profile-slowms tune the tracer. The

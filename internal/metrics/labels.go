@@ -130,13 +130,23 @@ func (v *vec[T]) Len() int {
 // CounterVec is a counter family keyed by a bounded set of label values.
 type CounterVec struct{ *vec[*Counter] }
 
-// CounterVec registers (or panics on key-shape reuse) a labeled counter
-// family on the registry. maxSeries <= 0 uses DefaultMaxSeries.
+// CounterVec registers a labeled counter family on the registry. A family
+// name dedupes: re-registering it returns the existing vec (so its
+// dropped-label-sets gauge registers exactly once) and panics if the label
+// keys differ. maxSeries <= 0 uses DefaultMaxSeries.
 func (r *Registry) CounterVec(name, help string, maxSeries int, keys ...string) *CounterVec {
+	r.vecMu.Lock()
+	defer r.vecMu.Unlock()
+	if cv, ok := r.counterVecs[name]; ok {
+		mustMatchKeys(name, cv.keys, keys)
+		return cv
+	}
 	ks := append([]string(nil), keys...)
-	return &CounterVec{newVec(r, name, ks, maxSeries, func(values []string) *Counter {
+	cv := &CounterVec{newVec(r, name, ks, maxSeries, func(values []string) *Counter {
 		return r.Counter(name, help, pairs(ks, values)...)
 	})}
+	r.counterVecs[name] = cv
+	return cv
 }
 
 // With returns the counter for the label values, in key order.
@@ -145,13 +155,36 @@ func (cv *CounterVec) With(values ...string) *Counter { return cv.with(values) }
 // HistogramVec is a histogram family keyed by a bounded set of label values.
 type HistogramVec struct{ *vec[*Histogram] }
 
-// HistogramVec registers a labeled histogram family on the registry.
-// maxSeries <= 0 uses DefaultMaxSeries.
+// HistogramVec registers a labeled histogram family on the registry, with
+// the same per-name dedup as CounterVec. maxSeries <= 0 uses
+// DefaultMaxSeries.
 func (r *Registry) HistogramVec(name, help string, maxSeries int, keys ...string) *HistogramVec {
+	r.vecMu.Lock()
+	defer r.vecMu.Unlock()
+	if hv, ok := r.histVecs[name]; ok {
+		mustMatchKeys(name, hv.keys, keys)
+		return hv
+	}
 	ks := append([]string(nil), keys...)
-	return &HistogramVec{newVec(r, name, ks, maxSeries, func(values []string) *Histogram {
+	hv := &HistogramVec{newVec(r, name, ks, maxSeries, func(values []string) *Histogram {
 		return r.Histogram(name, help, pairs(ks, values)...)
 	})}
+	r.histVecs[name] = hv
+	return hv
+}
+
+// mustMatchKeys panics when a vec family is re-registered with a different
+// key shape — the series the two shapes would mint under one name could not
+// coexist in a single exposition.
+func mustMatchKeys(name string, have, want []string) {
+	if len(have) != len(want) {
+		panic("metrics: vec " + name + " re-registered with different label keys")
+	}
+	for i := range have {
+		if have[i] != want[i] {
+			panic("metrics: vec " + name + " re-registered with different label keys")
+		}
+	}
 }
 
 // With returns the histogram for the label values, in key order.

@@ -55,6 +55,51 @@ func TestCounterVecCardinalityOverflow(t *testing.T) {
 	}
 }
 
+// TestVecDedupByFamilyName pins that re-registering a vec family returns the
+// existing vec — and therefore registers its dropped-label-sets gauge source
+// exactly once. Without the dedup the exposition would carry the gauge
+// sample twice, which Prometheus rejects as a duplicate-sample scrape error.
+func TestVecDedupByFamilyName(t *testing.T) {
+	r := NewRegistry()
+	cv1 := r.CounterVec("dedup_ops_total", "ops", 8, "collection", "op")
+	cv2 := r.CounterVec("dedup_ops_total", "ops", 8, "collection", "op")
+	if cv1 != cv2 {
+		t.Fatalf("same-named counter vecs are distinct")
+	}
+	cv1.With("a", "insert").Inc()
+	if got := cv2.With("a", "insert").Value(); got != 1 {
+		t.Fatalf("re-registered vec does not share series: %d", got)
+	}
+
+	hv1 := r.HistogramVec("dedup_seconds", "lat", 8, "op")
+	hv2 := r.HistogramVec("dedup_seconds", "lat", 8, "op")
+	if hv1 != hv2 {
+		t.Fatalf("same-named histogram vecs are distinct")
+	}
+
+	var b strings.Builder
+	r.WritePrometheus(&b)
+	out := b.String()
+	for _, gauge := range []string{"dedup_ops_total_dropped_label_sets", "dedup_seconds_dropped_label_sets"} {
+		samples := 0
+		for _, line := range strings.Split(out, "\n") {
+			if strings.HasPrefix(line, gauge+" ") {
+				samples++
+			}
+		}
+		if samples != 1 {
+			t.Fatalf("%s has %d samples, want exactly 1:\n%s", gauge, samples, out)
+		}
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("key-shape mismatch did not panic")
+		}
+	}()
+	r.CounterVec("dedup_ops_total", "ops", 8, "collection", "shard")
+}
+
 func TestHistogramVecOverflowSharesOneSeries(t *testing.T) {
 	r := NewRegistry()
 	hv := r.HistogramVec("test_duration_seconds", "latency", 2, "collection", "op")
@@ -79,7 +124,7 @@ func TestExemplarEmittedInExposition(t *testing.T) {
 	h := r.Histogram("test_latency_seconds", "latency")
 	h.ObserveExemplar(1500*time.Nanosecond, "00000000deadbeef")
 	var b strings.Builder
-	r.WritePrometheus(&b)
+	r.WriteOpenMetrics(&b)
 	out := b.String()
 	found := false
 	for _, line := range strings.Split(out, "\n") {
@@ -98,9 +143,16 @@ func TestExemplarEmittedInExposition(t *testing.T) {
 	// An untraced observation in a higher bucket leaves no exemplar there.
 	h.Observe(time.Minute)
 	b.Reset()
-	r.WritePrometheus(&b)
+	r.WriteOpenMetrics(&b)
 	if got := strings.Count(b.String(), "# {trace_id="); got != 1 {
 		t.Fatalf("exemplar count = %d, want 1", got)
+	}
+	// The classic text format must stay exemplar-free: its parsers
+	// (Prometheus's included) reject a '#' after the sample value.
+	b.Reset()
+	r.WritePrometheus(&b)
+	if strings.Contains(b.String(), "# {trace_id=") {
+		t.Fatalf("classic exposition carries an exemplar:\n%s", b.String())
 	}
 }
 
@@ -161,7 +213,7 @@ func TestExemplarStress(t *testing.T) {
 					}
 				}
 				var b strings.Builder
-				r.WritePrometheus(&b)
+				r.WriteOpenMetrics(&b)
 				h.Snapshot()
 			}
 		}()

@@ -41,6 +41,15 @@ type Registry struct {
 	counters map[string]*series[*Counter]
 	hists    map[string]*series[*Histogram]
 	gauges   []gaugeSource
+
+	// Vec families dedupe by name under their own lock (vec construction
+	// registers series and a gauge source under mu, so it cannot run while
+	// holding mu). Without the dedup, a second same-named vec would register
+	// a second <name>_dropped_label_sets gauge source and the exposition
+	// would carry duplicate samples — a scrape error for Prometheus.
+	vecMu       sync.Mutex
+	counterVecs map[string]*CounterVec
+	histVecs    map[string]*HistogramVec
 }
 
 type series[T any] struct {
@@ -63,8 +72,10 @@ type gaugeSource struct {
 // NewRegistry creates an empty registry.
 func NewRegistry() *Registry {
 	return &Registry{
-		counters: make(map[string]*series[*Counter]),
-		hists:    make(map[string]*series[*Histogram]),
+		counters:    make(map[string]*series[*Counter]),
+		hists:       make(map[string]*series[*Histogram]),
+		counterVecs: make(map[string]*CounterVec),
+		histVecs:    make(map[string]*HistogramVec),
 	}
 }
 
@@ -241,9 +252,34 @@ var expositionBounds = func() []int64 {
 	return bounds
 }()
 
-// WritePrometheus renders every registered series in Prometheus text
-// exposition format. Durations export in seconds per convention.
+// WritePrometheus renders every registered series in the classic Prometheus
+// text exposition format (text/plain; version=0.0.4). Durations export in
+// seconds per convention. Exemplars are omitted: the classic format's
+// parsers reject the OpenMetrics ` # {...}` suffix after a sample value, so
+// exemplars only appear when the scraper negotiates OpenMetrics (see
+// WriteOpenMetrics).
 func (r *Registry) WritePrometheus(w io.Writer) {
+	r.write(w, false)
+}
+
+// WriteOpenMetrics renders every registered series in OpenMetrics format:
+// counter families drop their `_total` suffix on the HELP/TYPE lines (the
+// samples keep it, per spec), and histogram buckets carry their retained
+// exemplars. The caller terminates the full exposition with `# EOF` —
+// Handler merges several registries into one body, so the terminator is not
+// written here.
+func (r *Registry) WriteOpenMetrics(w io.Writer) {
+	r.write(w, true)
+}
+
+// openMetricsFamily returns the MetricFamily name of a counter for the
+// OpenMetrics HELP/TYPE lines: the sample name without the mandated
+// `_total` suffix.
+func openMetricsFamily(name string) string {
+	return strings.TrimSuffix(name, "_total")
+}
+
+func (r *Registry) write(w io.Writer, openMetrics bool) {
 	r.mu.Lock()
 	counters := make([]*series[*Counter], 0, len(r.counters))
 	for _, s := range r.counters {
@@ -266,10 +302,14 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 	lastFamily := ""
 	for _, s := range counters {
 		if s.name != lastFamily {
-			if s.help != "" {
-				fmt.Fprintf(w, "# HELP %s %s\n", s.name, escapeHelp(s.help))
+			family := s.name
+			if openMetrics {
+				family = openMetricsFamily(s.name)
 			}
-			fmt.Fprintf(w, "# TYPE %s counter\n", s.name)
+			if s.help != "" {
+				fmt.Fprintf(w, "# HELP %s %s\n", family, escapeHelp(s.help))
+			}
+			fmt.Fprintf(w, "# TYPE %s counter\n", family)
 			lastFamily = s.name
 		}
 		fmt.Fprintf(w, "%s%s %d\n", s.name, s.labels, s.val.Value())
@@ -306,9 +346,13 @@ func (r *Registry) WritePrometheus(w io.Writer) {
 			fmt.Fprintf(w, "%s_bucket%sle=\"%g\"} %d", s.name, labelPrefix, float64(bound)/scale, cum)
 			// OpenMetrics exemplar syntax: the bucket's most recent traced
 			// observation, appended after the sample so a tail bucket links
-			// to the trace that landed in it.
-			if e := s.val.exemplarIn(lo, bi); e != nil {
-				fmt.Fprintf(w, " # {trace_id=\"%s\"} %g", escapeLabelValue(e.TraceID), float64(e.Value)/scale)
+			// to the trace that landed in it. Classic-format parsers reject
+			// a `#` after the value, so only the OpenMetrics exposition
+			// carries exemplars.
+			if openMetrics {
+				if e := s.val.exemplarIn(lo, bi); e != nil {
+					fmt.Fprintf(w, " # {trace_id=\"%s\"} %g", escapeLabelValue(e.TraceID), float64(e.Value)/scale)
+				}
 			}
 			fmt.Fprintf(w, "\n")
 		}
@@ -375,9 +419,23 @@ func (r *Registry) Exemplars(name string) []SeriesExemplars {
 }
 
 // Handler serves the registries' merged exposition as an http.Handler for
-// docstored's -metrics-addr listener.
+// docstored's -metrics-addr listener. The format is negotiated from the
+// Accept header: scrapers asking for application/openmetrics-text get the
+// OpenMetrics exposition (exemplars included, `# EOF` terminated); everyone
+// else gets the classic text format, which carries no exemplars because its
+// parsers reject the OpenMetrics suffix syntax.
 func Handler(regs ...*Registry) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if acceptsOpenMetrics(req.Header.Get("Accept")) {
+			w.Header().Set("Content-Type", "application/openmetrics-text; version=1.0.0; charset=utf-8")
+			for _, r := range regs {
+				if r != nil {
+					r.WriteOpenMetrics(w)
+				}
+			}
+			io.WriteString(w, "# EOF\n")
+			return
+		}
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		for _, r := range regs {
 			if r != nil {
@@ -385,4 +443,23 @@ func Handler(regs ...*Registry) http.Handler {
 			}
 		}
 	})
+}
+
+// acceptsOpenMetrics reports whether an Accept header offers the
+// application/openmetrics-text media type with non-zero quality.
+func acceptsOpenMetrics(accept string) bool {
+	for _, part := range strings.Split(accept, ",") {
+		mediaType, params, _ := strings.Cut(strings.TrimSpace(part), ";")
+		if !strings.EqualFold(strings.TrimSpace(mediaType), "application/openmetrics-text") {
+			continue
+		}
+		for _, p := range strings.Split(params, ";") {
+			k, v, _ := strings.Cut(strings.TrimSpace(p), "=")
+			if strings.EqualFold(strings.TrimSpace(k), "q") && strings.TrimSpace(v) == "0" {
+				return false
+			}
+		}
+		return true
+	}
+	return false
 }

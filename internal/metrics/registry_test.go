@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"io"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -131,6 +132,78 @@ func TestHandlerServesMergedRegistries(t *testing.T) {
 	}
 	if !strings.Contains(out, "docstore_wire_requests_total") || !strings.Contains(out, "docstore_mongod_ops_total") {
 		t.Fatalf("merged exposition incomplete:\n%s", out)
+	}
+}
+
+// TestHandlerContentNegotiation pins the exemplar gating: a plain scrape
+// gets the classic text format with no exemplars (classic parsers reject
+// the `#` suffix after a sample value), while an Accept header offering
+// application/openmetrics-text gets the OpenMetrics exposition — exemplars
+// included, counter families stripped of their `_total` suffix on the TYPE
+// line, and a terminating `# EOF`.
+func TestHandlerContentNegotiation(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("nego_requests_total", "requests", "op", "find").Inc()
+	reg.Histogram("nego_latency_seconds", "latency").ObserveExemplar(1500*time.Nanosecond, "00000000deadbeef")
+
+	srv := httptest.NewServer(Handler(reg))
+	defer srv.Close()
+
+	scrape := func(accept string) (string, string) {
+		req, err := http.NewRequest("GET", srv.URL, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if accept != "" {
+			req.Header.Set("Accept", accept)
+		}
+		resp, err := srv.Client().Do(req)
+		if err != nil {
+			t.Fatalf("scrape: %v", err)
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		return string(body), resp.Header.Get("Content-Type")
+	}
+
+	classic, ct := scrape("")
+	if !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("plain scrape content-type = %q", ct)
+	}
+	if strings.Contains(classic, "# {trace_id=") {
+		t.Fatalf("classic exposition carries an exemplar:\n%s", classic)
+	}
+	if strings.Contains(classic, "# EOF") {
+		t.Fatalf("classic exposition carries the OpenMetrics terminator:\n%s", classic)
+	}
+	if !strings.Contains(classic, "# TYPE nego_requests_total counter") {
+		t.Fatalf("classic TYPE line mangled:\n%s", classic)
+	}
+
+	// Prometheus's real Accept header shape.
+	om, ct := scrape("application/openmetrics-text;version=1.0.0,text/plain;version=0.0.4;q=0.5")
+	if !strings.HasPrefix(ct, "application/openmetrics-text") {
+		t.Fatalf("openmetrics scrape content-type = %q", ct)
+	}
+	if !strings.Contains(om, `# {trace_id="00000000deadbeef"}`) {
+		t.Fatalf("openmetrics exposition lost the exemplar:\n%s", om)
+	}
+	if !strings.HasSuffix(om, "# EOF\n") {
+		t.Fatalf("openmetrics exposition not EOF-terminated:\n%s", om)
+	}
+	if !strings.Contains(om, "# TYPE nego_requests counter") || strings.Contains(om, "# TYPE nego_requests_total counter") {
+		t.Fatalf("openmetrics counter family kept its _total suffix:\n%s", om)
+	}
+	if !strings.Contains(om, `nego_requests_total{op="find"} 1`) {
+		t.Fatalf("openmetrics counter sample renamed:\n%s", om)
+	}
+
+	// An explicit q=0 opt-out falls back to the classic format.
+	if optOut, ct := scrape("application/openmetrics-text;q=0,text/plain"); !strings.HasPrefix(ct, "text/plain") || strings.Contains(optOut, "# EOF") {
+		t.Fatalf("q=0 still served openmetrics (ct=%q)", ct)
 	}
 }
 

@@ -84,7 +84,11 @@ func (r *Router) HealthDocs() []*bson.Doc {
 }
 
 // HealthGauges renders ShardHealth as labeled gauges, one series per shard,
-// for registration as a polled gauge source on a metrics registry.
+// for registration as a polled gauge source on a metrics registry. The
+// calls/errors counts are cumulative but export without the `_total` suffix:
+// the registry renders polled gauge sources with `# TYPE ... gauge`, and a
+// `_total` gauge would contradict the Prometheus naming convention that
+// tooling infers counter semantics from.
 func (r *Router) HealthGauges() []metrics.Gauge {
 	health := r.ShardHealth()
 	out := make([]metrics.Gauge, 0, 3*len(health))
@@ -92,8 +96,8 @@ func (r *Router) HealthGauges() []metrics.Gauge {
 		labels := []string{"shard", h.Shard}
 		out = append(out,
 			metrics.Gauge{Name: "docstore_mongos_shard_in_flight", Value: h.InFlight, Labels: labels},
-			metrics.Gauge{Name: "docstore_mongos_shard_calls_total", Value: h.Calls, Labels: labels},
-			metrics.Gauge{Name: "docstore_mongos_shard_errors_total", Value: h.Errors, Labels: labels},
+			metrics.Gauge{Name: "docstore_mongos_shard_calls", Value: h.Calls, Labels: labels},
+			metrics.Gauge{Name: "docstore_mongos_shard_errors", Value: h.Errors, Labels: labels},
 		)
 	}
 	return out

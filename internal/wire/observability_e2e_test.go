@@ -83,9 +83,11 @@ func TestObservabilityEndToEnd(t *testing.T) {
 
 	// The labeled family: the insert executed on shard primary A as a
 	// bulkWrite against db.c, so exactly that series must hold the sample —
-	// with an exemplar, because the trace was sampled at start.
+	// with an exemplar, because the trace was sampled at start. Exemplars
+	// ride only the OpenMetrics exposition; the classic format (checked
+	// below) must stay parseable by version=0.0.4 scrapers.
 	var b strings.Builder
-	primary.Metrics().WritePrometheus(&b)
+	primary.Metrics().WriteOpenMetrics(&b)
 	exposition := b.String()
 	series := `docstore_mongod_collection_op_duration_seconds_count{collection="db.c",op="bulkWrite",shard="A"} 1`
 	if !strings.Contains(exposition, series) {
@@ -98,6 +100,16 @@ func TestObservabilityEndToEnd(t *testing.T) {
 		t.Fatalf("no exemplar on the labeled series:\n%s", exposition)
 	}
 	exemplarID := m[1]
+
+	// The same registry rendered classically must carry the series but no
+	// exemplar suffix — classic-format parsers reject `#` after the value.
+	b.Reset()
+	primary.Metrics().WritePrometheus(&b)
+	if classic := b.String(); !strings.Contains(classic, series) {
+		t.Fatalf("labeled series missing from classic exposition:\n%s", classic)
+	} else if strings.Contains(classic, "# {trace_id=") {
+		t.Fatalf("classic exposition carries an exemplar:\n%s", classic)
+	}
 
 	// The exemplar's trace resolves through getTraces as the insert's tree.
 	views := srv.Tracer().Traces(0)

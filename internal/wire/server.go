@@ -440,11 +440,12 @@ func (s *Server) handle(req *Request) *Response {
 		// for the 5 slowest inserts must not depend on what else happens to
 		// sit at the head of the ring.
 		limit := int(req.Limit)
-		views := s.tracer.Traces(0)
+		var views []trace.View
 		if req.OpName == "" && req.MinDurationUS == 0 {
 			views = s.tracer.Traces(limit)
 		} else {
-			views = filterViews(views, req.OpName, time.Duration(req.MinDurationUS)*time.Microsecond)
+			// Only a filtered query pays for the whole-ring snapshot.
+			views = filterViews(s.tracer.Traces(0), req.OpName, time.Duration(req.MinDurationUS)*time.Microsecond)
 		}
 		docs := viewDocs(views, limit)
 		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
