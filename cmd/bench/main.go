@@ -36,6 +36,9 @@ func main() {
 	updateStream := flag.Bool("update-stream", false, "run the single-doc update-stream benchmark instead of the experiment suite")
 	streamDocs := flag.Int("stream-docs", 100_000, "update-stream: collection size the stream mutates")
 	streamOps := flag.Int("stream-ops", 5000, "update-stream: single-doc updates measured per variant")
+	indexedFind := flag.Bool("indexed-find", false, "run the indexed-find-under-writes benchmark instead of the experiment suite")
+	findDocs := flag.Int("find-docs", 4000, "indexed-find: collection size the readers query")
+	findQueries := flag.Int("find-queries", 256, "indexed-find: index-backed queries per reader thread")
 	sweepThreads := flag.String("sweep-threads", "1,4", "sweep: comma-separated client thread counts")
 	sweepMembers := flag.String("sweep-members", "1,3", "sweep: comma-separated replica set sizes")
 	sweepWC := flag.String("sweep-wc", "w1,majority,majority+j", "sweep: comma-separated write concerns (w<N>, majority, optional +j)")
@@ -45,6 +48,14 @@ func main() {
 
 	if *updateStream {
 		if err := runUpdateStream(updateStreamConfig{docs: *streamDocs, ops: *streamOps}); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	if *indexedFind {
+		cfg := indexedFindConfig{docs: *findDocs, queries: *findQueries, readers: 8, shards: *shards}
+		if err := runIndexedFind(cfg); err != nil {
 			fatal(err)
 		}
 		return

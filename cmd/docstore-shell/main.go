@@ -14,7 +14,27 @@
 // an unsatisfied concern comes back as a writeConcernError inside the result
 // document, with the count of members the write did reach. Find requests
 // accept a "hint": "index_name" field forcing the named index; a hint that
-// names no index fails the request instead of silently scanning.
+// names no index fails the request instead of silently scanning. They also
+// accept an "atVersion": N field — the atClusterTime analogue — pinning the
+// query to the named committed collection version: run one query, read its
+// snapshot version from the server's engine gauges or a getTraces span
+// (storage.plan carries snapshotVersion), then pass it back so follow-up
+// queries all describe that one committed state no matter how many writes
+// land in between. Keep a cursor open at that version to anchor it against
+// retention; a version the engine no longer tracks fails the request.
+//
+//	{"op":"find","coll":"store_sales","filter":{...},"atVersion":412}
+//
+// Against a sharded docstored (-shards N) the requests fan out through the
+// in-process query router; two extra ops appear:
+//
+//	{"op":"shardCollection","coll":"store_sales","keys":{"ss_item_sk":1}}
+//	{"op":"checkpoint"}
+//
+// shardCollection hash-partitions the collection across shards; checkpoint
+// takes a cluster-consistent checkpoint (every shard captured under one
+// simultaneous write hold — no restored shard is ever ahead of another).
+// checkpoint works against a stand-alone durable server too.
 //
 // Change streams pass through as requests too: a watch opens a tailable
 // cursor and getMore drains it, waiting up to maxTimeMS for new events —
@@ -184,6 +204,11 @@ func execute(client *wire.Client, doc *bson.Doc) (*wire.Response, error) {
 	if v, ok := doc.Get("skip"); ok {
 		if n, isNum := bson.AsInt(v); isNum {
 			req.Skip = int(n)
+		}
+	}
+	if v, ok := doc.Get("atVersion"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			req.AtVersion = n
 		}
 	}
 	if v, ok := doc.Get("batchSize"); ok {

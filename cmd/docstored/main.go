@@ -37,6 +37,16 @@
 // Without -replicas, a write concern of w > 1 is refused — there is nothing
 // to replicate to — while {w: 1} and {j: true} behave as before.
 //
+// With -shards N the process runs an in-process sharded cluster: N shard
+// servers behind a query router (the mongos role). Data-plane requests fan
+// out across the shards, "shardCollection" declares a collection's shard
+// key, and "checkpoint" takes a cluster-consistent checkpoint — every shard
+// captured under one simultaneous write hold, so restarting the cluster
+// restores every shard to the same capture point. With -data-dir each shard
+// is durable under its own <data-dir>/shardN directory:
+//
+//	docstored -data-dir /var/lib/docstore -shards 2 -checkpoint-every 5m
+//
 // Observability: every request is traced into a span tree (wire → router →
 // mongod → storage → WAL/quorum waits) queryable over the wire with
 // {"op":"currentOp"} (in flight) and {"op":"getTraces"} (completed); both
@@ -75,7 +85,9 @@ import (
 
 	"docstore/internal/metrics"
 	"docstore/internal/mongod"
+	"docstore/internal/mongos"
 	"docstore/internal/replset"
+	"docstore/internal/sharding"
 	"docstore/internal/storage"
 	"docstore/internal/trace"
 	"docstore/internal/wal"
@@ -94,6 +106,7 @@ func main() {
 	checkpointEvery := flag.Duration("checkpoint-every", 0, "interval between automatic checkpoints (0 = only the shutdown checkpoint)")
 	changeStreamBuffer := flag.Int("changestream-buffer", 0, "per-watcher change stream event buffer; a watcher that falls this far behind is invalidated and must resume from its token (0 = default)")
 	replicas := flag.Int("replicas", 1, "replica set size: this server as primary plus N-1 in-memory secondaries; writes may then use writeConcern w > 1")
+	shards := flag.Int("shards", 0, "run an in-process sharded cluster: N shard servers behind a query router (the mongos role). Data-plane requests fan out across shards, shardCollection declares a shard key, and checkpoint is cluster-consistent. With -data-dir each shard is durable under <data-dir>/shardN. Incompatible with -replicas > 1")
 	writeConcern := flag.String("write-concern", "1", "default write concern for writes that carry none: a member count or \"majority\", optionally +j (e.g. 1, majority, 2+j)")
 	metricsAddr := flag.String("metrics-addr", "", "HTTP listen address for /metrics (Prometheus text) and /debug/pprof (empty = off)")
 	traceSample := flag.Float64("trace-sample", 0.01, "fraction of requests whose span trees are retained for getTraces; slow requests are always retained")
@@ -121,17 +134,23 @@ func main() {
 		defaultWC = storage.WriteConcern{}
 	}
 
+	sharded := *shards > 0
+	if sharded && *replicas > 1 {
+		fmt.Fprintf(os.Stderr, "docstored: -shards and -replicas > 1 are mutually exclusive\n")
+		os.Exit(1)
+	}
+
 	slowThreshold := time.Duration(*profileSlowMS) * time.Millisecond
 	backend := mongod.NewServer(mongod.Options{Name: *name, RAMBytes: *ramGB << 30, SlowOpThreshold: slowThreshold})
 	durable := *dataDir != ""
-	if durable {
+	durabilityFor := func(srv *mongod.Server, dir string) mongod.RecoveryStats {
 		policy, err := wal.ParseSyncPolicy(*walSync)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "docstored: %v\n", err)
 			os.Exit(1)
 		}
-		stats, err := backend.EnableDurability(mongod.Durability{
-			Dir:                 *dataDir,
+		stats, err := srv.EnableDurability(mongod.Durability{
+			Dir:                 dir,
 			Sync:                policy,
 			GroupCommitInterval: *walGroupInterval,
 			SegmentMaxBytes:     *walSegmentMB << 20,
@@ -141,8 +160,36 @@ func main() {
 			fmt.Fprintf(os.Stderr, "docstored: durability: %v\n", err)
 			os.Exit(1)
 		}
+		return stats
+	}
+	if durable && !sharded {
+		stats := durabilityFor(backend, *dataDir)
 		fmt.Printf("docstored: recovered from %s (checkpoint lsn %d, %d collection snapshots, %d wal records replayed)\n",
 			*dataDir, stats.CheckpointLSN, stats.CollectionsLoaded, stats.RecordsReplayed)
+	}
+
+	// -shards: an in-process cluster — N shard servers behind a query
+	// router, each durable under its own <data-dir>/shardN so the shards
+	// recover independently while the router's checkpoint keeps their
+	// durable states mutually consistent. The backend server holds no data
+	// in this mode; it serves introspection (stats, traces).
+	var router *mongos.Router
+	var shardServers []*mongod.Server
+	if sharded {
+		router = mongos.NewRouter(sharding.NewConfigServer(), mongos.Options{Parallel: true})
+		for i := 0; i < *shards; i++ {
+			shardName := fmt.Sprintf("%s-shard%d", *name, i)
+			shard := mongod.NewServer(mongod.Options{Name: shardName, SlowOpThreshold: slowThreshold})
+			if durable {
+				dir := filepath.Join(*dataDir, fmt.Sprintf("shard%d", i))
+				stats := durabilityFor(shard, dir)
+				fmt.Printf("docstored: shard %s recovered from %s (checkpoint lsn %d, %d collection snapshots, %d wal records replayed)\n",
+					shardName, dir, stats.CheckpointLSN, stats.CollectionsLoaded, stats.RecordsReplayed)
+			}
+			router.AddShard(shardName, shard)
+			shardServers = append(shardServers, shard)
+		}
+		fmt.Printf("docstored: routing across %d in-process shards\n", *shards)
 	}
 
 	var rs *replset.ReplicaSet
@@ -196,6 +243,9 @@ func main() {
 	srv.SetCursorTimeout(*cursorTimeout)
 	if rs != nil {
 		srv.SetReplicaSet(rs)
+	}
+	if router != nil {
+		srv.SetRouter(router)
 	}
 	srv.SetDefaultWriteConcern(defaultWC)
 	tracer := trace.New(trace.Options{
@@ -256,6 +306,32 @@ func main() {
 		fmt.Printf("docstored: serving /metrics and /debug/pprof on %s\n", *metricsAddr)
 	}
 
+	// checkpointNow is the one checkpoint entry point: stand-alone it
+	// captures the backend; sharded it takes the router's cluster-consistent
+	// checkpoint (every shard captured under one simultaneous write hold).
+	checkpointNow := func() {
+		if router != nil {
+			st, err := router.Checkpoint()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "docstored: cluster checkpoint: %v\n", err)
+				return
+			}
+			for shardName, sst := range st.Shards {
+				if !sst.Skipped {
+					fmt.Printf("docstored: shard %s checkpoint at lsn %d (%d collections, %d segments pruned)\n",
+						shardName, sst.LSN, sst.Collections, sst.SegmentsPruned)
+				}
+			}
+			return
+		}
+		if st, err := backend.Checkpoint(); err != nil {
+			fmt.Fprintf(os.Stderr, "docstored: checkpoint: %v\n", err)
+		} else if !st.Skipped {
+			fmt.Printf("docstored: checkpoint at lsn %d (%d collections, %d segments pruned)\n",
+				st.LSN, st.Collections, st.SegmentsPruned)
+		}
+	}
+
 	stopCheckpoints := make(chan struct{})
 	var checkpointLoop sync.WaitGroup
 	if durable && *checkpointEvery > 0 {
@@ -267,12 +343,7 @@ func main() {
 			for {
 				select {
 				case <-ticker.C:
-					if st, err := backend.Checkpoint(); err != nil {
-						fmt.Fprintf(os.Stderr, "docstored: checkpoint: %v\n", err)
-					} else if !st.Skipped {
-						fmt.Printf("docstored: checkpoint at lsn %d (%d collections, %d segments pruned)\n",
-							st.LSN, st.Collections, st.SegmentsPruned)
-					}
+					checkpointNow()
 				case <-stopCheckpoints:
 					return
 				}
@@ -316,10 +387,17 @@ func main() {
 	if durable {
 		// A shutdown checkpoint makes the next startup a snapshot load
 		// instead of a long replay, and prunes the log while we are at it.
-		if _, err := backend.Checkpoint(); err != nil {
-			fmt.Fprintf(os.Stderr, "docstored: shutdown checkpoint: %v\n", err)
-		}
-		if err := backend.CloseDurability(); err != nil {
+		// Sharded, it is cluster-consistent: every shard's durable state
+		// restores to the same capture point.
+		checkpointNow()
+		if sharded {
+			for _, shard := range shardServers {
+				if err := shard.CloseDurability(); err != nil {
+					fmt.Fprintf(os.Stderr, "docstored: closing shard wal: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		} else if err := backend.CloseDurability(); err != nil {
 			fmt.Fprintf(os.Stderr, "docstored: closing wal: %v\n", err)
 			os.Exit(1)
 		}

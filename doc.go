@@ -136,12 +136,29 @@
 //     published documents are immutable — hence readers need no locks and
 //     the -race stress suite (readers vs BulkWrite / EnsureIndex backfill /
 //     compaction / checkpoint streaming) stays quiet.
-//   - Planning: collection scans pin and go; index-backed queries plan
-//     under the writer mutex (inside it the shared B-trees agree exactly
-//     with the published version, so position lists are snapshot-
-//     consistent), then scan lock-free. FindOptions.Hint naming no index
-//     fails with storage.ErrUnknownIndex through every layer instead of
-//     silently degrading to a collection scan.
+//   - Planning: entirely lock-free. Every published version owns a frozen
+//     set of persistent index trees (see "MVCC memory management" for the
+//     node-copy protocol), so index-backed queries pin a snapshot and plan,
+//     scan and resolve positions against that version's trees with zero
+//     mutex acquisitions — the planner reads the same immutable state the
+//     scan does, so position lists are snapshot-consistent by construction
+//     and EnsureIndex/DropIndex cannot disturb an open index-backed
+//     cursor. FindOptions.Hint naming no index in the pinned version fails
+//     with storage.ErrUnknownIndex through every layer instead of silently
+//     degrading to a collection scan (a hint can therefore succeed at an
+//     old version after the index is dropped from the current one).
+//     BenchmarkIndexedFindUnderWrites measures the win: 8 readers issuing
+//     index-backed group queries keep their throughput while a bulk writer
+//     rewrites every index position list per batch.
+//   - Read-at-version: FindOptions.AtVersion (wire "atVersion", the
+//     atClusterTime analogue) pins a find to a named committed version:
+//     run one query, read its snapshot version from explain or the
+//     storage.plan span, and point follow-up queries at it so a whole
+//     session describes one committed state no matter how many writes land
+//     in between. A version is addressable while the engine tracks it —
+//     anchor the session by keeping its first cursor open; afterwards the
+//     request fails with storage.ErrVersionRetired rather than silently
+//     reading newer state.
 //   - Surfacing: storage.Plan carries SnapshotVersion and Isolation
 //     ("snapshot"), shown by explain (FindWithPlan) and recorded by the
 //     mongod profiler (ProfileEntry.PlanSummary/DocsExamined/
@@ -172,6 +189,23 @@
 //     entry per distinct pinned state", not one per write. Writers skip
 //     nothing a pin can observe: a page is recycled only once it is
 //     strictly below every pinned version's sequence.
+//   - Node-copy protocol: index B-trees are persistent (path-copying).
+//     Each writer batch opens a copy-on-write era stamped with its write
+//     sequence; the first mutation of a node owned by an older era clones
+//     it (O(log n) nodes per key, the untouched subtrees stay shared) and
+//     the superseded memory is recorded as a retired set against the
+//     publishing sequence. The copies themselves are lazy at two levels:
+//     a path copy duplicates only the node shell (struct plus child
+//     pointers) and aliases the item array until items actually mutate,
+//     and the tree uses narrow leaves under wide interior nodes, since
+//     the leaf item array is what a single-document era duplicates while
+//     interior width buys shallow trees nearly free. Publishing freezes
+//     the batch's trees into the new version — frozen handles panic on
+//     mutation, and nodes created by an era are unreachable from any
+//     earlier frozen clone, which is the whole safety argument for
+//     lock-free readers. Retired node sets are reclaimed exactly like
+//     retired pages: only once their sequence is strictly below every
+//     pinned version's.
 //   - GC thresholds: retired pages recycle into a bounded free list
 //     (overflow falls to Go's GC — degradation, never corruption); each
 //     publish also walks a few spine slots (gcPagesPerBatch) and nils out
@@ -189,7 +223,11 @@
 //     namespace, kind, idle ms) — so docstore-shell can show which cursor
 //     is retaining memory: the stuck cursor on the namespace whose gauges
 //     report an old pin. TestStuckCursorRetentionGauges drives exactly
-//     that diagnosis loop.
+//     that diagnosis loop. The tree-COW gauges (tree nodes/bytes copied,
+//     bytes shared, nodes/bytes reclaimed) sit beside the page gauges and
+//     make the same loop work for index memory: a stuck cursor holds
+//     retired tree nodes, Close plus GC returns them
+//     (TestIndexTreeRetentionGauges).
 //
 // # Durability & recovery
 //
@@ -224,13 +262,29 @@
 //     carry each snapshot's index definitions so recovery rebuilds the
 //     trees by backfilling.
 //   - Checkpoints (mongod.Server.Checkpoint) reuse the storage snapshot
-//     format: every collection streams to a checkpoint-<lsn> directory
-//     while writes keep flowing, with each snapshot recording the journal
-//     watermark captured in the same pinned MVCC version as its data (the
-//     disk write itself holds no lock at all). WAL segments
-//     fully covered by the checkpoint are pruned, and older checkpoints
-//     are removed once the new one is durable (write to temp dir, fsync,
-//     rename).
+//     format and are a single capture point: HoldAllWrites pauses every
+//     collection's writers for one pin instant, CaptureHeld pins a
+//     snapshot of every collection plus the WAL position while nothing can
+//     commit, and the hold releases before any disk I/O — so the capture
+//     is a true cut (every record at or below the capture LSN is in some
+//     captured snapshot), writers pause for microseconds, and recovery
+//     restores every collection to exactly the same point before
+//     replaying the tail. The cut is also what makes pruning exact: the
+//     capture LSN alone is the prune cutoff, no min-over-watermarks
+//     conservatism. Streaming to the checkpoint-<lsn> directory happens
+//     from the pinned capture while writes flow again, and publication is
+//     an atomic rename of a fsynced temp dir — a crash mid-stream leaves
+//     the previous checkpoint intact, never a torn one. Older checkpoints
+//     are removed once the new one is durable.
+//   - Cluster checkpoints (mongos.Router.Checkpoint, wire op
+//     "checkpoint", docstored -shards): phase one holds writes on every
+//     shard simultaneously and pins a capture on each, phase two streams
+//     each shard from its pinned capture while writes flow. Because no
+//     shard can commit during the holds, causally ordered writes are cut
+//     consistently — no restored shard is ever ahead of another — and a
+//     shard that dies mid-stream leaves the cluster checkpoint wholly at
+//     the capture point or cleanly absent. Sharding metadata is in-memory;
+//     a restored cluster re-issues its shardCollection commands.
 //   - Recovery (mongod.Server.EnableDurability) loads the newest complete
 //     checkpoint, truncates any torn tail — a partial or checksum-failing
 //     record left by a crash mid-append — from the newest segment, and

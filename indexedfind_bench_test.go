@@ -1,0 +1,197 @@
+// Benchmarks for lock-free index planning (PR 10): indexed-read throughput
+// while a bulk writer continuously rewrites the same collection.
+//
+//	BenchmarkIndexedFindUnderWrites          — 8 reader goroutines issuing
+//	    index-backed group queries (IXSCAN over g_1) against one
+//	    storage.Collection while a writer streams unordered bulk multi-update
+//	    batches that rewrite every document — and therefore every index
+//	    position list — per batch. Reported reader_docs/s is the headline
+//	    number for the persistent versioned index trees: before them, every
+//	    plan and every index scan took the writer's collection mutex and
+//	    reader throughput collapsed under update load.
+//	BenchmarkIndexedFindUnderWritesCovered   — the same shape with an
+//	    index-narrowed projection query (only v projected), the closest shape
+//	    this executor has to a covered query: the index prunes the candidate
+//	    set, the projection prunes the payload.
+//	BenchmarkIndexedFindUnderWritesSharded   — the same shape through a
+//	    4-shard query router with parallel scatter, the writer broadcasting
+//	    bulk updates, readers draining merged router cursors for one group.
+//
+// The collection size is constant (the writer only updates), so per-query
+// reader work does not drift as the writer makes progress and docs/s is
+// comparable across runs.
+package docstore_test
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/cluster"
+	"docstore/internal/query"
+	"docstore/internal/storage"
+)
+
+// queries per reader per benchmark iteration: enough wall time that the
+// writer interleaves with every reader even at -benchtime=1x.
+const idxBenchQueries = 64
+
+func indexedFindBench(b *testing.B, projection *query.Projection) {
+	c := storage.NewCollection("idxfind")
+	if _, err := c.EnsureIndexDoc(bson.D("g", 1), false); err != nil {
+		b.Fatal(err)
+	}
+	if res := c.BulkWrite(scanBenchSeedOps(scanBenchDocs), storage.BulkOptions{}); res.FirstError() != nil {
+		b.Fatal(res.FirstError())
+	}
+	perGroup := scanBenchDocs / scanBenchGroups
+	// The plan must be an index scan or the benchmark measures the wrong
+	// engine path.
+	if _, plan, err := c.FindWithPlan(bson.D("g", 0), storage.FindOptions{Projection: projection}); err != nil || plan.IndexUsed != "g_1" {
+		b.Fatalf("plan = %s, %v; want IXSCAN g_1", plan, err)
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var readerDocs, writerBatches int64
+	for n := 0; n < b.N; n++ {
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				// Every batch rewrites every document, so every batch also
+				// rewrites every index position list: the persistent trees
+				// path-copy continuously while the readers plan against
+				// their pinned versions.
+				res := c.BulkWrite(scanBenchUpdateBatch(), storage.BulkOptions{})
+				if err := res.FirstError(); err != nil {
+					b.Error(err)
+					return
+				}
+				atomic.AddInt64(&writerBatches, 1)
+			}
+		}()
+
+		var readerWG sync.WaitGroup
+		for r := 0; r < scanBenchReaders; r++ {
+			readerWG.Add(1)
+			go func(r int) {
+				defer readerWG.Done()
+				for q := 0; q < idxBenchQueries; q++ {
+					g := (r + q) % scanBenchGroups
+					docs, err := c.Find(bson.D("g", g), storage.FindOptions{Projection: projection})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(docs) != perGroup {
+						b.Errorf("indexed read returned %d docs for group %d, want %d", len(docs), g, perGroup)
+						return
+					}
+					atomic.AddInt64(&readerDocs, int64(len(docs)))
+				}
+			}(r)
+		}
+		readerWG.Wait()
+		close(stop)
+		writerWG.Wait()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(atomic.LoadInt64(&readerDocs))/s, "reader_docs/s")
+		b.ReportMetric(float64(atomic.LoadInt64(&writerBatches))/s, "writer_batches/s")
+	}
+}
+
+func BenchmarkIndexedFindUnderWrites(b *testing.B) {
+	indexedFindBench(b, nil)
+}
+
+func BenchmarkIndexedFindUnderWritesCovered(b *testing.B) {
+	indexedFindBench(b, query.MustParseProjection(bson.D("v", 1)))
+}
+
+func BenchmarkIndexedFindUnderWritesSharded(b *testing.B) {
+	cl := cluster.MustBuild(cluster.Config{
+		Shards:          4,
+		NetworkLatency:  benchRouterLatency,
+		ParallelScatter: true,
+		ChunkSizeBytes:  1 << 20,
+	})
+	r := cl.Router()
+	if _, err := r.EnableSharding("bench", "idxfind", bson.D("g", "hashed"), 1<<20); err != nil {
+		b.Fatal(err)
+	}
+	for _, name := range r.ShardNames() {
+		shard := r.Shard(name).Database("bench").Collection("idxfind")
+		if _, err := shard.EnsureIndexDoc(bson.D("g", 1), false); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if res := r.BulkWrite("bench", "idxfind", scanBenchSeedOps(scanBenchDocs), storage.BulkOptions{}); res.FirstError() != nil {
+		b.Fatal(res.FirstError())
+	}
+	perGroup := scanBenchDocs / scanBenchGroups
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	var readerDocs, writerBatches int64
+	for n := 0; n < b.N; n++ {
+		stop := make(chan struct{})
+		var writerWG sync.WaitGroup
+		writerWG.Add(1)
+		go func() {
+			defer writerWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				res := r.BulkWrite("bench", "idxfind", scanBenchUpdateBatch(), storage.BulkOptions{})
+				if err := res.FirstError(); err != nil {
+					b.Error(err)
+					return
+				}
+				atomic.AddInt64(&writerBatches, 1)
+			}
+		}()
+
+		var readerWG sync.WaitGroup
+		for rd := 0; rd < scanBenchReaders; rd++ {
+			readerWG.Add(1)
+			go func(rd int) {
+				defer readerWG.Done()
+				for q := 0; q < idxBenchQueries; q++ {
+					g := (rd + q) % scanBenchGroups
+					docs, err := r.Find("bench", "idxfind", bson.D("g", g), storage.FindOptions{})
+					if err != nil {
+						b.Error(err)
+						return
+					}
+					if len(docs) != perGroup {
+						b.Errorf("routed indexed read returned %d docs for group %d, want %d", len(docs), g, perGroup)
+						return
+					}
+					atomic.AddInt64(&readerDocs, int64(len(docs)))
+				}
+			}(rd)
+		}
+		readerWG.Wait()
+		close(stop)
+		writerWG.Wait()
+	}
+	b.StopTimer()
+	if s := b.Elapsed().Seconds(); s > 0 {
+		b.ReportMetric(float64(atomic.LoadInt64(&readerDocs))/s, "reader_docs/s")
+		b.ReportMetric(float64(atomic.LoadInt64(&writerBatches))/s, "writer_batches/s")
+	}
+}

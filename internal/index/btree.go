@@ -8,9 +8,25 @@ import (
 	"docstore/internal/bson"
 )
 
-// btreeDegree is the minimum degree of the B-tree: every node except the root
-// holds between degree-1 and 2*degree-1 keys.
-const btreeDegree = 32
+// The tree uses asymmetric minimum degrees: every node except the root holds
+// between degree-1 and 2*degree-1 keys of its level's degree. Leaves are kept
+// narrower than interior nodes because a copy-on-write era duplicates a
+// leaf's whole item array on its first mutation — leaf width is the dominant
+// per-era copy cost — while interior nodes alias their item arrays on a pure
+// descent and duplicate only their child-pointer arrays, so width there buys
+// a shallower tree almost for free.
+const (
+	btreeInternalDegree = 32
+	btreeLeafDegree     = 8
+)
+
+// maxNodeItems returns the item capacity at which n must split.
+func maxNodeItems(n *node) int {
+	if n.leaf() {
+		return 2*btreeLeafDegree - 1
+	}
+	return 2*btreeInternalDegree - 1
+}
 
 // Key is a composite index key: one entry per indexed field, compared
 // lexicographically with the canonical value ordering.
@@ -55,31 +71,97 @@ func CompareKeys(a, b Key) int {
 }
 
 // item is one key slot in a B-tree node: a composite key and the set of
-// document ids that share it.
+// document ids that share it. idsOwner marks the mutation stamp that last
+// replaced the ids slice: when it equals the tree's current stamp the slice
+// was allocated by the current (unpublished) batch and may be appended to or
+// spliced in place; otherwise it may be shared with a frozen clone and must
+// be copied before mutation. Keys are copied at insert and never mutated, so
+// they need no ownership tracking.
 type item struct {
-	key Key
-	ids []any
+	key      Key
+	ids      []any
+	idsOwner int64
 }
 
+// node is one B-tree node. owner marks the mutation stamp that created (or
+// path-copied) it: when it equals the tree's current stamp the node is
+// private to the unpublished batch and may be mutated in place; otherwise it
+// may be reachable from a frozen clone and must be copied first. With a zero
+// stamp (legacy in-place mode) ownership is never consulted.
+//
+// The items backing array has its own ownership stamp: a path-copied node
+// shell initially aliases the source's array (concurrent reads of a shared
+// array are safe — only the child pointers change on a pure descent), and
+// ownItems duplicates it lazily before the first in-place item mutation of
+// the era. Interior nodes on an insert path therefore copy ~one cache line
+// of child pointers instead of their full item array.
 type node struct {
 	items    []item
 	children []*node
+	owner    int64
+	// itemsOwner marks the stamp that allocated the items backing array; when
+	// it trails owner the array is still shared with displaced shells.
+	itemsOwner int64
 }
 
 func (n *node) leaf() bool { return len(n.children) == 0 }
 
+// shellBytes estimates the footprint of the node struct and its child
+// pointer array — the part ownNode duplicates eagerly.
+func (n *node) shellBytes() int64 {
+	return int64(48 + 8*len(n.children))
+}
+
+// itemBytes estimates the footprint of the items backing array — the part
+// ownItems duplicates lazily on the first item mutation of an era.
+func (n *node) itemBytes() int64 {
+	var b int64
+	for i := range n.items {
+		b += int64(32 + 16*len(n.items[i].key) + 16*len(n.items[i].ids))
+	}
+	return b
+}
+
+// estBytes is a deterministic estimate of the node's full memory footprint,
+// used by the copy-on-write gauges. It counts pointer-level structure
+// (headers, key and id slots, child pointers), not encoded document bytes,
+// so it is cheap enough to compute on every path copy.
+func (n *node) estBytes() int64 {
+	return n.shellBytes() + n.itemBytes()
+}
+
 // BTree is an in-memory B-tree mapping composite keys to document ids.
+//
+// It is a persistent (path-copying) structure when driven with mutation
+// stamps: SetStamp opens a copy-on-write era, and every mutation first copies
+// the O(log n) nodes on the root-to-target path that are not already owned by
+// the era, leaving nodes reachable from earlier Clone()s untouched. Clone
+// returns an immutable point-in-time handle sharing the current nodes, so
+// readers scan it without any locking while the writer keeps mutating.
+//
+// With a zero stamp the tree degrades to the original in-place structure.
 // It is not safe for concurrent mutation; the owning collection serializes
-// access.
+// writers, and only frozen clones may be read concurrently with mutation.
 type BTree struct {
 	root    *node
 	keys    int // number of distinct keys
 	entries int // number of (key, id) pairs
+	nodes   int // nodes reachable from root (live tree size)
+
+	// stamp is the current copy-on-write era; 0 disables path copying.
+	stamp int64
+	// frozen marks an immutable Clone; mutations panic instead of silently
+	// corrupting the versions sharing its nodes.
+	frozen bool
+	// onCopy, when set, observes every path copy: the estimated bytes of the
+	// node that was duplicated (the displaced original is now retired and
+	// reclaimable once no frozen clone can reach it).
+	onCopy func(bytes int64)
 }
 
 // NewBTree returns an empty tree.
 func NewBTree() *BTree {
-	return &BTree{root: &node{}}
+	return &BTree{root: &node{}, nodes: 1}
 }
 
 // Len returns the number of (key, id) entries in the tree.
@@ -88,6 +170,112 @@ func (t *BTree) Len() int { return t.entries }
 // DistinctKeys returns the number of distinct keys in the tree. The shard-key
 // cardinality heuristics use this.
 func (t *BTree) DistinctKeys() int { return t.keys }
+
+// Nodes returns the number of nodes reachable from the current root.
+func (t *BTree) Nodes() int { return t.nodes }
+
+// EstBytes walks the tree and returns the estimated memory footprint of its
+// nodes: what retiring the whole tree (DropIndex, collection Drop) releases.
+// O(nodes); intended for the rare structural operations, not hot paths.
+func (t *BTree) EstBytes() int64 {
+	var walk func(n *node) int64
+	walk = func(n *node) int64 {
+		b := n.estBytes()
+		for _, c := range n.children {
+			b += walk(c)
+		}
+		return b
+	}
+	return walk(t.root)
+}
+
+// SetStamp opens a new copy-on-write era: mutations that follow copy any node
+// (or ids slice) not created under this stamp before changing it. Stamps must
+// strictly increase across eras; the owning collection uses its write
+// sequence. A zero stamp restores legacy in-place mutation.
+func (t *BTree) SetStamp(s int64) { t.stamp = s }
+
+// SetCopyHook registers the observer invoked with the estimated byte size of
+// every copy-on-write duplication: a node shell (struct + child pointers)
+// and its item array count as separate events, since the array is aliased on
+// the path copy and only duplicated when items actually mutate. The
+// displaced memory stays reachable from frozen clones; the hook is where the
+// owning collection retires it for pin-tracked reclamation.
+func (t *BTree) SetCopyHook(fn func(bytes int64)) { t.onCopy = fn }
+
+// Clone returns an immutable point-in-time handle over the current nodes.
+// It is O(1): the clone shares every node with the source, and the source's
+// next mutation era (after SetStamp advances) path-copies what it changes
+// instead of touching shared nodes. The clone panics on mutation.
+func (t *BTree) Clone() *BTree {
+	cp := new(BTree)
+	t.CloneInto(cp)
+	return cp
+}
+
+// CloneInto writes the immutable clone into caller-provided storage, letting
+// the caller co-allocate the handle with its surroundings (see Index.Freeze).
+func (t *BTree) CloneInto(dst *BTree) {
+	*dst = BTree{root: t.root, keys: t.keys, entries: t.entries, nodes: t.nodes, frozen: true}
+}
+
+// ownNode returns a node safe to mutate under the current stamp, path-copying
+// it when it may be shared with a frozen clone. The caller installs the
+// result into its (already owned) parent. Only the struct and child pointer
+// array are duplicated here; the items array stays aliased (itemsOwner marks
+// it shared) until ownItems is asked to mutate it.
+func (t *BTree) ownNode(n *node) *node {
+	if t.stamp == 0 || n.owner == t.stamp {
+		return n
+	}
+	cp := &node{owner: t.stamp, items: n.items, itemsOwner: n.itemsOwner}
+	if len(n.children) > 0 {
+		cp.children = append([]*node(nil), n.children...)
+	}
+	if t.onCopy != nil {
+		t.onCopy(cp.shellBytes())
+	}
+	return cp
+}
+
+// ownItems makes an owned node's items backing array private to the current
+// era, copying it when displaced shells (reachable from frozen clones) may
+// still alias it. extra reserves append room so a following insertion does
+// not immediately reallocate the fresh array.
+func (t *BTree) ownItems(n *node, extra int) {
+	if t.stamp == 0 || n.itemsOwner == t.stamp {
+		return
+	}
+	if t.onCopy != nil {
+		t.onCopy(n.itemBytes())
+	}
+	n.items = append(make([]item, 0, len(n.items)+extra), n.items...)
+	n.itemsOwner = t.stamp
+}
+
+// ownIDs makes the ids slice of n.items[pos] safe to mutate in place. It
+// first privatizes the containing items array (the ids header and idsOwner
+// are written through it), then copies the ids backing array when a frozen
+// clone may still share it. extra reserves append room. Callers must re-take
+// any item pointer after the call: privatizing relocates the array.
+func (t *BTree) ownIDs(n *node, pos, extra int) {
+	if t.stamp == 0 {
+		return
+	}
+	t.ownItems(n, 0)
+	it := &n.items[pos]
+	if it.idsOwner == t.stamp {
+		return
+	}
+	it.ids = append(make([]any, 0, len(it.ids)+extra), it.ids...)
+	it.idsOwner = t.stamp
+}
+
+func (t *BTree) mutable() {
+	if t.frozen {
+		panic("index: mutating a frozen BTree clone")
+	}
+}
 
 // findInNode returns the position of key in the node and whether it is
 // present.
@@ -109,27 +297,54 @@ func findInNode(n *node, key Key) (int, bool) {
 
 // Insert adds an (key, id) entry. Multiple ids may share a key.
 func (t *BTree) Insert(key Key, id any) {
-	if len(t.root.items) == 2*btreeDegree-1 {
+	t.mutable()
+	t.root = t.ownNode(t.root)
+	if len(t.root.items) == maxNodeItems(t.root) {
 		old := t.root
-		t.root = &node{children: []*node{old}}
+		t.root = &node{children: []*node{old}, owner: t.stamp, itemsOwner: t.stamp}
+		t.nodes++
 		t.splitChild(t.root, 0)
 	}
 	t.insertNonFull(t.root, key, id)
 }
 
+// splitChild splits the full i-th child of parent. Both parent and the child
+// are owned by the split — item arrays included, since both have items
+// spliced or truncated in place, which only a private array tolerates.
 func (t *BTree) splitChild(parent *node, i int) {
-	child := parent.children[i]
-	mid := btreeDegree - 1
+	child := t.ownNode(parent.children[i])
+	parent.children[i] = child
+	// The child is full at its level's capacity (always odd), so the middle
+	// item promotes and both halves keep at least degree-1 items.
+	mid := len(child.items) / 2
 	midItem := child.items[mid]
 
-	right := &node{}
+	right := &node{owner: t.stamp, itemsOwner: t.stamp}
+	t.nodes++
 	right.items = append(right.items, child.items[mid+1:]...)
 	if !child.leaf() {
 		right.children = append(right.children, child.children[mid+1:]...)
 		child.children = child.children[:mid+1]
 	}
-	child.items = child.items[:mid]
+	if t.stamp != 0 && child.itemsOwner != t.stamp {
+		// The left half is all the split keeps of a shared array: copy just
+		// it (with one slot of growth room) instead of privatizing the full
+		// array only to truncate it.
+		if t.onCopy != nil {
+			t.onCopy(child.itemBytes())
+		}
+		child.items = append(make([]item, 0, mid+1), child.items[:mid]...)
+		child.itemsOwner = t.stamp
+	} else {
+		// Drop the moved items' references from the owned left node so they
+		// are not retained twice.
+		for j := mid; j < len(child.items); j++ {
+			child.items[j] = item{}
+		}
+		child.items = child.items[:mid]
+	}
 
+	t.ownItems(parent, 1)
 	parent.items = append(parent.items, item{})
 	copy(parent.items[i+1:], parent.items[i:])
 	parent.items[i] = midItem
@@ -139,40 +354,49 @@ func (t *BTree) splitChild(parent *node, i int) {
 	parent.children[i+1] = right
 }
 
+// insertNonFull descends from an owned, non-full node, owning each child on
+// the path before stepping into it.
 func (t *BTree) insertNonFull(n *node, key Key, id any) {
 	for {
 		pos, found := findInNode(n, key)
 		if found {
-			if len(n.items[pos].ids) == 0 {
+			t.ownIDs(n, pos, 1)
+			it := &n.items[pos]
+			if len(it.ids) == 0 {
 				// Re-populating a key slot left empty by a lazy delete.
 				t.keys++
 			}
-			n.items[pos].ids = append(n.items[pos].ids, id)
+			it.ids = append(it.ids, id)
 			t.entries++
 			return
 		}
 		if n.leaf() {
+			t.ownItems(n, 1)
 			n.items = append(n.items, item{})
 			copy(n.items[pos+1:], n.items[pos:])
-			n.items[pos] = item{key: append(Key(nil), key...), ids: []any{id}}
+			n.items[pos] = item{key: append(Key(nil), key...), ids: []any{id}, idsOwner: t.stamp}
 			t.keys++
 			t.entries++
 			return
 		}
-		if len(n.children[pos].items) == 2*btreeDegree-1 {
+		if len(n.children[pos].items) == maxNodeItems(n.children[pos]) {
 			t.splitChild(n, pos)
 			if c := CompareKeys(key, n.items[pos].key); c == 0 {
-				if len(n.items[pos].ids) == 0 {
+				t.ownIDs(n, pos, 1)
+				it := &n.items[pos]
+				if len(it.ids) == 0 {
 					t.keys++
 				}
-				n.items[pos].ids = append(n.items[pos].ids, id)
+				it.ids = append(it.ids, id)
 				t.entries++
 				return
 			} else if c > 0 {
 				pos++
 			}
 		}
-		n = n.children[pos]
+		child := t.ownNode(n.children[pos])
+		n.children[pos] = child
+		n = child
 	}
 }
 
@@ -180,23 +404,29 @@ func (t *BTree) insertNonFull(n *node, key Key, id any) {
 // The tree uses lazy structural deletion: emptied key slots are removed from
 // their node but nodes are not rebalanced, which keeps deletion simple while
 // preserving search correctness (the workloads of the thesis are read- and
-// append-heavy).
+// append-heavy). Under a copy-on-write stamp the root-to-target path is
+// copied like any other mutation.
 func (t *BTree) Delete(key Key, id any) bool {
+	t.mutable()
+	t.root = t.ownNode(t.root)
 	n := t.root
 	for {
 		pos, found := findInNode(n, key)
 		if found {
-			ids := n.items[pos].ids
-			for i, e := range ids {
+			for i, e := range n.items[pos].ids {
 				if bson.Compare(e, id) == 0 {
-					n.items[pos].ids = append(ids[:i], ids[i+1:]...)
+					t.ownIDs(n, pos, 0)
+					it := &n.items[pos]
+					it.ids = append(it.ids[:i], it.ids[i+1:]...)
 					t.entries--
-					if len(n.items[pos].ids) == 0 {
+					if len(it.ids) == 0 {
 						t.keys--
 						// Keep the key slot when the node is internal (it
 						// separates children); empty leaf slots are removed.
 						if n.leaf() {
-							n.items = append(n.items[:pos], n.items[pos+1:]...)
+							copy(n.items[pos:], n.items[pos+1:])
+							n.items[len(n.items)-1] = item{}
+							n.items = n.items[:len(n.items)-1]
 						}
 					}
 					return true
@@ -207,7 +437,9 @@ func (t *BTree) Delete(key Key, id any) bool {
 		if n.leaf() {
 			return false
 		}
-		n = n.children[pos]
+		child := t.ownNode(n.children[pos])
+		n.children[pos] = child
+		n = child
 	}
 }
 

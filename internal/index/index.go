@@ -174,6 +174,40 @@ func (ix *Index) DistinctKeys() int { return ix.tree.DistinctKeys() }
 // working-set calculations of §2.1.3.2.
 func (ix *Index) SizeBytes() int { return ix.size }
 
+// Nodes returns the number of B-tree nodes in the index's current tree.
+func (ix *Index) Nodes() int { return ix.tree.Nodes() }
+
+// TreeBytes returns the estimated memory footprint of the index's tree nodes
+// (O(nodes) walk); retiring the whole index releases this much.
+func (ix *Index) TreeBytes() int64 { return ix.tree.EstBytes() }
+
+// SetStamp opens a new copy-on-write era on the backing tree: mutations that
+// follow path-copy shared nodes instead of changing them in place, so every
+// Freeze handle taken before the stamp advanced stays immutable. See
+// BTree.SetStamp.
+func (ix *Index) SetStamp(s int64) { ix.tree.SetStamp(s) }
+
+// SetCopyHook registers the observer for tree-node path copies; see
+// BTree.SetCopyHook.
+func (ix *Index) SetCopyHook(fn func(bytes int64)) { ix.tree.SetCopyHook(fn) }
+
+// Freeze returns an immutable point-in-time handle of the index: an O(1)
+// shallow copy whose tree clone shares the current nodes. Provided the owner
+// advances the mutation stamp before the next mutating batch (the collection
+// does so at publish), readers may Lookup/ScanRange/PrefixMatches the frozen
+// handle with no locking while the writer keeps mutating the original. The
+// handle and its tree clone land in one allocation — every publish freezes
+// every index, so the publish path's allocation count matters.
+func (ix *Index) Freeze() *Index {
+	f := &struct {
+		ix   Index
+		tree BTree
+	}{ix: *ix}
+	ix.tree.CloneInto(&f.tree)
+	f.ix.tree = &f.tree
+	return &f.ix
+}
+
 // hashValue maps an arbitrary value to its hashed index key.
 func hashValue(v any) int64 {
 	h := fnv.New64a()

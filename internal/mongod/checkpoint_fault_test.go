@@ -1,0 +1,199 @@
+package mongod
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"docstore/internal/bson"
+	"docstore/internal/wal"
+)
+
+// checkpointDirs lists the published checkpoint directories under dir,
+// sorted; checkpoint.tmp and WAL files never appear in it.
+func checkpointDirs(t *testing.T, dir string) []string {
+	t.Helper()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "checkpoint-") {
+			names = append(names, e.Name())
+		}
+	}
+	return names
+}
+
+// TestCheckpointMidStreamFailureLeavesPriorIntact injects a failure into
+// the checkpoint stream — the Go-level version of killing a shard while its
+// capture streams to disk — and checks the atomic-rename publication
+// contract: the failed checkpoint is cleanly absent (never a torn
+// directory a restart could half-load), the previous checkpoint survives
+// untouched, the WAL is not pruned, and crash recovery still restores
+// everything.
+func TestCheckpointMidStreamFailureLeavesPriorIntact(t *testing.T) {
+	defer func() { checkpointStreamHook = nil }()
+	dir := t.TempDir()
+	s, _ := durableServer(t, dir, wal.SyncAlways)
+	db := s.Database("shop")
+	for i := 0; i < 20; i++ {
+		if _, err := db.Insert("a", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := db.Insert("b", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st1, err := s.Checkpoint()
+	if err != nil {
+		t.Fatalf("first checkpoint: %v", err)
+	}
+	if st1.Collections != 2 {
+		t.Fatalf("first checkpoint captured %d collections, want 2", st1.Collections)
+	}
+
+	// More committed writes, then a checkpoint that dies mid-stream: the
+	// hook fails once the stream reaches collection b, so depending on
+	// capture order zero or one snapshot file has already landed in the
+	// temporary directory — either way nothing may be published.
+	for i := 20; i < 35; i++ {
+		if _, err := db.Insert("a", bson.D(bson.IDKey, i, "v", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	checkpointStreamHook = func(db, coll string) error {
+		if coll == "b" {
+			return fmt.Errorf("injected stream failure")
+		}
+		return nil
+	}
+	if _, err := s.Checkpoint(); err == nil || !strings.Contains(err.Error(), "injected") {
+		t.Fatalf("checkpoint with injected failure: %v, want the injected error", err)
+	}
+	checkpointStreamHook = nil
+
+	// Cleanly absent: the only published checkpoint is still the first one.
+	dirs := checkpointDirs(t, dir)
+	want := fmt.Sprintf("checkpoint-%016d", st1.LSN)
+	if len(dirs) != 1 || dirs[0] != want {
+		t.Fatalf("checkpoint dirs after failed stream = %v, want just %s", dirs, want)
+	}
+
+	// The failed attempt must not have pruned the log: crash recovery seeds
+	// from the surviving checkpoint and replays the tail.
+	s2, rec := durableServer(t, dir, wal.SyncAlways)
+	if rec.CheckpointLSN != st1.LSN {
+		t.Fatalf("recovered from checkpoint LSN %d, want %d", rec.CheckpointLSN, st1.LSN)
+	}
+	if rec.RecordsReplayed != 15 {
+		t.Fatalf("replayed %d records, want 15", rec.RecordsReplayed)
+	}
+	if got := s2.Database("shop").Collection("a").Count(); got != 35 {
+		t.Fatalf("collection a recovered %d docs, want 35", got)
+	}
+	if got := s2.Database("shop").Collection("b").Count(); got != 20 {
+		t.Fatalf("collection b recovered %d docs, want 20", got)
+	}
+
+	// With the fault gone the next checkpoint publishes and supersedes.
+	st2, err := s2.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st2.Skipped || st2.LSN <= st1.LSN {
+		t.Fatalf("post-fault checkpoint = %+v, want a fresh LSN past %d", st2, st1.LSN)
+	}
+	dirs = checkpointDirs(t, dir)
+	want = fmt.Sprintf("checkpoint-%016d", st2.LSN)
+	if len(dirs) != 1 || dirs[0] != want {
+		t.Fatalf("checkpoint dirs after recovery = %v, want just %s", dirs, want)
+	}
+	if err := s2.CloseDurability(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCheckpointCapturePointCut proves the checkpoint is a single capture
+// point across collections, not a per-collection family of cuts. A writer
+// appends document i to collection a and then — only after a's write is
+// acknowledged — to collection b, so at any instant b is a prefix of a.
+// The checkpoint is taken while the writer runs; the WAL is then destroyed
+// so recovery restores the checkpoint content alone. A per-collection
+// snapshot family could restore b ahead of a (or either with holes); a true
+// cut restores both as prefixes with len(b) <= len(a) <= len(b)+1.
+func TestCheckpointCapturePointCut(t *testing.T) {
+	dir := t.TempDir()
+	s, _ := durableServer(t, dir, wal.SyncNone)
+	db := s.Database("shop")
+
+	const total = 400
+	started := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < total; i++ {
+			if _, err := db.Insert("a", bson.D(bson.IDKey, i)); err != nil {
+				t.Errorf("insert a %d: %v", i, err)
+				return
+			}
+			if _, err := db.Insert("b", bson.D(bson.IDKey, i)); err != nil {
+				t.Errorf("insert b %d: %v", i, err)
+				return
+			}
+			if i == 40 {
+				close(started)
+			}
+		}
+	}()
+
+	<-started
+	st, err := s.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Collections != 2 {
+		t.Fatalf("checkpoint captured %d collections, want 2", st.Collections)
+	}
+	<-done
+
+	// Crash and lose the log: recovery may use only the checkpoint, so what
+	// it restores is exactly the capture.
+	segs, err := filepath.Glob(filepath.Join(dir, "wal", "wal-*.log"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, seg := range segs {
+		if err := os.Remove(seg); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s2, rec := durableServer(t, dir, wal.SyncNone)
+	if rec.CheckpointLSN != st.LSN || rec.RecordsReplayed != 0 {
+		t.Fatalf("recovery = %+v, want checkpoint %d with nothing replayed", rec, st.LSN)
+	}
+
+	countOf := func(coll string) int { return s2.Database("shop").Collection(coll).Count() }
+	na, nb := countOf("a"), countOf("b")
+	if na < 40 {
+		t.Fatalf("capture happened after doc 40 yet a restored only %d docs", na)
+	}
+	if na < nb || na > nb+1 {
+		t.Fatalf("restored a=%d b=%d: not one capture point (want b <= a <= b+1)", na, nb)
+	}
+	// Prefixes, no holes: ids 0..n-1 each present exactly once.
+	for _, c := range []struct {
+		name string
+		n    int
+	}{{"a", na}, {"b", nb}} {
+		coll := s2.Database("shop").Collection(c.name)
+		for i := 0; i < c.n; i++ {
+			if coll.FindID(i) == nil {
+				t.Fatalf("collection %s restored %d docs but lacks id %d: not a prefix cut", c.name, c.n, i)
+			}
+		}
+	}
+}

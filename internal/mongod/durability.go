@@ -8,6 +8,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"docstore/internal/bson"
@@ -442,13 +443,156 @@ func (s *Server) loadCheckpoint(cpDir string) (int, error) {
 	return len(m.Collections), nil
 }
 
+// CheckpointCapture is a pinned capture point: one storage snapshot per
+// collection plus the WAL position, all taken while every writer on the
+// server was held. Everything the capture references describes one instant —
+// no collection is ahead of another, and no record at or below the capture
+// LSN is missing from the snapshots. Captures are cheap (a pin per
+// collection); the expensive disk streaming happens later, against the
+// pinned versions, with writes flowing. Release the capture when done
+// (CheckpointFrom releases it for you).
+type CheckpointCapture struct {
+	lsn      int64
+	entries  []captureEntry
+	released bool
+}
+
+type captureEntry struct {
+	db, coll string
+	snap     *storage.Snapshot
+}
+
+// CaptureLSN returns the WAL position of the capture point: every journaled
+// mutation at or below it is reflected in the capture's snapshots.
+func (cp *CheckpointCapture) CaptureLSN() int64 { return cp.lsn }
+
+// Collections returns how many collection snapshots the capture pins.
+func (cp *CheckpointCapture) Collections() int { return len(cp.entries) }
+
+// Release unpins every snapshot of the capture. Idempotent.
+func (cp *CheckpointCapture) Release() {
+	if cp.released {
+		return
+	}
+	cp.released = true
+	for _, e := range cp.entries {
+		e.snap.Release()
+	}
+}
+
+// HoldAllWrites blocks every mutation on the server — document writes, index
+// churn, collection and database creation and drops — until the returned
+// release function runs (it is idempotent). Reads are unaffected: they pin
+// published versions. The locks are taken in the global order the drop paths
+// already establish (server, then each database sorted by name, then each
+// collection sorted by name), so a hold cannot deadlock against concurrent
+// structural operations. Holds are meant to be brief: pin a capture under
+// one (CaptureHeld), then release.
+func (s *Server) HoldAllWrites() (release func()) {
+	s.mu.Lock()
+	dbNames := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		dbNames = append(dbNames, n)
+	}
+	sort.Strings(dbNames)
+	var dbs []*Database
+	var collReleases []func()
+	for _, dbName := range dbNames {
+		db := s.dbs[dbName]
+		db.mu.Lock()
+		dbs = append(dbs, db)
+		collNames := make([]string, 0, len(db.colls))
+		for n := range db.colls {
+			collNames = append(collNames, n)
+		}
+		sort.Strings(collNames)
+		for _, collName := range collNames {
+			collReleases = append(collReleases, db.colls[collName].HoldWrites())
+		}
+	}
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			for i := len(collReleases) - 1; i >= 0; i-- {
+				collReleases[i]()
+			}
+			for i := len(dbs) - 1; i >= 0; i-- {
+				dbs[i].mu.Unlock()
+			}
+			s.mu.Unlock()
+		})
+	}
+}
+
+// CaptureHeld pins a capture point. The caller must be holding every writer
+// via HoldAllWrites: with writers held, the WAL position is a true cut — any
+// record it covers was applied and published by its collection before the
+// hold could be acquired, and no new record can enter the log until release —
+// so the pinned snapshots and the LSN describe one mutually consistent
+// instant across every collection. The cluster checkpoint relies on the
+// hold/capture split: the router holds every shard simultaneously, captures
+// them all, releases, and only then pays for streaming.
+func (s *Server) CaptureHeld() *CheckpointCapture {
+	cp := &CheckpointCapture{}
+	if ds := s.durable.Load(); ds != nil {
+		cp.lsn = ds.wal.LastLSN()
+	}
+	dbNames := make([]string, 0, len(s.dbs))
+	for n := range s.dbs {
+		dbNames = append(dbNames, n)
+	}
+	sort.Strings(dbNames)
+	for _, dbName := range dbNames {
+		db := s.dbs[dbName]
+		collNames := make([]string, 0, len(db.colls))
+		for n := range db.colls {
+			collNames = append(collNames, n)
+		}
+		sort.Strings(collNames)
+		for _, collName := range collNames {
+			cp.entries = append(cp.entries, captureEntry{
+				db: dbName, coll: collName, snap: db.colls[collName].Snapshot(),
+			})
+		}
+	}
+	return cp
+}
+
+// CaptureCheckpoint establishes a capture point: it briefly holds every
+// writer, pins one snapshot per collection plus the WAL position, and
+// releases the holds. The pause is O(collections) pin registrations — no
+// disk I/O happens under it.
+func (s *Server) CaptureCheckpoint() *CheckpointCapture {
+	release := s.HoldAllWrites()
+	defer release()
+	return s.CaptureHeld()
+}
+
+// checkpointStreamHook, when non-nil, runs before each collection snapshot
+// streams to disk. Fault-injection tests use it to kill a checkpoint
+// mid-stream and prove the atomic-rename publication: a checkpoint directory
+// is either wholly at its capture point or cleanly absent.
+var checkpointStreamHook func(db, coll string) error
+
 // Checkpoint writes a snapshot of every collection, fsyncs it into a
 // checkpoint directory, prunes WAL segments the checkpoint makes obsolete
-// and removes older checkpoints. Writes keep flowing while it runs: each
-// collection snapshot carries the journal watermark captured under the same
-// lock as its data, so recovery knows exactly which records each snapshot
-// already contains.
+// and removes older checkpoints. The snapshot set is a single capture point
+// (see CaptureCheckpoint): writers pause only for the pin instant, then keep
+// flowing while the pinned versions stream to disk, and recovery restores
+// every collection to exactly the same cut before replaying the log tail.
 func (s *Server) Checkpoint() (CheckpointStats, error) {
+	cp := s.CaptureCheckpoint()
+	return s.CheckpointFrom(cp)
+}
+
+// CheckpointFrom writes the checkpoint a previously pinned capture
+// describes, then releases the capture. The capture may be arbitrarily old:
+// the snapshots are immutable, so the directory that lands on disk is the
+// capture point regardless of what has committed since. The cluster
+// checkpoint uses this to capture every shard under one simultaneous hold
+// and stream afterwards.
+func (s *Server) CheckpointFrom(cp *CheckpointCapture) (CheckpointStats, error) {
+	defer cp.Release()
 	var stats CheckpointStats
 	ds := s.durable.Load()
 	if ds == nil {
@@ -461,7 +605,7 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 		return stats, fmt.Errorf("mongod: checkpoint already in progress")
 	}
 
-	captureLSN := ds.wal.LastLSN()
+	captureLSN := cp.lsn
 	// Every mutation is journaled, so an unchanged capture LSN means the
 	// newest checkpoint still describes the exact current state; periodic
 	// checkpointing of an idle server then costs nothing.
@@ -476,32 +620,24 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 		return stats, err
 	}
 	manifest := checkpointManifest{CaptureLSN: captureLSN}
-	idx := 0
-	for _, dbName := range s.DatabaseNames() {
-		// Non-creating lookups throughout: Checkpoint runs concurrently
-		// with drops, and the create-on-absent accessors would resurrect a
-		// just-dropped database or collection as an empty shell — worse, a
-		// recreated collection would enter the manifest with watermark 0
-		// and let the prune cutoff eat the drop record.
-		db, ok := s.lookupDatabase(dbName)
-		if !ok {
-			continue
-		}
-		for _, coll := range db.Collections() {
-			file := fmt.Sprintf("snap-%06d.bin", idx)
-			idx++
-			info, err := writeCollectionSnapshot(filepath.Join(tmp, file), coll)
-			if err != nil {
+	for idx, e := range cp.entries {
+		if checkpointStreamHook != nil {
+			if err := checkpointStreamHook(e.db, e.coll); err != nil {
 				return stats, err
 			}
-			entry := checkpointEntry{
-				DB: dbName, Coll: coll.Name(), File: file, LastLSN: info.LastLSN, Count: info.Count,
-			}
-			for _, ix := range info.Indexes {
-				entry.Indexes = append(entry.Indexes, manifestIndex{Spec: ix.Spec.ToJSON(), Unique: ix.Unique})
-			}
-			manifest.Collections = append(manifest.Collections, entry)
 		}
+		file := fmt.Sprintf("snap-%06d.bin", idx)
+		info := e.snap.Info()
+		if err := writeSnapshotFile(filepath.Join(tmp, file), e.snap); err != nil {
+			return stats, err
+		}
+		entry := checkpointEntry{
+			DB: e.db, Coll: e.coll, File: file, LastLSN: info.LastLSN, Count: info.Count,
+		}
+		for _, ix := range info.Indexes {
+			entry.Indexes = append(entry.Indexes, manifestIndex{Spec: ix.Spec.ToJSON(), Unique: ix.Unique})
+		}
+		manifest.Collections = append(manifest.Collections, entry)
 	}
 	data, err := json.MarshalIndent(&manifest, "", "  ")
 	if err != nil {
@@ -526,16 +662,12 @@ func (s *Server) Checkpoint() (CheckpointStats, error) {
 	stats.LSN = captureLSN
 	stats.Collections = len(manifest.Collections)
 
-	// Prune: a segment is obsolete once every record in it is at or below
-	// every snapshot watermark (and below the capture LSN, which bounds
-	// collections whose watermark is 0 because they were never written).
-	cutoff := captureLSN
-	for _, e := range manifest.Collections {
-		if e.LastLSN > 0 && e.LastLSN < cutoff {
-			cutoff = e.LastLSN
-		}
-	}
-	pruned, err := ds.wal.Prune(cutoff)
+	// Prune: because the capture is a true cut, every record at or below the
+	// capture LSN is reflected in some captured snapshot (or belongs to a
+	// collection dropped before the capture, which the checkpoint rightly
+	// omits), so the capture LSN itself is the prune cutoff — no
+	// min-over-watermarks conservatism needed.
+	pruned, err := ds.wal.Prune(captureLSN)
 	stats.SegmentsPruned = pruned
 	if err != nil {
 		return stats, err
@@ -595,29 +727,26 @@ func (s *Server) WALHealth() (fsync, batch metrics.HistogramSnapshot, stats wal.
 	return ds.wal.FsyncDurations(), ds.wal.BatchSizes(), ds.wal.Stats(), true
 }
 
-// writeCollectionSnapshot pins one immutable storage snapshot and streams it
-// to disk. The pin is a single atomic load; the (arbitrarily slow) disk
-// write happens entirely outside the collection's write path, so writes keep
-// flowing at full speed while the checkpoint streams, and the manifest entry
-// built from the same snapshot (count, watermark, index definitions) is
-// consistent with the streamed data by construction.
-func writeCollectionSnapshot(path string, coll *storage.Collection) (storage.SnapshotInfo, error) {
-	snap := coll.Snapshot()
-	defer snap.Release()
-	info := snap.Info()
+// writeSnapshotFile streams an already-pinned immutable snapshot to disk.
+// The (arbitrarily slow) disk write happens entirely outside the
+// collection's write path, so writes keep flowing at full speed while the
+// checkpoint streams, and the manifest entry built from the same snapshot
+// (count, watermark, index definitions) is consistent with the streamed data
+// by construction.
+func writeSnapshotFile(path string, snap *storage.Snapshot) error {
 	f, err := os.Create(path)
 	if err != nil {
-		return info, err
+		return err
 	}
 	if err := snap.WriteData(f); err != nil {
 		f.Close()
-		return info, err
+		return err
 	}
 	if err := f.Sync(); err != nil {
 		f.Close()
-		return info, err
+		return err
 	}
-	return info, f.Close()
+	return f.Close()
 }
 
 func writeFileSync(path string, data []byte) error {

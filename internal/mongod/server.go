@@ -291,6 +291,11 @@ func (s *Server) EngineGauges() *metrics.GaugeSet {
 	g.Set("engine.reclaimedBytes", e.ReclaimedBytes, "bytes")
 	g.Set("engine.pagesCopied", e.PagesCopied, "")
 	g.Set("engine.pagesRecycled", e.PagesRecycled, "")
+	g.Set("engine.treeNodesCopied", e.TreeNodesCopied, "")
+	g.Set("engine.treeBytesCopied", e.TreeBytesCopied, "bytes")
+	g.Set("engine.treeBytesShared", e.TreeBytesShared, "bytes")
+	g.Set("engine.treeNodesReclaimed", e.TreeNodesReclaimed, "")
+	g.Set("engine.treeBytesReclaimed", e.TreeBytesReclaimed, "bytes")
 	return g
 }
 

@@ -8,7 +8,6 @@ package storage
 import (
 	"fmt"
 	"math"
-	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -96,13 +95,38 @@ type version struct {
 	// does not already contain.
 	lastLSN int64
 	// indexMeta holds the secondary index definitions live at this version,
-	// sorted by index name. The trees themselves are shared mutable
-	// structures owned by the writer lock; only their definitions are
-	// versioned (checkpoints rebuild trees by backfilling).
+	// sorted by index name (checkpoints rebuild trees by backfilling).
 	indexMeta []IndexMeta
+	// indexes is the version-owned immutable index set: one frozen handle per
+	// secondary index, sharing tree nodes with the writer's trees via
+	// path-copying (see index.BTree). Planning and index scans read these
+	// with no locking, exactly like the record pages.
+	indexes indexSet
 	// indexSize is the summed in-memory size estimate of the secondary
 	// indexes at publish time, for lock-free Stats.
 	indexSize int
+}
+
+// indexSet is a name-sorted set of secondary indexes. Both the writer's live
+// set and every version's frozen set use it instead of a map: publishing N
+// indexes costs one small slice allocation per version (a map costs an order
+// of magnitude more, paid on every single-document publish), and planning —
+// which touches a handful of entries — scans it linearly.
+type indexSet []indexEntry
+
+type indexEntry struct {
+	name string
+	ix   *index.Index
+}
+
+// byName returns the named index, or nil.
+func (s indexSet) byName(name string) *index.Index {
+	for _, e := range s {
+		if e.name == name {
+			return e.ix
+		}
+	}
+	return nil
 }
 
 // Collection is a single document collection. All methods are safe for
@@ -122,7 +146,7 @@ type Collection struct {
 	pages    []*page
 	length   int
 	byID     map[string]int // idKey -> position; exact, writer-owned
-	indexes  map[string]*index.Index
+	indexes  indexSet
 	count    int
 	dataSize int
 	tombs    int
@@ -157,6 +181,7 @@ type Collection struct {
 	// because a pinned version was dropped from tracking.
 	live            []*version
 	retired         []retiredPage
+	retiredNodes    []retiredNodeSet
 	freePages       []*page
 	freeSpines      [][]*page
 	gcCursor        int
@@ -178,6 +203,27 @@ type Collection struct {
 	reclaimedBytes atomic.Int64 // bytes whose last pinned reference was recycled
 	pagesCopied    atomic.Int64
 	pagesRecycled  atomic.Int64
+	// Persistent index-tree gauges, the node analogues of the page COW set:
+	// path copies split each mutating batch's tree bytes into copied vs
+	// shared, and retired nodes count as reclaimed once no pin covers them.
+	treeNodesCopied    atomic.Int64
+	treeBytesCopied    atomic.Int64
+	treeBytesShared    atomic.Int64
+	treeNodesReclaimed atomic.Int64
+	treeBytesReclaimed atomic.Int64
+}
+
+// retiredNodeSet accounts for index-tree nodes a write batch superseded
+// (path copies) or a drop retired wholesale. seq is the newest published
+// version that can still reach the old nodes; once no pinned snapshot's
+// version is <= seq, the nodes are unreachable from any reader and their
+// bytes count as reclaimed (Go's GC frees the memory; the entry is the
+// observability record). Entries coalesce per seq, so the list grows with
+// distinct retaining versions, not with individual node copies.
+type retiredNodeSet struct {
+	seq   int64
+	nodes int64
+	bytes int64
 }
 
 // NewCollection creates an empty collection.
@@ -185,7 +231,6 @@ func NewCollection(name string) *Collection {
 	c := &Collection{
 		name:            name,
 		byID:            make(map[string]int),
-		indexes:         make(map[string]*index.Index),
 		writeSeq:        1,
 		untrackedPinSeq: math.MaxInt64,
 	}
@@ -234,27 +279,86 @@ func (c *Collection) publishLocked() {
 		if len(c.indexes) == 0 {
 			v.indexMeta = nil
 		} else {
-			names := make([]string, 0, len(c.indexes))
-			for name := range c.indexes {
-				names = append(names, name)
-			}
-			sort.Strings(names)
-			v.indexMeta = make([]IndexMeta, 0, len(names))
-			for _, name := range names {
-				ix := c.indexes[name]
-				v.indexMeta = append(v.indexMeta, IndexMeta{Spec: ix.Spec().Doc(), Unique: ix.Unique()})
+			v.indexMeta = make([]IndexMeta, 0, len(c.indexes))
+			for _, e := range c.indexes {
+				v.indexMeta = append(v.indexMeta, IndexMeta{Spec: e.ix.Spec().Doc(), Unique: e.ix.Unique()})
 			}
 		}
 	}
-	for _, ix := range c.indexes {
-		v.indexSize += ix.SizeBytes()
+	if len(c.indexes) > 0 {
+		// Freeze the version-owned index set: O(1) handles sharing the
+		// current tree nodes. Re-stamping below opens a new COW era, so the
+		// next batch path-copies any node it touches instead of mutating
+		// what these frozen handles reach.
+		v.indexes = make(indexSet, len(c.indexes))
+		for i, e := range c.indexes {
+			v.indexSize += e.ix.SizeBytes()
+			v.indexes[i] = indexEntry{name: e.name, ix: e.ix.Freeze()}
+		}
 	}
 	c.current.Store(v)
 	c.spineShared = true
 	c.pubLen = c.length
 	c.writeSeq++
+	for _, e := range c.indexes {
+		e.ix.SetStamp(c.writeSeq)
+	}
 	c.live = append(c.live, v)
 	c.gcLocked()
+}
+
+// noteTreeCopyLocked is the index-tree path-copy observer (index.BTree's
+// copy hook), called under the write mutex once per copy event — a node
+// shell or an item array a mutating batch duplicates (the tree aliases item
+// arrays on pure-descent path copies and duplicates them lazily, so interior
+// nodes usually cost one child-pointer array, not their full item slots).
+// The superseded memory stays reachable from frozen index handles
+// published at or before the current version, so it retires at that seq —
+// exactly the page-retirement rule — and the copied/shared gauges mirror
+// ownSlotLocked's: the copied bytes are this node, the shared bytes are the
+// rest of the tree the batch did not touch.
+func (c *Collection) noteTreeCopyLocked(ix *index.Index, bytes int64) {
+	c.treeNodesCopied.Add(1)
+	c.treeBytesCopied.Add(bytes)
+	if shared := int64(ix.SizeBytes()) - bytes; shared > 0 {
+		c.treeBytesShared.Add(shared)
+	}
+	c.retireNodesLocked(1, bytes)
+}
+
+// retireNodesLocked records index-tree nodes that left the writer's trees
+// but remain reachable from published frozen handles; gcLocked counts them
+// reclaimed once no pin covers their retaining version.
+func (c *Collection) retireNodesLocked(nodes, bytes int64) {
+	seq := c.current.Load().seq
+	if n := len(c.retiredNodes); n > 0 && c.retiredNodes[n-1].seq == seq {
+		c.retiredNodes[n-1].nodes += nodes
+		c.retiredNodes[n-1].bytes += bytes
+		return
+	}
+	c.retiredNodes = append(c.retiredNodes, retiredNodeSet{seq: seq, nodes: nodes, bytes: bytes})
+	if len(c.retiredNodes) > maxRetiredNodeSets {
+		// Drop the oldest entries to the garbage collector: always safe,
+		// merely uncounted, exactly like capRetiredLocked.
+		drop := len(c.retiredNodes) - maxRetiredNodeSets
+		c.retiredNodes = append(c.retiredNodes[:0], c.retiredNodes[drop:]...)
+	}
+}
+
+// adoptIndexLocked wires a newly created index into the collection's COW
+// protocol: the tree joins the current write batch's era (its backfill may
+// mutate in place — no frozen handle references it yet) and reports its
+// future path copies to the gauges.
+func (c *Collection) adoptIndexLocked(ix *index.Index) {
+	ix.SetStamp(c.writeSeq)
+	ix.SetCopyHook(func(bytes int64) { c.noteTreeCopyLocked(ix, bytes) })
+}
+
+// retireTreeLocked retires an entire index tree (DropIndex, Drop): every
+// node leaves the writer's state at once but stays pinned by published
+// versions that still hold the frozen handle.
+func (c *Collection) retireTreeLocked(ix *index.Index) {
+	c.retireNodesLocked(int64(ix.Nodes()), ix.TreeBytes())
 }
 
 // idKey derives the map key for an _id value.
@@ -315,14 +419,14 @@ func (c *Collection) insertLocked(doc *bson.Doc) (any, error) {
 	if _, exists := c.byID[key]; exists {
 		return nil, &ErrDuplicateID{ID: id}
 	}
-	for _, ix := range c.indexes {
-		if err := ix.Insert(doc, id); err != nil {
+	for _, e := range c.indexes {
+		if err := e.ix.Insert(doc, id); err != nil {
 			// Roll back entries added to earlier indexes.
 			for _, other := range c.indexes {
-				if other == ix {
+				if other.ix == e.ix {
 					break
 				}
-				other.Remove(doc, id)
+				other.ix.Remove(doc, id)
 			}
 			return nil, err
 		}
@@ -406,10 +510,13 @@ func (c *Collection) Drop() {
 	c.mu.Lock()
 	commit, _ := c.logClearLocked()
 	c.retireAllPagesLocked()
+	for _, e := range c.indexes {
+		c.retireTreeLocked(e.ix)
+	}
 	c.pages = nil
 	c.length = 0
 	c.byID = make(map[string]int)
-	c.indexes = make(map[string]*index.Index)
+	c.indexes = nil
 	c.count = 0
 	c.dataSize = 0
 	c.tombs = 0

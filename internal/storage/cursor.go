@@ -1,6 +1,8 @@
 package storage
 
 import (
+	"sync"
+
 	"docstore/internal/bson"
 	"docstore/internal/query"
 )
@@ -250,49 +252,39 @@ func (cur *Cursor) fill() {
 	}
 }
 
-// openScan pins the snapshot a cursor will read and plans its access path.
-// Queries that cannot use an index — no filter constraints, no secondary
-// indexes at pin time, no hint — pin the current version with a single
-// atomic load and never touch the writer mutex, and a bare _id equality is
-// served straight from the pinned version's own id map, also lock-free
-// (whether or not secondary indexes exist — no secondary index can beat the
-// implicit _id_ point lookup). Queries that consult a secondary index
-// instead plan under the writer mutex: inside it the shared index trees and
-// the published version are guaranteed to agree (writers publish before
-// unlocking), so the position list is computed against exactly the pinned
-// records and index scans get the same point-in-time isolation as
-// collection scans.
+// openScan pins the snapshot a cursor will read and plans its access path,
+// with zero mutex acquisitions: the pin is an atomic load through the pin
+// gate, a bare _id equality is served from the pinned version's own id map,
+// and index planning and index scans run against the version-owned frozen
+// index trees — immutable path-copied structures published together with
+// the records, so the position list agrees with the pinned records by
+// construction. (Before the persistent trees, index planning re-pinned
+// under the writer mutex so the shared mutable trees agreed with the
+// version; that was the last lock on the read path.) A non-zero
+// opts.AtVersion pins the named committed version instead of the current
+// one; see SnapshotAt.
 func (c *Collection) openScan(filter *bson.Doc, opts FindOptions) (*Snapshot, []int, string, error) {
-	snap := c.Snapshot()
-	if opts.Hint == "" && (filter == nil || filter.Len() == 0) {
-		return snap, nil, "", nil
+	snap, err := c.SnapshotAt(opts.AtVersion)
+	if err != nil {
+		return nil, nil, "", err
 	}
-	if opts.Hint == "" && filter.Len() == 1 {
-		if idv, ok := filter.Get(bson.IDKey); ok {
-			if _, isDoc := idv.(*bson.Doc); !isDoc {
-				// The position is a candidate like any index result: the
-				// cursor's matcher re-verifies it, so this can never widen or
-				// narrow the result set.
-				if pos := snap.v.idPos(idKey(bson.Normalize(idv))); pos >= 0 {
-					return snap, []int{pos}, idIndexName, nil
-				}
-				return snap, []int{}, idIndexName, nil
-			}
-		}
-	}
-	if opts.Hint == "" && len(snap.v.indexMeta) == 0 {
-		return snap, nil, "", nil
-	}
-	snap.Release() // re-pinned under the lock below so records match the trees
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	snap = c.Snapshot()
-	order, indexUsed, err := c.planLocked(filter, opts)
+	order, indexUsed, err := snap.v.planEnv(c.name).plan(filter, opts)
 	if err != nil {
 		snap.Release()
 		return nil, nil, "", err
 	}
 	return snap, order, indexUsed, nil
+}
+
+// HoldWrites blocks every mutation on the collection until the returned
+// release function is called (it is idempotent). Reads are unaffected —
+// they pin published versions. Checkpoints hold every collection at once to
+// establish a single capture point: with writers held, the set of published
+// versions across collections is one mutually consistent cut.
+func (c *Collection) HoldWrites() (release func()) {
+	c.mu.Lock()
+	var once sync.Once
+	return func() { once.Do(c.mu.Unlock) }
 }
 
 // FindCursor opens a streaming cursor over the documents matching filter.

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"docstore/internal/bson"
+	"docstore/internal/index"
 	"docstore/internal/query"
 	"docstore/internal/trace"
 )
@@ -23,6 +24,15 @@ type FindOptions struct {
 	// result is produced in one batch (the materializing behaviour Find
 	// relies on). Slice-returning APIs ignore it.
 	BatchSize int
+	// AtVersion pins the query to the named committed collection version
+	// instead of the current one — the engine's atClusterTime analogue. A
+	// session issues its first query normally, reads Plan.SnapshotVersion
+	// (keeping that cursor open anchors the version against retention), and
+	// passes it here on follow-up queries: every result then describes one
+	// committed state, no matter how many writes land in between. 0 means
+	// the current version; naming a version the engine no longer tracks
+	// fails with ErrVersionRetired.
+	AtVersion int64
 	// Trace is the parent span of the request this query belongs to; the
 	// engine attaches a storage.plan child recording the snapshot pin and
 	// chosen access path under it. Nil disables tracing for the query.
@@ -130,14 +140,43 @@ func (c *Collection) FindWithPlan(filter *bson.Doc, opts FindOptions) ([]*bson.D
 // map served it, mirroring the real server's implicit _id_ index.
 const idIndexName = "_id_"
 
-// planLocked chooses an access path for the filter: either nil (collection
-// scan) or the ordered record positions produced by the most selective usable
-// index. The caller holds the write mutex, so the shared index trees agree
-// with both the writer state and the published version.
+// planEnv is a query-planning environment: an index set plus a resolver
+// from document id keys to live record positions. The writer plans against
+// its own mutable state (planLocked); readers plan against a pinned
+// version's frozen index set and id map, with no locking at all — the trees
+// are immutable path-copied structures published with the version, so they
+// agree with the pinned records by construction.
+type planEnv struct {
+	coll    string
+	indexes indexSet
+	resolve func(key string) int // idKey -> live record position, -1 when absent
+}
+
+// planEnv returns the lock-free planning environment of a pinned version.
+func (v *version) planEnv(coll string) planEnv {
+	return planEnv{coll: coll, indexes: v.indexes, resolve: v.idPos}
+}
+
+// planLocked chooses an access path under the write mutex, against the
+// writer's current (possibly mid-batch) state; updates use it so their
+// index-narrowed candidate set agrees with the records they mutate.
 func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, string, error) {
+	env := planEnv{coll: c.name, indexes: c.indexes, resolve: func(key string) int {
+		if pos, ok := c.byID[key]; ok {
+			return pos
+		}
+		return -1
+	}}
+	return env.plan(filter, opts)
+}
+
+// plan chooses an access path for the filter: either nil (collection scan)
+// or the ordered record positions produced by the most selective usable
+// index.
+func (e planEnv) plan(filter *bson.Doc, opts FindOptions) ([]int, string, error) {
 	if opts.Hint != "" {
-		if _, ok := c.indexes[opts.Hint]; !ok {
-			return nil, "", &ErrUnknownIndex{Collection: c.name, Hint: opts.Hint}
+		if e.indexes.byName(opts.Hint) == nil {
+			return nil, "", &ErrUnknownIndex{Collection: e.coll, Hint: opts.Hint}
 		}
 	}
 	if filter == nil || filter.Len() == 0 {
@@ -150,14 +189,14 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 	if opts.Hint == "" && filter.Len() == 1 {
 		if idv, ok := filter.Get(bson.IDKey); ok {
 			if _, isDoc := idv.(*bson.Doc); !isDoc {
-				if pos, exists := c.byID[idKey(bson.Normalize(idv))]; exists {
+				if pos := e.resolve(idKey(bson.Normalize(idv))); pos >= 0 {
 					return []int{pos}, idIndexName, nil
 				}
 				return []int{}, idIndexName, nil
 			}
 		}
 	}
-	if len(c.indexes) == 0 {
+	if len(e.indexes) == 0 {
 		return nil, "", nil
 	}
 	constraints := query.FieldConstraints(filter)
@@ -165,7 +204,8 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 		return nil, "", nil
 	}
 	var best *indexChoice
-	for name, ix := range c.indexes {
+	for _, ent := range e.indexes {
+		name, ix := ent.name, ent.ix
 		if opts.Hint != "" && name != opts.Hint {
 			continue
 		}
@@ -179,7 +219,7 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 			continue
 		}
 		leading := constraints[ix.Spec().Fields[0].Name]
-		choice := &indexChoice{name: name, prefix: prefix, leading: leading, distinct: ix.DistinctKeys()}
+		choice := &indexChoice{name: name, ix: ix, prefix: prefix, leading: leading, distinct: ix.DistinctKeys()}
 		if best == nil || choice.better(best) {
 			best = choice
 		}
@@ -187,12 +227,12 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 	if best == nil {
 		return nil, "", nil
 	}
-	ix := c.indexes[best.name]
+	ix := best.ix
 	// A non-nil (possibly empty) slice signals that an index narrowed the
 	// candidates; nil means a collection scan is required.
 	positions := make([]int, 0, 16)
 	ok := ix.ScanRange(best.leading, func(id any) bool {
-		if pos, exists := c.byID[idKey(id)]; exists {
+		if pos := e.resolve(idKey(id)); pos >= 0 {
 			positions = append(positions, pos)
 		}
 		return true
@@ -205,6 +245,7 @@ func (c *Collection) planLocked(filter *bson.Doc, opts FindOptions) ([]int, stri
 
 type indexChoice struct {
 	name     string
+	ix       *index.Index
 	prefix   int
 	leading  *query.Constraint
 	distinct int

@@ -20,7 +20,7 @@ import (
 func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, error) {
 	c.mu.Lock()
 	name := spec.Name()
-	if existing, ok := c.indexes[name]; ok {
+	if existing := c.indexes.byName(name); existing != nil {
 		c.mu.Unlock()
 		return existing, nil
 	}
@@ -30,6 +30,7 @@ func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, er
 		return nil, err
 	}
 	ix := index.New(name, spec, unique)
+	c.adoptIndexLocked(ix)
 	for i := 0; i < c.length; i++ {
 		r := c.writerRecord(i)
 		if r == nil || r.deleted {
@@ -46,7 +47,8 @@ func (c *Collection) EnsureIndex(spec index.Spec, unique bool) (*index.Index, er
 			return nil, fmt.Errorf("storage: building index %s: %w", name, err)
 		}
 	}
-	c.indexes[name] = ix
+	c.indexes = append(c.indexes, indexEntry{name: name, ix: ix})
+	sort.Slice(c.indexes, func(i, j int) bool { return c.indexes[i].name < c.indexes[j].name })
 	c.indexesChanged = true
 	c.publishLocked()
 	c.mu.Unlock()
@@ -67,7 +69,14 @@ func (c *Collection) EnsureIndexDoc(spec *bson.Doc, unique bool) (*index.Index, 
 // removal is journaled so recovery does not resurrect the index.
 func (c *Collection) DropIndex(name string) bool {
 	c.mu.Lock()
-	if _, ok := c.indexes[name]; !ok {
+	pos := -1
+	for i, e := range c.indexes {
+		if e.name == name {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
 		c.mu.Unlock()
 		return false
 	}
@@ -76,7 +85,8 @@ func (c *Collection) DropIndex(name string) bool {
 		c.mu.Unlock()
 		return false
 	}
-	delete(c.indexes, name)
+	c.retireTreeLocked(c.indexes[pos].ix)
+	c.indexes = append(c.indexes[:pos:pos], c.indexes[pos+1:]...)
 	c.indexesChanged = true
 	c.publishLocked()
 	c.mu.Unlock()
@@ -88,18 +98,18 @@ func (c *Collection) DropIndex(name string) bool {
 func (c *Collection) Index(name string) *index.Index {
 	c.mu.Lock()
 	defer c.mu.Unlock()
-	return c.indexes[name]
+	return c.indexes.byName(name)
 }
 
-// Indexes returns the collection's secondary indexes sorted by name.
+// Indexes returns the collection's secondary indexes sorted by name (the
+// live set's own order).
 func (c *Collection) Indexes() []*index.Index {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	out := make([]*index.Index, 0, len(c.indexes))
-	for _, ix := range c.indexes {
-		out = append(out, ix)
+	for _, e := range c.indexes {
+		out = append(out, e.ix)
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
 	return out
 }
 

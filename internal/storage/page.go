@@ -66,6 +66,7 @@ type retiredPage struct {
 const (
 	maxTrackedVersions = 256
 	maxRetiredPages    = 512
+	maxRetiredNodeSets = 512
 	maxFreePages       = 64
 	maxFreeSpines      = 4
 	// gcPagesPerBatch is how many pages the incremental tombstone GC examines
@@ -306,6 +307,22 @@ func (c *Collection) gcLocked() {
 			}
 			c.retired = keepR
 		}
+
+		// Count retired index-tree nodes below every pin as reclaimed: no
+		// frozen index handle can reach them anymore, so Go's collector frees
+		// them; the gauges record the release.
+		if len(c.retiredNodes) > 0 {
+			keepN := c.retiredNodes[:0]
+			for _, e := range c.retiredNodes {
+				if e.seq >= minPinned {
+					keepN = append(keepN, e)
+					continue
+				}
+				c.treeNodesReclaimed.Add(e.nodes)
+				c.treeBytesReclaimed.Add(e.bytes)
+			}
+			c.retiredNodes = keepN
+		}
 	}
 
 	// Incremental tombstone-run GC: walk a few pages per batch and nil out
@@ -363,6 +380,16 @@ type EngineStats struct {
 	ReclaimedBytes int64
 	PagesCopied    int64
 	PagesRecycled  int64
+	// TreeNodesCopied/TreeBytesCopied/TreeBytesShared are the persistent
+	// index-tree analogues of the page COW gauges: each mutating batch
+	// path-copies only the O(log n) nodes it touches, sharing the rest with
+	// published versions. TreeNodesReclaimed/TreeBytesReclaimed count
+	// retired nodes released once no pinned snapshot could reach them.
+	TreeNodesCopied    int64
+	TreeBytesCopied    int64
+	TreeBytesShared    int64
+	TreeNodesReclaimed int64
+	TreeBytesReclaimed int64
 }
 
 // EngineStats returns the collection's engine gauges. The counters are
@@ -380,6 +407,12 @@ func (c *Collection) EngineStats() EngineStats {
 		ReclaimedBytes:  c.reclaimedBytes.Load(),
 		PagesCopied:     c.pagesCopied.Load(),
 		PagesRecycled:   c.pagesRecycled.Load(),
+
+		TreeNodesCopied:    c.treeNodesCopied.Load(),
+		TreeBytesCopied:    c.treeBytesCopied.Load(),
+		TreeBytesShared:    c.treeBytesShared.Load(),
+		TreeNodesReclaimed: c.treeNodesReclaimed.Load(),
+		TreeBytesReclaimed: c.treeBytesReclaimed.Load(),
 	}
 	var oldest *version
 	for _, v := range c.live {
@@ -416,6 +449,11 @@ func (s *EngineStats) Add(o EngineStats) {
 	s.ReclaimedBytes += o.ReclaimedBytes
 	s.PagesCopied += o.PagesCopied
 	s.PagesRecycled += o.PagesRecycled
+	s.TreeNodesCopied += o.TreeNodesCopied
+	s.TreeBytesCopied += o.TreeBytesCopied
+	s.TreeBytesShared += o.TreeBytesShared
+	s.TreeNodesReclaimed += o.TreeNodesReclaimed
+	s.TreeBytesReclaimed += o.TreeBytesReclaimed
 }
 
 // GC runs a full engine GC pass: every fully tombstoned page is examined, not

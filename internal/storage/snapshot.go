@@ -3,6 +3,7 @@ package storage
 import (
 	"bufio"
 	"encoding/binary"
+	"fmt"
 	"io"
 	"sync/atomic"
 
@@ -42,6 +43,53 @@ func (c *Collection) Snapshot() *Snapshot {
 	v.pins.Add(1)
 	c.pinGate.Add(-1)
 	return &Snapshot{coll: c, v: v}
+}
+
+// ErrVersionRetired is returned by SnapshotAt (and AtVersion queries) when
+// the requested version is no longer tracked: either it was pruned once its
+// pins dropped, or it never existed. Callers re-anchor by issuing a fresh
+// query at the current version.
+type ErrVersionRetired struct {
+	Collection string
+	Version    int64
+}
+
+func (e *ErrVersionRetired) Error() string {
+	return fmt.Sprintf("storage: version %d of collection %q is not retained (hold a cursor open to anchor a read-at-version session)", e.Version, e.Collection)
+}
+
+// SnapshotAt pins the committed version with the given sequence number, the
+// read-at-version entry point behind FindOptions.AtVersion. Version 0 pins
+// the current version (exactly Snapshot). A superseded version can be pinned
+// only while the engine still tracks it — it stays tracked while any
+// snapshot pins it, so a session anchors itself by keeping its first
+// query's cursor open and pointing follow-up queries at that version.
+func (c *Collection) SnapshotAt(seq int64) (*Snapshot, error) {
+	if seq == 0 {
+		return c.Snapshot(), nil
+	}
+	// Fast path: the requested version is still current — pin it through
+	// the gate exactly like Snapshot, no mutex.
+	c.pinGate.Add(1)
+	v := c.current.Load()
+	if v.seq == seq {
+		v.pins.Add(1)
+		c.pinGate.Add(-1)
+		return &Snapshot{coll: c, v: v}, nil
+	}
+	c.pinGate.Add(-1)
+	// Slow path: search the tracked live list under the mutex. GC runs only
+	// under the same mutex, so a version found here cannot be pruned before
+	// its pin registers.
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, v := range c.live {
+		if v.seq == seq {
+			v.pins.Add(1)
+			return &Snapshot{coll: c, v: v}, nil
+		}
+	}
+	return nil, &ErrVersionRetired{Collection: c.name, Version: seq}
 }
 
 // Release unpins the snapshot, allowing the engine to recycle the pages its

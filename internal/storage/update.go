@@ -75,9 +75,9 @@ func (c *Collection) updateLocked(spec query.UpdateSpec, matcher *query.Matcher)
 			r.size = newSize
 			res.Modified++
 			id := updated.ID()
-			for _, ix := range c.indexes {
-				ix.Remove(old, id)
-				if err := ix.Insert(updated, id); err != nil {
+			for _, e := range c.indexes {
+				e.ix.Remove(old, id)
+				if err := e.ix.Insert(updated, id); err != nil {
 					return res, err
 				}
 			}
@@ -167,8 +167,8 @@ func (c *Collection) deleteLocked(matcher *query.Matcher, multi bool) int {
 		r = c.ownSlotLocked(i)
 		delete(c.byID, r.idKey)
 		id := doc.ID()
-		for _, ix := range c.indexes {
-			ix.Remove(doc, id)
+		for _, e := range c.indexes {
+			e.ix.Remove(doc, id)
 		}
 		c.count--
 		c.dataSize -= r.size

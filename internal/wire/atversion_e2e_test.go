@@ -1,0 +1,261 @@
+package wire
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"docstore/internal/bson"
+	"docstore/internal/mongod"
+	"docstore/internal/mongos"
+	"docstore/internal/sharding"
+	"docstore/internal/storage"
+	"docstore/internal/trace"
+	"docstore/internal/wal"
+)
+
+// TestFindAtVersionOverTheWire drives the read-at-version session over a
+// real socket: a client anchors a committed version, keeps reading it while
+// another client's updates land, and gets a loud failure once the version
+// is no longer retained.
+func TestFindAtVersionOverTheWire(t *testing.T) {
+	srv, c := startServer(t)
+	for i := 0; i < 10; i++ {
+		if err := c.Insert("db", "c", bson.D(bson.IDKey, i, "k", i%2, "state", "before")); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Anchor: hold a cursor open at the current version (the shell does the
+	// same with an un-drained batched find).
+	coll := srv.backend.Database("db").Collection("c")
+	anchor, err := coll.FindCursor(nil, storage.FindOptions{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anchor.Close()
+	v := anchor.Plan().SnapshotVersion
+
+	if _, err := c.Update("db", "c", bson.D("k", 1), bson.D("$set", bson.D("state", "after")), true, false); err != nil {
+		t.Fatal(err)
+	}
+
+	pinned, err := c.FindAtVersion("db", "c", bson.D("k", 1), nil, v, 0)
+	if err != nil {
+		t.Fatalf("FindAtVersion: %v", err)
+	}
+	if len(pinned) != 5 {
+		t.Fatalf("pinned read returned %d docs, want 5", len(pinned))
+	}
+	for _, d := range pinned {
+		if state, _ := d.Get("state"); state != "before" {
+			t.Fatalf("pinned read leaked post-anchor state: %s", d)
+		}
+	}
+	current, err := c.Find("db", "c", bson.D("k", 1), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range current {
+		if state, _ := d.Get("state"); state != "after" {
+			t.Fatalf("current read missed the update: %s", d)
+		}
+	}
+
+	// A version the engine does not track fails the request instead of
+	// silently reading something else.
+	if _, err := c.FindAtVersion("db", "c", nil, nil, 1<<40, 0); err == nil || !strings.Contains(err.Error(), "not retained") {
+		t.Fatalf("untracked version read: %v, want a not-retained error", err)
+	}
+}
+
+// TestAtVersionPlanSymmetryOverTheWire is the explain-symmetry contract at
+// the wire layer: a find pinned to an old version reports — through the
+// storage.plan span the tracer retains — the pinned snapshot version and
+// the index it planned against, proving the plan came from that version's
+// frozen index set rather than the current one.
+func TestAtVersionPlanSymmetryOverTheWire(t *testing.T) {
+	srv := NewServer(mongod.NewServer(mongod.Options{Name: "traced"}))
+	srv.SetTracer(trace.New(trace.Options{SampleRate: 1}))
+	t.Cleanup(func() { srv.Close() })
+
+	for i := 0; i < 8; i++ {
+		if resp := srv.Handle(&Request{Op: OpInsert, DB: "db", Collection: "c", Doc: bson.D(bson.IDKey, i, "k", i)}); resp.Error != "" {
+			t.Fatalf("seed: %s", resp.Error)
+		}
+	}
+	if resp := srv.Handle(&Request{Op: OpEnsureIndex, DB: "db", Collection: "c", Keys: bson.D("k", 1)}); resp.Error != "" {
+		t.Fatalf("ensureIndex: %s", resp.Error)
+	}
+
+	coll := srv.backend.Database("db").Collection("c")
+	anchor, err := coll.FindCursor(nil, storage.FindOptions{BatchSize: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer anchor.Close()
+	v := anchor.Plan().SnapshotVersion
+
+	// Writes move the current version past the anchor.
+	if resp := srv.Handle(&Request{Op: OpInsert, DB: "db", Collection: "c", Doc: bson.D(bson.IDKey, 100, "k", 100)}); resp.Error != "" {
+		t.Fatalf("post-anchor insert: %s", resp.Error)
+	}
+
+	resp := srv.Handle(&Request{Op: OpFind, DB: "db", Collection: "c", Filter: bson.D("k", 3), AtVersion: v})
+	if resp.Error != "" {
+		t.Fatalf("at-version find: %s", resp.Error)
+	}
+	if resp.N != 1 {
+		t.Fatalf("at-version find returned %d docs, want 1", resp.N)
+	}
+
+	views := srv.Tracer().Traces(1)
+	if len(views) != 1 || views[0].Name != "wire.find" {
+		t.Fatalf("latest trace = %+v, want wire.find", views)
+	}
+	plan := views[0].Find("storage.plan")
+	if plan == nil {
+		t.Fatalf("storage.plan missing from at-version find trace")
+	}
+	if idx, _ := plan.Attr("index"); idx != "k_1" {
+		t.Fatalf("plan index attr = %v, want k_1", idx)
+	}
+	if sv, _ := plan.Attr("snapshotVersion"); sv != v {
+		t.Fatalf("plan snapshotVersion attr = %v, want the pinned version %d", sv, v)
+	}
+}
+
+// TestCheckpointOpOverTheWire exercises the checkpoint request against a
+// stand-alone durable server: the response carries the capture LSN and
+// collection count, an immediately repeated checkpoint reports itself
+// skipped, and a non-durable server refuses.
+func TestCheckpointOpOverTheWire(t *testing.T) {
+	backend := mongod.NewServer(mongod.Options{Name: "durable"})
+	if _, err := backend.EnableDurability(mongod.Durability{Dir: t.TempDir(), Sync: wal.SyncNone}); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { backend.CloseDurability() })
+	srv := NewServer(backend)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.Insert("db", "a", bson.D(bson.IDKey, 1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Insert("db", "b", bson.D(bson.IDKey, 1)); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.Checkpoint()
+	if err != nil {
+		t.Fatalf("checkpoint: %v", err)
+	}
+	if lsn, _ := bson.AsInt(res.GetOr("lsn", 0)); lsn == 0 {
+		t.Fatalf("checkpoint result lsn = %s", res)
+	}
+	if n, _ := bson.AsInt(res.GetOr("collections", 0)); n != 2 {
+		t.Fatalf("checkpoint result collections = %s, want 2", res)
+	}
+	// Nothing committed since: the next checkpoint is free and says so.
+	res, err = c.Checkpoint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bson.Truthy(res.GetOr("skipped", false)) {
+		t.Fatalf("idle re-checkpoint result = %s, want skipped", res)
+	}
+
+	// A server without durability refuses rather than pretending.
+	_, plain := startServer(t)
+	if _, err := plain.Checkpoint(); err == nil || !strings.Contains(err.Error(), "durability") {
+		t.Fatalf("checkpoint without durability: %v, want a durability error", err)
+	}
+}
+
+// TestRoutedClusterOverTheWire turns a wire server into the mongos role
+// with SetRouter and drives the sharded surface end to end over a socket:
+// shardCollection, fanned-out writes and reads, the shard-union collection
+// listing, and a cluster-consistent checkpoint reporting every shard.
+func TestRoutedClusterOverTheWire(t *testing.T) {
+	router := mongos.NewRouter(sharding.NewConfigServer(), mongos.Options{Parallel: true})
+	for _, name := range []string{"s0", "s1"} {
+		shard := mongod.NewServer(mongod.Options{Name: name})
+		if _, err := shard.EnableDurability(mongod.Durability{Dir: t.TempDir(), Sync: wal.SyncNone}); err != nil {
+			t.Fatal(err)
+		}
+		router.AddShard(name, shard)
+	}
+	srv := NewServer(mongod.NewServer(mongod.Options{Name: "router-front"}))
+	srv.SetRouter(router)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	c, err := Dial(addr, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+
+	if err := c.ShardCollection("db", "sales", bson.D("k", "hashed")); err != nil {
+		t.Fatalf("shardCollection: %v", err)
+	}
+	docs := make([]*bson.Doc, 40)
+	for i := range docs {
+		docs[i] = bson.D(bson.IDKey, i, "k", i)
+	}
+	if n, err := c.InsertMany("db", "sales", docs); err != nil || n != 40 {
+		t.Fatalf("InsertMany over router = %d, %v", n, err)
+	}
+	// Both shards hold a piece: the writes really fanned out.
+	for _, name := range router.ShardNames() {
+		if got := router.Shard(name).Database("db").Collection("sales").Count(); got == 0 || got == 40 {
+			t.Fatalf("shard %s holds %d docs, want a proper split", name, got)
+		}
+	}
+	if n, err := c.Count("db", "sales", bson.D("k", bson.D("$gte", 20))); err != nil || n != 20 {
+		t.Fatalf("routed count = %d, %v", n, err)
+	}
+	got, err := c.Find("db", "sales", nil, bson.D("k", -1), 3)
+	if err != nil || len(got) != 3 {
+		t.Fatalf("routed sorted find: %v, %v", got, err)
+	}
+	if k, _ := bson.AsInt(got[0].GetOr("k", 0)); k != 39 {
+		t.Fatalf("routed merge-sort returned %s first", got[0])
+	}
+	colls, err := c.ListCollections("db")
+	if err != nil || len(colls) != 1 || colls[0] != "sales" {
+		t.Fatalf("routed listCollections = %v, %v", colls, err)
+	}
+
+	res, err := c.Checkpoint()
+	if err != nil {
+		t.Fatalf("cluster checkpoint: %v", err)
+	}
+	shardsDoc, ok := res.GetOr("shards", nil).(*bson.Doc)
+	if !ok {
+		t.Fatalf("cluster checkpoint result = %s, want a shards document", res)
+	}
+	for _, name := range router.ShardNames() {
+		entry, ok := shardsDoc.GetOr(name, nil).(*bson.Doc)
+		if !ok {
+			t.Fatalf("cluster checkpoint missing shard %s: %s", name, res)
+		}
+		if lsn, _ := bson.AsInt(entry.GetOr("lsn", 0)); lsn == 0 {
+			t.Fatalf("shard %s checkpoint lsn = %s", name, entry)
+		}
+	}
+
+	// shardCollection demands a key document.
+	if err := c.ShardCollection("db", "other", nil); err == nil {
+		t.Fatalf("shardCollection without keys should fail")
+	}
+}

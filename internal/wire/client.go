@@ -107,6 +107,40 @@ func (c *Client) FindWithHint(db, coll string, filter, sort *bson.Doc, hint stri
 	return resp.Docs, nil
 }
 
+// FindAtVersion is Find pinned to a committed collection version — the
+// client face of the engine's read-at-version (atClusterTime analogue). A
+// session reads the version of its first query from the server's explain
+// output (or serverStatus) and passes it to follow-up queries so every
+// result describes one committed state; the server fails the request when
+// the version is no longer retained.
+func (c *Client) FindAtVersion(db, coll string, filter, sort *bson.Doc, atVersion int64, limit int) ([]*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpFind, DB: db, Collection: coll, Filter: filter, Sort: sort, AtVersion: atVersion, Limit: limit})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Docs, nil
+}
+
+// Checkpoint asks the server to take a durable checkpoint now. Against a
+// stand-alone server it captures and streams one checkpoint; against a
+// router-fronted cluster it takes a cluster-consistent checkpoint across
+// every shard. The returned document carries the capture LSNs.
+func (c *Client) Checkpoint() (*bson.Doc, error) {
+	resp, err := c.Do(&Request{Op: OpCheckpoint})
+	if err != nil {
+		return nil, err
+	}
+	return resp.Result, nil
+}
+
+// ShardCollection declares a collection sharded on the key specification,
+// so a router-fronted deployment hash-partitions it across shards. A
+// stand-alone server rejects it.
+func (c *Client) ShardCollection(db, coll string, keys *bson.Doc) error {
+	_, err := c.Do(&Request{Op: OpShardCollection, DB: db, Collection: coll, Keys: keys})
+	return err
+}
+
 // Count counts matching documents.
 func (c *Client) Count(db, coll string, filter *bson.Doc) (int64, error) {
 	resp, err := c.Do(&Request{Op: OpCount, DB: db, Collection: coll, Filter: filter})

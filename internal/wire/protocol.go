@@ -95,6 +95,17 @@ const (
 	// just "wire.ins"), "minDurationUS" keeps only traces at least that many
 	// microseconds long, and "limit" caps the result after filtering.
 	OpGetTraces = "getTraces"
+	// OpCheckpoint takes a durable checkpoint. Against a stand-alone server
+	// it captures and streams one checkpoint; against a query router (a
+	// docstored running with -shards) it takes a cluster-consistent
+	// checkpoint: every shard is captured under one simultaneous write hold,
+	// so no restored shard is ever ahead of another. The response's "result"
+	// document carries the per-target LSNs and collection counts.
+	OpCheckpoint = "checkpoint"
+	// OpShardCollection declares a collection sharded on a key
+	// specification ("keys", like ensureIndex) so the router hash-partitions
+	// it. Only meaningful against a router; a stand-alone server rejects it.
+	OpShardCollection = "shardCollection"
 	// OpGetExemplars lists the labeled latency-histogram exemplars the
 	// server currently retains: per histogram series, each bucket's most
 	// recent sampled observation with the trace ID that produced it — the
@@ -123,6 +134,12 @@ type Request struct {
 	Hint  string
 	Limit int
 	Skip  int
+	// AtVersion pins a find to the named committed collection version — the
+	// wire form of the atClusterTime read. 0 reads current; a version the
+	// engine no longer retains fails the request (anchor it by holding a
+	// cursor open at that version). Against a router it pins the same
+	// version number on every targeted shard.
+	AtVersion int64
 	// BatchSize > 0 turns a find/aggregate into a cursor request: the
 	// response carries the first batch plus a CursorID to getMore against.
 	// It also sets the batch size of a getMore.
@@ -214,6 +231,9 @@ func (r *Request) encode() *bson.Doc {
 	}
 	if r.Skip != 0 {
 		d.Set("skip", r.Skip)
+	}
+	if r.AtVersion != 0 {
+		d.Set("atVersion", r.AtVersion)
 	}
 	if r.BatchSize != 0 {
 		d.Set("batchSize", r.BatchSize)
@@ -307,6 +327,11 @@ func decodeRequest(d *bson.Doc) *Request {
 	if v, ok := d.Get("skip"); ok {
 		if n, isNum := bson.AsInt(v); isNum {
 			r.Skip = int(n)
+		}
+	}
+	if v, ok := d.Get("atVersion"); ok {
+		if n, isNum := bson.AsInt(v); isNum {
+			r.AtVersion = n
 		}
 	}
 	if v, ok := d.Get("batchSize"); ok {

@@ -12,6 +12,7 @@ import (
 	"docstore/internal/bson"
 	"docstore/internal/changestream"
 	"docstore/internal/mongod"
+	"docstore/internal/mongos"
 	"docstore/internal/query"
 	"docstore/internal/storage"
 	"docstore/internal/trace"
@@ -57,6 +58,13 @@ type Server struct {
 	// repl, when set, receives every write so acknowledgement can wait on
 	// replica quorum; reads keep hitting backend (the primary).
 	repl ReplicatedBackend
+	// router, when set, turns this wire server into a query-router front
+	// end (the mongos role, docstored -shards): data-plane requests fan out
+	// across the cluster's shards, shardCollection declares a shard key, and
+	// checkpoint becomes a cluster-consistent capture across every shard.
+	// Introspection (stats, traces, exemplars, currentOp) and change streams
+	// keep reading the local backend.
+	router *mongos.Router
 	// defaultWC applies to write requests that carry no writeConcern.
 	defaultWC storage.WriteConcern
 	// tracer, when set, roots a span tree on every traced request; nil keeps
@@ -127,6 +135,12 @@ func (s *Server) SetCursorTimeout(d time.Duration) {
 // primary (reads are served from it directly). Call before the server
 // starts handling requests.
 func (s *Server) SetReplicaSet(r ReplicatedBackend) { s.repl = r }
+
+// SetRouter attaches a query router: the server then serves the mongos role,
+// fanning data-plane requests out across the router's shards. Mutually
+// exclusive with SetReplicaSet. Call before the server starts handling
+// requests.
+func (s *Server) SetRouter(r *mongos.Router) { s.router = r }
 
 // SetDefaultWriteConcern sets the concern applied to write requests that do
 // not carry one. Call before the server starts handling requests.
@@ -455,8 +469,13 @@ func (s *Server) handle(req *Request) *Response {
 		docs := exemplarDocs(series)
 		return &Response{OK: true, Docs: docs, N: int64(len(docs))}
 	}
-	if req.DB == "" && req.Op != OpPing {
+	if req.DB == "" && req.Op != OpPing && req.Op != OpCheckpoint {
 		return &Response{Error: "db is required"}
+	}
+	if s.router != nil {
+		if resp, handled := s.handleRouted(req); handled {
+			return resp
+		}
 	}
 	db := s.backend.Database(req.DB)
 	switch req.Op {
@@ -525,20 +544,9 @@ func (s *Server) handle(req *Request) *Response {
 			Result: encodeBulkResult(res),
 		}
 	case OpFind:
-		opts := storage.FindOptions{Limit: req.Limit, Skip: req.Skip, Hint: req.Hint, Trace: req.span}
-		if req.Sort != nil {
-			sortSpec, err := query.ParseSort(req.Sort)
-			if err != nil {
-				return &Response{Error: err.Error()}
-			}
-			opts.Sort = sortSpec
-		}
-		if req.Projection != nil {
-			proj, err := query.ParseProjection(req.Projection)
-			if err != nil {
-				return &Response{Error: err.Error()}
-			}
-			opts.Projection = proj
+		opts, errResp := s.findOptions(req)
+		if errResp != nil {
+			return errResp
 		}
 		if req.BatchSize > 0 {
 			opts.BatchSize = req.BatchSize
@@ -681,6 +689,19 @@ func (s *Server) handle(req *Request) *Response {
 			return &Response{Error: err.Error()}
 		}
 		return &Response{OK: true}
+	case OpCheckpoint:
+		st, err := s.backend.Checkpoint()
+		if err != nil {
+			return &Response{Error: err.Error()}
+		}
+		return &Response{OK: true, N: 1, Result: bson.D(
+			"lsn", st.LSN,
+			"collections", st.Collections,
+			"segmentsPruned", st.SegmentsPruned,
+			"skipped", st.Skipped,
+		)}
+	case OpShardCollection:
+		return &Response{Error: "shardCollection requires a query router (docstored -shards)"}
 	case OpDrop:
 		dropped := db.DropCollection(req.Collection)
 		return &Response{OK: true, N: boolToN(dropped)}
@@ -766,6 +787,11 @@ func (s *Server) handle(req *Request) *Response {
 			"reclaimedBytes", st.Engine.ReclaimedBytes,
 			"pagesCopied", st.Engine.PagesCopied,
 			"pagesRecycled", st.Engine.PagesRecycled,
+			"treeNodesCopied", st.Engine.TreeNodesCopied,
+			"treeBytesCopied", st.Engine.TreeBytesCopied,
+			"treeBytesShared", st.Engine.TreeBytesShared,
+			"treeNodesReclaimed", st.Engine.TreeNodesReclaimed,
+			"treeBytesReclaimed", st.Engine.TreeBytesReclaimed,
 		))
 		doc.Set("openCursors", s.cursorStats())
 		return &Response{OK: true, Docs: []*bson.Doc{doc}, N: 1}
@@ -815,6 +841,233 @@ func (s *Server) watchGetMore(req *Request, oc *openCursor, batchSize int) *Resp
 		return &Response{Error: fmt.Sprintf("cursor %d not found", req.CursorID)}
 	}
 	return &Response{OK: true, Docs: docs, N: int64(len(docs)), CursorID: req.CursorID, ResumeToken: token}
+}
+
+// findOptions builds the storage options of a find request. A non-nil
+// second return is the error response of a malformed sort or projection.
+func (s *Server) findOptions(req *Request) (storage.FindOptions, *Response) {
+	opts := storage.FindOptions{
+		Limit: req.Limit, Skip: req.Skip, Hint: req.Hint,
+		AtVersion: req.AtVersion, Trace: req.span,
+	}
+	if req.Sort != nil {
+		sortSpec, err := query.ParseSort(req.Sort)
+		if err != nil {
+			return opts, &Response{Error: err.Error()}
+		}
+		opts.Sort = sortSpec
+	}
+	if req.Projection != nil {
+		proj, err := query.ParseProjection(req.Projection)
+		if err != nil {
+			return opts, &Response{Error: err.Error()}
+		}
+		opts.Projection = proj
+	}
+	return opts, nil
+}
+
+// handleRouted serves the data-plane ops of a router-attached server by
+// fanning them out through the query router. The second return reports
+// whether the op was one of them; anything else (introspection, change
+// streams, cursor bookkeeping) falls through to the local backend.
+func (s *Server) handleRouted(req *Request) (*Response, bool) {
+	r := s.router
+	switch req.Op {
+	case OpInsert:
+		if req.Doc == nil {
+			return &Response{Error: "doc is required"}, true
+		}
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp, true
+		}
+		if wc.IsZero() && !req.Journaled {
+			if _, err := r.Insert(req.DB, req.Collection, req.Doc); err != nil {
+				return &Response{Error: err.Error()}, true
+			}
+			return &Response{OK: true, N: 1}, true
+		}
+		res := r.BulkWrite(req.DB, req.Collection, []storage.WriteOp{storage.InsertWriteOp(req.Doc)},
+			storage.BulkOptions{Ordered: true, Journaled: req.Journaled, WriteConcern: wc, Trace: req.span})
+		if err := res.FirstError(); err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true, N: 1}, true
+	case OpInsertMany:
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp, true
+		}
+		if wc.IsZero() && !req.Journaled {
+			ids, err := r.InsertMany(req.DB, req.Collection, req.Docs)
+			if err != nil {
+				return &Response{Error: err.Error(), N: int64(len(ids))}, true
+			}
+			return &Response{OK: true, N: int64(len(ids))}, true
+		}
+		res := r.BulkWrite(req.DB, req.Collection, storage.InsertOps(req.Docs),
+			storage.BulkOptions{Ordered: true, Journaled: req.Journaled, WriteConcern: wc, Trace: req.span})
+		if err := res.FirstError(); err != nil {
+			return &Response{Error: err.Error(), N: int64(res.Inserted)}, true
+		}
+		return &Response{OK: true, N: int64(res.Inserted)}, true
+	case OpBulkWrite:
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp, true
+		}
+		ops := make([]storage.WriteOp, len(req.Docs))
+		for i, opDoc := range req.Docs {
+			op, err := decodeWriteOp(opDoc)
+			if err != nil {
+				return &Response{Error: fmt.Sprintf("bulkWrite op %d: %v", i, err)}, true
+			}
+			ops[i] = op
+		}
+		res := r.BulkWrite(req.DB, req.Collection, ops,
+			storage.BulkOptions{Ordered: req.Ordered, Journaled: req.Journaled, WriteConcern: wc, Trace: req.span})
+		if res.DurabilityErr != nil && res.Attempted == 0 {
+			return &Response{Error: res.DurabilityErr.Error(), Result: encodeBulkResult(res)}, true
+		}
+		return &Response{
+			OK:     true,
+			N:      int64(res.Inserted + res.Modified + res.Upserted + res.Deleted),
+			Result: encodeBulkResult(res),
+		}, true
+	case OpFind:
+		opts, errResp := s.findOptions(req)
+		if errResp != nil {
+			return errResp, true
+		}
+		if req.BatchSize > 0 {
+			opts.BatchSize = req.BatchSize
+			cur, err := r.FindCursor(req.DB, req.Collection, req.Filter, opts)
+			if err != nil {
+				return &Response{Error: err.Error()}, true
+			}
+			return s.cursorResponse(req.DB+"."+req.Collection, cur, req.BatchSize), true
+		}
+		docs, err := r.Find(req.DB, req.Collection, req.Filter, opts)
+		if err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true, Docs: docs, N: int64(len(docs))}, true
+	case OpCount:
+		n, err := r.Count(req.DB, req.Collection, req.Filter)
+		if err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true, N: int64(n)}, true
+	case OpUpdate:
+		spec := query.UpdateSpec{Query: req.Filter, Update: req.Update, Upsert: req.Upsert, Multi: req.Multi}
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp, true
+		}
+		var res storage.UpdateResult
+		var err error
+		if wc.IsZero() && !req.Journaled {
+			res, err = r.Update(req.DB, req.Collection, spec)
+		} else {
+			res, err = r.UpdateWithOptions(req.DB, req.Collection, spec,
+				storage.BulkOptions{Ordered: true, Journaled: req.Journaled, WriteConcern: wc, Trace: req.span})
+		}
+		if err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true, N: int64(res.Modified)}, true
+	case OpDelete:
+		wc, errResp := s.writeConcernFor(req)
+		if errResp != nil {
+			return errResp, true
+		}
+		var n int
+		var err error
+		if wc.IsZero() && !req.Journaled {
+			n, err = r.Delete(req.DB, req.Collection, req.Filter, req.Multi)
+		} else {
+			n, err = r.DeleteWithOptions(req.DB, req.Collection, req.Filter, req.Multi,
+				storage.BulkOptions{Ordered: true, Journaled: req.Journaled, WriteConcern: wc, Trace: req.span})
+		}
+		if err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true, N: int64(n)}, true
+	case OpAggregate:
+		if req.BatchSize > 0 {
+			it, err := r.AggregateCursor(req.DB, req.Collection, req.Docs)
+			if err != nil {
+				return &Response{Error: err.Error()}, true
+			}
+			return s.cursorResponse(req.DB+"."+req.Collection, it, req.BatchSize), true
+		}
+		docs, err := r.Aggregate(req.DB, req.Collection, req.Docs)
+		if err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true, Docs: docs, N: int64(len(docs))}, true
+	case OpEnsureIndex:
+		if err := r.EnsureIndex(req.DB, req.Collection, req.Keys, req.Unique); err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true}, true
+	case OpDrop:
+		dropped := false
+		for _, name := range r.ShardNames() {
+			if r.Shard(name).Database(req.DB).DropCollection(req.Collection) {
+				dropped = true
+			}
+		}
+		return &Response{OK: true, N: boolToN(dropped)}, true
+	case OpListColls:
+		seen := make(map[string]bool)
+		var names []string
+		for _, shard := range r.ShardNames() {
+			for _, n := range r.Shard(shard).Database(req.DB).CollectionNames() {
+				if !seen[n] {
+					seen[n] = true
+					names = append(names, n)
+				}
+			}
+		}
+		sort.Strings(names)
+		docs := make([]*bson.Doc, len(names))
+		for i, n := range names {
+			docs[i] = bson.D("name", n)
+		}
+		return &Response{OK: true, Docs: docs, N: int64(len(names))}, true
+	case OpShardCollection:
+		if req.Keys == nil {
+			return &Response{Error: "keys is required"}, true
+		}
+		if _, err := r.EnableSharding(req.DB, req.Collection, req.Keys, 0); err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		return &Response{OK: true}, true
+	case OpCheckpoint:
+		st, err := r.Checkpoint()
+		if err != nil {
+			return &Response{Error: err.Error()}, true
+		}
+		shardNames := make([]string, 0, len(st.Shards))
+		for name := range st.Shards {
+			shardNames = append(shardNames, name)
+		}
+		sort.Strings(shardNames)
+		result := bson.NewDoc(len(shardNames))
+		for _, name := range shardNames {
+			sst := st.Shards[name]
+			result.Set(name, bson.D(
+				"lsn", sst.LSN,
+				"collections", sst.Collections,
+				"segmentsPruned", sst.SegmentsPruned,
+				"skipped", sst.Skipped,
+			))
+		}
+		return &Response{OK: true, N: int64(len(st.Shards)), Result: bson.D("shards", result)}, true
+	}
+	return nil, false
 }
 
 func boolToN(b bool) int64 {
